@@ -1,0 +1,92 @@
+// Ablation: where do HiDP's gains come from?
+//
+// Decomposes the improvement over the framework default into the paper's
+// two tiers by running four variants on the same workloads:
+//   A  global-default + local-default   (SoA baseline behaviour, ~P1)
+//   B  global-DSE     + local-default   (global tier only, DisNet-like)
+//   C  global-default + local-DSE       (local tier only: leader executes
+//                                        everything with local partitioning)
+//   D  global-DSE     + local-DSE       (full HiDP)
+// DESIGN.md calls this decomposition out as the central design claim: both
+// tiers are needed, and the local tier matters most on small clusters.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/dse_agent.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace hidp;
+
+/// Strategy variant with switchable tiers.
+class AblatedStrategy : public runtime::IStrategy {
+ public:
+  AblatedStrategy(bool global_dse, bool local_dse, std::string name)
+      : global_dse_(global_dse), local_dse_(local_dse), name_(std::move(name)) {}
+
+  std::string name() const override { return name_; }
+
+  runtime::Plan plan(const dnn::DnnGraph& model, const runtime::ClusterSnapshot& snap) override {
+    const auto policy = local_dse_ ? partition::NodeExecutionPolicy::kHierarchicalLocal
+                                   : partition::NodeExecutionPolicy::kDefaultProcessor;
+    partition::ClusterCostModel cost(model, *snap.nodes, snap.network, policy);
+    core::GlobalPartitioner global;
+    runtime::Plan plan;
+    if (global_dse_) {
+      plan = global.partition(cost, snap.leader, snap.available, snap.queue_depth, name_);
+    } else {
+      // Global default: whole model on the leader.
+      const auto local = partition::plan_model_partition(
+          cost, {snap.leader}, snap.leader, partition::PartitionObjective::kMinimizeSum);
+      plan = runtime::compile_model_partition(local, cost.nodes(), cost, snap.leader, name_);
+    }
+    plan.phases.explore_s = 0.010;
+    plan.phases.map_s = local_dse_ ? 0.005 : 0.0;
+    return plan;
+  }
+
+ private:
+  bool global_dse_;
+  bool local_dse_;
+  std::string name_;
+};
+
+}  // namespace
+
+int main() {
+  runtime::ModelSet models;
+  const std::vector<std::tuple<bool, bool, std::string>> variants{
+      {false, false, "A: none (default)"},
+      {true, false, "B: global only"},
+      {false, true, "C: local only"},
+      {true, true, "D: global+local (HiDP)"},
+  };
+
+  util::Table table("Ablation — mean latency [ms] by tier (5-node cluster, leader TX2)");
+  std::vector<std::string> header{"variant"};
+  for (const auto id : models.ids()) header.push_back(dnn::zoo::model_name(id));
+  header.push_back("geomean vs A");
+  table.set_header(header);
+
+  std::vector<double> baseline;
+  for (const auto& [global_dse, local_dse, name] : variants) {
+    std::vector<std::string> row{name};
+    std::vector<double> ratios;
+    std::size_t column = 0;
+    for (const auto id : models.ids()) {
+      AblatedStrategy strategy(global_dse, local_dse, name);
+      const auto metrics = bench::run_model_stream(strategy, models, id, 6, 0.3).metrics;
+      row.push_back(util::fmt(metrics.mean_latency_s * 1e3, 1));
+      if (baseline.size() <= column) baseline.push_back(metrics.mean_latency_s);
+      ratios.push_back(metrics.mean_latency_s / baseline[column]);
+      ++column;
+    }
+    row.push_back(util::fmt(util::geomean(ratios), 3) + "x");
+    table.add_row(row);
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("Reading: B isolates the paper's global tier, C the local tier;\n"
+              "D (HiDP) must dominate both, showing the tiers compose.\n");
+  return 0;
+}

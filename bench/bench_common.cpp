@@ -1,0 +1,36 @@
+#include "bench_common.hpp"
+
+#include <stdexcept>
+
+namespace hidp::bench {
+
+std::vector<std::string> strategy_names() { return {"HiDP", "DisNet", "OmniBoost", "MoDNN"}; }
+
+std::unique_ptr<runtime::IStrategy> make_strategy(const std::string& name) {
+  if (name == "HiDP") return std::make_unique<core::HidpStrategy>();
+  if (name == "DisNet") return std::make_unique<baselines::DisnetStrategy>();
+  if (name == "OmniBoost") return std::make_unique<baselines::OmniboostStrategy>();
+  if (name == "MoDNN") return std::make_unique<baselines::ModnnStrategy>();
+  throw std::invalid_argument("unknown strategy: " + name);
+}
+
+StreamResult run_requests(runtime::IStrategy& strategy,
+                          const std::vector<runtime::InferenceRequest>& requests,
+                          std::size_t cluster_size, std::size_t leader) {
+  runtime::Cluster cluster(platform::paper_cluster(cluster_size));
+  runtime::ExecutionEngine engine(cluster, strategy, leader);
+  StreamResult result;
+  result.records = engine.run(requests);
+  result.metrics = runtime::summarize_run(result.records, cluster);
+  result.traces = engine.traces();
+  return result;
+}
+
+StreamResult run_model_stream(runtime::IStrategy& strategy, const runtime::ModelSet& models,
+                              dnn::zoo::ModelId id, int count, double interval_s,
+                              std::size_t cluster_size, std::size_t leader) {
+  return run_requests(strategy, runtime::periodic_stream(models.graph(id), count, interval_s),
+                      cluster_size, leader);
+}
+
+}  // namespace hidp::bench

@@ -1,0 +1,86 @@
+// Figure 5: (a) inference latency and (b) energy consumption per DNN model
+// for HiDP vs DisNet, OmniBoost and MoDNN on the 5-node cluster.
+//
+// Protocol: a periodic stream of 8 requests per model (streaming vision
+// workload); latency is the mean per-request latency, energy is cluster
+// energy over the stream makespan divided by completed inferences.
+// Paper shape to reproduce: HiDP lowest on both metrics for every model;
+// average reductions ~37/44/56% (latency) and ~33/48/58% (energy) vs
+// DisNet/OmniBoost/MoDNN.
+#include <cstdio>
+#include <map>
+
+#include "bench_common.hpp"
+#include "util/csv.hpp"
+#include "util/stats.hpp"
+
+int main() {
+  using namespace hidp;
+  runtime::ModelSet models;
+  constexpr int kRequests = 8;
+  constexpr double kInterval = 0.25;
+
+  struct Cell {
+    runtime::StreamMetrics metrics;
+    double service_energy_j = 0.0;
+  };
+  std::map<std::string, std::map<std::string, Cell>> results;
+  for (const std::string& name : bench::strategy_names()) {
+    for (const auto id : models.ids()) {
+      auto strategy = bench::make_strategy(name);
+      // Recreate the run with cluster access for service-energy accounting.
+      runtime::Cluster cluster(platform::paper_cluster());
+      runtime::ExecutionEngine engine(cluster, *strategy, bench::kDefaultLeader);
+      const auto records =
+          engine.run(runtime::periodic_stream(models.graph(id), kRequests, kInterval));
+      Cell cell;
+      cell.metrics = runtime::summarize_run(records, cluster);
+      cell.service_energy_j =
+          runtime::mean_service_energy_j(records, engine.traces(), cluster);
+      results[name][dnn::zoo::model_name(id)] = cell;
+    }
+  }
+
+  util::Table lat("Fig. 5(a) — inference latency [ms], 5-node cluster, leader = Jetson TX2");
+  util::Table eng("Fig. 5(b) — energy per inference [J]");
+  std::vector<std::string> header{"strategy"};
+  for (const auto id : models.ids()) header.push_back(dnn::zoo::model_name(id));
+  lat.set_header(header);
+  eng.set_header(header);
+  util::CsvWriter csv({"strategy", "model", "latency_ms", "energy_j"});
+
+  for (const std::string& name : bench::strategy_names()) {
+    std::vector<std::string> lrow{name}, erow{name};
+    for (const auto id : models.ids()) {
+      const auto& cell = results[name][dnn::zoo::model_name(id)];
+      lrow.push_back(util::fmt(cell.metrics.mean_latency_s * 1e3, 1));
+      erow.push_back(util::fmt(cell.service_energy_j, 2));
+      csv.add_row({name, dnn::zoo::model_name(id),
+                   util::fmt(cell.metrics.mean_latency_s * 1e3, 3),
+                   util::fmt(cell.service_energy_j, 3)});
+    }
+    lat.add_row(lrow);
+    eng.add_row(erow);
+  }
+  std::printf("%s\n%s\n", lat.to_string().c_str(), eng.to_string().c_str());
+
+  // Average reductions of HiDP vs each baseline (the paper's headline).
+  util::Table avg("HiDP average reduction vs baselines (paper: lat 37/44/56%, energy 33/48/58%)");
+  avg.set_header({"baseline", "latency reduction", "energy reduction", "max latency reduction"});
+  for (const std::string& name : bench::strategy_names()) {
+    if (name == "HiDP") continue;
+    std::vector<double> lat_red, eng_red;
+    for (const auto id : models.ids()) {
+      const auto& h = results["HiDP"][dnn::zoo::model_name(id)];
+      const auto& b = results[name][dnn::zoo::model_name(id)];
+      lat_red.push_back(
+          util::relative_reduction(b.metrics.mean_latency_s, h.metrics.mean_latency_s));
+      eng_red.push_back(util::relative_reduction(b.service_energy_j, h.service_energy_j));
+    }
+    avg.add_row({name, util::fmt_pct(util::mean(lat_red)), util::fmt_pct(util::mean(eng_red)),
+                 util::fmt_pct(*std::max_element(lat_red.begin(), lat_red.end()))});
+  }
+  std::printf("%s\n", avg.to_string().c_str());
+  csv.write_file("fig5_latency_energy.csv");
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Table II: technical specification of the evaluation cluster, extended
+// with the calibrated model parameters this reproduction derives from them
+// (sustained rates, power envelopes).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "platform/device_db.hpp"
+
+int main() {
+  using namespace hidp;
+  util::Table table("Table II — evaluation cluster (calibrated device models)");
+  table.set_header({"device", "processor", "cores", "freq GHz", "peak GFLOPS",
+                    "conv GFLOPS(sust.)", "idle W", "peak W", "DRAM"});
+  const auto whole = platform::WorkProfile::from_graph(
+      dnn::zoo::build_model(dnn::zoo::ModelId::kResNet152));
+  for (const auto& node : platform::paper_cluster()) {
+    bool first = true;
+    for (const auto& proc : node.processors()) {
+      table.add_row({first ? node.name() : "",
+                     proc.name(),
+                     std::to_string(proc.cores()),
+                     util::fmt(proc.freq_ghz(), 2),
+                     util::fmt(proc.peak_gflops(), 0),
+                     util::fmt(proc.lambda_gflops(whole, 4), 1),
+                     util::fmt(proc.idle_w(), 1),
+                     util::fmt(proc.peak_w(), 1),
+                     first ? util::fmt(node.dram_gb(), 0) + " GB" : ""});
+      first = false;
+    }
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("Wireless: %.0f MB/s per radio, %.0f ms protocol latency (paper: 80 MB/s).\n",
+              platform::make_jetson_tx2().radio_bw_bps() / 1e6,
+              platform::make_jetson_tx2().radio_latency_s() * 1e3);
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Shared plumbing for the baseline strategies: per-model cost-model caching
+// under the framework-default node execution policy (no local tier — the
+// distinguishing limitation of all three baselines per the paper's Table I).
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "partition/cost_model.hpp"
+#include "runtime/engine.hpp"
+
+namespace hidp::baselines {
+
+class CostModelCache {
+ public:
+  explicit CostModelCache(partition::NodeExecutionPolicy policy, int bytes_per_element = 4)
+      : policy_(policy), bytes_per_element_(bytes_per_element) {}
+
+  partition::ClusterCostModel& get(const dnn::DnnGraph& model,
+                                   const runtime::ClusterSnapshot& snap) {
+    if (nodes_ != snap.nodes) {
+      cache_.clear();
+      nodes_ = snap.nodes;
+    }
+    auto it = cache_.find(&model);
+    if (it == cache_.end()) {
+      it = cache_
+               .emplace(&model, std::make_unique<partition::ClusterCostModel>(
+                                    model, *snap.nodes, snap.network, policy_,
+                                    bytes_per_element_))
+               .first;
+    }
+    return *it->second;
+  }
+
+ private:
+  partition::NodeExecutionPolicy policy_;
+  int bytes_per_element_;
+  std::unordered_map<const dnn::DnnGraph*, std::unique_ptr<partition::ClusterCostModel>> cache_;
+  const std::vector<platform::NodeModel>* nodes_ = nullptr;
+};
+
+/// Available workers (leader first, then by descending default-policy rate).
+std::vector<std::size_t> default_worker_order(const partition::ClusterCostModel& cost,
+                                              std::size_t leader,
+                                              const std::vector<bool>& available);
+
+}  // namespace hidp::baselines

@@ -1,0 +1,44 @@
+#include "baselines/disnet.hpp"
+
+#include "partition/data_partitioner.hpp"
+#include "partition/model_partitioner.hpp"
+
+namespace hidp::baselines {
+
+runtime::Plan DisnetStrategy::plan(const dnn::DnnGraph& model,
+                                   const runtime::ClusterSnapshot& snap) {
+  partition::ClusterCostModel& cost = cache_.get(model, snap);
+  const std::vector<std::size_t> workers =
+      default_worker_order(cost, snap.leader, snap.available);
+
+  // Heuristic hybrid choice: greedy model split vs. proportional data
+  // splits; no queue awareness and no local tier.
+  const auto model_split = partition::plan_model_partition(
+      cost, workers, snap.leader, partition::PartitionObjective::kMinimizeSum,
+      partition::SearchEngine::kGreedyBackprop);
+
+  partition::DataPartitionResult best_data;
+  for (int sigma : options_.sigma_candidates) {
+    if (sigma < 2 || static_cast<std::size_t>(sigma) > workers.size()) continue;
+    const std::vector<std::size_t> subset(workers.begin(), workers.begin() + sigma);
+    const auto candidate = partition::plan_best_data_partition(cost, subset, snap.leader);
+    if (candidate.valid && (!best_data.valid || candidate.latency_s < best_data.latency_s)) {
+      best_data = candidate;
+    }
+  }
+
+  runtime::Plan plan;
+  const bool use_data =
+      best_data.valid && (!model_split.valid || best_data.latency_s < model_split.latency_s);
+  if (use_data) {
+    plan = runtime::compile_data_partition(best_data, cost.nodes(), cost, snap.leader, name());
+    plan.predicted_latency_s = best_data.latency_s;
+  } else if (model_split.valid) {
+    plan = runtime::compile_model_partition(model_split, cost.nodes(), cost, snap.leader, name());
+    plan.predicted_latency_s = model_split.latency_s;
+  }
+  plan.phases.explore_s = options_.planning_latency_s;
+  return plan;
+}
+
+}  // namespace hidp::baselines

@@ -1,0 +1,34 @@
+// DisNet baseline (Samikwa et al., IoT-J 2024): hybrid micro-split
+// partitioning. Jointly considers data and model partitioning at the
+// *global* level with a latency heuristic, but exercises no control over
+// local node resources (framework-default placement). Implemented, as in
+// the paper's evaluation, with HiDP's data and model partitioning modules
+// under the kDefaultProcessor policy and the greedy search engine.
+#pragma once
+
+#include "baselines/common.hpp"
+
+namespace hidp::baselines {
+
+class DisnetStrategy : public runtime::IStrategy {
+ public:
+  struct Options {
+    int bytes_per_element = 4;
+    double planning_latency_s = 5e-3;  ///< heuristic exploration cost
+    std::vector<int> sigma_candidates{2, 3, 4, 5};
+  };
+
+  DisnetStrategy() : DisnetStrategy(Options{}) {}
+  explicit DisnetStrategy(Options options)
+      : options_(std::move(options)),
+        cache_(partition::NodeExecutionPolicy::kDefaultProcessor, options_.bytes_per_element) {}
+
+  std::string name() const override { return "DisNet"; }
+  runtime::Plan plan(const dnn::DnnGraph& model, const runtime::ClusterSnapshot& snap) override;
+
+ private:
+  Options options_;
+  CostModelCache cache_;
+};
+
+}  // namespace hidp::baselines

@@ -1,0 +1,157 @@
+#include "baselines/mcts.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <vector>
+
+namespace hidp::baselines {
+
+using partition::BoundaryCostFn;
+using partition::LinearPartitionResult;
+using partition::PartitionObjective;
+using partition::StageCostFn;
+
+namespace {
+
+/// One action: assign segments [state.boundary, end) to `worker`.
+struct Action {
+  int end = 0;
+  int worker = 0;
+};
+
+struct Node {
+  int boundary = 0;     ///< segments [0, boundary) covered
+  int last_worker = -1; ///< worker of the last block (-1 = none yet)
+  std::vector<Action> untried;
+  std::vector<std::unique_ptr<Node>> children;
+  std::vector<Action> child_actions;
+  Node* parent = nullptr;
+  int visits = 0;
+  double total_reward = 0.0;
+};
+
+std::vector<Action> legal_actions(int boundary, int last_worker, int num_segments,
+                                  int num_workers, int max_span) {
+  std::vector<Action> actions;
+  for (int w = last_worker + 1; w < num_workers; ++w) {
+    const int max_end = max_span > 0 ? std::min(num_segments, boundary + max_span) : num_segments;
+    for (int end = boundary + 1; end <= max_end; ++end) {
+      // Only allow stopping short of full cover if enough workers remain.
+      const int remaining_workers = num_workers - w - 1;
+      if (end < num_segments && remaining_workers == 0) continue;
+      actions.push_back(Action{end, w});
+    }
+  }
+  return actions;
+}
+
+}  // namespace
+
+LinearPartitionResult mcts_partition(int num_segments, int num_workers,
+                                     const StageCostFn& stage_cost,
+                                     const BoundaryCostFn& boundary_cost,
+                                     PartitionObjective objective, const MctsConfig& config,
+                                     util::Rng& rng) {
+  LinearPartitionResult best;
+  if (num_segments <= 0 || num_workers <= 0) return best;
+
+  auto evaluate = [&](const std::vector<LinearPartitionResult::Block>& blocks) {
+    return partition::evaluate_partition(blocks, stage_cost, boundary_cost, objective);
+  };
+
+  auto root = std::make_unique<Node>();
+  root->untried = legal_actions(0, -1, num_segments, num_workers, config.max_block_span);
+
+  std::vector<LinearPartitionResult::Block> best_blocks;
+  double best_cost = std::numeric_limits<double>::infinity();
+
+  for (int iter = 0; iter < config.iterations; ++iter) {
+    // 1. Selection: descend by UCT until a node with untried actions.
+    Node* node = root.get();
+    std::vector<LinearPartitionResult::Block> blocks;
+    while (node->untried.empty() && !node->children.empty()) {
+      double best_uct = -std::numeric_limits<double>::infinity();
+      std::size_t pick = 0;
+      for (std::size_t c = 0; c < node->children.size(); ++c) {
+        const Node& child = *node->children[c];
+        const double exploit = child.visits > 0 ? child.total_reward / child.visits : 0.0;
+        const double explore =
+            config.exploration *
+            std::sqrt(std::log(static_cast<double>(node->visits + 1)) /
+                      static_cast<double>(child.visits + 1));
+        const double uct = exploit + explore;
+        if (uct > best_uct) {
+          best_uct = uct;
+          pick = c;
+        }
+      }
+      const Action& action = node->child_actions[pick];
+      blocks.push_back({node->boundary, action.end, action.worker});
+      node = node->children[pick].get();
+    }
+
+    // 2. Expansion.
+    if (!node->untried.empty()) {
+      const auto idx = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(node->untried.size()) - 1));
+      const Action action = node->untried[idx];
+      node->untried.erase(node->untried.begin() + static_cast<std::ptrdiff_t>(idx));
+      auto child = std::make_unique<Node>();
+      child->boundary = action.end;
+      child->last_worker = action.worker;
+      child->parent = node;
+      if (action.end < num_segments) {
+        child->untried = legal_actions(action.end, action.worker, num_segments, num_workers,
+                                       config.max_block_span);
+      }
+      blocks.push_back({node->boundary, action.end, action.worker});
+      node->children.push_back(std::move(child));
+      node->child_actions.push_back(action);
+      node = node->children.back().get();
+    }
+
+    // 3. Rollout: random completion.
+    int boundary = node->boundary;
+    int last_worker = node->last_worker;
+    auto rollout_blocks = blocks;
+    while (boundary < num_segments) {
+      const auto actions =
+          legal_actions(boundary, last_worker, num_segments, num_workers, config.max_block_span);
+      if (actions.empty()) break;
+      const Action action = actions[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(actions.size()) - 1))];
+      rollout_blocks.push_back({boundary, action.end, action.worker});
+      boundary = action.end;
+      last_worker = action.worker;
+    }
+    if (boundary < num_segments) continue;  // dead end (should not happen)
+
+    const double true_cost = evaluate(rollout_blocks);
+    if (true_cost < best_cost) {
+      best_cost = true_cost;
+      best_blocks = rollout_blocks;
+    }
+    // The "throughput estimator": reward is the noisy inverse cost.
+    const double noise = config.estimator_noise > 0.0
+                             ? std::max(0.1, rng.normal(1.0, config.estimator_noise))
+                             : 1.0;
+    const double reward = 1.0 / std::max(true_cost * noise, 1e-9);
+
+    // 4. Backpropagation.
+    for (Node* up = node; up != nullptr; up = up->parent) {
+      up->visits += 1;
+      up->total_reward += reward;
+    }
+  }
+
+  if (best_blocks.empty()) return best;
+  best.blocks = std::move(best_blocks);
+  best.objective = best_cost;
+  partition::evaluate_partition(best.blocks, stage_cost, boundary_cost, objective,
+                                &best.sum_cost, &best.bottleneck_cost);
+  return best;
+}
+
+}  // namespace hidp::baselines

@@ -1,0 +1,32 @@
+// Monte-Carlo Tree Search over contiguous partitions — the search engine
+// behind the OmniBoost baseline (Karatzas et al., DAC 2023), which explores
+// layer-block-to-processor mappings with a learned throughput estimator.
+//
+// States are (covered segments, last worker used); actions extend the cover
+// by one block on a later worker. Rollouts complete the partition randomly;
+// rewards come from the (noisy) cost evaluation, emulating the estimator's
+// prediction error. Fully deterministic for a fixed seed.
+#pragma once
+
+#include "partition/linear_partition.hpp"
+#include "util/rng.hpp"
+
+namespace hidp::baselines {
+
+struct MctsConfig {
+  int iterations = 400;        ///< tree-search iterations
+  double exploration = 1.4;    ///< UCT exploration constant
+  double estimator_noise = 0.05;  ///< stddev of the rollout reward noise
+  int max_block_span = 0;      ///< 0 = unrestricted block sizes
+};
+
+/// Searches a contiguous partition of `num_segments` over ordered
+/// `num_workers` minimising `objective`. Interface mirrors
+/// partition::dp_linear_partition so results are directly comparable.
+partition::LinearPartitionResult mcts_partition(int num_segments, int num_workers,
+                                                const partition::StageCostFn& stage_cost,
+                                                const partition::BoundaryCostFn& boundary_cost,
+                                                partition::PartitionObjective objective,
+                                                const MctsConfig& config, util::Rng& rng);
+
+}  // namespace hidp::baselines

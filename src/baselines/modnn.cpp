@@ -1,0 +1,47 @@
+#include "baselines/modnn.hpp"
+
+#include <algorithm>
+
+#include "partition/data_partitioner.hpp"
+#include "partition/model_partitioner.hpp"
+
+namespace hidp::baselines {
+
+std::vector<std::size_t> default_worker_order(const partition::ClusterCostModel& cost,
+                                              std::size_t leader,
+                                              const std::vector<bool>& available) {
+  std::vector<std::size_t> workers;
+  for (std::size_t j = 0; j < cost.nodes().size(); ++j) {
+    if (j == leader) continue;
+    if (j < available.size() && !available[j]) continue;
+    workers.push_back(j);
+  }
+  std::sort(workers.begin(), workers.end(), [&](std::size_t a, std::size_t b) {
+    return cost.node_rate_gflops(a) > cost.node_rate_gflops(b);
+  });
+  workers.insert(workers.begin(), leader);
+  return workers;
+}
+
+runtime::Plan ModnnStrategy::plan(const dnn::DnnGraph& model,
+                                  const runtime::ClusterSnapshot& snap) {
+  partition::ClusterCostModel& cost = cache_.get(model, snap);
+  const std::vector<std::size_t> workers =
+      default_worker_order(cost, snap.leader, snap.available);
+
+  runtime::Plan plan;
+  const auto data = partition::plan_best_data_partition(cost, workers, snap.leader);
+  if (data.valid) {
+    plan = runtime::compile_data_partition(data, cost.nodes(), cost, snap.leader, name());
+    plan.predicted_latency_s = data.latency_s;
+  } else {
+    // Degenerate graphs without a spatial prefix: run whole on the leader.
+    const auto local = partition::plan_model_partition(
+        cost, {snap.leader}, snap.leader, partition::PartitionObjective::kMinimizeSum);
+    plan = runtime::compile_model_partition(local, cost.nodes(), cost, snap.leader, name());
+  }
+  plan.phases.explore_s = options_.planning_latency_s;
+  return plan;
+}
+
+}  // namespace hidp::baselines

@@ -1,0 +1,34 @@
+// MoDNN baseline (Mao et al., DATE 2017): data-only partitioning.
+//
+// The input is split among all available edge nodes proportionally to their
+// compute capacity; each node executes its slice with the framework-default
+// placement (no local partitioning). Implemented, as in the paper's
+// evaluation, with HiDP's own data-partitioning module under the
+// kDefaultProcessor policy.
+#pragma once
+
+#include "baselines/common.hpp"
+
+namespace hidp::baselines {
+
+class ModnnStrategy : public runtime::IStrategy {
+ public:
+  struct Options {
+    int bytes_per_element = 4;
+    double planning_latency_s = 2e-3;  ///< proportional split is cheap
+  };
+
+  ModnnStrategy() : ModnnStrategy(Options{}) {}
+  explicit ModnnStrategy(Options options)
+      : options_(options),
+        cache_(partition::NodeExecutionPolicy::kDefaultProcessor, options.bytes_per_element) {}
+
+  std::string name() const override { return "MoDNN"; }
+  runtime::Plan plan(const dnn::DnnGraph& model, const runtime::ClusterSnapshot& snap) override;
+
+ private:
+  Options options_;
+  CostModelCache cache_;
+};
+
+}  // namespace hidp::baselines

@@ -1,0 +1,148 @@
+#include "baselines/omniboost.hpp"
+
+#include <algorithm>
+
+namespace hidp::baselines {
+
+namespace {
+
+/// One pipeline stage candidate: a specific processor of a specific node.
+struct ProcStage {
+  std::size_t node = 0;
+  std::size_t proc = 0;
+};
+
+/// Each available node contributes its GPU and its fastest CPU cluster,
+/// ordered leader first then by node rate — the CPU+GPU pipelining space
+/// OmniBoost explores.
+std::vector<ProcStage> build_stages(const partition::ClusterCostModel& cost,
+                                    const std::vector<std::size_t>& workers) {
+  std::vector<ProcStage> stages;
+  const platform::WorkProfile whole =
+      platform::WorkProfile::from_graph(cost.graph(), 0, -1);
+  for (std::size_t node : workers) {
+    const platform::NodeModel& model = cost.nodes()[node];
+    const std::size_t gpu = model.gpu_index();
+    if (gpu < model.processor_count()) stages.push_back(ProcStage{node, gpu});
+    // Fastest non-GPU processor.
+    std::size_t best_cpu = model.processor_count();
+    double best_rate = -1.0;
+    for (std::size_t p = 0; p < model.processor_count(); ++p) {
+      if (p == gpu) continue;
+      const double rate = model.processor(p).lambda_gflops(whole, 1);
+      if (rate > best_rate) {
+        best_rate = rate;
+        best_cpu = p;
+      }
+    }
+    if (best_cpu < model.processor_count()) stages.push_back(ProcStage{node, best_cpu});
+  }
+  return stages;
+}
+
+}  // namespace
+
+runtime::Plan OmniboostStrategy::plan(const dnn::DnnGraph& model,
+                                      const runtime::ClusterSnapshot& snap) {
+  partition::ClusterCostModel& cost = cache_.get(model, snap);
+  const std::vector<std::size_t> workers =
+      default_worker_order(cost, snap.leader, snap.available);
+  const std::vector<ProcStage> stages = build_stages(cost, workers);
+
+  const int segments = static_cast<int>(cost.segment_count());
+  const auto stage_cost = [&](int begin, int end, int worker) {
+    const ProcStage& stage = stages[static_cast<std::size_t>(worker)];
+    double t = cost.proc_time(stage.node, stage.proc, begin, end);
+    if (begin == 0 && stage.node != snap.leader) {
+      t += cost.transfer_s(snap.leader, stage.node, cost.boundary_bytes(0));
+    }
+    if (end == segments && stage.node != snap.leader) {
+      t += cost.transfer_s(stage.node, snap.leader, cost.boundary_bytes(segments));
+    }
+    return t;
+  };
+  const auto boundary_cost = [&](int boundary, int from_worker, int to_worker) {
+    const ProcStage& from = stages[static_cast<std::size_t>(from_worker)];
+    const ProcStage& to = stages[static_cast<std::size_t>(to_worker)];
+    const std::int64_t bytes = cost.boundary_bytes(boundary);
+    if (from.node == to.node) return cost.nodes()[from.node].local_exchange_s(bytes);
+    return cost.transfer_s(from.node, to.node, bytes);
+  };
+
+  // Throughput-oriented objective: with queued requests the pipeline
+  // interval dominates; otherwise minimise single-request latency.
+  const auto objective = snap.queue_depth > 0
+                             ? partition::PartitionObjective::kMinimizeBottleneck
+                             : partition::PartitionObjective::kMinimizeSum;
+  const auto search = mcts_partition(segments, static_cast<int>(stages.size()), stage_cost,
+                                     boundary_cost, objective, options_.mcts, rng_);
+
+  runtime::Plan plan;
+  plan.strategy = name();
+  plan.global_mode = partition::PartitionMode::kModel;
+  plan.leader = snap.leader;
+  plan.phases.explore_s = options_.planning_latency_s;
+  if (!search.valid()) return plan;
+
+  // Compile the per-processor pipeline directly (one compute task per
+  // block, on the exact processor MCTS chose).
+  std::vector<int> deps;
+  std::size_t previous_node = snap.leader;
+  std::vector<std::size_t> used{snap.leader};
+  double predicted = 0.0;
+  for (const auto& block : search.blocks) {
+    const ProcStage& stage = stages[static_cast<std::size_t>(block.worker)];
+    const std::int64_t bytes = cost.boundary_bytes(block.begin);
+    if (stage.node != previous_node) {
+      runtime::PlanTask transfer;
+      transfer.kind = runtime::PlanTask::Kind::kTransfer;
+      transfer.from = previous_node;
+      transfer.to = stage.node;
+      transfer.bytes = bytes;
+      transfer.deps = deps;
+      transfer.label = "handoff";
+      plan.tasks.push_back(std::move(transfer));
+      deps = {static_cast<int>(plan.tasks.size()) - 1};
+    } else if (!deps.empty()) {
+      runtime::PlanTask exchange;
+      exchange.kind = runtime::PlanTask::Kind::kLocalExchange;
+      exchange.node = stage.node;
+      exchange.from = stage.node;
+      exchange.to = stage.node;
+      exchange.bytes = bytes;
+      exchange.deps = deps;
+      exchange.label = "stage-exchange";
+      plan.tasks.push_back(std::move(exchange));
+      deps = {static_cast<int>(plan.tasks.size()) - 1};
+    }
+    runtime::PlanTask compute;
+    compute.kind = runtime::PlanTask::Kind::kCompute;
+    compute.node = stage.node;
+    compute.proc = stage.proc;
+    compute.seconds = cost.proc_time(stage.node, stage.proc, block.begin, block.end);
+    compute.flops = cost.profile_between(block.begin, block.end).total();
+    compute.deps = deps;
+    compute.label = "pipe-block";
+    plan.tasks.push_back(std::move(compute));
+    deps = {static_cast<int>(plan.tasks.size()) - 1};
+    predicted += compute.seconds;
+    if (std::find(used.begin(), used.end(), stage.node) == used.end()) used.push_back(stage.node);
+    previous_node = stage.node;
+  }
+  if (previous_node != snap.leader) {
+    runtime::PlanTask back;
+    back.kind = runtime::PlanTask::Kind::kTransfer;
+    back.from = previous_node;
+    back.to = snap.leader;
+    back.bytes = cost.boundary_bytes(segments);
+    back.deps = deps;
+    back.label = "logits->leader";
+    plan.tasks.push_back(std::move(back));
+  }
+  plan.nodes_used = static_cast<int>(used.size());
+  plan.predicted_latency_s = search.sum_cost;
+  (void)predicted;
+  return plan;
+}
+
+}  // namespace hidp::baselines

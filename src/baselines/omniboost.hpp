@@ -1,0 +1,42 @@
+// OmniBoost baseline (Karatzas et al., DAC 2023): throughput-oriented model
+// partitioning that pipelines DNN blocks over both CPUs and GPUs, searched
+// with a Monte-Carlo tree and a learned throughput estimator.
+//
+// Adaptation to the distributed setting (as in the paper's evaluation): the
+// pipeline stages are the individual processors of the available nodes
+// (each node contributes its GPU and its fastest CPU cluster). The MCTS
+// reward is the noisy inverse of the evaluated pipeline cost, emulating the
+// estimator trained on the target workloads. The mapping is a one-shot
+// global decision: no adaptive local tier.
+#pragma once
+
+#include "baselines/common.hpp"
+#include "baselines/mcts.hpp"
+
+namespace hidp::baselines {
+
+class OmniboostStrategy : public runtime::IStrategy {
+ public:
+  struct Options {
+    int bytes_per_element = 4;
+    MctsConfig mcts;
+    double planning_latency_s = 30e-3;  ///< MCTS + estimator inference cost
+    std::uint64_t seed = 7;
+  };
+
+  OmniboostStrategy() : OmniboostStrategy(Options{}) {}
+  explicit OmniboostStrategy(Options options)
+      : options_(std::move(options)),
+        cache_(partition::NodeExecutionPolicy::kDefaultProcessor, options_.bytes_per_element),
+        rng_(options_.seed) {}
+
+  std::string name() const override { return "OmniBoost"; }
+  runtime::Plan plan(const dnn::DnnGraph& model, const runtime::ClusterSnapshot& snap) override;
+
+ private:
+  Options options_;
+  CostModelCache cache_;
+  util::Rng rng_;
+};
+
+}  // namespace hidp::baselines

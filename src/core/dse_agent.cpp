@@ -1,0 +1,90 @@
+#include "core/dse_agent.hpp"
+
+#include <algorithm>
+
+namespace hidp::core {
+
+using partition::ClusterCostModel;
+using partition::PartitionMode;
+using partition::PartitionObjective;
+
+std::vector<std::size_t> DseAgent::order_workers(const ClusterCostModel& cost,
+                                                 std::size_t leader,
+                                                 const std::vector<bool>& available) const {
+  std::vector<std::size_t> workers;
+  for (std::size_t j = 0; j < cost.nodes().size(); ++j) {
+    if (j == leader) continue;
+    if (j < available.size() && !available[j]) continue;
+    workers.push_back(j);
+  }
+  std::sort(workers.begin(), workers.end(), [&](std::size_t a, std::size_t b) {
+    return cost.node_rate_gflops(a) > cost.node_rate_gflops(b);
+  });
+  workers.insert(workers.begin(), leader);
+  return workers;
+}
+
+GlobalDecision DseAgent::explore(const ClusterCostModel& cost, std::size_t leader,
+                                 const std::vector<bool>& available, int queue_depth) const {
+  GlobalDecision best;
+  best.workers = order_workers(cost, leader, available);
+  const double q = std::max(queue_depth, 0) * config_.queue_weight;
+  double best_score = std::numeric_limits<double>::infinity();
+
+  auto consider_model = [&](const std::vector<std::size_t>& workers) {
+    auto result = partition::plan_model_partition(cost, workers, leader,
+                                                  PartitionObjective::kMinimizeSum,
+                                                  config_.engine);
+    if (!result.valid) return;
+    const double score = result.latency_s + q * result.bottleneck_s;
+    if (score < best_score) {
+      best_score = score;
+      best.mode = PartitionMode::kModel;
+      best.model = std::move(result);
+      best.data = {};
+      best.latency_s = best.model.latency_s;
+      best.bottleneck_s = best.model.bottleneck_s;
+      best.effective_s = score;
+    }
+  };
+  auto consider_data = [&](const std::vector<std::size_t>& workers) {
+    // HiDP's DSE also searches the split point (paper: "optimal
+    // partitioning points"), not just sigma.
+    auto result = partition::plan_best_data_partition(cost, workers, leader);
+    if (!result.valid) return;
+    // Data partitioning occupies every participant for the whole request.
+    const double score = result.latency_s + q * result.latency_s;
+    if (score < best_score) {
+      best_score = score;
+      best.mode = PartitionMode::kData;
+      best.data = std::move(result);
+      best.model = {};
+      best.latency_s = best.data.latency_s;
+      best.bottleneck_s = best.data.latency_s;
+      best.effective_s = score;
+    }
+  };
+
+  // Theta_omega: model partitioning over the full Psi-ordered worker list
+  // (the DP may leave slower nodes without a block).
+  consider_model(best.workers);
+
+  // Theta_sigma: data partitioning over the sigma fastest workers.
+  for (int sigma : config_.sigma_candidates) {
+    if (sigma < 2) continue;
+    if (static_cast<std::size_t>(sigma) > best.workers.size()) break;
+    std::vector<std::size_t> subset(best.workers.begin(),
+                                    best.workers.begin() + sigma);
+    consider_data(subset);
+  }
+
+  // sigma = 1: the leader alone (with its local partitioning this is often
+  // optimal for small DNNs — exactly the paper's Fig. 8 observation for
+  // small clusters).
+  if (config_.consider_local_only) {
+    consider_model({leader});
+  }
+  return best;
+}
+
+}  // namespace hidp::core

@@ -1,0 +1,70 @@
+// The Design Space Exploration agent (paper §III, Fig. 3).
+//
+// Consulted by both the global and the local partitioner to find the
+// optimal partitioning *mode* (model vs. data) and *points* for a workload:
+// Theta_omega = DPalg(omega, Psi) and Theta_sigma = DPalg(sigma, Psi) at the
+// global level (Alg. 1 lines 4-6); the same search with psi at the local
+// level happens inside partition::best_local_config.
+//
+// Queue-aware objective: a request that arrives while `q` requests are in
+// flight will contend for the same resources, so the agent scores a
+// candidate decision as   Theta_effective = Theta + q * B
+// where Theta is the single-request latency and B the decision's resource
+// bottleneck (max pipeline stage for model mode, full occupancy for data
+// mode). With an empty queue this reduces to pure latency minimisation;
+// under load it prefers decisions that keep nodes free for subsequent
+// requests — the behaviour the paper's Fig. 2 motivates.
+#pragma once
+
+#include <vector>
+
+#include "partition/cost_model.hpp"
+#include "partition/data_partitioner.hpp"
+#include "partition/model_partitioner.hpp"
+
+namespace hidp::core {
+
+struct DseConfig {
+  /// Search engine for model-partitioning cut points.
+  partition::SearchEngine engine = partition::SearchEngine::kExactDp;
+  /// Data-partition widths sigma to explore (bounded by available nodes).
+  std::vector<int> sigma_candidates{2, 3, 4, 5};
+  /// Also consider running everything on the leader (sigma = 1)?
+  bool consider_local_only = true;
+  /// Weight of the bottleneck term per queued request.
+  double queue_weight = 1.0;
+};
+
+/// Outcome of one global exploration.
+struct GlobalDecision {
+  partition::PartitionMode mode = partition::PartitionMode::kNone;
+  partition::ModelPartitionResult model;  ///< valid if mode == kModel
+  partition::DataPartitionResult data;    ///< valid if mode == kData
+  double latency_s = 0.0;                 ///< predicted single-request latency
+  double bottleneck_s = 0.0;              ///< resource occupancy per request
+  double effective_s = 0.0;               ///< queue-aware score
+  std::vector<std::size_t> workers;       ///< nodes considered, Psi order
+};
+
+class DseAgent {
+ public:
+  explicit DseAgent(DseConfig config = {}) : config_(std::move(config)) {}
+
+  const DseConfig& config() const noexcept { return config_; }
+
+  /// Orders available nodes for pipelining/slicing: leader first, then by
+  /// descending computation rate (the global resource vector Psi ordering).
+  std::vector<std::size_t> order_workers(const partition::ClusterCostModel& cost,
+                                         std::size_t leader,
+                                         const std::vector<bool>& available) const;
+
+  /// Explores model and data partitioning over the available nodes and
+  /// returns the minimum-(effective-)latency decision (Alg. 1 lines 4-6).
+  GlobalDecision explore(const partition::ClusterCostModel& cost, std::size_t leader,
+                         const std::vector<bool>& available, int queue_depth) const;
+
+ private:
+  DseConfig config_;
+};
+
+}  // namespace hidp::core

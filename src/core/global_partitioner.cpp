@@ -1,0 +1,28 @@
+#include "core/global_partitioner.hpp"
+
+namespace hidp::core {
+
+runtime::Plan GlobalPartitioner::partition(const partition::ClusterCostModel& cost,
+                                           std::size_t leader,
+                                           const std::vector<bool>& available, int queue_depth,
+                                           const std::string& strategy_name,
+                                           GlobalDecision* decision_out) const {
+  GlobalDecision decision = agent_.explore(cost, leader, available, queue_depth);
+  runtime::Plan plan;
+  switch (decision.mode) {
+    case partition::PartitionMode::kModel:
+      plan = runtime::compile_model_partition(decision.model, cost.nodes(), cost, leader,
+                                              strategy_name);
+      break;
+    case partition::PartitionMode::kData:
+      plan = runtime::compile_data_partition(decision.data, cost.nodes(), cost, leader,
+                                             strategy_name);
+      break;
+    case partition::PartitionMode::kNone:
+      break;
+  }
+  if (decision_out != nullptr) *decision_out = std::move(decision);
+  return plan;
+}
+
+}  // namespace hidp::core

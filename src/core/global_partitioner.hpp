@@ -1,0 +1,28 @@
+// Global DNN Partitioner (paper Fig. 3): turns a DSE decision into an
+// executable plan covering block creation, workload distribution and the
+// inter-node transfers.
+#pragma once
+
+#include "core/dse_agent.hpp"
+#include "runtime/plan.hpp"
+
+namespace hidp::core {
+
+class GlobalPartitioner {
+ public:
+  explicit GlobalPartitioner(DseAgent agent = DseAgent{}) : agent_(std::move(agent)) {}
+
+  const DseAgent& agent() const noexcept { return agent_; }
+
+  /// Explores the design space and compiles the winning decision into a
+  /// plan. `decision_out` (optional) receives the raw DSE outcome.
+  runtime::Plan partition(const partition::ClusterCostModel& cost, std::size_t leader,
+                          const std::vector<bool>& available, int queue_depth,
+                          const std::string& strategy_name,
+                          GlobalDecision* decision_out = nullptr) const;
+
+ private:
+  DseAgent agent_;
+};
+
+}  // namespace hidp::core

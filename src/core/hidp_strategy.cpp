@@ -1,0 +1,56 @@
+#include "core/hidp_strategy.hpp"
+
+namespace hidp::core {
+
+HidpStrategy::HidpStrategy(Options options)
+    : options_(std::move(options)),
+      global_(DseAgent{options_.dse}),
+      rng_(options_.seed),
+      last_fsm_(std::make_unique<RuntimeSchedulerFsm>(FsmRole::kLeader)) {}
+
+partition::ClusterCostModel& HidpStrategy::cost_model(const dnn::DnnGraph& model,
+                                                      const runtime::ClusterSnapshot& snap) {
+  if (cached_nodes_ != snap.nodes) {
+    cache_.clear();  // cluster changed (e.g. Fig. 8 node sweep)
+    cached_nodes_ = snap.nodes;
+  }
+  auto it = cache_.find(&model);
+  if (it == cache_.end()) {
+    it = cache_
+             .emplace(&model, std::make_unique<partition::ClusterCostModel>(
+                                  model, *snap.nodes, snap.network,
+                                  partition::NodeExecutionPolicy::kHierarchicalLocal,
+                                  options_.bytes_per_element))
+             .first;
+  }
+  return *it->second;
+}
+
+runtime::Plan HidpStrategy::plan(const dnn::DnnGraph& model,
+                                 const runtime::ClusterSnapshot& snap) {
+  // Analyze: availability probing with pseudo packets.
+  net::ClusterProber prober(snap.network, /*probe_bytes=*/1024, options_.probe_noise_fraction);
+  std::vector<bool> available = snap.available;
+  double analyze_s = 0.0;
+  if (options_.probe_availability) {
+    const net::ProbeReport report = prober.probe(snap.leader, snap.available, rng_);
+    available = report.available;
+    analyze_s = prober.round_cost_s(snap.leader);
+  }
+
+  // Explore + Offload + Map through the global partitioner / DSE agent.
+  partition::ClusterCostModel& cost = cost_model(model, snap);
+  runtime::Plan plan = global_.partition(cost, snap.leader, available, snap.queue_depth,
+                                         name(), &last_decision_);
+  plan.phases.analyze_s = analyze_s;
+  plan.phases.explore_s = options_.explore_latency_s;
+  plan.phases.map_s = options_.map_latency_s;
+
+  // Drive the paper's FSM for this planning round (trace for tests/examples).
+  last_fsm_ = std::make_unique<RuntimeSchedulerFsm>(FsmRole::kLeader);
+  last_fsm_->run_leader_round(snap.now_s, analyze_s, options_.explore_latency_s,
+                              options_.map_latency_s, plan.predicted_latency_s);
+  return plan;
+}
+
+}  // namespace hidp::core

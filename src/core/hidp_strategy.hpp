@@ -1,0 +1,67 @@
+// HiDP — the paper's contribution, packaged as an execution strategy.
+//
+// Per request (paper Alg. 1 and Fig. 4):
+//  1. Analyze — probe cluster availability and communication rates (pseudo
+//     packets through net::ClusterProber).
+//  2. Explore — global DSE over model/data partitioning with the
+//     *hierarchical* node execution policy: every candidate block is costed
+//     assuming the node will run it under its best local configuration.
+//  3. Global:Offload — compile block distribution into transfer tasks.
+//  4. Local:Map — the chosen local configurations become per-processor
+//     compute tasks (data-parallel slices or processor pipelines).
+//  5. Execute — the engine replays the plan on the DES cluster.
+//
+// The FSM phase costs (Analyze/Explore/Map) are charged to every request;
+// the defaults follow the paper's measured 15 ms DP exploration overhead.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "core/global_partitioner.hpp"
+#include "core/scheduler_fsm.hpp"
+#include "net/prober.hpp"
+#include "runtime/engine.hpp"
+#include "util/rng.hpp"
+
+namespace hidp::core {
+
+class HidpStrategy : public runtime::IStrategy {
+ public:
+  struct Options {
+    DseConfig dse;
+    int bytes_per_element = 4;
+    /// Explore (global DSE) + Map (local DSE) planning cost charged per
+    /// request; paper §IV-A reports 15 ms on the evaluation boards.
+    double explore_latency_s = 0.010;
+    double map_latency_s = 0.005;
+    bool probe_availability = true;  ///< Analyze-state pseudo packets
+    double probe_noise_fraction = 0.05;
+    std::uint64_t seed = 42;
+  };
+
+  HidpStrategy() : HidpStrategy(Options{}) {}
+  explicit HidpStrategy(Options options);
+
+  std::string name() const override { return "HiDP"; }
+  runtime::Plan plan(const dnn::DnnGraph& model, const runtime::ClusterSnapshot& snap) override;
+
+  /// DSE outcome and FSM trace of the most recent plan() call.
+  const GlobalDecision& last_decision() const noexcept { return last_decision_; }
+  const RuntimeSchedulerFsm& last_fsm() const noexcept { return *last_fsm_; }
+
+ private:
+  partition::ClusterCostModel& cost_model(const dnn::DnnGraph& model,
+                                          const runtime::ClusterSnapshot& snap);
+
+  Options options_;
+  GlobalPartitioner global_;
+  util::Rng rng_;
+  GlobalDecision last_decision_;
+  std::unique_ptr<RuntimeSchedulerFsm> last_fsm_;
+  std::unordered_map<const dnn::DnnGraph*, std::unique_ptr<partition::ClusterCostModel>> cache_;
+  const std::vector<platform::NodeModel>* cached_nodes_ = nullptr;
+};
+
+}  // namespace hidp::core

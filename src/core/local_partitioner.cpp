@@ -1,0 +1,51 @@
+#include "core/local_partitioner.hpp"
+
+#include <bit>
+#include <cmath>
+
+namespace hidp::core {
+
+namespace {
+
+/// FLOP-signature hash of (work, io) for memoisation.
+std::uint64_t signature(const platform::WorkProfile& work, std::int64_t io_bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ULL;
+  };
+  for (int k = 0; k < dnn::kLayerKindCount; ++k) {
+    mix(std::bit_cast<std::uint64_t>(work.flops_of(static_cast<dnn::LayerKind>(k))));
+  }
+  mix(static_cast<std::uint64_t>(io_bytes));
+  return h;
+}
+
+}  // namespace
+
+partition::LocalDecision LocalPartitioner::decide(const platform::WorkProfile& work,
+                                                  std::int64_t io_bytes) {
+  const std::uint64_t key = signature(work, io_bytes);
+  auto it = cache_.find(key);
+  if (it == cache_.end()) {
+    it = cache_.emplace(key, partition::best_local_config(*node_, work, io_bytes, space_)).first;
+  }
+  return it->second;
+}
+
+partition::LocalDecision LocalPartitioner::default_decision(const platform::WorkProfile& work,
+                                                            std::int64_t io_bytes) const {
+  partition::LocalDecision decision;
+  decision.config = partition::default_processor_config(*node_, work);
+  decision.latency_s = partition::estimate_local_latency(*node_, work, decision.config, io_bytes);
+  return decision;
+}
+
+double LocalPartitioner::local_gain(const platform::WorkProfile& work, std::int64_t io_bytes) {
+  const double base = default_decision(work, io_bytes).latency_s;
+  if (base <= 0.0) return 0.0;
+  const double dse = decide(work, io_bytes).latency_s;
+  return (base - dse) / base;
+}
+
+}  // namespace hidp::core

@@ -1,0 +1,46 @@
+// Local DNN Partitioner (paper Fig. 3): refines a node's assigned block
+// across its heterogeneous processors via the local DSE search
+// (theta = min(theta_omega, theta_sigma), Alg. 1 lines 8-10).
+//
+// The heavy lifting lives in partition::best_local_config; this facade adds
+// the paper's module boundary, per-node memoisation and trace reporting so
+// examples/tests can inspect local decisions independently of the global
+// tier.
+#pragma once
+
+#include <unordered_map>
+
+#include "partition/local_config.hpp"
+
+namespace hidp::core {
+
+class LocalPartitioner {
+ public:
+  explicit LocalPartitioner(const platform::NodeModel& node,
+                            partition::LocalSearchSpace space = {})
+      : node_(&node), space_(std::move(space)) {}
+
+  const platform::NodeModel& node() const noexcept { return *node_; }
+
+  /// Finds the best intra-node configuration for a block of `work` with
+  /// `io_bytes` boundary traffic. Decisions are memoised on the work
+  /// profile's FLOP signature (repeated blocks are common in streams).
+  partition::LocalDecision decide(const platform::WorkProfile& work, std::int64_t io_bytes);
+
+  /// The framework-default placement this node would use without HiDP.
+  partition::LocalDecision default_decision(const platform::WorkProfile& work,
+                                            std::int64_t io_bytes) const;
+
+  /// Latency improvement of the DSE decision over the default placement,
+  /// as a fraction of the default (0 = no gain).
+  double local_gain(const platform::WorkProfile& work, std::int64_t io_bytes);
+
+  std::size_t cache_size() const noexcept { return cache_.size(); }
+
+ private:
+  const platform::NodeModel* node_;
+  partition::LocalSearchSpace space_;
+  std::unordered_map<std::uint64_t, partition::LocalDecision> cache_;
+};
+
+}  // namespace hidp::core

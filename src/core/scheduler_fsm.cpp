@@ -1,0 +1,74 @@
+#include "core/scheduler_fsm.hpp"
+
+namespace hidp::core {
+
+std::string_view fsm_state_name(FsmState state) noexcept {
+  switch (state) {
+    case FsmState::kAnalyze: return "Analyze";
+    case FsmState::kExplore: return "Explore";
+    case FsmState::kGlobalOffload: return "Global:Offload";
+    case FsmState::kLocalMap: return "Local:Map";
+    case FsmState::kExecute: return "Execute";
+  }
+  return "?";
+}
+
+bool RuntimeSchedulerFsm::legal(FsmRole role, FsmState from, FsmState to) noexcept {
+  using enum FsmState;
+  if (role == FsmRole::kLeader) {
+    switch (from) {
+      case kAnalyze: return to == kExplore;
+      case kExplore: return to == kGlobalOffload;
+      case kGlobalOffload: return to == kLocalMap || to == kAnalyze;  // offload or merge
+      case kLocalMap: return to == kExecute;
+      case kExecute: return to == kGlobalOffload;  // gather results, then merge
+    }
+    return false;
+  }
+  // Follower: Analyze (receive) -> Local:Map -> Execute -> Analyze (report).
+  switch (from) {
+    case kAnalyze: return to == kLocalMap;
+    case kLocalMap: return to == kExecute;
+    case kExecute: return to == kAnalyze;
+    case kExplore:
+    case kGlobalOffload: return false;
+  }
+  return false;
+}
+
+void RuntimeSchedulerFsm::transition(FsmState next, double at_s) {
+  if (!legal(role_, state_, next)) {
+    throw std::logic_error(std::string("illegal FSM transition ") +
+                           std::string(fsm_state_name(state_)) + " -> " +
+                           std::string(fsm_state_name(next)));
+  }
+  trace_.push_back(FsmTransition{state_, next, at_s});
+  state_ = next;
+}
+
+double RuntimeSchedulerFsm::run_leader_round(double t0, double analyze_s, double explore_s,
+                                             double map_s, double execute_s) {
+  double t = t0 + analyze_s;
+  transition(FsmState::kExplore, t);
+  t += explore_s;
+  transition(FsmState::kGlobalOffload, t);
+  transition(FsmState::kLocalMap, t);
+  t += map_s;
+  transition(FsmState::kExecute, t);
+  t += execute_s;
+  transition(FsmState::kGlobalOffload, t);  // gather + merge
+  transition(FsmState::kAnalyze, t);
+  return t - t0;
+}
+
+double RuntimeSchedulerFsm::run_follower_round(double t0, double map_s, double execute_s) {
+  double t = t0;
+  transition(FsmState::kLocalMap, t);
+  t += map_s;
+  transition(FsmState::kExecute, t);
+  t += execute_s;
+  transition(FsmState::kAnalyze, t);
+  return t - t0;
+}
+
+}  // namespace hidp::core

@@ -1,0 +1,68 @@
+#include "dnn/cut_analysis.hpp"
+
+#include <algorithm>
+
+namespace hidp::dnn {
+
+namespace {
+
+/// Largest consumer id per layer (or the layer's own id if unconsumed).
+std::vector<int> last_consumer(const DnnGraph& graph) {
+  std::vector<int> last(graph.size());
+  for (std::size_t i = 0; i < graph.size(); ++i) {
+    int hi = static_cast<int>(i);
+    for (int c : graph.consumers(static_cast<int>(i))) hi = std::max(hi, c);
+    last[i] = hi;
+  }
+  return last;
+}
+
+}  // namespace
+
+std::vector<CutPoint> analyze_cuts(const DnnGraph& graph, int bytes_per_element) {
+  std::vector<CutPoint> cuts;
+  if (graph.size() < 2) return cuts;
+  const std::vector<int> last = last_consumer(graph);
+  const int n = static_cast<int>(graph.size());
+  cuts.reserve(static_cast<std::size_t>(n - 1));
+  for (int p = 1; p < n; ++p) {
+    CutPoint cut;
+    cut.position = p;
+    for (int u = 0; u < p; ++u) {
+      if (last[static_cast<std::size_t>(u)] >= p) {
+        cut.crossing.push_back(u);
+        cut.bytes += graph.output_bytes(u, bytes_per_element);
+      }
+    }
+    cuts.push_back(std::move(cut));
+  }
+  return cuts;
+}
+
+std::vector<int> clean_cut_positions(const DnnGraph& graph) {
+  std::vector<int> positions;
+  for (const CutPoint& cut : analyze_cuts(graph)) {
+    if (cut.clean()) positions.push_back(cut.position);
+  }
+  return positions;
+}
+
+std::vector<double> prefix_flops(const DnnGraph& graph) {
+  std::vector<double> prefix(graph.size() + 1, 0.0);
+  for (std::size_t i = 0; i < graph.size(); ++i) {
+    prefix[i + 1] = prefix[i] + graph.layers()[i].flops;
+  }
+  return prefix;
+}
+
+std::int64_t cut_bytes(const DnnGraph& graph, int position, int bytes_per_element) {
+  if (position <= 0 || position >= static_cast<int>(graph.size())) return 0;
+  const std::vector<int> last = last_consumer(graph);
+  std::int64_t bytes = 0;
+  for (int u = 0; u < position; ++u) {
+    if (last[static_cast<std::size_t>(u)] >= position) bytes += graph.output_bytes(u, bytes_per_element);
+  }
+  return bytes;
+}
+
+}  // namespace hidp::dnn

@@ -1,0 +1,39 @@
+// Cut-point analysis for model (layer-wise) partitioning.
+//
+// A cut at position p splits the id-ordered layer sequence into a prefix
+// [0, p) and suffix [p, n). Because insertion order is topological, every
+// edge crossing the cut flows prefix -> suffix; the bytes of the distinct
+// producer tensors crossing the cut is exactly the data a pipelined block
+// boundary must transfer between devices. "Clean" cuts (a single tensor
+// crossing) are the natural block boundaries the paper's global partitioner
+// picks between residual/inception blocks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dnn/graph.hpp"
+
+namespace hidp::dnn {
+
+/// One candidate cut position.
+struct CutPoint {
+  int position = 0;                 ///< split before layer `position`
+  std::vector<int> crossing;        ///< producer layer ids whose tensors cross
+  std::int64_t bytes = 0;           ///< total activation bytes crossing
+  bool clean() const noexcept { return crossing.size() == 1; }
+};
+
+/// All interior cut positions 1..n-1 with crossing-tensor analysis.
+std::vector<CutPoint> analyze_cuts(const DnnGraph& graph, int bytes_per_element = 4);
+
+/// Positions of clean cuts only (single tensor crossing), ascending.
+std::vector<int> clean_cut_positions(const DnnGraph& graph);
+
+/// Prefix FLOPs: out[i] = FLOPs of layers [0, i). Size n+1.
+std::vector<double> prefix_flops(const DnnGraph& graph);
+
+/// Bytes crossing a specific cut position (sum over distinct producers).
+std::int64_t cut_bytes(const DnnGraph& graph, int position, int bytes_per_element = 4);
+
+}  // namespace hidp::dnn

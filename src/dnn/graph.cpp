@@ -1,0 +1,188 @@
+#include "dnn/graph.hpp"
+
+#include <sstream>
+
+namespace hidp::dnn {
+
+int DnnGraph::add_input(int channels, int height, int width, const std::string& name) {
+  if (!layers_.empty()) throw std::invalid_argument("input must be the first layer");
+  Layer layer;
+  layer.kind = LayerKind::kInput;
+  layer.name = name;
+  layer.output = Shape{channels, height, width};
+  return push(std::move(layer));
+}
+
+int DnnGraph::add_layer(LayerKind kind, const LayerParams& params, std::vector<int> inputs,
+                        std::string name) {
+  if (layers_.empty()) throw std::invalid_argument("add the network input first");
+  if (kind == LayerKind::kInput) throw std::invalid_argument("only one input layer allowed");
+  if (inputs.empty()) throw std::invalid_argument("non-input layer needs inputs");
+  std::vector<Shape> in_shapes;
+  in_shapes.reserve(inputs.size());
+  for (int id : inputs) {
+    if (id < 0 || static_cast<std::size_t>(id) >= layers_.size()) {
+      throw std::invalid_argument("layer input id out of range");
+    }
+    in_shapes.push_back(layers_[static_cast<std::size_t>(id)].output);
+  }
+  Layer layer;
+  layer.kind = kind;
+  layer.params = params;
+  layer.inputs = std::move(inputs);
+  layer.name = name.empty()
+                   ? std::string(layer_kind_name(kind)) + "_" + std::to_string(layers_.size())
+                   : std::move(name);
+  layer.output = infer_output_shape(kind, params, in_shapes);
+  layer.flops = layer_flops(kind, params, in_shapes, layer.output);
+  layer.weight_bytes = layer_weight_bytes(kind, params, in_shapes);
+  return push(std::move(layer));
+}
+
+int DnnGraph::push(Layer layer) {
+  layer.id = static_cast<int>(layers_.size());
+  total_flops_ += layer.flops;
+  total_weight_bytes_ += layer.weight_bytes;
+  consumers_.emplace_back();
+  for (int in : layer.inputs) consumers_[static_cast<std::size_t>(in)].push_back(layer.id);
+  // Maintain the spatially-local prefix watermark.
+  if (spatial_prefix_end_ == layer.id && is_spatially_local(layer.kind)) {
+    spatial_prefix_end_ = layer.id + 1;
+  }
+  layers_.push_back(std::move(layer));
+  return layers_.back().id;
+}
+
+int DnnGraph::conv(int input, int out_channels, int kernel, int stride, bool same,
+                   Activation act, const std::string& name) {
+  LayerParams p;
+  p.kernel = kernel;
+  p.stride = stride;
+  p.same_padding = same;
+  p.out_channels = out_channels;
+  p.activation = act;
+  return add_layer(LayerKind::kConv2D, p, {input}, name);
+}
+
+int DnnGraph::depthwise_conv(int input, int kernel, int stride, bool same, Activation act,
+                             const std::string& name) {
+  LayerParams p;
+  p.kernel = kernel;
+  p.stride = stride;
+  p.same_padding = same;
+  p.activation = act;
+  return add_layer(LayerKind::kDepthwiseConv2D, p, {input}, name);
+}
+
+int DnnGraph::max_pool(int input, int kernel, int stride, bool same, const std::string& name) {
+  LayerParams p;
+  p.kernel = kernel;
+  p.stride = stride;
+  p.same_padding = same;
+  return add_layer(LayerKind::kMaxPool2D, p, {input}, name);
+}
+
+int DnnGraph::avg_pool(int input, int kernel, int stride, bool same, const std::string& name) {
+  LayerParams p;
+  p.kernel = kernel;
+  p.stride = stride;
+  p.same_padding = same;
+  return add_layer(LayerKind::kAvgPool2D, p, {input}, name);
+}
+
+int DnnGraph::global_avg_pool(int input, const std::string& name) {
+  return add_layer(LayerKind::kGlobalAvgPool, LayerParams{}, {input}, name);
+}
+
+int DnnGraph::dense(int input, int units, Activation act, const std::string& name) {
+  LayerParams p;
+  p.out_channels = units;
+  p.activation = act;
+  return add_layer(LayerKind::kDense, p, {input}, name);
+}
+
+int DnnGraph::flatten(int input, const std::string& name) {
+  return add_layer(LayerKind::kFlatten, LayerParams{}, {input}, name);
+}
+
+int DnnGraph::batch_norm(int input, Activation act, const std::string& name) {
+  LayerParams p;
+  p.activation = act;
+  return add_layer(LayerKind::kBatchNorm, p, {input}, name);
+}
+
+int DnnGraph::activation(int input, Activation act, const std::string& name) {
+  LayerParams p;
+  p.activation = act;
+  return add_layer(LayerKind::kActivation, p, {input}, name);
+}
+
+int DnnGraph::add(std::vector<int> inputs, Activation act, const std::string& name) {
+  LayerParams p;
+  p.activation = act;
+  return add_layer(LayerKind::kAdd, p, std::move(inputs), name);
+}
+
+int DnnGraph::concat(std::vector<int> inputs, const std::string& name) {
+  return add_layer(LayerKind::kConcat, LayerParams{}, std::move(inputs), name);
+}
+
+int DnnGraph::softmax(int input, const std::string& name) {
+  return add_layer(LayerKind::kSoftmax, LayerParams{}, {input}, name);
+}
+
+int DnnGraph::squeeze_excite(int input, int reduced, const std::string& name) {
+  LayerParams p;
+  p.out_channels = reduced;
+  return add_layer(LayerKind::kSqueezeExcite, p, {input}, name);
+}
+
+double DnnGraph::range_flops(int begin, int end) const {
+  double total = 0.0;
+  for (int i = std::max(begin, 0); i < std::min<int>(end, static_cast<int>(layers_.size())); ++i) {
+    total += layers_[static_cast<std::size_t>(i)].flops;
+  }
+  return total;
+}
+
+std::int64_t DnnGraph::range_weight_bytes(int begin, int end) const {
+  std::int64_t total = 0;
+  for (int i = std::max(begin, 0); i < std::min<int>(end, static_cast<int>(layers_.size())); ++i) {
+    total += layers_[static_cast<std::size_t>(i)].weight_bytes;
+  }
+  return total;
+}
+
+void DnnGraph::check_invariants() const {
+  if (layers_.empty()) return;
+  if (layers_.front().kind != LayerKind::kInput) throw std::logic_error("first layer must be input");
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    const Layer& layer = layers_[i];
+    if (layer.id != static_cast<int>(i)) throw std::logic_error("non-consecutive layer ids");
+    for (int in : layer.inputs) {
+      if (in >= layer.id) throw std::logic_error("input id not earlier than layer");
+      const auto& cons = consumers_[static_cast<std::size_t>(in)];
+      bool found = false;
+      for (int c : cons) found = found || (c == layer.id);
+      if (!found) throw std::logic_error("consumer list inconsistent");
+    }
+    if (layer.flops < 0.0) throw std::logic_error("negative flops");
+  }
+}
+
+std::string summarize(const DnnGraph& graph, std::size_t max_layers) {
+  std::ostringstream out;
+  out << graph.name() << ": " << graph.size() << " layers, "
+      << graph.total_flops() / 1e9 << " GFLOPs, "
+      << static_cast<double>(graph.total_weight_bytes()) / 1e6 << " MB weights\n";
+  const std::size_t n = max_layers == 0 ? graph.size() : std::min(max_layers, graph.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const Layer& l = graph.layers()[i];
+    out << "  [" << l.id << "] " << layer_kind_name(l.kind) << " '" << l.name << "' -> "
+        << l.output.channels << "x" << l.output.height << "x" << l.output.width << ", "
+        << l.flops / 1e6 << " MFLOPs\n";
+  }
+  return out.str();
+}
+
+}  // namespace hidp::dnn

@@ -1,0 +1,106 @@
+// DNN DAG container with shape/FLOP inference at construction time.
+//
+// Layers are added in topological order (every input id < the new layer id),
+// which matches how the zoo builders construct real architectures and makes
+// the insertion order a valid topological order for all partitioning code.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "dnn/layer.hpp"
+
+namespace hidp::dnn {
+
+class DnnGraph {
+ public:
+  explicit DnnGraph(std::string name = "dnn") : name_(std::move(name)) {}
+
+  const std::string& name() const noexcept { return name_; }
+
+  /// Adds the network input. Must be the first layer.
+  int add_input(int channels, int height, int width, const std::string& name = "input");
+
+  /// Adds a layer consuming `inputs` (ids of earlier layers). Returns the
+  /// new layer id. Throws std::invalid_argument on malformed wiring.
+  int add_layer(LayerKind kind, const LayerParams& params, std::vector<int> inputs,
+                std::string name = {});
+
+  // ---- convenience builders used by the model zoo -------------------------
+
+  int conv(int input, int out_channels, int kernel, int stride, bool same,
+           Activation act = Activation::kNone, const std::string& name = {});
+  int depthwise_conv(int input, int kernel, int stride, bool same,
+                     Activation act = Activation::kNone, const std::string& name = {});
+  int max_pool(int input, int kernel, int stride, bool same = false, const std::string& name = {});
+  int avg_pool(int input, int kernel, int stride, bool same = false, const std::string& name = {});
+  int global_avg_pool(int input, const std::string& name = {});
+  int dense(int input, int units, Activation act = Activation::kNone, const std::string& name = {});
+  int flatten(int input, const std::string& name = {});
+  int batch_norm(int input, Activation act = Activation::kNone, const std::string& name = {});
+  int activation(int input, Activation act, const std::string& name = {});
+  int add(std::vector<int> inputs, Activation act = Activation::kNone, const std::string& name = {});
+  int concat(std::vector<int> inputs, const std::string& name = {});
+  int softmax(int input, const std::string& name = {});
+  /// Squeeze-and-Excitation with `reduced` hidden units (0 -> channels/4).
+  int squeeze_excite(int input, int reduced = 0, const std::string& name = {});
+
+  // ---- queries -------------------------------------------------------------
+
+  std::size_t size() const noexcept { return layers_.size(); }
+  bool empty() const noexcept { return layers_.empty(); }
+  const Layer& layer(int id) const { return layers_.at(static_cast<std::size_t>(id)); }
+  const std::vector<Layer>& layers() const noexcept { return layers_; }
+
+  /// Ids of layers consuming `id`'s output.
+  const std::vector<int>& consumers(int id) const { return consumers_.at(static_cast<std::size_t>(id)); }
+
+  /// Total forward FLOPs of the network.
+  double total_flops() const noexcept { return total_flops_; }
+
+  /// Total parameter bytes.
+  std::int64_t total_weight_bytes() const noexcept { return total_weight_bytes_; }
+
+  /// Sum of FLOPs of layers [begin, end) in id order.
+  double range_flops(int begin, int end) const;
+
+  /// Sum of parameter bytes of layers [begin, end).
+  std::int64_t range_weight_bytes(int begin, int end) const;
+
+  /// Activation bytes of layer `id`'s output tensor.
+  std::int64_t output_bytes(int id, int bytes_per_element = 4) const {
+    return layer(id).output.bytes(bytes_per_element);
+  }
+
+  /// Input tensor shape (layer 0).
+  const Shape& input_shape() const { return layer(0).output; }
+
+  /// Output tensor shape (last layer).
+  const Shape& output_shape() const { return layers_.back().output; }
+
+  /// Length of the longest prefix [0, n) in which every layer is spatially
+  /// local — the region that admits row-wise data partitioning. The
+  /// remainder (classifier head) must run unsplit.
+  int spatial_prefix_end() const noexcept { return spatial_prefix_end_; }
+
+  /// Validates DAG invariants (ids consecutive, inputs earlier, consumers
+  /// consistent). Throws std::logic_error if violated. Used by tests.
+  void check_invariants() const;
+
+ private:
+  int push(Layer layer);
+
+  std::string name_;
+  std::vector<Layer> layers_;
+  std::vector<std::vector<int>> consumers_;
+  double total_flops_ = 0.0;
+  std::int64_t total_weight_bytes_ = 0;
+  int spatial_prefix_end_ = 0;
+};
+
+/// Pretty one-line-per-layer dump (name, kind, shape, MFLOPs) for debugging.
+std::string summarize(const DnnGraph& graph, std::size_t max_layers = 0);
+
+}  // namespace hidp::dnn

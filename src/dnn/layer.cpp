@@ -1,0 +1,284 @@
+#include "dnn/layer.hpp"
+
+#include <stdexcept>
+
+namespace hidp::dnn {
+
+namespace {
+
+/// Output extent of a strided window op over one axis.
+int window_output(int input, int kernel, int stride, int padding, bool same) {
+  if (stride <= 0) throw std::invalid_argument("stride must be positive");
+  if (same) return (input + stride - 1) / stride;  // ceil(input / stride)
+  const int padded = input + 2 * padding;
+  if (padded < kernel) throw std::invalid_argument("kernel larger than padded input");
+  return (padded - kernel) / stride + 1;
+}
+
+const Shape& sole_input(const std::vector<Shape>& inputs, const char* what) {
+  if (inputs.size() != 1) throw std::invalid_argument(std::string(what) + ": expects exactly one input");
+  return inputs.front();
+}
+
+double activation_flops_per_element(Activation act) noexcept {
+  switch (act) {
+    case Activation::kNone: return 0.0;
+    case Activation::kRelu: return 1.0;
+    case Activation::kRelu6: return 2.0;
+    case Activation::kSwish: return 5.0;   // sigmoid (4) + multiply
+    case Activation::kSigmoid: return 4.0;  // exp + add + div + negate
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+std::string_view layer_kind_name(LayerKind kind) noexcept {
+  switch (kind) {
+    case LayerKind::kInput: return "Input";
+    case LayerKind::kConv2D: return "Conv2D";
+    case LayerKind::kDepthwiseConv2D: return "DepthwiseConv2D";
+    case LayerKind::kMaxPool2D: return "MaxPool2D";
+    case LayerKind::kAvgPool2D: return "AvgPool2D";
+    case LayerKind::kGlobalAvgPool: return "GlobalAvgPool";
+    case LayerKind::kDense: return "Dense";
+    case LayerKind::kFlatten: return "Flatten";
+    case LayerKind::kBatchNorm: return "BatchNorm";
+    case LayerKind::kActivation: return "Activation";
+    case LayerKind::kAdd: return "Add";
+    case LayerKind::kConcat: return "Concat";
+    case LayerKind::kSoftmax: return "Softmax";
+    case LayerKind::kSqueezeExcite: return "SqueezeExcite";
+  }
+  return "?";
+}
+
+bool is_spatially_local(LayerKind kind) noexcept {
+  switch (kind) {
+    case LayerKind::kInput:
+    case LayerKind::kConv2D:
+    case LayerKind::kDepthwiseConv2D:
+    case LayerKind::kMaxPool2D:
+    case LayerKind::kAvgPool2D:
+    case LayerKind::kBatchNorm:
+    case LayerKind::kActivation:
+    case LayerKind::kAdd:
+    case LayerKind::kConcat:
+    case LayerKind::kSqueezeExcite:
+      return true;
+    case LayerKind::kGlobalAvgPool:
+    case LayerKind::kDense:
+    case LayerKind::kFlatten:
+    case LayerKind::kSoftmax:
+      return false;
+  }
+  return false;
+}
+
+bool has_weights(LayerKind kind) noexcept {
+  switch (kind) {
+    case LayerKind::kConv2D:
+    case LayerKind::kDepthwiseConv2D:
+    case LayerKind::kDense:
+    case LayerKind::kBatchNorm:
+    case LayerKind::kSqueezeExcite:
+      return true;
+    default:
+      return false;
+  }
+}
+
+namespace {
+int same_padding_amount(int kernel, int stride, int input_extent) noexcept {
+  // TF SAME: total pad = max((ceil(in/s)-1)*s + k - in, 0); we model the
+  // symmetric equivalent (the asymmetric remainder is one row at most and
+  // does not change any partitioning quantity we compute).
+  const int out = (input_extent + stride - 1) / stride;
+  const int total = std::max((out - 1) * stride + kernel - input_extent, 0);
+  return total / 2;
+}
+}  // namespace
+
+int resolved_padding(const LayerParams& params, int input_extent) noexcept {
+  if (!params.same_padding) return params.padding;
+  return same_padding_amount(params.kernel, params.stride, input_extent);
+}
+
+int resolved_padding_w(const LayerParams& params, int input_extent) noexcept {
+  if (!params.same_padding) return params.padding;
+  return same_padding_amount(params.kernel_width(), params.stride, input_extent);
+}
+
+Shape infer_output_shape(LayerKind kind, const LayerParams& params,
+                         const std::vector<Shape>& inputs) {
+  switch (kind) {
+    case LayerKind::kInput: {
+      if (!inputs.empty()) throw std::invalid_argument("Input layer takes no inputs");
+      return Shape{params.out_channels, params.kernel, params.kernel};  // set by builder
+    }
+    case LayerKind::kConv2D: {
+      const Shape& in = sole_input(inputs, "Conv2D");
+      const int oh = window_output(in.height, params.kernel, params.stride,
+                                   resolved_padding(params, in.height), params.same_padding);
+      const int ow = window_output(in.width, params.kernel_width(), params.stride,
+                                   resolved_padding_w(params, in.width), params.same_padding);
+      return Shape{params.out_channels, oh, ow};
+    }
+    case LayerKind::kDepthwiseConv2D: {
+      const Shape& in = sole_input(inputs, "DepthwiseConv2D");
+      const int oh = window_output(in.height, params.kernel, params.stride,
+                                   resolved_padding(params, in.height), params.same_padding);
+      const int ow = window_output(in.width, params.kernel_width(), params.stride,
+                                   resolved_padding_w(params, in.width), params.same_padding);
+      return Shape{in.channels, oh, ow};
+    }
+    case LayerKind::kMaxPool2D:
+    case LayerKind::kAvgPool2D: {
+      const Shape& in = sole_input(inputs, "Pool2D");
+      const int oh = window_output(in.height, params.kernel, params.stride,
+                                   resolved_padding(params, in.height), params.same_padding);
+      const int ow = window_output(in.width, params.kernel_width(), params.stride,
+                                   resolved_padding_w(params, in.width), params.same_padding);
+      return Shape{in.channels, oh, ow};
+    }
+    case LayerKind::kSqueezeExcite: {
+      return sole_input(inputs, "SqueezeExcite");
+    }
+    case LayerKind::kGlobalAvgPool: {
+      const Shape& in = sole_input(inputs, "GlobalAvgPool");
+      return Shape{in.channels, 1, 1};
+    }
+    case LayerKind::kDense: {
+      sole_input(inputs, "Dense");  // validates arity
+      return Shape{params.out_channels, 1, 1};
+    }
+    case LayerKind::kFlatten: {
+      const Shape& in = sole_input(inputs, "Flatten");
+      return Shape{static_cast<int>(in.elements()), 1, 1};
+    }
+    case LayerKind::kBatchNorm:
+    case LayerKind::kActivation:
+    case LayerKind::kSoftmax: {
+      return sole_input(inputs, "elementwise");
+    }
+    case LayerKind::kAdd: {
+      if (inputs.size() < 2) throw std::invalid_argument("Add: expects >=2 inputs");
+      for (const Shape& s : inputs) {
+        if (!(s == inputs.front())) throw std::invalid_argument("Add: shape mismatch");
+      }
+      return inputs.front();
+    }
+    case LayerKind::kConcat: {
+      if (inputs.size() < 2) throw std::invalid_argument("Concat: expects >=2 inputs");
+      Shape out = inputs.front();
+      for (std::size_t i = 1; i < inputs.size(); ++i) {
+        if (inputs[i].height != out.height || inputs[i].width != out.width) {
+          throw std::invalid_argument("Concat: spatial dims mismatch");
+        }
+        out.channels += inputs[i].channels;
+      }
+      return out;
+    }
+  }
+  throw std::invalid_argument("unknown layer kind");
+}
+
+double layer_flops(LayerKind kind, const LayerParams& params,
+                   const std::vector<Shape>& inputs, const Shape& output) noexcept {
+  const double out_elems = static_cast<double>(output.elements());
+  const double fused_act = activation_flops_per_element(params.activation) * out_elems;
+  switch (kind) {
+    case LayerKind::kInput:
+    case LayerKind::kFlatten:
+      return 0.0;
+    case LayerKind::kConv2D: {
+      const double in_c = inputs.empty() ? 0.0 : static_cast<double>(inputs.front().channels);
+      const double k2 = static_cast<double>(params.kernel) * params.kernel_width();
+      double f = 2.0 * k2 * in_c * out_elems;  // out_elems == out_c*oh*ow
+      if (params.use_bias) f += out_elems;
+      return f + fused_act;
+    }
+    case LayerKind::kDepthwiseConv2D: {
+      const double k2 = static_cast<double>(params.kernel) * params.kernel_width();
+      double f = 2.0 * k2 * out_elems;
+      if (params.use_bias) f += out_elems;
+      return f + fused_act;
+    }
+    case LayerKind::kMaxPool2D:
+    case LayerKind::kAvgPool2D: {
+      const double k2 = static_cast<double>(params.kernel) * params.kernel_width();
+      return k2 * out_elems;
+    }
+    case LayerKind::kGlobalAvgPool:
+      return inputs.empty() ? 0.0 : static_cast<double>(inputs.front().elements());
+    case LayerKind::kDense: {
+      const double in_f = inputs.empty() ? 0.0 : static_cast<double>(inputs.front().elements());
+      double f = 2.0 * in_f * out_elems;
+      if (params.use_bias) f += out_elems;
+      return f + fused_act;
+    }
+    case LayerKind::kBatchNorm:
+      return 2.0 * out_elems + fused_act;  // folded scale + shift
+    case LayerKind::kActivation:
+      return activation_flops_per_element(params.activation) * out_elems;
+    case LayerKind::kAdd:
+      return static_cast<double>(inputs.size() - 1) * out_elems + fused_act;
+    case LayerKind::kConcat:
+      return 0.0;  // memory movement only
+    case LayerKind::kSoftmax:
+      return 5.0 * out_elems;
+    case LayerKind::kSqueezeExcite: {
+      // global pool + FC(c->r) + FC(r->c) + sigmoid + channel scale
+      const double c = static_cast<double>(output.channels);
+      const double r = params.out_channels > 0 ? params.out_channels : c / 4.0;
+      return out_elems                 // pooling reads every element
+             + 2.0 * c * r + 2.0 * r * c  // two dense layers
+             + 4.0 * c                  // sigmoid gate
+             + out_elems;               // channel-wise rescale
+    }
+  }
+  return 0.0;
+}
+
+std::int64_t layer_weight_bytes(LayerKind kind, const LayerParams& params,
+                                const std::vector<Shape>& inputs) noexcept {
+  constexpr std::int64_t kFloat = 4;
+  switch (kind) {
+    case LayerKind::kConv2D: {
+      const std::int64_t in_c = inputs.empty() ? 0 : inputs.front().channels;
+      std::int64_t n = static_cast<std::int64_t>(params.kernel) * params.kernel_width() * in_c * params.out_channels;
+      if (params.use_bias) n += params.out_channels;
+      return n * kFloat;
+    }
+    case LayerKind::kDepthwiseConv2D: {
+      const std::int64_t in_c = inputs.empty() ? 0 : inputs.front().channels;
+      std::int64_t n = static_cast<std::int64_t>(params.kernel) * params.kernel_width() * in_c;
+      if (params.use_bias) n += in_c;
+      return n * kFloat;
+    }
+    case LayerKind::kDense: {
+      const std::int64_t in_f = inputs.empty() ? 0 : inputs.front().elements();
+      std::int64_t n = in_f * params.out_channels;
+      if (params.use_bias) n += params.out_channels;
+      return n * kFloat;
+    }
+    case LayerKind::kBatchNorm: {
+      const std::int64_t c = inputs.empty() ? 0 : inputs.front().channels;
+      return 4 * c * kFloat;  // gamma, beta, mean, variance
+    }
+    case LayerKind::kSqueezeExcite: {
+      const std::int64_t c = inputs.empty() ? 0 : inputs.front().channels;
+      const std::int64_t r = params.out_channels > 0 ? params.out_channels : c / 4;
+      return (c * r + r + r * c + c) * kFloat;
+    }
+    default:
+      return 0;
+  }
+}
+
+double layer_flops_per_row(const Layer& layer) noexcept {
+  if (!is_spatially_local(layer.kind) || layer.output.height <= 0) return layer.flops;
+  return layer.flops / static_cast<double>(layer.output.height);
+}
+
+}  // namespace hidp::dnn

@@ -1,0 +1,127 @@
+// DNN layer intermediate representation.
+//
+// The paper models a DNN as a DAG whose nodes are layers (convolution,
+// pooling, flatten, dense, ...) described by kernel size, stride, padding,
+// channel counts and input dimensions (paper §III, "System Model"). This
+// header defines that vocabulary plus exact shape inference, FLOP counts and
+// activation byte sizes — the quantities every partitioning decision in HiDP
+// is computed from.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hidp::dnn {
+
+/// Layer operator kinds. Spatially local kinds (convolutions, pools,
+/// element-wise ops) admit data partitioning by input rows; global kinds
+/// (global pool, flatten, dense, softmax) end the data-partitionable region.
+enum class LayerKind {
+  kInput,
+  kConv2D,
+  kDepthwiseConv2D,
+  kMaxPool2D,
+  kAvgPool2D,
+  kGlobalAvgPool,
+  kDense,
+  kFlatten,
+  kBatchNorm,
+  kActivation,
+  kAdd,
+  kConcat,
+  kSoftmax,
+  /// Squeeze-and-Excitation composite (global pool -> dense -> dense ->
+  /// channel scale). Treated as spatially local for partitioning: a data
+  /// partition only needs a C-sized partial-sum exchange (all-reduce), which
+  /// the partitioners charge as synchronisation traffic.
+  kSqueezeExcite,
+};
+
+/// Number of LayerKind enumerators (for kind-indexed tables).
+inline constexpr int kLayerKindCount = 14;
+
+/// Dense 0-based index of a kind (for kind-indexed tables).
+constexpr int layer_kind_index(LayerKind kind) noexcept { return static_cast<int>(kind); }
+
+/// Element-wise activation functions (fused or standalone).
+enum class Activation { kNone, kRelu, kRelu6, kSwish, kSigmoid };
+
+/// Human-readable kind name ("Conv2D", "Dense", ...).
+std::string_view layer_kind_name(LayerKind kind) noexcept;
+
+/// True for layers whose output row r depends only on a bounded input row
+/// window (conv/pool/elementwise) — the data-partitionable kinds.
+bool is_spatially_local(LayerKind kind) noexcept;
+
+/// True for layers carrying trainable weights (conv, depthwise, dense, bn).
+bool has_weights(LayerKind kind) noexcept;
+
+/// Activation tensor shape in CHW layout. Dense/flatten outputs use
+/// channels=features, height=width=1.
+struct Shape {
+  int channels = 0;
+  int height = 0;
+  int width = 0;
+
+  std::int64_t elements() const noexcept {
+    return static_cast<std::int64_t>(channels) * height * width;
+  }
+  std::int64_t bytes(int bytes_per_element = 4) const noexcept {
+    return elements() * bytes_per_element;
+  }
+  bool operator==(const Shape&) const = default;
+};
+
+/// Static layer hyper-parameters. Only the fields relevant to the kind are
+/// consulted (e.g. kernel/stride/padding for conv & pool).
+struct LayerParams {
+  int kernel = 0;        ///< kernel height (and width unless kernel_w set)
+  int kernel_w = 0;      ///< kernel width; 0 means square (= kernel)
+  int stride = 1;        ///< square stride
+  int padding = 0;       ///< symmetric zero padding (ignored if same_padding)
+  bool same_padding = false;  ///< TF "SAME": output = ceil(input / stride)
+  int out_channels = 0;  ///< conv filters / dense units / SE reduced dim
+  bool use_bias = true;
+  Activation activation = Activation::kNone;  ///< fused activation
+
+  int kernel_width() const noexcept { return kernel_w > 0 ? kernel_w : kernel; }
+};
+
+/// One node of the DNN DAG.
+struct Layer {
+  int id = -1;
+  LayerKind kind = LayerKind::kInput;
+  std::string name;
+  LayerParams params;
+  std::vector<int> inputs;  ///< producer layer ids (all < id)
+  Shape output;             ///< inferred at graph-construction time
+  double flops = 0.0;       ///< forward FLOPs (2 per MAC)
+  std::int64_t weight_bytes = 0;  ///< parameter bytes (float32)
+};
+
+/// Infers the output shape of a layer given its input shapes.
+/// Throws std::invalid_argument on rank/shape mismatches.
+Shape infer_output_shape(LayerKind kind, const LayerParams& params,
+                         const std::vector<Shape>& inputs);
+
+/// Forward FLOPs for the layer (2 FLOPs per multiply-accumulate).
+double layer_flops(LayerKind kind, const LayerParams& params,
+                   const std::vector<Shape>& inputs, const Shape& output) noexcept;
+
+/// Parameter bytes (float32 weights + bias / BN affine parameters).
+std::int64_t layer_weight_bytes(LayerKind kind, const LayerParams& params,
+                                const std::vector<Shape>& inputs) noexcept;
+
+/// FLOPs needed to produce one output row of a spatially local layer.
+/// For non-local layers returns the full layer FLOPs.
+double layer_flops_per_row(const Layer& layer) noexcept;
+
+/// Effective symmetric padding actually applied on the height axis.
+/// Resolves same_padding to an explicit amount for the given input height.
+int resolved_padding(const LayerParams& params, int input_extent) noexcept;
+
+/// Effective symmetric padding on the width axis (uses kernel_width()).
+int resolved_padding_w(const LayerParams& params, int input_extent) noexcept;
+
+}  // namespace hidp::dnn

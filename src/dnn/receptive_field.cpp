@@ -1,0 +1,98 @@
+#include "dnn/receptive_field.hpp"
+
+#include <algorithm>
+
+#include "dnn/cut_analysis.hpp"
+
+namespace hidp::dnn {
+
+RowRange hull(RowRange a, RowRange b) noexcept {
+  if (a.empty()) return b;
+  if (b.empty()) return a;
+  return RowRange{std::min(a.begin, b.begin), std::max(a.end, b.end)};
+}
+
+RowRange layer_input_rows(const Layer& layer, RowRange out, int input_height) {
+  if (out.empty()) return RowRange{};
+  switch (layer.kind) {
+    case LayerKind::kConv2D:
+    case LayerKind::kDepthwiseConv2D:
+    case LayerKind::kMaxPool2D:
+    case LayerKind::kAvgPool2D: {
+      const int stride = layer.params.stride;
+      const int kernel = layer.params.kernel;
+      const int pad = resolved_padding(layer.params, input_height);
+      int lo = out.begin * stride - pad;
+      int hi = (out.end - 1) * stride - pad + kernel;  // exclusive
+      lo = std::clamp(lo, 0, input_height);
+      hi = std::clamp(hi, 0, input_height);
+      return RowRange{lo, hi};
+    }
+    case LayerKind::kInput:
+    case LayerKind::kBatchNorm:
+    case LayerKind::kActivation:
+    case LayerKind::kAdd:
+    case LayerKind::kConcat:
+    case LayerKind::kSqueezeExcite:
+      // Row r of the output needs row r of every input.
+      return RowRange{std::clamp(out.begin, 0, input_height),
+                      std::clamp(out.end, 0, input_height)};
+    case LayerKind::kGlobalAvgPool:
+    case LayerKind::kDense:
+    case LayerKind::kFlatten:
+    case LayerKind::kSoftmax:
+      // Global layers need the whole input.
+      return RowRange{0, input_height};
+  }
+  return RowRange{0, input_height};
+}
+
+RowRange proportional_share(int height, RowRange band, int band_domain_height) noexcept {
+  if (band.empty() || band_domain_height <= 0 || height <= 0) return RowRange{};
+  const auto lo = static_cast<int>(static_cast<std::int64_t>(height) * band.begin /
+                                   band_domain_height);
+  const auto hi = static_cast<int>(static_cast<std::int64_t>(height) * band.end /
+                                   band_domain_height);
+  return RowRange{lo, hi};
+}
+
+std::vector<RowRange> backpropagate_rows(const DnnGraph& graph, int prefix_end,
+                                         RowRange target_rows) {
+  std::vector<RowRange> required(graph.size());
+  if (prefix_end <= 0 || prefix_end > static_cast<int>(graph.size())) return required;
+  const int target = prefix_end - 1;
+  const Layer& target_layer = graph.layer(target);
+  const int target_height = target_layer.output.height;
+  const RowRange band{std::clamp(target_rows.begin, 0, target_height),
+                      std::clamp(target_rows.end, 0, target_height)};
+  required[static_cast<std::size_t>(target)] = band;
+  for (int id = target; id >= 0; --id) {
+    const RowRange need = required[static_cast<std::size_t>(id)];
+    if (need.empty()) continue;
+    const Layer& layer = graph.layer(id);
+    for (int in : layer.inputs) {
+      const int in_height = graph.layer(in).output.height;
+      RowRange in_need = layer_input_rows(layer, need, in_height);
+      if (layer.kind == LayerKind::kSqueezeExcite) {
+        // Global reduction: this slice must also materialise its ownership
+        // share so the union over slices covers every producer row.
+        in_need = hull(in_need, proportional_share(in_height, band, target_height));
+      }
+      auto& slot = required[static_cast<std::size_t>(in)];
+      slot = hull(slot, in_need);
+    }
+  }
+  return required;
+}
+
+int data_partition_point(const DnnGraph& graph) {
+  const int prefix = graph.spatial_prefix_end();
+  if (prefix <= 1) return 0;
+  int best = 0;
+  for (int cut : clean_cut_positions(graph)) {
+    if (cut <= prefix && graph.layer(cut - 1).output.height > 1) best = std::max(best, cut);
+  }
+  return best;
+}
+
+}  // namespace hidp::dnn

@@ -1,0 +1,57 @@
+// Receptive-field row arithmetic for data (input-wise) partitioning.
+//
+// Data partitioning splits the output rows of the last spatially local layer
+// into contiguous bands and assigns each band to a worker. Because every
+// local layer's output row depends on a bounded window of its input rows,
+// the rows each worker must compute at every intermediate layer follow by
+// backward propagation of row intervals through the DAG (Fused-Tile-
+// Partitioning style, with overlap recomputed rather than exchanged).
+#pragma once
+
+#include <vector>
+
+#include "dnn/graph.hpp"
+
+namespace hidp::dnn {
+
+/// Half-open row interval [begin, end).
+struct RowRange {
+  int begin = 0;
+  int end = 0;
+  bool empty() const noexcept { return end <= begin; }
+  int size() const noexcept { return empty() ? 0 : end - begin; }
+  bool operator==(const RowRange&) const = default;
+};
+
+/// Convex hull of two ranges (empty ranges are identities).
+RowRange hull(RowRange a, RowRange b) noexcept;
+
+/// Input rows of `layer` required to produce its output rows `out`,
+/// clamped to [0, input_height). For windowed ops this expands by the
+/// kernel/stride/padding; element-wise ops map 1:1.
+RowRange layer_input_rows(const Layer& layer, RowRange out, int input_height);
+
+/// Proportional ownership share: maps a band of `band_domain_height` rows
+/// onto a layer of `height` rows. Shares of a partition of the band domain
+/// form a partition of [0, height). Used to split SqueezeExcite reductions
+/// across slices.
+RowRange proportional_share(int height, RowRange band, int band_domain_height) noexcept;
+
+/// Required output-row interval for every layer id in [0, prefix_end),
+/// given that rows `target_rows` of layer (prefix_end - 1) must be
+/// produced. Entries for layers a slice does not touch are empty.
+///
+/// SqueezeExcite inputs additionally require the slice's proportional
+/// ownership share of the producer: the SE gate is a *global* reduction, so
+/// every producer row must be materialised by exactly one slice even when
+/// strided downstream layers would otherwise leave rows dead.
+std::vector<RowRange> backpropagate_rows(const DnnGraph& graph, int prefix_end,
+                                         RowRange target_rows);
+
+/// The canonical split point for data partitioning: the largest clean cut
+/// position not beyond the spatially local prefix. Everything before it can
+/// be row-partitioned; the remainder (classifier head) runs unsplit.
+/// Returns 0 if the graph admits no data partitioning at all.
+int data_partition_point(const DnnGraph& graph);
+
+}  // namespace hidp::dnn

@@ -1,0 +1,60 @@
+// EfficientNet-B0 (Tan & Le, ICML 2019): MBConv blocks with Swish and
+// Squeeze-and-Excitation (SE reduction ratio 0.25 of the block's input
+// channels). BN folded into fused activations.
+#include "dnn/zoo/zoo.hpp"
+
+#include <algorithm>
+
+namespace hidp::dnn::zoo {
+
+namespace {
+
+/// Mobile inverted bottleneck block. Returns the output layer id.
+int mbconv(DnnGraph& g, int input, int expansion, int out_channels, int kernel, int stride,
+           const std::string& name) {
+  const int in_channels = g.layer(input).output.channels;
+  int x = input;
+  if (expansion != 1) {
+    x = g.conv(x, in_channels * expansion, 1, 1, true, Activation::kSwish, name + "_expand");
+  }
+  x = g.depthwise_conv(x, kernel, stride, true, Activation::kSwish, name + "_dwconv");
+  const int reduced = std::max(1, in_channels / 4);  // se_ratio = 0.25 of block input
+  x = g.squeeze_excite(x, reduced, name + "_se");
+  x = g.conv(x, out_channels, 1, 1, true, Activation::kNone, name + "_project");
+  if (stride == 1 && in_channels == out_channels) {
+    x = g.add({x, input}, Activation::kNone, name + "_add");
+  }
+  return x;
+}
+
+}  // namespace
+
+DnnGraph build_efficientnet_b0(int input_size, int classes) {
+  DnnGraph g("EfficientNetB0");
+  int x = g.add_input(3, input_size, input_size);
+  x = g.conv(x, 32, 3, 2, true, Activation::kSwish, "stem");
+
+  const struct {
+    int expansion, channels, repeats, stride, kernel;
+  } stages[] = {
+      {1, 16, 1, 1, 3}, {6, 24, 2, 2, 3}, {6, 40, 2, 2, 5},  {6, 80, 3, 2, 3},
+      {6, 112, 3, 1, 5}, {6, 192, 4, 2, 5}, {6, 320, 1, 1, 3},
+  };
+  int stage_index = 0;
+  for (const auto& s : stages) {
+    ++stage_index;
+    for (int r = 0; r < s.repeats; ++r) {
+      const int stride = r == 0 ? s.stride : 1;
+      x = mbconv(g, x, s.expansion, s.channels, s.kernel, stride,
+                 "block" + std::to_string(stage_index) + "_" + std::to_string(r + 1));
+    }
+  }
+
+  x = g.conv(x, 1280, 1, 1, true, Activation::kSwish, "head");
+  x = g.global_avg_pool(x, "gap");
+  x = g.dense(x, classes, Activation::kNone, "fc");
+  g.softmax(x, "prob");
+  return g;
+}
+
+}  // namespace hidp::dnn::zoo

@@ -1,0 +1,112 @@
+// Inception-V3 (Szegedy et al., CVPR 2016), canonical 299x299 variant with
+// factorised 1x7/7x1 convolutions. BN folded into fused ReLU convolutions.
+#include "dnn/zoo/zoo.hpp"
+
+namespace hidp::dnn::zoo {
+
+namespace {
+
+/// BN-ReLU convolution with a possibly asymmetric kernel.
+int conv_bn(DnnGraph& g, int input, int out_channels, int kh, int kw, int stride, bool same,
+            const std::string& name) {
+  LayerParams p;
+  p.kernel = kh;
+  p.kernel_w = kw;
+  p.stride = stride;
+  p.same_padding = same;
+  p.out_channels = out_channels;
+  p.activation = Activation::kRelu;
+  return g.add_layer(LayerKind::kConv2D, p, {input}, name);
+}
+
+int inception_a(DnnGraph& g, int input, int pool_features, const std::string& name) {
+  const int b1 = conv_bn(g, input, 64, 1, 1, 1, true, name + "_1x1");
+  int b2 = conv_bn(g, input, 48, 1, 1, 1, true, name + "_5x5_reduce");
+  b2 = conv_bn(g, b2, 64, 5, 5, 1, true, name + "_5x5");
+  int b3 = conv_bn(g, input, 64, 1, 1, 1, true, name + "_3x3dbl_reduce");
+  b3 = conv_bn(g, b3, 96, 3, 3, 1, true, name + "_3x3dbl_1");
+  b3 = conv_bn(g, b3, 96, 3, 3, 1, true, name + "_3x3dbl_2");
+  int b4 = g.avg_pool(input, 3, 1, true, name + "_pool");
+  b4 = conv_bn(g, b4, pool_features, 1, 1, 1, true, name + "_pool_proj");
+  return g.concat({b1, b2, b3, b4}, name + "_concat");
+}
+
+int reduction_a(DnnGraph& g, int input, const std::string& name) {
+  const int b1 = conv_bn(g, input, 384, 3, 3, 2, false, name + "_3x3");
+  int b2 = conv_bn(g, input, 64, 1, 1, 1, true, name + "_3x3dbl_reduce");
+  b2 = conv_bn(g, b2, 96, 3, 3, 1, true, name + "_3x3dbl_1");
+  b2 = conv_bn(g, b2, 96, 3, 3, 2, false, name + "_3x3dbl_2");
+  const int b3 = g.max_pool(input, 3, 2, false, name + "_pool");
+  return g.concat({b1, b2, b3}, name + "_concat");
+}
+
+int inception_b(DnnGraph& g, int input, int c7, const std::string& name) {
+  const int b1 = conv_bn(g, input, 192, 1, 1, 1, true, name + "_1x1");
+  int b2 = conv_bn(g, input, c7, 1, 1, 1, true, name + "_7x7_reduce");
+  b2 = conv_bn(g, b2, c7, 1, 7, 1, true, name + "_1x7");
+  b2 = conv_bn(g, b2, 192, 7, 1, 1, true, name + "_7x1");
+  int b3 = conv_bn(g, input, c7, 1, 1, 1, true, name + "_7x7dbl_reduce");
+  b3 = conv_bn(g, b3, c7, 7, 1, 1, true, name + "_7x1_1");
+  b3 = conv_bn(g, b3, c7, 1, 7, 1, true, name + "_1x7_1");
+  b3 = conv_bn(g, b3, c7, 7, 1, 1, true, name + "_7x1_2");
+  b3 = conv_bn(g, b3, 192, 1, 7, 1, true, name + "_1x7_2");
+  int b4 = g.avg_pool(input, 3, 1, true, name + "_pool");
+  b4 = conv_bn(g, b4, 192, 1, 1, 1, true, name + "_pool_proj");
+  return g.concat({b1, b2, b3, b4}, name + "_concat");
+}
+
+int reduction_b(DnnGraph& g, int input, const std::string& name) {
+  int b1 = conv_bn(g, input, 192, 1, 1, 1, true, name + "_3x3_reduce");
+  b1 = conv_bn(g, b1, 320, 3, 3, 2, false, name + "_3x3");
+  int b2 = conv_bn(g, input, 192, 1, 1, 1, true, name + "_7x7x3_reduce");
+  b2 = conv_bn(g, b2, 192, 1, 7, 1, true, name + "_1x7");
+  b2 = conv_bn(g, b2, 192, 7, 1, 1, true, name + "_7x1");
+  b2 = conv_bn(g, b2, 192, 3, 3, 2, false, name + "_3x3_2");
+  const int b3 = g.max_pool(input, 3, 2, false, name + "_pool");
+  return g.concat({b1, b2, b3}, name + "_concat");
+}
+
+int inception_c(DnnGraph& g, int input, const std::string& name) {
+  const int b1 = conv_bn(g, input, 320, 1, 1, 1, true, name + "_1x1");
+  const int b2_stem = conv_bn(g, input, 384, 1, 1, 1, true, name + "_3x3_reduce");
+  const int b2a = conv_bn(g, b2_stem, 384, 1, 3, 1, true, name + "_1x3");
+  const int b2b = conv_bn(g, b2_stem, 384, 3, 1, 1, true, name + "_3x1");
+  int b3 = conv_bn(g, input, 448, 1, 1, 1, true, name + "_3x3dbl_reduce");
+  b3 = conv_bn(g, b3, 384, 3, 3, 1, true, name + "_3x3dbl");
+  const int b3a = conv_bn(g, b3, 384, 1, 3, 1, true, name + "_dbl_1x3");
+  const int b3b = conv_bn(g, b3, 384, 3, 1, 1, true, name + "_dbl_3x1");
+  int b4 = g.avg_pool(input, 3, 1, true, name + "_pool");
+  b4 = conv_bn(g, b4, 192, 1, 1, 1, true, name + "_pool_proj");
+  return g.concat({b1, b2a, b2b, b3a, b3b, b4}, name + "_concat");
+}
+
+}  // namespace
+
+DnnGraph build_inception_v3(int input_size, int classes) {
+  DnnGraph g("InceptionNetV3");
+  int x = g.add_input(3, input_size, input_size);
+  x = conv_bn(g, x, 32, 3, 3, 2, false, "conv1");
+  x = conv_bn(g, x, 32, 3, 3, 1, false, "conv2");
+  x = conv_bn(g, x, 64, 3, 3, 1, true, "conv3");
+  x = g.max_pool(x, 3, 2, false, "pool1");
+  x = conv_bn(g, x, 80, 1, 1, 1, false, "conv4");
+  x = conv_bn(g, x, 192, 3, 3, 1, false, "conv5");
+  x = g.max_pool(x, 3, 2, false, "pool2");
+  x = inception_a(g, x, 32, "mixed0");
+  x = inception_a(g, x, 64, "mixed1");
+  x = inception_a(g, x, 64, "mixed2");
+  x = reduction_a(g, x, "mixed3");
+  x = inception_b(g, x, 128, "mixed4");
+  x = inception_b(g, x, 160, "mixed5");
+  x = inception_b(g, x, 160, "mixed6");
+  x = inception_b(g, x, 192, "mixed7");
+  x = reduction_b(g, x, "mixed8");
+  x = inception_c(g, x, "mixed9");
+  x = inception_c(g, x, "mixed10");
+  x = g.global_avg_pool(x, "gap");
+  x = g.dense(x, classes, Activation::kNone, "fc");
+  g.softmax(x, "prob");
+  return g;
+}
+
+}  // namespace hidp::dnn::zoo

@@ -1,0 +1,48 @@
+// ResNet-152 (He et al., CVPR 2016), bottleneck variant, BN folded into
+// fused conv activations. Stage plan [3, 8, 36, 3].
+#include "dnn/zoo/zoo.hpp"
+
+namespace hidp::dnn::zoo {
+
+namespace {
+
+/// One bottleneck residual block: 1x1 reduce, 3x3 (stride here, torchvision
+/// convention), 1x1 expand (x4), projection shortcut when shape changes.
+int bottleneck(DnnGraph& g, int input, int planes, int stride, bool project,
+               const std::string& name) {
+  const int c1 = g.conv(input, planes, 1, 1, true, Activation::kRelu, name + "_conv1");
+  const int c2 = g.conv(c1, planes, 3, stride, true, Activation::kRelu, name + "_conv2");
+  const int c3 = g.conv(c2, planes * 4, 1, 1, true, Activation::kNone, name + "_conv3");
+  int shortcut = input;
+  if (project) {
+    shortcut = g.conv(input, planes * 4, 1, stride, true, Activation::kNone, name + "_proj");
+  }
+  return g.add({c3, shortcut}, Activation::kRelu, name + "_add");
+}
+
+int stage(DnnGraph& g, int input, int planes, int blocks, int stride, const std::string& name) {
+  int x = bottleneck(g, input, planes, stride, /*project=*/true, name + "_b1");
+  for (int b = 1; b < blocks; ++b) {
+    x = bottleneck(g, x, planes, 1, /*project=*/false, name + "_b" + std::to_string(b + 1));
+  }
+  return x;
+}
+
+}  // namespace
+
+DnnGraph build_resnet152(int input_size, int classes) {
+  DnnGraph g("ResNet152");
+  int x = g.add_input(3, input_size, input_size);
+  x = g.conv(x, 64, 7, 2, true, Activation::kRelu, "conv1");
+  x = g.max_pool(x, 3, 2, true, "pool1");
+  x = stage(g, x, 64, 3, 1, "conv2");
+  x = stage(g, x, 128, 8, 2, "conv3");
+  x = stage(g, x, 256, 36, 2, "conv4");
+  x = stage(g, x, 512, 3, 2, "conv5");
+  x = g.global_avg_pool(x, "gap");
+  x = g.dense(x, classes, Activation::kNone, "fc");
+  g.softmax(x, "prob");
+  return g;
+}
+
+}  // namespace hidp::dnn::zoo

@@ -1,0 +1,28 @@
+// VGG-19 (Simonyan & Zisserman, ICLR 2015), configuration E.
+#include "dnn/zoo/zoo.hpp"
+
+namespace hidp::dnn::zoo {
+
+DnnGraph build_vgg19(int input_size, int classes) {
+  DnnGraph g("VGG-19");
+  int x = g.add_input(3, input_size, input_size);
+  const struct { int convs; int channels; } blocks[] = {
+      {2, 64}, {2, 128}, {4, 256}, {4, 512}, {4, 512}};
+  int block_index = 0;
+  for (const auto& block : blocks) {
+    ++block_index;
+    for (int c = 0; c < block.convs; ++c) {
+      x = g.conv(x, block.channels, 3, 1, true, Activation::kRelu,
+                 "conv" + std::to_string(block_index) + "_" + std::to_string(c + 1));
+    }
+    x = g.max_pool(x, 2, 2, false, "pool" + std::to_string(block_index));
+  }
+  x = g.flatten(x, "flatten");
+  x = g.dense(x, 4096, Activation::kRelu, "fc6");
+  x = g.dense(x, 4096, Activation::kRelu, "fc7");
+  x = g.dense(x, classes, Activation::kNone, "fc8");
+  g.softmax(x, "prob");
+  return g;
+}
+
+}  // namespace hidp::dnn::zoo

@@ -1,0 +1,43 @@
+#include "dnn/zoo/zoo.hpp"
+
+#include <stdexcept>
+
+namespace hidp::dnn::zoo {
+
+std::vector<ModelId> all_models() {
+  return {ModelId::kEfficientNetB0, ModelId::kInceptionV3, ModelId::kResNet152, ModelId::kVgg19};
+}
+
+std::string model_name(ModelId id) {
+  switch (id) {
+    case ModelId::kEfficientNetB0: return "EfficientNetB0";
+    case ModelId::kInceptionV3: return "InceptionNetV3";
+    case ModelId::kResNet152: return "ResNet152";
+    case ModelId::kVgg19: return "VGG-19";
+  }
+  throw std::invalid_argument("unknown model id");
+}
+
+AccuracyMetadata model_accuracy(ModelId id) {
+  // Paper §IV-B: Top-1 / Top-5 for VGG-19, EfficientNetB0, ResNet-152 and
+  // InceptionNet-V3 — identical across HiDP, DisNet, OmniBoost and MoDNN.
+  switch (id) {
+    case ModelId::kVgg19: return {75.3, 89.7};
+    case ModelId::kEfficientNetB0: return {77.1, 92.25};
+    case ModelId::kResNet152: return {78.6, 92.7};
+    case ModelId::kInceptionV3: return {80.9, 92.5};
+  }
+  throw std::invalid_argument("unknown model id");
+}
+
+DnnGraph build_model(ModelId id) {
+  switch (id) {
+    case ModelId::kEfficientNetB0: return build_efficientnet_b0();
+    case ModelId::kInceptionV3: return build_inception_v3();
+    case ModelId::kResNet152: return build_resnet152();
+    case ModelId::kVgg19: return build_vgg19();
+  }
+  throw std::invalid_argument("unknown model id");
+}
+
+}  // namespace hidp::dnn::zoo

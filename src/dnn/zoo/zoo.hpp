@@ -1,0 +1,42 @@
+// Model zoo: the four DNNs of the paper's evaluation (§IV-A, "Workloads").
+//
+// Architectures follow the canonical ImageNet definitions (BatchNorm folded
+// into the preceding convolution as a fused activation, which is exact for
+// inference). Published FLOP counts are matched to within a few percent and
+// asserted by tests/test_zoo.cpp.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dnn/graph.hpp"
+
+namespace hidp::dnn::zoo {
+
+/// The paper's evaluation workloads.
+enum class ModelId { kEfficientNetB0, kInceptionV3, kResNet152, kVgg19 };
+
+/// All four models in the paper's Fig. 5/6 presentation order.
+std::vector<ModelId> all_models();
+
+/// Short display name ("EfficientNetB0", ...), matching the paper's labels.
+std::string model_name(ModelId id);
+
+/// ImageNet reference accuracy metadata reported by the paper (§IV-B):
+/// partitioning is lossless, so every strategy reports these same numbers.
+struct AccuracyMetadata {
+  double top1 = 0.0;  ///< Top-1 accuracy, percent
+  double top5 = 0.0;  ///< Top-5 accuracy, percent
+};
+AccuracyMetadata model_accuracy(ModelId id);
+
+/// Builds the full inference graph (input resolution per the paper:
+/// 224x224 for EfficientNet/ResNet/VGG, 299x299 for Inception-V3).
+DnnGraph build_model(ModelId id);
+
+DnnGraph build_resnet152(int input_size = 224, int classes = 1000);
+DnnGraph build_vgg19(int input_size = 224, int classes = 1000);
+DnnGraph build_inception_v3(int input_size = 299, int classes = 1000);
+DnnGraph build_efficientnet_b0(int input_size = 224, int classes = 1000);
+
+}  // namespace hidp::dnn::zoo

@@ -1,0 +1,34 @@
+#include "net/link.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hidp::net {
+
+NetworkSpec::NetworkSpec(const std::vector<platform::NodeModel>& nodes) {
+  radio_bw_bps_.reserve(nodes.size());
+  radio_latency_s_.reserve(nodes.size());
+  for (const platform::NodeModel& node : nodes) {
+    radio_bw_bps_.push_back(node.radio_bw_bps());
+    radio_latency_s_.push_back(node.radio_latency_s());
+  }
+}
+
+LinkSpec NetworkSpec::link(std::size_t from, std::size_t to) const {
+  if (from >= size() || to >= size()) throw std::out_of_range("NetworkSpec::link");
+  LinkSpec spec;
+  if (from == to) {
+    spec.bandwidth_bps = 1e12;  // loopback: effectively free
+    spec.latency_s = 0.0;
+    return spec;
+  }
+  spec.bandwidth_bps = std::min(radio_bw_bps_[from], radio_bw_bps_[to]);
+  spec.latency_s = radio_latency_s_[from] + radio_latency_s_[to];
+  return spec;
+}
+
+double NetworkSpec::beta_bps(std::size_t leader, std::size_t j) const {
+  return link(leader, j).bandwidth_bps;
+}
+
+}  // namespace hidp::net

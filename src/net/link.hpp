@@ -1,0 +1,51 @@
+// Static link characterisation of the wireless edge cluster.
+//
+// The paper connects nodes over an 80 MB/s wireless LAN through a POSIX
+// client-server setup and measures each node's communication rate beta by
+// sending pseudo packets (§III). NetworkSpec is the static, analytically
+// queryable view the partitioners plan against; net/network.hpp provides the
+// discrete-event counterpart with radio contention.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "platform/node.hpp"
+
+namespace hidp::net {
+
+/// Point-to-point link estimate.
+struct LinkSpec {
+  double bandwidth_bps = 80e6;  ///< payload bytes per second
+  double latency_s = 2e-3;      ///< per-message protocol + MAC latency
+
+  /// Seconds to move `bytes` over the link (0 bytes still pays latency).
+  double transfer_s(std::int64_t bytes) const noexcept {
+    if (bytes < 0) bytes = 0;
+    return latency_s + (bandwidth_bps > 0.0 ? static_cast<double>(bytes) / bandwidth_bps : 0.0);
+  }
+};
+
+/// Pairwise link view over a cluster; link (i,j) is limited by the slower
+/// of the two radios and pays both protocol latencies.
+class NetworkSpec {
+ public:
+  NetworkSpec() = default;
+  explicit NetworkSpec(const std::vector<platform::NodeModel>& nodes);
+
+  std::size_t size() const noexcept { return radio_bw_bps_.size(); }
+
+  LinkSpec link(std::size_t from, std::size_t to) const;
+
+  /// Paper's beta_j: effective bytes/s between the leader and node j.
+  double beta_bps(std::size_t leader, std::size_t j) const;
+
+  /// Radio bandwidth of one node.
+  double radio_bw_bps(std::size_t i) const { return radio_bw_bps_.at(i); }
+
+ private:
+  std::vector<double> radio_bw_bps_;
+  std::vector<double> radio_latency_s_;
+};
+
+}  // namespace hidp::net

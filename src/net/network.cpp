@@ -1,0 +1,53 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hidp::net {
+
+WirelessNetwork::WirelessNetwork(sim::Simulator& sim,
+                                 const std::vector<platform::NodeModel>& nodes, MediumMode mode)
+    : sim_(&sim), spec_(nodes), mode_(mode), available_(nodes.size(), true) {
+  radios_.reserve(nodes.size());
+  for (const platform::NodeModel& node : nodes) {
+    radios_.push_back(std::make_unique<sim::Resource>(sim, node.name() + "/radio"));
+  }
+  if (mode_ == MediumMode::kSharedMedium) {
+    shared_medium_ = std::make_unique<sim::Resource>(sim, "wifi-channel");
+  }
+}
+
+void WirelessNetwork::set_available(std::size_t node, bool available) {
+  available_.at(node) = available;
+}
+
+void WirelessNetwork::transfer(std::size_t from, std::size_t to, std::int64_t bytes,
+                               sim::Time earliest_start,
+                               std::function<void(sim::Time)> on_delivered) {
+  if (from >= size() || to >= size()) throw std::out_of_range("WirelessNetwork::transfer");
+  if (!available_[from] || !available_[to]) {
+    throw std::runtime_error("transfer to/from unavailable node");
+  }
+  if (from == to) {
+    // Loopback: the leader keeping its own partition pays no radio time.
+    sim_->schedule_at(std::max(earliest_start, sim_->now()),
+                      [cb = std::move(on_delivered), this] { cb(sim_->now()); });
+    return;
+  }
+  const double duration = spec_.link(from, to).transfer_s(bytes);
+  bytes_transferred_ += std::max<std::int64_t>(bytes, 0);
+
+  // Co-reserve sender radio, receiver radio and (optionally) the shared
+  // channel: the transfer starts when all are free.
+  sim::Time start = std::max(earliest_start, sim_->now());
+  start = std::max(start, radios_[from]->next_free(start));
+  start = std::max(start, radios_[to]->next_free(start));
+  if (shared_medium_) start = std::max(start, shared_medium_->next_free(start));
+
+  radios_[from]->submit(start, duration, nullptr);
+  if (shared_medium_) shared_medium_->submit(start, duration, nullptr);
+  radios_[to]->submit(start, duration,
+                      [cb = std::move(on_delivered)](sim::Time end) { cb(end); });
+}
+
+}  // namespace hidp::net

@@ -1,0 +1,58 @@
+// Discrete-event wireless network: per-node radios with FIFO serialisation
+// and an optional shared-medium mode where all transfers additionally
+// serialise on the access point (worst-case contention).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/link.hpp"
+#include "sim/resource.hpp"
+#include "sim/simulator.hpp"
+
+namespace hidp::net {
+
+enum class MediumMode {
+  kPerRadio,      ///< transfers serialise on the two endpoint radios only
+  kSharedMedium,  ///< transfers additionally serialise on one shared channel
+};
+
+class WirelessNetwork {
+ public:
+  WirelessNetwork(sim::Simulator& sim, const std::vector<platform::NodeModel>& nodes,
+                  MediumMode mode = MediumMode::kPerRadio);
+
+  std::size_t size() const noexcept { return radios_.size(); }
+  const NetworkSpec& spec() const noexcept { return spec_; }
+
+  /// Marks a node (un)available; transfers to unavailable nodes throw.
+  void set_available(std::size_t node, bool available);
+  bool available(std::size_t node) const { return available_.at(node); }
+
+  /// Availability vector A(N_phi) (paper Eq. 4).
+  const std::vector<bool>& availability() const noexcept { return available_; }
+
+  /// Schedules a transfer of `bytes` from node `from` to node `to`.
+  /// Completion fires `on_delivered(end_time)`. A loopback transfer
+  /// completes after `earliest_start` with no radio occupancy.
+  void transfer(std::size_t from, std::size_t to, std::int64_t bytes, sim::Time earliest_start,
+                std::function<void(sim::Time)> on_delivered);
+
+  /// Total bytes moved over the air so far (loopback excluded).
+  std::int64_t bytes_transferred() const noexcept { return bytes_transferred_; }
+
+  /// Busy seconds of a node's radio (for energy/occupancy accounting).
+  double radio_busy_s(std::size_t node) const { return radios_.at(node)->busy_time(); }
+
+ private:
+  sim::Simulator* sim_;
+  NetworkSpec spec_;
+  MediumMode mode_;
+  std::vector<std::unique_ptr<sim::Resource>> radios_;
+  std::unique_ptr<sim::Resource> shared_medium_;
+  std::vector<bool> available_;
+  std::int64_t bytes_transferred_ = 0;
+};
+
+}  // namespace hidp::net

@@ -1,0 +1,40 @@
+#include "net/prober.hpp"
+
+#include <algorithm>
+
+namespace hidp::net {
+
+ProbeReport ClusterProber::probe(std::size_t leader, const std::vector<bool>& availability,
+                                 util::Rng& rng) const {
+  ProbeReport report;
+  const std::size_t n = spec_.size();
+  report.available.assign(n, false);
+  report.beta_bps.assign(n, 0.0);
+  report.rtt_s.assign(n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    if (j >= availability.size() || !availability[j]) continue;  // no response
+    report.available[j] = true;
+    const LinkSpec link = spec_.link(leader, j);
+    const double noise = noise_fraction_ > 0.0
+                             ? std::max(0.5, rng.normal(1.0, noise_fraction_))
+                             : 1.0;
+    const double rtt = 2.0 * link.transfer_s(probe_bytes_) * noise;
+    report.rtt_s[j] = rtt;
+    // beta derived from the measured RTT, as the paper measures it: payload
+    // moved both ways divided by measured time net of protocol latency.
+    const double payload_time = std::max(rtt - 2.0 * link.latency_s, 1e-9);
+    report.beta_bps[j] = j == leader ? 1e12 : 2.0 * static_cast<double>(probe_bytes_) / payload_time;
+  }
+  return report;
+}
+
+double ClusterProber::round_cost_s(std::size_t leader) const {
+  double worst = 0.0;
+  for (std::size_t j = 0; j < spec_.size(); ++j) {
+    if (j == leader) continue;
+    worst = std::max(worst, 2.0 * spec_.link(leader, j).transfer_s(probe_bytes_));
+  }
+  return worst;
+}
+
+}  // namespace hidp::net

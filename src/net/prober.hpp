@@ -1,0 +1,49 @@
+// Availability probing (paper §III): before every partitioning decision the
+// leader sends pseudo packets to every node, records the response time, and
+// forms the availability vector A(N_phi) and per-node communication rates
+// beta used in the global resource vector Psi.
+#pragma once
+
+#include <vector>
+
+#include "net/network.hpp"
+#include "util/rng.hpp"
+
+namespace hidp::net {
+
+/// Result of one probing round.
+struct ProbeReport {
+  std::vector<bool> available;       ///< alpha_j per node (paper Eq. 4)
+  std::vector<double> beta_bps;      ///< measured communication rate per node
+  std::vector<double> rtt_s;         ///< measured round-trip times
+  std::size_t available_count() const noexcept {
+    std::size_t n = 0;
+    for (bool a : available) n += a ? 1 : 0;
+    return n;
+  }
+};
+
+/// Probes the cluster analytically (no DES interaction): RTT = 2x link
+/// latency + 2x probe payload, with multiplicative measurement noise drawn
+/// from `rng` (set noise_fraction = 0 for deterministic probing).
+class ClusterProber {
+ public:
+  ClusterProber(const NetworkSpec& spec, std::int64_t probe_bytes = 1024,
+                double noise_fraction = 0.05)
+      : spec_(spec), probe_bytes_(probe_bytes), noise_fraction_(noise_fraction) {}
+
+  /// One probing round from `leader` given current availability flags.
+  ProbeReport probe(std::size_t leader, const std::vector<bool>& availability,
+                    util::Rng& rng) const;
+
+  /// Seconds one probing round costs the leader (status packets are tiny;
+  /// nodes are probed concurrently, so the cost is the slowest RTT).
+  double round_cost_s(std::size_t leader) const;
+
+ private:
+  NetworkSpec spec_;
+  std::int64_t probe_bytes_;
+  double noise_fraction_;
+};
+
+}  // namespace hidp::net

@@ -1,0 +1,171 @@
+#include "partition/cost_model.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace hidp::partition {
+
+using platform::WorkProfile;
+
+std::string_view partition_mode_name(PartitionMode mode) noexcept {
+  switch (mode) {
+    case PartitionMode::kNone: return "none";
+    case PartitionMode::kModel: return "model";
+    case PartitionMode::kData: return "data";
+  }
+  return "?";
+}
+
+ClusterCostModel::ClusterCostModel(const dnn::DnnGraph& graph,
+                                   const std::vector<platform::NodeModel>& nodes,
+                                   net::NetworkSpec network, NodeExecutionPolicy policy,
+                                   int bytes_per_element, int max_candidates)
+    : graph_(&graph),
+      nodes_(&nodes),
+      network_(std::move(network)),
+      policy_(policy),
+      bytes_per_element_(bytes_per_element) {
+  std::vector<int> cuts = dnn::clean_cut_positions(graph);
+  if (max_candidates > 2 && static_cast<int>(cuts.size()) > max_candidates - 2) {
+    std::vector<int> thinned;
+    const int keep = max_candidates - 2;
+    const double step = static_cast<double>(cuts.size() - 1) / static_cast<double>(keep - 1);
+    for (int i = 0; i < keep; ++i) {
+      thinned.push_back(cuts[static_cast<std::size_t>(i * step + 0.5)]);
+    }
+    thinned.back() = cuts.back();
+    cuts = std::move(thinned);
+  }
+  candidates_.push_back(0);
+  for (int cut : cuts) {
+    if (cut != candidates_.back()) candidates_.push_back(cut);
+  }
+  const int n = static_cast<int>(graph.size());
+  if (candidates_.back() != n) candidates_.push_back(n);
+
+  prefix_profiles_.reserve(candidates_.size());
+  boundary_bytes_.reserve(candidates_.size());
+  for (int candidate : candidates_) {
+    prefix_profiles_.push_back(WorkProfile::from_graph(graph, 0, candidate));
+    if (candidate == 0) {
+      boundary_bytes_.push_back(graph.input_shape().bytes(bytes_per_element_));
+    } else if (candidate == n) {
+      boundary_bytes_.push_back(graph.output_shape().bytes(bytes_per_element_));
+    } else {
+      boundary_bytes_.push_back(dnn::cut_bytes(graph, candidate, bytes_per_element_));
+    }
+  }
+}
+
+WorkProfile ClusterCostModel::profile_between(int ci, int cj) const {
+  return WorkProfile::difference(prefix_profiles_.at(static_cast<std::size_t>(cj)),
+                                 prefix_profiles_.at(static_cast<std::size_t>(ci)));
+}
+
+std::int64_t ClusterCostModel::boundary_bytes(int ci) const {
+  return boundary_bytes_.at(static_cast<std::size_t>(ci));
+}
+
+double ClusterCostModel::node_time(std::size_t node, int ci, int cj,
+                                   LocalDecision* decision_out) const {
+  if (cj <= ci) {
+    if (decision_out != nullptr) *decision_out = LocalDecision{};
+    return 0.0;
+  }
+  const std::uint64_t key = (static_cast<std::uint64_t>(node) << 32) |
+                            (static_cast<std::uint64_t>(ci) << 16) |
+                            static_cast<std::uint64_t>(cj);
+  auto it = decision_cache_.find(key);
+  if (it == decision_cache_.end()) {
+    const WorkProfile work = profile_between(ci, cj);
+    const std::int64_t io = boundary_bytes(ci) + boundary_bytes(cj);
+    const platform::NodeModel& model = (*nodes_)[node];
+    LocalDecision decision;
+    if (policy_ == NodeExecutionPolicy::kHierarchicalLocal) {
+      decision = best_local_config(model, work, io);
+    } else {
+      decision.config = default_processor_config(model, work);
+      decision.latency_s = estimate_local_latency(model, work, decision.config, io);
+    }
+    it = decision_cache_.emplace(key, std::move(decision)).first;
+  }
+  if (decision_out != nullptr) *decision_out = it->second;
+  return it->second.latency_s;
+}
+
+namespace {
+std::uint64_t profile_signature(std::size_t node, const WorkProfile& work,
+                                std::int64_t io_bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ULL ^ node;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ULL;
+  };
+  for (int k = 0; k < dnn::kLayerKindCount; ++k) {
+    for (int c = 0; c < platform::kWorkClassCount; ++c) {
+      const double f =
+          work.flops_of(static_cast<dnn::LayerKind>(k), static_cast<platform::WorkClass>(c));
+      if (f > 0.0) {
+        std::uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(f));
+        std::memcpy(&bits, &f, sizeof(bits));
+        mix(bits ^ static_cast<std::uint64_t>(k * platform::kWorkClassCount + c + 1));
+      }
+    }
+  }
+  mix(static_cast<std::uint64_t>(io_bytes));
+  return h;
+}
+}  // namespace
+
+const LocalDecision& ClusterCostModel::local_decision(std::size_t node,
+                                                      const platform::WorkProfile& work,
+                                                      std::int64_t io_bytes) const {
+  const std::uint64_t key = profile_signature(node, work, io_bytes);
+  auto it = profile_decision_cache_.find(key);
+  if (it == profile_decision_cache_.end()) {
+    const platform::NodeModel& model = (*nodes_)[node];
+    LocalDecision decision;
+    if (policy_ == NodeExecutionPolicy::kHierarchicalLocal) {
+      decision = best_local_config(model, work, io_bytes);
+    } else {
+      decision.config = default_processor_config(model, work);
+      decision.latency_s = estimate_local_latency(model, work, decision.config, io_bytes);
+    }
+    it = profile_decision_cache_.emplace(key, std::move(decision)).first;
+  }
+  return it->second;
+}
+
+double ClusterCostModel::proc_time(std::size_t node, std::size_t proc, int ci, int cj) const {
+  if (cj <= ci) return 0.0;
+  return (*nodes_)[node].processor(proc).time_for(profile_between(ci, cj), 1);
+}
+
+double ClusterCostModel::transfer_s(std::size_t from, std::size_t to,
+                                    std::int64_t bytes) const {
+  return network_.link(from, to).transfer_s(bytes);
+}
+
+double ClusterCostModel::node_rate_gflops(std::size_t node) const {
+  const WorkProfile whole = prefix_profiles_.back();
+  const platform::NodeModel& model = (*nodes_)[node];
+  if (policy_ == NodeExecutionPolicy::kHierarchicalLocal) {
+    return model.lambda_total_gflops(whole, /*partitions=*/4);
+  }
+  const LocalConfig config = default_processor_config(model, whole);
+  return model.processor(config.shares.front().proc).lambda_gflops(whole, 1);
+}
+
+std::vector<double> ClusterCostModel::psi(std::size_t leader) const {
+  std::vector<double> out;
+  out.reserve(nodes_->size());
+  for (std::size_t j = 0; j < nodes_->size(); ++j) {
+    const double lambda_bps = node_rate_gflops(j) * 1e9;
+    const double beta = network_.beta_bps(leader, j);
+    out.push_back(beta > 0.0 ? lambda_bps / beta : 0.0);
+  }
+  return out;
+}
+
+}  // namespace hidp::partition

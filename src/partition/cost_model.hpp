@@ -1,0 +1,102 @@
+// Cluster-level cost model: the quantities the paper's DSE agent consults.
+//
+// Wraps one DNN, the node models and the network spec, and answers
+// "how long does node j take to run layers [a, b)" under a node-execution
+// policy (framework default vs. HiDP's hierarchical local partitioning) and
+// "what does the handoff at cut c cost". Block queries are expressed over
+// the clean-cut candidate list and memoised, because the DP probes the same
+// ranges repeatedly.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "dnn/cut_analysis.hpp"
+#include "dnn/graph.hpp"
+#include "net/link.hpp"
+#include "partition/local_config.hpp"
+#include "platform/node.hpp"
+
+namespace hidp::partition {
+
+/// How a node executes a block it was assigned.
+enum class NodeExecutionPolicy {
+  kDefaultProcessor,  ///< framework default: GPU single stream (paper's P1)
+  kHierarchicalLocal, ///< HiDP: local DSE picks the best intra-node config
+};
+
+/// Partitioning modes of the paper (§II-A).
+enum class PartitionMode { kNone, kModel, kData };
+
+std::string_view partition_mode_name(PartitionMode mode) noexcept;
+
+class ClusterCostModel {
+ public:
+  /// `max_candidates` bounds the cut-candidate list (clean cuts are thinned
+  /// evenly); coarser lists keep the DP within the paper's ~15 ms budget.
+  ClusterCostModel(const dnn::DnnGraph& graph, const std::vector<platform::NodeModel>& nodes,
+                   net::NetworkSpec network, NodeExecutionPolicy policy,
+                   int bytes_per_element = 4, int max_candidates = 26);
+
+  const dnn::DnnGraph& graph() const noexcept { return *graph_; }
+  const std::vector<platform::NodeModel>& nodes() const noexcept { return *nodes_; }
+  const net::NetworkSpec& network() const noexcept { return network_; }
+  NodeExecutionPolicy policy() const noexcept { return policy_; }
+  int bytes_per_element() const noexcept { return bytes_per_element_; }
+
+  /// Cut candidates: layer positions {0, clean cuts..., n}. All block
+  /// queries are indexed into this list.
+  const std::vector<int>& candidates() const noexcept { return candidates_; }
+  std::size_t segment_count() const noexcept { return candidates_.size() - 1; }
+
+  /// FLOP profile of layers [candidates()[ci], candidates()[cj]).
+  platform::WorkProfile profile_between(int ci, int cj) const;
+
+  /// Activation bytes crossing candidate boundary ci (0 and n cross the
+  /// network input / final logits respectively).
+  std::int64_t boundary_bytes(int ci) const;
+
+  /// Seconds for node `j` to execute candidate range [ci, cj) under the
+  /// policy. With kHierarchicalLocal the local decision is DSE-searched and
+  /// memoised; `decision_out` receives it when non-null.
+  double node_time(std::size_t node, int ci, int cj,
+                   LocalDecision* decision_out = nullptr) const;
+
+  /// Seconds for one specific processor of a node to execute candidate
+  /// range [ci, cj) single-stream (no local DSE) — the granularity
+  /// OmniBoost-style per-processor pipelining plans at.
+  double proc_time(std::size_t node, std::size_t proc, int ci, int cj) const;
+
+  /// Seconds to move `bytes` from node `from` to node `to` over the air.
+  double transfer_s(std::size_t from, std::size_t to, std::int64_t bytes) const;
+
+  /// Policy-appropriate local decision for an arbitrary work profile on a
+  /// node (used by the data partitioner), memoised on the profile's FLOP
+  /// signature so repeated DSE sweeps stay cheap.
+  const LocalDecision& local_decision(std::size_t node, const platform::WorkProfile& work,
+                                      std::int64_t io_bytes) const;
+
+  /// Node computation rate Lambda_j for the whole network (paper Eq. 2)
+  /// under the policy (default policy: the default processor's rate).
+  double node_rate_gflops(std::size_t node) const;
+
+  /// Global resource vector Psi{Lambda, beta} from `leader` (paper Eq. 3).
+  std::vector<double> psi(std::size_t leader) const;
+
+ private:
+  const dnn::DnnGraph* graph_;
+  const std::vector<platform::NodeModel>* nodes_;
+  net::NetworkSpec network_;
+  NodeExecutionPolicy policy_;
+  int bytes_per_element_;
+  std::vector<int> candidates_;
+  std::vector<platform::WorkProfile> prefix_profiles_;  ///< per candidate
+  std::vector<std::int64_t> boundary_bytes_;            ///< per candidate
+  mutable std::unordered_map<std::uint64_t, LocalDecision> decision_cache_;
+  mutable std::unordered_map<std::uint64_t, LocalDecision> profile_decision_cache_;
+};
+
+}  // namespace hidp::partition

@@ -1,0 +1,165 @@
+#include "partition/data_partitioner.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hidp::partition {
+
+using dnn::RowRange;
+using platform::WorkProfile;
+
+std::vector<RowRange> proportional_row_bands(int total_rows, const std::vector<double>& weights) {
+  std::vector<RowRange> bands(weights.size());
+  if (total_rows <= 0 || weights.empty()) return bands;
+  double weight_sum = 0.0;
+  for (double w : weights) weight_sum += std::max(w, 0.0);
+  if (weight_sum <= 0.0) weight_sum = static_cast<double>(weights.size());
+
+  // Largest-remainder apportionment so bands are contiguous and exact.
+  std::vector<int> rows(weights.size(), 0);
+  std::vector<std::pair<double, std::size_t>> remainders;
+  int assigned = 0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double exact = static_cast<double>(total_rows) * std::max(weights[i], 0.0) / weight_sum;
+    rows[i] = static_cast<int>(exact);
+    assigned += rows[i];
+    remainders.emplace_back(exact - static_cast<double>(rows[i]), i);
+  }
+  std::sort(remainders.begin(), remainders.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (int r = 0; r < total_rows - assigned; ++r) {
+    rows[remainders[static_cast<std::size_t>(r) % remainders.size()].second] += 1;
+  }
+  int cursor = 0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    bands[i] = RowRange{cursor, cursor + rows[i]};
+    cursor += rows[i];
+  }
+  return bands;
+}
+
+std::vector<int> data_split_candidates(const dnn::DnnGraph& graph, int max_candidates) {
+  std::vector<int> candidates;
+  const int deepest = dnn::data_partition_point(graph);
+  if (deepest <= 0) return candidates;
+  for (int cut : dnn::clean_cut_positions(graph)) {
+    if (cut > deepest) break;
+    if (graph.layer(cut - 1).output.height > 1) candidates.push_back(cut);
+  }
+  if (max_candidates > 0 && static_cast<int>(candidates.size()) > max_candidates) {
+    std::vector<int> thinned;
+    const double step =
+        static_cast<double>(candidates.size() - 1) / static_cast<double>(max_candidates - 1);
+    for (int i = 0; i < max_candidates; ++i) {
+      thinned.push_back(candidates[static_cast<std::size_t>(i * step + 0.5)]);
+    }
+    thinned.back() = candidates.back();
+    candidates = std::move(thinned);
+  }
+  return candidates;
+}
+
+DataPartitionResult plan_best_data_partition(const ClusterCostModel& cost,
+                                             const std::vector<std::size_t>& worker_nodes,
+                                             std::size_t leader, int max_candidates) {
+  DataPartitionResult best;
+  for (int split : data_split_candidates(cost.graph(), max_candidates)) {
+    DataPartitionResult candidate = plan_data_partition(cost, worker_nodes, leader, split);
+    if (candidate.valid && (!best.valid || candidate.latency_s < best.latency_s)) {
+      best = std::move(candidate);
+    }
+  }
+  return best;
+}
+
+DataPartitionResult plan_data_partition(const ClusterCostModel& cost,
+                                        const std::vector<std::size_t>& worker_nodes,
+                                        std::size_t leader, int split_layer) {
+  DataPartitionResult result;
+  const dnn::DnnGraph& graph = cost.graph();
+  const int split = split_layer < 0 ? dnn::data_partition_point(graph) : split_layer;
+  if (split <= 0 || split > static_cast<int>(graph.size()) || worker_nodes.empty()) {
+    return result;
+  }
+  if (split > graph.spatial_prefix_end() || graph.layer(split - 1).output.height <= 1) {
+    return result;
+  }
+  result.split_layer = split;
+  result.head_node = leader;
+
+  const int bpe = cost.bytes_per_element();
+  const dnn::Layer& boundary_layer = graph.layer(split - 1);
+  const int target_rows = boundary_layer.output.height;
+  const std::int64_t target_row_bytes =
+      static_cast<std::int64_t>(boundary_layer.output.channels) * boundary_layer.output.width *
+      bpe;
+  const dnn::Shape& input_shape = graph.input_shape();
+  const std::int64_t input_row_bytes =
+      static_cast<std::int64_t>(input_shape.channels) * input_shape.width * bpe;
+
+  std::vector<double> rates;
+  rates.reserve(worker_nodes.size());
+  for (std::size_t node : worker_nodes) rates.push_back(cost.node_rate_gflops(node));
+  const std::vector<RowRange> bands = proportional_row_bands(target_rows, rates);
+
+  double scatter_cursor_s = 0.0;  // leader radio serialises the input scatter
+  double slowest = 0.0;
+  for (std::size_t i = 0; i < worker_nodes.size(); ++i) {
+    if (bands[i].empty()) continue;
+    DataSliceAssignment slice;
+    slice.node = worker_nodes[i];
+    slice.target_rows = bands[i];
+
+    const std::vector<RowRange> needed = dnn::backpropagate_rows(graph, split, bands[i]);
+    for (int l = 0; l < split; ++l) {
+      const RowRange rows = needed[static_cast<std::size_t>(l)];
+      if (rows.empty()) continue;
+      const dnn::Layer& layer = graph.layer(l);
+      if (layer.flops > 0.0) {
+        slice.work.add(layer.kind, dnn::layer_flops_per_row(layer) * rows.size(),
+                       platform::classify_layer(layer));
+      }
+      if (layer.kind == dnn::LayerKind::kSqueezeExcite) {
+        // Partial-sum all-reduce: C floats up, C scale factors down.
+        slice.sync_bytes += 2L * layer.output.channels * bpe;
+      }
+    }
+    slice.input_bytes = needed[0].size() * input_row_bytes;
+    slice.output_bytes = bands[i].size() * target_row_bytes;
+
+    const std::int64_t io = slice.input_bytes + slice.output_bytes;
+    slice.local = cost.local_decision(slice.node, slice.work, io);
+    slice.compute_s = slice.local.latency_s;
+
+    double t = 0.0;
+    if (slice.node != leader) {
+      // Scatter serialises on the leader radio; later slices start later.
+      scatter_cursor_s += cost.transfer_s(leader, slice.node, slice.input_bytes);
+      t = scatter_cursor_s;
+    }
+    t += slice.compute_s;
+    if (slice.sync_bytes > 0 && slice.node != leader) {
+      t += 2.0 * cost.transfer_s(slice.node, leader, slice.sync_bytes);
+    }
+    if (slice.node != leader) t += cost.transfer_s(slice.node, leader, slice.output_bytes);
+    slice.total_s = t;
+    slowest = std::max(slowest, t);
+    result.slices.push_back(std::move(slice));
+  }
+  if (result.slices.empty()) return result;
+
+  // Classifier head on the leader.
+  const WorkProfile head_work = WorkProfile::from_graph(graph, split, -1);
+  const platform::NodeModel& head_model = cost.nodes()[leader];
+  const std::int64_t head_io =
+      static_cast<std::int64_t>(target_rows) * target_row_bytes +
+      graph.output_shape().bytes(bpe);
+  result.head_local = cost.local_decision(leader, head_work, head_io);
+  result.head_s = result.head_local.latency_s;
+  (void)head_model;
+  result.latency_s = slowest + result.head_s;
+  result.valid = true;
+  return result;
+}
+
+}  // namespace hidp::partition

@@ -1,0 +1,68 @@
+// Data (input-wise) partitioning across edge nodes (paper Eq. 6: Theta_sigma
+// over sigma parallel sub-models with gamma = Psi).
+//
+// The spatially local prefix of the DNN is split into sigma row bands, one
+// per participating node, sized proportionally to node computation rates.
+// Each band's exact FLOPs — including the recomputed receptive-field
+// overlap — come from dnn::backpropagate_rows. The classifier head runs
+// unsplit on the head node (the leader) after gathering band outputs.
+#pragma once
+
+#include <vector>
+
+#include "dnn/receptive_field.hpp"
+#include "partition/cost_model.hpp"
+
+namespace hidp::partition {
+
+/// One node's slice of a data partition.
+struct DataSliceAssignment {
+  std::size_t node = 0;
+  dnn::RowRange target_rows;        ///< rows of the split layer's output
+  platform::WorkProfile work;       ///< exact FLOPs incl. halo recompute
+  std::int64_t input_bytes = 0;     ///< network-input rows shipped to node
+  std::int64_t output_bytes = 0;    ///< split-layer rows gathered back
+  std::int64_t sync_bytes = 0;      ///< SqueezeExcite all-reduce traffic
+  double compute_s = 0.0;           ///< local execution estimate
+  LocalDecision local;              ///< intra-node config under the policy
+  double total_s = 0.0;             ///< scatter + compute + sync + gather
+};
+
+/// A complete data-partitioning decision.
+struct DataPartitionResult {
+  std::vector<DataSliceAssignment> slices;
+  int split_layer = 0;        ///< head starts here (= data_partition_point)
+  std::size_t head_node = 0;  ///< runs layers [split_layer, n)
+  double head_s = 0.0;
+  LocalDecision head_local;
+  double latency_s = 0.0;  ///< max over slices + head
+  bool valid = false;
+};
+
+/// Plans a data partition over `worker_nodes` (sigma = worker count). The
+/// head runs on `leader`. `split_layer` < 0 selects the deepest admissible
+/// split (dnn::data_partition_point) — the fixed behaviour of data-only
+/// baselines like MoDNN. Returns !valid if the DNN admits no data
+/// partitioning (no spatially local prefix) or no workers are given.
+DataPartitionResult plan_data_partition(const ClusterCostModel& cost,
+                                        const std::vector<std::size_t>& worker_nodes,
+                                        std::size_t leader, int split_layer = -1);
+
+/// Candidate split points for the sweep: clean cuts inside the spatially
+/// local prefix whose boundary tensor still has spatial extent, thinned to
+/// at most `max_candidates`.
+std::vector<int> data_split_candidates(const dnn::DnnGraph& graph, int max_candidates = 12);
+
+/// HiDP's data-mode DSE: sweeps the split point (deeper splits parallelise
+/// more FLOPs but pay receptive-field halo recompute; shallower splits
+/// leave a bigger sequential head) and returns the latency-minimal plan.
+DataPartitionResult plan_best_data_partition(const ClusterCostModel& cost,
+                                             const std::vector<std::size_t>& worker_nodes,
+                                             std::size_t leader, int max_candidates = 12);
+
+/// Row bands of `total_rows` proportional to `weights` (each band >= 0,
+/// sums to total). Exposed for tests and for the local tier.
+std::vector<dnn::RowRange> proportional_row_bands(int total_rows,
+                                                  const std::vector<double>& weights);
+
+}  // namespace hidp::partition

@@ -1,0 +1,214 @@
+#include "partition/linear_partition.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hidp::partition {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+double combine(PartitionObjective objective, double acc, double stage, double boundary) {
+  if (objective == PartitionObjective::kMinimizeSum) return acc + stage + boundary;
+  // Bottleneck: boundaries are charged to the downstream stage, so a cut is
+  // only worthwhile when compute dominates the handoff.
+  return std::max(acc, stage + boundary);
+}
+
+}  // namespace
+
+double evaluate_partition(const std::vector<LinearPartitionResult::Block>& blocks,
+                          const StageCostFn& stage_cost, const BoundaryCostFn& boundary_cost,
+                          PartitionObjective objective, double* sum_out,
+                          double* bottleneck_out) {
+  double sum = 0.0;
+  double bottleneck = 0.0;
+  const LinearPartitionResult::Block* prev = nullptr;
+  for (const auto& block : blocks) {
+    if (block.begin >= block.end) continue;
+    double handoff = 0.0;
+    if (prev != nullptr) handoff = boundary_cost(block.begin, prev->worker, block.worker);
+    const double stage = stage_cost(block.begin, block.end, block.worker);
+    sum += stage + handoff;
+    bottleneck = std::max(bottleneck, stage + handoff);
+    prev = &block;
+  }
+  if (sum_out != nullptr) *sum_out = sum;
+  if (bottleneck_out != nullptr) *bottleneck_out = bottleneck;
+  return objective == PartitionObjective::kMinimizeSum ? sum : bottleneck;
+}
+
+LinearPartitionResult dp_linear_partition(int num_segments, int num_workers,
+                                          const StageCostFn& stage_cost,
+                                          const BoundaryCostFn& boundary_cost,
+                                          PartitionObjective objective) {
+  LinearPartitionResult result;
+  if (num_segments <= 0 || num_workers <= 0) return result;
+
+  const int s_count = num_segments + 1;  // DP over boundaries 0..num_segments
+  // best[s][w]: minimal objective covering segments [0, s) where worker w
+  // (index into the ordered worker list) holds the last non-empty block
+  // ending at boundary s.
+  std::vector<std::vector<double>> best(
+      static_cast<std::size_t>(s_count),
+      std::vector<double>(static_cast<std::size_t>(num_workers), kInf));
+  struct Back {
+    int prev_boundary = -1;
+    int prev_worker = -1;
+  };
+  std::vector<std::vector<Back>> back(
+      static_cast<std::size_t>(s_count),
+      std::vector<Back>(static_cast<std::size_t>(num_workers)));
+
+  // First block: worker w takes [0, s).
+  for (int w = 0; w < num_workers; ++w) {
+    for (int s = 1; s <= num_segments; ++s) {
+      const double stage = stage_cost(0, s, w);
+      if (!std::isfinite(stage)) continue;
+      const double value = combine(objective, 0.0, stage, 0.0);
+      auto& slot = best[static_cast<std::size_t>(s)][static_cast<std::size_t>(w)];
+      if (value < slot) {
+        slot = value;
+        back[static_cast<std::size_t>(s)][static_cast<std::size_t>(w)] = Back{0, -1};
+      }
+    }
+  }
+
+  // Extend: from state (s1, w1) append a block [s1, s2) on a later worker.
+  for (int s1 = 1; s1 < num_segments; ++s1) {
+    for (int w1 = 0; w1 < num_workers; ++w1) {
+      const double acc = best[static_cast<std::size_t>(s1)][static_cast<std::size_t>(w1)];
+      if (!std::isfinite(acc)) continue;
+      for (int w2 = w1 + 1; w2 < num_workers; ++w2) {
+        const double handoff = boundary_cost(s1, w1, w2);
+        if (!std::isfinite(handoff)) continue;
+        for (int s2 = s1 + 1; s2 <= num_segments; ++s2) {
+          const double stage = stage_cost(s1, s2, w2);
+          if (!std::isfinite(stage)) continue;
+          const double value = combine(objective, acc, stage, handoff);
+          auto& slot = best[static_cast<std::size_t>(s2)][static_cast<std::size_t>(w2)];
+          if (value < slot) {
+            slot = value;
+            back[static_cast<std::size_t>(s2)][static_cast<std::size_t>(w2)] = Back{s1, w1};
+          }
+        }
+      }
+    }
+  }
+
+  // Pick the best full cover.
+  int best_worker = -1;
+  double best_value = kInf;
+  for (int w = 0; w < num_workers; ++w) {
+    const double v = best[static_cast<std::size_t>(num_segments)][static_cast<std::size_t>(w)];
+    if (v < best_value) {
+      best_value = v;
+      best_worker = w;
+    }
+  }
+  if (best_worker < 0) return result;
+
+  // Reconstruct blocks.
+  std::vector<LinearPartitionResult::Block> reversed;
+  int s = num_segments;
+  int w = best_worker;
+  while (s > 0 && w >= 0) {
+    const Back& b = back[static_cast<std::size_t>(s)][static_cast<std::size_t>(w)];
+    reversed.push_back({b.prev_boundary, s, w});
+    s = b.prev_boundary;
+    w = b.prev_worker;
+  }
+  result.blocks.assign(reversed.rbegin(), reversed.rend());
+  result.objective = best_value;
+  evaluate_partition(result.blocks, stage_cost, boundary_cost, objective, &result.sum_cost,
+                     &result.bottleneck_cost);
+  return result;
+}
+
+LinearPartitionResult greedy_backprop_partition(int num_segments, int num_workers,
+                                                const std::vector<double>& worker_rates,
+                                                const std::vector<double>& segment_weights,
+                                                const StageCostFn& stage_cost,
+                                                const BoundaryCostFn& boundary_cost,
+                                                PartitionObjective objective) {
+  LinearPartitionResult result;
+  if (num_segments <= 0 || num_workers <= 0) return result;
+
+  // 1. Initial allocation "following the resource heterogeneity": slice the
+  //    cumulative segment weight proportionally to each worker's rate, so
+  //    faster workers start with the largest feasible blocks.
+  std::vector<double> prefix(static_cast<std::size_t>(num_segments) + 1, 0.0);
+  for (int i = 0; i < num_segments; ++i) {
+    const double wgt =
+        i < static_cast<int>(segment_weights.size()) ? segment_weights[static_cast<std::size_t>(i)] : 1.0;
+    prefix[static_cast<std::size_t>(i) + 1] = prefix[static_cast<std::size_t>(i)] + wgt;
+  }
+  double rate_total = 0.0;
+  for (int w = 0; w < num_workers; ++w) {
+    rate_total += w < static_cast<int>(worker_rates.size())
+                      ? std::max(worker_rates[static_cast<std::size_t>(w)], 0.0)
+                      : 1.0;
+  }
+  if (rate_total <= 0.0) rate_total = static_cast<double>(num_workers);
+
+  std::vector<int> boundaries(static_cast<std::size_t>(num_workers) + 1, 0);
+  boundaries[static_cast<std::size_t>(num_workers)] = num_segments;
+  double acc_rate = 0.0;
+  for (int w = 0; w < num_workers - 1; ++w) {
+    acc_rate += w < static_cast<int>(worker_rates.size())
+                    ? std::max(worker_rates[static_cast<std::size_t>(w)], 0.0)
+                    : 1.0;
+    const double target = prefix.back() * acc_rate / rate_total;
+    // Smallest boundary whose cumulative weight reaches the target.
+    int b = boundaries[static_cast<std::size_t>(w)];
+    while (b < num_segments && prefix[static_cast<std::size_t>(b)] < target) ++b;
+    boundaries[static_cast<std::size_t>(w) + 1] = std::max(b, boundaries[static_cast<std::size_t>(w)]);
+  }
+
+  auto blocks_from = [&](const std::vector<int>& bounds) {
+    std::vector<LinearPartitionResult::Block> blocks;
+    for (int w = 0; w < num_workers; ++w) {
+      const int lo = bounds[static_cast<std::size_t>(w)];
+      const int hi = bounds[static_cast<std::size_t>(w) + 1];
+      if (hi > lo) blocks.push_back({lo, hi, w});
+    }
+    return blocks;
+  };
+
+  double current = evaluate_partition(blocks_from(boundaries), stage_cost, boundary_cost,
+                                      objective);
+
+  // 2. Back-propagate block by block: move one segment across a boundary at
+  //    a time while the end-to-end latency improves.
+  bool improved = true;
+  int guard = num_segments * num_workers * 4;  // paper's O(n*m) budget
+  while (improved && guard-- > 0) {
+    improved = false;
+    for (int w = num_workers - 1; w >= 1; --w) {
+      for (int delta : {-1, +1}) {
+        std::vector<int> trial = boundaries;
+        auto& b = trial[static_cast<std::size_t>(w)];
+        b += delta;
+        if (b < trial[static_cast<std::size_t>(w) - 1] || b > trial[static_cast<std::size_t>(w) + 1]) {
+          continue;
+        }
+        const double value =
+            evaluate_partition(blocks_from(trial), stage_cost, boundary_cost, objective);
+        if (value + 1e-12 < current) {
+          current = value;
+          boundaries = std::move(trial);
+          improved = true;
+        }
+      }
+    }
+  }
+
+  result.blocks = blocks_from(boundaries);
+  result.objective = current;
+  evaluate_partition(result.blocks, stage_cost, boundary_cost, objective, &result.sum_cost,
+                     &result.bottleneck_cost);
+  return result;
+}
+
+}  // namespace hidp::partition

@@ -1,0 +1,82 @@
+// Contiguous (linear) partitioning of a layer sequence across an ordered
+// worker list — the DP search at the heart of HiDP's DSE agent (paper
+// Alg. 1, DPalg). The same routine serves global exploration (workers =
+// edge nodes, rates = Psi) and local exploration (workers = processors,
+// rates = psi), exactly as the paper notes ("the function arguments are
+// essentially the same in either case").
+//
+// Two search engines are provided:
+//  * dp_linear_partition  — exact dynamic program over (segment, last
+//    worker) states;
+//  * greedy_backprop_partition — the paper's O(n*m) heuristic: start from
+//    the largest feasible blocks ordered by resource heterogeneity, then
+//    back-propagate the boundary between adjacent blocks while latency
+//    improves.
+// tests/test_linear_partition.cpp checks the heuristic against the exact DP
+// and the DP against brute force.
+#pragma once
+
+#include <functional>
+#include <limits>
+#include <vector>
+
+namespace hidp::partition {
+
+/// What the search minimises.
+enum class PartitionObjective {
+  kMinimizeSum,         ///< single-shot latency: sum of stage + boundary costs
+  kMinimizeBottleneck,  ///< steady-state pipeline interval: slowest stage
+};
+
+/// Cost (seconds) for `worker` to execute segments [begin, end). An empty
+/// range must cost 0. Return +inf (or huge) for infeasible placements.
+using StageCostFn = std::function<double(int begin, int end, int worker)>;
+
+/// Cost (seconds) of handing off the boundary tensor at segment boundary
+/// `boundary` from `from_worker` to `to_worker`.
+using BoundaryCostFn = std::function<double(int boundary, int from_worker, int to_worker)>;
+
+/// Result of a linear-partition search.
+struct LinearPartitionResult {
+  /// block[i] = {begin, end, worker}; blocks are in pipeline order and
+  /// cover [0, num_segments) without gaps. Workers appear at most once,
+  /// in the given worker order; workers with no block are skipped.
+  struct Block {
+    int begin = 0;
+    int end = 0;
+    int worker = 0;
+  };
+  std::vector<Block> blocks;
+  double objective = std::numeric_limits<double>::infinity();
+  double sum_cost = 0.0;         ///< total stage + boundary cost
+  double bottleneck_cost = 0.0;  ///< slowest stage cost
+
+  bool valid() const noexcept { return !blocks.empty(); }
+};
+
+/// Exact DP. Complexity O(S^2 * W^2) for S segments and W workers; with the
+/// clean-cut coarsened segment lists used here (S <= ~60, W <= 5) this is
+/// thousands of evaluations. Workers may be skipped but not reordered.
+LinearPartitionResult dp_linear_partition(int num_segments, int num_workers,
+                                          const StageCostFn& stage_cost,
+                                          const BoundaryCostFn& boundary_cost,
+                                          PartitionObjective objective);
+
+/// The paper's greedy back-propagation heuristic (O(S*W) refinement steps).
+/// `worker_rates` orders the initial allocation "following the resource
+/// heterogeneity": faster workers start with proportionally larger blocks.
+LinearPartitionResult greedy_backprop_partition(int num_segments, int num_workers,
+                                                const std::vector<double>& worker_rates,
+                                                const std::vector<double>& segment_weights,
+                                                const StageCostFn& stage_cost,
+                                                const BoundaryCostFn& boundary_cost,
+                                                PartitionObjective objective);
+
+/// Objective value of an explicit block layout (shared by both engines and
+/// by tests).
+double evaluate_partition(const std::vector<LinearPartitionResult::Block>& blocks,
+                          const StageCostFn& stage_cost, const BoundaryCostFn& boundary_cost,
+                          PartitionObjective objective, double* sum_out = nullptr,
+                          double* bottleneck_out = nullptr);
+
+}  // namespace hidp::partition

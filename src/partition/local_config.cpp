@@ -1,0 +1,185 @@
+#include "partition/local_config.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hidp::partition {
+
+using platform::NodeModel;
+using platform::ProcKind;
+using platform::WorkProfile;
+
+std::string_view local_mode_name(LocalMode mode) noexcept {
+  switch (mode) {
+    case LocalMode::kSingleProcessor: return "single";
+    case LocalMode::kDataParallel: return "data";
+    case LocalMode::kPipeline: return "pipeline";
+  }
+  return "?";
+}
+
+double estimate_local_latency(const NodeModel& node, const WorkProfile& work,
+                              const LocalConfig& config, std::int64_t io_bytes) {
+  if (config.shares.empty() || work.total() <= 0.0) return 0.0;
+  switch (config.mode) {
+    case LocalMode::kSingleProcessor: {
+      const ProcShare& s = config.shares.front();
+      return node.processor(s.proc).time_for(work, s.data_partitions);
+    }
+    case LocalMode::kDataParallel: {
+      // Parallel slices; the slowest processor bounds latency. Input
+      // scatter and output gather cross the DRAM path once per extra
+      // participant's slice (approximated by its share of io_bytes).
+      double slowest = 0.0;
+      double exchanged_fraction = 0.0;
+      for (const ProcShare& s : config.shares) {
+        if (s.share <= 0.0) continue;
+        const double t =
+            node.processor(s.proc).time_for(work.scaled(s.share), s.data_partitions);
+        slowest = std::max(slowest, t);
+        exchanged_fraction += s.share;
+      }
+      const std::size_t active = static_cast<std::size_t>(
+          std::count_if(config.shares.begin(), config.shares.end(),
+                        [](const ProcShare& s) { return s.share > 0.0; }));
+      if (active <= 1) return slowest;
+      const auto bytes = static_cast<std::int64_t>(
+          static_cast<double>(io_bytes) * std::min(exchanged_fraction, 1.0));
+      return slowest + node.local_exchange_s(bytes);
+    }
+    case LocalMode::kPipeline: {
+      // Sequential stages; each boundary moves roughly the block's mean
+      // activation size through DRAM.
+      double total = 0.0;
+      int boundaries = 0;
+      for (const ProcShare& s : config.shares) {
+        if (s.share <= 0.0) continue;
+        total += node.processor(s.proc).time_for(work.scaled(s.share), s.data_partitions);
+        ++boundaries;
+      }
+      if (boundaries > 1) {
+        total += static_cast<double>(boundaries - 1) * node.local_exchange_s(io_bytes / 2);
+      }
+      return total;
+    }
+  }
+  return 0.0;
+}
+
+LocalConfig default_processor_config(const NodeModel& node, const WorkProfile& work) {
+  LocalConfig config;
+  config.mode = LocalMode::kSingleProcessor;
+  config.label = "default";
+  std::size_t proc = node.gpu_index();
+  if (proc >= node.processor_count()) proc = node.fastest_processor(work);
+  config.shares.push_back(ProcShare{proc, 1.0, 1});
+  return config;
+}
+
+namespace {
+
+/// Splits `fraction` of the work across the node's CPU processors
+/// proportionally to their rates for this workload.
+void append_cpu_shares(const NodeModel& node, const WorkProfile& work, double fraction,
+                       int partitions, std::vector<ProcShare>& out) {
+  if (fraction <= 0.0) return;
+  double total_rate = 0.0;
+  for (std::size_t p = 0; p < node.processor_count(); ++p) {
+    if (node.processor(p).kind() == ProcKind::kGpu) continue;
+    total_rate += node.processor(p).lambda_gflops(work, partitions);
+  }
+  if (total_rate <= 0.0) return;
+  for (std::size_t p = 0; p < node.processor_count(); ++p) {
+    if (node.processor(p).kind() == ProcKind::kGpu) continue;
+    const double rate = node.processor(p).lambda_gflops(work, partitions);
+    if (rate <= 0.0) continue;
+    out.push_back(ProcShare{p, fraction * rate / total_rate, partitions});
+  }
+}
+
+LocalConfig split_config(const NodeModel& node, const WorkProfile& work, double gpu_share,
+                         int gpu_partitions, int cpu_partitions, std::string label) {
+  LocalConfig config;
+  config.mode = LocalMode::kDataParallel;
+  config.label = std::move(label);
+  const std::size_t gpu = node.gpu_index();
+  if (gpu < node.processor_count() && gpu_share > 0.0) {
+    config.shares.push_back(ProcShare{gpu, gpu_share, gpu_partitions});
+  }
+  append_cpu_shares(node, work, 1.0 - gpu_share, cpu_partitions, config.shares);
+  return config;
+}
+
+}  // namespace
+
+std::vector<LocalConfig> paper_local_configs(const NodeModel& node, const WorkProfile& work) {
+  std::vector<LocalConfig> configs;
+  // P1: framework default — whole workload on the GPU, one stream.
+  LocalConfig p1 = default_processor_config(node, work);
+  p1.label = "P1";
+  configs.push_back(std::move(p1));
+  // P2/P3: GPU only with 2 / 4 data partitions.
+  configs.push_back(split_config(node, work, 1.0, 2, 1, "P2"));
+  configs.push_back(split_config(node, work, 1.0, 4, 1, "P3"));
+  // P4/P5: 2 partitions with 90/10 and 80/20 GPU/CPU splits.
+  configs.push_back(split_config(node, work, 0.9, 2, 2, "P4"));
+  configs.push_back(split_config(node, work, 0.8, 2, 2, "P5"));
+  // P6 (paper anchor): 90% GPU with 2 partitions, 10% CPU with 4 partitions.
+  configs.push_back(split_config(node, work, 0.9, 2, 4, "P6"));
+  // P7 (paper anchor): 4 partitions, 80% GPU / 20% CPU.
+  configs.push_back(split_config(node, work, 0.8, 4, 4, "P7"));
+  // P8: 4 partitions, 90/10.
+  configs.push_back(split_config(node, work, 0.9, 4, 4, "P8"));
+  // P9 (paper anchor): 4 partitions, 50/50.
+  configs.push_back(split_config(node, work, 0.5, 4, 4, "P9"));
+  return configs;
+}
+
+LocalDecision best_local_config(const NodeModel& node, const WorkProfile& work,
+                                std::int64_t io_bytes, const LocalSearchSpace& space) {
+  LocalDecision best;
+  best.config = default_processor_config(node, work);
+  best.latency_s = estimate_local_latency(node, work, best.config, io_bytes);
+
+  auto consider = [&](const LocalConfig& config) {
+    const double t = estimate_local_latency(node, work, config, io_bytes);
+    if (t < best.latency_s) {
+      best.latency_s = t;
+      best.config = config;
+      best.config.label = "dse";
+    }
+  };
+
+  // Single-processor alternatives (e.g. CPU beating the GPU on RPi boards).
+  for (std::size_t p = 0; p < node.processor_count(); ++p) {
+    LocalConfig single;
+    single.mode = LocalMode::kSingleProcessor;
+    single.shares.push_back(ProcShare{p, 1.0, 1});
+    consider(single);
+  }
+
+  const bool has_gpu = node.gpu_index() < node.processor_count();
+  for (int sigma : space.partition_counts) {
+    if (has_gpu) {
+      // theta_sigma: sweep the accelerator share; CPUs absorb the rest
+      // proportionally to their measured rates.
+      for (double g = 0.0; g <= 1.0 + 1e-9; g += space.accelerator_share_step) {
+        consider(split_config(node, work, std::min(g, 1.0), sigma, sigma, "dse"));
+      }
+    } else {
+      consider(split_config(node, work, 0.0, 1, sigma, "dse"));
+    }
+    // theta_omega: pipeline (local model partitioning) — contiguous split,
+    // GPU stage first, CPUs in rate order.
+    if (space.explore_pipeline && has_gpu && node.processor_count() >= 2) {
+      for (double g = 0.1; g <= 0.9 + 1e-9; g += 2.0 * space.accelerator_share_step) {
+        LocalConfig pipe = split_config(node, work, g, sigma, sigma, "dse-pipe");
+        pipe.mode = LocalMode::kPipeline;
+        consider(pipe);
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace hidp::partition

@@ -1,0 +1,80 @@
+// Local (intra-node) partitioning configurations and their cost estimates.
+//
+// A LocalConfig describes how one node executes a DNN block across its
+// heterogeneous processors: on a single processor (the framework default,
+// config P1), data-parallel with per-processor shares and partition counts,
+// or pipelined (contiguous model split across processors). HiDP's local
+// DSE agent searches this space (paper Alg. 1 lines 8-10); the Fig. 1 bench
+// enumerates the paper's fixed P1-P9 grid.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "platform/node.hpp"
+
+namespace hidp::partition {
+
+/// Intra-node execution mode for one block.
+enum class LocalMode {
+  kSingleProcessor,  ///< whole block on one processor (default frameworks)
+  kDataParallel,     ///< row-partitioned across processors, parallel
+  kPipeline,         ///< contiguous model split across processors, sequential
+};
+
+std::string_view local_mode_name(LocalMode mode) noexcept;
+
+/// Work assignment for one processor within a LocalConfig.
+struct ProcShare {
+  std::size_t proc = 0;     ///< index into node.processors()
+  double share = 1.0;       ///< fraction of the block's FLOPs
+  int data_partitions = 1;  ///< concurrent partitions on this processor
+};
+
+/// One intra-node execution configuration.
+struct LocalConfig {
+  LocalMode mode = LocalMode::kSingleProcessor;
+  std::vector<ProcShare> shares;  ///< pipeline order = vector order
+  std::string label;              ///< e.g. "P1".."P9" or "dse"
+};
+
+/// Estimated wall-clock seconds for `node` to run `work` under `config`.
+/// `io_bytes` is the block's input+output activation volume, charged to the
+/// local DRAM exchange path when more than one processor participates.
+double estimate_local_latency(const platform::NodeModel& node,
+                              const platform::WorkProfile& work, const LocalConfig& config,
+                              std::int64_t io_bytes);
+
+/// The framework-default configuration (whole block on the GPU if present,
+/// else on the fastest processor) — the paper's P1 / SoA baseline behaviour.
+LocalConfig default_processor_config(const platform::NodeModel& node,
+                                     const platform::WorkProfile& work);
+
+/// The paper's Fig. 1 configuration grid P1-P9 (data partitions x CPU/GPU
+/// split). Anchor points documented in the paper: P6 = 90% GPU (2 parts) /
+/// 10% CPU (4 parts), P7 = 4 parts 80/20, P9 = 4 parts 50/50.
+std::vector<LocalConfig> paper_local_configs(const platform::NodeModel& node,
+                                             const platform::WorkProfile& work);
+
+/// Search-space bounds for the local DSE.
+struct LocalSearchSpace {
+  std::vector<int> partition_counts{1, 2, 4, 8};
+  double accelerator_share_step = 0.1;  ///< grid step for the GPU share
+  bool explore_pipeline = true;         ///< also evaluate theta_omega (model mode)
+};
+
+/// A converged local decision: configuration plus its predicted latency.
+struct LocalDecision {
+  LocalConfig config;
+  double latency_s = 0.0;
+};
+
+/// HiDP local DSE: explores data-parallel and pipeline configurations over
+/// the node's processors and returns the latency-minimal decision
+/// (theta = min(theta_omega, theta_sigma), paper Alg. 1 line 10).
+LocalDecision best_local_config(const platform::NodeModel& node,
+                                const platform::WorkProfile& work, std::int64_t io_bytes,
+                                const LocalSearchSpace& space = {});
+
+}  // namespace hidp::partition

@@ -1,0 +1,67 @@
+#include "partition/model_partitioner.hpp"
+
+#include <algorithm>
+
+namespace hidp::partition {
+
+ModelPartitionResult plan_model_partition(const ClusterCostModel& cost,
+                                          const std::vector<std::size_t>& worker_nodes,
+                                          std::size_t leader, PartitionObjective objective,
+                                          SearchEngine engine) {
+  ModelPartitionResult result;
+  if (worker_nodes.empty() || cost.segment_count() == 0) return result;
+  const int segments = static_cast<int>(cost.segment_count());
+  const int workers = static_cast<int>(worker_nodes.size());
+
+  // Stage cost: block execution, plus input shipping for the first block
+  // and logits return for the last one (both relative to the leader).
+  const auto stage_cost = [&](int begin, int end, int worker) {
+    const std::size_t node = worker_nodes[static_cast<std::size_t>(worker)];
+    double t = cost.node_time(node, begin, end);
+    if (begin == 0 && node != leader) t += cost.transfer_s(leader, node, cost.boundary_bytes(0));
+    if (end == segments && node != leader) {
+      t += cost.transfer_s(node, leader, cost.boundary_bytes(segments));
+    }
+    return t;
+  };
+  const auto boundary_cost = [&](int boundary, int from_worker, int to_worker) {
+    const std::size_t from = worker_nodes[static_cast<std::size_t>(from_worker)];
+    const std::size_t to = worker_nodes[static_cast<std::size_t>(to_worker)];
+    return cost.transfer_s(from, to, cost.boundary_bytes(boundary));
+  };
+
+  LinearPartitionResult search;
+  if (engine == SearchEngine::kExactDp) {
+    search = dp_linear_partition(segments, workers, stage_cost, boundary_cost, objective);
+  } else {
+    std::vector<double> rates;
+    rates.reserve(worker_nodes.size());
+    for (std::size_t node : worker_nodes) rates.push_back(cost.node_rate_gflops(node));
+    std::vector<double> weights;
+    weights.reserve(static_cast<std::size_t>(segments));
+    for (int s = 0; s < segments; ++s) {
+      weights.push_back(cost.profile_between(s, s + 1).total());
+    }
+    search = greedy_backprop_partition(segments, workers, rates, weights, stage_cost,
+                                       boundary_cost, objective);
+  }
+  if (!search.valid()) return result;
+
+  for (const auto& block : search.blocks) {
+    ModelBlockAssignment assignment;
+    assignment.begin_layer = cost.candidates()[static_cast<std::size_t>(block.begin)];
+    assignment.end_layer = cost.candidates()[static_cast<std::size_t>(block.end)];
+    assignment.node = worker_nodes[static_cast<std::size_t>(block.worker)];
+    assignment.in_bytes = cost.boundary_bytes(block.begin);
+    assignment.out_bytes = cost.boundary_bytes(block.end);
+    assignment.stage_s = cost.node_time(assignment.node, block.begin, block.end,
+                                        &assignment.local);
+    result.blocks.push_back(std::move(assignment));
+  }
+  result.latency_s = search.sum_cost;
+  result.bottleneck_s = search.bottleneck_cost;
+  result.valid = true;
+  return result;
+}
+
+}  // namespace hidp::partition

@@ -1,0 +1,48 @@
+// Model (layer-wise) partitioning across an ordered set of edge nodes
+// (paper Eq. 5: Theta_omega over block widths omega with gamma = Psi).
+//
+// Blocks are contiguous layer ranges delimited by clean cuts; the boundary
+// tensors are pipelined node-to-node over the wireless network. The input
+// is shipped from the leader to the first stage and the logits return to
+// the leader.
+#pragma once
+
+#include <vector>
+
+#include "partition/cost_model.hpp"
+#include "partition/linear_partition.hpp"
+
+namespace hidp::partition {
+
+/// One pipeline stage of a model partition.
+struct ModelBlockAssignment {
+  int begin_layer = 0;  ///< first layer id (inclusive)
+  int end_layer = 0;    ///< last layer id (exclusive)
+  std::size_t node = 0;
+  double stage_s = 0.0;            ///< local execution estimate
+  LocalDecision local;             ///< intra-node config chosen by the policy
+  std::int64_t in_bytes = 0;       ///< tensor received by this stage
+  std::int64_t out_bytes = 0;      ///< tensor produced for the next stage
+};
+
+/// A complete model-partitioning decision.
+struct ModelPartitionResult {
+  std::vector<ModelBlockAssignment> blocks;  ///< pipeline order
+  double latency_s = 0.0;     ///< single-request latency (stages + handoffs)
+  double bottleneck_s = 0.0;  ///< slowest stage (steady-state interval)
+  bool valid = false;
+};
+
+/// Which search engine finds the cut points.
+enum class SearchEngine { kExactDp, kGreedyBackprop };
+
+/// Plans a model partition of the cost model's DNN over `worker_nodes`
+/// (pipeline order; typically Psi-sorted with the leader first). Workers
+/// may end up with no block. `leader` pays the input/output shipping.
+ModelPartitionResult plan_model_partition(const ClusterCostModel& cost,
+                                          const std::vector<std::size_t>& worker_nodes,
+                                          std::size_t leader,
+                                          PartitionObjective objective,
+                                          SearchEngine engine = SearchEngine::kExactDp);
+
+}  // namespace hidp::partition

@@ -1,0 +1,113 @@
+#include "platform/device_db.hpp"
+
+#include <stdexcept>
+
+namespace hidp::platform {
+
+namespace {
+
+// Shared wireless characteristics (paper: 80 MB/s wireless LAN, POSIX
+// client-server). Latency covers MAC + protocol overhead per message.
+constexpr double kRadioBwBps = 80e6;
+constexpr double kRadioLatencyS = 2e-3;
+
+// GPU single-stream utilisation (TF default placement, config P1) vs the
+// multi-partition asymptote, plus per-layer kernel dispatch overheads —
+// together these are the Fig. 1 mechanism.
+constexpr double kGpuUtilSingle = 0.62;
+constexpr double kGpuUtilMax = 0.84;
+constexpr double kCpuUtilSingle = 0.85;
+constexpr double kCpuUtilMax = 0.95;
+constexpr double kGpuDispatchS = 180e-6;  // launch + sync per layer
+constexpr double kCpuDispatchS = 15e-6;
+
+}  // namespace
+
+NodeModel make_jetson_orin_nx() {
+  std::vector<ProcessorModel> procs;
+  // 1024-core Ampere @ 918 MHz, 2 FLOPs/cycle FMA.
+  procs.emplace_back("ampere-gpu", ProcKind::kGpu, 1024, 0.918, 2.0,
+                     /*idle_w=*/0.8, /*peak_w=*/12.0, kGpuUtilSingle, kGpuUtilMax, kGpuDispatchS);
+  // 8x Cortex-A78AE @ 2.0 GHz, 2x128-bit NEON FMA = 16 FLOPs/cycle.
+  procs.emplace_back("a78-cpu", ProcKind::kCpuBig, 8, 2.0, 16.0,
+                     /*idle_w=*/0.6, /*peak_w=*/10.0, kCpuUtilSingle, kCpuUtilMax, kCpuDispatchS);
+  return NodeModel("Jetson Orin NX", std::move(procs), /*dram_gb=*/8.0,
+                   /*dram_bw_gbps=*/102.0, /*board_static_w=*/3.0, kRadioBwBps, kRadioLatencyS);
+}
+
+NodeModel make_jetson_tx2() {
+  std::vector<ProcessorModel> procs;
+  // 256-core Pascal @ 1.3 GHz.
+  procs.emplace_back("pascal-gpu", ProcKind::kGpu, 256, 1.3, 2.0,
+                     /*idle_w=*/0.5, /*peak_w=*/9.5, kGpuUtilSingle, kGpuUtilMax, kGpuDispatchS);
+  // 2x Denver2 @ 2.0 GHz (wide cores, 8 FLOPs/cycle sustained NEON).
+  procs.emplace_back("denver2-cpu", ProcKind::kCpuBig, 2, 2.0, 8.0,
+                     /*idle_w=*/0.3, /*peak_w=*/3.5, kCpuUtilSingle, kCpuUtilMax, kCpuDispatchS);
+  // 4x Cortex-A57 @ 1.9 GHz.
+  procs.emplace_back("a57-cpu", ProcKind::kCpuLittle, 4, 1.9, 8.0,
+                     /*idle_w=*/0.3, /*peak_w=*/4.0, kCpuUtilSingle, kCpuUtilMax, kCpuDispatchS);
+  return NodeModel("Jetson TX2", std::move(procs), 8.0, 59.7, 2.5, kRadioBwBps, kRadioLatencyS);
+}
+
+NodeModel make_jetson_nano() {
+  std::vector<ProcessorModel> procs;
+  // 128-core Maxwell @ 921 MHz.
+  procs.emplace_back("maxwell-gpu", ProcKind::kGpu, 128, 0.921, 2.0,
+                     /*idle_w=*/0.3, /*peak_w=*/4.5, kGpuUtilSingle, kGpuUtilMax, kGpuDispatchS);
+  // 4x Cortex-A57 @ 1.43 GHz.
+  procs.emplace_back("a57-cpu", ProcKind::kCpuLittle, 4, 1.43, 8.0,
+                     /*idle_w=*/0.2, /*peak_w=*/3.0, kCpuUtilSingle, kCpuUtilMax, kCpuDispatchS);
+  return NodeModel("Jetson Nano", std::move(procs), 4.0, 25.6, 1.5, kRadioBwBps, kRadioLatencyS);
+}
+
+NodeModel make_raspberry_pi5() {
+  std::vector<ProcessorModel> procs;
+  // VideoCore VII via OpenGL compute — low sustained NN throughput; one of
+  // the paper's "CPU outperforms GPU" platforms.
+  procs.emplace_back("videocore7-gpu", ProcKind::kGpu, 8, 0.8, 4.0,
+                     /*idle_w=*/0.2, /*peak_w=*/2.0, kGpuUtilSingle, kGpuUtilMax, kGpuDispatchS);
+  // 2x Cortex-A76 @ 2.4 GHz (Table II), 16 FLOPs/cycle.
+  procs.emplace_back("a76-cpu", ProcKind::kCpuBig, 2, 2.4, 16.0,
+                     /*idle_w=*/0.4, /*peak_w=*/5.0, kCpuUtilSingle, kCpuUtilMax, kCpuDispatchS);
+  return NodeModel("Raspberry Pi 5", std::move(procs), 4.0, 17.0, 2.2, kRadioBwBps,
+                   kRadioLatencyS);
+}
+
+NodeModel make_raspberry_pi4() {
+  std::vector<ProcessorModel> procs;
+  // VideoCore VI — weakest GPU in the cluster.
+  procs.emplace_back("videocore6-gpu", ProcKind::kGpu, 4, 0.5, 4.0,
+                     /*idle_w=*/0.2, /*peak_w=*/1.5, kGpuUtilSingle, kGpuUtilMax, kGpuDispatchS);
+  // 2x Cortex-A72 @ 1.5 GHz (Table II).
+  procs.emplace_back("a72-cpu", ProcKind::kCpuBig, 2, 1.5, 8.0,
+                     /*idle_w=*/0.3, /*peak_w=*/3.5, kCpuUtilSingle, kCpuUtilMax, kCpuDispatchS);
+  return NodeModel("Raspberry Pi 4", std::move(procs), 4.0, 6.0, 2.0, kRadioBwBps,
+                   kRadioLatencyS);
+}
+
+NodeModel make_device(const std::string& name) {
+  if (name == "Jetson Orin NX") return make_jetson_orin_nx();
+  if (name == "Jetson TX2") return make_jetson_tx2();
+  if (name == "Jetson Nano") return make_jetson_nano();
+  if (name == "Raspberry Pi 5") return make_raspberry_pi5();
+  if (name == "Raspberry Pi 4") return make_raspberry_pi4();
+  throw std::invalid_argument("unknown device: " + name);
+}
+
+std::vector<NodeModel> paper_cluster() {
+  std::vector<NodeModel> nodes;
+  nodes.push_back(make_jetson_orin_nx());
+  nodes.push_back(make_jetson_tx2());
+  nodes.push_back(make_jetson_nano());
+  nodes.push_back(make_raspberry_pi5());
+  nodes.push_back(make_raspberry_pi4());
+  return nodes;
+}
+
+std::vector<NodeModel> paper_cluster(std::size_t n) {
+  std::vector<NodeModel> nodes = paper_cluster();
+  if (n < nodes.size()) nodes.resize(n);
+  return nodes;
+}
+
+}  // namespace hidp::platform

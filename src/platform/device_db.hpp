@@ -1,0 +1,37 @@
+// Device database: the paper's evaluation boards (Table II) as calibrated
+// NodeModel instances, plus the 5-node heterogeneous cluster factory.
+//
+// Calibration sources: vendor peak specs (CUDA cores x clock x 2 FLOPs/cycle
+// FMA; NEON FMA width for the ARM clusters), module power envelopes, and
+// published sustained-throughput measurements for TF on these boards. The
+// CPU clusters of the TX2 (2x Denver2 + 4x A57) are modelled as two separate
+// processors — exactly the "two CPUs and one GPU" local partitioning example
+// of the paper's Fig. 3.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "platform/node.hpp"
+
+namespace hidp::platform {
+
+NodeModel make_jetson_orin_nx();
+NodeModel make_jetson_tx2();
+NodeModel make_jetson_nano();
+NodeModel make_raspberry_pi5();
+NodeModel make_raspberry_pi4();
+
+/// Builds a node by Table II name ("Jetson TX2", "Raspberry Pi 5", ...).
+/// Throws std::invalid_argument for unknown names.
+NodeModel make_device(const std::string& name);
+
+/// The paper's full 5-node evaluation cluster, in Table II order:
+/// Orin NX, TX2, Nano, RPi5, RPi4. Index 0 (Orin NX) acts as the default
+/// leader in the benches.
+std::vector<NodeModel> paper_cluster();
+
+/// First `n` nodes of the paper cluster (used by Fig. 8's 2-5 node sweep).
+std::vector<NodeModel> paper_cluster(std::size_t n);
+
+}  // namespace hidp::platform

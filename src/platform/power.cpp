@@ -1,0 +1,35 @@
+#include "platform/power.hpp"
+
+#include <algorithm>
+
+namespace hidp::platform {
+
+EnergyBreakdown node_energy(const NodeModel& node, const std::vector<double>& busy_s_per_proc,
+                            double horizon_s) {
+  EnergyBreakdown e;
+  if (horizon_s <= 0.0) return e;
+  for (std::size_t i = 0; i < node.processor_count(); ++i) {
+    const ProcessorModel& p = node.processor(i);
+    const double busy = i < busy_s_per_proc.size()
+                            ? std::clamp(busy_s_per_proc[i], 0.0, horizon_s)
+                            : 0.0;
+    e.active_j += (p.peak_w() - p.idle_w()) * busy;
+    e.idle_j += p.idle_w() * horizon_s;
+  }
+  e.static_j = node.board_static_w() * horizon_s;
+  return e;
+}
+
+double node_average_power_w(const NodeModel& node, const std::vector<double>& busy_s_per_proc,
+                            double horizon_s) {
+  if (horizon_s <= 0.0) return 0.0;
+  return node_energy(node, busy_s_per_proc, horizon_s).total_j() / horizon_s;
+}
+
+double node_idle_power_w(const NodeModel& node) {
+  double watts = node.board_static_w();
+  for (const ProcessorModel& p : node.processors()) watts += p.idle_w();
+  return watts;
+}
+
+}  // namespace hidp::platform

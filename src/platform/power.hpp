@@ -1,0 +1,36 @@
+// Energy accounting, mirroring the paper's run-time power monitoring
+// (on-board INA sensors on Jetsons, shunt resistor on Raspberry Pis).
+//
+// Power model per processor: P = idle_w while idle, peak_w while busy.
+// Per node a constant board_static_w covers DRAM/IO/rails. Energy over a
+// horizon integrates all three contributions.
+#pragma once
+
+#include <vector>
+
+#include "platform/node.hpp"
+
+namespace hidp::platform {
+
+/// Decomposed energy for one node over an observation horizon.
+struct EnergyBreakdown {
+  double active_j = 0.0;  ///< dynamic energy of busy processors
+  double idle_j = 0.0;    ///< idle floor of all processors over the horizon
+  double static_j = 0.0;  ///< board static rail
+  double total_j() const noexcept { return active_j + idle_j + static_j; }
+};
+
+/// Integrates node energy given per-processor busy seconds (aligned with
+/// node.processors()) over `horizon_s` seconds of wall-clock.
+EnergyBreakdown node_energy(const NodeModel& node, const std::vector<double>& busy_s_per_proc,
+                            double horizon_s);
+
+/// Average power (W) of the node over the horizon.
+double node_average_power_w(const NodeModel& node, const std::vector<double>& busy_s_per_proc,
+                            double horizon_s);
+
+/// Floor power of a node with all processors idle (idle rails + board
+/// static) — what the on-board sensor reads between inferences.
+double node_idle_power_w(const NodeModel& node);
+
+}  // namespace hidp::platform

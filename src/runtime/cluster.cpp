@@ -1,0 +1,32 @@
+#include "runtime/cluster.hpp"
+
+namespace hidp::runtime {
+
+Cluster::Cluster(std::vector<platform::NodeModel> nodes, net::MediumMode medium)
+    : nodes_(std::move(nodes)) {
+  network_ = std::make_unique<net::WirelessNetwork>(sim_, nodes_, medium);
+  processors_.resize(nodes_.size());
+  for (std::size_t n = 0; n < nodes_.size(); ++n) {
+    for (std::size_t p = 0; p < nodes_[n].processor_count(); ++p) {
+      processors_[n].push_back(std::make_unique<sim::Resource>(
+          sim_, nodes_[n].name() + "/" + nodes_[n].processor(p).name()));
+    }
+  }
+}
+
+platform::EnergyBreakdown Cluster::node_energy(std::size_t node, double horizon_s) const {
+  std::vector<double> busy;
+  busy.reserve(nodes_[node].processor_count());
+  for (std::size_t p = 0; p < nodes_[node].processor_count(); ++p) {
+    busy.push_back(processors_[node][p]->busy_time());
+  }
+  return platform::node_energy(nodes_[node], busy, horizon_s);
+}
+
+double Cluster::total_energy_j(double horizon_s) const {
+  double total = 0.0;
+  for (std::size_t n = 0; n < nodes_.size(); ++n) total += node_energy(n, horizon_s).total_j();
+  return total;
+}
+
+}  // namespace hidp::runtime

@@ -1,0 +1,51 @@
+// Simulated cluster: node models + DES resources (one per processor) + the
+// wireless network, with energy integration over the run horizon.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "net/network.hpp"
+#include "platform/device_db.hpp"
+#include "platform/power.hpp"
+#include "sim/resource.hpp"
+#include "sim/simulator.hpp"
+
+namespace hidp::runtime {
+
+class Cluster {
+ public:
+  explicit Cluster(std::vector<platform::NodeModel> nodes,
+                   net::MediumMode medium = net::MediumMode::kPerRadio);
+
+  sim::Simulator& simulator() noexcept { return sim_; }
+  const sim::Simulator& simulator() const noexcept { return sim_; }
+  net::WirelessNetwork& network() noexcept { return *network_; }
+  const net::WirelessNetwork& network() const noexcept { return *network_; }
+
+  const std::vector<platform::NodeModel>& nodes() const noexcept { return nodes_; }
+  std::size_t size() const noexcept { return nodes_.size(); }
+
+  sim::Resource& processor(std::size_t node, std::size_t proc) {
+    return *processors_.at(node).at(proc);
+  }
+
+  /// Busy seconds accumulated on one processor.
+  double busy_s(std::size_t node, std::size_t proc) const {
+    return processors_.at(node).at(proc)->busy_time();
+  }
+
+  /// Energy of one node over [0, horizon_s].
+  platform::EnergyBreakdown node_energy(std::size_t node, double horizon_s) const;
+
+  /// Total cluster energy over [0, horizon_s].
+  double total_energy_j(double horizon_s) const;
+
+ private:
+  std::vector<platform::NodeModel> nodes_;
+  sim::Simulator sim_;
+  std::unique_ptr<net::WirelessNetwork> network_;
+  std::vector<std::vector<std::unique_ptr<sim::Resource>>> processors_;
+};
+
+}  // namespace hidp::runtime

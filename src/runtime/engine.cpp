@@ -1,0 +1,161 @@
+#include "runtime/engine.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+#include "util/log.hpp"
+
+namespace hidp::runtime {
+
+namespace {
+
+/// Per-request execution state shared by task-completion callbacks.
+struct RequestRun {
+  Plan plan;
+  std::vector<int> pending_deps;            ///< per task
+  std::vector<std::vector<int>> dependents;  ///< reverse edges
+  int remaining = 0;
+  RequestRecord* record = nullptr;
+  int request_id = 0;
+};
+
+}  // namespace
+
+ExecutionEngine::ExecutionEngine(Cluster& cluster, IStrategy& strategy, std::size_t leader)
+    : cluster_(&cluster), strategy_(&strategy), leader_(leader) {
+  if (leader_ >= cluster.size()) throw std::invalid_argument("leader index out of range");
+}
+
+std::vector<RequestRecord> ExecutionEngine::run(const std::vector<InferenceRequest>& requests) {
+  auto records = std::make_shared<std::vector<RequestRecord>>(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const InferenceRequest request = requests[i];
+    if (request.model == nullptr) throw std::invalid_argument("request without model");
+    (*records)[i].id = request.id;
+    (*records)[i].model = request.model->name();
+    (*records)[i].arrival_s = request.arrival_s;
+    cluster_->simulator().schedule_at(request.arrival_s, [this, request, records, i] {
+      launch(request, (*records)[i]);
+    });
+  }
+  cluster_->simulator().run();
+  makespan_s_ = 0.0;
+  for (const RequestRecord& r : *records) makespan_s_ = std::max(makespan_s_, r.finish_s);
+  std::vector<RequestRecord> out = *records;
+  std::sort(out.begin(), out.end(),
+            [](const RequestRecord& a, const RequestRecord& b) { return a.id < b.id; });
+  return out;
+}
+
+void ExecutionEngine::launch(const InferenceRequest& request, RequestRecord& record) {
+  ++in_flight_;
+  ClusterSnapshot snapshot;
+  snapshot.nodes = &cluster_->nodes();
+  snapshot.network = cluster_->network().spec();
+  snapshot.available = cluster_->network().availability();
+  snapshot.leader = leader_;
+  snapshot.queue_depth = in_flight_ - 1;
+  snapshot.now_s = cluster_->simulator().now();
+
+  Plan plan = strategy_->plan(*request.model, snapshot);
+  validate_plan(plan, cluster_->nodes());
+  record.strategy = plan.strategy;
+  record.mode = plan.global_mode;
+  record.nodes_used = plan.nodes_used;
+  const double start = cluster_->simulator().now() + plan.phases.total();
+  record.dispatch_s = start;
+  if (plan.empty()) {
+    HIDP_LOG(kWarn, "engine") << "empty plan for request " << request.id;
+    record.finish_s = start;
+    --in_flight_;
+    return;
+  }
+  dispatch_plan(request.id, plan, start, record);
+}
+
+void ExecutionEngine::dispatch_plan(int request_id, const Plan& plan, double start_s,
+                                    RequestRecord& record) {
+  auto run = std::make_shared<RequestRun>();
+  run->plan = plan;
+  run->record = &record;
+  run->request_id = request_id;
+  const std::size_t n = plan.tasks.size();
+  run->pending_deps.resize(n, 0);
+  run->dependents.resize(n);
+  run->remaining = static_cast<int>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    run->pending_deps[i] = static_cast<int>(plan.tasks[i].deps.size());
+    for (int d : plan.tasks[i].deps) {
+      run->dependents[static_cast<std::size_t>(d)].push_back(static_cast<int>(i));
+    }
+  }
+
+  // start_task / on_done form the event-driven topological execution.
+  auto on_done = std::make_shared<std::function<void(int)>>();
+  auto start_task = std::make_shared<std::function<void(int)>>();
+
+  *on_done = [this, run, on_done, start_task](int index) {
+    for (int dep : run->dependents[static_cast<std::size_t>(index)]) {
+      if (--run->pending_deps[static_cast<std::size_t>(dep)] == 0) (*start_task)(dep);
+    }
+    if (--run->remaining == 0) {
+      run->record->finish_s = cluster_->simulator().now();
+      double flops = 0.0;
+      for (const PlanTask& t : run->plan.tasks) flops += t.flops;
+      run->record->flops = flops;
+      --in_flight_;
+      // Break the on_done <-> start_task capture cycle so the request state
+      // is reclaimed (long streaming benches run thousands of requests).
+      cluster_->simulator().schedule_in(0.0, [on_done, start_task] {
+        *on_done = nullptr;
+        *start_task = nullptr;
+      });
+    }
+  };
+
+  *start_task = [this, run, on_done](int index) {
+    const PlanTask& task = run->plan.tasks[static_cast<std::size_t>(index)];
+    const double now = cluster_->simulator().now();
+    switch (task.kind) {
+      case PlanTask::Kind::kCompute: {
+        sim::Resource& proc = cluster_->processor(task.node, task.proc);
+        const double begin = proc.next_free(now);
+        proc.submit(now, task.seconds, [this, run, on_done, index, task, begin](sim::Time end) {
+          traces_.push_back(TaskTrace{run->request_id, task.kind, task.node, task.proc, begin,
+                                      end, task.flops, 0});
+          (*on_done)(index);
+        });
+        break;
+      }
+      case PlanTask::Kind::kTransfer: {
+        cluster_->network().transfer(
+            task.from, task.to, task.bytes, now,
+            [this, run, on_done, index, task, now](sim::Time end) {
+              traces_.push_back(TaskTrace{run->request_id, task.kind, task.from, 0, now, end,
+                                          0.0, task.bytes});
+              (*on_done)(index);
+            });
+        break;
+      }
+      case PlanTask::Kind::kLocalExchange: {
+        const double duration = cluster_->nodes()[task.node].local_exchange_s(task.bytes);
+        cluster_->simulator().schedule_in(
+            duration, [this, run, on_done, index, task, now, duration] {
+              traces_.push_back(TaskTrace{run->request_id, task.kind, task.node, 0, now,
+                                          now + duration, 0.0, task.bytes});
+              (*on_done)(index);
+            });
+        break;
+      }
+    }
+  };
+
+  cluster_->simulator().schedule_at(start_s, [run, start_task] {
+    for (std::size_t i = 0; i < run->plan.tasks.size(); ++i) {
+      if (run->pending_deps[i] == 0) (*start_task)(static_cast<int>(i));
+    }
+  });
+}
+
+}  // namespace hidp::runtime

@@ -1,0 +1,96 @@
+// Cluster execution engine: replays strategy plans on the DES cluster.
+//
+// Requests arrive at the leader at their arrival times; the installed
+// strategy is consulted with a cluster snapshot (availability, queue
+// pressure — what the paper's Analyze state gathers) and returns a Plan.
+// The engine charges the plan's FSM phase overheads, then dispatches the
+// task DAG onto processor and radio resources. Contention between
+// concurrent requests is resolved by the FIFO resources, which is exactly
+// how pipelined/parallel execution overlaps in the real cluster.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "dnn/graph.hpp"
+#include "runtime/cluster.hpp"
+#include "runtime/plan.hpp"
+
+namespace hidp::runtime {
+
+/// One DNN inference request (paper: requests arrive randomly at a node).
+struct InferenceRequest {
+  int id = 0;
+  const dnn::DnnGraph* model = nullptr;
+  double arrival_s = 0.0;
+};
+
+/// What the strategy sees when planning (paper's Analyze state output).
+struct ClusterSnapshot {
+  const std::vector<platform::NodeModel>* nodes = nullptr;
+  net::NetworkSpec network;
+  std::vector<bool> available;
+  std::size_t leader = 0;
+  int queue_depth = 0;       ///< requests arrived but not finished
+  double now_s = 0.0;
+};
+
+/// Strategy interface implemented by HiDP and the baselines.
+class IStrategy {
+ public:
+  virtual ~IStrategy() = default;
+  virtual std::string name() const = 0;
+  virtual Plan plan(const dnn::DnnGraph& model, const ClusterSnapshot& snapshot) = 0;
+};
+
+/// Completion record for one request.
+struct RequestRecord {
+  int id = 0;
+  std::string model;
+  std::string strategy;
+  partition::PartitionMode mode = partition::PartitionMode::kNone;
+  double arrival_s = 0.0;
+  double dispatch_s = 0.0;  ///< after FSM phases
+  double finish_s = 0.0;
+  double flops = 0.0;       ///< executed FLOPs (incl. halo recompute)
+  int nodes_used = 0;
+  double latency_s() const noexcept { return finish_s - arrival_s; }
+};
+
+/// Execution trace of one task (for GFLOPS timelines and invariants).
+struct TaskTrace {
+  int request = 0;
+  PlanTask::Kind kind = PlanTask::Kind::kCompute;
+  std::size_t node = 0;
+  std::size_t proc = 0;
+  double start_s = 0.0;
+  double end_s = 0.0;
+  double flops = 0.0;
+  std::int64_t bytes = 0;
+};
+
+class ExecutionEngine {
+ public:
+  ExecutionEngine(Cluster& cluster, IStrategy& strategy, std::size_t leader = 0);
+
+  /// Runs all requests to completion; returns per-request records sorted by
+  /// request id. The cluster's simulator advances to the final completion.
+  std::vector<RequestRecord> run(const std::vector<InferenceRequest>& requests);
+
+  const std::vector<TaskTrace>& traces() const noexcept { return traces_; }
+  double makespan_s() const noexcept { return makespan_s_; }
+
+ private:
+  void launch(const InferenceRequest& request, RequestRecord& record);
+  void dispatch_plan(int request_id, const Plan& plan, double start_s, RequestRecord& record);
+
+  Cluster* cluster_;
+  IStrategy* strategy_;
+  std::size_t leader_;
+  int in_flight_ = 0;
+  double makespan_s_ = 0.0;
+  std::vector<TaskTrace> traces_;
+};
+
+}  // namespace hidp::runtime

@@ -1,0 +1,116 @@
+#include "runtime/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "platform/power.hpp"
+#include "util/stats.hpp"
+
+namespace hidp::runtime {
+
+StreamMetrics summarize_run(const std::vector<RequestRecord>& records, const Cluster& cluster) {
+  StreamMetrics m;
+  if (records.empty()) return m;
+  std::vector<double> latencies;
+  latencies.reserve(records.size());
+  for (const RequestRecord& r : records) {
+    latencies.push_back(r.latency_s());
+    m.makespan_s = std::max(m.makespan_s, r.finish_s);
+    m.total_flops += r.flops;
+  }
+  m.requests = static_cast<int>(records.size());
+  m.mean_latency_s = util::mean(latencies);
+  m.p95_latency_s = util::percentile(latencies, 0.95);
+  m.max_latency_s = *std::max_element(latencies.begin(), latencies.end());
+  m.energy_j = cluster.total_energy_j(m.makespan_s);
+  m.energy_per_inference_j = m.energy_j / static_cast<double>(m.requests);
+  if (m.makespan_s > 0.0) {
+    m.throughput_per_100s = 100.0 * static_cast<double>(m.requests) / m.makespan_s;
+    m.avg_gflops = m.total_flops / m.makespan_s / 1e9;
+  }
+  return m;
+}
+
+double mean_latency_for_model(const std::vector<RequestRecord>& records,
+                              const std::string& model) {
+  util::RunningStats stats;
+  for (const RequestRecord& r : records) {
+    if (r.model == model) stats.add(r.latency_s());
+  }
+  return stats.mean();
+}
+
+double energy_for_model(const std::vector<RequestRecord>& records, const Cluster& cluster,
+                        const std::string& model) {
+  double total_flops = 0.0;
+  double model_flops = 0.0;
+  double makespan = 0.0;
+  int model_count = 0;
+  for (const RequestRecord& r : records) {
+    total_flops += r.flops;
+    makespan = std::max(makespan, r.finish_s);
+    if (r.model == model) {
+      model_flops += r.flops;
+      ++model_count;
+    }
+  }
+  if (model_count == 0 || total_flops <= 0.0) return 0.0;
+  const double energy = cluster.total_energy_j(makespan);
+  return energy * (model_flops / total_flops) / static_cast<double>(model_count);
+}
+
+double mean_service_energy_j(const std::vector<RequestRecord>& records,
+                             const std::vector<TaskTrace>& traces, const Cluster& cluster) {
+  if (records.empty()) return 0.0;
+  double idle_floor_w = 0.0;
+  for (const auto& node : cluster.nodes()) idle_floor_w += platform::node_idle_power_w(node);
+
+  // Dynamic energy per request from its compute-task traces.
+  std::unordered_map<int, double> active_j;
+  for (const TaskTrace& t : traces) {
+    if (t.kind != PlanTask::Kind::kCompute) continue;
+    const auto& proc = cluster.nodes()[t.node].processor(t.proc);
+    active_j[t.request] += (proc.peak_w() - proc.idle_w()) * (t.end_s - t.start_s);
+  }
+  double total = 0.0;
+  for (const RequestRecord& r : records) {
+    const double service_s = std::max(r.finish_s - r.dispatch_s, 0.0);
+    total += idle_floor_w * service_s;
+    auto it = active_j.find(r.id);
+    if (it != active_j.end()) total += it->second;
+  }
+  return total / static_cast<double>(records.size());
+}
+
+std::vector<TimelinePoint> gflops_timeline(const std::vector<TaskTrace>& traces,
+                                           double window_s, double horizon_s) {
+  std::vector<TimelinePoint> points;
+  if (window_s <= 0.0 || horizon_s <= 0.0) return points;
+  const auto buckets = static_cast<std::size_t>(std::ceil(horizon_s / window_s));
+  std::vector<double> flops(buckets, 0.0);
+  for (const TaskTrace& t : traces) {
+    if (t.kind != PlanTask::Kind::kCompute || t.flops <= 0.0) continue;
+    const double duration = t.end_s - t.start_s;
+    if (duration <= 0.0) {
+      const auto b = static_cast<std::size_t>(t.start_s / window_s);
+      if (b < buckets) flops[b] += t.flops;
+      continue;
+    }
+    const double rate = t.flops / duration;
+    for (std::size_t b = static_cast<std::size_t>(t.start_s / window_s); b < buckets; ++b) {
+      const double lo = std::max(t.start_s, static_cast<double>(b) * window_s);
+      const double hi = std::min(t.end_s, static_cast<double>(b + 1) * window_s);
+      if (hi <= lo) break;
+      flops[b] += rate * (hi - lo);
+    }
+  }
+  points.reserve(buckets);
+  for (std::size_t b = 0; b < buckets; ++b) {
+    points.push_back(TimelinePoint{(static_cast<double>(b) + 0.5) * window_s,
+                                   flops[b] / window_s / 1e9});
+  }
+  return points;
+}
+
+}  // namespace hidp::runtime

@@ -1,0 +1,58 @@
+// Evaluation metrics (paper §IV-B): inference latency, energy from power
+// integration, throughput (inferences per 100 s), and the GFLOPS/s
+// performance timeline of Fig. 6.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "runtime/cluster.hpp"
+#include "runtime/engine.hpp"
+
+namespace hidp::runtime {
+
+/// Aggregate metrics of one experiment run.
+struct StreamMetrics {
+  int requests = 0;
+  double mean_latency_s = 0.0;
+  double p95_latency_s = 0.0;
+  double max_latency_s = 0.0;
+  double makespan_s = 0.0;            ///< last finish time
+  double total_flops = 0.0;
+  double energy_j = 0.0;              ///< cluster energy over the makespan
+  double energy_per_inference_j = 0.0;
+  double throughput_per_100s = 0.0;   ///< completed inferences per 100 s
+  double avg_gflops = 0.0;            ///< total FLOPs / makespan
+};
+
+/// Summarises a finished run (pass the engine's cluster for energy).
+StreamMetrics summarize_run(const std::vector<RequestRecord>& records, const Cluster& cluster);
+
+/// Mean latency restricted to one model name (Fig. 5a groups by model).
+double mean_latency_for_model(const std::vector<RequestRecord>& records,
+                              const std::string& model);
+
+/// Energy attributed to one model: cluster energy apportioned by each
+/// request's share of executed FLOPs (the per-workload view of Fig. 5b).
+double energy_for_model(const std::vector<RequestRecord>& records, const Cluster& cluster,
+                        const std::string& model);
+
+/// Per-inference *service* energy: what the paper's power sensors integrate
+/// over one inference — the dynamic energy of the request's own compute
+/// tasks plus the cluster idle floor over the request's service window
+/// (dispatch to finish). Independent of arrival spacing.
+double mean_service_energy_j(const std::vector<RequestRecord>& records,
+                             const std::vector<TaskTrace>& traces, const Cluster& cluster);
+
+/// One point of the Fig. 6 performance timeline.
+struct TimelinePoint {
+  double time_s = 0.0;
+  double gflops = 0.0;
+};
+
+/// GFLOPS delivered per `window_s` bucket: each compute trace spreads its
+/// FLOPs uniformly over its busy interval.
+std::vector<TimelinePoint> gflops_timeline(const std::vector<TaskTrace>& traces,
+                                           double window_s, double horizon_s);
+
+}  // namespace hidp::runtime

@@ -1,0 +1,239 @@
+#include "runtime/plan.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hidp::runtime {
+
+using partition::LocalDecision;
+using partition::LocalMode;
+using platform::NodeModel;
+using platform::WorkProfile;
+
+std::vector<int> append_local_execution(Plan& plan, const std::vector<NodeModel>& nodes,
+                                        std::size_t node, const WorkProfile& work,
+                                        const LocalDecision& decision,
+                                        const std::vector<int>& entry_deps,
+                                        const std::string& label) {
+  const NodeModel& model = nodes.at(node);
+  const auto& config = decision.config;
+  std::vector<int> exits;
+  if (work.total() <= 0.0 || config.shares.empty()) return entry_deps;
+
+  auto add_compute = [&](std::size_t proc, const WorkProfile& slice, int partitions,
+                         const std::vector<int>& deps, const std::string& sub) {
+    PlanTask task;
+    task.kind = PlanTask::Kind::kCompute;
+    task.node = node;
+    task.proc = proc;
+    task.seconds = model.processor(proc).time_for(slice, partitions);
+    task.flops = slice.total();
+    task.deps = deps;
+    task.label = label + sub;
+    plan.tasks.push_back(std::move(task));
+    return static_cast<int>(plan.tasks.size()) - 1;
+  };
+
+  switch (config.mode) {
+    case LocalMode::kSingleProcessor: {
+      const auto& share = config.shares.front();
+      exits.push_back(add_compute(share.proc, work, share.data_partitions, entry_deps, ""));
+      break;
+    }
+    case LocalMode::kDataParallel: {
+      for (std::size_t i = 0; i < config.shares.size(); ++i) {
+        const auto& share = config.shares[i];
+        if (share.share <= 0.0) continue;
+        exits.push_back(add_compute(share.proc, work.scaled(share.share),
+                                    share.data_partitions, entry_deps,
+                                    "/slice" + std::to_string(i)));
+      }
+      break;
+    }
+    case LocalMode::kPipeline: {
+      std::vector<int> deps = entry_deps;
+      for (std::size_t i = 0; i < config.shares.size(); ++i) {
+        const auto& share = config.shares[i];
+        if (share.share <= 0.0) continue;
+        const int id = add_compute(share.proc, work.scaled(share.share), share.data_partitions,
+                                   deps, "/stage" + std::to_string(i));
+        deps = {id};
+      }
+      exits = deps;
+      break;
+    }
+  }
+  return exits.empty() ? entry_deps : exits;
+}
+
+namespace {
+
+int add_transfer(Plan& plan, std::size_t from, std::size_t to, std::int64_t bytes,
+                 std::vector<int> deps, const std::string& label) {
+  PlanTask task;
+  task.kind = PlanTask::Kind::kTransfer;
+  task.from = from;
+  task.to = to;
+  task.bytes = bytes;
+  task.deps = std::move(deps);
+  task.label = label;
+  plan.tasks.push_back(std::move(task));
+  return static_cast<int>(plan.tasks.size()) - 1;
+}
+
+int add_local_exchange(Plan& plan, std::size_t node, std::int64_t bytes, std::vector<int> deps,
+                       const std::string& label) {
+  PlanTask task;
+  task.kind = PlanTask::Kind::kLocalExchange;
+  task.node = node;
+  task.from = node;
+  task.to = node;
+  task.bytes = bytes;
+  task.deps = std::move(deps);
+  task.label = label;
+  plan.tasks.push_back(std::move(task));
+  return static_cast<int>(plan.tasks.size()) - 1;
+}
+
+}  // namespace
+
+Plan compile_model_partition(const partition::ModelPartitionResult& partition,
+                             const std::vector<NodeModel>& nodes,
+                             const partition::ClusterCostModel& cost, std::size_t leader,
+                             const std::string& strategy) {
+  Plan plan;
+  plan.strategy = strategy;
+  plan.global_mode = partition::PartitionMode::kModel;
+  plan.leader = leader;
+  plan.predicted_latency_s = partition.latency_s;
+  if (!partition.valid || partition.blocks.empty()) return plan;
+
+  std::vector<int> deps;
+  std::size_t previous = leader;
+  std::vector<std::size_t> used;
+  for (std::size_t b = 0; b < partition.blocks.size(); ++b) {
+    const auto& block = partition.blocks[b];
+    if (std::find(used.begin(), used.end(), block.node) == used.end()) used.push_back(block.node);
+    if (block.node != previous) {
+      deps = {add_transfer(plan, previous, block.node, block.in_bytes, deps,
+                           "handoff->" + nodes[block.node].name())};
+    }
+    const WorkProfile work =
+        WorkProfile::from_graph(cost.graph(), block.begin_layer, block.end_layer);
+    deps = append_local_execution(plan, nodes, block.node, work, block.local, deps,
+                                  "block" + std::to_string(b));
+    previous = block.node;
+  }
+  if (previous != leader) {
+    deps = {add_transfer(plan, previous, leader,
+                         cost.graph().output_shape().bytes(cost.bytes_per_element()), deps,
+                         "logits->leader")};
+  }
+  plan.nodes_used = static_cast<int>(used.size());
+  return plan;
+}
+
+Plan compile_data_partition(const partition::DataPartitionResult& partition,
+                            const std::vector<NodeModel>& nodes,
+                            const partition::ClusterCostModel& cost, std::size_t leader,
+                            const std::string& strategy) {
+  Plan plan;
+  plan.strategy = strategy;
+  plan.global_mode = partition::PartitionMode::kData;
+  plan.leader = leader;
+  plan.predicted_latency_s = partition.latency_s;
+  if (!partition.valid || partition.slices.empty()) return plan;
+
+  std::vector<int> gather_deps;
+  std::vector<std::size_t> used{leader};
+  for (std::size_t i = 0; i < partition.slices.size(); ++i) {
+    const auto& slice = partition.slices[i];
+    if (std::find(used.begin(), used.end(), slice.node) == used.end()) used.push_back(slice.node);
+    std::vector<int> deps;
+    if (slice.node != leader) {
+      deps = {add_transfer(plan, leader, slice.node, slice.input_bytes, {},
+                           "scatter->" + nodes[slice.node].name())};
+    }
+    deps = append_local_execution(plan, nodes, slice.node, slice.work, slice.local, deps,
+                                  "slice" + std::to_string(i));
+    if (slice.sync_bytes > 0 && slice.node != leader) {
+      // SqueezeExcite all-reduce: partial sums to the leader and scales back.
+      const int up = add_transfer(plan, slice.node, leader, slice.sync_bytes, deps, "se-up");
+      deps = {add_transfer(plan, leader, slice.node, slice.sync_bytes, {up}, "se-down")};
+    }
+    if (slice.node != leader) {
+      deps = {add_transfer(plan, slice.node, leader, slice.output_bytes, deps, "gather")};
+    }
+    for (int d : deps) gather_deps.push_back(d);
+  }
+
+  // Merge + classifier head on the leader.
+  const WorkProfile head =
+      WorkProfile::from_graph(cost.graph(), partition.split_layer, -1);
+  std::vector<int> deps = gather_deps;
+  if (head.total() > 0.0) {
+    const std::int64_t merge_bytes =
+        cost.graph().layer(partition.split_layer - 1).output.bytes(cost.bytes_per_element());
+    const int merge = add_local_exchange(plan, leader, merge_bytes, deps, "merge");
+    deps = append_local_execution(plan, nodes, partition.head_node, head,
+                                  partition.head_local, {merge}, "head");
+  }
+  plan.nodes_used = static_cast<int>(used.size());
+  (void)deps;
+  return plan;
+}
+
+void validate_plan(const Plan& plan, const std::vector<NodeModel>& nodes) {
+  for (std::size_t i = 0; i < plan.tasks.size(); ++i) {
+    const PlanTask& task = plan.tasks[i];
+    for (int d : task.deps) {
+      if (d < 0 || static_cast<std::size_t>(d) >= i) {
+        throw std::logic_error("plan task dependency out of order");
+      }
+    }
+    switch (task.kind) {
+      case PlanTask::Kind::kCompute:
+        if (task.node >= nodes.size()) throw std::logic_error("compute node out of range");
+        if (task.proc >= nodes[task.node].processor_count()) {
+          throw std::logic_error("compute proc out of range");
+        }
+        if (task.seconds < 0.0) throw std::logic_error("negative task duration");
+        break;
+      case PlanTask::Kind::kTransfer:
+      case PlanTask::Kind::kLocalExchange:
+        if (task.from >= nodes.size() || task.to >= nodes.size()) {
+          throw std::logic_error("transfer endpoint out of range");
+        }
+        if (task.bytes < 0) throw std::logic_error("negative transfer bytes");
+        break;
+    }
+  }
+}
+
+double critical_path_s(const Plan& plan, const std::vector<NodeModel>& nodes,
+                       const net::NetworkSpec& network) {
+  std::vector<double> finish(plan.tasks.size(), 0.0);
+  double latest = 0.0;
+  for (std::size_t i = 0; i < plan.tasks.size(); ++i) {
+    const PlanTask& task = plan.tasks[i];
+    double start = 0.0;
+    for (int d : task.deps) start = std::max(start, finish[static_cast<std::size_t>(d)]);
+    double duration = 0.0;
+    switch (task.kind) {
+      case PlanTask::Kind::kCompute:
+        duration = task.seconds;
+        break;
+      case PlanTask::Kind::kTransfer:
+        duration = task.from == task.to ? 0.0 : network.link(task.from, task.to).transfer_s(task.bytes);
+        break;
+      case PlanTask::Kind::kLocalExchange:
+        duration = nodes[task.node].local_exchange_s(task.bytes);
+        break;
+    }
+    finish[i] = start + duration;
+    latest = std::max(latest, finish[i]);
+  }
+  return plan.phases.total() + latest;
+}
+
+}  // namespace hidp::runtime

@@ -1,0 +1,97 @@
+// Execution plans: the contract between partitioning strategies and the
+// cluster execution engine.
+//
+// A strategy (HiDP or a baseline) turns an inference request into a Plan —
+// a small DAG of compute and transfer tasks with precomputed durations and
+// dependencies. The engine replays the plan on the discrete-event cluster,
+// where FIFO processor/radio contention between concurrent requests emerges
+// naturally.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "partition/data_partitioner.hpp"
+#include "partition/model_partitioner.hpp"
+
+namespace hidp::runtime {
+
+/// One schedulable unit.
+struct PlanTask {
+  enum class Kind {
+    kCompute,        ///< occupies processor `proc` of node `node`
+    kTransfer,       ///< radio transfer from -> to (loopback = free)
+    kLocalExchange,  ///< intra-node DRAM exchange (delay, no contention)
+  };
+  Kind kind = Kind::kCompute;
+
+  // kCompute
+  std::size_t node = 0;
+  std::size_t proc = 0;
+  double seconds = 0.0;  ///< precomputed duration
+  double flops = 0.0;    ///< for GFLOPS accounting
+
+  // kTransfer / kLocalExchange
+  std::size_t from = 0;
+  std::size_t to = 0;
+  std::int64_t bytes = 0;
+
+  std::vector<int> deps;  ///< indices of prerequisite tasks (all < own index)
+  std::string label;
+};
+
+/// The paper's runtime-scheduler FSM phases charged before dispatch
+/// (Analyze: availability probing; Explore: global DSE; Map: local DSE).
+struct PlanPhases {
+  double analyze_s = 0.0;
+  double explore_s = 0.0;
+  double map_s = 0.0;
+  double total() const noexcept { return analyze_s + explore_s + map_s; }
+};
+
+/// A complete plan for one inference request.
+struct Plan {
+  std::string strategy;          ///< producing strategy name
+  partition::PartitionMode global_mode = partition::PartitionMode::kNone;
+  std::size_t leader = 0;
+  std::vector<PlanTask> tasks;   ///< topologically ordered (deps < index)
+  PlanPhases phases;             ///< planning overhead charged at dispatch
+  double predicted_latency_s = 0.0;
+  int nodes_used = 0;
+
+  bool empty() const noexcept { return tasks.empty(); }
+};
+
+/// Appends the task subgraph realising `decision` (a block of `work` FLOPs
+/// executed on `node` under its local configuration) to `plan`. Tasks start
+/// after all of `entry_deps`; returns the indices downstream tasks must wait
+/// on (the block's exit tasks).
+std::vector<int> append_local_execution(Plan& plan, const std::vector<platform::NodeModel>& nodes,
+                                        std::size_t node, const platform::WorkProfile& work,
+                                        const partition::LocalDecision& decision,
+                                        const std::vector<int>& entry_deps,
+                                        const std::string& label);
+
+/// Compiles a model-partition decision into an executable plan.
+Plan compile_model_partition(const partition::ModelPartitionResult& partition,
+                             const std::vector<platform::NodeModel>& nodes,
+                             const partition::ClusterCostModel& cost, std::size_t leader,
+                             const std::string& strategy);
+
+/// Compiles a data-partition decision into an executable plan.
+Plan compile_data_partition(const partition::DataPartitionResult& partition,
+                            const std::vector<platform::NodeModel>& nodes,
+                            const partition::ClusterCostModel& cost, std::size_t leader,
+                            const std::string& strategy);
+
+/// Validates structural invariants (deps < index, nodes/procs in range,
+/// non-negative durations). Throws std::logic_error on violation.
+void validate_plan(const Plan& plan, const std::vector<platform::NodeModel>& nodes);
+
+/// Contention-free critical path through the task DAG, including the
+/// planning phases — the engine's lower bound for request latency.
+double critical_path_s(const Plan& plan, const std::vector<platform::NodeModel>& nodes,
+                       const net::NetworkSpec& network);
+
+}  // namespace hidp::runtime

@@ -1,0 +1,71 @@
+#include "runtime/task_graph.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace hidp::runtime {
+
+PlanStats analyze_plan(const Plan& plan, const std::vector<platform::NodeModel>& nodes) {
+  PlanStats stats;
+  stats.compute_s_per_node.assign(nodes.size(), 0.0);
+  std::vector<int> depth(plan.tasks.size(), 1);
+  for (std::size_t i = 0; i < plan.tasks.size(); ++i) {
+    const PlanTask& task = plan.tasks[i];
+    for (int d : task.deps) {
+      depth[i] = std::max(depth[i], depth[static_cast<std::size_t>(d)] + 1);
+    }
+    stats.depth = std::max(stats.depth, depth[i]);
+    switch (task.kind) {
+      case PlanTask::Kind::kCompute:
+        ++stats.compute_tasks;
+        stats.total_compute_s += task.seconds;
+        if (task.node < stats.compute_s_per_node.size()) {
+          stats.compute_s_per_node[task.node] += task.seconds;
+        }
+        break;
+      case PlanTask::Kind::kTransfer:
+        ++stats.transfer_tasks;
+        if (task.from != task.to) stats.wireless_bytes += task.bytes;
+        break;
+      case PlanTask::Kind::kLocalExchange:
+        ++stats.local_exchange_tasks;
+        stats.local_bytes += task.bytes;
+        break;
+    }
+  }
+  return stats;
+}
+
+std::string plan_to_dot(const Plan& plan, const std::vector<platform::NodeModel>& nodes) {
+  std::ostringstream out;
+  out << "digraph plan {\n  rankdir=LR;\n  node [shape=box, fontsize=10];\n";
+  for (std::size_t i = 0; i < plan.tasks.size(); ++i) {
+    const PlanTask& task = plan.tasks[i];
+    std::ostringstream label;
+    std::string style;
+    switch (task.kind) {
+      case PlanTask::Kind::kCompute:
+        label << task.label << "\\n" << nodes[task.node].name() << "/"
+              << nodes[task.node].processor(task.proc).name() << "\\n"
+              << task.seconds * 1e3 << " ms";
+        break;
+      case PlanTask::Kind::kTransfer:
+        label << task.label << "\\n" << nodes[task.from].name() << " -> "
+              << nodes[task.to].name() << "\\n" << task.bytes / 1024 << " KiB";
+        style = ", style=dashed";
+        break;
+      case PlanTask::Kind::kLocalExchange:
+        label << task.label << "\\nDRAM " << task.bytes / 1024 << " KiB";
+        style = ", style=dotted";
+        break;
+    }
+    out << "  t" << i << " [label=\"" << label.str() << "\"" << style << "];\n";
+  }
+  for (std::size_t i = 0; i < plan.tasks.size(); ++i) {
+    for (int d : plan.tasks[i].deps) out << "  t" << d << " -> t" << i << ";\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace hidp::runtime

@@ -1,0 +1,32 @@
+// Plan introspection: aggregate statistics and Graphviz export.
+//
+// Useful for debugging partitioning decisions and for the examples that
+// visualise what HiDP decided for a given request.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "runtime/plan.hpp"
+
+namespace hidp::runtime {
+
+/// Aggregate view of a plan's task DAG.
+struct PlanStats {
+  int compute_tasks = 0;
+  int transfer_tasks = 0;
+  int local_exchange_tasks = 0;
+  double total_compute_s = 0.0;           ///< sum of task durations
+  std::int64_t wireless_bytes = 0;        ///< bytes crossing the air
+  std::int64_t local_bytes = 0;           ///< bytes through DRAM exchanges
+  std::vector<double> compute_s_per_node; ///< aligned with cluster nodes
+  int depth = 0;                          ///< longest dependency chain
+};
+
+PlanStats analyze_plan(const Plan& plan, const std::vector<platform::NodeModel>& nodes);
+
+/// Graphviz DOT rendering of the task DAG (compute nodes grouped per
+/// device, transfers as edges between groups).
+std::string plan_to_dot(const Plan& plan, const std::vector<platform::NodeModel>& nodes);
+
+}  // namespace hidp::runtime

@@ -1,0 +1,100 @@
+#include "runtime/workload.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hidp::runtime {
+
+using dnn::zoo::ModelId;
+
+ModelSet::ModelSet() {
+  ids_ = dnn::zoo::all_models();
+  graphs_.reserve(ids_.size());
+  for (ModelId id : ids_) {
+    graphs_.push_back(std::make_unique<dnn::DnnGraph>(dnn::zoo::build_model(id)));
+  }
+}
+
+const dnn::DnnGraph& ModelSet::graph(ModelId id) const {
+  for (std::size_t i = 0; i < ids_.size(); ++i) {
+    if (ids_[i] == id) return *graphs_[i];
+  }
+  throw std::invalid_argument("model not in set");
+}
+
+std::vector<InferenceRequest> periodic_stream(const dnn::DnnGraph& model, int count,
+                                              double interval_s, double start_s, int first_id) {
+  std::vector<InferenceRequest> requests;
+  requests.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    requests.push_back(InferenceRequest{first_id + i, &model,
+                                        start_s + interval_s * static_cast<double>(i)});
+  }
+  return requests;
+}
+
+std::vector<InferenceRequest> staggered_arrivals(const ModelSet& models,
+                                                 const std::vector<ModelId>& order,
+                                                 double stagger_s) {
+  std::vector<InferenceRequest> requests;
+  requests.reserve(order.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    requests.push_back(InferenceRequest{static_cast<int>(i), &models.graph(order[i]),
+                                        stagger_s * static_cast<double>(i)});
+  }
+  return requests;
+}
+
+std::vector<InferenceRequest> staggered_streams(const ModelSet& models,
+                                                const std::vector<ModelId>& order,
+                                                double stagger_s, int per_model,
+                                                double interval_s) {
+  std::vector<InferenceRequest> requests;
+  requests.reserve(order.size() * static_cast<std::size_t>(per_model));
+  int id = 0;
+  for (std::size_t m = 0; m < order.size(); ++m) {
+    for (int k = 0; k < per_model; ++k) {
+      requests.push_back(InferenceRequest{id++, &models.graph(order[m]),
+                                          stagger_s * static_cast<double>(m) +
+                                              interval_s * static_cast<double>(k)});
+    }
+  }
+  std::sort(requests.begin(), requests.end(),
+            [](const InferenceRequest& a, const InferenceRequest& b) {
+              return a.arrival_s < b.arrival_s;
+            });
+  return requests;
+}
+
+std::vector<InferenceRequest> mixed_stream(const ModelSet& models,
+                                           const std::vector<ModelId>& mix, int count,
+                                           double interval_s, util::Rng& rng) {
+  std::vector<InferenceRequest> requests;
+  if (mix.empty()) return requests;
+  requests.reserve(static_cast<std::size_t>(count));
+  double t = 0.0;
+  for (int i = 0; i < count; ++i) {
+    const ModelId id = mix[static_cast<std::size_t>(i) % mix.size()];
+    requests.push_back(InferenceRequest{i, &models.graph(id), t});
+    t += interval_s * rng.uniform(0.75, 1.25);
+  }
+  return requests;
+}
+
+std::vector<std::vector<ModelId>> paper_mixes() {
+  using enum ModelId;
+  return {
+      // Mix 1-4: pairs
+      {kEfficientNetB0, kInceptionV3},
+      {kEfficientNetB0, kVgg19},
+      {kInceptionV3, kResNet152},
+      {kResNet152, kVgg19},
+      // Mix 5-8: triples
+      {kEfficientNetB0, kInceptionV3, kResNet152},
+      {kEfficientNetB0, kInceptionV3, kVgg19},
+      {kEfficientNetB0, kResNet152, kVgg19},
+      {kInceptionV3, kResNet152, kVgg19},
+  };
+}
+
+}  // namespace hidp::runtime

@@ -1,0 +1,57 @@
+// Workload generators for the paper's experiments: periodic single-model
+// streams (Fig. 5/8), the staggered four-model ramp of Fig. 6, and the
+// eight DNN mixes of Fig. 7.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "dnn/zoo/zoo.hpp"
+#include "runtime/engine.hpp"
+#include "util/rng.hpp"
+
+namespace hidp::runtime {
+
+/// Owns the zoo graphs referenced by generated requests (requests hold
+/// non-owning pointers, so keep the set alive for the whole run).
+class ModelSet {
+ public:
+  ModelSet();
+
+  const dnn::DnnGraph& graph(dnn::zoo::ModelId id) const;
+  const std::vector<dnn::zoo::ModelId>& ids() const noexcept { return ids_; }
+
+ private:
+  std::vector<dnn::zoo::ModelId> ids_;
+  std::vector<std::unique_ptr<dnn::DnnGraph>> graphs_;
+};
+
+/// `count` requests of one model every `interval_s`, starting at `start_s`.
+std::vector<InferenceRequest> periodic_stream(const dnn::DnnGraph& model, int count,
+                                              double interval_s, double start_s = 0.0,
+                                              int first_id = 0);
+
+/// Fig. 6 scenario: one request of each model in `order`, staggered by
+/// `stagger_s` (paper: EfficientNet, Inception, ResNet, VGG at 0.5 s).
+std::vector<InferenceRequest> staggered_arrivals(const ModelSet& models,
+                                                 const std::vector<dnn::zoo::ModelId>& order,
+                                                 double stagger_s);
+
+/// Fig. 6 progressive overload: model k's stream starts at k * stagger_s
+/// and issues `per_model` requests every `interval_s` — by the last stagger
+/// all streams run concurrently. Requests are sorted by arrival time.
+std::vector<InferenceRequest> staggered_streams(const ModelSet& models,
+                                                const std::vector<dnn::zoo::ModelId>& order,
+                                                double stagger_s, int per_model,
+                                                double interval_s);
+
+/// Fig. 7 mixes: `count` requests alternating over `mix`, spaced by
+/// `interval_s` with ±25% uniform jitter ("requests arrive randomly").
+std::vector<InferenceRequest> mixed_stream(const ModelSet& models,
+                                           const std::vector<dnn::zoo::ModelId>& mix, int count,
+                                           double interval_s, util::Rng& rng);
+
+/// The paper's eight workload mixes (Mix 1-4: two models, Mix 5-8: three).
+std::vector<std::vector<dnn::zoo::ModelId>> paper_mixes();
+
+}  // namespace hidp::runtime

@@ -1,0 +1,21 @@
+#include "sim/resource.hpp"
+
+#include <algorithm>
+
+namespace hidp::sim {
+
+std::uint64_t Resource::submit(Time earliest_start, Time duration,
+                               std::function<void(Time)> on_done) {
+  const std::uint64_t job = next_job_++;
+  const Time start = std::max({earliest_start, free_at_, sim_->now()});
+  const Time end = start + std::max(duration, 0.0);
+  free_at_ = end;
+  busy_time_ += end - start;
+  intervals_.push_back(BusyInterval{start, end, job});
+  if (on_done) {
+    sim_->schedule_at(end, [cb = std::move(on_done), end] { cb(end); });
+  }
+  return job;
+}
+
+}  // namespace hidp::sim

@@ -1,0 +1,65 @@
+// FIFO-serialised resources (processors, radios) on top of the simulator.
+//
+// A Resource models a device that can execute one job at a time. Jobs are
+// admitted in request order; each job occupies the resource for a caller-
+// computed duration. Busy intervals are recorded for utilisation and energy
+// integration.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace hidp::sim {
+
+/// One contiguous busy interval on a resource.
+struct BusyInterval {
+  Time start = 0.0;
+  Time end = 0.0;
+  std::uint64_t job_id = 0;
+  double duration() const noexcept { return end - start; }
+};
+
+class Resource {
+ public:
+  Resource(Simulator& sim, std::string name) : sim_(&sim), name_(std::move(name)) {}
+
+  const std::string& name() const noexcept { return name_; }
+
+  /// Enqueues a job of `duration` seconds, started no earlier than
+  /// `earliest_start`. `on_done(end_time)` fires when the job completes.
+  /// Returns the job id.
+  std::uint64_t submit(Time earliest_start, Time duration,
+                       std::function<void(Time)> on_done);
+
+  /// Earliest time a new job submitted now could start.
+  Time next_free(Time now) const noexcept { return free_at_ > now ? free_at_ : now; }
+
+  /// Total busy seconds accumulated so far.
+  double busy_time() const noexcept { return busy_time_; }
+
+  /// Busy fraction over [0, horizon].
+  double utilization(Time horizon) const noexcept {
+    return horizon > 0.0 ? busy_time_ / horizon : 0.0;
+  }
+
+  const std::vector<BusyInterval>& intervals() const noexcept { return intervals_; }
+
+  /// Time the most recent job ends (monotone watermark).
+  Time free_at() const noexcept { return free_at_; }
+
+  /// Number of jobs executed or queued.
+  std::uint64_t jobs_submitted() const noexcept { return next_job_; }
+
+ private:
+  Simulator* sim_;
+  std::string name_;
+  Time free_at_ = 0.0;
+  double busy_time_ = 0.0;
+  std::uint64_t next_job_ = 0;
+  std::vector<BusyInterval> intervals_;
+};
+
+}  // namespace hidp::sim

@@ -1,0 +1,59 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+
+namespace hidp::sim {
+
+EventId Simulator::schedule_at(Time at, std::function<void()> fn) {
+  const EventId id = next_id_++;
+  queue_.push(Event{std::max(at, now_), id, std::move(fn)});
+  return id;
+}
+
+EventId Simulator::schedule_in(Time delay, std::function<void()> fn) {
+  return schedule_at(now_ + std::max(delay, 0.0), std::move(fn));
+}
+
+bool Simulator::cancel(EventId id) {
+  if (id == 0 || id >= next_id_) return false;
+  if (std::find(cancelled_.begin(), cancelled_.end(), id) != cancelled_.end()) return false;
+  cancelled_.push_back(id);
+  ++cancelled_in_queue_;
+  return true;
+}
+
+bool Simulator::pop_and_run() {
+  while (!queue_.empty()) {
+    Event event = queue_.top();
+    queue_.pop();
+    const auto it = std::find(cancelled_.begin(), cancelled_.end(), event.id);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      --cancelled_in_queue_;
+      continue;
+    }
+    now_ = event.at;
+    ++executed_;
+    event.fn();
+    return true;
+  }
+  return false;
+}
+
+Time Simulator::run() {
+  while (pop_and_run()) {
+  }
+  return now_;
+}
+
+Time Simulator::run_until(Time deadline) {
+  while (!queue_.empty() && queue_.top().at <= deadline) {
+    if (!pop_and_run()) break;
+  }
+  if (now_ < deadline && queue_.empty()) now_ = now_;  // time only advances with events
+  return now_;
+}
+
+bool Simulator::step() { return pop_and_run(); }
+
+}  // namespace hidp::sim

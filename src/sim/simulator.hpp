@@ -1,0 +1,79 @@
+// Deterministic discrete-event simulator.
+//
+// The whole evaluation substrate runs on this engine: processor busy
+// intervals, radio transfers, FSM transitions and request arrivals are all
+// events. Determinism is guaranteed by a (time, sequence) ordered queue, so
+// two events at the same timestamp fire in scheduling order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace hidp::sim {
+
+/// Simulation time in seconds.
+using Time = double;
+
+/// Opaque handle identifying a scheduled event (for cancellation).
+using EventId = std::uint64_t;
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulation time.
+  Time now() const noexcept { return now_; }
+
+  /// Schedules `fn` to run at absolute time `at` (clamped to now()).
+  EventId schedule_at(Time at, std::function<void()> fn);
+
+  /// Schedules `fn` to run `delay` seconds from now (negative -> now).
+  EventId schedule_in(Time delay, std::function<void()> fn);
+
+  /// Cancels a pending event. Returns false if already fired / unknown.
+  bool cancel(EventId id);
+
+  /// Runs until the event queue is empty. Returns the final time.
+  Time run();
+
+  /// Runs until the queue is empty or `deadline` is reached, whichever is
+  /// first. Events at exactly `deadline` are executed.
+  Time run_until(Time deadline);
+
+  /// Executes at most one event. Returns false if the queue was empty.
+  bool step();
+
+  /// Number of events executed so far.
+  std::uint64_t events_executed() const noexcept { return executed_; }
+
+  /// Number of pending (non-cancelled) events.
+  std::size_t pending() const noexcept { return queue_.size() - cancelled_in_queue_; }
+
+ private:
+  struct Event {
+    Time at;
+    EventId id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.at != b.at) return a.at > b.at;
+      return a.id > b.id;  // FIFO among simultaneous events
+    }
+  };
+
+  bool pop_and_run();
+
+  Time now_ = 0.0;
+  EventId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::size_t cancelled_in_queue_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::vector<EventId> cancelled_;  // sorted insertion not needed; small
+};
+
+}  // namespace hidp::sim

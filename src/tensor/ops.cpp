@@ -1,0 +1,309 @@
+#include "tensor/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hidp::tensor {
+
+using dnn::Activation;
+using dnn::Layer;
+
+namespace {
+
+float activate(float v, Activation act) noexcept {
+  switch (act) {
+    case Activation::kNone: return v;
+    case Activation::kRelu: return v > 0.0f ? v : 0.0f;
+    case Activation::kRelu6: return std::clamp(v, 0.0f, 6.0f);
+    case Activation::kSwish: return v / (1.0f + std::exp(-v)) ;
+    case Activation::kSigmoid: return 1.0f / (1.0f + std::exp(-v));
+  }
+  return v;
+}
+
+}  // namespace
+
+void apply_activation(Tensor& t, Activation act) {
+  if (act == Activation::kNone) return;
+  float* data = t.data();
+  for (std::size_t i = 0; i < t.size(); ++i) data[i] = activate(data[i], act);
+}
+
+Tensor conv2d_rows(const Layer& layer, const RowWindow& input, const LayerWeights& weights,
+                   int out_begin, int out_end) {
+  const auto& p = layer.params;
+  const int in_c = input.data.channels();
+  const int in_w = input.data.width();
+  const int kh = p.kernel;
+  const int kw = p.kernel_width();
+  const int pad_h = dnn::resolved_padding(p, input.full_height);
+  const int pad_w = dnn::resolved_padding_w(p, in_w);
+  const int out_c = layer.output.channels;
+  const int out_w = layer.output.width;
+  Tensor out(out_c, out_end - out_begin, out_w);
+  const float* w = weights.conv.data();
+  for (int oc = 0; oc < out_c; ++oc) {
+    const float b = weights.bias.empty() ? 0.0f : weights.bias[static_cast<std::size_t>(oc)];
+    for (int oy = out_begin; oy < out_end; ++oy) {
+      for (int ox = 0; ox < out_w; ++ox) {
+        float acc = b;
+        for (int ic = 0; ic < in_c; ++ic) {
+          for (int ky = 0; ky < kh; ++ky) {
+            const int iy = oy * p.stride - pad_h + ky;
+            for (int kx = 0; kx < kw; ++kx) {
+              const int ix = ox * p.stride - pad_w + kx;
+              const float v = input.at_global(ic, iy, ix);
+              const float weight =
+                  w[((static_cast<std::size_t>(oc) * in_c + ic) * kh + ky) * kw + kx];
+              acc += v * weight;
+            }
+          }
+        }
+        out.at(oc, oy - out_begin, ox) = activate(acc, p.activation);
+      }
+    }
+  }
+  return out;
+}
+
+Tensor depthwise_conv2d_rows(const Layer& layer, const RowWindow& input,
+                             const LayerWeights& weights, int out_begin, int out_end) {
+  const auto& p = layer.params;
+  const int channels = input.data.channels();
+  const int in_w = input.data.width();
+  const int kh = p.kernel;
+  const int kw = p.kernel_width();
+  const int pad_h = dnn::resolved_padding(p, input.full_height);
+  const int pad_w = dnn::resolved_padding_w(p, in_w);
+  const int out_w = layer.output.width;
+  Tensor out(channels, out_end - out_begin, out_w);
+  const float* w = weights.conv.data();
+  for (int c = 0; c < channels; ++c) {
+    const float b = weights.bias.empty() ? 0.0f : weights.bias[static_cast<std::size_t>(c)];
+    for (int oy = out_begin; oy < out_end; ++oy) {
+      for (int ox = 0; ox < out_w; ++ox) {
+        float acc = b;
+        for (int ky = 0; ky < kh; ++ky) {
+          const int iy = oy * p.stride - pad_h + ky;
+          for (int kx = 0; kx < kw; ++kx) {
+            const int ix = ox * p.stride - pad_w + kx;
+            acc += input.at_global(c, iy, ix) *
+                   w[(static_cast<std::size_t>(c) * kh + ky) * kw + kx];
+          }
+        }
+        out.at(c, oy - out_begin, ox) = activate(acc, p.activation);
+      }
+    }
+  }
+  return out;
+}
+
+Tensor pool2d_rows(const Layer& layer, const RowWindow& input, int out_begin, int out_end,
+                   bool max_pool) {
+  const auto& p = layer.params;
+  const int channels = input.data.channels();
+  const int in_w = input.data.width();
+  const int k = p.kernel;
+  const int kw = p.kernel_width();
+  const int pad_h = dnn::resolved_padding(p, input.full_height);
+  const int pad_w = dnn::resolved_padding_w(p, in_w);
+  const int out_w = layer.output.width;
+  Tensor out(channels, out_end - out_begin, out_w);
+  for (int c = 0; c < channels; ++c) {
+    for (int oy = out_begin; oy < out_end; ++oy) {
+      for (int ox = 0; ox < out_w; ++ox) {
+        float best = -std::numeric_limits<float>::infinity();
+        float sum = 0.0f;
+        int count = 0;
+        for (int ky = 0; ky < k; ++ky) {
+          const int iy = oy * p.stride - pad_h + ky;
+          if (iy < 0 || iy >= input.full_height) continue;  // pooling ignores pad
+          for (int kx = 0; kx < kw; ++kx) {
+            const int ix = ox * p.stride - pad_w + kx;
+            if (ix < 0 || ix >= in_w) continue;
+            const float v = input.at_global(c, iy, ix);
+            best = std::max(best, v);
+            sum += v;
+            ++count;
+          }
+        }
+        out.at(c, oy - out_begin, ox) =
+            max_pool ? best : (count > 0 ? sum / static_cast<float>(count) : 0.0f);
+      }
+    }
+  }
+  return out;
+}
+
+Tensor batch_norm_rows(const Layer& layer, const RowWindow& input, const LayerWeights& weights,
+                       int begin, int end) {
+  const int channels = input.data.channels();
+  const int w = input.data.width();
+  Tensor out(channels, end - begin, w);
+  for (int c = 0; c < channels; ++c) {
+    const auto ci = static_cast<std::size_t>(c);
+    const float inv_std = 1.0f / std::sqrt(weights.bn_var[ci] + 1e-5f);
+    for (int y = begin; y < end; ++y) {
+      for (int x = 0; x < w; ++x) {
+        const float v = (input.at_global(c, y, x) - weights.bn_mean[ci]) * inv_std;
+        out.at(c, y - begin, x) =
+            activate(v * weights.bn_gamma[ci] + weights.bn_beta[ci], layer.params.activation);
+      }
+    }
+  }
+  return out;
+}
+
+Tensor activation_rows(const Layer& layer, const RowWindow& input, int begin, int end) {
+  const int channels = input.data.channels();
+  const int w = input.data.width();
+  Tensor out(channels, end - begin, w);
+  for (int c = 0; c < channels; ++c) {
+    for (int y = begin; y < end; ++y) {
+      for (int x = 0; x < w; ++x) {
+        out.at(c, y - begin, x) = activate(input.at_global(c, y, x), layer.params.activation);
+      }
+    }
+  }
+  return out;
+}
+
+Tensor add_rows(const Layer& layer, const std::vector<const RowWindow*>& inputs, int begin,
+                int end) {
+  if (inputs.empty()) throw std::invalid_argument("add_rows: no inputs");
+  const int channels = inputs.front()->data.channels();
+  const int w = inputs.front()->data.width();
+  Tensor out(channels, end - begin, w);
+  for (int c = 0; c < channels; ++c) {
+    for (int y = begin; y < end; ++y) {
+      for (int x = 0; x < w; ++x) {
+        float acc = 0.0f;
+        for (const RowWindow* in : inputs) acc += in->at_global(c, y, x);
+        out.at(c, y - begin, x) = activate(acc, layer.params.activation);
+      }
+    }
+  }
+  return out;
+}
+
+Tensor concat_rows(const std::vector<const RowWindow*>& inputs, int begin, int end) {
+  if (inputs.empty()) throw std::invalid_argument("concat_rows: no inputs");
+  int channels = 0;
+  for (const RowWindow* in : inputs) channels += in->data.channels();
+  const int w = inputs.front()->data.width();
+  Tensor out(channels, end - begin, w);
+  int c_base = 0;
+  for (const RowWindow* in : inputs) {
+    for (int c = 0; c < in->data.channels(); ++c) {
+      for (int y = begin; y < end; ++y) {
+        for (int x = 0; x < w; ++x) out.at(c_base + c, y - begin, x) = in->at_global(c, y, x);
+      }
+    }
+    c_base += in->data.channels();
+  }
+  return out;
+}
+
+std::vector<double> se_partial_sums(const RowWindow& input, int begin, int end) {
+  std::vector<double> sums(static_cast<std::size_t>(input.data.channels()), 0.0);
+  for (int c = 0; c < input.data.channels(); ++c) {
+    for (int y = begin; y < end; ++y) {
+      for (int x = 0; x < input.data.width(); ++x) {
+        sums[static_cast<std::size_t>(c)] += input.at_global(c, y, x);
+      }
+    }
+  }
+  return sums;
+}
+
+std::vector<float> se_gate(const Layer& layer, const LayerWeights& weights,
+                           const std::vector<double>& channel_sums,
+                           std::int64_t count_per_channel) {
+  const auto channels = channel_sums.size();
+  const auto reduced = static_cast<std::size_t>(
+      layer.params.out_channels > 0 ? layer.params.out_channels
+                                    : std::max<int>(1, static_cast<int>(channels) / 4));
+  std::vector<float> mean(channels);
+  for (std::size_t c = 0; c < channels; ++c) {
+    mean[c] = static_cast<float>(channel_sums[c] / static_cast<double>(count_per_channel));
+  }
+  std::vector<float> hidden(reduced);
+  for (std::size_t r = 0; r < reduced; ++r) {
+    float acc = weights.se_reduce_bias[r];
+    for (std::size_t c = 0; c < channels; ++c) acc += weights.se_reduce[r * channels + c] * mean[c];
+    hidden[r] = activate(acc, Activation::kSwish);
+  }
+  std::vector<float> gate(channels);
+  for (std::size_t c = 0; c < channels; ++c) {
+    float acc = weights.se_expand_bias[c];
+    for (std::size_t r = 0; r < reduced; ++r) acc += weights.se_expand[c * reduced + r] * hidden[r];
+    gate[c] = activate(acc, Activation::kSigmoid);
+  }
+  return gate;
+}
+
+Tensor se_scale_rows(const Layer& layer, const RowWindow& input, const std::vector<float>& gate,
+                     int begin, int end) {
+  (void)layer;
+  const int channels = input.data.channels();
+  const int w = input.data.width();
+  Tensor out(channels, end - begin, w);
+  for (int c = 0; c < channels; ++c) {
+    for (int y = begin; y < end; ++y) {
+      for (int x = 0; x < w; ++x) {
+        out.at(c, y - begin, x) = input.at_global(c, y, x) * gate[static_cast<std::size_t>(c)];
+      }
+    }
+  }
+  return out;
+}
+
+Tensor global_avg_pool(const Tensor& input) {
+  Tensor out(input.channels(), 1, 1);
+  const auto denom = static_cast<double>(input.height()) * input.width();
+  for (int c = 0; c < input.channels(); ++c) {
+    double acc = 0.0;
+    for (int y = 0; y < input.height(); ++y) {
+      for (int x = 0; x < input.width(); ++x) acc += input.at(c, y, x);
+    }
+    out.at(c, 0, 0) = static_cast<float>(acc / denom);
+  }
+  return out;
+}
+
+Tensor flatten(const Tensor& input) {
+  Tensor out(static_cast<int>(input.shape().elements()), 1, 1);
+  std::copy(input.data(), input.data() + input.size(), out.data());
+  return out;
+}
+
+Tensor dense(const Layer& layer, const Tensor& input, const LayerWeights& weights) {
+  const auto in_f = static_cast<std::size_t>(input.shape().elements());
+  const auto out_f = static_cast<std::size_t>(layer.output.channels);
+  Tensor out(static_cast<int>(out_f), 1, 1);
+  for (std::size_t o = 0; o < out_f; ++o) {
+    float acc = weights.bias.empty() ? 0.0f : weights.bias[o];
+    for (std::size_t i = 0; i < in_f; ++i) acc += weights.dense[o * in_f + i] * input.data()[i];
+    out.data()[o] = activate(acc, layer.params.activation);
+  }
+  return out;
+}
+
+Tensor softmax(const Tensor& input) {
+  Tensor out(input.shape());
+  float max_v = -std::numeric_limits<float>::infinity();
+  for (std::size_t i = 0; i < input.size(); ++i) max_v = std::max(max_v, input.data()[i]);
+  double total = 0.0;
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    const float e = std::exp(input.data()[i] - max_v);
+    out.data()[i] = e;
+    total += e;
+  }
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out.data()[i] = static_cast<float>(out.data()[i] / total);
+  }
+  return out;
+}
+
+}  // namespace hidp::tensor

@@ -1,0 +1,63 @@
+// Window-aware reference implementations of every LayerKind.
+//
+// Each op computes output rows [out_begin, out_end) (global coordinates)
+// from input RowWindows, so the same code path executes whole tensors
+// (window = everything) and data-partitioned slices (window = band + halo).
+// Running both through identical arithmetic makes whole-vs-partitioned
+// comparisons bit-exact for everything except SqueezeExcite's partial-sum
+// reduction, which is associativity-sensitive (tested with tolerance).
+#pragma once
+
+#include "dnn/layer.hpp"
+#include "tensor/tensor.hpp"
+
+namespace hidp::tensor {
+
+/// Layer weights (deterministic pseudo-random stand-ins for trained ones;
+/// equivalence of partitioned execution does not depend on the values).
+struct LayerWeights {
+  Tensor conv;          ///< conv: [out][in][kh][kw] flattened into CHW abuse
+  std::vector<float> bias;
+  std::vector<float> bn_gamma, bn_beta, bn_mean, bn_var;
+  std::vector<float> se_reduce, se_reduce_bias;  ///< [r][c] flattened
+  std::vector<float> se_expand, se_expand_bias;  ///< [c][r] flattened
+  std::vector<float> dense;                      ///< [out][in] flattened
+};
+
+/// conv / depthwise-conv / pool over output rows [out_begin, out_end).
+/// `out` receives a tensor of (out_end - out_begin) rows.
+Tensor conv2d_rows(const dnn::Layer& layer, const RowWindow& input,
+                   const LayerWeights& weights, int out_begin, int out_end);
+Tensor depthwise_conv2d_rows(const dnn::Layer& layer, const RowWindow& input,
+                             const LayerWeights& weights, int out_begin, int out_end);
+Tensor pool2d_rows(const dnn::Layer& layer, const RowWindow& input, int out_begin, int out_end,
+                   bool max_pool);
+
+/// Element-wise ops over rows [begin, end).
+Tensor batch_norm_rows(const dnn::Layer& layer, const RowWindow& input,
+                       const LayerWeights& weights, int begin, int end);
+Tensor activation_rows(const dnn::Layer& layer, const RowWindow& input, int begin, int end);
+Tensor add_rows(const dnn::Layer& layer, const std::vector<const RowWindow*>& inputs, int begin,
+                int end);
+Tensor concat_rows(const std::vector<const RowWindow*>& inputs, int begin, int end);
+
+/// SqueezeExcite split into its distributed phases:
+///  1. per-slice partial channel sums;
+///  2. gate computation from the global mean (the all-reduce result);
+///  3. per-slice rescale.
+std::vector<double> se_partial_sums(const RowWindow& input, int begin, int end);
+std::vector<float> se_gate(const dnn::Layer& layer, const LayerWeights& weights,
+                           const std::vector<double>& channel_sums, std::int64_t count_per_channel);
+Tensor se_scale_rows(const dnn::Layer& layer, const RowWindow& input,
+                     const std::vector<float>& gate, int begin, int end);
+
+/// Head (non-spatial) ops on full tensors.
+Tensor global_avg_pool(const Tensor& input);
+Tensor flatten(const Tensor& input);
+Tensor dense(const dnn::Layer& layer, const Tensor& input, const LayerWeights& weights);
+Tensor softmax(const Tensor& input);
+
+/// Fused activation applied in place (conv/dense/bn carry one).
+void apply_activation(Tensor& t, dnn::Activation act);
+
+}  // namespace hidp::tensor

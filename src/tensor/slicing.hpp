@@ -1,0 +1,52 @@
+// Data-partitioned (row-sliced) execution — the numerical twin of the
+// partition::plan_data_partition cost model.
+//
+// Executes the spatially local prefix in sigma parallel row bands exactly
+// as the distributed runtime would: each band materialises only its halo-
+// expanded rows per layer (dnn::backpropagate_rows), SqueezeExcite layers
+// perform a partial-sum all-reduce over disjoint row ownership, band
+// outputs are gathered, and the classifier head runs whole. Comparing the
+// result against ReferenceExecutor::run validates the paper's claim that
+// partitioning leaves Top-1/Top-5 accuracy untouched.
+#pragma once
+
+#include "dnn/receptive_field.hpp"
+#include "tensor/executor.hpp"
+
+namespace hidp::tensor {
+
+class PartitionedExecutor {
+ public:
+  /// Shares the reference executor's graph and weights.
+  explicit PartitionedExecutor(const ReferenceExecutor& reference)
+      : reference_(&reference) {}
+
+  /// Statistics of the last run (halo recomputation cost).
+  struct SliceReport {
+    int sigma = 0;
+    int split_layer = 0;             ///< prefix end (head starts here)
+    std::int64_t total_rows = 0;     ///< sum over layers of required rows
+    std::int64_t owned_rows = 0;     ///< sum over layers of layer heights
+    double overlap_fraction() const noexcept {
+      return owned_rows > 0
+                 ? static_cast<double>(total_rows - owned_rows) / static_cast<double>(owned_rows)
+                 : 0.0;
+    }
+  };
+
+  /// Runs the model split into `sigma` equal row bands. Falls back to the
+  /// reference executor when the graph admits no data partitioning.
+  Tensor run(const Tensor& input, int sigma) const;
+
+  /// Runs with explicit target-row bands (must partition the split layer's
+  /// output rows: contiguous, disjoint, covering).
+  Tensor run_with_bands(const Tensor& input, const std::vector<dnn::RowRange>& bands) const;
+
+  const SliceReport& last_report() const noexcept { return report_; }
+
+ private:
+  const ReferenceExecutor* reference_;
+  mutable SliceReport report_;
+};
+
+}  // namespace hidp::tensor

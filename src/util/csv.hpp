@@ -1,0 +1,33 @@
+// CSV emission for bench results so figure series can be re-plotted offline.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hidp::util {
+
+/// Accumulates rows and writes an RFC-4180-ish CSV file (quotes cells that
+/// contain separators/quotes/newlines).
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  void add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  /// Renders the full CSV document.
+  std::string to_string() const;
+
+  /// Writes to `path`; returns false on I/O failure.
+  bool write_file(const std::string& path) const;
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Escapes a single CSV cell.
+std::string csv_escape(const std::string& cell);
+
+}  // namespace hidp::util

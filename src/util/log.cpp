@@ -1,0 +1,62 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+
+namespace hidp::util {
+
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_sink_mutex;
+std::function<void(std::string_view)>& sink_storage() {
+  static std::function<void(std::string_view)> sink;
+  return sink;
+}
+
+}  // namespace
+
+LogLevel log_level() noexcept { return g_level.load(std::memory_order_relaxed); }
+
+void set_log_level(LogLevel level) noexcept { g_level.store(level, std::memory_order_relaxed); }
+
+void set_log_sink(std::function<void(std::string_view)> sink) {
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  sink_storage() = std::move(sink);
+}
+
+std::string_view log_level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+namespace detail {
+
+void emit(LogLevel level, std::string_view component, std::string_view message) {
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  std::string line;
+  line.reserve(message.size() + component.size() + 16);
+  line += '[';
+  line += log_level_name(level);
+  line += "] [";
+  line += component;
+  line += "] ";
+  line += message;
+  if (sink_storage()) {
+    sink_storage()(line);
+  } else {
+    std::cerr << line << '\n';
+  }
+}
+
+}  // namespace detail
+
+}  // namespace hidp::util

@@ -1,0 +1,59 @@
+// Lightweight leveled logger used across all HiDP subsystems.
+//
+// The logger is intentionally minimal: a global level, a sink that defaults
+// to stderr, and printf-free formatting via operator<< streaming. Simulation
+// code logs with a time prefix through LogContext.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace hidp::util {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+/// Returns the global log level (default kWarn so tests/benches stay quiet).
+LogLevel log_level() noexcept;
+
+/// Sets the global log level.
+void set_log_level(LogLevel level) noexcept;
+
+/// Replaces the log sink. The sink receives fully formatted lines without a
+/// trailing newline. Passing an empty function restores the stderr sink.
+void set_log_sink(std::function<void(std::string_view)> sink);
+
+/// Human-readable name for a level ("TRACE", "DEBUG", ...).
+std::string_view log_level_name(LogLevel level) noexcept;
+
+namespace detail {
+void emit(LogLevel level, std::string_view component, std::string_view message);
+}
+
+/// Streaming log statement builder. Usage:
+///   HIDP_LOG(kInfo, "sim") << "event at t=" << now;
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string_view component) : level_(level), component_(component) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() {
+    if (level_ >= log_level()) detail::emit(level_, component_, stream_.str());
+  }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    if (level_ >= log_level()) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+
+}  // namespace hidp::util
+
+#define HIDP_LOG(level, component) ::hidp::util::LogLine(::hidp::util::LogLevel::level, component)

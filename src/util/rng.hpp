@@ -1,0 +1,61 @@
+// Deterministic pseudo-random number generation for simulations and tests.
+//
+// All stochastic components (workload arrival jitter, MCTS rollouts, probe
+// noise) draw from an explicitly seeded Rng instance so that every experiment
+// in this repository is bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace hidp::util {
+
+/// xoshiro256** — small, fast, high-quality PRNG. Not cryptographic.
+class Rng {
+ public:
+  /// Seeds the generator via splitmix64 expansion of `seed`.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept;
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64() noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Standard normal via Box-Muller.
+  double normal() noexcept;
+
+  /// Normal with the given mean / standard deviation.
+  double normal(double mean, double stddev) noexcept;
+
+  /// Exponentially distributed value with the given rate (1/mean).
+  double exponential(double rate) noexcept;
+
+  /// Picks an index in [0, weights.size()) proportionally to `weights`.
+  /// Nonpositive total weight falls back to uniform choice.
+  std::size_t weighted_index(const std::vector<double>& weights) noexcept;
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& values) noexcept {
+    for (std::size_t i = values.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      std::swap(values[i - 1], values[j]);
+    }
+  }
+
+ private:
+  std::uint64_t state_[4]{};
+  bool has_spare_normal_ = false;
+  double spare_normal_ = 0.0;
+};
+
+}  // namespace hidp::util

@@ -1,0 +1,45 @@
+// Small statistics helpers shared by metrics collection and benches.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace hidp::util {
+
+/// Streaming accumulator for mean / variance / extrema (Welford's method).
+class RunningStats {
+ public:
+  void add(double value) noexcept;
+  void merge(const RunningStats& other) noexcept;
+
+  std::size_t count() const noexcept { return count_; }
+  double mean() const noexcept { return count_ ? mean_ : 0.0; }
+  double variance() const noexcept;  ///< population variance
+  double stddev() const noexcept;
+  double min() const noexcept { return count_ ? min_ : 0.0; }
+  double max() const noexcept { return count_ ? max_ : 0.0; }
+  double sum() const noexcept { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Percentile with linear interpolation; `q` in [0,1]. Sorts a copy.
+double percentile(std::vector<double> values, double q);
+
+/// Arithmetic mean; 0 for empty input.
+double mean(const std::vector<double>& values);
+
+/// Geometric mean of positive values; 0 if any value <= 0 or empty.
+double geomean(const std::vector<double>& values);
+
+/// Relative improvement of `candidate` vs `baseline` as a fraction:
+/// (baseline - candidate) / baseline. Returns 0 when baseline == 0.
+double relative_reduction(double baseline, double candidate) noexcept;
+
+}  // namespace hidp::util

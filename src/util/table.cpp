@@ -1,0 +1,58 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace hidp::util {
+
+std::string Table::to_string() const {
+  // Compute column widths over header + rows.
+  std::size_t columns = header_.size();
+  for (const auto& row : rows_) columns = std::max(columns, row.size());
+  std::vector<std::size_t> widths(columns, 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) widths[i] = std::max(widths[i], row[i].size());
+  };
+  if (!header_.empty()) widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  std::size_t total = columns ? (columns - 1) * 3 : 0;
+  for (auto w : widths) total += w;
+
+  std::ostringstream out;
+  const std::string rule(std::max(total, title_.size()), '-');
+  out << title_ << '\n' << rule << '\n';
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < columns; ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string{};
+      out << std::left << std::setw(static_cast<int>(widths[i])) << cell;
+      if (i + 1 < columns) out << " | ";
+    }
+    out << '\n';
+  };
+  if (!header_.empty()) {
+    emit_row(header_);
+    out << rule << '\n';
+  }
+  for (const auto& row : rows_) emit_row(row);
+  out << rule << '\n';
+  return out.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Table& table) { return os << table.to_string(); }
+
+std::string fmt(double value, int digits) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(digits) << value;
+  return out.str();
+}
+
+std::string fmt_pct(double fraction, int digits) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(digits) << fraction * 100.0 << '%';
+  return out.str();
+}
+
+}  // namespace hidp::util

@@ -1,0 +1,43 @@
+// ASCII table printer used by every bench binary to emit the paper's
+// tables/figure series in a readable, diffable format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hidp::util {
+
+/// Column-aligned ASCII table with a title, header row, and data rows.
+/// Numeric formatting is the caller's responsibility (pass strings).
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  /// Sets the header row. Clears nothing else.
+  void set_header(std::vector<std::string> header) { header_ = std::move(header); }
+
+  /// Appends a data row; short rows are padded with empty cells.
+  void add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  /// Renders the table (title, rule, header, rule, rows, rule).
+  std::string to_string() const;
+
+  /// Convenience: renders to a stream.
+  friend std::ostream& operator<<(std::ostream& os, const Table& table);
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` decimal places.
+std::string fmt(double value, int digits = 2);
+
+/// Formats a fraction as a percentage string, e.g. 0.38 -> "38.0%".
+std::string fmt_pct(double fraction, int digits = 1);
+
+}  // namespace hidp::util

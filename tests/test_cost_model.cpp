@@ -1,0 +1,144 @@
+// Cluster cost model: candidates, profiles, boundary bytes, policies, Psi.
+#include <gtest/gtest.h>
+
+#include "dnn/zoo/zoo.hpp"
+#include "partition/cost_model.hpp"
+#include "platform/device_db.hpp"
+
+namespace hidp::partition {
+namespace {
+
+struct Fixture {
+  dnn::DnnGraph graph = dnn::zoo::build_efficientnet_b0();
+  std::vector<platform::NodeModel> nodes = platform::paper_cluster();
+  net::NetworkSpec network{nodes};
+};
+
+TEST(CostModel, CandidatesBracketTheGraph) {
+  Fixture f;
+  ClusterCostModel cost(f.graph, f.nodes, f.network, NodeExecutionPolicy::kHierarchicalLocal);
+  const auto& c = cost.candidates();
+  ASSERT_GE(c.size(), 3u);
+  EXPECT_EQ(c.front(), 0);
+  EXPECT_EQ(c.back(), static_cast<int>(f.graph.size()));
+  for (std::size_t i = 1; i < c.size(); ++i) EXPECT_GT(c[i], c[i - 1]);
+  EXPECT_EQ(cost.segment_count(), c.size() - 1);
+}
+
+TEST(CostModel, ProfilesAreConsistentWithGraph) {
+  Fixture f;
+  ClusterCostModel cost(f.graph, f.nodes, f.network, NodeExecutionPolicy::kHierarchicalLocal);
+  const int last = static_cast<int>(cost.segment_count());
+  const auto whole = cost.profile_between(0, last);
+  EXPECT_NEAR(whole.total(), f.graph.total_flops(), f.graph.total_flops() * 1e-9);
+  // Additivity over an interior split.
+  const int mid = last / 2;
+  EXPECT_NEAR(cost.profile_between(0, mid).total() + cost.profile_between(mid, last).total(),
+              whole.total(), whole.total() * 1e-9);
+}
+
+TEST(CostModel, BoundaryBytesEndpoints) {
+  Fixture f;
+  ClusterCostModel cost(f.graph, f.nodes, f.network, NodeExecutionPolicy::kHierarchicalLocal);
+  EXPECT_EQ(cost.boundary_bytes(0), f.graph.input_shape().bytes(4));
+  EXPECT_EQ(cost.boundary_bytes(static_cast<int>(cost.segment_count())),
+            f.graph.output_shape().bytes(4));
+}
+
+TEST(CostModel, HierarchicalNeverSlowerThanDefault) {
+  Fixture f;
+  ClusterCostModel dflt(f.graph, f.nodes, f.network, NodeExecutionPolicy::kDefaultProcessor);
+  ClusterCostModel hier(f.graph, f.nodes, f.network, NodeExecutionPolicy::kHierarchicalLocal);
+  const int last = static_cast<int>(dflt.segment_count());
+  for (std::size_t node = 0; node < f.nodes.size(); ++node) {
+    EXPECT_LE(hier.node_time(node, 0, last), dflt.node_time(node, 0, last) + 1e-12)
+        << f.nodes[node].name();
+  }
+}
+
+TEST(CostModel, NodeTimeMemoisedAndDecisionExposed) {
+  Fixture f;
+  ClusterCostModel cost(f.graph, f.nodes, f.network, NodeExecutionPolicy::kHierarchicalLocal);
+  LocalDecision d1, d2;
+  const double t1 = cost.node_time(1, 0, 5, &d1);
+  const double t2 = cost.node_time(1, 0, 5, &d2);
+  EXPECT_DOUBLE_EQ(t1, t2);
+  EXPECT_EQ(d1.config.mode, d2.config.mode);
+  EXPECT_DOUBLE_EQ(d1.latency_s, t1);
+}
+
+TEST(CostModel, EmptyRangeIsFree) {
+  Fixture f;
+  ClusterCostModel cost(f.graph, f.nodes, f.network, NodeExecutionPolicy::kDefaultProcessor);
+  EXPECT_DOUBLE_EQ(cost.node_time(0, 3, 3), 0.0);
+  EXPECT_DOUBLE_EQ(cost.node_time(0, 5, 2), 0.0);
+}
+
+TEST(CostModel, ProcTimeMatchesProcessorModel) {
+  Fixture f;
+  ClusterCostModel cost(f.graph, f.nodes, f.network, NodeExecutionPolicy::kDefaultProcessor);
+  const auto profile = cost.profile_between(0, 4);
+  EXPECT_DOUBLE_EQ(cost.proc_time(1, 0, 0, 4), f.nodes[1].processor(0).time_for(profile, 1));
+}
+
+TEST(CostModel, TransferUsesLinkSpec) {
+  Fixture f;
+  ClusterCostModel cost(f.graph, f.nodes, f.network, NodeExecutionPolicy::kDefaultProcessor);
+  EXPECT_DOUBLE_EQ(cost.transfer_s(0, 1, 80'000'000), 1.0 + 4e-3);
+  EXPECT_LT(cost.transfer_s(2, 2, 80'000'000), 1e-3);  // loopback
+}
+
+TEST(CostModel, DefaultPolicyRateIsDefaultProcessor) {
+  Fixture f;
+  ClusterCostModel cost(f.graph, f.nodes, f.network, NodeExecutionPolicy::kDefaultProcessor);
+  // For the RPi5, default placement (GPU) is much slower than the node's
+  // aggregate capability — the rate must reflect the default placement.
+  const double rpi5_rate = cost.node_rate_gflops(3);
+  ClusterCostModel hier(f.graph, f.nodes, f.network, NodeExecutionPolicy::kHierarchicalLocal);
+  EXPECT_LT(rpi5_rate, hier.node_rate_gflops(3));
+}
+
+TEST(CostModel, PsiPositiveAndLeaderDominates) {
+  Fixture f;
+  ClusterCostModel cost(f.graph, f.nodes, f.network, NodeExecutionPolicy::kHierarchicalLocal);
+  const auto psi = cost.psi(0);
+  ASSERT_EQ(psi.size(), f.nodes.size());
+  for (std::size_t j = 1; j < psi.size(); ++j) EXPECT_GT(psi[j], 0.0);
+  // The leader's loopback beta is huge -> psi ~ 0 for itself.
+  EXPECT_LT(psi[0], psi[1]);
+}
+
+TEST(CostModel, ModeNames) {
+  EXPECT_EQ(partition_mode_name(PartitionMode::kNone), "none");
+  EXPECT_EQ(partition_mode_name(PartitionMode::kModel), "model");
+  EXPECT_EQ(partition_mode_name(PartitionMode::kData), "data");
+}
+
+TEST(CostModel, CandidateThinningBoundsList) {
+  Fixture f;
+  ClusterCostModel coarse(f.graph, f.nodes, f.network,
+                          NodeExecutionPolicy::kHierarchicalLocal, 4, /*max_candidates=*/10);
+  EXPECT_LE(coarse.candidates().size(), 10u);
+  EXPECT_EQ(coarse.candidates().front(), 0);
+  EXPECT_EQ(coarse.candidates().back(), static_cast<int>(f.graph.size()));
+  // Whole-network profile must be unaffected by thinning.
+  const auto whole =
+      coarse.profile_between(0, static_cast<int>(coarse.segment_count()));
+  EXPECT_NEAR(whole.total(), f.graph.total_flops(), f.graph.total_flops() * 1e-9);
+}
+
+TEST(CostModel, LocalDecisionMemoised) {
+  Fixture f;
+  ClusterCostModel cost(f.graph, f.nodes, f.network, NodeExecutionPolicy::kHierarchicalLocal);
+  const auto work = platform::WorkProfile::from_graph(f.graph, 0, 30);
+  const auto& d1 = cost.local_decision(1, work, 1 << 20);
+  const auto& d2 = cost.local_decision(1, work, 1 << 20);
+  EXPECT_EQ(&d1, &d2);  // same cached entry
+  EXPECT_GT(d1.latency_s, 0.0);
+  // Different node -> different decision slot.
+  const auto& d3 = cost.local_decision(2, work, 1 << 20);
+  EXPECT_NE(&d1, &d3);
+}
+
+}  // namespace
+}  // namespace hidp::partition

@@ -1,0 +1,102 @@
+// Unit tests for cut-point analysis (block boundaries for model partitioning).
+#include <gtest/gtest.h>
+
+#include "dnn/cut_analysis.hpp"
+#include "dnn/zoo/zoo.hpp"
+
+namespace hidp::dnn {
+namespace {
+
+DnnGraph chain_graph() {
+  DnnGraph g("chain");
+  int x = g.add_input(3, 8, 8);
+  x = g.conv(x, 4, 3, 1, true, Activation::kRelu, "c1");
+  x = g.conv(x, 4, 3, 1, true, Activation::kRelu, "c2");
+  x = g.conv(x, 4, 3, 1, true, Activation::kRelu, "c3");
+  return g;
+}
+
+DnnGraph residual_graph() {
+  DnnGraph g("residual");
+  int x = g.add_input(3, 8, 8);
+  x = g.conv(x, 4, 3, 1, true, Activation::kRelu, "c1");   // 1
+  int a = g.conv(x, 4, 3, 1, true, Activation::kNone, "c2");  // 2
+  g.add({a, x}, Activation::kRelu, "res");                  // 3
+  return g;
+}
+
+TEST(CutAnalysis, ChainHasAllCleanCuts) {
+  const DnnGraph g = chain_graph();
+  const auto cuts = clean_cut_positions(g);
+  EXPECT_EQ(cuts, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(CutAnalysis, ResidualEdgeBlocksInteriorCut) {
+  const DnnGraph g = residual_graph();
+  // Cut at 2 crosses both c1's output (consumed by add) and the input of
+  // c2... c1 output crosses twice but counts once; crossing producers at 2:
+  // layer 1 only (feeds both 2 and 3). So it is clean. Cut at 3: producers
+  // 1 and 2 cross -> not clean.
+  const auto all = analyze_cuts(g);
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_TRUE(all[0].clean());   // position 1
+  EXPECT_TRUE(all[1].clean());   // position 2 (single producer: layer 1)
+  EXPECT_FALSE(all[2].clean());  // position 3 (producers 1 and 2)
+}
+
+TEST(CutAnalysis, BytesCountDistinctProducersOnce) {
+  const DnnGraph g = residual_graph();
+  // At position 2 the only crossing producer is layer 1 (consumed by both
+  // layer 2 and layer 3) -> bytes = one tensor, not two.
+  EXPECT_EQ(cut_bytes(g, 2), g.output_bytes(1));
+}
+
+TEST(CutAnalysis, BoundaryPositionsReturnZero) {
+  const DnnGraph g = chain_graph();
+  EXPECT_EQ(cut_bytes(g, 0), 0);
+  EXPECT_EQ(cut_bytes(g, static_cast<int>(g.size())), 0);
+}
+
+TEST(CutAnalysis, PrefixFlopsMonotone) {
+  const DnnGraph g = chain_graph();
+  const auto prefix = prefix_flops(g);
+  ASSERT_EQ(prefix.size(), g.size() + 1);
+  for (std::size_t i = 1; i < prefix.size(); ++i) EXPECT_GE(prefix[i], prefix[i - 1]);
+  EXPECT_DOUBLE_EQ(prefix.back(), g.total_flops());
+}
+
+TEST(CutAnalysis, CutBytesMatchesAnalyzeCuts) {
+  const DnnGraph g = zoo::build_efficientnet_b0(64, 10);
+  const auto cuts = analyze_cuts(g);
+  for (std::size_t i = 0; i < cuts.size(); i += 7) {
+    EXPECT_EQ(cuts[i].bytes, cut_bytes(g, cuts[i].position));
+  }
+}
+
+TEST(CutAnalysis, ZooModelsHaveUsableCleanCuts) {
+  for (const auto id : zoo::all_models()) {
+    const DnnGraph g = zoo::build_model(id);
+    const auto cuts = clean_cut_positions(g);
+    // Every evaluation model offers multiple block boundaries.
+    EXPECT_GE(cuts.size(), 10u) << zoo::model_name(id);
+  }
+}
+
+TEST(CutAnalysis, InceptionBranchesAreNotCleanInside) {
+  const DnnGraph g = zoo::build_inception_v3();
+  const auto all = analyze_cuts(g);
+  std::size_t dirty = 0;
+  for (const auto& cut : all) dirty += cut.clean() ? 0 : 1;
+  // Most interior positions of inception blocks cross several branch tensors.
+  EXPECT_GT(dirty, all.size() / 2);
+}
+
+TEST(CutAnalysis, TinyGraphHasNoCuts) {
+  DnnGraph g;
+  g.add_input(1, 2, 2);
+  EXPECT_TRUE(analyze_cuts(g).empty());
+  EXPECT_TRUE(clean_cut_positions(g).empty());
+}
+
+}  // namespace
+}  // namespace hidp::dnn

@@ -1,0 +1,170 @@
+// Execution engine: dispatch, contention, FSM phase charging, traces.
+#include <gtest/gtest.h>
+
+#include "dnn/zoo/zoo.hpp"
+#include "runtime/engine.hpp"
+#include "runtime/workload.hpp"
+
+namespace hidp::runtime {
+namespace {
+
+/// Deterministic strategy issuing one fixed compute task on (node 0, proc 0).
+class FixedStrategy : public IStrategy {
+ public:
+  explicit FixedStrategy(double seconds, double phases_s = 0.0)
+      : seconds_(seconds), phases_s_(phases_s) {}
+  std::string name() const override { return "Fixed"; }
+  Plan plan(const dnn::DnnGraph&, const ClusterSnapshot& snap) override {
+    last_snapshot = snap;
+    Plan p;
+    p.strategy = name();
+    p.leader = snap.leader;
+    PlanTask t;
+    t.kind = PlanTask::Kind::kCompute;
+    t.node = 0;
+    t.proc = 0;
+    t.seconds = seconds_;
+    t.flops = 1e9;
+    p.tasks.push_back(t);
+    p.phases.explore_s = phases_s_;
+    p.nodes_used = 1;
+    return p;
+  }
+  ClusterSnapshot last_snapshot;
+
+ private:
+  double seconds_;
+  double phases_s_;
+};
+
+TEST(Engine, SingleRequestLatency) {
+  Cluster cluster(platform::paper_cluster(2));
+  FixedStrategy strategy(0.5);
+  ExecutionEngine engine(cluster, strategy, 0);
+  dnn::DnnGraph model = dnn::zoo::build_efficientnet_b0(32, 4);
+  const auto records = engine.run({InferenceRequest{0, &model, 1.0}});
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_DOUBLE_EQ(records[0].arrival_s, 1.0);
+  EXPECT_DOUBLE_EQ(records[0].finish_s, 1.5);
+  EXPECT_DOUBLE_EQ(records[0].latency_s(), 0.5);
+  EXPECT_DOUBLE_EQ(engine.makespan_s(), 1.5);
+}
+
+TEST(Engine, PhasesDelayDispatch) {
+  Cluster cluster(platform::paper_cluster(2));
+  FixedStrategy strategy(0.5, 0.1);
+  ExecutionEngine engine(cluster, strategy, 0);
+  dnn::DnnGraph model = dnn::zoo::build_efficientnet_b0(32, 4);
+  const auto records = engine.run({InferenceRequest{0, &model, 0.0}});
+  EXPECT_DOUBLE_EQ(records[0].dispatch_s, 0.1);
+  EXPECT_DOUBLE_EQ(records[0].finish_s, 0.6);
+}
+
+TEST(Engine, ContentionSerialisesOnSharedProcessor) {
+  Cluster cluster(platform::paper_cluster(2));
+  FixedStrategy strategy(1.0);
+  ExecutionEngine engine(cluster, strategy, 0);
+  dnn::DnnGraph model = dnn::zoo::build_efficientnet_b0(32, 4);
+  const auto records = engine.run({
+      InferenceRequest{0, &model, 0.0},
+      InferenceRequest{1, &model, 0.0},
+      InferenceRequest{2, &model, 0.0},
+  });
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_DOUBLE_EQ(records[0].finish_s, 1.0);
+  EXPECT_DOUBLE_EQ(records[1].finish_s, 2.0);
+  EXPECT_DOUBLE_EQ(records[2].finish_s, 3.0);
+}
+
+TEST(Engine, QueueDepthVisibleToStrategy) {
+  Cluster cluster(platform::paper_cluster(2));
+  FixedStrategy strategy(1.0);
+  ExecutionEngine engine(cluster, strategy, 0);
+  dnn::DnnGraph model = dnn::zoo::build_efficientnet_b0(32, 4);
+  engine.run({InferenceRequest{0, &model, 0.0}, InferenceRequest{1, &model, 0.1}});
+  // The second request arrives while the first is still running.
+  EXPECT_EQ(strategy.last_snapshot.queue_depth, 1);
+}
+
+TEST(Engine, TracesRecordComputeIntervals) {
+  Cluster cluster(platform::paper_cluster(2));
+  FixedStrategy strategy(0.25);
+  ExecutionEngine engine(cluster, strategy, 0);
+  dnn::DnnGraph model = dnn::zoo::build_efficientnet_b0(32, 4);
+  engine.run({InferenceRequest{0, &model, 0.0}, InferenceRequest{1, &model, 0.0}});
+  ASSERT_EQ(engine.traces().size(), 2u);
+  EXPECT_DOUBLE_EQ(engine.traces()[0].start_s, 0.0);
+  EXPECT_DOUBLE_EQ(engine.traces()[0].end_s, 0.25);
+  EXPECT_DOUBLE_EQ(engine.traces()[1].start_s, 0.25);  // queued
+  EXPECT_DOUBLE_EQ(engine.traces()[1].flops, 1e9);
+}
+
+TEST(Engine, RecordsSortedById) {
+  Cluster cluster(platform::paper_cluster(2));
+  FixedStrategy strategy(0.1);
+  ExecutionEngine engine(cluster, strategy, 0);
+  dnn::DnnGraph model = dnn::zoo::build_efficientnet_b0(32, 4);
+  const auto records = engine.run({
+      InferenceRequest{7, &model, 0.2},
+      InferenceRequest{3, &model, 0.1},
+  });
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].id, 3);
+  EXPECT_EQ(records[1].id, 7);
+}
+
+TEST(Engine, RejectsNullModel) {
+  Cluster cluster(platform::paper_cluster(2));
+  FixedStrategy strategy(0.1);
+  ExecutionEngine engine(cluster, strategy, 0);
+  EXPECT_THROW(engine.run({InferenceRequest{0, nullptr, 0.0}}), std::invalid_argument);
+}
+
+TEST(Engine, RejectsBadLeader) {
+  Cluster cluster(platform::paper_cluster(2));
+  FixedStrategy strategy(0.1);
+  EXPECT_THROW(ExecutionEngine(cluster, strategy, 9), std::invalid_argument);
+}
+
+TEST(Engine, EmptyPlanFinishesImmediately) {
+  class EmptyStrategy : public IStrategy {
+   public:
+    std::string name() const override { return "Empty"; }
+    Plan plan(const dnn::DnnGraph&, const ClusterSnapshot&) override { return Plan{}; }
+  };
+  Cluster cluster(platform::paper_cluster(2));
+  EmptyStrategy strategy;
+  ExecutionEngine engine(cluster, strategy, 0);
+  dnn::DnnGraph model = dnn::zoo::build_efficientnet_b0(32, 4);
+  const auto records = engine.run({InferenceRequest{0, &model, 0.5}});
+  EXPECT_DOUBLE_EQ(records[0].finish_s, 0.5);
+}
+
+TEST(Cluster, EnergyGrowsWithBusyTime) {
+  Cluster cluster(platform::paper_cluster(2));
+  FixedStrategy strategy(1.0);
+  ExecutionEngine engine(cluster, strategy, 0);
+  dnn::DnnGraph model = dnn::zoo::build_efficientnet_b0(32, 4);
+  engine.run({InferenceRequest{0, &model, 0.0}});
+  const double busy_energy = cluster.total_energy_j(1.0);
+  // An idle cluster over the same horizon consumes strictly less.
+  Cluster idle(platform::paper_cluster(2));
+  EXPECT_GT(busy_energy, idle.total_energy_j(1.0));
+}
+
+TEST(Cluster, NodeEnergyBreakdownConsistent) {
+  Cluster cluster(platform::paper_cluster(2));
+  FixedStrategy strategy(2.0);
+  ExecutionEngine engine(cluster, strategy, 0);
+  dnn::DnnGraph model = dnn::zoo::build_efficientnet_b0(32, 4);
+  engine.run({InferenceRequest{0, &model, 0.0}});
+  const auto e = cluster.node_energy(0, 2.0);
+  EXPECT_GT(e.active_j, 0.0);
+  EXPECT_DOUBLE_EQ(cluster.busy_s(0, 0), 2.0);
+  double total = 0.0;
+  for (std::size_t n = 0; n < cluster.size(); ++n) total += cluster.node_energy(n, 2.0).total_j();
+  EXPECT_NEAR(total, cluster.total_energy_j(2.0), 1e-9);
+}
+
+}  // namespace
+}  // namespace hidp::runtime

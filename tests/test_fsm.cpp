@@ -1,0 +1,93 @@
+// Runtime-scheduler FSM (paper Fig. 4): legal transitions per role, traces.
+#include <gtest/gtest.h>
+
+#include "core/scheduler_fsm.hpp"
+
+namespace hidp::core {
+namespace {
+
+TEST(Fsm, StartsInAnalyze) {
+  RuntimeSchedulerFsm fsm(FsmRole::kLeader);
+  EXPECT_EQ(fsm.state(), FsmState::kAnalyze);
+  EXPECT_TRUE(fsm.trace().empty());
+}
+
+TEST(Fsm, LeaderLegalSequence) {
+  RuntimeSchedulerFsm fsm(FsmRole::kLeader);
+  fsm.transition(FsmState::kExplore, 0.1);
+  fsm.transition(FsmState::kGlobalOffload, 0.2);
+  fsm.transition(FsmState::kLocalMap, 0.2);
+  fsm.transition(FsmState::kExecute, 0.3);
+  fsm.transition(FsmState::kGlobalOffload, 0.9);  // gather + merge
+  fsm.transition(FsmState::kAnalyze, 0.9);
+  EXPECT_EQ(fsm.state(), FsmState::kAnalyze);
+  EXPECT_EQ(fsm.trace().size(), 6u);
+}
+
+TEST(Fsm, LeaderIllegalTransitionsThrow) {
+  RuntimeSchedulerFsm fsm(FsmRole::kLeader);
+  EXPECT_THROW(fsm.transition(FsmState::kExecute, 0.0), std::logic_error);
+  EXPECT_THROW(fsm.transition(FsmState::kLocalMap, 0.0), std::logic_error);
+  fsm.transition(FsmState::kExplore, 0.0);
+  EXPECT_THROW(fsm.transition(FsmState::kAnalyze, 0.1), std::logic_error);
+}
+
+TEST(Fsm, FollowerSkipsExplore) {
+  RuntimeSchedulerFsm fsm(FsmRole::kFollower);
+  EXPECT_FALSE(RuntimeSchedulerFsm::legal(FsmRole::kFollower, FsmState::kAnalyze,
+                                          FsmState::kExplore));
+  fsm.transition(FsmState::kLocalMap, 0.0);
+  fsm.transition(FsmState::kExecute, 0.1);
+  fsm.transition(FsmState::kAnalyze, 0.5);  // report back
+  EXPECT_EQ(fsm.trace().size(), 3u);
+}
+
+TEST(Fsm, FollowerCannotOffload) {
+  EXPECT_FALSE(RuntimeSchedulerFsm::legal(FsmRole::kFollower, FsmState::kLocalMap,
+                                          FsmState::kGlobalOffload));
+}
+
+TEST(Fsm, LeaderRoundHelper) {
+  RuntimeSchedulerFsm fsm(FsmRole::kLeader);
+  const double elapsed = fsm.run_leader_round(10.0, 0.002, 0.010, 0.005, 0.100);
+  EXPECT_NEAR(elapsed, 0.117, 1e-12);
+  EXPECT_EQ(fsm.state(), FsmState::kAnalyze);
+  ASSERT_GE(fsm.trace().size(), 6u);
+  // Timestamps are monotone.
+  for (std::size_t i = 1; i < fsm.trace().size(); ++i) {
+    EXPECT_GE(fsm.trace()[i].at_s, fsm.trace()[i - 1].at_s);
+  }
+  // The round visits Explore exactly once and Execute exactly once.
+  int explores = 0, executes = 0;
+  for (const auto& t : fsm.trace()) {
+    explores += t.to == FsmState::kExplore ? 1 : 0;
+    executes += t.to == FsmState::kExecute ? 1 : 0;
+  }
+  EXPECT_EQ(explores, 1);
+  EXPECT_EQ(executes, 1);
+}
+
+TEST(Fsm, FollowerRoundHelper) {
+  RuntimeSchedulerFsm fsm(FsmRole::kFollower);
+  const double elapsed = fsm.run_follower_round(0.0, 0.005, 0.050);
+  EXPECT_NEAR(elapsed, 0.055, 1e-12);
+  EXPECT_EQ(fsm.state(), FsmState::kAnalyze);
+}
+
+TEST(Fsm, ConsecutiveRoundsWork) {
+  RuntimeSchedulerFsm fsm(FsmRole::kLeader);
+  fsm.run_leader_round(0.0, 0.001, 0.01, 0.005, 0.1);
+  fsm.run_leader_round(1.0, 0.001, 0.01, 0.005, 0.1);
+  EXPECT_EQ(fsm.trace().size(), 12u);
+}
+
+TEST(Fsm, StateNames) {
+  EXPECT_EQ(fsm_state_name(FsmState::kAnalyze), "Analyze");
+  EXPECT_EQ(fsm_state_name(FsmState::kExplore), "Explore");
+  EXPECT_EQ(fsm_state_name(FsmState::kGlobalOffload), "Global:Offload");
+  EXPECT_EQ(fsm_state_name(FsmState::kLocalMap), "Local:Map");
+  EXPECT_EQ(fsm_state_name(FsmState::kExecute), "Execute");
+}
+
+}  // namespace
+}  // namespace hidp::core

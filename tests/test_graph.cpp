@@ -1,0 +1,111 @@
+// Unit tests for the DnnGraph container.
+#include <gtest/gtest.h>
+
+#include "dnn/graph.hpp"
+
+namespace hidp::dnn {
+namespace {
+
+DnnGraph small_graph() {
+  DnnGraph g("small");
+  int x = g.add_input(3, 16, 16);
+  x = g.conv(x, 8, 3, 1, true, Activation::kRelu, "c1");
+  int a = g.conv(x, 8, 3, 1, true, Activation::kNone, "c2");
+  x = g.add({a, x}, Activation::kRelu, "res");
+  x = g.global_avg_pool(x);
+  x = g.dense(x, 10);
+  g.softmax(x);
+  return g;
+}
+
+TEST(Graph, BuildsWithConsecutiveIds) {
+  const DnnGraph g = small_graph();
+  EXPECT_EQ(g.size(), 7u);
+  for (std::size_t i = 0; i < g.size(); ++i) EXPECT_EQ(g.layer(static_cast<int>(i)).id, static_cast<int>(i));
+  g.check_invariants();
+}
+
+TEST(Graph, InputMustBeFirst) {
+  DnnGraph g;
+  EXPECT_THROW(g.conv(0, 8, 3, 1, true), std::invalid_argument);
+  g.add_input(3, 8, 8);
+  EXPECT_THROW(g.add_input(3, 8, 8), std::invalid_argument);
+}
+
+TEST(Graph, RejectsOutOfRangeInputs) {
+  DnnGraph g;
+  g.add_input(3, 8, 8);
+  EXPECT_THROW(g.conv(5, 8, 3, 1, true), std::invalid_argument);
+  EXPECT_THROW(g.conv(-1, 8, 3, 1, true), std::invalid_argument);
+}
+
+TEST(Graph, ConsumersTracked) {
+  const DnnGraph g = small_graph();
+  // layer 1 (c1) feeds c2 and the residual add
+  EXPECT_EQ(g.consumers(1).size(), 2u);
+  EXPECT_TRUE(g.consumers(6).empty());  // softmax is terminal
+}
+
+TEST(Graph, TotalFlopsIsSumOfLayers) {
+  const DnnGraph g = small_graph();
+  double sum = 0.0;
+  for (const Layer& l : g.layers()) sum += l.flops;
+  EXPECT_DOUBLE_EQ(g.total_flops(), sum);
+  EXPECT_DOUBLE_EQ(g.range_flops(0, static_cast<int>(g.size())), sum);
+}
+
+TEST(Graph, RangeFlopsSubrange) {
+  const DnnGraph g = small_graph();
+  EXPECT_DOUBLE_EQ(g.range_flops(1, 3), g.layer(1).flops + g.layer(2).flops);
+  EXPECT_DOUBLE_EQ(g.range_flops(3, 3), 0.0);
+  EXPECT_DOUBLE_EQ(g.range_flops(-5, 2), g.layer(0).flops + g.layer(1).flops);
+}
+
+TEST(Graph, RangeWeightBytes) {
+  const DnnGraph g = small_graph();
+  EXPECT_EQ(g.range_weight_bytes(0, static_cast<int>(g.size())), g.total_weight_bytes());
+}
+
+TEST(Graph, SpatialPrefixStopsAtGlobalPool) {
+  const DnnGraph g = small_graph();
+  EXPECT_EQ(g.spatial_prefix_end(), 4);  // layers 0..3 are spatially local
+}
+
+TEST(Graph, InputShapeAndOutputShape) {
+  const DnnGraph g = small_graph();
+  EXPECT_EQ(g.input_shape(), (Shape{3, 16, 16}));
+  EXPECT_EQ(g.output_shape(), (Shape{10, 1, 1}));
+}
+
+TEST(Graph, OutputBytesScaleWithElementSize) {
+  const DnnGraph g = small_graph();
+  EXPECT_EQ(g.output_bytes(0, 4), 3L * 16 * 16 * 4);
+  EXPECT_EQ(g.output_bytes(0, 2), 3L * 16 * 16 * 2);
+}
+
+TEST(Graph, AutoNamesGenerated) {
+  DnnGraph g;
+  int x = g.add_input(3, 8, 8);
+  x = g.conv(x, 4, 3, 1, true);
+  EXPECT_FALSE(g.layer(x).name.empty());
+}
+
+TEST(Graph, SummarizeMentionsNameAndLayers) {
+  const DnnGraph g = small_graph();
+  const std::string s = summarize(g, 3);
+  EXPECT_NE(s.find("small"), std::string::npos);
+  EXPECT_NE(s.find("7 layers"), std::string::npos);
+}
+
+TEST(Graph, SqueezeExciteBuilder) {
+  DnnGraph g;
+  int x = g.add_input(8, 8, 8);
+  x = g.squeeze_excite(x, 2, "se");
+  EXPECT_EQ(g.layer(x).output, (Shape{8, 8, 8}));
+  EXPECT_GT(g.layer(x).flops, 0.0);
+  EXPECT_GT(g.layer(x).weight_bytes, 0);
+  EXPECT_EQ(g.spatial_prefix_end(), 2);  // SE keeps the prefix alive
+}
+
+}  // namespace
+}  // namespace hidp::dnn

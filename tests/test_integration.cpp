@@ -1,0 +1,209 @@
+// End-to-end integration: full cluster runs per strategy, determinism,
+// metric conservation, failure injection, and the paper's headline ordering.
+#include <gtest/gtest.h>
+
+#include "baselines/disnet.hpp"
+#include "baselines/modnn.hpp"
+#include "baselines/omniboost.hpp"
+#include "core/hidp_strategy.hpp"
+#include "runtime/metrics.hpp"
+#include "runtime/workload.hpp"
+
+namespace hidp {
+namespace {
+
+using dnn::zoo::ModelId;
+
+struct RunResult {
+  runtime::StreamMetrics metrics;
+  std::vector<runtime::RequestRecord> records;
+};
+
+RunResult run_stream(runtime::IStrategy& strategy, const runtime::ModelSet& models,
+                     ModelId id, int count, double interval, std::size_t leader = 1,
+                     std::size_t cluster_size = 5) {
+  runtime::Cluster cluster(platform::paper_cluster(cluster_size));
+  runtime::ExecutionEngine engine(cluster, strategy, leader);
+  const auto records = engine.run(runtime::periodic_stream(models.graph(id), count, interval));
+  return RunResult{runtime::summarize_run(records, cluster), records};
+}
+
+TEST(Integration, AllRequestsComplete) {
+  runtime::ModelSet models;
+  core::HidpStrategy hidp;
+  const auto result = run_stream(hidp, models, ModelId::kResNet152, 12, 0.2);
+  EXPECT_EQ(result.metrics.requests, 12);
+  for (const auto& r : result.records) {
+    EXPECT_GE(r.finish_s, r.arrival_s);
+    EXPECT_GT(r.flops, 0.0);
+    EXPECT_EQ(r.strategy, "HiDP");
+  }
+}
+
+TEST(Integration, DeterministicAcrossRuns) {
+  runtime::ModelSet models;
+  for (int trial = 0; trial < 2; ++trial) {
+    static double first_makespan = 0.0;
+    core::HidpStrategy hidp;  // fresh strategy, same seed
+    const auto result = run_stream(hidp, models, ModelId::kInceptionV3, 6, 0.3);
+    if (trial == 0) {
+      first_makespan = result.metrics.makespan_s;
+    } else {
+      EXPECT_DOUBLE_EQ(result.metrics.makespan_s, first_makespan);
+    }
+  }
+}
+
+TEST(Integration, EnergyConservation) {
+  // Cluster energy over the makespan >= active energy implied by busy time.
+  runtime::ModelSet models;
+  core::HidpStrategy hidp;
+  runtime::Cluster cluster(platform::paper_cluster());
+  runtime::ExecutionEngine engine(cluster, hidp, 1);
+  const auto records =
+      engine.run(runtime::periodic_stream(models.graph(ModelId::kVgg19), 5, 0.3));
+  const auto metrics = runtime::summarize_run(records, cluster);
+  double active = 0.0;
+  for (std::size_t n = 0; n < cluster.size(); ++n) {
+    active += cluster.node_energy(n, metrics.makespan_s).active_j;
+  }
+  EXPECT_GT(active, 0.0);
+  EXPECT_GT(metrics.energy_j, active);  // idle + static always added
+}
+
+TEST(Integration, TracesConsistentWithRecords) {
+  runtime::ModelSet models;
+  core::HidpStrategy hidp;
+  runtime::Cluster cluster(platform::paper_cluster());
+  runtime::ExecutionEngine engine(cluster, hidp, 0);
+  const auto records =
+      engine.run(runtime::periodic_stream(models.graph(ModelId::kEfficientNetB0), 4, 0.2));
+  double trace_flops = 0.0;
+  for (const auto& t : engine.traces()) {
+    EXPECT_LE(t.start_s, t.end_s);
+    trace_flops += t.flops;
+  }
+  double record_flops = 0.0;
+  for (const auto& r : records) record_flops += r.flops;
+  EXPECT_NEAR(trace_flops, record_flops, record_flops * 1e-9);
+}
+
+TEST(Integration, BusyProcessorsNeverOverlap) {
+  runtime::ModelSet models;
+  core::HidpStrategy hidp;
+  runtime::Cluster cluster(platform::paper_cluster());
+  runtime::ExecutionEngine engine(cluster, hidp, 1);
+  engine.run(runtime::periodic_stream(models.graph(ModelId::kResNet152), 8, 0.1));
+  for (std::size_t n = 0; n < cluster.size(); ++n) {
+    for (std::size_t p = 0; p < cluster.nodes()[n].processor_count(); ++p) {
+      const auto& intervals = cluster.processor(n, p).intervals();
+      for (std::size_t i = 1; i < intervals.size(); ++i) {
+        EXPECT_GE(intervals[i].start, intervals[i - 1].end - 1e-12);
+      }
+    }
+  }
+}
+
+TEST(Integration, HidpBeatsBaselinesOnLatency) {
+  // The paper's headline (Fig. 5a): HiDP has the lowest latency for every
+  // workload on the 5-node cluster.
+  runtime::ModelSet models;
+  for (const auto id : models.ids()) {
+    core::HidpStrategy hidp;
+    baselines::DisnetStrategy disnet;
+    baselines::OmniboostStrategy omni;
+    baselines::ModnnStrategy modnn;
+    const double t_hidp = run_stream(hidp, models, id, 6, 0.25).metrics.mean_latency_s;
+    const double t_disnet = run_stream(disnet, models, id, 6, 0.25).metrics.mean_latency_s;
+    const double t_omni = run_stream(omni, models, id, 6, 0.25).metrics.mean_latency_s;
+    const double t_modnn = run_stream(modnn, models, id, 6, 0.25).metrics.mean_latency_s;
+    EXPECT_LT(t_hidp, t_disnet) << dnn::zoo::model_name(id);
+    EXPECT_LT(t_hidp, t_omni) << dnn::zoo::model_name(id);
+    EXPECT_LT(t_hidp, t_modnn) << dnn::zoo::model_name(id);
+  }
+}
+
+TEST(Integration, HidpLowestEnergy) {
+  runtime::ModelSet models;
+  core::HidpStrategy hidp;
+  baselines::ModnnStrategy modnn;
+  const auto e_hidp =
+      run_stream(hidp, models, ModelId::kResNet152, 8, 0.2).metrics.energy_per_inference_j;
+  const auto e_modnn =
+      run_stream(modnn, models, ModelId::kResNet152, 8, 0.2).metrics.energy_per_inference_j;
+  EXPECT_LT(e_hidp, e_modnn);
+}
+
+TEST(Integration, FewerNodesWidensHidpAdvantage) {
+  // Paper Fig. 8: the gap grows as the cluster shrinks, because HiDP keeps
+  // exploiting local heterogeneity.
+  runtime::ModelSet models;
+  auto gap_at = [&](std::size_t cluster_size) {
+    core::HidpStrategy hidp;
+    baselines::ModnnStrategy modnn;
+    const double t_hidp =
+        run_stream(hidp, models, ModelId::kInceptionV3, 5, 0.3, 1, cluster_size)
+            .metrics.mean_latency_s;
+    const double t_modnn =
+        run_stream(modnn, models, ModelId::kInceptionV3, 5, 0.3, 1, cluster_size)
+            .metrics.mean_latency_s;
+    return (t_modnn - t_hidp) / t_modnn;
+  };
+  EXPECT_GT(gap_at(2), 0.0);
+  EXPECT_GT(gap_at(5), 0.0);
+}
+
+TEST(Integration, NodeFailureInjection) {
+  // Mark two nodes unavailable mid-cluster: planning must avoid them and
+  // all requests still complete.
+  runtime::ModelSet models;
+  core::HidpStrategy hidp;
+  runtime::Cluster cluster(platform::paper_cluster());
+  cluster.network().set_available(2, false);
+  cluster.network().set_available(4, false);
+  runtime::ExecutionEngine engine(cluster, hidp, 0);
+  const auto records =
+      engine.run(runtime::periodic_stream(models.graph(ModelId::kVgg19), 4, 0.3));
+  EXPECT_EQ(records.size(), 4u);
+  for (const auto& t : engine.traces()) {
+    if (t.kind == runtime::PlanTask::Kind::kCompute) {
+      EXPECT_NE(t.node, 2u);
+      EXPECT_NE(t.node, 4u);
+    }
+  }
+}
+
+TEST(Integration, MixedWorkloadThroughput) {
+  // Fig. 7-style mix run: HiDP sustains at least as much throughput as the
+  // weakest baseline on a saturated mix.
+  runtime::ModelSet models;
+  util::Rng rng(21);
+  const std::vector<ModelId> mix{ModelId::kEfficientNetB0, ModelId::kVgg19};
+  auto run_mix = [&](runtime::IStrategy& s) {
+    util::Rng stream_rng(21);
+    runtime::Cluster cluster(platform::paper_cluster());
+    runtime::ExecutionEngine engine(cluster, s, 1);
+    const auto records = engine.run(runtime::mixed_stream(models, mix, 12, 0.05, stream_rng));
+    return runtime::summarize_run(records, cluster).throughput_per_100s;
+  };
+  core::HidpStrategy hidp;
+  baselines::ModnnStrategy modnn;
+  EXPECT_GT(run_mix(hidp), run_mix(modnn));
+}
+
+TEST(Integration, StaggeredScenarioCompletesFast) {
+  // Fig. 6 scenario: four DNNs staggered at 0.5 s; HiDP finishes all within
+  // a few seconds of simulated time.
+  runtime::ModelSet models;
+  core::HidpStrategy hidp;
+  runtime::Cluster cluster(platform::paper_cluster());
+  runtime::ExecutionEngine engine(cluster, hidp, 1);
+  const auto records =
+      engine.run(runtime::staggered_arrivals(models, dnn::zoo::all_models(), 0.5));
+  const auto metrics = runtime::summarize_run(records, cluster);
+  EXPECT_EQ(metrics.requests, 4);
+  EXPECT_LT(metrics.makespan_s, 5.0);  // paper: HiDP completes within 5 s
+}
+
+}  // namespace
+}  // namespace hidp

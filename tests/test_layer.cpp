@@ -1,0 +1,179 @@
+// Unit tests for layer shape inference, FLOP formulas and weight sizes.
+#include <gtest/gtest.h>
+
+#include "dnn/layer.hpp"
+
+namespace hidp::dnn {
+namespace {
+
+LayerParams conv_params(int k, int s, bool same, int out_c, int kw = 0) {
+  LayerParams p;
+  p.kernel = k;
+  p.kernel_w = kw;
+  p.stride = s;
+  p.same_padding = same;
+  p.out_channels = out_c;
+  return p;
+}
+
+TEST(ShapeInference, ConvValid) {
+  const Shape out = infer_output_shape(LayerKind::kConv2D, conv_params(3, 1, false, 16),
+                                       {Shape{3, 32, 32}});
+  EXPECT_EQ(out, (Shape{16, 30, 30}));
+}
+
+TEST(ShapeInference, ConvSameStride1) {
+  const Shape out = infer_output_shape(LayerKind::kConv2D, conv_params(3, 1, true, 16),
+                                       {Shape{3, 32, 32}});
+  EXPECT_EQ(out, (Shape{16, 32, 32}));
+}
+
+TEST(ShapeInference, ConvSameStride2CeilDiv) {
+  const Shape out = infer_output_shape(LayerKind::kConv2D, conv_params(3, 2, true, 8),
+                                       {Shape{3, 33, 33}});
+  EXPECT_EQ(out, (Shape{8, 17, 17}));
+}
+
+TEST(ShapeInference, AsymmetricKernel1x7) {
+  const Shape out = infer_output_shape(LayerKind::kConv2D, conv_params(1, 1, true, 64, 7),
+                                       {Shape{32, 17, 17}});
+  EXPECT_EQ(out, (Shape{64, 17, 17}));
+}
+
+TEST(ShapeInference, DepthwisePreservesChannels) {
+  const Shape out = infer_output_shape(LayerKind::kDepthwiseConv2D, conv_params(3, 2, true, 0),
+                                       {Shape{24, 56, 56}});
+  EXPECT_EQ(out, (Shape{24, 28, 28}));
+}
+
+TEST(ShapeInference, PoolValid) {
+  const Shape out = infer_output_shape(LayerKind::kMaxPool2D, conv_params(2, 2, false, 0),
+                                       {Shape{64, 224, 224}});
+  EXPECT_EQ(out, (Shape{64, 112, 112}));
+}
+
+TEST(ShapeInference, GlobalPoolDenseFlatten) {
+  EXPECT_EQ(infer_output_shape(LayerKind::kGlobalAvgPool, {}, {Shape{128, 7, 7}}),
+            (Shape{128, 1, 1}));
+  LayerParams dense;
+  dense.out_channels = 10;
+  EXPECT_EQ(infer_output_shape(LayerKind::kDense, dense, {Shape{128, 1, 1}}), (Shape{10, 1, 1}));
+  EXPECT_EQ(infer_output_shape(LayerKind::kFlatten, {}, {Shape{2, 3, 4}}), (Shape{24, 1, 1}));
+}
+
+TEST(ShapeInference, AddRequiresMatchingShapes) {
+  EXPECT_THROW(infer_output_shape(LayerKind::kAdd, {}, {Shape{8, 4, 4}, Shape{8, 5, 4}}),
+               std::invalid_argument);
+  EXPECT_EQ(infer_output_shape(LayerKind::kAdd, {}, {Shape{8, 4, 4}, Shape{8, 4, 4}}),
+            (Shape{8, 4, 4}));
+}
+
+TEST(ShapeInference, ConcatSumsChannels) {
+  EXPECT_EQ(infer_output_shape(LayerKind::kConcat, {}, {Shape{8, 4, 4}, Shape{16, 4, 4}}),
+            (Shape{24, 4, 4}));
+  EXPECT_THROW(infer_output_shape(LayerKind::kConcat, {}, {Shape{8, 4, 4}, Shape{8, 5, 4}}),
+               std::invalid_argument);
+}
+
+TEST(ShapeInference, SqueezeExcitePreservesShape) {
+  EXPECT_EQ(infer_output_shape(LayerKind::kSqueezeExcite, {}, {Shape{40, 28, 28}}),
+            (Shape{40, 28, 28}));
+}
+
+TEST(ShapeInference, RejectsBadArity) {
+  EXPECT_THROW(infer_output_shape(LayerKind::kConv2D, conv_params(3, 1, true, 8), {}),
+               std::invalid_argument);
+  EXPECT_THROW(infer_output_shape(LayerKind::kAdd, {}, {Shape{8, 4, 4}}), std::invalid_argument);
+}
+
+TEST(ShapeInference, KernelLargerThanInputThrows) {
+  EXPECT_THROW(infer_output_shape(LayerKind::kConv2D, conv_params(7, 1, false, 8),
+                                  {Shape{3, 4, 4}}),
+               std::invalid_argument);
+}
+
+TEST(Flops, ConvClosedForm) {
+  const LayerParams p = conv_params(3, 1, true, 16);
+  const Shape in{8, 10, 10};
+  const Shape out = infer_output_shape(LayerKind::kConv2D, p, {in});
+  // 2*k*k*cin*cout*oh*ow + bias(out elems)
+  const double expected = 2.0 * 9 * 8 * 16 * 10 * 10 + 16 * 10 * 10;
+  EXPECT_DOUBLE_EQ(layer_flops(LayerKind::kConv2D, p, {in}, out), expected);
+}
+
+TEST(Flops, DepthwiseClosedForm) {
+  const LayerParams p = conv_params(3, 1, true, 0);
+  const Shape in{8, 10, 10};
+  const Shape out = infer_output_shape(LayerKind::kDepthwiseConv2D, p, {in});
+  EXPECT_DOUBLE_EQ(layer_flops(LayerKind::kDepthwiseConv2D, p, {in}, out),
+                   2.0 * 9 * 8 * 10 * 10 + 8 * 10 * 10);
+}
+
+TEST(Flops, DenseClosedForm) {
+  LayerParams p;
+  p.out_channels = 100;
+  const Shape in{512, 1, 1};
+  const Shape out{100, 1, 1};
+  EXPECT_DOUBLE_EQ(layer_flops(LayerKind::kDense, p, {in}, out), 2.0 * 512 * 100 + 100);
+}
+
+TEST(Flops, FusedActivationAddsWork) {
+  LayerParams relu = conv_params(1, 1, true, 8);
+  relu.activation = Activation::kRelu;
+  LayerParams none = conv_params(1, 1, true, 8);
+  const Shape in{8, 4, 4};
+  const Shape out = infer_output_shape(LayerKind::kConv2D, relu, {in});
+  EXPECT_GT(layer_flops(LayerKind::kConv2D, relu, {in}, out),
+            layer_flops(LayerKind::kConv2D, none, {in}, out));
+}
+
+TEST(Flops, ConcatIsFree) {
+  EXPECT_DOUBLE_EQ(layer_flops(LayerKind::kConcat, {}, {Shape{8, 4, 4}, Shape{8, 4, 4}},
+                               Shape{16, 4, 4}),
+                   0.0);
+}
+
+TEST(Weights, ConvBytes) {
+  const LayerParams p = conv_params(3, 1, true, 16);
+  EXPECT_EQ(layer_weight_bytes(LayerKind::kConv2D, p, {Shape{8, 10, 10}}),
+            (9L * 8 * 16 + 16) * 4);
+}
+
+TEST(Weights, AsymmetricConvBytes) {
+  const LayerParams p = conv_params(7, 1, true, 192, 1);  // 7x1 kernel
+  EXPECT_EQ(layer_weight_bytes(LayerKind::kConv2D, p, {Shape{192, 17, 17}}),
+            (7L * 1 * 192 * 192 + 192) * 4);
+}
+
+TEST(Weights, NonWeightLayersZero) {
+  EXPECT_EQ(layer_weight_bytes(LayerKind::kMaxPool2D, conv_params(2, 2, false, 0),
+                               {Shape{8, 4, 4}}),
+            0);
+  EXPECT_EQ(layer_weight_bytes(LayerKind::kSoftmax, {}, {Shape{10, 1, 1}}), 0);
+}
+
+TEST(Kinds, SpatialLocality) {
+  EXPECT_TRUE(is_spatially_local(LayerKind::kConv2D));
+  EXPECT_TRUE(is_spatially_local(LayerKind::kSqueezeExcite));
+  EXPECT_FALSE(is_spatially_local(LayerKind::kDense));
+  EXPECT_FALSE(is_spatially_local(LayerKind::kGlobalAvgPool));
+  EXPECT_FALSE(is_spatially_local(LayerKind::kFlatten));
+}
+
+TEST(Kinds, NamesAreUnique) {
+  std::vector<std::string> names;
+  for (int k = 0; k < kLayerKindCount; ++k) {
+    names.emplace_back(layer_kind_name(static_cast<LayerKind>(k)));
+  }
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(std::unique(names.begin(), names.end()), names.end());
+}
+
+TEST(Padding, SameResolvesPerAxis) {
+  LayerParams p = conv_params(1, 1, true, 64, 7);  // 1x7
+  EXPECT_EQ(resolved_padding(p, 17), 0);    // kernel height 1
+  EXPECT_EQ(resolved_padding_w(p, 17), 3);  // kernel width 7
+}
+
+}  // namespace
+}  // namespace hidp::dnn

@@ -1,0 +1,186 @@
+// Local partitioning configs: estimates, the paper's P1-P9 grid, and the
+// local DSE search (theta = min(theta_omega, theta_sigma)).
+#include <gtest/gtest.h>
+
+#include "dnn/zoo/zoo.hpp"
+#include "partition/local_config.hpp"
+#include "platform/device_db.hpp"
+
+namespace hidp::partition {
+namespace {
+
+using platform::NodeModel;
+using platform::WorkProfile;
+
+WorkProfile model_profile(dnn::zoo::ModelId id) {
+  const auto g = dnn::zoo::build_model(id);
+  return WorkProfile::from_graph(g);
+}
+
+TEST(LocalConfig, DefaultPlacesOnGpuWhenPresent) {
+  const NodeModel tx2 = platform::make_jetson_tx2();
+  const WorkProfile w = model_profile(dnn::zoo::ModelId::kResNet152);
+  const LocalConfig config = default_processor_config(tx2, w);
+  EXPECT_EQ(config.mode, LocalMode::kSingleProcessor);
+  ASSERT_EQ(config.shares.size(), 1u);
+  EXPECT_EQ(config.shares[0].proc, tx2.gpu_index());
+  EXPECT_EQ(config.shares[0].data_partitions, 1);
+}
+
+TEST(LocalConfig, EstimateSingleMatchesProcessorTime) {
+  const NodeModel tx2 = platform::make_jetson_tx2();
+  const WorkProfile w = model_profile(dnn::zoo::ModelId::kVgg19);
+  const LocalConfig config = default_processor_config(tx2, w);
+  EXPECT_DOUBLE_EQ(estimate_local_latency(tx2, w, config, 1 << 20),
+                   tx2.processor(config.shares[0].proc).time_for(w, 1));
+}
+
+TEST(LocalConfig, DataParallelBoundedBySlowestShare) {
+  const NodeModel tx2 = platform::make_jetson_tx2();
+  const WorkProfile w = model_profile(dnn::zoo::ModelId::kResNet152);
+  LocalConfig config;
+  config.mode = LocalMode::kDataParallel;
+  config.shares = {ProcShare{tx2.gpu_index(), 0.8, 4}, ProcShare{1, 0.1, 4},
+                   ProcShare{2, 0.1, 4}};
+  const double t = estimate_local_latency(tx2, w, config, 0);
+  double slowest = 0.0;
+  for (const auto& s : config.shares) {
+    slowest = std::max(slowest, tx2.processor(s.proc).time_for(w.scaled(s.share), 4));
+  }
+  EXPECT_NEAR(t, slowest, 1e-12);  // io_bytes = 0 -> no exchange term
+}
+
+TEST(LocalConfig, ExchangeChargedOnlyWithMultipleProcs) {
+  const NodeModel tx2 = platform::make_jetson_tx2();
+  const WorkProfile w = model_profile(dnn::zoo::ModelId::kEfficientNetB0);
+  LocalConfig multi;
+  multi.mode = LocalMode::kDataParallel;
+  multi.shares = {ProcShare{0, 0.5, 2}, ProcShare{1, 0.5, 2}};
+  LocalConfig solo;
+  solo.mode = LocalMode::kDataParallel;
+  solo.shares = {ProcShare{0, 1.0, 2}};
+  const std::int64_t io = 8 << 20;
+  const double t_multi = estimate_local_latency(tx2, w, multi, io);
+  const double t_solo = estimate_local_latency(tx2, w, solo, io);
+  EXPECT_GT(t_multi, 0.0);
+  // Solo pays no DRAM exchange.
+  EXPECT_DOUBLE_EQ(t_solo, tx2.processor(0).time_for(w, 2));
+  (void)t_multi;
+}
+
+TEST(LocalConfig, PipelineSumsStages) {
+  const NodeModel nano = platform::make_jetson_nano();
+  const WorkProfile w = model_profile(dnn::zoo::ModelId::kInceptionV3);
+  LocalConfig pipe;
+  pipe.mode = LocalMode::kPipeline;
+  pipe.shares = {ProcShare{0, 0.7, 1}, ProcShare{1, 0.3, 1}};
+  const double t = estimate_local_latency(nano, w, pipe, 0);
+  EXPECT_NEAR(t, nano.processor(0).time_for(w.scaled(0.7), 1) +
+                      nano.processor(1).time_for(w.scaled(0.3), 1),
+              1e-12);
+}
+
+TEST(LocalConfig, EmptyWorkCostsNothing) {
+  const NodeModel nano = platform::make_jetson_nano();
+  const LocalConfig config = default_processor_config(nano, WorkProfile{});
+  EXPECT_DOUBLE_EQ(estimate_local_latency(nano, WorkProfile{}, config, 0), 0.0);
+}
+
+TEST(PaperConfigs, NineConfigsWithAnchors) {
+  const NodeModel tx2 = platform::make_jetson_tx2();
+  const WorkProfile w = model_profile(dnn::zoo::ModelId::kResNet152);
+  const auto configs = paper_local_configs(tx2, w);
+  ASSERT_EQ(configs.size(), 9u);
+  EXPECT_EQ(configs[0].label, "P1");
+  EXPECT_EQ(configs[0].mode, LocalMode::kSingleProcessor);
+  // P7 anchor: 4 partitions, 80% GPU.
+  const auto& p7 = configs[6];
+  EXPECT_EQ(p7.label, "P7");
+  ASSERT_FALSE(p7.shares.empty());
+  EXPECT_EQ(p7.shares[0].proc, tx2.gpu_index());
+  EXPECT_NEAR(p7.shares[0].share, 0.8, 1e-12);
+  EXPECT_EQ(p7.shares[0].data_partitions, 4);
+  // P6 anchor: 90% GPU at 2 partitions, CPU remainder at 4.
+  const auto& p6 = configs[5];
+  EXPECT_NEAR(p6.shares[0].share, 0.9, 1e-12);
+  EXPECT_EQ(p6.shares[0].data_partitions, 2);
+  for (std::size_t i = 1; i < p6.shares.size(); ++i) {
+    EXPECT_EQ(p6.shares[i].data_partitions, 4);
+  }
+  // P9 anchor: 50/50 at 4 partitions.
+  EXPECT_NEAR(configs[8].shares[0].share, 0.5, 1e-12);
+}
+
+TEST(PaperConfigs, CpuShareSplitsProportionally) {
+  const NodeModel tx2 = platform::make_jetson_tx2();
+  const WorkProfile w = model_profile(dnn::zoo::ModelId::kVgg19);
+  const auto configs = paper_local_configs(tx2, w);
+  const auto& p9 = configs[8];
+  double cpu_total = 0.0;
+  for (std::size_t i = 0; i < p9.shares.size(); ++i) {
+    if (p9.shares[i].proc != tx2.gpu_index()) cpu_total += p9.shares[i].share;
+  }
+  EXPECT_NEAR(cpu_total, 0.5, 1e-9);
+}
+
+TEST(BestLocal, BeatsDefaultOnEveryBoardAndModel) {
+  // The Fig. 1 message: the framework default (P1) is never better than the
+  // DSE decision, and is strictly worse for every evaluation model on TX2.
+  for (const auto id : dnn::zoo::all_models()) {
+    const WorkProfile w = model_profile(id);
+    for (const NodeModel& node : platform::paper_cluster()) {
+      const LocalConfig def = default_processor_config(node, w);
+      const double base = estimate_local_latency(node, w, def, 1 << 20);
+      const LocalDecision best = best_local_config(node, w, 1 << 20);
+      EXPECT_LE(best.latency_s, base + 1e-12) << node.name();
+    }
+    const NodeModel tx2 = platform::make_jetson_tx2();
+    const double base = estimate_local_latency(tx2, w, default_processor_config(tx2, w), 1 << 20);
+    const LocalDecision best = best_local_config(tx2, w, 1 << 20);
+    EXPECT_LT(best.latency_s, base * 0.95) << dnn::zoo::model_name(id);
+  }
+}
+
+TEST(BestLocal, PicksCpuOnRaspberryPi) {
+  // RPi5's CPU outruns its GPU; the DSE must not default to the GPU.
+  const NodeModel rpi5 = platform::make_raspberry_pi5();
+  const WorkProfile w = model_profile(dnn::zoo::ModelId::kResNet152);
+  const LocalDecision best = best_local_config(rpi5, w, 1 << 20);
+  double gpu_share = 0.0;
+  for (const auto& s : best.config.shares) {
+    if (s.proc == rpi5.gpu_index()) gpu_share += s.share;
+  }
+  EXPECT_LT(gpu_share, 0.5);
+}
+
+TEST(BestLocal, EfficientNetGainsMoreThanVgg) {
+  // Depthwise-heavy EfficientNet suffers most from GPU-only placement, so
+  // its local-DSE gain exceeds VGG's (paper Fig. 1: 75% vs 25%).
+  const NodeModel tx2 = platform::make_jetson_tx2();
+  auto gain = [&](dnn::zoo::ModelId id) {
+    const WorkProfile w = model_profile(id);
+    const double base =
+        estimate_local_latency(tx2, w, default_processor_config(tx2, w), 1 << 20);
+    return (base - best_local_config(tx2, w, 1 << 20).latency_s) / base;
+  };
+  EXPECT_GT(gain(dnn::zoo::ModelId::kEfficientNetB0), gain(dnn::zoo::ModelId::kVgg19));
+}
+
+TEST(BestLocal, RespectsRestrictedSearchSpace) {
+  const NodeModel tx2 = platform::make_jetson_tx2();
+  const WorkProfile w = model_profile(dnn::zoo::ModelId::kResNet152);
+  LocalSearchSpace space;
+  space.partition_counts = {1};
+  space.explore_pipeline = false;
+  const LocalDecision best = best_local_config(tx2, w, 0, space);
+  for (const auto& s : best.config.shares) EXPECT_EQ(s.data_partitions, 1);
+}
+
+TEST(ModeNames, Stable) {
+  EXPECT_EQ(local_mode_name(LocalMode::kSingleProcessor), "single");
+  EXPECT_EQ(local_mode_name(LocalMode::kDataParallel), "data");
+  EXPECT_EQ(local_mode_name(LocalMode::kPipeline), "pipeline");
+}
+
+}  // namespace
+}  // namespace hidp::partition

@@ -1,0 +1,124 @@
+// Monte-Carlo tree search over contiguous partitions (OmniBoost engine).
+#include <gtest/gtest.h>
+
+#include "baselines/mcts.hpp"
+#include "partition/linear_partition.hpp"
+
+namespace hidp::baselines {
+namespace {
+
+using partition::BoundaryCostFn;
+using partition::PartitionObjective;
+using partition::StageCostFn;
+
+TEST(Mcts, FindsValidCover) {
+  const StageCostFn stage = [](int b, int e, int w) { return (e - b) * (1.0 + w * 0.1); };
+  const BoundaryCostFn boundary = [](int, int, int) { return 0.05; };
+  util::Rng rng(1);
+  const auto result = mcts_partition(6, 3, stage, boundary,
+                                     PartitionObjective::kMinimizeSum, MctsConfig{}, rng);
+  ASSERT_TRUE(result.valid());
+  int cursor = 0;
+  int last_worker = -1;
+  for (const auto& block : result.blocks) {
+    EXPECT_EQ(block.begin, cursor);
+    EXPECT_GT(block.worker, last_worker);
+    cursor = block.end;
+    last_worker = block.worker;
+  }
+  EXPECT_EQ(cursor, 6);
+}
+
+TEST(Mcts, ApproachesDpOptimum) {
+  util::Rng data_rng(7);
+  std::vector<double> seg(8), rate(3);
+  for (auto& v : seg) v = data_rng.uniform(0.2, 2.0);
+  for (auto& v : rate) v = data_rng.uniform(0.5, 3.0);
+  const StageCostFn stage = [&](int b, int e, int w) {
+    double total = 0.0;
+    for (int s = b; s < e; ++s) total += seg[static_cast<std::size_t>(s)];
+    return total / rate[static_cast<std::size_t>(w)];
+  };
+  const BoundaryCostFn boundary = [](int, int, int) { return 0.02; };
+  const auto dp = partition::dp_linear_partition(8, 3, stage, boundary,
+                                                 PartitionObjective::kMinimizeSum);
+  MctsConfig config;
+  config.iterations = 1500;
+  config.estimator_noise = 0.0;
+  util::Rng rng(3);
+  const auto mcts = mcts_partition(8, 3, stage, boundary,
+                                   PartitionObjective::kMinimizeSum, config, rng);
+  ASSERT_TRUE(mcts.valid());
+  // With a generous budget and no estimator noise, MCTS lands within 10%.
+  EXPECT_LE(mcts.objective, dp.objective * 1.10 + 1e-9);
+  EXPECT_GE(mcts.objective, dp.objective - 1e-9);
+}
+
+TEST(Mcts, DeterministicPerSeed) {
+  const StageCostFn stage = [](int b, int e, int w) { return (e - b) / (w + 1.0); };
+  const BoundaryCostFn boundary = [](int, int, int) { return 0.1; };
+  util::Rng a(9), b(9);
+  const auto ra = mcts_partition(5, 2, stage, boundary, PartitionObjective::kMinimizeSum,
+                                 MctsConfig{}, a);
+  const auto rb = mcts_partition(5, 2, stage, boundary, PartitionObjective::kMinimizeSum,
+                                 MctsConfig{}, b);
+  ASSERT_EQ(ra.blocks.size(), rb.blocks.size());
+  for (std::size_t i = 0; i < ra.blocks.size(); ++i) {
+    EXPECT_EQ(ra.blocks[i].worker, rb.blocks[i].worker);
+    EXPECT_EQ(ra.blocks[i].begin, rb.blocks[i].begin);
+  }
+}
+
+TEST(Mcts, NoiseDegradesButStaysValid) {
+  const StageCostFn stage = [](int b, int e, int w) { return (e - b) / (w + 1.0); };
+  const BoundaryCostFn boundary = [](int, int, int) { return 0.01; };
+  MctsConfig config;
+  config.estimator_noise = 0.3;  // sloppy estimator
+  config.iterations = 200;
+  util::Rng rng(11);
+  const auto result = mcts_partition(7, 3, stage, boundary,
+                                     PartitionObjective::kMinimizeBottleneck, config, rng);
+  ASSERT_TRUE(result.valid());
+  int covered = 0;
+  for (const auto& block : result.blocks) covered += block.end - block.begin;
+  EXPECT_EQ(covered, 7);
+}
+
+TEST(Mcts, BottleneckObjectiveReported) {
+  const StageCostFn stage = [](int b, int e, int) { return static_cast<double>(e - b); };
+  const BoundaryCostFn boundary = [](int, int, int) { return 0.0; };
+  util::Rng rng(13);
+  const auto result = mcts_partition(4, 4, stage, boundary,
+                                     PartitionObjective::kMinimizeBottleneck, MctsConfig{},
+                                     rng);
+  ASSERT_TRUE(result.valid());
+  EXPECT_LE(result.bottleneck_cost, result.sum_cost);
+  EXPECT_NEAR(result.objective, result.bottleneck_cost, 1e-9);
+}
+
+TEST(Mcts, MaxBlockSpanRespected) {
+  const StageCostFn stage = [](int b, int e, int) { return static_cast<double>(e - b); };
+  const BoundaryCostFn boundary = [](int, int, int) { return 0.0; };
+  MctsConfig config;
+  config.max_block_span = 2;
+  util::Rng rng(17);
+  const auto result = mcts_partition(6, 5, stage, boundary,
+                                     PartitionObjective::kMinimizeSum, config, rng);
+  ASSERT_TRUE(result.valid());
+  for (const auto& block : result.blocks) EXPECT_LE(block.end - block.begin, 2);
+}
+
+TEST(Mcts, DegenerateInputsInvalid) {
+  const StageCostFn stage = [](int, int, int) { return 1.0; };
+  const BoundaryCostFn boundary = [](int, int, int) { return 0.0; };
+  util::Rng rng(1);
+  EXPECT_FALSE(mcts_partition(0, 3, stage, boundary, PartitionObjective::kMinimizeSum,
+                              MctsConfig{}, rng)
+                   .valid());
+  EXPECT_FALSE(mcts_partition(3, 0, stage, boundary, PartitionObjective::kMinimizeSum,
+                              MctsConfig{}, rng)
+                   .valid());
+}
+
+}  // namespace
+}  // namespace hidp::baselines

@@ -1,0 +1,172 @@
+// Metrics: run summaries, per-model views, GFLOPS timeline.
+#include <gtest/gtest.h>
+
+#include "platform/device_db.hpp"
+#include "runtime/metrics.hpp"
+
+namespace hidp::runtime {
+namespace {
+
+RequestRecord record(int id, const std::string& model, double arrival, double finish,
+                     double flops) {
+  RequestRecord r;
+  r.id = id;
+  r.model = model;
+  r.arrival_s = arrival;
+  r.finish_s = finish;
+  r.flops = flops;
+  return r;
+}
+
+TEST(Metrics, SummaryAggregates) {
+  Cluster cluster(platform::paper_cluster(2));
+  const std::vector<RequestRecord> records{
+      record(0, "A", 0.0, 1.0, 1e9),
+      record(1, "A", 0.0, 2.0, 1e9),
+      record(2, "B", 1.0, 4.0, 2e9),
+  };
+  const StreamMetrics m = summarize_run(records, cluster);
+  EXPECT_EQ(m.requests, 3);
+  EXPECT_DOUBLE_EQ(m.mean_latency_s, (1.0 + 2.0 + 3.0) / 3.0);
+  EXPECT_DOUBLE_EQ(m.max_latency_s, 3.0);
+  EXPECT_DOUBLE_EQ(m.makespan_s, 4.0);
+  EXPECT_DOUBLE_EQ(m.total_flops, 4e9);
+  EXPECT_DOUBLE_EQ(m.throughput_per_100s, 75.0);
+  EXPECT_DOUBLE_EQ(m.avg_gflops, 1.0);
+  EXPECT_GT(m.energy_j, 0.0);
+  EXPECT_DOUBLE_EQ(m.energy_per_inference_j, m.energy_j / 3.0);
+}
+
+TEST(Metrics, EmptyRunIsZero) {
+  Cluster cluster(platform::paper_cluster(2));
+  const StreamMetrics m = summarize_run({}, cluster);
+  EXPECT_EQ(m.requests, 0);
+  EXPECT_DOUBLE_EQ(m.energy_j, 0.0);
+}
+
+TEST(Metrics, PerModelLatency) {
+  const std::vector<RequestRecord> records{
+      record(0, "A", 0.0, 1.0, 1e9),
+      record(1, "B", 0.0, 3.0, 1e9),
+      record(2, "A", 2.0, 4.0, 1e9),
+  };
+  EXPECT_DOUBLE_EQ(mean_latency_for_model(records, "A"), 1.5);
+  EXPECT_DOUBLE_EQ(mean_latency_for_model(records, "B"), 3.0);
+  EXPECT_DOUBLE_EQ(mean_latency_for_model(records, "missing"), 0.0);
+}
+
+TEST(Metrics, EnergyApportionedByFlops) {
+  Cluster cluster(platform::paper_cluster(2));
+  const std::vector<RequestRecord> records{
+      record(0, "A", 0.0, 1.0, 3e9),
+      record(1, "B", 0.0, 1.0, 1e9),
+  };
+  const double ea = energy_for_model(records, cluster, "A");
+  const double eb = energy_for_model(records, cluster, "B");
+  EXPECT_NEAR(ea / eb, 3.0, 1e-9);
+  EXPECT_DOUBLE_EQ(energy_for_model(records, cluster, "missing"), 0.0);
+}
+
+TEST(Timeline, SpreadsFlopsUniformly) {
+  std::vector<TaskTrace> traces;
+  TaskTrace t;
+  t.kind = PlanTask::Kind::kCompute;
+  t.start_s = 0.0;
+  t.end_s = 2.0;
+  t.flops = 4e9;
+  traces.push_back(t);
+  const auto points = gflops_timeline(traces, 1.0, 2.0);
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_DOUBLE_EQ(points[0].gflops, 2.0);
+  EXPECT_DOUBLE_EQ(points[1].gflops, 2.0);
+  EXPECT_DOUBLE_EQ(points[0].time_s, 0.5);
+}
+
+TEST(Timeline, PartialBucketOverlap) {
+  std::vector<TaskTrace> traces;
+  TaskTrace t;
+  t.kind = PlanTask::Kind::kCompute;
+  t.start_s = 0.5;
+  t.end_s = 1.5;
+  t.flops = 1e9;
+  traces.push_back(t);
+  const auto points = gflops_timeline(traces, 1.0, 2.0);
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_DOUBLE_EQ(points[0].gflops, 0.5);
+  EXPECT_DOUBLE_EQ(points[1].gflops, 0.5);
+}
+
+TEST(Timeline, IgnoresTransfers) {
+  std::vector<TaskTrace> traces;
+  TaskTrace t;
+  t.kind = PlanTask::Kind::kTransfer;
+  t.start_s = 0.0;
+  t.end_s = 1.0;
+  t.bytes = 1 << 20;
+  traces.push_back(t);
+  const auto points = gflops_timeline(traces, 0.5, 1.0);
+  for (const auto& p : points) EXPECT_DOUBLE_EQ(p.gflops, 0.0);
+}
+
+TEST(Timeline, ZeroDurationTaskLandsInBucket) {
+  std::vector<TaskTrace> traces;
+  TaskTrace t;
+  t.kind = PlanTask::Kind::kCompute;
+  t.start_s = 0.7;
+  t.end_s = 0.7;
+  t.flops = 1e9;
+  traces.push_back(t);
+  const auto points = gflops_timeline(traces, 0.5, 1.0);
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_DOUBLE_EQ(points[1].gflops, 2.0);  // 1e9 flops over a 0.5 s bucket
+}
+
+TEST(Timeline, DegenerateInputs) {
+  EXPECT_TRUE(gflops_timeline({}, 0.0, 1.0).empty());
+  EXPECT_TRUE(gflops_timeline({}, 1.0, 0.0).empty());
+}
+
+TEST(ServiceEnergy, ChargesIdleFloorOverServiceWindow) {
+  Cluster cluster(platform::paper_cluster(2));
+  double idle_floor = 0.0;
+  for (const auto& node : cluster.nodes()) {
+    idle_floor += platform::node_idle_power_w(node);
+  }
+  RequestRecord r = record(0, "A", 0.0, 2.0, 1e9);
+  r.dispatch_s = 0.5;  // 1.5 s of service
+  const double e = mean_service_energy_j({r}, {}, cluster);
+  EXPECT_NEAR(e, idle_floor * 1.5, 1e-9);
+}
+
+TEST(ServiceEnergy, AddsDynamicTaskEnergy) {
+  Cluster cluster(platform::paper_cluster(2));
+  RequestRecord r = record(0, "A", 0.0, 1.0, 1e9);
+  r.dispatch_s = 0.0;
+  TaskTrace t;
+  t.request = 0;
+  t.kind = PlanTask::Kind::kCompute;
+  t.node = 0;
+  t.proc = 0;
+  t.start_s = 0.0;
+  t.end_s = 1.0;
+  const auto& proc = cluster.nodes()[0].processor(0);
+  const double base = mean_service_energy_j({r}, {}, cluster);
+  const double with_task = mean_service_energy_j({r}, {t}, cluster);
+  EXPECT_NEAR(with_task - base, proc.peak_w() - proc.idle_w(), 1e-9);
+}
+
+TEST(ServiceEnergy, EmptyRecordsZero) {
+  Cluster cluster(platform::paper_cluster(2));
+  EXPECT_DOUBLE_EQ(mean_service_energy_j({}, {}, cluster), 0.0);
+}
+
+TEST(ServiceEnergy, LongerServiceCostsMore) {
+  Cluster cluster(platform::paper_cluster(2));
+  RequestRecord fast = record(0, "A", 0.0, 0.5, 1e9);
+  RequestRecord slow = record(0, "A", 0.0, 2.0, 1e9);
+  EXPECT_GT(mean_service_energy_j({slow}, {}, cluster),
+            mean_service_energy_j({fast}, {}, cluster));
+}
+
+}  // namespace
+}  // namespace hidp::runtime

@@ -1,0 +1,106 @@
+// Model partitioner: block structure, transfers, engines, objectives.
+#include <gtest/gtest.h>
+
+#include "dnn/zoo/zoo.hpp"
+#include "partition/model_partitioner.hpp"
+#include "platform/device_db.hpp"
+
+namespace hidp::partition {
+namespace {
+
+struct Fixture {
+  dnn::DnnGraph graph = dnn::zoo::build_resnet152();
+  std::vector<platform::NodeModel> nodes = platform::paper_cluster();
+  net::NetworkSpec network{nodes};
+  ClusterCostModel cost{graph, nodes, network, NodeExecutionPolicy::kHierarchicalLocal};
+};
+
+TEST(ModelPartitioner, BlocksTileTheNetwork) {
+  Fixture f;
+  const auto result = plan_model_partition(f.cost, {0, 1, 2}, 0,
+                                           PartitionObjective::kMinimizeSum);
+  ASSERT_TRUE(result.valid);
+  ASSERT_FALSE(result.blocks.empty());
+  EXPECT_EQ(result.blocks.front().begin_layer, 0);
+  EXPECT_EQ(result.blocks.back().end_layer, static_cast<int>(f.graph.size()));
+  for (std::size_t i = 1; i < result.blocks.size(); ++i) {
+    EXPECT_EQ(result.blocks[i].begin_layer, result.blocks[i - 1].end_layer);
+  }
+}
+
+TEST(ModelPartitioner, LatencyAndBottleneckPopulated) {
+  Fixture f;
+  const auto result = plan_model_partition(f.cost, {0, 1}, 0,
+                                           PartitionObjective::kMinimizeSum);
+  ASSERT_TRUE(result.valid);
+  EXPECT_GT(result.latency_s, 0.0);
+  EXPECT_GT(result.bottleneck_s, 0.0);
+  EXPECT_LE(result.bottleneck_s, result.latency_s + 1e-12);
+}
+
+TEST(ModelPartitioner, SingleWorkerDegenerates) {
+  Fixture f;
+  const auto result = plan_model_partition(f.cost, {1}, 1,
+                                           PartitionObjective::kMinimizeSum);
+  ASSERT_TRUE(result.valid);
+  ASSERT_EQ(result.blocks.size(), 1u);
+  EXPECT_EQ(result.blocks[0].node, 1u);
+  EXPECT_NEAR(result.latency_s, f.cost.node_time(1, 0, static_cast<int>(f.cost.segment_count())),
+              1e-12);
+}
+
+TEST(ModelPartitioner, RemoteLeaderPaysShipping) {
+  Fixture f;
+  // Run everything on node 1 while the leader is node 0: the stage must
+  // include input + logits shipping.
+  const auto remote = plan_model_partition(f.cost, {1}, 0, PartitionObjective::kMinimizeSum);
+  const auto local = plan_model_partition(f.cost, {1}, 1, PartitionObjective::kMinimizeSum);
+  ASSERT_TRUE(remote.valid && local.valid);
+  const double shipping = f.cost.transfer_s(0, 1, f.cost.boundary_bytes(0)) +
+                          f.cost.transfer_s(1, 0, f.graph.output_shape().bytes(4));
+  EXPECT_NEAR(remote.latency_s - local.latency_s, shipping, 1e-9);
+}
+
+TEST(ModelPartitioner, BottleneckObjectiveSplitsMore) {
+  Fixture f;
+  const auto sum = plan_model_partition(f.cost, {0, 1, 2, 3, 4}, 0,
+                                        PartitionObjective::kMinimizeSum);
+  const auto bottleneck = plan_model_partition(f.cost, {0, 1, 2, 3, 4}, 0,
+                                               PartitionObjective::kMinimizeBottleneck);
+  ASSERT_TRUE(sum.valid && bottleneck.valid);
+  EXPECT_GE(bottleneck.blocks.size(), sum.blocks.size());
+  EXPECT_LE(bottleneck.bottleneck_s, sum.bottleneck_s + 1e-12);
+}
+
+TEST(ModelPartitioner, GreedyEngineValidAndComparable) {
+  Fixture f;
+  const auto dp = plan_model_partition(f.cost, {0, 1, 2}, 0,
+                                       PartitionObjective::kMinimizeSum,
+                                       SearchEngine::kExactDp);
+  const auto greedy = plan_model_partition(f.cost, {0, 1, 2}, 0,
+                                           PartitionObjective::kMinimizeSum,
+                                           SearchEngine::kGreedyBackprop);
+  ASSERT_TRUE(dp.valid && greedy.valid);
+  EXPECT_GE(greedy.latency_s, dp.latency_s - 1e-12);
+  EXPECT_LE(greedy.latency_s, dp.latency_s * 2.0);  // heuristic quality bound
+}
+
+TEST(ModelPartitioner, LocalDecisionsAttached) {
+  Fixture f;
+  const auto result = plan_model_partition(f.cost, {0, 1}, 0,
+                                           PartitionObjective::kMinimizeSum);
+  ASSERT_TRUE(result.valid);
+  for (const auto& block : result.blocks) {
+    EXPECT_FALSE(block.local.config.shares.empty());
+    EXPECT_GT(block.stage_s, 0.0);
+    EXPECT_GT(block.in_bytes, 0);
+  }
+}
+
+TEST(ModelPartitioner, EmptyWorkersInvalid) {
+  Fixture f;
+  EXPECT_FALSE(plan_model_partition(f.cost, {}, 0, PartitionObjective::kMinimizeSum).valid);
+}
+
+}  // namespace
+}  // namespace hidp::partition

@@ -1,0 +1,140 @@
+// Unit tests for the wireless network model and availability probing.
+#include <gtest/gtest.h>
+
+#include "net/prober.hpp"
+#include "platform/device_db.hpp"
+
+namespace hidp::net {
+namespace {
+
+TEST(LinkSpec, TransferTimeIncludesLatency) {
+  LinkSpec link{80e6, 2e-3};
+  EXPECT_DOUBLE_EQ(link.transfer_s(0), 2e-3);
+  EXPECT_DOUBLE_EQ(link.transfer_s(80'000'000), 1.0 + 2e-3);
+  EXPECT_DOUBLE_EQ(link.transfer_s(-5), 2e-3);  // negative clamped
+}
+
+TEST(NetworkSpec, PairwiseLinks) {
+  const auto nodes = platform::paper_cluster();
+  NetworkSpec spec(nodes);
+  EXPECT_EQ(spec.size(), 5u);
+  const LinkSpec l = spec.link(0, 1);
+  EXPECT_DOUBLE_EQ(l.bandwidth_bps, 80e6);
+  EXPECT_DOUBLE_EQ(l.latency_s, 4e-3);  // both endpoints' protocol latency
+  EXPECT_THROW(spec.link(0, 9), std::out_of_range);
+}
+
+TEST(NetworkSpec, LoopbackIsFree) {
+  NetworkSpec spec(platform::paper_cluster());
+  const LinkSpec l = spec.link(2, 2);
+  EXPECT_DOUBLE_EQ(l.latency_s, 0.0);
+  EXPECT_LT(l.transfer_s(1 << 20), 1e-5);
+}
+
+TEST(WirelessNetwork, DeliversWithTransferTime) {
+  sim::Simulator sim;
+  const auto nodes = platform::paper_cluster();
+  WirelessNetwork net(sim, nodes);
+  double delivered = -1.0;
+  net.transfer(0, 1, 80'000'000, 0.0, [&](sim::Time t) { delivered = t; });
+  sim.run();
+  EXPECT_NEAR(delivered, 1.0 + 4e-3, 1e-9);
+  EXPECT_EQ(net.bytes_transferred(), 80'000'000);
+}
+
+TEST(WirelessNetwork, RadioSerialisesConcurrentSends) {
+  sim::Simulator sim;
+  WirelessNetwork net(sim, platform::paper_cluster());
+  std::vector<double> ends;
+  // Two transfers from node 0 must serialise on node 0's radio.
+  net.transfer(0, 1, 8'000'000, 0.0, [&](sim::Time t) { ends.push_back(t); });
+  net.transfer(0, 2, 8'000'000, 0.0, [&](sim::Time t) { ends.push_back(t); });
+  sim.run();
+  ASSERT_EQ(ends.size(), 2u);
+  const double single = 0.1 + 4e-3;
+  EXPECT_NEAR(ends[0], single, 1e-9);
+  EXPECT_NEAR(ends[1], 2.0 * single, 1e-9);
+}
+
+TEST(WirelessNetwork, DisjointPairsRunConcurrently) {
+  sim::Simulator sim;
+  WirelessNetwork net(sim, platform::paper_cluster());
+  std::vector<double> ends;
+  net.transfer(0, 1, 8'000'000, 0.0, [&](sim::Time t) { ends.push_back(t); });
+  net.transfer(2, 3, 8'000'000, 0.0, [&](sim::Time t) { ends.push_back(t); });
+  sim.run();
+  ASSERT_EQ(ends.size(), 2u);
+  EXPECT_NEAR(ends[0], ends[1], 1e-9);  // no shared resource
+}
+
+TEST(WirelessNetwork, SharedMediumSerialisesEverything) {
+  sim::Simulator sim;
+  WirelessNetwork net(sim, platform::paper_cluster(), MediumMode::kSharedMedium);
+  std::vector<double> ends;
+  net.transfer(0, 1, 8'000'000, 0.0, [&](sim::Time t) { ends.push_back(t); });
+  net.transfer(2, 3, 8'000'000, 0.0, [&](sim::Time t) { ends.push_back(t); });
+  sim.run();
+  ASSERT_EQ(ends.size(), 2u);
+  EXPECT_GT(std::max(ends[0], ends[1]), 1.9 * std::min(ends[0], ends[1]));
+}
+
+TEST(WirelessNetwork, LoopbackSkipsRadio) {
+  sim::Simulator sim;
+  WirelessNetwork net(sim, platform::paper_cluster());
+  double delivered = -1.0;
+  net.transfer(1, 1, 1 << 30, 0.5, [&](sim::Time t) { delivered = t; });
+  sim.run();
+  EXPECT_DOUBLE_EQ(delivered, 0.5);
+  EXPECT_EQ(net.bytes_transferred(), 0);
+  EXPECT_DOUBLE_EQ(net.radio_busy_s(1), 0.0);
+}
+
+TEST(WirelessNetwork, UnavailableNodeRejectsTransfers) {
+  sim::Simulator sim;
+  WirelessNetwork net(sim, platform::paper_cluster());
+  net.set_available(2, false);
+  EXPECT_FALSE(net.available(2));
+  EXPECT_THROW(net.transfer(0, 2, 100, 0.0, [](sim::Time) {}), std::runtime_error);
+  EXPECT_THROW(net.transfer(2, 0, 100, 0.0, [](sim::Time) {}), std::runtime_error);
+}
+
+TEST(Prober, ReportsAvailabilityVector) {
+  NetworkSpec spec(platform::paper_cluster());
+  ClusterProber prober(spec, 1024, 0.0);
+  util::Rng rng(1);
+  std::vector<bool> avail{true, true, false, true, true};
+  const ProbeReport report = prober.probe(0, avail, rng);
+  EXPECT_EQ(report.available_count(), 4u);
+  EXPECT_FALSE(report.available[2]);
+  EXPECT_DOUBLE_EQ(report.beta_bps[2], 0.0);
+  EXPECT_GT(report.beta_bps[1], 0.0);
+}
+
+TEST(Prober, NoiselessBetaMatchesLink) {
+  NetworkSpec spec(platform::paper_cluster());
+  ClusterProber prober(spec, 1024, 0.0);
+  util::Rng rng(1);
+  const ProbeReport report = prober.probe(0, std::vector<bool>(5, true), rng);
+  // payload/time with latency removed recovers the configured bandwidth.
+  EXPECT_NEAR(report.beta_bps[1], 80e6, 1e3);
+}
+
+TEST(Prober, NoisyProbingIsDeterministicPerSeed) {
+  NetworkSpec spec(platform::paper_cluster());
+  ClusterProber prober(spec, 1024, 0.1);
+  util::Rng a(5), b(5);
+  const auto ra = prober.probe(0, std::vector<bool>(5, true), a);
+  const auto rb = prober.probe(0, std::vector<bool>(5, true), b);
+  EXPECT_EQ(ra.rtt_s, rb.rtt_s);
+}
+
+TEST(Prober, RoundCostCoversSlowestPeer) {
+  NetworkSpec spec(platform::paper_cluster());
+  ClusterProber prober(spec, 1024, 0.0);
+  const double cost = prober.round_cost_s(0);
+  EXPECT_GT(cost, 0.0);
+  EXPECT_LT(cost, 0.05);  // probing is cheap (paper: status packets)
+}
+
+}  // namespace
+}  // namespace hidp::net

@@ -1,0 +1,179 @@
+// Plan compilation: task DAG structure, validation, critical path, DOT.
+#include <gtest/gtest.h>
+
+#include "dnn/zoo/zoo.hpp"
+#include "platform/device_db.hpp"
+#include "runtime/plan.hpp"
+#include "runtime/task_graph.hpp"
+
+namespace hidp::runtime {
+namespace {
+
+struct Fixture {
+  dnn::DnnGraph graph = dnn::zoo::build_resnet152();
+  std::vector<platform::NodeModel> nodes = platform::paper_cluster();
+  net::NetworkSpec network{nodes};
+  partition::ClusterCostModel cost{graph, nodes, network,
+                                   partition::NodeExecutionPolicy::kHierarchicalLocal};
+};
+
+TEST(PlanCompile, ModelPartitionProducesValidDag) {
+  Fixture f;
+  const auto mp = partition::plan_model_partition(f.cost, {0, 1, 2}, 0,
+                                                  partition::PartitionObjective::kMinimizeSum);
+  const Plan plan = compile_model_partition(mp, f.nodes, f.cost, 0, "test");
+  ASSERT_FALSE(plan.empty());
+  EXPECT_NO_THROW(validate_plan(plan, f.nodes));
+  EXPECT_EQ(plan.global_mode, partition::PartitionMode::kModel);
+  EXPECT_GE(plan.nodes_used, 1);
+}
+
+TEST(PlanCompile, DataPartitionProducesValidDag) {
+  Fixture f;
+  const auto dp = partition::plan_data_partition(f.cost, {0, 1, 2}, 0);
+  const Plan plan = compile_data_partition(dp, f.nodes, f.cost, 0, "test");
+  ASSERT_FALSE(plan.empty());
+  EXPECT_NO_THROW(validate_plan(plan, f.nodes));
+  EXPECT_EQ(plan.global_mode, partition::PartitionMode::kData);
+  EXPECT_GE(plan.nodes_used, 2);  // slow nodes may receive an empty band
+}
+
+TEST(PlanCompile, ComputeFlopsMatchWork) {
+  Fixture f;
+  const auto mp = partition::plan_model_partition(f.cost, {0}, 0,
+                                                  partition::PartitionObjective::kMinimizeSum);
+  const Plan plan = compile_model_partition(mp, f.nodes, f.cost, 0, "test");
+  double flops = 0.0;
+  for (const auto& t : plan.tasks) flops += t.flops;
+  EXPECT_NEAR(flops, f.graph.total_flops(), f.graph.total_flops() * 1e-9);
+}
+
+TEST(PlanCompile, DataPartitionFlopsIncludeHalo) {
+  Fixture f;
+  const auto dp = partition::plan_data_partition(f.cost, {0, 1, 2, 3}, 0);
+  const Plan plan = compile_data_partition(dp, f.nodes, f.cost, 0, "test");
+  double flops = 0.0;
+  for (const auto& t : plan.tasks) flops += t.flops;
+  EXPECT_GT(flops, f.graph.total_flops());
+}
+
+TEST(AppendLocal, DataParallelFansOut) {
+  Fixture f;
+  Plan plan;
+  partition::LocalDecision decision;
+  decision.config.mode = partition::LocalMode::kDataParallel;
+  decision.config.shares = {{0, 0.6, 2}, {1, 0.4, 2}};
+  const auto work = platform::WorkProfile::from_graph(f.graph, 0, 50);
+  const auto exits = append_local_execution(plan, f.nodes, 1, work, decision, {}, "blk");
+  EXPECT_EQ(exits.size(), 2u);
+  EXPECT_EQ(plan.tasks.size(), 2u);
+  for (const auto& t : plan.tasks) EXPECT_TRUE(t.deps.empty());
+}
+
+TEST(AppendLocal, PipelineChains) {
+  Fixture f;
+  Plan plan;
+  partition::LocalDecision decision;
+  decision.config.mode = partition::LocalMode::kPipeline;
+  decision.config.shares = {{0, 0.5, 1}, {1, 0.5, 1}};
+  const auto work = platform::WorkProfile::from_graph(f.graph, 0, 50);
+  const auto exits = append_local_execution(plan, f.nodes, 1, work, decision, {}, "blk");
+  ASSERT_EQ(exits.size(), 1u);
+  ASSERT_EQ(plan.tasks.size(), 2u);
+  EXPECT_EQ(plan.tasks[1].deps, (std::vector<int>{0}));
+}
+
+TEST(AppendLocal, EmptyWorkPassesDepsThrough) {
+  Fixture f;
+  Plan plan;
+  partition::LocalDecision decision;
+  const std::vector<int> deps{3, 4};
+  const auto exits =
+      append_local_execution(plan, f.nodes, 0, platform::WorkProfile{}, decision, deps, "nop");
+  EXPECT_EQ(exits, deps);
+  EXPECT_TRUE(plan.tasks.empty());
+}
+
+TEST(Validate, RejectsForwardDeps) {
+  Fixture f;
+  Plan plan;
+  PlanTask t;
+  t.kind = PlanTask::Kind::kCompute;
+  t.node = 0;
+  t.proc = 0;
+  t.deps = {0};  // self-dependency
+  plan.tasks.push_back(t);
+  EXPECT_THROW(validate_plan(plan, f.nodes), std::logic_error);
+}
+
+TEST(Validate, RejectsBadProc) {
+  Fixture f;
+  Plan plan;
+  PlanTask t;
+  t.kind = PlanTask::Kind::kCompute;
+  t.node = 0;
+  t.proc = 99;
+  plan.tasks.push_back(t);
+  EXPECT_THROW(validate_plan(plan, f.nodes), std::logic_error);
+}
+
+TEST(CriticalPath, MatchesHandComputation) {
+  Fixture f;
+  Plan plan;
+  PlanTask a;
+  a.kind = PlanTask::Kind::kCompute;
+  a.node = 0;
+  a.proc = 0;
+  a.seconds = 1.0;
+  plan.tasks.push_back(a);
+  PlanTask b = a;
+  b.seconds = 2.0;
+  plan.tasks.push_back(b);  // parallel with a
+  PlanTask c;
+  c.kind = PlanTask::Kind::kTransfer;
+  c.from = 0;
+  c.to = 1;
+  c.bytes = 80'000'000;  // 1 s + latency
+  c.deps = {0, 1};
+  plan.tasks.push_back(c);
+  plan.phases.explore_s = 0.25;
+  const double cp = critical_path_s(plan, f.nodes, f.network);
+  EXPECT_NEAR(cp, 0.25 + 2.0 + 1.0 + 4e-3, 1e-9);
+}
+
+TEST(CriticalPath, PredictionIsLowerBoundOfCompiledPlan) {
+  Fixture f;
+  const auto mp = partition::plan_model_partition(f.cost, {0, 1}, 0,
+                                                  partition::PartitionObjective::kMinimizeSum);
+  Plan plan = compile_model_partition(mp, f.nodes, f.cost, 0, "test");
+  const double cp = critical_path_s(plan, f.nodes, f.network);
+  // The DP's predicted latency and the DAG critical path agree closely
+  // (both are contention-free estimates of the same schedule).
+  EXPECT_NEAR(cp, mp.latency_s, mp.latency_s * 0.15);
+}
+
+TEST(PlanStats, CountsAndDepth) {
+  Fixture f;
+  const auto dp = partition::plan_data_partition(f.cost, {0, 1}, 0);
+  const Plan plan = compile_data_partition(dp, f.nodes, f.cost, 0, "test");
+  const PlanStats stats = analyze_plan(plan, f.nodes);
+  EXPECT_GT(stats.compute_tasks, 0);
+  EXPECT_GT(stats.transfer_tasks, 0);
+  EXPECT_GT(stats.total_compute_s, 0.0);
+  EXPECT_GT(stats.wireless_bytes, 0);
+  EXPECT_GE(stats.depth, 3);  // scatter -> compute -> gather -> head
+  EXPECT_EQ(stats.compute_s_per_node.size(), f.nodes.size());
+}
+
+TEST(PlanDot, EmitsGraphviz) {
+  Fixture f;
+  const auto dp = partition::plan_data_partition(f.cost, {0, 1}, 0);
+  const Plan plan = compile_data_partition(dp, f.nodes, f.cost, 0, "test");
+  const std::string dot = plan_to_dot(plan, f.nodes);
+  EXPECT_NE(dot.find("digraph plan"), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+  EXPECT_NE(dot.find("Jetson"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hidp::runtime

@@ -1,0 +1,237 @@
+// Unit tests for processor/node models, efficiency tables, and power.
+#include <gtest/gtest.h>
+
+#include "dnn/zoo/zoo.hpp"
+#include "platform/device_db.hpp"
+#include "platform/power.hpp"
+
+namespace hidp::platform {
+namespace {
+
+using dnn::LayerKind;
+
+WorkProfile conv_profile(double gflops) {
+  WorkProfile p;
+  p.add(LayerKind::kConv2D, gflops * 1e9);
+  return p;
+}
+
+TEST(WorkProfile, FromGraphSumsToTotal) {
+  const auto g = dnn::zoo::build_efficientnet_b0(64, 10);
+  const WorkProfile p = WorkProfile::from_graph(g);
+  EXPECT_NEAR(p.total(), g.total_flops(), g.total_flops() * 1e-12);
+  EXPECT_GT(p.flops_of(LayerKind::kDepthwiseConv2D), 0.0);
+  EXPECT_GT(p.flops_of(LayerKind::kSqueezeExcite), 0.0);
+}
+
+TEST(WorkProfile, ScaleAndDifference) {
+  WorkProfile p = conv_profile(10.0);
+  p.add(LayerKind::kDense, 2e9);
+  const WorkProfile half = p.scaled(0.5);
+  EXPECT_DOUBLE_EQ(half.total(), p.total() / 2.0);
+  const WorkProfile diff = WorkProfile::difference(p, half);
+  EXPECT_DOUBLE_EQ(diff.total(), p.total() / 2.0);
+  EXPECT_DOUBLE_EQ(diff.flops_of(LayerKind::kDense), 1e9);
+}
+
+TEST(WorkProfile, RangeProfileMatchesPrefixDifference) {
+  const auto g = dnn::zoo::build_vgg19(64, 10);
+  const WorkProfile whole = WorkProfile::from_graph(g, 0, -1);
+  const WorkProfile first = WorkProfile::from_graph(g, 0, 10);
+  const WorkProfile rest = WorkProfile::from_graph(g, 10, -1);
+  EXPECT_NEAR(first.total() + rest.total(), whole.total(), whole.total() * 1e-12);
+}
+
+TEST(Processor, PeakGflops) {
+  const ProcessorModel p("gpu", ProcKind::kGpu, 256, 1.3, 2.0, 0.5, 9.5, 0.45, 0.85);
+  EXPECT_NEAR(p.peak_gflops(), 256 * 1.3 * 2.0, 1e-9);
+}
+
+TEST(Processor, UtilizationCurveRises) {
+  const ProcessorModel p("gpu", ProcKind::kGpu, 256, 1.3, 2.0, 0.5, 9.5, 0.45, 0.85);
+  EXPECT_DOUBLE_EQ(p.utilization(1), 0.45);
+  EXPECT_NEAR(p.utilization(2), 0.65, 1e-9);
+  EXPECT_NEAR(p.utilization(4), 0.75, 1e-9);
+  EXPECT_LT(p.utilization(64), 0.85);
+  EXPECT_GT(p.utilization(4), p.utilization(2));
+}
+
+TEST(Processor, TimeScalesInverselyWithPartitions) {
+  const ProcessorModel p("gpu", ProcKind::kGpu, 256, 1.3, 2.0, 0.5, 9.5, 0.45, 0.85);
+  const WorkProfile w = conv_profile(10.0);
+  EXPECT_GT(p.time_for(w, 1), p.time_for(w, 4));
+  EXPECT_GT(p.lambda_gflops(w, 4), p.lambda_gflops(w, 1));
+}
+
+TEST(Processor, DepthwiseHurtsGpuMoreThanCpu) {
+  const ProcessorModel gpu("gpu", ProcKind::kGpu, 256, 1.3, 2.0, 0.5, 9.5, 1.0, 1.0);
+  const ProcessorModel cpu("cpu", ProcKind::kCpuBig, 4, 2.0, 8.0, 0.3, 4.0, 1.0, 1.0);
+  WorkProfile conv = conv_profile(1.0);
+  WorkProfile dw;
+  dw.add(LayerKind::kDepthwiseConv2D, 1e9);
+  // Relative slowdown moving conv -> depthwise is far worse on the GPU.
+  const double gpu_ratio = gpu.time_for(dw) / gpu.time_for(conv);
+  const double cpu_ratio = cpu.time_for(dw) / cpu.time_for(conv);
+  EXPECT_GT(gpu_ratio, 2.0 * cpu_ratio);
+}
+
+TEST(Processor, ZeroEfficiencyMeansInfeasible) {
+  ProcessorModel p("gpu", ProcKind::kGpu, 256, 1.3, 2.0, 0.5, 9.5, 1.0, 1.0);
+  WorkProfile w;
+  w.add(LayerKind::kInput, 1e9);  // no efficiency entry -> infeasible
+  EXPECT_GE(p.time_for(w), 1e29);
+  EXPECT_DOUBLE_EQ(p.lambda_gflops(w), 0.0);
+}
+
+TEST(Node, LambdaSumsProcessors) {
+  const NodeModel tx2 = make_jetson_tx2();
+  const WorkProfile w = conv_profile(10.0);
+  double sum = 0.0;
+  for (const auto& p : tx2.processors()) sum += p.lambda_gflops(w, 1);
+  EXPECT_NEAR(tx2.lambda_total_gflops(w, 1), sum, 1e-9);
+}
+
+TEST(Node, GpuIndexAndFastest) {
+  const NodeModel tx2 = make_jetson_tx2();
+  EXPECT_LT(tx2.gpu_index(), tx2.processor_count());
+  EXPECT_EQ(tx2.processor(tx2.gpu_index()).kind(), ProcKind::kGpu);
+  // On the TX2 the GPU is the fastest processor for conv workloads.
+  EXPECT_EQ(tx2.fastest_processor(conv_profile(1.0)), tx2.gpu_index());
+}
+
+TEST(Node, RaspberryPiCpuBeatsGpu) {
+  // The paper's motivation: some edge platforms run DNNs faster on CPU.
+  const NodeModel rpi5 = make_raspberry_pi5();
+  const WorkProfile w = conv_profile(1.0);
+  EXPECT_NE(rpi5.fastest_processor(w), rpi5.gpu_index());
+}
+
+TEST(Node, PsiRanksByRate) {
+  const NodeModel tx2 = make_jetson_tx2();
+  const auto psi = tx2.psi(conv_profile(1.0));
+  ASSERT_EQ(psi.size(), tx2.processor_count());
+  for (double v : psi) EXPECT_GT(v, 0.0);
+}
+
+TEST(Node, LocalExchangeScalesWithBytes) {
+  const NodeModel nano = make_jetson_nano();
+  EXPECT_DOUBLE_EQ(nano.local_exchange_s(0), 0.0);
+  EXPECT_GT(nano.local_exchange_s(1 << 20), 0.0);
+  EXPECT_NEAR(nano.local_exchange_s(2 << 20), 2.0 * nano.local_exchange_s(1 << 20), 1e-12);
+}
+
+TEST(DeviceDb, TableIIRoster) {
+  const auto cluster = paper_cluster();
+  ASSERT_EQ(cluster.size(), 5u);
+  EXPECT_EQ(cluster[0].name(), "Jetson Orin NX");
+  EXPECT_EQ(cluster[1].name(), "Jetson TX2");
+  EXPECT_EQ(cluster[2].name(), "Jetson Nano");
+  EXPECT_EQ(cluster[3].name(), "Raspberry Pi 5");
+  EXPECT_EQ(cluster[4].name(), "Raspberry Pi 4");
+  // TX2 models its two CPU clusters separately (Denver2 + A57) + GPU.
+  EXPECT_EQ(cluster[1].processor_count(), 3u);
+}
+
+TEST(DeviceDb, SubsetSelection) {
+  EXPECT_EQ(paper_cluster(2).size(), 2u);
+  EXPECT_EQ(paper_cluster(99).size(), 5u);
+}
+
+TEST(DeviceDb, MakeDeviceByNameAndUnknownThrows) {
+  EXPECT_EQ(make_device("Jetson TX2").name(), "Jetson TX2");
+  EXPECT_THROW(make_device("Jetson AGX"), std::invalid_argument);
+}
+
+TEST(DeviceDb, HeterogeneityOrdering) {
+  // Orin NX must dominate; RPi4 is the weakest (paper Table II ordering).
+  const auto cluster = paper_cluster();
+  const WorkProfile w = conv_profile(1.0);
+  const double orin = cluster[0].lambda_total_gflops(w, 4);
+  const double rpi4 = cluster[4].lambda_total_gflops(w, 4);
+  EXPECT_GT(orin, 10.0 * rpi4);
+}
+
+TEST(Power, EnergyDecomposes) {
+  const NodeModel nano = make_jetson_nano();
+  const std::vector<double> busy{1.0, 0.5};  // gpu 1s, cpu 0.5s
+  const EnergyBreakdown e = node_energy(nano, busy, 2.0);
+  EXPECT_GT(e.active_j, 0.0);
+  EXPECT_GT(e.idle_j, 0.0);
+  EXPECT_DOUBLE_EQ(e.static_j, nano.board_static_w() * 2.0);
+  EXPECT_NEAR(e.total_j(), e.active_j + e.idle_j + e.static_j, 1e-12);
+}
+
+TEST(Power, BusyClampedToHorizon) {
+  const NodeModel nano = make_jetson_nano();
+  const EnergyBreakdown a = node_energy(nano, {10.0, 10.0}, 2.0);
+  const EnergyBreakdown b = node_energy(nano, {2.0, 2.0}, 2.0);
+  EXPECT_DOUBLE_EQ(a.total_j(), b.total_j());
+}
+
+TEST(Power, ZeroHorizonZeroEnergy) {
+  const NodeModel nano = make_jetson_nano();
+  EXPECT_DOUBLE_EQ(node_energy(nano, {1.0}, 0.0).total_j(), 0.0);
+}
+
+TEST(Power, AveragePowerConsistent) {
+  const NodeModel rpi4 = make_raspberry_pi4();
+  const std::vector<double> busy{0.5, 0.5};
+  const double avg = node_average_power_w(rpi4, busy, 1.0);
+  EXPECT_NEAR(avg, node_energy(rpi4, busy, 1.0).total_j(), 1e-12);
+}
+
+TEST(WorkClass, ClassifiesLayers) {
+  dnn::Layer conv;
+  conv.kind = dnn::LayerKind::kConv2D;
+  conv.params.kernel = 3;
+  conv.output = dnn::Shape{64, 28, 28};
+  EXPECT_EQ(classify_layer(conv), WorkClass::kRegular);
+  conv.output = dnn::Shape{64, 14, 14};
+  EXPECT_EQ(classify_layer(conv), WorkClass::kSmallSpatial);
+  conv.params.kernel_w = 7;
+  conv.params.kernel = 1;
+  EXPECT_EQ(classify_layer(conv), WorkClass::kAwkwardKernel);
+}
+
+TEST(WorkClass, AwkwardKernelsSlowGpuOnly) {
+  const ProcessorModel gpu("gpu", ProcKind::kGpu, 256, 1.3, 2.0, 0.5, 9.5, 1.0, 1.0);
+  WorkProfile regular, awkward;
+  regular.add(LayerKind::kConv2D, 1e9, WorkClass::kRegular);
+  awkward.add(LayerKind::kConv2D, 1e9, WorkClass::kAwkwardKernel);
+  EXPECT_GT(gpu.time_for(awkward), 3.0 * gpu.time_for(regular));
+  const ProcessorModel cpu("cpu", ProcKind::kCpuBig, 4, 2.0, 8.0, 0.3, 4.0, 1.0, 1.0);
+  EXPECT_LT(cpu.time_for(awkward), 1.3 * cpu.time_for(regular));
+}
+
+TEST(Dispatch, OverheadAmortisedByPartitions) {
+  const ProcessorModel gpu("gpu", ProcKind::kGpu, 256, 1.3, 2.0, 0.5, 9.5, 1.0, 1.0,
+                           /*dispatch_s=*/200e-6);
+  WorkProfile many_layers;
+  for (int i = 0; i < 100; ++i) many_layers.add(LayerKind::kConv2D, 1e6);
+  EXPECT_DOUBLE_EQ(many_layers.layer_count(), 100.0);
+  const double t1 = gpu.time_for(many_layers, 1);
+  const double t4 = gpu.time_for(many_layers, 4);
+  // 100 layers x 200us = 20 ms dispatch dominates and shrinks ~4x.
+  EXPECT_GT(t1, 0.020);
+  EXPECT_LT(t4, t1 * 0.4);
+}
+
+TEST(Dispatch, ScaledProfileScalesLayerCount) {
+  WorkProfile w;
+  for (int i = 0; i < 10; ++i) w.add(LayerKind::kConv2D, 1e6);
+  EXPECT_DOUBLE_EQ(w.scaled(0.3).layer_count(), 3.0);
+  WorkProfile other;
+  other.add(LayerKind::kDense, 1e6);
+  w.merge(other);
+  EXPECT_DOUBLE_EQ(w.layer_count(), 11.0);
+}
+
+TEST(Power, IdleFloorSumsRails) {
+  const NodeModel nano = make_jetson_nano();
+  double expected = nano.board_static_w();
+  for (const auto& p : nano.processors()) expected += p.idle_w();
+  EXPECT_DOUBLE_EQ(node_idle_power_w(nano), expected);
+}
+
+}  // namespace
+}  // namespace hidp::platform

@@ -1,0 +1,173 @@
+// Unit + property tests for receptive-field row propagation.
+#include <gtest/gtest.h>
+
+#include "dnn/receptive_field.hpp"
+#include "dnn/zoo/zoo.hpp"
+#include "util/rng.hpp"
+
+namespace hidp::dnn {
+namespace {
+
+Layer make_layer(LayerKind kind, int kernel, int stride, bool same, int out_h) {
+  Layer l;
+  l.kind = kind;
+  l.params.kernel = kernel;
+  l.params.stride = stride;
+  l.params.same_padding = same;
+  l.output.height = out_h;
+  l.output.channels = 1;
+  l.output.width = out_h;
+  return l;
+}
+
+TEST(RowRange, HullMergesAndHandlesEmpty) {
+  EXPECT_EQ(hull(RowRange{2, 5}, RowRange{4, 9}), (RowRange{2, 9}));
+  EXPECT_EQ(hull(RowRange{}, RowRange{4, 9}), (RowRange{4, 9}));
+  EXPECT_EQ(hull(RowRange{1, 3}, RowRange{}), (RowRange{1, 3}));
+  EXPECT_TRUE(RowRange{}.empty());
+  EXPECT_EQ((RowRange{3, 7}).size(), 4);
+}
+
+TEST(ReceptiveField, Conv3x3SameExpandsByOne) {
+  const Layer l = make_layer(LayerKind::kConv2D, 3, 1, true, 10);
+  EXPECT_EQ(layer_input_rows(l, RowRange{4, 6}, 10), (RowRange{3, 7}));
+  // Clamped at the borders.
+  EXPECT_EQ(layer_input_rows(l, RowRange{0, 2}, 10), (RowRange{0, 3}));
+  EXPECT_EQ(layer_input_rows(l, RowRange{8, 10}, 10), (RowRange{7, 10}));
+}
+
+TEST(ReceptiveField, StridedConvMapsRows) {
+  const Layer l = make_layer(LayerKind::kConv2D, 3, 2, true, 5);  // in height 10
+  // SAME pad total = (5-1)*2+3-10 = 1 -> symmetric model applies 0 above;
+  // output row 2 -> input rows [2*2-0, 2*2-0+3) = [4, 7).
+  EXPECT_EQ(layer_input_rows(l, RowRange{2, 3}, 10), (RowRange{4, 7}));
+}
+
+TEST(ReceptiveField, ElementwiseIsIdentity) {
+  const Layer l = make_layer(LayerKind::kActivation, 0, 1, false, 10);
+  EXPECT_EQ(layer_input_rows(l, RowRange{3, 7}, 10), (RowRange{3, 7}));
+}
+
+TEST(ReceptiveField, GlobalLayersNeedEverything) {
+  const Layer l = make_layer(LayerKind::kGlobalAvgPool, 0, 1, false, 1);
+  EXPECT_EQ(layer_input_rows(l, RowRange{0, 1}, 10), (RowRange{0, 10}));
+}
+
+TEST(ReceptiveField, EmptyRangeStaysEmpty) {
+  const Layer l = make_layer(LayerKind::kConv2D, 3, 1, true, 10);
+  EXPECT_TRUE(layer_input_rows(l, RowRange{}, 10).empty());
+}
+
+TEST(Backpropagate, ChainGrowsMonotonically) {
+  DnnGraph g;
+  int x = g.add_input(3, 32, 32);
+  for (int i = 0; i < 4; ++i) x = g.conv(x, 4, 3, 1, true, Activation::kRelu);
+  const auto req = backpropagate_rows(g, static_cast<int>(g.size()), RowRange{10, 12});
+  // Each 3x3 conv adds one row of halo on each side.
+  EXPECT_EQ(req[4], (RowRange{10, 12}));
+  EXPECT_EQ(req[3], (RowRange{9, 13}));
+  EXPECT_EQ(req[2], (RowRange{8, 14}));
+  EXPECT_EQ(req[1], (RowRange{7, 15}));
+  EXPECT_EQ(req[0], (RowRange{6, 16}));
+}
+
+TEST(Backpropagate, BranchesTakeHull) {
+  DnnGraph g;
+  int x = g.add_input(3, 32, 32);
+  x = g.conv(x, 4, 3, 1, true);                        // 1
+  int a = g.conv(x, 4, 1, 1, true);                    // 2: 1x1, no halo
+  int b = g.conv(x, 4, 5, 1, true);                    // 3: 5x5, halo 2
+  g.concat({a, b});                                    // 4
+  const auto req = backpropagate_rows(g, 5, RowRange{10, 12});
+  EXPECT_EQ(req[2], (RowRange{10, 12}));
+  EXPECT_EQ(req[3], (RowRange{10, 12}));
+  EXPECT_EQ(req[1], (RowRange{8, 14}));   // hull of 1x1 (10..12) and 5x5 (8..14)
+  EXPECT_EQ(req[0], (RowRange{7, 15}));
+}
+
+TEST(Backpropagate, FullTargetNeedsFullInput) {
+  const DnnGraph g = zoo::build_vgg19(64, 10);
+  const int split = data_partition_point(g);
+  ASSERT_GT(split, 0);
+  const int target_rows = g.layer(split - 1).output.height;
+  const auto req = backpropagate_rows(g, split, RowRange{0, target_rows});
+  EXPECT_EQ(req[0], (RowRange{0, 64}));
+}
+
+// Property: the union of the slices' requirements equals the requirement of
+// the full band at every layer — no slice under- or over-reads relative to
+// what whole-band execution needs (strided layers legitimately leave "dead"
+// rows that no slice, and no whole-band run, ever touches).
+class BackpropagateCoverage : public ::testing::TestWithParam<int> {};
+
+TEST_P(BackpropagateCoverage, UnionMatchesFullBandRequirement) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  DnnGraph g;
+  int x = g.add_input(3, 40, 40);
+  int depth = 2 + GetParam() % 4;
+  for (int i = 0; i < depth; ++i) {
+    const int kernel = 1 + 2 * static_cast<int>(rng.uniform_int(0, 2));  // 1/3/5
+    const int stride = rng.uniform() < 0.3 ? 2 : 1;
+    x = g.conv(x, 4, kernel, stride, true, Activation::kRelu);
+    if (i == depth / 2) x = g.squeeze_excite(x, 2);  // exercise ownership
+  }
+  const int split = static_cast<int>(g.size());
+  const int target_rows = g.layer(split - 1).output.height;
+  const int sigma = 2 + GetParam() % 3;
+  const auto full = backpropagate_rows(g, split, RowRange{0, target_rows});
+  std::vector<RowRange> hulls(g.size());
+  int cursor = 0;
+  for (int s = 0; s < sigma; ++s) {
+    const int end = target_rows * (s + 1) / sigma;
+    const auto req = backpropagate_rows(g, split, RowRange{cursor, end});
+    for (std::size_t l = 0; l < g.size(); ++l) {
+      hulls[l] = hull(hulls[l], req[l]);
+      // Slices never need rows the full band would not need.
+      if (!req[l].empty()) {
+        EXPECT_GE(req[l].begin, full[l].begin) << "layer " << l;
+        EXPECT_LE(req[l].end, full[l].end) << "layer " << l;
+      }
+    }
+    cursor = end;
+  }
+  for (std::size_t l = 0; l < g.size(); ++l) {
+    EXPECT_EQ(hulls[l], full[l]) << "layer " << l;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomChains, BackpropagateCoverage, ::testing::Range(0, 12));
+
+TEST(ProportionalShare, PartitionsAnyHeight) {
+  // Bands partitioning [0, 20) map to shares partitioning [0, 7).
+  const std::vector<RowRange> bands{{0, 6}, {6, 13}, {13, 20}};
+  int cursor = 0;
+  for (const RowRange& band : bands) {
+    const RowRange share = proportional_share(7, band, 20);
+    EXPECT_EQ(share.begin, cursor);
+    cursor = share.end;
+  }
+  EXPECT_EQ(cursor, 7);
+  EXPECT_TRUE(proportional_share(7, RowRange{}, 20).empty());
+}
+
+TEST(DataPartitionPoint, ZooModelsSplitLate) {
+  for (const auto id : zoo::all_models()) {
+    const DnnGraph g = zoo::build_model(id);
+    const int split = data_partition_point(g);
+    EXPECT_GT(split, static_cast<int>(g.size()) / 2) << zoo::model_name(id);
+    EXPECT_LE(split, g.spatial_prefix_end()) << zoo::model_name(id);
+    // The split layer still has spatial extent.
+    EXPECT_GT(g.layer(split - 1).output.height, 1) << zoo::model_name(id);
+  }
+}
+
+TEST(DataPartitionPoint, DegenerateGraphHasNone) {
+  DnnGraph g;
+  int x = g.add_input(16, 1, 1);
+  x = g.dense(x, 8);
+  g.softmax(x);
+  EXPECT_EQ(data_partition_point(g), 0);
+}
+
+}  // namespace
+}  // namespace hidp::dnn

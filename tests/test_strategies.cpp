@@ -1,0 +1,235 @@
+// Strategy-level tests: HiDP and the three baselines produce valid plans
+// with the behavioural signatures the paper attributes to each.
+#include <gtest/gtest.h>
+
+#include "baselines/disnet.hpp"
+#include "baselines/modnn.hpp"
+#include "baselines/omniboost.hpp"
+#include "core/hidp_strategy.hpp"
+#include "runtime/workload.hpp"
+
+namespace hidp {
+namespace {
+
+using runtime::ClusterSnapshot;
+using runtime::Plan;
+
+ClusterSnapshot snapshot(const std::vector<platform::NodeModel>& nodes, std::size_t leader,
+                         int queue = 0) {
+  ClusterSnapshot snap;
+  snap.nodes = &nodes;
+  snap.network = net::NetworkSpec(nodes);
+  snap.available.assign(nodes.size(), true);
+  snap.leader = leader;
+  snap.queue_depth = queue;
+  return snap;
+}
+
+class StrategyContract : public ::testing::TestWithParam<int> {
+ protected:
+  std::unique_ptr<runtime::IStrategy> make() const {
+    switch (GetParam()) {
+      case 0: return std::make_unique<core::HidpStrategy>();
+      case 1: return std::make_unique<baselines::DisnetStrategy>();
+      case 2: return std::make_unique<baselines::OmniboostStrategy>();
+      default: return std::make_unique<baselines::ModnnStrategy>();
+    }
+  }
+};
+
+TEST_P(StrategyContract, ValidPlanForEveryModelAndLeader) {
+  const auto nodes = platform::paper_cluster();
+  runtime::ModelSet models;
+  auto strategy = make();
+  for (const auto id : models.ids()) {
+    for (const std::size_t leader : {0u, 1u, 4u}) {
+      const Plan plan = strategy->plan(models.graph(id), snapshot(nodes, leader));
+      ASSERT_FALSE(plan.empty())
+          << strategy->name() << " " << dnn::zoo::model_name(id) << " leader " << leader;
+      EXPECT_NO_THROW(runtime::validate_plan(plan, nodes));
+      EXPECT_EQ(plan.leader, leader);
+      EXPECT_GT(plan.phases.total(), 0.0);
+      EXPECT_GE(plan.nodes_used, 1);
+    }
+  }
+}
+
+TEST_P(StrategyContract, SurvivesPartialAvailability) {
+  const auto nodes = platform::paper_cluster();
+  runtime::ModelSet models;
+  auto strategy = make();
+  auto snap = snapshot(nodes, 0);
+  snap.available = {true, false, false, true, false};
+  const Plan plan = strategy->plan(models.graph(dnn::zoo::ModelId::kResNet152), snap);
+  ASSERT_FALSE(plan.empty());
+  for (const auto& task : plan.tasks) {
+    if (task.kind == runtime::PlanTask::Kind::kCompute) {
+      EXPECT_TRUE(task.node == 0 || task.node == 3) << strategy->name();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, StrategyContract, ::testing::Range(0, 4),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case 0: return std::string("HiDP");
+                             case 1: return std::string("DisNet");
+                             case 2: return std::string("OmniBoost");
+                             default: return std::string("MoDNN");
+                           }
+                         });
+
+TEST(HidpStrategy, UsesHierarchicalLocalPartitioning) {
+  const auto nodes = platform::paper_cluster();
+  runtime::ModelSet models;
+  core::HidpStrategy hidp;
+  const Plan plan = hidp.plan(models.graph(dnn::zoo::ModelId::kEfficientNetB0),
+                              snapshot(nodes, 1));
+  // HiDP's local tier splits blocks across processors: expect at least one
+  // node contributing >= 2 parallel compute tasks.
+  std::map<std::size_t, std::set<std::size_t>> procs_per_node;
+  for (const auto& t : plan.tasks) {
+    if (t.kind == runtime::PlanTask::Kind::kCompute) procs_per_node[t.node].insert(t.proc);
+  }
+  bool multi_proc = false;
+  for (const auto& [node, procs] : procs_per_node) multi_proc |= procs.size() >= 2;
+  EXPECT_TRUE(multi_proc);
+}
+
+TEST(HidpStrategy, FsmTraceFollowsPaperWorkflow) {
+  const auto nodes = platform::paper_cluster();
+  runtime::ModelSet models;
+  core::HidpStrategy hidp;
+  hidp.plan(models.graph(dnn::zoo::ModelId::kInceptionV3), snapshot(nodes, 0));
+  const auto& fsm = hidp.last_fsm();
+  ASSERT_GE(fsm.trace().size(), 6u);
+  EXPECT_EQ(fsm.trace().front().to, core::FsmState::kExplore);
+  EXPECT_EQ(fsm.trace().back().to, core::FsmState::kAnalyze);
+  EXPECT_EQ(fsm.state(), core::FsmState::kAnalyze);
+}
+
+TEST(HidpStrategy, ChargesPaperPlanningOverhead) {
+  const auto nodes = platform::paper_cluster();
+  runtime::ModelSet models;
+  core::HidpStrategy hidp;
+  const Plan plan = hidp.plan(models.graph(dnn::zoo::ModelId::kResNet152), snapshot(nodes, 0));
+  // Explore + Map default to 15 ms (paper §IV-A); Analyze adds probe RTT.
+  EXPECT_NEAR(plan.phases.explore_s + plan.phases.map_s, 0.015, 1e-12);
+  EXPECT_GT(plan.phases.analyze_s, 0.0);
+}
+
+TEST(HidpStrategy, AdaptsModeToModel) {
+  // Across the four models and two leaders, HiDP should not be locked into
+  // a single global mode (the paper stresses dynamic data/model selection).
+  const auto nodes = platform::paper_cluster();
+  runtime::ModelSet models;
+  core::HidpStrategy hidp;
+  std::set<partition::PartitionMode> modes;
+  for (const auto id : models.ids()) {
+    for (const std::size_t leader : {0u, 3u, 4u}) {
+      const Plan plan = hidp.plan(models.graph(id), snapshot(nodes, leader, 2));
+      modes.insert(plan.global_mode);
+    }
+  }
+  EXPECT_GE(modes.size(), 1u);
+  EXPECT_FALSE(modes.count(partition::PartitionMode::kNone));
+}
+
+TEST(ModnnStrategy, AlwaysDataPartitions) {
+  const auto nodes = platform::paper_cluster();
+  runtime::ModelSet models;
+  baselines::ModnnStrategy modnn;
+  for (const auto id : models.ids()) {
+    const Plan plan = modnn.plan(models.graph(id), snapshot(nodes, 0));
+    EXPECT_EQ(plan.global_mode, partition::PartitionMode::kData)
+        << dnn::zoo::model_name(id);
+  }
+}
+
+TEST(ModnnStrategy, DefaultLocalPlacementOnly) {
+  const auto nodes = platform::paper_cluster();
+  runtime::ModelSet models;
+  baselines::ModnnStrategy modnn;
+  const Plan plan = modnn.plan(models.graph(dnn::zoo::ModelId::kVgg19), snapshot(nodes, 0));
+  // No local tier: each participating node runs its slice on ONE processor.
+  std::map<std::size_t, std::set<std::size_t>> procs_per_node;
+  for (const auto& t : plan.tasks) {
+    if (t.kind == runtime::PlanTask::Kind::kCompute) procs_per_node[t.node].insert(t.proc);
+  }
+  for (const auto& [node, procs] : procs_per_node) {
+    EXPECT_EQ(procs.size(), 1u) << "node " << node;
+  }
+}
+
+TEST(DisnetStrategy, HybridButGlobalOnly) {
+  const auto nodes = platform::paper_cluster();
+  runtime::ModelSet models;
+  baselines::DisnetStrategy disnet;
+  std::set<partition::PartitionMode> modes;
+  for (const auto id : models.ids()) {
+    const Plan plan = disnet.plan(models.graph(id), snapshot(nodes, 4));
+    modes.insert(plan.global_mode);
+    std::map<std::size_t, std::set<std::size_t>> procs_per_node;
+    for (const auto& t : plan.tasks) {
+      if (t.kind == runtime::PlanTask::Kind::kCompute) procs_per_node[t.node].insert(t.proc);
+    }
+    for (const auto& [node, procs] : procs_per_node) EXPECT_EQ(procs.size(), 1u);
+  }
+  EXPECT_FALSE(modes.count(partition::PartitionMode::kNone));
+}
+
+TEST(OmniboostStrategy, PipelinesAcrossProcessors) {
+  const auto nodes = platform::paper_cluster();
+  runtime::ModelSet models;
+  baselines::OmniboostStrategy omni;
+  const Plan plan = omni.plan(models.graph(dnn::zoo::ModelId::kResNet152),
+                              snapshot(nodes, 0, /*queue=*/2));
+  EXPECT_EQ(plan.global_mode, partition::PartitionMode::kModel);
+  // Sequential pipeline: every compute task depends (transitively) on the
+  // previous one — no parallel fan-out.
+  int previous = -1;
+  for (std::size_t i = 0; i < plan.tasks.size(); ++i) {
+    if (plan.tasks[i].kind != runtime::PlanTask::Kind::kCompute) continue;
+    if (previous >= 0) EXPECT_FALSE(plan.tasks[i].deps.empty());
+    previous = static_cast<int>(i);
+  }
+}
+
+TEST(OmniboostStrategy, DeterministicAcrossInstances) {
+  const auto nodes = platform::paper_cluster();
+  runtime::ModelSet models;
+  baselines::OmniboostStrategy a, b;
+  const Plan pa = a.plan(models.graph(dnn::zoo::ModelId::kVgg19), snapshot(nodes, 0));
+  const Plan pb = b.plan(models.graph(dnn::zoo::ModelId::kVgg19), snapshot(nodes, 0));
+  ASSERT_EQ(pa.tasks.size(), pb.tasks.size());
+  for (std::size_t i = 0; i < pa.tasks.size(); ++i) {
+    EXPECT_EQ(pa.tasks[i].node, pb.tasks[i].node);
+    EXPECT_EQ(pa.tasks[i].proc, pb.tasks[i].proc);
+  }
+}
+
+TEST(Strategies, HidpPredictsLowestLatency) {
+  // Contention-free critical paths: HiDP's plan must beat every baseline's
+  // for each model (leader = TX2, the paper's Fig. 1 board).
+  const auto nodes = platform::paper_cluster();
+  const net::NetworkSpec network(nodes);
+  runtime::ModelSet models;
+  core::HidpStrategy hidp;
+  baselines::DisnetStrategy disnet;
+  baselines::OmniboostStrategy omni;
+  baselines::ModnnStrategy modnn;
+  for (const auto id : models.ids()) {
+    const auto& graph = models.graph(id);
+    const double t_hidp =
+        runtime::critical_path_s(hidp.plan(graph, snapshot(nodes, 1)), nodes, network);
+    for (runtime::IStrategy* baseline :
+         std::initializer_list<runtime::IStrategy*>{&disnet, &omni, &modnn}) {
+      const double t_base =
+          runtime::critical_path_s(baseline->plan(graph, snapshot(nodes, 1)), nodes, network);
+      EXPECT_LT(t_hidp, t_base) << dnn::zoo::model_name(id) << " vs " << baseline->name();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hidp

@@ -1,0 +1,257 @@
+// Unit tests for the reference tensor ops (hand-computed golden values).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/ops.hpp"
+
+namespace hidp::tensor {
+namespace {
+
+using dnn::Activation;
+using dnn::Layer;
+using dnn::LayerKind;
+
+Layer conv_layer(int in_c, int out_c, int k, int stride, bool same,
+                 Activation act = Activation::kNone) {
+  Layer l;
+  l.kind = LayerKind::kConv2D;
+  l.params.kernel = k;
+  l.params.stride = stride;
+  l.params.same_padding = same;
+  l.params.out_channels = out_c;
+  l.params.use_bias = true;
+  l.params.activation = act;
+  l.output = dnn::infer_output_shape(l.kind, l.params, {dnn::Shape{in_c, 4, 4}});
+  return l;
+}
+
+TEST(Tensor, IndexingRoundTrips) {
+  Tensor t(2, 3, 4);
+  t.at(1, 2, 3) = 42.0f;
+  EXPECT_FLOAT_EQ(t.at(1, 2, 3), 42.0f);
+  EXPECT_EQ(t.size(), 24u);
+}
+
+TEST(Tensor, RowsExtractsBand) {
+  Tensor t(1, 4, 2);
+  for (int y = 0; y < 4; ++y)
+    for (int x = 0; x < 2; ++x) t.at(0, y, x) = static_cast<float>(y * 10 + x);
+  const Tensor band = t.rows(1, 3);
+  EXPECT_EQ(band.height(), 2);
+  EXPECT_FLOAT_EQ(band.at(0, 0, 1), 11.0f);
+  EXPECT_FLOAT_EQ(band.at(0, 1, 0), 20.0f);
+  EXPECT_THROW(t.rows(-1, 2), std::out_of_range);
+}
+
+TEST(Tensor, AllcloseAndDiff) {
+  Tensor a(1, 1, 2), b(1, 1, 2);
+  a.at(0, 0, 0) = 1.0f;
+  b.at(0, 0, 0) = 1.0f + 1e-7f;
+  EXPECT_TRUE(a.allclose(b));
+  b.at(0, 0, 1) = 0.5f;
+  EXPECT_FALSE(a.allclose(b));
+  EXPECT_NEAR(a.max_abs_diff(b), 0.5, 1e-6);
+}
+
+TEST(RowWindow, GlobalAccessAndPadding) {
+  Tensor t(1, 2, 2);
+  t.at(0, 0, 0) = 7.0f;
+  RowWindow w;
+  w.data = t;
+  w.row_offset = 3;
+  w.full_height = 8;
+  EXPECT_FLOAT_EQ(w.at_global(0, 3, 0), 7.0f);
+  EXPECT_FLOAT_EQ(w.at_global(0, -1, 0), 0.0f);  // zero pad above tensor
+  EXPECT_FLOAT_EQ(w.at_global(0, 8, 0), 0.0f);   // zero pad below tensor
+  EXPECT_FLOAT_EQ(w.at_global(0, 3, -1), 0.0f);  // width pad
+  EXPECT_THROW(w.at_global(0, 1, 0), std::logic_error);  // inside tensor, outside window
+}
+
+TEST(Ops, Conv1x1IsChannelMix) {
+  // 1x1 conv with known weights: out = 2*in0 + 3*in1 + bias(1).
+  Layer l = conv_layer(2, 1, 1, 1, true);
+  LayerWeights w;
+  w.conv = Tensor(1, 1, 2);
+  w.conv.data()[0] = 2.0f;
+  w.conv.data()[1] = 3.0f;
+  w.bias = {1.0f};
+  Tensor in(2, 4, 4);
+  in.at(0, 1, 1) = 5.0f;
+  in.at(1, 1, 1) = 7.0f;
+  const Tensor out = conv2d_rows(l, RowWindow::full(in), w, 0, 4);
+  EXPECT_FLOAT_EQ(out.at(0, 1, 1), 2.0f * 5.0f + 3.0f * 7.0f + 1.0f);
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0), 1.0f);  // bias only elsewhere
+}
+
+TEST(Ops, Conv3x3IdentityKernel) {
+  // Kernel with 1 at centre reproduces the input (same padding).
+  Layer l = conv_layer(1, 1, 3, 1, true);
+  LayerWeights w;
+  w.conv = Tensor(1, 1, 9);
+  w.conv.data()[4] = 1.0f;  // centre tap
+  w.bias = {0.0f};
+  util::Rng rng(3);
+  const Tensor in = Tensor::random(dnn::Shape{1, 4, 4}, rng);
+  const Tensor out = conv2d_rows(l, RowWindow::full(in), w, 0, 4);
+  EXPECT_LT(out.max_abs_diff(in), 1e-6);
+}
+
+TEST(Ops, ConvReluClampsNegative) {
+  Layer l = conv_layer(1, 1, 1, 1, true, Activation::kRelu);
+  LayerWeights w;
+  w.conv = Tensor(1, 1, 1);
+  w.conv.data()[0] = -1.0f;
+  w.bias = {0.0f};
+  Tensor in(1, 4, 4);
+  in.at(0, 0, 0) = 3.0f;
+  const Tensor out = conv2d_rows(l, RowWindow::full(in), w, 0, 4);
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0), 0.0f);
+}
+
+TEST(Ops, DepthwiseKeepsChannelsSeparate) {
+  Layer l;
+  l.kind = LayerKind::kDepthwiseConv2D;
+  l.params.kernel = 1;
+  l.params.stride = 1;
+  l.params.same_padding = true;
+  l.params.use_bias = false;
+  l.output = dnn::Shape{2, 2, 2};
+  LayerWeights w;
+  w.conv = Tensor(1, 1, 2);
+  w.conv.data()[0] = 10.0f;
+  w.conv.data()[1] = 100.0f;
+  Tensor in(2, 2, 2);
+  in.at(0, 0, 0) = 1.0f;
+  in.at(1, 0, 0) = 1.0f;
+  const Tensor out = depthwise_conv2d_rows(l, RowWindow::full(in), w, 0, 2);
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0), 10.0f);
+  EXPECT_FLOAT_EQ(out.at(1, 0, 0), 100.0f);
+}
+
+TEST(Ops, MaxAndAvgPool) {
+  Layer l;
+  l.kind = LayerKind::kMaxPool2D;
+  l.params.kernel = 2;
+  l.params.stride = 2;
+  l.output = dnn::Shape{1, 1, 1};
+  Tensor in(1, 2, 2);
+  in.at(0, 0, 0) = 1.0f;
+  in.at(0, 0, 1) = 2.0f;
+  in.at(0, 1, 0) = 3.0f;
+  in.at(0, 1, 1) = 4.0f;
+  EXPECT_FLOAT_EQ(pool2d_rows(l, RowWindow::full(in), 0, 1, true).at(0, 0, 0), 4.0f);
+  EXPECT_FLOAT_EQ(pool2d_rows(l, RowWindow::full(in), 0, 1, false).at(0, 0, 0), 2.5f);
+}
+
+TEST(Ops, AvgPoolIgnoresPadding) {
+  // 3x3 same avg pool at a corner averages only the valid 2x2 values
+  // (count-based divisor, TF semantics).
+  Layer l;
+  l.kind = LayerKind::kAvgPool2D;
+  l.params.kernel = 3;
+  l.params.stride = 1;
+  l.params.same_padding = true;
+  l.output = dnn::Shape{1, 2, 2};
+  Tensor in(1, 2, 2);
+  in.at(0, 0, 0) = 4.0f;
+  in.at(0, 0, 1) = 4.0f;
+  in.at(0, 1, 0) = 4.0f;
+  in.at(0, 1, 1) = 4.0f;
+  const Tensor out = pool2d_rows(l, RowWindow::full(in), 0, 2, false);
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0), 4.0f);
+}
+
+TEST(Ops, BatchNormFolds) {
+  Layer l;
+  l.kind = LayerKind::kBatchNorm;
+  l.output = dnn::Shape{1, 1, 1};
+  LayerWeights w;
+  w.bn_gamma = {2.0f};
+  w.bn_beta = {1.0f};
+  w.bn_mean = {3.0f};
+  w.bn_var = {4.0f};
+  Tensor in(1, 1, 1);
+  in.at(0, 0, 0) = 5.0f;
+  const Tensor out = batch_norm_rows(l, RowWindow::full(in), w, 0, 1);
+  EXPECT_NEAR(out.at(0, 0, 0), 2.0f * (5.0f - 3.0f) / std::sqrt(4.0f + 1e-5f) + 1.0f, 1e-5);
+}
+
+TEST(Ops, AddAndConcat) {
+  Layer add;
+  add.kind = LayerKind::kAdd;
+  add.output = dnn::Shape{1, 1, 1};
+  Tensor a(1, 1, 1), b(1, 1, 1);
+  a.at(0, 0, 0) = 2.0f;
+  b.at(0, 0, 0) = 3.0f;
+  const RowWindow wa = RowWindow::full(a), wb = RowWindow::full(b);
+  EXPECT_FLOAT_EQ(add_rows(add, {&wa, &wb}, 0, 1).at(0, 0, 0), 5.0f);
+  const Tensor cat = concat_rows({&wa, &wb}, 0, 1);
+  EXPECT_EQ(cat.channels(), 2);
+  EXPECT_FLOAT_EQ(cat.at(1, 0, 0), 3.0f);
+}
+
+TEST(Ops, GlobalAvgPoolAveragesAll) {
+  Tensor in(1, 2, 2);
+  in.at(0, 0, 0) = 1.0f;
+  in.at(0, 1, 1) = 3.0f;
+  EXPECT_FLOAT_EQ(global_avg_pool(in).at(0, 0, 0), 1.0f);
+}
+
+TEST(Ops, DenseMatvec) {
+  Layer l;
+  l.kind = LayerKind::kDense;
+  l.params.out_channels = 2;
+  l.output = dnn::Shape{2, 1, 1};
+  LayerWeights w;
+  w.dense = {1.0f, 2.0f, 3.0f, 4.0f};  // [out][in]
+  w.bias = {0.5f, -0.5f};
+  Tensor in(2, 1, 1);
+  in.at(0, 0, 0) = 10.0f;
+  in.at(1, 0, 0) = 20.0f;
+  const Tensor out = dense(l, in, w);
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0), 1.0f * 10 + 2.0f * 20 + 0.5f);
+  EXPECT_FLOAT_EQ(out.at(1, 0, 0), 3.0f * 10 + 4.0f * 20 - 0.5f);
+}
+
+TEST(Ops, SoftmaxNormalises) {
+  Tensor in(3, 1, 1);
+  in.at(0, 0, 0) = 1.0f;
+  in.at(1, 0, 0) = 2.0f;
+  in.at(2, 0, 0) = 3.0f;
+  const Tensor out = softmax(in);
+  float total = 0.0f;
+  for (int c = 0; c < 3; ++c) total += out.at(c, 0, 0);
+  EXPECT_NEAR(total, 1.0f, 1e-6);
+  EXPECT_GT(out.at(2, 0, 0), out.at(1, 0, 0));
+}
+
+TEST(Ops, SePartialSumsSplitAgreesWithWhole) {
+  util::Rng rng(5);
+  const Tensor in = Tensor::random(dnn::Shape{3, 8, 4}, rng);
+  const RowWindow w = RowWindow::full(in);
+  const auto whole = se_partial_sums(w, 0, 8);
+  auto upper = se_partial_sums(w, 0, 3);
+  const auto lower = se_partial_sums(w, 3, 8);
+  for (std::size_t c = 0; c < whole.size(); ++c) {
+    EXPECT_NEAR(upper[c] + lower[c], whole[c], 1e-9);
+  }
+}
+
+TEST(Ops, ActivationsApplied) {
+  Tensor t(1, 1, 3);
+  t.at(0, 0, 0) = -1.0f;
+  t.at(0, 0, 1) = 3.0f;
+  t.at(0, 0, 2) = 9.0f;
+  Tensor relu6 = t;
+  apply_activation(relu6, Activation::kRelu6);
+  EXPECT_FLOAT_EQ(relu6.at(0, 0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(relu6.at(0, 0, 1), 3.0f);
+  EXPECT_FLOAT_EQ(relu6.at(0, 0, 2), 6.0f);
+  Tensor sig = t;
+  apply_activation(sig, Activation::kSigmoid);
+  EXPECT_NEAR(sig.at(0, 0, 1), 1.0f / (1.0f + std::exp(-3.0f)), 1e-6);
+}
+
+}  // namespace
+}  // namespace hidp::tensor

@@ -1,0 +1,102 @@
+// Workload generators: streams, staggered arrivals, paper mixes.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "runtime/workload.hpp"
+
+namespace hidp::runtime {
+namespace {
+
+using dnn::zoo::ModelId;
+
+TEST(ModelSet, HoldsAllFourModels) {
+  const ModelSet models;
+  EXPECT_EQ(models.ids().size(), 4u);
+  for (const ModelId id : models.ids()) {
+    EXPECT_FALSE(models.graph(id).empty());
+    EXPECT_EQ(models.graph(id).name(), dnn::zoo::model_name(id));
+  }
+}
+
+TEST(PeriodicStream, SpacingAndIds) {
+  const ModelSet models;
+  const auto reqs = periodic_stream(models.graph(ModelId::kVgg19), 5, 0.5, 1.0, 10);
+  ASSERT_EQ(reqs.size(), 5u);
+  EXPECT_EQ(reqs[0].id, 10);
+  EXPECT_DOUBLE_EQ(reqs[0].arrival_s, 1.0);
+  EXPECT_DOUBLE_EQ(reqs[4].arrival_s, 3.0);
+  for (const auto& r : reqs) EXPECT_EQ(r.model, &models.graph(ModelId::kVgg19));
+}
+
+TEST(StaggeredArrivals, PaperFig6Order) {
+  const ModelSet models;
+  const auto order = dnn::zoo::all_models();  // EffNet, Inception, ResNet, VGG
+  const auto reqs = staggered_arrivals(models, order, 0.5);
+  ASSERT_EQ(reqs.size(), 4u);
+  EXPECT_DOUBLE_EQ(reqs[0].arrival_s, 0.0);
+  EXPECT_DOUBLE_EQ(reqs[3].arrival_s, 1.5);  // paper: all four running at t=1.5s
+  EXPECT_EQ(reqs[0].model->name(), "EfficientNetB0");
+  EXPECT_EQ(reqs[3].model->name(), "VGG-19");
+}
+
+TEST(MixedStream, AlternatesAndJitters) {
+  const ModelSet models;
+  util::Rng rng(3);
+  const std::vector<ModelId> mix{ModelId::kEfficientNetB0, ModelId::kResNet152};
+  const auto reqs = mixed_stream(models, mix, 6, 1.0, rng);
+  ASSERT_EQ(reqs.size(), 6u);
+  EXPECT_EQ(reqs[0].model->name(), "EfficientNetB0");
+  EXPECT_EQ(reqs[1].model->name(), "ResNet152");
+  EXPECT_EQ(reqs[2].model->name(), "EfficientNetB0");
+  for (std::size_t i = 1; i < reqs.size(); ++i) {
+    const double gap = reqs[i].arrival_s - reqs[i - 1].arrival_s;
+    EXPECT_GE(gap, 0.75 - 1e-9);
+    EXPECT_LE(gap, 1.25 + 1e-9);
+  }
+}
+
+TEST(MixedStream, DeterministicPerSeed) {
+  const ModelSet models;
+  util::Rng a(5), b(5);
+  const std::vector<ModelId> mix{ModelId::kVgg19, ModelId::kInceptionV3};
+  const auto ra = mixed_stream(models, mix, 4, 0.5, a);
+  const auto rb = mixed_stream(models, mix, 4, 0.5, b);
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ra[i].arrival_s, rb[i].arrival_s);
+  }
+}
+
+TEST(PaperMixes, FourPairsFourTriples) {
+  const auto mixes = paper_mixes();
+  ASSERT_EQ(mixes.size(), 8u);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(mixes[i].size(), 2u) << "Mix " << i + 1;
+  for (std::size_t i = 4; i < 8; ++i) EXPECT_EQ(mixes[i].size(), 3u) << "Mix " << i + 1;
+}
+
+TEST(PaperMixes, NoDuplicateModelsWithinMix) {
+  for (const auto& mix : paper_mixes()) {
+    for (std::size_t i = 0; i < mix.size(); ++i) {
+      for (std::size_t j = i + 1; j < mix.size(); ++j) EXPECT_NE(mix[i], mix[j]);
+    }
+  }
+}
+
+TEST(StaggeredStreams, ProgressiveOverlap) {
+  const ModelSet models;
+  const auto reqs = staggered_streams(models, dnn::zoo::all_models(), 0.5, 3, 0.5);
+  ASSERT_EQ(reqs.size(), 12u);
+  // Sorted by arrival; first is EffNet at t=0, last arrival at 1.5+2*0.5.
+  EXPECT_DOUBLE_EQ(reqs.front().arrival_s, 0.0);
+  EXPECT_DOUBLE_EQ(reqs.back().arrival_s, 2.5);
+  for (std::size_t i = 1; i < reqs.size(); ++i) {
+    EXPECT_GE(reqs[i].arrival_s, reqs[i - 1].arrival_s);
+  }
+  // All ids unique.
+  std::set<int> ids;
+  for (const auto& r : reqs) ids.insert(r.id);
+  EXPECT_EQ(ids.size(), reqs.size());
+}
+
+}  // namespace
+}  // namespace hidp::runtime

@@ -1,0 +1,131 @@
+// Model-zoo fidelity tests: layer counts, published FLOPs and parameter
+// sizes, output shapes, and paper accuracy metadata.
+#include <gtest/gtest.h>
+
+#include "dnn/zoo/zoo.hpp"
+
+namespace hidp::dnn::zoo {
+namespace {
+
+TEST(Zoo, AllModelsBuildAndValidate) {
+  for (const auto id : all_models()) {
+    const DnnGraph g = build_model(id);
+    EXPECT_FALSE(g.empty());
+    g.check_invariants();
+    EXPECT_EQ(g.output_shape(), (Shape{1000, 1, 1})) << model_name(id);
+  }
+}
+
+struct FlopsSpec {
+  ModelId id;
+  double gflops;       // published forward FLOPs (2 per MAC)
+  double weights_mb;   // published parameter size (float32)
+};
+
+class ZooFidelity : public ::testing::TestWithParam<FlopsSpec> {};
+
+TEST_P(ZooFidelity, MatchesPublishedNumbers) {
+  const FlopsSpec spec = GetParam();
+  const DnnGraph g = build_model(spec.id);
+  EXPECT_NEAR(g.total_flops() / 1e9, spec.gflops, spec.gflops * 0.06) << g.name();
+  EXPECT_NEAR(static_cast<double>(g.total_weight_bytes()) / 1e6, spec.weights_mb,
+              spec.weights_mb * 0.06)
+      << g.name();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PublishedNumbers, ZooFidelity,
+    ::testing::Values(FlopsSpec{ModelId::kEfficientNetB0, 0.78, 21.2},
+                      FlopsSpec{ModelId::kInceptionV3, 11.4, 95.3},
+                      FlopsSpec{ModelId::kResNet152, 23.1, 240.8},
+                      FlopsSpec{ModelId::kVgg19, 39.3, 574.7}));
+
+TEST(Zoo, InputResolutions) {
+  EXPECT_EQ(build_model(ModelId::kInceptionV3).input_shape(), (Shape{3, 299, 299}));
+  EXPECT_EQ(build_model(ModelId::kResNet152).input_shape(), (Shape{3, 224, 224}));
+  EXPECT_EQ(build_model(ModelId::kVgg19).input_shape(), (Shape{3, 224, 224}));
+  EXPECT_EQ(build_model(ModelId::kEfficientNetB0).input_shape(), (Shape{3, 224, 224}));
+}
+
+TEST(Zoo, ResNet152Structure) {
+  const DnnGraph g = build_resnet152();
+  // 1 + (3+8+36+3)*~4 conv layers; exact: 155 convs + 50 adds + aux layers.
+  int convs = 0, adds = 0;
+  for (const Layer& l : g.layers()) {
+    convs += l.kind == LayerKind::kConv2D ? 1 : 0;
+    adds += l.kind == LayerKind::kAdd ? 1 : 0;
+  }
+  EXPECT_EQ(adds, 50);
+  EXPECT_EQ(convs, 155);  // 151 block convs + 4 projections... (3*50+4+1)
+}
+
+TEST(Zoo, Vgg19Structure) {
+  const DnnGraph g = build_vgg19();
+  int convs = 0, dense = 0, pools = 0;
+  for (const Layer& l : g.layers()) {
+    convs += l.kind == LayerKind::kConv2D ? 1 : 0;
+    dense += l.kind == LayerKind::kDense ? 1 : 0;
+    pools += l.kind == LayerKind::kMaxPool2D ? 1 : 0;
+  }
+  EXPECT_EQ(convs, 16);
+  EXPECT_EQ(dense, 3);
+  EXPECT_EQ(pools, 5);
+}
+
+TEST(Zoo, InceptionUsesAsymmetricKernels) {
+  const DnnGraph g = build_inception_v3();
+  int asymmetric = 0;
+  for (const Layer& l : g.layers()) {
+    if (l.kind == LayerKind::kConv2D && l.params.kernel_w > 0 &&
+        l.params.kernel_w != l.params.kernel) {
+      ++asymmetric;
+    }
+  }
+  EXPECT_GE(asymmetric, 20);  // the factorised 1x7/7x1 and 1x3/3x1 convs
+}
+
+TEST(Zoo, EfficientNetUsesDepthwiseAndSE) {
+  const DnnGraph g = build_efficientnet_b0();
+  int dw = 0, se = 0;
+  for (const Layer& l : g.layers()) {
+    dw += l.kind == LayerKind::kDepthwiseConv2D ? 1 : 0;
+    se += l.kind == LayerKind::kSqueezeExcite ? 1 : 0;
+  }
+  EXPECT_EQ(dw, 16);  // one per MBConv block
+  EXPECT_EQ(se, 16);
+}
+
+TEST(Zoo, AccuracyMetadataMatchesPaper) {
+  EXPECT_DOUBLE_EQ(model_accuracy(ModelId::kVgg19).top1, 75.3);
+  EXPECT_DOUBLE_EQ(model_accuracy(ModelId::kVgg19).top5, 89.7);
+  EXPECT_DOUBLE_EQ(model_accuracy(ModelId::kEfficientNetB0).top1, 77.1);
+  EXPECT_DOUBLE_EQ(model_accuracy(ModelId::kEfficientNetB0).top5, 92.25);
+  EXPECT_DOUBLE_EQ(model_accuracy(ModelId::kResNet152).top1, 78.6);
+  EXPECT_DOUBLE_EQ(model_accuracy(ModelId::kInceptionV3).top1, 80.9);
+}
+
+TEST(Zoo, NamesMatchPaperLabels) {
+  EXPECT_EQ(model_name(ModelId::kEfficientNetB0), "EfficientNetB0");
+  EXPECT_EQ(model_name(ModelId::kInceptionV3), "InceptionNetV3");
+  EXPECT_EQ(model_name(ModelId::kResNet152), "ResNet152");
+  EXPECT_EQ(model_name(ModelId::kVgg19), "VGG-19");
+}
+
+TEST(Zoo, ReducedResolutionBuilds) {
+  // The equivalence tests run the zoo at reduced resolutions.
+  const DnnGraph g = build_efficientnet_b0(64, 10);
+  EXPECT_EQ(g.input_shape(), (Shape{3, 64, 64}));
+  EXPECT_EQ(g.output_shape(), (Shape{10, 1, 1}));
+  const DnnGraph v = build_vgg19(64, 17);
+  EXPECT_EQ(v.output_shape(), (Shape{17, 1, 1}));
+}
+
+TEST(Zoo, FourModelsInPresentationOrder) {
+  const auto ids = all_models();
+  ASSERT_EQ(ids.size(), 4u);
+  EXPECT_EQ(ids[0], ModelId::kEfficientNetB0);
+  EXPECT_EQ(ids[3], ModelId::kVgg19);
+}
+
+}  // namespace
+}  // namespace hidp::dnn::zoo
