@@ -1,0 +1,227 @@
+// DSE planning-throughput microbench: plans/sec per strategy and model.
+//
+// HiDP's headline claim is *low-overhead* hierarchical DSE — the ~1.67x
+// latency win includes the explore/map overhead, so the planner must stay
+// cheap per request. This bench measures how many complete plan() rounds
+// each strategy sustains, and pits the optimised HiDP planner (analytic
+// golden-section local search, dense cost tables, cross-request plan
+// cache) against a "seed"-configured HiDP (exhaustive share sweep, no plan
+// cache) to track the speedup across PRs.
+//
+// Output: a human-readable table on stdout plus BENCH_dse.json in the
+// working directory. `--smoke` runs tiny iteration counts so CI can catch
+// build rot without paying measurement time; `--out <path>` redirects the
+// JSON.
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "runtime/workload.hpp"
+
+namespace {
+
+using namespace hidp;
+
+struct BenchResult {
+  std::string strategy;
+  std::string model;
+  double plans_per_sec = 0.0;
+  double ms_per_plan = 0.0;
+};
+
+runtime::ClusterSnapshot make_snapshot(const std::vector<platform::NodeModel>& nodes,
+                                       std::size_t leader) {
+  runtime::ClusterSnapshot snap;
+  snap.nodes = &nodes;
+  snap.network = net::NetworkSpec(nodes);
+  snap.available.assign(nodes.size(), true);
+  snap.leader = leader;
+  return snap;
+}
+
+/// Cold planning throughput: every plan() is the first one a fresh strategy
+/// instance ever sees, so the cost-model tables fill from scratch — the
+/// regime the paper's per-request 15 ms budget is about.
+template <typename MakeStrategy>
+double measure_cold_plans_per_sec(const MakeStrategy& make, const dnn::DnnGraph& graph,
+                                  const runtime::ClusterSnapshot& snap, int iterations) {
+  double elapsed_s = 0.0;
+  for (int i = 0; i < iterations; ++i) {
+    auto strategy = make();
+    const auto begin = std::chrono::steady_clock::now();
+    const runtime::Plan plan = strategy->plan(graph, snap);
+    const auto end = std::chrono::steady_clock::now();
+    if (plan.empty()) return 0.0;
+    elapsed_s += std::chrono::duration<double>(end - begin).count();
+  }
+  return elapsed_s > 0.0 ? static_cast<double>(iterations) / elapsed_s : 0.0;
+}
+
+double measure_plans_per_sec(runtime::IStrategy& strategy, const dnn::DnnGraph& graph,
+                             const runtime::ClusterSnapshot& snap, int warmup, int iterations) {
+  for (int i = 0; i < warmup; ++i) {
+    const runtime::Plan plan = strategy.plan(graph, snap);
+    if (plan.empty()) return 0.0;
+  }
+  const auto begin = std::chrono::steady_clock::now();
+  for (int i = 0; i < iterations; ++i) {
+    const runtime::Plan plan = strategy.plan(graph, snap);
+    (void)plan;
+  }
+  const auto end = std::chrono::steady_clock::now();
+  const double elapsed_s = std::chrono::duration<double>(end - begin).count();
+  return elapsed_s > 0.0 ? static_cast<double>(iterations) / elapsed_s : 0.0;
+}
+
+core::HidpStrategy::Options hidp_fast_options() {
+  core::HidpStrategy::Options options;
+  options.probe_availability = false;  // measure the planner, not probe noise
+  return options;
+}
+
+core::HidpStrategy::Options hidp_nocache_options() {
+  // Optimised planner with the cross-request plan cache disabled: isolates
+  // the analytic-search / dense-table win from the cache win.
+  core::HidpStrategy::Options options;
+  options.probe_availability = false;
+  options.enable_plan_cache = false;
+  return options;
+}
+
+core::HidpStrategy::Options hidp_seed_options() {
+  // The seed planner: exhaustive fixed-step accelerator-share sweep, no
+  // cross-request plan cache.
+  core::HidpStrategy::Options options;
+  options.probe_availability = false;
+  options.enable_plan_cache = false;
+  options.local_search.use_golden_section = false;
+  return options;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_dse.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) out_path = argv[++i];
+  }
+  const int warmup = smoke ? 1 : 5;
+  const int iterations = smoke ? 3 : 300;
+
+  const auto nodes = platform::paper_cluster();
+  const runtime::ClusterSnapshot snap = make_snapshot(nodes, bench::kDefaultLeader);
+  runtime::ModelSet models;
+
+  std::vector<BenchResult> results;
+  auto record = [&results](const std::string& strategy, const std::string& model,
+                           double plans_per_sec) {
+    BenchResult r;
+    r.strategy = strategy;
+    r.model = model;
+    r.plans_per_sec = plans_per_sec;
+    r.ms_per_plan = plans_per_sec > 0.0 ? 1e3 / plans_per_sec : 0.0;
+    results.push_back(r);
+    std::cout << "  " << strategy << " / " << model << ": " << plans_per_sec << " plans/s ("
+              << r.ms_per_plan << " ms/plan)\n";
+  };
+
+  std::cout << "DSE microbench (" << iterations << " iterations per cell)\n";
+
+  // Full strategy roster, default configurations.
+  for (const auto& name : bench::strategy_names()) {
+    for (const auto id : models.ids()) {
+      // Fresh instance per cell so per-strategy caches start cold and every
+      // cell is measured under the same conditions.
+      auto strategy = bench::make_strategy(name);
+      record(name, dnn::zoo::model_name(id),
+             measure_plans_per_sec(*strategy, models.graph(id), snap, warmup, iterations));
+    }
+  }
+
+  // Optimised HiDP vs the seed planner configuration.
+  std::vector<std::pair<std::string, double>> speedups;
+  std::vector<std::pair<std::string, double>> nocache_speedups;
+  for (const auto id : models.ids()) {
+    core::HidpStrategy fast(hidp_fast_options());
+    core::HidpStrategy nocache(hidp_nocache_options());
+    core::HidpStrategy seed(hidp_seed_options());
+    const double fast_pps =
+        measure_plans_per_sec(fast, models.graph(id), snap, warmup, iterations);
+    const double nocache_pps =
+        measure_plans_per_sec(nocache, models.graph(id), snap, warmup, iterations);
+    const double seed_pps =
+        measure_plans_per_sec(seed, models.graph(id), snap, warmup, iterations);
+    record("HiDP-fast", dnn::zoo::model_name(id), fast_pps);
+    record("HiDP-nocache", dnn::zoo::model_name(id), nocache_pps);
+    record("HiDP-seed", dnn::zoo::model_name(id), seed_pps);
+    const double speedup = seed_pps > 0.0 ? fast_pps / seed_pps : 0.0;
+    const double nocache_speedup = seed_pps > 0.0 ? nocache_pps / seed_pps : 0.0;
+    speedups.emplace_back(dnn::zoo::model_name(id), speedup);
+    nocache_speedups.emplace_back(dnn::zoo::model_name(id), nocache_speedup);
+    std::cout << "  speedup vs seed (" << dnn::zoo::model_name(id) << "): " << speedup
+              << "x cached, " << nocache_speedup << "x per fresh plan\n";
+  }
+
+  // Cold planning (fresh strategy per plan): where the analytic local
+  // search pays off, since every block decision is computed from scratch.
+  std::vector<std::pair<std::string, double>> cold_speedups;
+  const int cold_iterations = smoke ? 2 : 20;
+  for (const auto id : models.ids()) {
+    const auto& graph = models.graph(id);
+    const double fast_pps = measure_cold_plans_per_sec(
+        [] { return std::make_unique<core::HidpStrategy>(hidp_fast_options()); }, graph, snap,
+        cold_iterations);
+    const double seed_pps = measure_cold_plans_per_sec(
+        [] { return std::make_unique<core::HidpStrategy>(hidp_seed_options()); }, graph, snap,
+        cold_iterations);
+    record("HiDP-fast-cold", dnn::zoo::model_name(id), fast_pps);
+    record("HiDP-seed-cold", dnn::zoo::model_name(id), seed_pps);
+    const double speedup = seed_pps > 0.0 ? fast_pps / seed_pps : 0.0;
+    cold_speedups.emplace_back(dnn::zoo::model_name(id), speedup);
+    std::cout << "  cold-planner speedup vs seed (" << dnn::zoo::model_name(id)
+              << "): " << speedup << "x\n";
+  }
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "error: cannot open " << out_path << " for writing\n";
+    return 1;
+  }
+  out << "{\n  \"bench\": \"dse_microbench\",\n  \"iterations\": " << iterations
+      << ",\n  \"smoke\": " << (smoke ? "true" : "false") << ",\n  \"results\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    out << "    {\"strategy\": \"" << results[i].strategy << "\", \"model\": \""
+        << results[i].model << "\", \"plans_per_sec\": " << results[i].plans_per_sec
+        << ", \"ms_per_plan\": " << results[i].ms_per_plan << "}"
+        << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"hidp_speedup_vs_seed\": {\n";
+  for (std::size_t i = 0; i < speedups.size(); ++i) {
+    out << "    \"" << speedups[i].first << "\": " << speedups[i].second
+        << (i + 1 < speedups.size() ? "," : "") << "\n";
+  }
+  out << "  },\n  \"hidp_nocache_speedup_vs_seed\": {\n";
+  for (std::size_t i = 0; i < nocache_speedups.size(); ++i) {
+    out << "    \"" << nocache_speedups[i].first << "\": " << nocache_speedups[i].second
+        << (i + 1 < nocache_speedups.size() ? "," : "") << "\n";
+  }
+  out << "  },\n  \"hidp_cold_speedup_vs_seed\": {\n";
+  for (std::size_t i = 0; i < cold_speedups.size(); ++i) {
+    out << "    \"" << cold_speedups[i].first << "\": " << cold_speedups[i].second
+        << (i + 1 < cold_speedups.size() ? "," : "") << "\n";
+  }
+  out << "  }\n}\n";
+  out.flush();
+  if (!out) {
+    std::cerr << "error: failed writing " << out_path << "\n";
+    return 1;
+  }
+  std::cout << "wrote " << out_path << "\n";
+  return 0;
+}

@@ -1,8 +1,38 @@
 #include "core/dse_agent.hpp"
 
 #include <algorithm>
+#include <cstring>
 
 namespace hidp::core {
+
+int queue_depth_bucket(int queue_depth) noexcept {
+  if (queue_depth <= 4) return queue_depth < 0 ? 0 : queue_depth;
+  int bucket = 5;
+  int upper = 8;
+  while (queue_depth > upper && upper < (1 << 30)) {
+    upper *= 2;
+    ++bucket;
+  }
+  return bucket;
+}
+
+std::size_t GlobalDecisionKeyHash::operator()(const GlobalDecisionKey& key) const noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ULL;
+  };
+  mix(reinterpret_cast<std::uintptr_t>(key.model));
+  mix(key.model_layers);
+  std::uint64_t flops_bits = 0;
+  static_assert(sizeof(flops_bits) == sizeof(key.model_flops));
+  std::memcpy(&flops_bits, &key.model_flops, sizeof(flops_bits));
+  mix(flops_bits);
+  mix(key.leader);
+  mix(key.availability_mask);
+  mix(static_cast<std::uint64_t>(key.queue_bucket));
+  return static_cast<std::size_t>(h);
+}
 
 using partition::ClusterCostModel;
 using partition::PartitionMode;

@@ -16,6 +16,7 @@
 // requests — the behaviour the paper's Fig. 2 motivates.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "partition/cost_model.hpp"
@@ -44,6 +45,44 @@ struct GlobalDecision {
   double bottleneck_s = 0.0;              ///< resource occupancy per request
   double effective_s = 0.0;               ///< queue-aware score
   std::vector<std::size_t> workers;       ///< nodes considered, Psi order
+};
+
+/// Coarse queue-depth bucketing for cross-request decision caches. The
+/// queue-aware score Theta + q*B is most decision-sensitive at shallow
+/// depths, so those stay exact; deeper queues share log2-width buckets
+/// (5-8, 9-16, ...) where the winning decision is stable.
+int queue_depth_bucket(int queue_depth) noexcept;
+
+/// Identifies one steady-state planning situation: same model, same leader,
+/// same probed availability, same queue-depth bucket => the DSE would
+/// return the same decision, so a cross-request cache can skip it. The
+/// model is identified by address *and* a structural fingerprint
+/// (layer count, total FLOPs), so a different graph recycled onto a freed
+/// graph's address cannot be served a stale plan.
+struct GlobalDecisionKey {
+  const dnn::DnnGraph* model = nullptr;
+  std::size_t model_layers = 0;
+  double model_flops = 0.0;
+  std::size_t leader = 0;
+  std::uint64_t availability_mask = 0;  ///< bit j = node j available
+  int queue_bucket = 0;
+  bool operator==(const GlobalDecisionKey& other) const noexcept {
+    return model == other.model && model_layers == other.model_layers &&
+           model_flops == other.model_flops && leader == other.leader &&
+           availability_mask == other.availability_mask && queue_bucket == other.queue_bucket;
+  }
+};
+
+struct GlobalDecisionKeyHash {
+  std::size_t operator()(const GlobalDecisionKey& key) const noexcept;
+};
+
+/// Hit/miss counters of a cross-request decision cache (exposed so benches
+/// and tests can assert steady-state workloads actually skip the DSE).
+struct DecisionCacheStats {
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  std::size_t invalidations = 0;
 };
 
 class DseAgent {

@@ -1,5 +1,7 @@
 #include "core/hidp_strategy.hpp"
 
+#include <cstring>
+
 namespace hidp::core {
 
 HidpStrategy::HidpStrategy(Options options)
@@ -8,26 +10,72 @@ HidpStrategy::HidpStrategy(Options options)
       rng_(options_.seed),
       last_fsm_(std::make_unique<RuntimeSchedulerFsm>(FsmRole::kLeader)) {}
 
+namespace {
+
+/// Compute-side fingerprint of the cluster's nodes: catches in-place
+/// mutations (DVFS-style frequency/core changes) that leave the vector
+/// address and radio spec unchanged. Efficiency-table edits are not
+/// covered — callers doing those should use a fresh node vector.
+std::uint64_t cluster_compute_fingerprint(const std::vector<platform::NodeModel>& nodes) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ULL;
+  };
+  auto mix_double = [&mix](double d) {
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(d));
+    std::memcpy(&bits, &d, sizeof(bits));
+    mix(bits);
+  };
+  for (const platform::NodeModel& node : nodes) {
+    mix(node.processor_count());
+    mix_double(node.dram_bw_gbps());
+    for (const platform::ProcessorModel& proc : node.processors()) {
+      mix_double(proc.peak_gflops());
+      mix_double(proc.utilization(1));
+      mix_double(proc.dispatch_s());
+    }
+  }
+  return h;
+}
+
+}  // namespace
+
+void HidpStrategy::invalidate_if_cluster_changed(const runtime::ClusterSnapshot& snap) {
+  const std::uint64_t fingerprint = cluster_compute_fingerprint(*snap.nodes);
+  const bool nodes_changed =
+      cached_nodes_ != snap.nodes || cached_fingerprint_ != fingerprint;
+  const bool network_changed = !(cached_network_ == snap.network);
+  if (!nodes_changed && !network_changed) return;
+  // Cluster changed (e.g. Fig. 8 node sweep, link degradation, DVFS): every
+  // cost model and cached decision was derived from stale hardware
+  // assumptions.
+  cache_.clear();
+  if (!plan_cache_.empty()) ++cache_stats_.invalidations;
+  plan_cache_.clear();
+  cached_nodes_ = snap.nodes;
+  cached_fingerprint_ = fingerprint;
+  cached_network_ = snap.network;
+}
+
 partition::ClusterCostModel& HidpStrategy::cost_model(const dnn::DnnGraph& model,
                                                       const runtime::ClusterSnapshot& snap) {
-  if (cached_nodes_ != snap.nodes) {
-    cache_.clear();  // cluster changed (e.g. Fig. 8 node sweep)
-    cached_nodes_ = snap.nodes;
-  }
   auto it = cache_.find(&model);
   if (it == cache_.end()) {
-    it = cache_
-             .emplace(&model, std::make_unique<partition::ClusterCostModel>(
-                                  model, *snap.nodes, snap.network,
-                                  partition::NodeExecutionPolicy::kHierarchicalLocal,
-                                  options_.bytes_per_element))
-             .first;
+    auto cost = std::make_unique<partition::ClusterCostModel>(
+        model, *snap.nodes, snap.network, partition::NodeExecutionPolicy::kHierarchicalLocal,
+        options_.bytes_per_element);
+    cost->set_local_search_space(options_.local_search);
+    it = cache_.emplace(&model, std::move(cost)).first;
   }
   return *it->second;
 }
 
 runtime::Plan HidpStrategy::plan(const dnn::DnnGraph& model,
                                  const runtime::ClusterSnapshot& snap) {
+  invalidate_if_cluster_changed(snap);
+
   // Analyze: availability probing with pseudo packets.
   net::ClusterProber prober(snap.network, /*probe_bytes=*/1024, options_.probe_noise_fraction);
   std::vector<bool> available = snap.available;
@@ -38,10 +86,43 @@ runtime::Plan HidpStrategy::plan(const dnn::DnnGraph& model,
     analyze_s = prober.round_cost_s(snap.leader);
   }
 
+  // Steady-state fast path: an identical planning situation was already
+  // explored — reuse its decision and skip the DSE.
+  GlobalDecisionKey key;
+  key.model = &model;
+  key.model_layers = model.size();
+  key.model_flops = model.total_flops();
+  key.leader = snap.leader;
+  key.queue_bucket = queue_depth_bucket(snap.queue_depth);
+  const bool cacheable = options_.enable_plan_cache && snap.nodes->size() <= 64;
+  if (cacheable) {
+    for (std::size_t j = 0; j < available.size() && j < 64; ++j) {
+      if (available[j]) key.availability_mask |= std::uint64_t{1} << j;
+    }
+    auto hit = plan_cache_.find(key);
+    if (hit != plan_cache_.end()) {
+      ++cache_stats_.hits;
+      last_decision_ = hit->second.decision;
+      runtime::Plan plan = hit->second.plan;
+      plan.phases.analyze_s = analyze_s;
+      plan.phases.explore_s = options_.cached_explore_latency_s;
+      plan.phases.map_s = options_.cached_map_latency_s;
+      last_fsm_ = std::make_unique<RuntimeSchedulerFsm>(FsmRole::kLeader);
+      last_fsm_->run_leader_round(snap.now_s, analyze_s, plan.phases.explore_s,
+                                  plan.phases.map_s, plan.predicted_latency_s);
+      return plan;
+    }
+    ++cache_stats_.misses;
+  }
+
   // Explore + Offload + Map through the global partitioner / DSE agent.
   partition::ClusterCostModel& cost = cost_model(model, snap);
   runtime::Plan plan = global_.partition(cost, snap.leader, available, snap.queue_depth,
                                          name(), &last_decision_);
+  if (cacheable) {
+    if (plan_cache_.size() >= options_.plan_cache_capacity) plan_cache_.clear();
+    plan_cache_.emplace(key, CachedPlan{plan, last_decision_});
+  }
   plan.phases.analyze_s = analyze_s;
   plan.phases.explore_s = options_.explore_latency_s;
   plan.phases.map_s = options_.map_latency_s;

@@ -13,6 +13,11 @@
 //
 // The FSM phase costs (Analyze/Explore/Map) are charged to every request;
 // the defaults follow the paper's measured 15 ms DP exploration overhead.
+// Steady-state streaming traffic mostly repeats the same planning
+// situation, so the strategy keeps a cross-request GlobalDecision cache
+// keyed by (model, leader, probed availability, queue-depth bucket): a hit
+// skips Explore+Map entirely and charges only a table-lookup cost. The
+// cache is invalidated whenever the cluster's nodes or network change.
 #pragma once
 
 #include <memory>
@@ -31,6 +36,7 @@ class HidpStrategy : public runtime::IStrategy {
  public:
   struct Options {
     DseConfig dse;
+    partition::LocalSearchSpace local_search;
     int bytes_per_element = 4;
     /// Explore (global DSE) + Map (local DSE) planning cost charged per
     /// request; paper §IV-A reports 15 ms on the evaluation boards.
@@ -39,6 +45,15 @@ class HidpStrategy : public runtime::IStrategy {
     bool probe_availability = true;  ///< Analyze-state pseudo packets
     double probe_noise_fraction = 0.05;
     std::uint64_t seed = 42;
+    /// Cross-request GlobalDecision cache: steady-state streams skip the
+    /// DSE. Hits charge the (much smaller) lookup latencies below. The
+    /// cache holds whole plans, so it is bounded: when it reaches
+    /// `plan_cache_capacity` entries it is flushed wholesale (epoch
+    /// eviction — availability flapping would otherwise grow it forever).
+    bool enable_plan_cache = true;
+    std::size_t plan_cache_capacity = 256;
+    double cached_explore_latency_s = 0.0002;
+    double cached_map_latency_s = 0.0001;
   };
 
   HidpStrategy() : HidpStrategy(Options{}) {}
@@ -51,9 +66,18 @@ class HidpStrategy : public runtime::IStrategy {
   const GlobalDecision& last_decision() const noexcept { return last_decision_; }
   const RuntimeSchedulerFsm& last_fsm() const noexcept { return *last_fsm_; }
 
+  /// Cross-request plan-cache counters (hits mean the DSE was skipped).
+  const DecisionCacheStats& plan_cache_stats() const noexcept { return cache_stats_; }
+
  private:
+  struct CachedPlan {
+    runtime::Plan plan;  ///< phases unset; stamped per request
+    GlobalDecision decision;
+  };
+
   partition::ClusterCostModel& cost_model(const dnn::DnnGraph& model,
                                           const runtime::ClusterSnapshot& snap);
+  void invalidate_if_cluster_changed(const runtime::ClusterSnapshot& snap);
 
   Options options_;
   GlobalPartitioner global_;
@@ -61,7 +85,11 @@ class HidpStrategy : public runtime::IStrategy {
   GlobalDecision last_decision_;
   std::unique_ptr<RuntimeSchedulerFsm> last_fsm_;
   std::unordered_map<const dnn::DnnGraph*, std::unique_ptr<partition::ClusterCostModel>> cache_;
+  std::unordered_map<GlobalDecisionKey, CachedPlan, GlobalDecisionKeyHash> plan_cache_;
+  DecisionCacheStats cache_stats_;
   const std::vector<platform::NodeModel>* cached_nodes_ = nullptr;
+  std::uint64_t cached_fingerprint_ = 0;
+  net::NetworkSpec cached_network_;
 };
 
 }  // namespace hidp::core

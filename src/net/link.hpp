@@ -43,6 +43,13 @@ class NetworkSpec {
   /// Radio bandwidth of one node.
   double radio_bw_bps(std::size_t i) const { return radio_bw_bps_.at(i); }
 
+  /// Two specs plan identically iff their per-node radio characteristics
+  /// match — what cross-request plan caches key invalidation on.
+  bool operator==(const NetworkSpec& other) const noexcept {
+    return radio_bw_bps_ == other.radio_bw_bps_ && radio_latency_s_ == other.radio_latency_s_;
+  }
+  bool operator!=(const NetworkSpec& other) const noexcept { return !(*this == other); }
+
  private:
   std::vector<double> radio_bw_bps_;
   std::vector<double> radio_latency_s_;

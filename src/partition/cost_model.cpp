@@ -1,7 +1,9 @@
 #include "partition/cost_model.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
+#include <limits>
 
 namespace hidp::partition {
 
@@ -29,11 +31,18 @@ ClusterCostModel::ClusterCostModel(const dnn::DnnGraph& graph,
   if (max_candidates > 2 && static_cast<int>(cuts.size()) > max_candidates - 2) {
     std::vector<int> thinned;
     const int keep = max_candidates - 2;
-    const double step = static_cast<double>(cuts.size() - 1) / static_cast<double>(keep - 1);
-    for (int i = 0; i < keep; ++i) {
-      thinned.push_back(cuts[static_cast<std::size_t>(i * step + 0.5)]);
+    if (keep <= 1) {
+      // A one-slot interior budget cannot be stepped evenly (the even-step
+      // divisor would be zero); keep the middle clean cut so the candidate
+      // list stays within max_candidates.
+      thinned.push_back(cuts[cuts.size() / 2]);
+    } else {
+      const double step = static_cast<double>(cuts.size() - 1) / static_cast<double>(keep - 1);
+      for (int i = 0; i < keep; ++i) {
+        thinned.push_back(cuts[static_cast<std::size_t>(i * step + 0.5)]);
+      }
+      thinned.back() = cuts.back();
     }
-    thinned.back() = cuts.back();
     cuts = std::move(thinned);
   }
   candidates_.push_back(0);
@@ -55,6 +64,64 @@ ClusterCostModel::ClusterCostModel(const dnn::DnnGraph& graph,
       boundary_bytes_.push_back(dnn::cut_bytes(graph, candidate, bytes_per_element_));
     }
   }
+
+  // Per-(node, processor) prefix tables: apply the efficiency factors to the
+  // candidate prefix profiles once, so every proc_time() range query is two
+  // table reads instead of a 33-bucket walk.
+  const std::size_t c_count = candidates_.size();
+  layer_prefix_.reserve(c_count);
+  for (const WorkProfile& prefix : prefix_profiles_) {
+    layer_prefix_.push_back(prefix.layer_count());
+  }
+  proc_slot_.reserve(nodes.size());
+  std::size_t slots = 0;
+  for (const platform::NodeModel& node : nodes) {
+    proc_slot_.push_back(slots);
+    slots += node.processor_count();
+  }
+  proc_prefix_.resize(slots);
+  for (std::size_t j = 0; j < nodes.size(); ++j) {
+    for (std::size_t p = 0; p < nodes[j].processor_count(); ++p) {
+      const platform::ProcessorModel& proc = nodes[j].processor(p);
+      ProcPrefix& table = proc_prefix_[proc_slot_[j] + p];
+      const double peak = proc.peak_gflops() * 1e9;
+      table.has_peak = peak > 0.0;
+      table.inv_util1 = 1.0 / proc.utilization(1);
+      table.dispatch_s = proc.dispatch_s();
+      table.base_s.reserve(c_count);
+      table.bad_flops.reserve(c_count);
+      for (const WorkProfile& prefix : prefix_profiles_) {
+        double base = 0.0;
+        double bad = 0.0;
+        for (int k = 0; k < dnn::kLayerKindCount; ++k) {
+          const auto kind = static_cast<dnn::LayerKind>(k);
+          for (int c = 0; c < platform::kWorkClassCount; ++c) {
+            const auto work_class = static_cast<platform::WorkClass>(c);
+            const double flops = prefix.flops_of(kind, work_class);
+            if (flops <= 0.0) continue;
+            const double eff = proc.efficiency().of(kind, work_class);
+            if (eff <= 0.0) {
+              bad += flops;
+            } else {
+              base += flops / (peak * eff);
+            }
+          }
+        }
+        table.base_s.push_back(base);
+        table.bad_flops.push_back(bad);
+      }
+    }
+  }
+  block_decisions_.resize(nodes.size() * c_count * c_count);
+  block_filled_.assign(block_decisions_.size(), 0);
+  node_rate_cache_.assign(nodes.size(), std::numeric_limits<double>::quiet_NaN());
+}
+
+void ClusterCostModel::set_local_search_space(LocalSearchSpace space) {
+  local_search_ = std::move(space);
+  std::fill(block_filled_.begin(), block_filled_.end(), 0);
+  profile_decision_cache_.clear();
+  node_rate_cache_.assign(nodes_->size(), std::numeric_limits<double>::quiet_NaN());
 }
 
 WorkProfile ClusterCostModel::profile_between(int ci, int cj) const {
@@ -66,80 +133,100 @@ std::int64_t ClusterCostModel::boundary_bytes(int ci) const {
   return boundary_bytes_.at(static_cast<std::size_t>(ci));
 }
 
+const LocalDecision& ClusterCostModel::block_decision(std::size_t node, int ci, int cj) const {
+  const std::size_t index = block_index(node, ci, cj);
+  if (!block_filled_[index]) {
+    const WorkProfile work = profile_between(ci, cj);
+    const std::int64_t io = boundary_bytes(ci) + boundary_bytes(cj);
+    const platform::NodeModel& model = (*nodes_)[node];
+    LocalDecision decision;
+    if (policy_ == NodeExecutionPolicy::kHierarchicalLocal) {
+      decision = best_local_config(model, work, io, local_search_);
+    } else {
+      decision.config = default_processor_config(model, work);
+      decision.latency_s = estimate_local_latency(model, work, decision.config, io);
+    }
+    block_decisions_[index] = std::move(decision);
+    block_filled_[index] = 1;
+  }
+  return block_decisions_[index];
+}
+
 double ClusterCostModel::node_time(std::size_t node, int ci, int cj,
                                    LocalDecision* decision_out) const {
   if (cj <= ci) {
     if (decision_out != nullptr) *decision_out = LocalDecision{};
     return 0.0;
   }
-  const std::uint64_t key = (static_cast<std::uint64_t>(node) << 32) |
-                            (static_cast<std::uint64_t>(ci) << 16) |
-                            static_cast<std::uint64_t>(cj);
-  auto it = decision_cache_.find(key);
-  if (it == decision_cache_.end()) {
-    const WorkProfile work = profile_between(ci, cj);
-    const std::int64_t io = boundary_bytes(ci) + boundary_bytes(cj);
-    const platform::NodeModel& model = (*nodes_)[node];
-    LocalDecision decision;
-    if (policy_ == NodeExecutionPolicy::kHierarchicalLocal) {
-      decision = best_local_config(model, work, io);
-    } else {
-      decision.config = default_processor_config(model, work);
-      decision.latency_s = estimate_local_latency(model, work, decision.config, io);
-    }
-    it = decision_cache_.emplace(key, std::move(decision)).first;
-  }
-  if (decision_out != nullptr) *decision_out = it->second;
-  return it->second.latency_s;
+  const LocalDecision& decision = block_decision(node, ci, cj);
+  if (decision_out != nullptr) *decision_out = decision;
+  return decision.latency_s;
 }
 
-namespace {
-std::uint64_t profile_signature(std::size_t node, const WorkProfile& work,
-                                std::int64_t io_bytes) {
-  std::uint64_t h = 0xcbf29ce484222325ULL ^ node;
+std::size_t ClusterCostModel::ProfileKeyHash::operator()(const ProfileKey& key) const noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL ^ key.node;
   auto mix = [&h](std::uint64_t v) {
     h ^= v;
     h *= 0x100000001b3ULL;
   };
-  for (int k = 0; k < dnn::kLayerKindCount; ++k) {
-    for (int c = 0; c < platform::kWorkClassCount; ++c) {
-      const double f =
-          work.flops_of(static_cast<dnn::LayerKind>(k), static_cast<platform::WorkClass>(c));
-      if (f > 0.0) {
-        std::uint64_t bits;
-        static_assert(sizeof(bits) == sizeof(f));
-        std::memcpy(&bits, &f, sizeof(bits));
-        mix(bits ^ static_cast<std::uint64_t>(k * platform::kWorkClassCount + c + 1));
-      }
+  for (std::size_t i = 0; i < key.flops.size(); ++i) {
+    const double f = key.flops[i];
+    if (f > 0.0) {
+      std::uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(f));
+      std::memcpy(&bits, &f, sizeof(bits));
+      mix(bits ^ (i + 1));
     }
   }
-  mix(static_cast<std::uint64_t>(io_bytes));
-  return h;
+  mix(static_cast<std::uint64_t>(key.io_bytes));
+  std::uint64_t layer_bits;
+  static_assert(sizeof(layer_bits) == sizeof(key.layers));
+  std::memcpy(&layer_bits, &key.layers, sizeof(layer_bits));
+  mix(layer_bits);
+  return static_cast<std::size_t>(h);
 }
-}  // namespace
 
 const LocalDecision& ClusterCostModel::local_decision(std::size_t node,
                                                       const platform::WorkProfile& work,
                                                       std::int64_t io_bytes) const {
-  const std::uint64_t key = profile_signature(node, work, io_bytes);
+  ProfileKey key;
+  key.node = node;
+  key.io_bytes = io_bytes;
+  key.layers = work.layer_count();
+  for (int k = 0; k < dnn::kLayerKindCount; ++k) {
+    for (int c = 0; c < platform::kWorkClassCount; ++c) {
+      key.flops[WorkProfile::bucket(static_cast<dnn::LayerKind>(k),
+                                    static_cast<platform::WorkClass>(c))] =
+          work.flops_of(static_cast<dnn::LayerKind>(k), static_cast<platform::WorkClass>(c));
+    }
+  }
   auto it = profile_decision_cache_.find(key);
   if (it == profile_decision_cache_.end()) {
     const platform::NodeModel& model = (*nodes_)[node];
     LocalDecision decision;
     if (policy_ == NodeExecutionPolicy::kHierarchicalLocal) {
-      decision = best_local_config(model, work, io_bytes);
+      decision = best_local_config(model, work, io_bytes, local_search_);
     } else {
       decision.config = default_processor_config(model, work);
       decision.latency_s = estimate_local_latency(model, work, decision.config, io_bytes);
     }
-    it = profile_decision_cache_.emplace(key, std::move(decision)).first;
+    it = profile_decision_cache_.emplace(std::move(key), std::move(decision)).first;
   }
   return it->second;
 }
 
 double ClusterCostModel::proc_time(std::size_t node, std::size_t proc, int ci, int cj) const {
   if (cj <= ci) return 0.0;
-  return (*nodes_)[node].processor(proc).time_for(profile_between(ci, cj), 1);
+  const ProcPrefix& table = proc_prefix_[proc_slot_[node] + proc];
+  const auto i = static_cast<std::size_t>(ci);
+  const auto j = static_cast<std::size_t>(cj);
+  const double total =
+      prefix_profiles_[j].total() - prefix_profiles_[i].total();
+  if (!table.has_peak) return total > 0.0 ? 1e30 : 0.0;
+  if (table.bad_flops[j] - table.bad_flops[i] > 0.0) return 1e30;
+  const double base = table.base_s[j] - table.base_s[i];
+  const double layers = layer_prefix_[j] - layer_prefix_[i];
+  return base * table.inv_util1 + layers * table.dispatch_s;
 }
 
 double ClusterCostModel::transfer_s(std::size_t from, std::size_t to,
@@ -148,13 +235,17 @@ double ClusterCostModel::transfer_s(std::size_t from, std::size_t to,
 }
 
 double ClusterCostModel::node_rate_gflops(std::size_t node) const {
+  double& slot = node_rate_cache_[node];
+  if (!std::isnan(slot)) return slot;
   const WorkProfile whole = prefix_profiles_.back();
   const platform::NodeModel& model = (*nodes_)[node];
   if (policy_ == NodeExecutionPolicy::kHierarchicalLocal) {
-    return model.lambda_total_gflops(whole, /*partitions=*/4);
+    slot = model.lambda_total_gflops(whole, /*partitions=*/4);
+  } else {
+    const LocalConfig config = default_processor_config(model, whole);
+    slot = model.processor(config.shares.front().proc).lambda_gflops(whole, 1);
   }
-  const LocalConfig config = default_processor_config(model, whole);
-  return model.processor(config.shares.front().proc).lambda_gflops(whole, 1);
+  return slot;
 }
 
 std::vector<double> ClusterCostModel::psi(std::size_t leader) const {

@@ -4,10 +4,13 @@
 // "how long does node j take to run layers [a, b)" under a node-execution
 // policy (framework default vs. HiDP's hierarchical local partitioning) and
 // "what does the handoff at cut c cost". Block queries are expressed over
-// the clean-cut candidate list and memoised, because the DP probes the same
-// ranges repeatedly.
+// the clean-cut candidate list and memoised — not in a hash map, but in
+// dense flat tables indexed by (node, ci, cj) over the candidate-cut grid,
+// lazily filled, because the DP probes the same ranges repeatedly and the
+// grid is small and known up front.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -47,6 +50,11 @@ class ClusterCostModel {
   NodeExecutionPolicy policy() const noexcept { return policy_; }
   int bytes_per_element() const noexcept { return bytes_per_element_; }
 
+  /// Search-space bounds handed to every local DSE this model runs. Setting
+  /// a new space clears the memoised decisions.
+  const LocalSearchSpace& local_search_space() const noexcept { return local_search_; }
+  void set_local_search_space(LocalSearchSpace space);
+
   /// Cut candidates: layer positions {0, clean cuts..., n}. All block
   /// queries are indexed into this list.
   const std::vector<int>& candidates() const noexcept { return candidates_; }
@@ -67,36 +75,83 @@ class ClusterCostModel {
 
   /// Seconds for one specific processor of a node to execute candidate
   /// range [ci, cj) single-stream (no local DSE) — the granularity
-  /// OmniBoost-style per-processor pipelining plans at.
+  /// OmniBoost-style per-processor pipelining plans at. O(1): served from
+  /// per-(node, processor) prefix tables that bake the efficiency factors
+  /// in at construction.
   double proc_time(std::size_t node, std::size_t proc, int ci, int cj) const;
 
   /// Seconds to move `bytes` from node `from` to node `to` over the air.
   double transfer_s(std::size_t from, std::size_t to, std::int64_t bytes) const;
 
   /// Policy-appropriate local decision for an arbitrary work profile on a
-  /// node (used by the data partitioner), memoised on the profile's FLOP
-  /// signature so repeated DSE sweeps stay cheap.
+  /// node (used by the data partitioner), memoised on the full
+  /// (node, profile, io_bytes) key — a hash collision can never alias two
+  /// different workloads onto one decision.
   const LocalDecision& local_decision(std::size_t node, const platform::WorkProfile& work,
                                       std::int64_t io_bytes) const;
 
   /// Node computation rate Lambda_j for the whole network (paper Eq. 2)
   /// under the policy (default policy: the default processor's rate).
+  /// Memoised per node — worker ordering sorts on it repeatedly.
   double node_rate_gflops(std::size_t node) const;
 
   /// Global resource vector Psi{Lambda, beta} from `leader` (paper Eq. 3).
   std::vector<double> psi(std::size_t leader) const;
 
  private:
+  /// Full memoisation key for local_decision(): the complete class-mix FLOP
+  /// vector, not a 64-bit digest of it.
+  struct ProfileKey {
+    std::size_t node = 0;
+    std::int64_t io_bytes = 0;
+    double layers = 0.0;  ///< dispatch overhead scales with layer count
+    std::array<double, dnn::kLayerKindCount * platform::kWorkClassCount> flops{};
+    bool operator==(const ProfileKey& other) const noexcept {
+      return node == other.node && io_bytes == other.io_bytes && layers == other.layers &&
+             flops == other.flops;
+    }
+  };
+  struct ProfileKeyHash {
+    std::size_t operator()(const ProfileKey& key) const noexcept;
+  };
+
+  std::size_t block_index(std::size_t node, int ci, int cj) const noexcept {
+    return (node * candidates_.size() + static_cast<std::size_t>(ci)) * candidates_.size() +
+           static_cast<std::size_t>(cj);
+  }
+  const LocalDecision& block_decision(std::size_t node, int ci, int cj) const;
+
   const dnn::DnnGraph* graph_;
   const std::vector<platform::NodeModel>* nodes_;
   net::NetworkSpec network_;
   NodeExecutionPolicy policy_;
   int bytes_per_element_;
+  LocalSearchSpace local_search_;
   std::vector<int> candidates_;
   std::vector<platform::WorkProfile> prefix_profiles_;  ///< per candidate
   std::vector<std::int64_t> boundary_bytes_;            ///< per candidate
-  mutable std::unordered_map<std::uint64_t, LocalDecision> decision_cache_;
-  mutable std::unordered_map<std::uint64_t, LocalDecision> profile_decision_cache_;
+
+  /// Dense per-(node, processor) prefix tables over the candidate grid:
+  /// base seconds (efficiency factors applied), FLOPs that land in buckets
+  /// the processor cannot run, and layer counts for dispatch overhead.
+  /// proc_slot_[node] is the first slot of that node's processors.
+  struct ProcPrefix {
+    std::vector<double> base_s;     ///< per candidate
+    std::vector<double> bad_flops;  ///< per candidate
+    double inv_util1 = 1.0;
+    double dispatch_s = 0.0;
+    bool has_peak = false;
+  };
+  std::vector<std::size_t> proc_slot_;
+  std::vector<ProcPrefix> proc_prefix_;
+  std::vector<double> layer_prefix_;  ///< per candidate
+
+  /// Dense lazily-filled (node × ci × cj) decision table: the DSE hot path.
+  mutable std::vector<LocalDecision> block_decisions_;
+  mutable std::vector<std::uint8_t> block_filled_;
+  mutable std::vector<double> node_rate_cache_;  ///< NaN = not yet computed
+  mutable std::unordered_map<ProfileKey, LocalDecision, ProfileKeyHash>
+      profile_decision_cache_;
 };
 
 }  // namespace hidp::partition

@@ -18,6 +18,51 @@ double combine(PartitionObjective objective, double acc, double stage, double bo
 
 }  // namespace
 
+StageCostTable::StageCostTable(int num_segments, int num_workers, StageCostFn fn)
+    : fn_(std::move(fn)),
+      boundaries_(num_segments + 1),
+      workers_(num_workers),
+      table_(static_cast<std::size_t>(boundaries_) * static_cast<std::size_t>(boundaries_) *
+                 static_cast<std::size_t>(num_workers),
+             std::numeric_limits<double>::quiet_NaN()) {}
+
+double StageCostTable::operator()(int begin, int end, int worker) const {
+  const std::size_t index =
+      (static_cast<std::size_t>(begin) * static_cast<std::size_t>(boundaries_) +
+       static_cast<std::size_t>(end)) *
+          static_cast<std::size_t>(workers_) +
+      static_cast<std::size_t>(worker);
+  double& slot = table_[index];
+  if (std::isnan(slot)) slot = fn_(begin, end, worker);
+  return slot;
+}
+
+StageCostFn StageCostTable::as_fn() const {
+  return [this](int begin, int end, int worker) { return (*this)(begin, end, worker); };
+}
+
+BoundaryCostTable::BoundaryCostTable(int num_segments, int num_workers, BoundaryCostFn fn)
+    : fn_(std::move(fn)),
+      workers_(num_workers),
+      table_(static_cast<std::size_t>(num_segments + 1) * static_cast<std::size_t>(num_workers) *
+                 static_cast<std::size_t>(num_workers),
+             std::numeric_limits<double>::quiet_NaN()) {}
+
+double BoundaryCostTable::operator()(int boundary, int from_worker, int to_worker) const {
+  const std::size_t index =
+      (static_cast<std::size_t>(boundary) * static_cast<std::size_t>(workers_) +
+       static_cast<std::size_t>(from_worker)) *
+          static_cast<std::size_t>(workers_) +
+      static_cast<std::size_t>(to_worker);
+  double& slot = table_[index];
+  if (std::isnan(slot)) slot = fn_(boundary, from_worker, to_worker);
+  return slot;
+}
+
+BoundaryCostFn BoundaryCostTable::as_fn() const {
+  return [this](int boundary, int from, int to) { return (*this)(boundary, from, to); };
+}
+
 double evaluate_partition(const std::vector<LinearPartitionResult::Block>& blocks,
                           const StageCostFn& stage_cost, const BoundaryCostFn& boundary_cost,
                           PartitionObjective objective, double* sum_out,
@@ -47,30 +92,44 @@ LinearPartitionResult dp_linear_partition(int num_segments, int num_workers,
   if (num_segments <= 0 || num_workers <= 0) return result;
 
   const int s_count = num_segments + 1;  // DP over boundaries 0..num_segments
-  // best[s][w]: minimal objective covering segments [0, s) where worker w
-  // (index into the ordered worker list) holds the last non-empty block
-  // ending at boundary s.
-  std::vector<std::vector<double>> best(
-      static_cast<std::size_t>(s_count),
-      std::vector<double>(static_cast<std::size_t>(num_workers), kInf));
-  struct Back {
-    int prev_boundary = -1;
-    int prev_worker = -1;
+  const auto state = [num_workers](int s, int w) {
+    return static_cast<std::size_t>(s) * static_cast<std::size_t>(num_workers) +
+           static_cast<std::size_t>(w);
   };
-  std::vector<std::vector<Back>> back(
-      static_cast<std::size_t>(s_count),
-      std::vector<Back>(static_cast<std::size_t>(num_workers)));
+  // best[state(s, w)]: minimal objective covering segments [0, s) where
+  // worker w (index into the ordered worker list) holds the last non-empty
+  // block ending at boundary s. Flat row-major buffers: the DP touches them
+  // in tight inner loops and the nested-vector layout was cache-hostile.
+  std::vector<double> best(static_cast<std::size_t>(s_count) *
+                               static_cast<std::size_t>(num_workers),
+                           kInf);
+  std::vector<int> back_boundary(best.size(), -1);
+  std::vector<int> back_worker(best.size(), -1);
+
+  StageCostTable stage(num_segments, num_workers, stage_cost);
+
+  // Incumbent: best complete cover seen so far. Costs are non-negative, so
+  // a chain's value only grows as it extends; any state or extension whose
+  // value already exceeds the incumbent cannot win and is pruned. Strict
+  // inequalities keep every potentially-tying state alive, and no pruning
+  // rule assumes anything about how stage costs vary with range width
+  // (they are NOT monotone in general: a block ending past a pooling cut
+  // can cost less because its boundary tensor shrinks) — so blocks and
+  // objective are identical to the unpruned search.
+  double upper = kInf;
 
   // First block: worker w takes [0, s).
   for (int w = 0; w < num_workers; ++w) {
     for (int s = 1; s <= num_segments; ++s) {
-      const double stage = stage_cost(0, s, w);
-      if (!std::isfinite(stage)) continue;
-      const double value = combine(objective, 0.0, stage, 0.0);
-      auto& slot = best[static_cast<std::size_t>(s)][static_cast<std::size_t>(w)];
+      const double first = stage(0, s, w);
+      if (!std::isfinite(first)) continue;
+      const double value = combine(objective, 0.0, first, 0.0);
+      auto& slot = best[state(s, w)];
       if (value < slot) {
         slot = value;
-        back[static_cast<std::size_t>(s)][static_cast<std::size_t>(w)] = Back{0, -1};
+        back_boundary[state(s, w)] = 0;
+        back_worker[state(s, w)] = -1;
+        if (s == num_segments) upper = std::min(upper, value);
       }
     }
   }
@@ -78,19 +137,29 @@ LinearPartitionResult dp_linear_partition(int num_segments, int num_workers,
   // Extend: from state (s1, w1) append a block [s1, s2) on a later worker.
   for (int s1 = 1; s1 < num_segments; ++s1) {
     for (int w1 = 0; w1 < num_workers; ++w1) {
-      const double acc = best[static_cast<std::size_t>(s1)][static_cast<std::size_t>(w1)];
+      const double acc = best[state(s1, w1)];
       if (!std::isfinite(acc)) continue;
+      if (acc > upper) continue;  // bound: extensions can only grow
       for (int w2 = w1 + 1; w2 < num_workers; ++w2) {
         const double handoff = boundary_cost(s1, w1, w2);
         if (!std::isfinite(handoff)) continue;
+        // Every value in the s2 loop is at least this (stage >= 0), so the
+        // whole worker extension can be bounded away at once.
+        const double floor = objective == PartitionObjective::kMinimizeSum
+                                 ? acc + handoff
+                                 : std::max(acc, handoff);
+        if (floor > upper) continue;
         for (int s2 = s1 + 1; s2 <= num_segments; ++s2) {
-          const double stage = stage_cost(s1, s2, w2);
-          if (!std::isfinite(stage)) continue;
-          const double value = combine(objective, acc, stage, handoff);
-          auto& slot = best[static_cast<std::size_t>(s2)][static_cast<std::size_t>(w2)];
+          const double block_cost = stage(s1, s2, w2);
+          if (!std::isfinite(block_cost)) continue;
+          const double value = combine(objective, acc, block_cost, handoff);
+          if (value > upper) continue;  // bound: this state cannot win
+          auto& slot = best[state(s2, w2)];
           if (value < slot) {
             slot = value;
-            back[static_cast<std::size_t>(s2)][static_cast<std::size_t>(w2)] = Back{s1, w1};
+            back_boundary[state(s2, w2)] = s1;
+            back_worker[state(s2, w2)] = w1;
+            if (s2 == num_segments) upper = std::min(upper, value);
           }
         }
       }
@@ -101,7 +170,7 @@ LinearPartitionResult dp_linear_partition(int num_segments, int num_workers,
   int best_worker = -1;
   double best_value = kInf;
   for (int w = 0; w < num_workers; ++w) {
-    const double v = best[static_cast<std::size_t>(num_segments)][static_cast<std::size_t>(w)];
+    const double v = best[state(num_segments, w)];
     if (v < best_value) {
       best_value = v;
       best_worker = w;
@@ -114,14 +183,15 @@ LinearPartitionResult dp_linear_partition(int num_segments, int num_workers,
   int s = num_segments;
   int w = best_worker;
   while (s > 0 && w >= 0) {
-    const Back& b = back[static_cast<std::size_t>(s)][static_cast<std::size_t>(w)];
-    reversed.push_back({b.prev_boundary, s, w});
-    s = b.prev_boundary;
-    w = b.prev_worker;
+    const int prev_boundary = back_boundary[state(s, w)];
+    const int prev_worker = back_worker[state(s, w)];
+    reversed.push_back({prev_boundary, s, w});
+    s = prev_boundary;
+    w = prev_worker;
   }
   result.blocks.assign(reversed.rbegin(), reversed.rend());
   result.objective = best_value;
-  evaluate_partition(result.blocks, stage_cost, boundary_cost, objective, &result.sum_cost,
+  evaluate_partition(result.blocks, stage.as_fn(), boundary_cost, objective, &result.sum_cost,
                      &result.bottleneck_cost);
   return result;
 }
@@ -166,48 +236,92 @@ LinearPartitionResult greedy_backprop_partition(int num_segments, int num_worker
     boundaries[static_cast<std::size_t>(w) + 1] = std::max(b, boundaries[static_cast<std::size_t>(w)]);
   }
 
-  auto blocks_from = [&](const std::vector<int>& bounds) {
-    std::vector<LinearPartitionResult::Block> blocks;
-    for (int w = 0; w < num_workers; ++w) {
+  StageCostTable stage(num_segments, num_workers, stage_cost);
+  BoundaryCostTable boundary(num_segments, num_workers, boundary_cost);
+
+  // contrib[w] = stage + incoming-handoff seconds of worker w's block under
+  // `bounds` (0 for empty blocks). Summing / maxing contrib in worker order
+  // reproduces evaluate_partition bit-for-bit, so a boundary move only has
+  // to refresh the entries it touches instead of re-walking the chain.
+  auto fill_contrib = [&](const std::vector<int>& bounds, std::vector<double>& contrib,
+                          int from_worker) {
+    // Recompute contrib for workers >= from_worker; entries before it are
+    // untouched by a move at boundary index > from_worker.
+    int prev = -1;
+    for (int w = 0; w < from_worker; ++w) {
+      if (bounds[static_cast<std::size_t>(w) + 1] > bounds[static_cast<std::size_t>(w)]) prev = w;
+    }
+    for (int w = from_worker; w < num_workers; ++w) {
       const int lo = bounds[static_cast<std::size_t>(w)];
       const int hi = bounds[static_cast<std::size_t>(w) + 1];
-      if (hi > lo) blocks.push_back({lo, hi, w});
+      if (hi <= lo) {
+        contrib[static_cast<std::size_t>(w)] = 0.0;
+        continue;
+      }
+      const double handoff = prev >= 0 ? boundary(lo, prev, w) : 0.0;
+      contrib[static_cast<std::size_t>(w)] = stage(lo, hi, w) + handoff;
+      prev = w;
     }
-    return blocks;
+  };
+  auto objective_of = [&](const std::vector<int>& bounds, const std::vector<double>& contrib) {
+    double sum = 0.0;
+    double bottleneck = 0.0;
+    for (int w = 0; w < num_workers; ++w) {
+      if (bounds[static_cast<std::size_t>(w) + 1] <= bounds[static_cast<std::size_t>(w)]) continue;
+      const double c = contrib[static_cast<std::size_t>(w)];
+      sum += c;
+      bottleneck = std::max(bottleneck, c);
+    }
+    return objective == PartitionObjective::kMinimizeSum ? sum : bottleneck;
   };
 
-  double current = evaluate_partition(blocks_from(boundaries), stage_cost, boundary_cost,
-                                      objective);
+  std::vector<double> contrib(static_cast<std::size_t>(num_workers), 0.0);
+  fill_contrib(boundaries, contrib, 0);
+  double current = objective_of(boundaries, contrib);
 
   // 2. Back-propagate block by block: move one segment across a boundary at
-  //    a time while the end-to-end latency improves.
+  //    a time while the end-to-end latency improves. A move at boundary
+  //    index w only changes the blocks of workers w-1 and w (and, when one
+  //    of them flips between empty and non-empty, the handoff source of the
+  //    next block downstream), so the trial is delta-evaluated from there
+  //    instead of re-costing the whole chain.
+  std::vector<int> trial_bounds;
+  std::vector<double> trial_contrib;
   bool improved = true;
   int guard = num_segments * num_workers * 4;  // paper's O(n*m) budget
   while (improved && guard-- > 0) {
     improved = false;
     for (int w = num_workers - 1; w >= 1; --w) {
       for (int delta : {-1, +1}) {
-        std::vector<int> trial = boundaries;
-        auto& b = trial[static_cast<std::size_t>(w)];
-        b += delta;
-        if (b < trial[static_cast<std::size_t>(w) - 1] || b > trial[static_cast<std::size_t>(w) + 1]) {
+        const int moved = boundaries[static_cast<std::size_t>(w)] + delta;
+        if (moved < boundaries[static_cast<std::size_t>(w) - 1] ||
+            moved > boundaries[static_cast<std::size_t>(w) + 1]) {
           continue;
         }
-        const double value =
-            evaluate_partition(blocks_from(trial), stage_cost, boundary_cost, objective);
+        trial_bounds = boundaries;
+        trial_bounds[static_cast<std::size_t>(w)] = moved;
+        trial_contrib = contrib;
+        fill_contrib(trial_bounds, trial_contrib, w - 1);
+        const double value = objective_of(trial_bounds, trial_contrib);
         if (value + 1e-12 < current) {
           current = value;
-          boundaries = std::move(trial);
+          boundaries.swap(trial_bounds);
+          contrib.swap(trial_contrib);
           improved = true;
         }
       }
     }
   }
 
-  result.blocks = blocks_from(boundaries);
+  result.blocks.clear();
+  for (int w = 0; w < num_workers; ++w) {
+    const int lo = boundaries[static_cast<std::size_t>(w)];
+    const int hi = boundaries[static_cast<std::size_t>(w) + 1];
+    if (hi > lo) result.blocks.push_back({lo, hi, w});
+  }
   result.objective = current;
-  evaluate_partition(result.blocks, stage_cost, boundary_cost, objective, &result.sum_cost,
-                     &result.bottleneck_cost);
+  evaluate_partition(result.blocks, stage.as_fn(), boundary.as_fn(), objective,
+                     &result.sum_cost, &result.bottleneck_cost);
   return result;
 }
 

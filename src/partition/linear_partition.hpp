@@ -30,11 +30,46 @@ enum class PartitionObjective {
 
 /// Cost (seconds) for `worker` to execute segments [begin, end). An empty
 /// range must cost 0. Return +inf (or huge) for infeasible placements.
+/// Both search engines assume costs are non-negative (the branch-and-bound
+/// pruning in the DP relies on chain values never shrinking); no
+/// monotonicity in range width is assumed.
 using StageCostFn = std::function<double(int begin, int end, int worker)>;
 
 /// Cost (seconds) of handing off the boundary tensor at segment boundary
 /// `boundary` from `from_worker` to `to_worker`.
 using BoundaryCostFn = std::function<double(int boundary, int from_worker, int to_worker)>;
+
+/// Lazily-filled flat memo of a StageCostFn over the (boundary × boundary ×
+/// worker) grid. Both search engines build one internally, and callers that
+/// run several searches over the same cost function (e.g. the model
+/// partitioner probing DP and greedy) can share one table across them via
+/// as_fn(). The table holds a reference-sized copy of the function; it must
+/// outlive any as_fn() view.
+class StageCostTable {
+ public:
+  StageCostTable(int num_segments, int num_workers, StageCostFn fn);
+  double operator()(int begin, int end, int worker) const;
+  StageCostFn as_fn() const;
+
+ private:
+  StageCostFn fn_;
+  int boundaries_;
+  int workers_;
+  mutable std::vector<double> table_;  ///< NaN = not yet computed
+};
+
+/// Flat (boundary × worker × worker) memo of a BoundaryCostFn.
+class BoundaryCostTable {
+ public:
+  BoundaryCostTable(int num_segments, int num_workers, BoundaryCostFn fn);
+  double operator()(int boundary, int from_worker, int to_worker) const;
+  BoundaryCostFn as_fn() const;
+
+ private:
+  BoundaryCostFn fn_;
+  int workers_;
+  mutable std::vector<double> table_;  ///< NaN = not yet computed
+};
 
 /// Result of a linear-partition search.
 struct LinearPartitionResult {
@@ -57,6 +92,11 @@ struct LinearPartitionResult {
 /// Exact DP. Complexity O(S^2 * W^2) for S segments and W workers; with the
 /// clean-cut coarsened segment lists used here (S <= ~60, W <= 5) this is
 /// thousands of evaluations. Workers may be skipped but not reordered.
+/// The implementation runs over flat row-major state buffers, memoises
+/// stage costs into a StageCostTable (the seed re-queried each (s1, s2, w2)
+/// stage once per predecessor worker), and branch-and-bound prunes states
+/// and extensions that already exceed the best complete cover found so far
+/// — all without changing the returned blocks or objective.
 LinearPartitionResult dp_linear_partition(int num_segments, int num_workers,
                                           const StageCostFn& stage_cost,
                                           const BoundaryCostFn& boundary_cost,

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 namespace hidp::partition {
 
@@ -135,8 +136,13 @@ std::vector<LocalConfig> paper_local_configs(const NodeModel& node, const WorkPr
   return configs;
 }
 
-LocalDecision best_local_config(const NodeModel& node, const WorkProfile& work,
-                                std::int64_t io_bytes, const LocalSearchSpace& space) {
+namespace {
+
+/// The seed's exhaustive fixed-step sweep, kept as the LocalSearchSpace
+/// fallback engine (use_golden_section = false) and as the reference the
+/// equivalence tests compare the analytic engine against.
+LocalDecision best_local_config_sweep(const NodeModel& node, const WorkProfile& work,
+                                      std::int64_t io_bytes, const LocalSearchSpace& space) {
   LocalDecision best;
   best.config = default_processor_config(node, work);
   best.latency_s = estimate_local_latency(node, work, best.config, io_bytes);
@@ -177,6 +183,203 @@ LocalDecision best_local_config(const NodeModel& node, const WorkProfile& work,
         pipe.mode = LocalMode::kPipeline;
         consider(pipe);
       }
+    }
+  }
+  return best;
+}
+
+/// Golden-section minimisation of a unimodal function over [lo, hi].
+/// Returns the abscissa of the converged window's midpoint.
+template <typename Fn>
+double golden_section_min(double lo, double hi, double tol, const Fn& f) {
+  constexpr double kInvPhi = 0.6180339887498949;  // (sqrt(5) - 1) / 2
+  double c = hi - kInvPhi * (hi - lo);
+  double d = lo + kInvPhi * (hi - lo);
+  double fc = f(c);
+  double fd = f(d);
+  while (hi - lo > tol) {
+    if (fc < fd) {
+      hi = d;
+      d = c;
+      fd = fc;
+      c = hi - kInvPhi * (hi - lo);
+      fc = f(c);
+    } else {
+      lo = c;
+      c = d;
+      fc = fd;
+      d = lo + kInvPhi * (hi - lo);
+      fd = f(d);
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+/// Per-sigma hoisted rates: everything the analytic share evaluators need,
+/// derived once so the share search itself touches no WorkProfile and
+/// allocates nothing.
+struct SigmaRates {
+  double gpu_s = 0.0;        ///< time_for(work, sigma) on the GPU
+  double cpu_rate = 0.0;     ///< sum of CPU lambda_gflops(work, sigma)
+  double cpu_s = 0.0;        ///< balanced per-CPU seconds at full CPU share
+  double cpu_pipe_s = 0.0;   ///< sum of CPU stage seconds at full CPU share
+  int active_cpus = 0;       ///< CPUs with a positive rate
+};
+
+}  // namespace
+
+LocalDecision best_local_config(const NodeModel& node, const WorkProfile& work,
+                                std::int64_t io_bytes, const LocalSearchSpace& space) {
+  if (!space.use_golden_section) {
+    return best_local_config_sweep(node, work, io_bytes, space);
+  }
+  // Analytic engine. Latency is exactly linear in a processor's share
+  // (time_for(work.scaled(s), sigma) == s * time_for(work, sigma)), and
+  // proportional-to-rate CPU splitting balances every CPU to the same
+  // seconds, so a candidate (sigma, g) costs two multiplies and a max —
+  // no LocalConfig vectors, no per-candidate lambda_gflops re-derivation.
+  LocalDecision best;
+  best.config = default_processor_config(node, work);
+  best.latency_s = estimate_local_latency(node, work, best.config, io_bytes);
+  if (work.total() <= 0.0 || node.processor_count() == 0) return best;
+
+  const std::size_t gpu = node.gpu_index();
+  const bool has_gpu = gpu < node.processor_count();
+  const double total_flops = work.total();
+
+  // Winner bookkeeping: remember *what* to build, build it once at the end.
+  struct Winner {
+    enum class Kind { kDefault, kSingle, kData, kPipe } kind = Kind::kDefault;
+    std::size_t proc = 0;
+    int sigma = 1;
+    double g = 0.0;
+  } winner;
+  double winner_latency = best.latency_s;
+  auto offer = [&](Winner::Kind kind, std::size_t proc, int sigma, double g, double latency) {
+    if (latency < winner_latency) {
+      winner_latency = latency;
+      winner = Winner{kind, proc, sigma, g};
+    }
+  };
+
+  // Single-processor alternatives (e.g. CPU beating the GPU on RPi boards).
+  for (std::size_t p = 0; p < node.processor_count(); ++p) {
+    offer(Winner::Kind::kSingle, p, 1, 1.0, node.processor(p).time_for(work, 1));
+  }
+
+  for (int sigma : space.partition_counts) {
+    // Hoisted per-sigma rates (the seed re-derived these per share step).
+    SigmaRates r;
+    if (has_gpu) r.gpu_s = node.processor(gpu).time_for(work, sigma);
+    for (std::size_t p = 0; p < node.processor_count(); ++p) {
+      if (node.processor(p).kind() == ProcKind::kGpu) continue;
+      const double rate = node.processor(p).lambda_gflops(work, sigma);
+      if (rate <= 0.0) continue;
+      r.cpu_rate += rate;
+      ++r.active_cpus;
+    }
+    if (r.cpu_rate > 0.0) {
+      // share_p = rate_p / cpu_rate, t_p = share_p * total / (1e9 * rate_p)
+      // = total / (1e9 * cpu_rate): identical for every CPU (balanced), and
+      // the pipeline total is the sum of those identical stages.
+      r.cpu_s = total_flops / (1e9 * r.cpu_rate);
+      r.cpu_pipe_s = r.cpu_s * static_cast<double>(r.active_cpus);
+    }
+
+    // theta_sigma (data-parallel): L(g) = max(g * gpu_s, (1-g) * cpu_s)
+    // + one DRAM exchange when more than one processor participates.
+    const auto eval_data = [&](double g) {
+      double slowest = 0.0;
+      double fraction = 0.0;
+      int active = 0;
+      if (has_gpu && g > 0.0) {
+        slowest = g * r.gpu_s;
+        fraction += g;
+        ++active;
+      }
+      if (g < 1.0 && r.cpu_rate > 0.0) {
+        slowest = std::max(slowest, (1.0 - g) * r.cpu_s);
+        fraction += 1.0 - g;
+        active += r.active_cpus;
+      } else if (g < 1.0) {
+        // No CPU can absorb the remainder: the config would silently cover
+        // only g of the work. Reject instead of under-reporting latency.
+        return std::numeric_limits<double>::infinity();
+      }
+      if (active == 0) return std::numeric_limits<double>::infinity();
+      if (active == 1) return slowest;
+      const auto bytes = static_cast<std::int64_t>(static_cast<double>(io_bytes) *
+                                                   std::min(fraction, 1.0));
+      return slowest + node.local_exchange_s(bytes);
+    };
+
+    if (has_gpu) {
+      offer(Winner::Kind::kData, gpu, sigma, 0.0, eval_data(0.0));
+      offer(Winner::Kind::kData, gpu, sigma, 1.0, eval_data(1.0));
+      if (r.cpu_rate > 0.0 && r.gpu_s > 0.0) {
+        const double g_star =
+            golden_section_min(0.0, 1.0, space.golden_tolerance, eval_data);
+        offer(Winner::Kind::kData, gpu, sigma, g_star, eval_data(g_star));
+      }
+    } else {
+      offer(Winner::Kind::kData, 0, sigma, 0.0, eval_data(0.0));
+    }
+
+    // theta_omega (pipeline): L(g) = g * gpu_s + (1-g) * cpu_pipe_s
+    // + per-boundary DRAM exchanges — exactly linear in g over the seed's
+    // [0.1, 0.9] window, so the minimum sits at an endpoint and no search
+    // is needed at all.
+    if (space.explore_pipeline && has_gpu && node.processor_count() >= 2 &&
+        r.cpu_rate > 0.0) {
+      const auto eval_pipe = [&](double g) {
+        double total = g * r.gpu_s + (1.0 - g) * r.cpu_pipe_s;
+        const int boundaries = 1 + r.active_cpus;
+        total += static_cast<double>(boundaries - 1) * node.local_exchange_s(io_bytes / 2);
+        return total;
+      };
+      const double best_g = eval_pipe(0.1) <= eval_pipe(0.9) ? 0.1 : 0.9;
+      offer(Winner::Kind::kPipe, gpu, sigma, best_g, eval_pipe(best_g));
+    }
+  }
+
+  // Build only the winning configuration.
+  switch (winner.kind) {
+    case Winner::Kind::kDefault:
+      return best;
+    case Winner::Kind::kSingle: {
+      LocalConfig single;
+      single.mode = LocalMode::kSingleProcessor;
+      single.label = "dse";
+      single.shares.push_back(ProcShare{winner.proc, 1.0, 1});
+      const double t = estimate_local_latency(node, work, single, io_bytes);
+      if (t < best.latency_s) {
+        best.latency_s = t;
+        best.config = std::move(single);
+      }
+      return best;
+    }
+    case Winner::Kind::kData: {
+      LocalConfig config = has_gpu
+                               ? split_config(node, work, winner.g, winner.sigma,
+                                              winner.sigma, "dse")
+                               : split_config(node, work, 0.0, 1, winner.sigma, "dse");
+      const double t = estimate_local_latency(node, work, config, io_bytes);
+      if (t < best.latency_s) {
+        best.latency_s = t;
+        best.config = std::move(config);
+      }
+      return best;
+    }
+    case Winner::Kind::kPipe: {
+      LocalConfig pipe =
+          split_config(node, work, winner.g, winner.sigma, winner.sigma, "dse");
+      pipe.mode = LocalMode::kPipeline;
+      const double t = estimate_local_latency(node, work, pipe, io_bytes);
+      if (t < best.latency_s) {
+        best.latency_s = t;
+        best.config = std::move(pipe);
+      }
+      return best;
     }
   }
   return best;

@@ -62,6 +62,13 @@ struct LocalSearchSpace {
   std::vector<int> partition_counts{1, 2, 4, 8};
   double accelerator_share_step = 0.1;  ///< grid step for the GPU share
   bool explore_pipeline = true;         ///< also evaluate theta_omega (model mode)
+  /// Accelerator-share search engine. The default evaluates candidate
+  /// shares analytically (latency is linear in the share for every
+  /// processor, so the data-parallel curve is max-of-lines: unimodal) and
+  /// golden-section-searches the share instead of stepping a fixed grid.
+  /// Disable to fall back to the seed's exhaustive step sweep.
+  bool use_golden_section = true;
+  double golden_tolerance = 1e-3;  ///< share-units convergence window
 };
 
 /// A converged local decision: configuration plus its predicted latency.

@@ -30,6 +30,8 @@ ModelPartitionResult plan_model_partition(const ClusterCostModel& cost,
     return cost.transfer_s(from, to, cost.boundary_bytes(boundary));
   };
 
+  // Both engines memoise stage/boundary costs into flat tables internally,
+  // so the raw cost-model closures can be handed over directly.
   LinearPartitionResult search;
   if (engine == SearchEngine::kExactDp) {
     search = dp_linear_partition(segments, workers, stage_cost, boundary_cost, objective);

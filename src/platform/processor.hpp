@@ -140,6 +140,10 @@ class ProcessorModel {
   double idle_w() const noexcept { return idle_w_; }
   double peak_w() const noexcept { return peak_w_; }
 
+  /// Per-layer kernel dispatch/launch overhead charged by time_for()
+  /// (exposed so range-cost tables can decompose time_for exactly).
+  double dispatch_s() const noexcept { return dispatch_s_; }
+
   /// Energy (J) for executing `work` busy for `busy_s` seconds (dynamic
   /// part only; idle power is integrated by the metrics module).
   double active_energy_j(double busy_s) const noexcept { return (peak_w_ - idle_w_) * busy_s; }

@@ -71,24 +71,34 @@ void ExecutionEngine::launch(const InferenceRequest& request, RequestRecord& rec
     --in_flight_;
     return;
   }
-  dispatch_plan(request.id, plan, start, record);
+  dispatch_plan(request.id, std::move(plan), start, record);
 }
 
-void ExecutionEngine::dispatch_plan(int request_id, const Plan& plan, double start_s,
+void ExecutionEngine::record_trace(const TaskTrace& trace) {
+  if (traces_.size() < trace_capacity_) traces_.push_back(trace);
+}
+
+void ExecutionEngine::dispatch_plan(int request_id, Plan&& plan, double start_s,
                                     RequestRecord& record) {
   auto run = std::make_shared<RequestRun>();
-  run->plan = plan;
+  run->plan = std::move(plan);
   run->record = &record;
   run->request_id = request_id;
-  const std::size_t n = plan.tasks.size();
+  const std::size_t n = run->plan.tasks.size();
   run->pending_deps.resize(n, 0);
   run->dependents.resize(n);
   run->remaining = static_cast<int>(n);
   for (std::size_t i = 0; i < n; ++i) {
-    run->pending_deps[i] = static_cast<int>(plan.tasks[i].deps.size());
-    for (int d : plan.tasks[i].deps) {
+    run->pending_deps[i] = static_cast<int>(run->plan.tasks[i].deps.size());
+    for (int d : run->plan.tasks[i].deps) {
       run->dependents[static_cast<std::size_t>(d)].push_back(static_cast<int>(i));
     }
+  }
+  const std::size_t want = std::min(traces_.size() + n, trace_capacity_);
+  if (want > traces_.capacity()) {
+    // Grow geometrically: reserving the exact size each dispatch would turn
+    // every subsequent request into a full reallocate-and-copy.
+    traces_.reserve(std::max(want, traces_.capacity() * 2));
   }
 
   // start_task / on_done form the event-driven topological execution.
@@ -122,8 +132,8 @@ void ExecutionEngine::dispatch_plan(int request_id, const Plan& plan, double sta
         sim::Resource& proc = cluster_->processor(task.node, task.proc);
         const double begin = proc.next_free(now);
         proc.submit(now, task.seconds, [this, run, on_done, index, task, begin](sim::Time end) {
-          traces_.push_back(TaskTrace{run->request_id, task.kind, task.node, task.proc, begin,
-                                      end, task.flops, 0});
+          record_trace(TaskTrace{run->request_id, task.kind, task.node, task.proc, begin, end,
+                                 task.flops, 0});
           (*on_done)(index);
         });
         break;
@@ -132,8 +142,8 @@ void ExecutionEngine::dispatch_plan(int request_id, const Plan& plan, double sta
         cluster_->network().transfer(
             task.from, task.to, task.bytes, now,
             [this, run, on_done, index, task, now](sim::Time end) {
-              traces_.push_back(TaskTrace{run->request_id, task.kind, task.from, 0, now, end,
-                                          0.0, task.bytes});
+              record_trace(TaskTrace{run->request_id, task.kind, task.from, 0, now, end, 0.0,
+                                     task.bytes});
               (*on_done)(index);
             });
         break;
@@ -142,8 +152,8 @@ void ExecutionEngine::dispatch_plan(int request_id, const Plan& plan, double sta
         const double duration = cluster_->nodes()[task.node].local_exchange_s(task.bytes);
         cluster_->simulator().schedule_in(
             duration, [this, run, on_done, index, task, now, duration] {
-              traces_.push_back(TaskTrace{run->request_id, task.kind, task.node, 0, now,
-                                          now + duration, 0.0, task.bytes});
+              record_trace(TaskTrace{run->request_id, task.kind, task.node, 0, now,
+                                     now + duration, 0.0, task.bytes});
               (*on_done)(index);
             });
         break;

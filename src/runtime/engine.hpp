@@ -81,15 +81,23 @@ class ExecutionEngine {
   const std::vector<TaskTrace>& traces() const noexcept { return traces_; }
   double makespan_s() const noexcept { return makespan_s_; }
 
+  /// Caps the retained task traces (long streaming benches run millions of
+  /// tasks; unbounded growth dominated their memory). Tracing stops once
+  /// the cap is reached; 0 disables trace collection entirely.
+  void set_trace_capacity(std::size_t max_traces) noexcept { trace_capacity_ = max_traces; }
+  std::size_t trace_capacity() const noexcept { return trace_capacity_; }
+
  private:
   void launch(const InferenceRequest& request, RequestRecord& record);
-  void dispatch_plan(int request_id, const Plan& plan, double start_s, RequestRecord& record);
+  void dispatch_plan(int request_id, Plan&& plan, double start_s, RequestRecord& record);
+  void record_trace(const TaskTrace& trace);
 
   Cluster* cluster_;
   IStrategy* strategy_;
   std::size_t leader_;
   int in_flight_ = 0;
   double makespan_s_ = 0.0;
+  std::size_t trace_capacity_ = static_cast<std::size_t>(-1);
   std::vector<TaskTrace> traces_;
 };
 

@@ -127,6 +127,23 @@ TEST(CostModel, CandidateThinningBoundsList) {
   EXPECT_NEAR(whole.total(), f.graph.total_flops(), f.graph.total_flops() * 1e-9);
 }
 
+TEST(CostModel, TinyCandidateBudgetDoesNotDivideByZero) {
+  // max_candidates == 3 leaves a one-slot interior budget; the even-step
+  // thinning divisor used to be (keep - 1) == 0.
+  Fixture f;
+  for (const int max_candidates : {3, 4}) {
+    ClusterCostModel cost(f.graph, f.nodes, f.network,
+                          NodeExecutionPolicy::kHierarchicalLocal, 4, max_candidates);
+    ASSERT_GE(cost.candidates().size(), 3u);
+    EXPECT_LE(cost.candidates().size(), static_cast<std::size_t>(max_candidates));
+    EXPECT_EQ(cost.candidates().front(), 0);
+    EXPECT_EQ(cost.candidates().back(), static_cast<int>(f.graph.size()));
+    const auto whole =
+        cost.profile_between(0, static_cast<int>(cost.segment_count()));
+    EXPECT_NEAR(whole.total(), f.graph.total_flops(), f.graph.total_flops() * 1e-9);
+  }
+}
+
 TEST(CostModel, LocalDecisionMemoised) {
   Fixture f;
   ClusterCostModel cost(f.graph, f.nodes, f.network, NodeExecutionPolicy::kHierarchicalLocal);

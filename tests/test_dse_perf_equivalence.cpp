@@ -1,0 +1,478 @@
+// Equivalence proofs for the flattened/memoised DSE hot path: the flat DP
+// and the delta-evaluating greedy must return bit-identical blocks and
+// objectives to the seed implementations (reproduced verbatim below), the
+// golden-section local search must land within 1% of the exhaustive sweep,
+// and the cross-request plan cache must reuse decisions without changing
+// them.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "core/hidp_strategy.hpp"
+#include "dnn/zoo/zoo.hpp"
+#include "partition/cost_model.hpp"
+#include "partition/linear_partition.hpp"
+#include "partition/local_config.hpp"
+#include "platform/device_db.hpp"
+#include "runtime/workload.hpp"
+#include "util/rng.hpp"
+
+namespace hidp::partition {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// ---------------------------------------------------------------------------
+// Seed reference implementations (the pre-optimisation algorithms, kept
+// verbatim so every refactor of the production engines is checked against
+// the original decision procedure).
+namespace seedref {
+
+double combine(PartitionObjective objective, double acc, double stage, double boundary) {
+  if (objective == PartitionObjective::kMinimizeSum) return acc + stage + boundary;
+  return std::max(acc, stage + boundary);
+}
+
+LinearPartitionResult dp_linear_partition(int num_segments, int num_workers,
+                                          const StageCostFn& stage_cost,
+                                          const BoundaryCostFn& boundary_cost,
+                                          PartitionObjective objective) {
+  LinearPartitionResult result;
+  if (num_segments <= 0 || num_workers <= 0) return result;
+
+  const int s_count = num_segments + 1;
+  std::vector<std::vector<double>> best(
+      static_cast<std::size_t>(s_count),
+      std::vector<double>(static_cast<std::size_t>(num_workers), kInf));
+  struct Back {
+    int prev_boundary = -1;
+    int prev_worker = -1;
+  };
+  std::vector<std::vector<Back>> back(
+      static_cast<std::size_t>(s_count),
+      std::vector<Back>(static_cast<std::size_t>(num_workers)));
+
+  for (int w = 0; w < num_workers; ++w) {
+    for (int s = 1; s <= num_segments; ++s) {
+      const double stage = stage_cost(0, s, w);
+      if (!std::isfinite(stage)) continue;
+      const double value = combine(objective, 0.0, stage, 0.0);
+      auto& slot = best[static_cast<std::size_t>(s)][static_cast<std::size_t>(w)];
+      if (value < slot) {
+        slot = value;
+        back[static_cast<std::size_t>(s)][static_cast<std::size_t>(w)] = Back{0, -1};
+      }
+    }
+  }
+
+  for (int s1 = 1; s1 < num_segments; ++s1) {
+    for (int w1 = 0; w1 < num_workers; ++w1) {
+      const double acc = best[static_cast<std::size_t>(s1)][static_cast<std::size_t>(w1)];
+      if (!std::isfinite(acc)) continue;
+      for (int w2 = w1 + 1; w2 < num_workers; ++w2) {
+        const double handoff = boundary_cost(s1, w1, w2);
+        if (!std::isfinite(handoff)) continue;
+        for (int s2 = s1 + 1; s2 <= num_segments; ++s2) {
+          const double stage = stage_cost(s1, s2, w2);
+          if (!std::isfinite(stage)) continue;
+          const double value = combine(objective, acc, stage, handoff);
+          auto& slot = best[static_cast<std::size_t>(s2)][static_cast<std::size_t>(w2)];
+          if (value < slot) {
+            slot = value;
+            back[static_cast<std::size_t>(s2)][static_cast<std::size_t>(w2)] = Back{s1, w1};
+          }
+        }
+      }
+    }
+  }
+
+  int best_worker = -1;
+  double best_value = kInf;
+  for (int w = 0; w < num_workers; ++w) {
+    const double v = best[static_cast<std::size_t>(num_segments)][static_cast<std::size_t>(w)];
+    if (v < best_value) {
+      best_value = v;
+      best_worker = w;
+    }
+  }
+  if (best_worker < 0) return result;
+
+  std::vector<LinearPartitionResult::Block> reversed;
+  int s = num_segments;
+  int w = best_worker;
+  while (s > 0 && w >= 0) {
+    const Back& b = back[static_cast<std::size_t>(s)][static_cast<std::size_t>(w)];
+    reversed.push_back({b.prev_boundary, s, w});
+    s = b.prev_boundary;
+    w = b.prev_worker;
+  }
+  result.blocks.assign(reversed.rbegin(), reversed.rend());
+  result.objective = best_value;
+  evaluate_partition(result.blocks, stage_cost, boundary_cost, objective, &result.sum_cost,
+                     &result.bottleneck_cost);
+  return result;
+}
+
+LinearPartitionResult greedy_backprop_partition(int num_segments, int num_workers,
+                                                const std::vector<double>& worker_rates,
+                                                const std::vector<double>& segment_weights,
+                                                const StageCostFn& stage_cost,
+                                                const BoundaryCostFn& boundary_cost,
+                                                PartitionObjective objective) {
+  LinearPartitionResult result;
+  if (num_segments <= 0 || num_workers <= 0) return result;
+
+  std::vector<double> prefix(static_cast<std::size_t>(num_segments) + 1, 0.0);
+  for (int i = 0; i < num_segments; ++i) {
+    const double wgt =
+        i < static_cast<int>(segment_weights.size()) ? segment_weights[static_cast<std::size_t>(i)] : 1.0;
+    prefix[static_cast<std::size_t>(i) + 1] = prefix[static_cast<std::size_t>(i)] + wgt;
+  }
+  double rate_total = 0.0;
+  for (int w = 0; w < num_workers; ++w) {
+    rate_total += w < static_cast<int>(worker_rates.size())
+                      ? std::max(worker_rates[static_cast<std::size_t>(w)], 0.0)
+                      : 1.0;
+  }
+  if (rate_total <= 0.0) rate_total = static_cast<double>(num_workers);
+
+  std::vector<int> boundaries(static_cast<std::size_t>(num_workers) + 1, 0);
+  boundaries[static_cast<std::size_t>(num_workers)] = num_segments;
+  double acc_rate = 0.0;
+  for (int w = 0; w < num_workers - 1; ++w) {
+    acc_rate += w < static_cast<int>(worker_rates.size())
+                    ? std::max(worker_rates[static_cast<std::size_t>(w)], 0.0)
+                    : 1.0;
+    const double target = prefix.back() * acc_rate / rate_total;
+    int b = boundaries[static_cast<std::size_t>(w)];
+    while (b < num_segments && prefix[static_cast<std::size_t>(b)] < target) ++b;
+    boundaries[static_cast<std::size_t>(w) + 1] = std::max(b, boundaries[static_cast<std::size_t>(w)]);
+  }
+
+  auto blocks_from = [&](const std::vector<int>& bounds) {
+    std::vector<LinearPartitionResult::Block> blocks;
+    for (int w = 0; w < num_workers; ++w) {
+      const int lo = bounds[static_cast<std::size_t>(w)];
+      const int hi = bounds[static_cast<std::size_t>(w) + 1];
+      if (hi > lo) blocks.push_back({lo, hi, w});
+    }
+    return blocks;
+  };
+
+  double current = evaluate_partition(blocks_from(boundaries), stage_cost, boundary_cost,
+                                      objective);
+
+  bool improved = true;
+  int guard = num_segments * num_workers * 4;
+  while (improved && guard-- > 0) {
+    improved = false;
+    for (int w = num_workers - 1; w >= 1; --w) {
+      for (int delta : {-1, +1}) {
+        std::vector<int> trial = boundaries;
+        auto& b = trial[static_cast<std::size_t>(w)];
+        b += delta;
+        if (b < trial[static_cast<std::size_t>(w) - 1] || b > trial[static_cast<std::size_t>(w) + 1]) {
+          continue;
+        }
+        const double value =
+            evaluate_partition(blocks_from(trial), stage_cost, boundary_cost, objective);
+        if (value + 1e-12 < current) {
+          current = value;
+          boundaries = std::move(trial);
+          improved = true;
+        }
+      }
+    }
+  }
+
+  result.blocks = blocks_from(boundaries);
+  result.objective = current;
+  evaluate_partition(result.blocks, stage_cost, boundary_cost, objective, &result.sum_cost,
+                     &result.bottleneck_cost);
+  return result;
+}
+
+}  // namespace seedref
+
+// ---------------------------------------------------------------------------
+
+struct RandomCosts {
+  std::vector<double> seg_cost;
+  std::vector<double> rate;
+  std::vector<double> handoff;
+  StageCostFn stage;
+  BoundaryCostFn boundary;
+
+  RandomCosts(int segments, int workers, util::Rng& rng, bool duplicate_workers = false) {
+    seg_cost.resize(static_cast<std::size_t>(segments));
+    for (auto& v : seg_cost) v = rng.uniform(0.05, 2.0);
+    rate.resize(static_cast<std::size_t>(workers));
+    for (auto& v : rate) v = rng.uniform(0.5, 4.0);
+    if (duplicate_workers && workers >= 2) {
+      // Identical hardware -> exact cost ties, the adversarial case for
+      // branch-and-bound pruning.
+      for (std::size_t w = 1; w < rate.size(); ++w) rate[w] = rate[0];
+    }
+    handoff.resize(static_cast<std::size_t>(segments) + 1);
+    for (auto& v : handoff) v = rng.uniform(0.005, 0.4);
+    // Monotone-in-width latency costs, like every cost model in the repo.
+    stage = [this](int b, int e, int w) {
+      double total = 0.0;
+      for (int s = b; s < e; ++s) total += seg_cost[static_cast<std::size_t>(s)];
+      return total / rate[static_cast<std::size_t>(w)];
+    };
+    boundary = [this](int cut, int, int) { return handoff[static_cast<std::size_t>(cut)]; };
+  }
+};
+
+void expect_identical(const LinearPartitionResult& ours, const LinearPartitionResult& seed,
+                      const char* what) {
+  ASSERT_EQ(ours.valid(), seed.valid()) << what;
+  if (!seed.valid()) return;
+  // Bit-identical objective and block layout: the optimised engines must
+  // not change a single decision.
+  EXPECT_EQ(ours.objective, seed.objective) << what;
+  EXPECT_EQ(ours.sum_cost, seed.sum_cost) << what;
+  EXPECT_EQ(ours.bottleneck_cost, seed.bottleneck_cost) << what;
+  ASSERT_EQ(ours.blocks.size(), seed.blocks.size()) << what;
+  for (std::size_t i = 0; i < seed.blocks.size(); ++i) {
+    EXPECT_EQ(ours.blocks[i].begin, seed.blocks[i].begin) << what << " block " << i;
+    EXPECT_EQ(ours.blocks[i].end, seed.blocks[i].end) << what << " block " << i;
+    EXPECT_EQ(ours.blocks[i].worker, seed.blocks[i].worker) << what << " block " << i;
+  }
+}
+
+TEST(DpEquivalence, RandomisedBitIdenticalToSeed) {
+  util::Rng rng(2026);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int segments = 3 + static_cast<int>(rng.uniform_int(0, 17));
+    const int workers = 1 + static_cast<int>(rng.uniform_int(0, 4));
+    RandomCosts costs(segments, workers, rng, trial % 5 == 0);
+    for (const auto objective :
+         {PartitionObjective::kMinimizeSum, PartitionObjective::kMinimizeBottleneck}) {
+      const auto ours =
+          dp_linear_partition(segments, workers, costs.stage, costs.boundary, objective);
+      const auto seed = seedref::dp_linear_partition(segments, workers, costs.stage,
+                                                     costs.boundary, objective);
+      expect_identical(ours, seed, trial % 5 == 0 ? "dp (tied workers)" : "dp");
+    }
+  }
+}
+
+TEST(DpEquivalence, InfeasibleWorkersBitIdenticalToSeed) {
+  util::Rng rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int segments = 4 + static_cast<int>(rng.uniform_int(0, 8));
+    const int workers = 2 + static_cast<int>(rng.uniform_int(0, 3));
+    RandomCosts costs(segments, workers, rng);
+    const int dead = static_cast<int>(rng.uniform_int(0, workers - 1));
+    const StageCostFn stage = [&costs, dead](int b, int e, int w) {
+      return w == dead ? kInf : costs.stage(b, e, w);
+    };
+    for (const auto objective :
+         {PartitionObjective::kMinimizeSum, PartitionObjective::kMinimizeBottleneck}) {
+      const auto ours =
+          dp_linear_partition(segments, workers, stage, costs.boundary, objective);
+      const auto seed =
+          seedref::dp_linear_partition(segments, workers, stage, costs.boundary, objective);
+      expect_identical(ours, seed, "dp with infeasible worker");
+    }
+  }
+}
+
+TEST(GreedyEquivalence, RandomisedBitIdenticalToSeed) {
+  util::Rng rng(4242);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int segments = 3 + static_cast<int>(rng.uniform_int(0, 17));
+    const int workers = 1 + static_cast<int>(rng.uniform_int(0, 4));
+    RandomCosts costs(segments, workers, rng, trial % 7 == 0);
+    for (const auto objective :
+         {PartitionObjective::kMinimizeSum, PartitionObjective::kMinimizeBottleneck}) {
+      const auto ours = greedy_backprop_partition(segments, workers, costs.rate,
+                                                  costs.seg_cost, costs.stage, costs.boundary,
+                                                  objective);
+      const auto seed = seedref::greedy_backprop_partition(segments, workers, costs.rate,
+                                                           costs.seg_cost, costs.stage,
+                                                           costs.boundary, objective);
+      expect_identical(ours, seed, "greedy");
+    }
+  }
+}
+
+TEST(GreedyEquivalence, RealCostModelBitIdenticalToSeed) {
+  // The same check against the actual cluster cost model (monotone stage
+  // costs with real handoff structure), both objectives, several leaders.
+  const auto nodes = platform::paper_cluster();
+  const net::NetworkSpec network(nodes);
+  for (const auto id : {dnn::zoo::ModelId::kResNet152, dnn::zoo::ModelId::kVgg19}) {
+    const auto graph = dnn::zoo::build_model(id);
+    ClusterCostModel cost(graph, nodes, network, NodeExecutionPolicy::kHierarchicalLocal);
+    const int segments = static_cast<int>(cost.segment_count());
+    std::vector<std::size_t> worker_nodes{1, 0, 2, 3, 4};
+    const std::size_t leader = 1;
+    const StageCostFn stage = [&](int begin, int end, int worker) {
+      const std::size_t node = worker_nodes[static_cast<std::size_t>(worker)];
+      double t = cost.node_time(node, begin, end);
+      if (begin == 0 && node != leader) t += cost.transfer_s(leader, node, cost.boundary_bytes(0));
+      if (end == segments && node != leader) {
+        t += cost.transfer_s(node, leader, cost.boundary_bytes(segments));
+      }
+      return t;
+    };
+    const BoundaryCostFn boundary = [&](int b, int from, int to) {
+      return cost.transfer_s(worker_nodes[static_cast<std::size_t>(from)],
+                             worker_nodes[static_cast<std::size_t>(to)],
+                             cost.boundary_bytes(b));
+    };
+    std::vector<double> rates;
+    for (std::size_t node : worker_nodes) rates.push_back(cost.node_rate_gflops(node));
+    std::vector<double> weights;
+    for (int s = 0; s < segments; ++s) weights.push_back(cost.profile_between(s, s + 1).total());
+
+    for (const auto objective :
+         {PartitionObjective::kMinimizeSum, PartitionObjective::kMinimizeBottleneck}) {
+      const auto dp_ours = dp_linear_partition(segments, 5, stage, boundary, objective);
+      const auto dp_seed = seedref::dp_linear_partition(segments, 5, stage, boundary, objective);
+      expect_identical(dp_ours, dp_seed, "dp on cost model");
+      const auto greedy_ours = greedy_backprop_partition(segments, 5, rates, weights, stage,
+                                                         boundary, objective);
+      const auto greedy_seed = seedref::greedy_backprop_partition(segments, 5, rates, weights,
+                                                                  stage, boundary, objective);
+      expect_identical(greedy_ours, greedy_seed, "greedy on cost model");
+    }
+  }
+}
+
+TEST(StageCostTableTest, MemoisesAndMatchesUnderlyingFn) {
+  int calls = 0;
+  const StageCostFn fn = [&calls](int b, int e, int w) {
+    ++calls;
+    return static_cast<double>(e - b) * (w + 1);
+  };
+  StageCostTable table(10, 3, fn);
+  EXPECT_EQ(table(2, 7, 1), 10.0);
+  EXPECT_EQ(table(2, 7, 1), 10.0);
+  EXPECT_EQ(calls, 1);
+  const auto view = table.as_fn();
+  EXPECT_EQ(view(2, 7, 1), 10.0);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(view(0, 10, 2), 30.0);
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(GoldenSection, WithinOnePercentOfExhaustiveSweep) {
+  // The analytic golden-section engine must never be more than 1% worse
+  // than the seed's fixed-step sweep, on every board and zoo model, for
+  // whole networks and for block-sized work profiles.
+  LocalSearchSpace golden;
+  LocalSearchSpace sweep;
+  sweep.use_golden_section = false;
+  for (const auto id : dnn::zoo::all_models()) {
+    const auto graph = dnn::zoo::build_model(id);
+    const auto whole = platform::WorkProfile::from_graph(graph);
+    const auto block =
+        platform::WorkProfile::from_graph(graph, 0, static_cast<int>(graph.size()) / 3);
+    for (const platform::NodeModel& node : platform::paper_cluster()) {
+      for (const auto& work : {whole, block}) {
+        for (const std::int64_t io : {std::int64_t{0}, std::int64_t{1} << 20}) {
+          const LocalDecision fast = best_local_config(node, work, io, golden);
+          const LocalDecision slow = best_local_config(node, work, io, sweep);
+          EXPECT_LE(fast.latency_s, slow.latency_s * 1.01 + 1e-12)
+              << node.name() << " " << dnn::zoo::model_name(id) << " io=" << io;
+        }
+      }
+    }
+  }
+}
+
+TEST(PlanCache, SteadyStateHitsSkipExploreAndReuseDecision) {
+  const auto nodes = platform::paper_cluster();
+  runtime::ModelSet models;
+  core::HidpStrategy::Options options;
+  options.probe_availability = false;  // deterministic availability
+  core::HidpStrategy hidp(options);
+
+  runtime::ClusterSnapshot snap;
+  snap.nodes = &nodes;
+  snap.network = net::NetworkSpec(nodes);
+  snap.available.assign(nodes.size(), true);
+  snap.leader = 1;
+
+  const auto& graph = models.graph(dnn::zoo::ModelId::kResNet152);
+  const runtime::Plan first = hidp.plan(graph, snap);
+  EXPECT_EQ(hidp.plan_cache_stats().hits, 0u);
+  EXPECT_EQ(hidp.plan_cache_stats().misses, 1u);
+  EXPECT_NEAR(first.phases.explore_s + first.phases.map_s, 0.015, 1e-12);
+
+  const runtime::Plan second = hidp.plan(graph, snap);
+  EXPECT_EQ(hidp.plan_cache_stats().hits, 1u);
+  // The cached plan is the same plan, minus the Explore/Map charge.
+  ASSERT_EQ(second.tasks.size(), first.tasks.size());
+  for (std::size_t i = 0; i < first.tasks.size(); ++i) {
+    EXPECT_EQ(second.tasks[i].kind, first.tasks[i].kind);
+    EXPECT_EQ(second.tasks[i].node, first.tasks[i].node);
+    EXPECT_EQ(second.tasks[i].proc, first.tasks[i].proc);
+    EXPECT_EQ(second.tasks[i].seconds, first.tasks[i].seconds);
+  }
+  EXPECT_EQ(second.global_mode, first.global_mode);
+  EXPECT_EQ(second.predicted_latency_s, first.predicted_latency_s);
+  EXPECT_LT(second.phases.explore_s + second.phases.map_s, 0.001);
+
+  // Different availability -> different key -> miss.
+  snap.available[4] = false;
+  hidp.plan(graph, snap);
+  EXPECT_EQ(hidp.plan_cache_stats().misses, 2u);
+
+  // Deep queue buckets coarsely: 9 and 10 share a bucket.
+  snap.available[4] = true;
+  snap.queue_depth = 9;
+  hidp.plan(graph, snap);
+  const auto misses_before = hidp.plan_cache_stats().misses;
+  snap.queue_depth = 10;
+  hidp.plan(graph, snap);
+  EXPECT_EQ(hidp.plan_cache_stats().misses, misses_before);
+
+  // A different cluster object invalidates everything.
+  const auto other_nodes = platform::paper_cluster();
+  snap.nodes = &other_nodes;
+  snap.queue_depth = 0;
+  hidp.plan(graph, snap);
+  EXPECT_GE(hidp.plan_cache_stats().invalidations, 1u);
+}
+
+TEST(PlanCache, DisabledCacheAlwaysExplores) {
+  const auto nodes = platform::paper_cluster();
+  runtime::ModelSet models;
+  core::HidpStrategy::Options options;
+  options.probe_availability = false;
+  options.enable_plan_cache = false;
+  core::HidpStrategy hidp(options);
+
+  runtime::ClusterSnapshot snap;
+  snap.nodes = &nodes;
+  snap.network = net::NetworkSpec(nodes);
+  snap.available.assign(nodes.size(), true);
+  snap.leader = 1;
+  const auto& graph = models.graph(dnn::zoo::ModelId::kVgg19);
+  const runtime::Plan a = hidp.plan(graph, snap);
+  const runtime::Plan b = hidp.plan(graph, snap);
+  EXPECT_EQ(hidp.plan_cache_stats().hits, 0u);
+  EXPECT_EQ(hidp.plan_cache_stats().misses, 0u);
+  EXPECT_NEAR(b.phases.explore_s + b.phases.map_s, 0.015, 1e-12);
+  EXPECT_EQ(a.tasks.size(), b.tasks.size());
+}
+
+TEST(QueueBuckets, ExactShallowCoarseDeep) {
+  using core::queue_depth_bucket;
+  EXPECT_EQ(queue_depth_bucket(0), 0);
+  EXPECT_EQ(queue_depth_bucket(3), 3);
+  EXPECT_EQ(queue_depth_bucket(4), 4);
+  EXPECT_EQ(queue_depth_bucket(5), queue_depth_bucket(8));
+  EXPECT_EQ(queue_depth_bucket(9), queue_depth_bucket(16));
+  EXPECT_NE(queue_depth_bucket(8), queue_depth_bucket(9));
+  EXPECT_EQ(queue_depth_bucket(-3), 0);
+}
+
+}  // namespace
+}  // namespace hidp::partition
