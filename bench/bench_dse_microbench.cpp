@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "partition/data_partitioner.hpp"
 #include "runtime/workload.hpp"
 
 namespace {
@@ -102,6 +103,28 @@ core::HidpStrategy::Options hidp_seed_options() {
   return options;
 }
 
+/// Baseline strategies with the cross-request plan cache disabled: what one
+/// fresh planning round costs them (the default-configured roster mostly
+/// measures cache hits).
+std::unique_ptr<runtime::IStrategy> make_nocache_baseline(const std::string& name) {
+  if (name == "DisNet") {
+    baselines::DisnetStrategy::Options options;
+    options.plan_cache.enabled = false;
+    return std::make_unique<baselines::DisnetStrategy>(options);
+  }
+  if (name == "OmniBoost") {
+    baselines::OmniboostStrategy::Options options;
+    options.plan_cache.enabled = false;
+    return std::make_unique<baselines::OmniboostStrategy>(options);
+  }
+  if (name == "MoDNN") {
+    baselines::ModnnStrategy::Options options;
+    options.plan_cache.enabled = false;
+    return std::make_unique<baselines::ModnnStrategy>(options);
+  }
+  return nullptr;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -141,6 +164,10 @@ int main(int argc, char** argv) {
       auto strategy = bench::make_strategy(name);
       record(name, dnn::zoo::model_name(id),
              measure_plans_per_sec(*strategy, models.graph(id), snap, warmup, iterations));
+      if (auto nocache = make_nocache_baseline(name)) {
+        record(name + "-nocache", dnn::zoo::model_name(id),
+               measure_plans_per_sec(*nocache, models.graph(id), snap, warmup, iterations));
+      }
     }
   }
 
@@ -188,6 +215,71 @@ int main(int argc, char** argv) {
               << "): " << speedup << "x\n";
   }
 
+  // Cold data-partition planning (PR 2 tentpole): plan_best_data_partition
+  // on a fresh cost model — the per-request regime MoDNN/DisNet and HiDP's
+  // sigma sweep pay. "seed" is the seed per-candidate loop under the seed
+  // local-search configuration (mirroring the HiDP-seed-cold methodology);
+  // "ref" is the same loop under the optimised search space, isolating the
+  // flattened-table/memo win from the analytic-search win.
+  std::vector<std::pair<std::string, double>> dp_seed_speedups;
+  std::vector<std::pair<std::string, double>> dp_ref_speedups;
+  const int dp_iterations = smoke ? 2 : 50;
+  std::vector<std::size_t> dp_workers(nodes.size());
+  for (std::size_t j = 0; j < nodes.size(); ++j) dp_workers[j] = j;
+  const auto measure_dp_cold = [&](const dnn::DnnGraph& graph, bool reference_loop,
+                                   bool seed_space) {
+    double elapsed_s = 0.0;
+    for (int i = 0; i < dp_iterations; ++i) {
+      partition::ClusterCostModel cost(graph, nodes, snap.network,
+                                       partition::NodeExecutionPolicy::kHierarchicalLocal);
+      if (seed_space) {
+        partition::LocalSearchSpace space;
+        space.use_golden_section = false;
+        cost.set_local_search_space(space);
+      }
+      const auto begin = std::chrono::steady_clock::now();
+      const partition::DataPartitionResult result =
+          reference_loop
+              ? partition::plan_best_data_partition_reference(cost, dp_workers,
+                                                              bench::kDefaultLeader)
+              : partition::plan_best_data_partition(cost, dp_workers, bench::kDefaultLeader);
+      const auto end = std::chrono::steady_clock::now();
+      if (!result.valid) return 0.0;
+      elapsed_s += std::chrono::duration<double>(end - begin).count();
+    }
+    return elapsed_s > 0.0 ? static_cast<double>(dp_iterations) / elapsed_s : 0.0;
+  };
+  for (const auto id : models.ids()) {
+    const auto& graph = models.graph(id);
+    const double fast_pps = measure_dp_cold(graph, /*reference_loop=*/false, /*seed=*/false);
+    const double ref_pps = measure_dp_cold(graph, /*reference_loop=*/true, /*seed=*/false);
+    const double seed_pps = measure_dp_cold(graph, /*reference_loop=*/true, /*seed=*/true);
+    record("DataPartition-cold", dnn::zoo::model_name(id), fast_pps);
+    record("DataPartition-ref-cold", dnn::zoo::model_name(id), ref_pps);
+    record("DataPartition-seed-cold", dnn::zoo::model_name(id), seed_pps);
+    dp_seed_speedups.emplace_back(dnn::zoo::model_name(id),
+                                  fast_pps > 0.0 && seed_pps > 0.0 ? fast_pps / seed_pps : 0.0);
+    dp_ref_speedups.emplace_back(dnn::zoo::model_name(id),
+                                 fast_pps > 0.0 && ref_pps > 0.0 ? fast_pps / ref_pps : 0.0);
+    std::cout << "  cold data-partition speedup (" << dnn::zoo::model_name(id)
+              << "): " << dp_seed_speedups.back().second << "x vs seed, "
+              << dp_ref_speedups.back().second << "x vs reference loop\n";
+
+    // Steady state: the (split, band) memo turns the sweep into lookups.
+    partition::ClusterCostModel warm_cost(graph, nodes, snap.network,
+                                          partition::NodeExecutionPolicy::kHierarchicalLocal);
+    (void)partition::plan_best_data_partition(warm_cost, dp_workers, bench::kDefaultLeader);
+    const int warm_iters = smoke ? 3 : 2000;
+    const auto begin = std::chrono::steady_clock::now();
+    for (int i = 0; i < warm_iters; ++i) {
+      (void)partition::plan_best_data_partition(warm_cost, dp_workers, bench::kDefaultLeader);
+    }
+    const auto end = std::chrono::steady_clock::now();
+    const double warm_s = std::chrono::duration<double>(end - begin).count();
+    record("DataPartition-warm", dnn::zoo::model_name(id),
+           warm_s > 0.0 ? static_cast<double>(warm_iters) / warm_s : 0.0);
+  }
+
   std::ofstream out(out_path);
   if (!out) {
     std::cerr << "error: cannot open " << out_path << " for writing\n";
@@ -215,6 +307,16 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < cold_speedups.size(); ++i) {
     out << "    \"" << cold_speedups[i].first << "\": " << cold_speedups[i].second
         << (i + 1 < cold_speedups.size() ? "," : "") << "\n";
+  }
+  out << "  },\n  \"data_partition_cold_speedup_vs_seed\": {\n";
+  for (std::size_t i = 0; i < dp_seed_speedups.size(); ++i) {
+    out << "    \"" << dp_seed_speedups[i].first << "\": " << dp_seed_speedups[i].second
+        << (i + 1 < dp_seed_speedups.size() ? "," : "") << "\n";
+  }
+  out << "  },\n  \"data_partition_cold_speedup_vs_reference\": {\n";
+  for (std::size_t i = 0; i < dp_ref_speedups.size(); ++i) {
+    out << "    \"" << dp_ref_speedups[i].first << "\": " << dp_ref_speedups[i].second
+        << (i + 1 < dp_ref_speedups.size() ? "," : "") << "\n";
   }
   out << "  }\n}\n";
   out.flush();

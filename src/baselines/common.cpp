@@ -1,0 +1,23 @@
+#include "baselines/common.hpp"
+
+#include <algorithm>
+
+namespace hidp::baselines {
+
+std::vector<std::size_t> default_worker_order(const partition::ClusterCostModel& cost,
+                                              std::size_t leader,
+                                              const std::vector<bool>& available) {
+  std::vector<std::size_t> workers;
+  for (std::size_t j = 0; j < cost.nodes().size(); ++j) {
+    if (j == leader) continue;
+    if (j < available.size() && !available[j]) continue;
+    workers.push_back(j);
+  }
+  std::sort(workers.begin(), workers.end(), [&](std::size_t a, std::size_t b) {
+    return cost.node_rate_gflops(a) > cost.node_rate_gflops(b);
+  });
+  workers.insert(workers.begin(), leader);
+  return workers;
+}
+
+}  // namespace hidp::baselines

@@ -1,31 +1,53 @@
 // Shared plumbing for the baseline strategies: per-model cost-model caching
 // under the framework-default node execution policy (no local tier — the
-// distinguishing limitation of all three baselines per the paper's Table I).
+// distinguishing limitation of all three baselines per the paper's Table I)
+// plus the same cross-request plan cache HiDP uses, so the baselines' plan
+// throughput reflects their algorithms rather than missing caching.
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
+#include "core/plan_cache.hpp"
 #include "partition/cost_model.hpp"
 #include "runtime/engine.hpp"
 
 namespace hidp::baselines {
 
-class CostModelCache {
- public:
-  explicit CostModelCache(partition::NodeExecutionPolicy policy, int bytes_per_element = 4)
-      : policy_(policy), bytes_per_element_(bytes_per_element) {}
+/// Knobs every baseline strategy shares for its cross-request plan cache.
+struct PlanCacheOptions {
+  bool enabled = true;
+  std::size_t capacity = 256;
+  /// Planning cost charged on a cache hit (a table lookup, not a search).
+  double cached_planning_latency_s = 1e-4;
+};
 
-  partition::ClusterCostModel& get(const dnn::DnnGraph& model,
-                                   const runtime::ClusterSnapshot& snap) {
-    if (nodes_ != snap.nodes) {
-      cache_.clear();
-      nodes_ = snap.nodes;
-    }
-    auto it = cache_.find(&model);
-    if (it == cache_.end()) {
-      it = cache_
+/// How much of the queue depth a strategy's planning actually reads —
+/// keying on more than that fragments its plan cache for nothing.
+enum class QueueSensitivity {
+  kNone,    ///< MoDNN/DisNet: queue depth never consulted
+  kBinary,  ///< OmniBoost: objective switches on queue_depth > 0
+};
+
+/// Cost models and cached plans for one baseline strategy. Both are dropped
+/// together whenever the cluster's nodes or network change — a cost model
+/// bakes the network spec in at construction, so the old nodes-pointer-only
+/// invalidation could serve plans priced against a stale network.
+class BaselineCaches {
+ public:
+  BaselineCaches(partition::NodeExecutionPolicy policy, int bytes_per_element,
+                 PlanCacheOptions cache_options = {},
+                 QueueSensitivity queue = QueueSensitivity::kNone)
+      : policy_(policy), bytes_per_element_(bytes_per_element),
+        options_(cache_options), queue_(queue), plans_(cache_options.capacity) {}
+
+  partition::ClusterCostModel& cost_model(const dnn::DnnGraph& model,
+                                          const runtime::ClusterSnapshot& snap) {
+    auto it = cost_models_.find(&model);
+    if (it == cost_models_.end()) {
+      it = cost_models_
                .emplace(&model, std::make_unique<partition::ClusterCostModel>(
                                     model, *snap.nodes, snap.network, policy_,
                                     bytes_per_element_))
@@ -34,11 +56,41 @@ class CostModelCache {
     return *it->second;
   }
 
+  /// Cache probe for one request. Refreshes the cluster epoch, then returns
+  /// the cached plan with its hit phases stamped, or nullopt (with
+  /// `key`/`cacheable` primed for store_plan after planning). The single
+  /// point of truth for hit stamping across the three baselines.
+  std::optional<runtime::Plan> cached_plan(const dnn::DnnGraph& model,
+                                           const runtime::ClusterSnapshot& snap,
+                                           core::GlobalDecisionKey* key, bool* cacheable) {
+    if (plans_.refresh_cluster(snap)) cost_models_.clear();
+    *cacheable = options_.enabled &&
+                 core::CrossRequestPlanCache<runtime::Plan>::make_key(model, snap,
+                                                                      snap.available, key);
+    if (!*cacheable) return std::nullopt;
+    key->queue_bucket = queue_ == QueueSensitivity::kBinary && snap.queue_depth > 0 ? 1 : 0;
+    const runtime::Plan* hit = plans_.find(*key);
+    if (hit == nullptr) return std::nullopt;
+    runtime::Plan plan = *hit;
+    plan.phases.explore_s = options_.cached_planning_latency_s;
+    return plan;
+  }
+
+  /// Stores `plan` (phases should be unset; hits are stamped per request).
+  void store_plan(const core::GlobalDecisionKey& key, runtime::Plan plan) {
+    plans_.insert(key, std::move(plan));
+  }
+
+  const core::DecisionCacheStats& plan_cache_stats() const noexcept { return plans_.stats(); }
+
  private:
   partition::NodeExecutionPolicy policy_;
   int bytes_per_element_;
-  std::unordered_map<const dnn::DnnGraph*, std::unique_ptr<partition::ClusterCostModel>> cache_;
-  const std::vector<platform::NodeModel>* nodes_ = nullptr;
+  PlanCacheOptions options_;
+  QueueSensitivity queue_;
+  std::unordered_map<const dnn::DnnGraph*, std::unique_ptr<partition::ClusterCostModel>>
+      cost_models_;
+  core::CrossRequestPlanCache<runtime::Plan> plans_;
 };
 
 /// Available workers (leader first, then by descending default-policy rate).

@@ -7,7 +7,11 @@ namespace hidp::baselines {
 
 runtime::Plan DisnetStrategy::plan(const dnn::DnnGraph& model,
                                    const runtime::ClusterSnapshot& snap) {
-  partition::ClusterCostModel& cost = cache_.get(model, snap);
+  core::GlobalDecisionKey key;
+  bool cacheable = false;
+  if (auto cached = caches_.cached_plan(model, snap, &key, &cacheable)) return *std::move(cached);
+
+  partition::ClusterCostModel& cost = caches_.cost_model(model, snap);
   const std::vector<std::size_t> workers =
       default_worker_order(cost, snap.leader, snap.available);
 
@@ -37,6 +41,7 @@ runtime::Plan DisnetStrategy::plan(const dnn::DnnGraph& model,
     plan = runtime::compile_model_partition(model_split, cost.nodes(), cost, snap.leader, name());
     plan.predicted_latency_s = model_split.latency_s;
   }
+  if (cacheable) caches_.store_plan(key, plan);
   plan.phases.explore_s = options_.planning_latency_s;
   return plan;
 }

@@ -16,19 +16,26 @@ class DisnetStrategy : public runtime::IStrategy {
     int bytes_per_element = 4;
     double planning_latency_s = 5e-3;  ///< heuristic exploration cost
     std::vector<int> sigma_candidates{2, 3, 4, 5};
+    PlanCacheOptions plan_cache;       ///< cross-request plan reuse
   };
 
   DisnetStrategy() : DisnetStrategy(Options{}) {}
   explicit DisnetStrategy(Options options)
       : options_(std::move(options)),
-        cache_(partition::NodeExecutionPolicy::kDefaultProcessor, options_.bytes_per_element) {}
+        caches_(partition::NodeExecutionPolicy::kDefaultProcessor, options_.bytes_per_element,
+                options_.plan_cache) {}
 
   std::string name() const override { return "DisNet"; }
   runtime::Plan plan(const dnn::DnnGraph& model, const runtime::ClusterSnapshot& snap) override;
 
+  /// Cross-request plan-cache counters (hits skip the hybrid search).
+  const core::DecisionCacheStats& plan_cache_stats() const noexcept {
+    return caches_.plan_cache_stats();
+  }
+
  private:
   Options options_;
-  CostModelCache cache_;
+  BaselineCaches caches_;
 };
 
 }  // namespace hidp::baselines

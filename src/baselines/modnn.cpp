@@ -1,31 +1,17 @@
 #include "baselines/modnn.hpp"
 
-#include <algorithm>
-
 #include "partition/data_partitioner.hpp"
 #include "partition/model_partitioner.hpp"
 
 namespace hidp::baselines {
 
-std::vector<std::size_t> default_worker_order(const partition::ClusterCostModel& cost,
-                                              std::size_t leader,
-                                              const std::vector<bool>& available) {
-  std::vector<std::size_t> workers;
-  for (std::size_t j = 0; j < cost.nodes().size(); ++j) {
-    if (j == leader) continue;
-    if (j < available.size() && !available[j]) continue;
-    workers.push_back(j);
-  }
-  std::sort(workers.begin(), workers.end(), [&](std::size_t a, std::size_t b) {
-    return cost.node_rate_gflops(a) > cost.node_rate_gflops(b);
-  });
-  workers.insert(workers.begin(), leader);
-  return workers;
-}
-
 runtime::Plan ModnnStrategy::plan(const dnn::DnnGraph& model,
                                   const runtime::ClusterSnapshot& snap) {
-  partition::ClusterCostModel& cost = cache_.get(model, snap);
+  core::GlobalDecisionKey key;
+  bool cacheable = false;
+  if (auto cached = caches_.cached_plan(model, snap, &key, &cacheable)) return *std::move(cached);
+
+  partition::ClusterCostModel& cost = caches_.cost_model(model, snap);
   const std::vector<std::size_t> workers =
       default_worker_order(cost, snap.leader, snap.available);
 
@@ -40,6 +26,7 @@ runtime::Plan ModnnStrategy::plan(const dnn::DnnGraph& model,
         cost, {snap.leader}, snap.leader, partition::PartitionObjective::kMinimizeSum);
     plan = runtime::compile_model_partition(local, cost.nodes(), cost, snap.leader, name());
   }
+  if (cacheable) caches_.store_plan(key, plan);
   plan.phases.explore_s = options_.planning_latency_s;
   return plan;
 }

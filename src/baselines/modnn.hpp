@@ -16,19 +16,26 @@ class ModnnStrategy : public runtime::IStrategy {
   struct Options {
     int bytes_per_element = 4;
     double planning_latency_s = 2e-3;  ///< proportional split is cheap
+    PlanCacheOptions plan_cache;       ///< cross-request plan reuse
   };
 
   ModnnStrategy() : ModnnStrategy(Options{}) {}
   explicit ModnnStrategy(Options options)
       : options_(options),
-        cache_(partition::NodeExecutionPolicy::kDefaultProcessor, options.bytes_per_element) {}
+        caches_(partition::NodeExecutionPolicy::kDefaultProcessor, options.bytes_per_element,
+                options.plan_cache) {}
 
   std::string name() const override { return "MoDNN"; }
   runtime::Plan plan(const dnn::DnnGraph& model, const runtime::ClusterSnapshot& snap) override;
 
+  /// Cross-request plan-cache counters (hits skip the planning sweep).
+  const core::DecisionCacheStats& plan_cache_stats() const noexcept {
+    return caches_.plan_cache_stats();
+  }
+
  private:
   Options options_;
-  CostModelCache cache_;
+  BaselineCaches caches_;
 };
 
 }  // namespace hidp::baselines

@@ -44,7 +44,11 @@ std::vector<ProcStage> build_stages(const partition::ClusterCostModel& cost,
 
 runtime::Plan OmniboostStrategy::plan(const dnn::DnnGraph& model,
                                       const runtime::ClusterSnapshot& snap) {
-  partition::ClusterCostModel& cost = cache_.get(model, snap);
+  core::GlobalDecisionKey key;
+  bool cacheable = false;
+  if (auto cached = caches_.cached_plan(model, snap, &key, &cacheable)) return *std::move(cached);
+
+  partition::ClusterCostModel& cost = caches_.cost_model(model, snap);
   const std::vector<std::size_t> workers =
       default_worker_order(cost, snap.leader, snap.available);
   const std::vector<ProcStage> stages = build_stages(cost, workers);
@@ -81,8 +85,10 @@ runtime::Plan OmniboostStrategy::plan(const dnn::DnnGraph& model,
   plan.strategy = name();
   plan.global_mode = partition::PartitionMode::kModel;
   plan.leader = snap.leader;
-  plan.phases.explore_s = options_.planning_latency_s;
-  if (!search.valid()) return plan;
+  if (!search.valid()) {
+    plan.phases.explore_s = options_.planning_latency_s;
+    return plan;
+  }
 
   // Compile the per-processor pipeline directly (one compute task per
   // block, on the exact processor MCTS chose).
@@ -142,6 +148,8 @@ runtime::Plan OmniboostStrategy::plan(const dnn::DnnGraph& model,
   plan.nodes_used = static_cast<int>(used.size());
   plan.predicted_latency_s = search.sum_cost;
   (void)predicted;
+  if (cacheable) caches_.store_plan(key, plan);
+  plan.phases.explore_s = options_.planning_latency_s;
   return plan;
 }
 

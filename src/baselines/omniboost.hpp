@@ -22,20 +22,27 @@ class OmniboostStrategy : public runtime::IStrategy {
     MctsConfig mcts;
     double planning_latency_s = 30e-3;  ///< MCTS + estimator inference cost
     std::uint64_t seed = 7;
+    PlanCacheOptions plan_cache;        ///< cross-request plan reuse
   };
 
   OmniboostStrategy() : OmniboostStrategy(Options{}) {}
   explicit OmniboostStrategy(Options options)
       : options_(std::move(options)),
-        cache_(partition::NodeExecutionPolicy::kDefaultProcessor, options_.bytes_per_element),
+        caches_(partition::NodeExecutionPolicy::kDefaultProcessor, options_.bytes_per_element,
+                options_.plan_cache, QueueSensitivity::kBinary),
         rng_(options_.seed) {}
 
   std::string name() const override { return "OmniBoost"; }
   runtime::Plan plan(const dnn::DnnGraph& model, const runtime::ClusterSnapshot& snap) override;
 
+  /// Cross-request plan-cache counters (hits skip the MCTS entirely).
+  const core::DecisionCacheStats& plan_cache_stats() const noexcept {
+    return caches_.plan_cache_stats();
+  }
+
  private:
   Options options_;
-  CostModelCache cache_;
+  BaselineCaches caches_;
   util::Rng rng_;
 };
 

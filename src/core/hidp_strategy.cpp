@@ -1,63 +1,13 @@
 #include "core/hidp_strategy.hpp"
 
-#include <cstring>
-
 namespace hidp::core {
 
 HidpStrategy::HidpStrategy(Options options)
     : options_(std::move(options)),
       global_(DseAgent{options_.dse}),
       rng_(options_.seed),
-      last_fsm_(std::make_unique<RuntimeSchedulerFsm>(FsmRole::kLeader)) {}
-
-namespace {
-
-/// Compute-side fingerprint of the cluster's nodes: catches in-place
-/// mutations (DVFS-style frequency/core changes) that leave the vector
-/// address and radio spec unchanged. Efficiency-table edits are not
-/// covered — callers doing those should use a fresh node vector.
-std::uint64_t cluster_compute_fingerprint(const std::vector<platform::NodeModel>& nodes) {
-  std::uint64_t h = 0xcbf29ce484222325ULL;
-  auto mix = [&h](std::uint64_t v) {
-    h ^= v;
-    h *= 0x100000001b3ULL;
-  };
-  auto mix_double = [&mix](double d) {
-    std::uint64_t bits;
-    static_assert(sizeof(bits) == sizeof(d));
-    std::memcpy(&bits, &d, sizeof(bits));
-    mix(bits);
-  };
-  for (const platform::NodeModel& node : nodes) {
-    mix(node.processor_count());
-    mix_double(node.dram_bw_gbps());
-    for (const platform::ProcessorModel& proc : node.processors()) {
-      mix_double(proc.peak_gflops());
-      mix_double(proc.utilization(1));
-      mix_double(proc.dispatch_s());
-    }
-  }
-  return h;
-}
-
-}  // namespace
-
-void HidpStrategy::invalidate_if_cluster_changed(const runtime::ClusterSnapshot& snap) {
-  const std::uint64_t fingerprint = cluster_compute_fingerprint(*snap.nodes);
-  const bool nodes_changed =
-      cached_nodes_ != snap.nodes || cached_fingerprint_ != fingerprint;
-  const bool network_changed = !(cached_network_ == snap.network);
-  if (!nodes_changed && !network_changed) return;
-  // Cluster changed (e.g. Fig. 8 node sweep, link degradation, DVFS): every
-  // cost model and cached decision was derived from stale hardware
-  // assumptions.
-  cache_.clear();
-  if (!plan_cache_.empty()) ++cache_stats_.invalidations;
-  plan_cache_.clear();
-  cached_nodes_ = snap.nodes;
-  cached_fingerprint_ = fingerprint;
-  cached_network_ = snap.network;
-}
+      last_fsm_(std::make_unique<RuntimeSchedulerFsm>(FsmRole::kLeader)),
+      plan_cache_(options_.plan_cache_capacity) {}
 
 partition::ClusterCostModel& HidpStrategy::cost_model(const dnn::DnnGraph& model,
                                                       const runtime::ClusterSnapshot& snap) {
@@ -74,7 +24,10 @@ partition::ClusterCostModel& HidpStrategy::cost_model(const dnn::DnnGraph& model
 
 runtime::Plan HidpStrategy::plan(const dnn::DnnGraph& model,
                                  const runtime::ClusterSnapshot& snap) {
-  invalidate_if_cluster_changed(snap);
+  // Cluster changed (e.g. Fig. 8 node sweep, link degradation, DVFS): every
+  // cost model and cached decision was derived from stale hardware
+  // assumptions.
+  if (plan_cache_.refresh_cluster(snap)) cache_.clear();
 
   // Analyze: availability probing with pseudo packets.
   net::ClusterProber prober(snap.network, /*probe_bytes=*/1024, options_.probe_noise_fraction);
@@ -89,21 +42,12 @@ runtime::Plan HidpStrategy::plan(const dnn::DnnGraph& model,
   // Steady-state fast path: an identical planning situation was already
   // explored — reuse its decision and skip the DSE.
   GlobalDecisionKey key;
-  key.model = &model;
-  key.model_layers = model.size();
-  key.model_flops = model.total_flops();
-  key.leader = snap.leader;
-  key.queue_bucket = queue_depth_bucket(snap.queue_depth);
-  const bool cacheable = options_.enable_plan_cache && snap.nodes->size() <= 64;
+  const bool cacheable = options_.enable_plan_cache &&
+                         CrossRequestPlanCache<CachedPlan>::make_key(model, snap, available, &key);
   if (cacheable) {
-    for (std::size_t j = 0; j < available.size() && j < 64; ++j) {
-      if (available[j]) key.availability_mask |= std::uint64_t{1} << j;
-    }
-    auto hit = plan_cache_.find(key);
-    if (hit != plan_cache_.end()) {
-      ++cache_stats_.hits;
-      last_decision_ = hit->second.decision;
-      runtime::Plan plan = hit->second.plan;
+    if (const CachedPlan* hit = plan_cache_.find(key)) {
+      last_decision_ = hit->decision;
+      runtime::Plan plan = hit->plan;
       plan.phases.analyze_s = analyze_s;
       plan.phases.explore_s = options_.cached_explore_latency_s;
       plan.phases.map_s = options_.cached_map_latency_s;
@@ -112,17 +56,13 @@ runtime::Plan HidpStrategy::plan(const dnn::DnnGraph& model,
                                   plan.phases.map_s, plan.predicted_latency_s);
       return plan;
     }
-    ++cache_stats_.misses;
   }
 
   // Explore + Offload + Map through the global partitioner / DSE agent.
   partition::ClusterCostModel& cost = cost_model(model, snap);
   runtime::Plan plan = global_.partition(cost, snap.leader, available, snap.queue_depth,
                                          name(), &last_decision_);
-  if (cacheable) {
-    if (plan_cache_.size() >= options_.plan_cache_capacity) plan_cache_.clear();
-    plan_cache_.emplace(key, CachedPlan{plan, last_decision_});
-  }
+  if (cacheable) plan_cache_.insert(key, CachedPlan{plan, last_decision_});
   plan.phases.analyze_s = analyze_s;
   plan.phases.explore_s = options_.explore_latency_s;
   plan.phases.map_s = options_.map_latency_s;

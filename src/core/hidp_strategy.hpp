@@ -25,6 +25,7 @@
 #include <unordered_map>
 
 #include "core/global_partitioner.hpp"
+#include "core/plan_cache.hpp"
 #include "core/scheduler_fsm.hpp"
 #include "net/prober.hpp"
 #include "runtime/engine.hpp"
@@ -67,7 +68,7 @@ class HidpStrategy : public runtime::IStrategy {
   const RuntimeSchedulerFsm& last_fsm() const noexcept { return *last_fsm_; }
 
   /// Cross-request plan-cache counters (hits mean the DSE was skipped).
-  const DecisionCacheStats& plan_cache_stats() const noexcept { return cache_stats_; }
+  const DecisionCacheStats& plan_cache_stats() const noexcept { return plan_cache_.stats(); }
 
  private:
   struct CachedPlan {
@@ -77,7 +78,6 @@ class HidpStrategy : public runtime::IStrategy {
 
   partition::ClusterCostModel& cost_model(const dnn::DnnGraph& model,
                                           const runtime::ClusterSnapshot& snap);
-  void invalidate_if_cluster_changed(const runtime::ClusterSnapshot& snap);
 
   Options options_;
   GlobalPartitioner global_;
@@ -85,11 +85,7 @@ class HidpStrategy : public runtime::IStrategy {
   GlobalDecision last_decision_;
   std::unique_ptr<RuntimeSchedulerFsm> last_fsm_;
   std::unordered_map<const dnn::DnnGraph*, std::unique_ptr<partition::ClusterCostModel>> cache_;
-  std::unordered_map<GlobalDecisionKey, CachedPlan, GlobalDecisionKeyHash> plan_cache_;
-  DecisionCacheStats cache_stats_;
-  const std::vector<platform::NodeModel>* cached_nodes_ = nullptr;
-  std::uint64_t cached_fingerprint_ = 0;
-  net::NetworkSpec cached_network_;
+  CrossRequestPlanCache<CachedPlan> plan_cache_;
 };
 
 }  // namespace hidp::core

@@ -1,0 +1,31 @@
+#include "core/plan_cache.hpp"
+
+#include <cstring>
+
+namespace hidp::core {
+
+std::uint64_t cluster_compute_fingerprint(const std::vector<platform::NodeModel>& nodes) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ULL;
+  };
+  auto mix_double = [&mix](double d) {
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(d));
+    std::memcpy(&bits, &d, sizeof(bits));
+    mix(bits);
+  };
+  for (const platform::NodeModel& node : nodes) {
+    mix(node.processor_count());
+    mix_double(node.dram_bw_gbps());
+    for (const platform::ProcessorModel& proc : node.processors()) {
+      mix_double(proc.peak_gflops());
+      mix_double(proc.utilization(1));
+      mix_double(proc.dispatch_s());
+    }
+  }
+  return h;
+}
+
+}  // namespace hidp::core

@@ -1,0 +1,105 @@
+// Cross-request plan caching, shared by HiDP and the baseline strategies.
+//
+// Steady-state streaming traffic mostly repeats the same planning
+// situation: same model, same leader, same probed availability, same
+// queue-depth bucket. PR 1 gave HiDP a GlobalDecision/Plan cache keyed on
+// exactly that situation; this module factors the cache (key construction,
+// hit/miss/invalidation accounting, epoch eviction, cluster-change
+// invalidation) out of HidpStrategy so DisNet, OmniBoost and MoDNN plan at
+// HiDP-comparable speed instead of re-running their searches per request —
+// the skew the Table-1-style planning-overhead comparisons suffered from.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/dse_agent.hpp"
+#include "runtime/engine.hpp"
+
+namespace hidp::core {
+
+/// Compute-side fingerprint of the cluster's nodes: catches in-place
+/// mutations (DVFS-style frequency/core changes) that leave the vector
+/// address and radio spec unchanged. Efficiency-table edits are not
+/// covered — callers doing those should use a fresh node vector.
+std::uint64_t cluster_compute_fingerprint(const std::vector<platform::NodeModel>& nodes);
+
+/// Cross-request plan cache keyed by the steady-state planning situation.
+/// `Payload` is whatever the strategy wants replayed on a hit — a bare
+/// runtime::Plan for the baselines, plan + GlobalDecision for HiDP. The
+/// cache holds whole payloads, so it is bounded: at `capacity` entries it
+/// is flushed wholesale (epoch eviction — availability flapping would
+/// otherwise grow it forever).
+template <typename Payload>
+class CrossRequestPlanCache {
+ public:
+  explicit CrossRequestPlanCache(std::size_t capacity = 256) : capacity_(capacity) {}
+
+  /// Builds the key for one planning situation. Returns false when the
+  /// situation is uncacheable (> 64 nodes do not fit the availability mask).
+  static bool make_key(const dnn::DnnGraph& model, const runtime::ClusterSnapshot& snap,
+                       const std::vector<bool>& available, GlobalDecisionKey* key) {
+    if (snap.nodes->size() > 64) return false;
+    key->model = &model;
+    key->model_layers = model.size();
+    key->model_flops = model.total_flops();
+    key->leader = snap.leader;
+    key->availability_mask = 0;
+    for (std::size_t j = 0; j < snap.nodes->size() && j < 64; ++j) {
+      // Worker ordering treats indices beyond the vector as available, so
+      // the mask must too — otherwise a short (or empty) vector aliases an
+      // explicit all-false one and replays a plan onto down nodes.
+      if (j >= available.size() || available[j]) {
+        key->availability_mask |= std::uint64_t{1} << j;
+      }
+    }
+    key->queue_bucket = queue_depth_bucket(snap.queue_depth);
+    return true;
+  }
+
+  /// Drops every entry when the cluster's nodes or network changed since
+  /// the last call. Returns true when an invalidation happened (callers
+  /// also holding per-cluster cost models should drop those too).
+  bool refresh_cluster(const runtime::ClusterSnapshot& snap) {
+    const std::uint64_t fingerprint = cluster_compute_fingerprint(*snap.nodes);
+    const bool nodes_changed =
+        cached_nodes_ != snap.nodes || cached_fingerprint_ != fingerprint;
+    const bool network_changed = !(cached_network_ == snap.network);
+    if (!nodes_changed && !network_changed) return false;
+    if (!entries_.empty()) ++stats_.invalidations;
+    entries_.clear();
+    cached_nodes_ = snap.nodes;
+    cached_fingerprint_ = fingerprint;
+    cached_network_ = snap.network;
+    return true;
+  }
+
+  /// Cached payload for the situation, or nullptr (counts hits/misses).
+  const Payload* find(const GlobalDecisionKey& key) {
+    auto it = entries_.find(key);
+    if (it == entries_.end()) {
+      ++stats_.misses;
+      return nullptr;
+    }
+    ++stats_.hits;
+    return &it->second;
+  }
+
+  void insert(const GlobalDecisionKey& key, Payload payload) {
+    if (entries_.size() >= capacity_) entries_.clear();
+    entries_.emplace(key, std::move(payload));
+  }
+
+  const DecisionCacheStats& stats() const noexcept { return stats_; }
+
+ private:
+  std::size_t capacity_;
+  std::unordered_map<GlobalDecisionKey, Payload, GlobalDecisionKeyHash> entries_;
+  DecisionCacheStats stats_;
+  const std::vector<platform::NodeModel>* cached_nodes_ = nullptr;
+  std::uint64_t cached_fingerprint_ = 0;
+  net::NetworkSpec cached_network_;
+};
+
+}  // namespace hidp::core

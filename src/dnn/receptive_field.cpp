@@ -12,13 +12,35 @@ RowRange hull(RowRange a, RowRange b) noexcept {
   return RowRange{std::min(a.begin, b.begin), std::max(a.end, b.end)};
 }
 
-RowRange layer_input_rows(const Layer& layer, RowRange out, int input_height) {
-  if (out.empty()) return RowRange{};
-  switch (layer.kind) {
+RowMapKind layer_row_map(LayerKind kind) noexcept {
+  switch (kind) {
     case LayerKind::kConv2D:
     case LayerKind::kDepthwiseConv2D:
     case LayerKind::kMaxPool2D:
-    case LayerKind::kAvgPool2D: {
+    case LayerKind::kAvgPool2D:
+      return RowMapKind::kWindow;
+    case LayerKind::kInput:
+    case LayerKind::kBatchNorm:
+    case LayerKind::kActivation:
+    case LayerKind::kAdd:
+    case LayerKind::kConcat:
+    case LayerKind::kSqueezeExcite:
+      // Row r of the output needs row r of every input.
+      return RowMapKind::kIdentity;
+    case LayerKind::kGlobalAvgPool:
+    case LayerKind::kDense:
+    case LayerKind::kFlatten:
+    case LayerKind::kSoftmax:
+      // Global layers need the whole input.
+      return RowMapKind::kGlobal;
+  }
+  return RowMapKind::kGlobal;
+}
+
+RowRange layer_input_rows(const Layer& layer, RowRange out, int input_height) {
+  if (out.empty()) return RowRange{};
+  switch (layer_row_map(layer.kind)) {
+    case RowMapKind::kWindow: {
       const int stride = layer.params.stride;
       const int kernel = layer.params.kernel;
       const int pad = resolved_padding(layer.params, input_height);
@@ -28,20 +50,10 @@ RowRange layer_input_rows(const Layer& layer, RowRange out, int input_height) {
       hi = std::clamp(hi, 0, input_height);
       return RowRange{lo, hi};
     }
-    case LayerKind::kInput:
-    case LayerKind::kBatchNorm:
-    case LayerKind::kActivation:
-    case LayerKind::kAdd:
-    case LayerKind::kConcat:
-    case LayerKind::kSqueezeExcite:
-      // Row r of the output needs row r of every input.
+    case RowMapKind::kIdentity:
       return RowRange{std::clamp(out.begin, 0, input_height),
                       std::clamp(out.end, 0, input_height)};
-    case LayerKind::kGlobalAvgPool:
-    case LayerKind::kDense:
-    case LayerKind::kFlatten:
-    case LayerKind::kSoftmax:
-      // Global layers need the whole input.
+    case RowMapKind::kGlobal:
       return RowRange{0, input_height};
   }
   return RowRange{0, input_height};
@@ -85,11 +97,115 @@ std::vector<RowRange> backpropagate_rows(const DnnGraph& graph, int prefix_end,
   return required;
 }
 
+RowBackprop::RowBackprop(const DnnGraph& graph) {
+  const std::size_t n = graph.size();
+  height_.reserve(n);
+  edge_begin_.reserve(n + 1);
+  for (std::size_t id = 0; id < n; ++id) {
+    const Layer& layer = graph.layer(static_cast<int>(id));
+    height_.push_back(layer.output.height);
+    edge_begin_.push_back(static_cast<std::uint32_t>(edges_.size()));
+    for (int in : layer.inputs) {
+      Edge edge;
+      edge.input = in;
+      edge.in_height = graph.layer(in).output.height;
+      edge.squeeze_excite = layer.kind == LayerKind::kSqueezeExcite;
+      edge.map = layer_row_map(layer.kind);
+      if (edge.map == RowMapKind::kWindow) {
+        edge.stride = layer.params.stride;
+        edge.kernel = layer.params.kernel;
+        edge.pad = resolved_padding(layer.params, edge.in_height);
+      }
+      edges_.push_back(edge);
+    }
+  }
+  edge_begin_.push_back(static_cast<std::uint32_t>(edges_.size()));
+}
+
+const std::vector<RowRange>& RowBackprop::operator()(int prefix_end, RowRange target_rows) {
+  // run_batch with count == 1 shares the exact memory layout; re-zero the
+  // tail so this keeps backpropagate_rows' full-vector contract.
+  run_batch(prefix_end, &target_rows, 1);
+  if (prefix_end > 0 && prefix_end < static_cast<int>(height_.size())) {
+    std::fill(batch_scratch_.begin() + prefix_end, batch_scratch_.end(), RowRange{});
+  }
+  return batch_scratch_;
+}
+
+const std::vector<RowRange>& RowBackprop::run_batch(int prefix_end, const RowRange* bands,
+                                                    std::size_t count) {
+  if (prefix_end <= 0 || prefix_end > static_cast<int>(height_.size()) || count == 0) {
+    batch_scratch_.assign(height_.size() * count, RowRange{});
+    return batch_scratch_;
+  }
+  // The walk never writes at or beyond prefix_end, and batched callers only
+  // read below it, so only that prefix needs re-zeroing (entries at
+  // prefix_end and beyond are unspecified between queries).
+  if (batch_scratch_.size() != height_.size() * count) {
+    batch_scratch_.assign(height_.size() * count, RowRange{});
+  } else {
+    std::fill_n(batch_scratch_.begin(),
+                static_cast<std::size_t>(prefix_end) * count, RowRange{});
+  }
+  const int target = prefix_end - 1;
+  const int target_height = height_[static_cast<std::size_t>(target)];
+  clamped_bands_.resize(count);
+  for (std::size_t k = 0; k < count; ++k) {
+    clamped_bands_[k] = RowRange{std::clamp(bands[k].begin, 0, target_height),
+                                 std::clamp(bands[k].end, 0, target_height)};
+    batch_scratch_[static_cast<std::size_t>(target) * count + k] = clamped_bands_[k];
+  }
+  for (int id = target; id >= 0; --id) {
+    const RowRange* need_row = &batch_scratch_[static_cast<std::size_t>(id) * count];
+    bool any = false;
+    for (std::size_t k = 0; k < count && !any; ++k) any = !need_row[k].empty();
+    if (!any) continue;
+    const std::uint32_t first = edge_begin_[static_cast<std::size_t>(id)];
+    const std::uint32_t last = edge_begin_[static_cast<std::size_t>(id) + 1];
+    for (std::uint32_t e = first; e < last; ++e) {
+      const Edge& edge = edges_[e];
+      RowRange* in_row = &batch_scratch_[static_cast<std::size_t>(edge.input) * count];
+      for (std::size_t k = 0; k < count; ++k) {
+        const RowRange need = need_row[k];
+        if (need.empty()) continue;
+        RowRange in_need;
+        switch (edge.map) {
+          case RowMapKind::kWindow: {
+            int lo = need.begin * edge.stride - edge.pad;
+            int hi = (need.end - 1) * edge.stride - edge.pad + edge.kernel;  // exclusive
+            lo = std::clamp(lo, 0, edge.in_height);
+            hi = std::clamp(hi, 0, edge.in_height);
+            in_need = RowRange{lo, hi};
+            break;
+          }
+          case RowMapKind::kIdentity:
+            in_need = RowRange{std::clamp(need.begin, 0, edge.in_height),
+                               std::clamp(need.end, 0, edge.in_height)};
+            break;
+          case RowMapKind::kGlobal:
+            in_need = RowRange{0, edge.in_height};
+            break;
+        }
+        if (edge.squeeze_excite) {
+          in_need =
+              hull(in_need, proportional_share(edge.in_height, clamped_bands_[k], target_height));
+        }
+        in_row[k] = hull(in_row[k], in_need);
+      }
+    }
+  }
+  return batch_scratch_;
+}
+
 int data_partition_point(const DnnGraph& graph) {
+  return data_partition_point_from_cuts(graph, clean_cut_positions(graph));
+}
+
+int data_partition_point_from_cuts(const DnnGraph& graph, const std::vector<int>& clean_cuts) {
   const int prefix = graph.spatial_prefix_end();
   if (prefix <= 1) return 0;
   int best = 0;
-  for (int cut : clean_cut_positions(graph)) {
+  for (int cut : clean_cuts) {
     if (cut <= prefix && graph.layer(cut - 1).output.height > 1) best = std::max(best, cut);
   }
   return best;

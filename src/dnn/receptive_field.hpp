@@ -8,6 +8,7 @@
 // Partitioning style, with overlap recomputed rather than exchanged).
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "dnn/graph.hpp"
@@ -25,6 +26,16 @@ struct RowRange {
 
 /// Convex hull of two ranges (empty ranges are identities).
 RowRange hull(RowRange a, RowRange b) noexcept;
+
+/// How a layer maps required output rows onto an input's rows — the single
+/// source of truth for the kind dispatch shared by layer_input_rows and
+/// RowBackprop's flattened edge tables.
+enum class RowMapKind : std::uint8_t {
+  kWindow,    ///< conv/pool: [b*s - p, (e-1)*s - p + k) clamped
+  kIdentity,  ///< element-wise: same rows, clamped
+  kGlobal,    ///< global layers: the whole input
+};
+RowMapKind layer_row_map(LayerKind kind) noexcept;
 
 /// Input rows of `layer` required to produce its output rows `out`,
 /// clamped to [0, input_height). For windowed ops this expands by the
@@ -48,10 +59,53 @@ RowRange proportional_share(int height, RowRange band, int band_domain_height) n
 std::vector<RowRange> backpropagate_rows(const DnnGraph& graph, int prefix_end,
                                          RowRange target_rows);
 
+/// Flattened repeated-query form of backpropagate_rows. Construction
+/// resolves the per-edge row mapping (kind dispatch, stride/kernel/padding,
+/// input heights) into flat arrays once; each query walks those arrays and
+/// writes into an internal scratch vector, so steady-state queries allocate
+/// nothing. Results are bit-identical to backpropagate_rows on the same
+/// graph. The returned reference is valid until the next query.
+class RowBackprop {
+ public:
+  explicit RowBackprop(const DnnGraph& graph);
+
+  /// Same contract as backpropagate_rows(graph, prefix_end, target_rows).
+  const std::vector<RowRange>& operator()(int prefix_end, RowRange target_rows);
+
+  /// Batched form: backpropagates `count` target bands of the same split in
+  /// one walk, loading each layer's edge metadata once for all bands (a data
+  /// partition probes one band per worker). Band k's required rows for layer
+  /// l < prefix_end land interleaved at result[l * count + k], each
+  /// bit-identical to the single-band query; entries for layers at or
+  /// beyond prefix_end are unspecified. Valid until the next query.
+  const std::vector<RowRange>& run_batch(int prefix_end, const RowRange* bands,
+                                         std::size_t count);
+
+ private:
+  struct Edge {
+    std::int32_t input = 0;      ///< producer layer id
+    std::int32_t in_height = 0;  ///< producer output height
+    std::int32_t stride = 1;
+    std::int32_t kernel = 1;
+    std::int32_t pad = 0;
+    RowMapKind map = RowMapKind::kIdentity;
+    bool squeeze_excite = false;  ///< consumer is an SE gate (ownership hull)
+  };
+  std::vector<Edge> edges_;                 ///< flat, grouped by consumer
+  std::vector<std::uint32_t> edge_begin_;   ///< per layer, +1 sentinel
+  std::vector<std::int32_t> height_;        ///< per layer output height
+  std::vector<RowRange> batch_scratch_;     ///< layer-major, band-interleaved
+  std::vector<RowRange> clamped_bands_;
+};
+
 /// The canonical split point for data partitioning: the largest clean cut
 /// position not beyond the spatially local prefix. Everything before it can
 /// be row-partitioned; the remainder (classifier head) runs unsplit.
 /// Returns 0 if the graph admits no data partitioning at all.
 int data_partition_point(const DnnGraph& graph);
+
+/// Same, over a precomputed clean-cut list — the one admissibility rule
+/// shared with callers that memoise the cut analysis (ClusterCostModel).
+int data_partition_point_from_cuts(const DnnGraph& graph, const std::vector<int>& clean_cuts);
 
 }  // namespace hidp::dnn

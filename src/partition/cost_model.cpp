@@ -1,9 +1,12 @@
 #include "partition/cost_model.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <cstring>
 #include <limits>
+
+#include "partition/data_partitioner.hpp"
 
 namespace hidp::partition {
 
@@ -27,7 +30,8 @@ ClusterCostModel::ClusterCostModel(const dnn::DnnGraph& graph,
       network_(std::move(network)),
       policy_(policy),
       bytes_per_element_(bytes_per_element) {
-  std::vector<int> cuts = dnn::clean_cut_positions(graph);
+  clean_cuts_ = dnn::clean_cut_positions(graph);
+  std::vector<int> cuts = clean_cuts_;
   if (max_candidates > 2 && static_cast<int>(cuts.size()) > max_candidates - 2) {
     std::vector<int> thinned;
     const int keep = max_candidates - 2;
@@ -122,6 +126,12 @@ void ClusterCostModel::set_local_search_space(LocalSearchSpace space) {
   std::fill(block_filled_.begin(), block_filled_.end(), 0);
   profile_decision_cache_.clear();
   node_rate_cache_.assign(nodes_->size(), std::numeric_limits<double>::quiet_NaN());
+  if (data_) {
+    // Slice/head geometry is search-space independent; only the memoised
+    // local decisions were derived under the old bounds.
+    for (auto& [key, slice] : data_->slices) slice.decisions.clear();
+    for (auto& [split, head] : data_->heads) head.decisions.clear();
+  }
 }
 
 WorkProfile ClusterCostModel::profile_between(int ci, int cj) const {
@@ -133,20 +143,25 @@ std::int64_t ClusterCostModel::boundary_bytes(int ci) const {
   return boundary_bytes_.at(static_cast<std::size_t>(ci));
 }
 
+LocalDecision ClusterCostModel::compute_decision(std::size_t node,
+                                                 const platform::WorkProfile& work,
+                                                 std::int64_t io_bytes) const {
+  const platform::NodeModel& model = (*nodes_)[node];
+  LocalDecision decision;
+  if (policy_ == NodeExecutionPolicy::kHierarchicalLocal) {
+    decision = best_local_config(model, work, io_bytes, local_search_);
+  } else {
+    decision.config = default_processor_config(model, work);
+    decision.latency_s = estimate_local_latency(model, work, decision.config, io_bytes);
+  }
+  return decision;
+}
+
 const LocalDecision& ClusterCostModel::block_decision(std::size_t node, int ci, int cj) const {
   const std::size_t index = block_index(node, ci, cj);
   if (!block_filled_[index]) {
     const WorkProfile work = profile_between(ci, cj);
-    const std::int64_t io = boundary_bytes(ci) + boundary_bytes(cj);
-    const platform::NodeModel& model = (*nodes_)[node];
-    LocalDecision decision;
-    if (policy_ == NodeExecutionPolicy::kHierarchicalLocal) {
-      decision = best_local_config(model, work, io, local_search_);
-    } else {
-      decision.config = default_processor_config(model, work);
-      decision.latency_s = estimate_local_latency(model, work, decision.config, io);
-    }
-    block_decisions_[index] = std::move(decision);
+    block_decisions_[index] = compute_decision(node, work, boundary_bytes(ci) + boundary_bytes(cj));
     block_filled_[index] = 1;
   }
   return block_decisions_[index];
@@ -202,15 +217,8 @@ const LocalDecision& ClusterCostModel::local_decision(std::size_t node,
   }
   auto it = profile_decision_cache_.find(key);
   if (it == profile_decision_cache_.end()) {
-    const platform::NodeModel& model = (*nodes_)[node];
-    LocalDecision decision;
-    if (policy_ == NodeExecutionPolicy::kHierarchicalLocal) {
-      decision = best_local_config(model, work, io_bytes, local_search_);
-    } else {
-      decision.config = default_processor_config(model, work);
-      decision.latency_s = estimate_local_latency(model, work, decision.config, io_bytes);
-    }
-    it = profile_decision_cache_.emplace(std::move(key), std::move(decision)).first;
+    it = profile_decision_cache_.emplace(std::move(key), compute_decision(node, work, io_bytes))
+             .first;
   }
   return it->second;
 }
@@ -246,6 +254,166 @@ double ClusterCostModel::node_rate_gflops(std::size_t node) const {
     slot = model.processor(config.shares.front().proc).lambda_gflops(whole, 1);
   }
   return slot;
+}
+
+ClusterCostModel::DataTables::DataTables(const dnn::DnnGraph& graph) : backprop(graph) {
+  const std::size_t n = graph.size();
+  row_flops.reserve(n);
+  kind.reserve(n);
+  work_class.reserve(n);
+  has_flops.reserve(n);
+  se_sync_bytes.reserve(n);
+  for (std::size_t l = 0; l < n; ++l) {
+    const dnn::Layer& layer = graph.layer(static_cast<int>(l));
+    row_flops.push_back(dnn::layer_flops_per_row(layer));
+    kind.push_back(layer.kind);
+    work_class.push_back(platform::classify_layer(layer));
+    has_flops.push_back(layer.flops > 0.0 ? 1 : 0);
+    se_sync_bytes.push_back(layer.kind == dnn::LayerKind::kSqueezeExcite
+                                ? 2L * layer.output.channels
+                                : 0);
+  }
+}
+
+ClusterCostModel::DataTables& ClusterCostModel::data_tables() const {
+  if (!data_) data_ = std::make_unique<DataTables>(*graph_);
+  return *data_;
+}
+
+const std::vector<int>& ClusterCostModel::data_split_candidate_list(int max_candidates) const {
+  DataTables& tables = data_tables();
+  auto it = tables.candidate_lists.find(max_candidates);
+  if (it == tables.candidate_lists.end()) {
+    it = tables.candidate_lists
+             .emplace(max_candidates,
+                      data_split_candidates_from_cuts(*graph_, clean_cuts_, max_candidates))
+             .first;
+  }
+  return it->second;
+}
+
+namespace {
+
+std::uint64_t slice_key(int split, dnn::RowRange band) noexcept {
+  // 22/21/21-bit packing: callers clamp bands to the split layer's height,
+  // so fields only overflow on >4M-layer graphs or >2M-row images — fail
+  // loudly rather than alias two bands onto one memo key.
+  assert(split >= 0 && split < (1 << 22));
+  assert(band.begin >= 0 && band.begin < (1 << 21));
+  assert(band.end >= 0 && band.end < (1 << 21));
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(split)) << 42) |
+         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(band.begin)) << 21) |
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(band.end));
+}
+
+}  // namespace
+
+void ClusterCostModel::data_slice_profiles(int split, const std::vector<dnn::RowRange>& bands,
+                                           std::vector<const DataSliceProfile*>& out) const {
+  DataTables& tables = data_tables();
+  // Availability churn shifts band boundaries per request, so the memo is
+  // bounded like the plan cache: wholesale flush at capacity (before any
+  // lookup — returned pointers must survive the call).
+  constexpr std::size_t kSliceMemoCapacity = 4096;
+  if (tables.slices.size() >= kSliceMemoCapacity) tables.slices.clear();
+  out.assign(bands.size(), nullptr);
+  // Collect the bands this sweep still needs geometry for, then resolve
+  // them in one batched receptive-field walk. Bands are clamped to the
+  // split layer's height before keying (exactly what the backprop does)
+  // so out-of-contract bands cannot alias another band's 21-bit key.
+  const int target_height = graph_->layer(split - 1).output.height;
+  auto& missing = tables.missing_scratch;
+  auto& missing_bands = tables.missing_band_scratch;
+  missing.clear();
+  missing_bands.clear();
+  for (std::size_t i = 0; i < bands.size(); ++i) {
+    const dnn::RowRange band{std::clamp(bands[i].begin, 0, target_height),
+                             std::clamp(bands[i].end, 0, target_height)};
+    if (band.empty()) continue;
+    const std::uint64_t key = slice_key(split, band);
+    auto it = tables.slices.find(key);
+    if (it != tables.slices.end()) {
+      out[i] = &it->second;
+    } else {
+      missing.push_back(i);
+      missing_bands.push_back(band);
+    }
+  }
+  if (missing.empty()) return;
+  const std::vector<dnn::RowRange>& needed =
+      tables.backprop.run_batch(split, missing_bands.data(), missing_bands.size());
+  for (std::size_t j = 0; j < missing.size(); ++j) {
+    const std::uint64_t key = slice_key(split, missing_bands[j]);
+    out[missing[j]] = &tables.slices
+                           .emplace(key, build_slice(tables, split, missing_bands[j],
+                                                     needed.data() + j, missing_bands.size()))
+                           .first->second;
+  }
+}
+
+ClusterCostModel::DataSliceProfile ClusterCostModel::build_slice(
+    DataTables& tables, int split, dnn::RowRange band, const dnn::RowRange* needed,
+    std::size_t stride) const {
+  DataSliceProfile entry;
+  for (int l = 0; l < split; ++l) {
+    const dnn::RowRange rows = needed[static_cast<std::size_t>(l) * stride];
+    if (rows.empty()) continue;
+    if (tables.has_flops[static_cast<std::size_t>(l)]) {
+      entry.work.add(tables.kind[static_cast<std::size_t>(l)],
+                     tables.row_flops[static_cast<std::size_t>(l)] * rows.size(),
+                     tables.work_class[static_cast<std::size_t>(l)]);
+    }
+    // Partial-sum all-reduce: C floats up, C scale factors down.
+    entry.sync_bytes += tables.se_sync_bytes[static_cast<std::size_t>(l)] * bytes_per_element_;
+  }
+  if (tables.input_row_bytes == 0) {
+    const dnn::Shape& input_shape = graph_->input_shape();
+    tables.input_row_bytes = static_cast<std::int64_t>(input_shape.channels) *
+                             input_shape.width * bytes_per_element_;
+  }
+  entry.input_bytes = needed[0].size() * tables.input_row_bytes;
+  const dnn::Layer& boundary = graph_->layer(split - 1);
+  const std::int64_t target_row_bytes = static_cast<std::int64_t>(boundary.output.channels) *
+                                        boundary.output.width * bytes_per_element_;
+  entry.output_bytes = band.size() * target_row_bytes;
+  return entry;
+}
+
+const LocalDecision& ClusterCostModel::decide(
+    const platform::WorkProfile& work, std::int64_t io_bytes, std::size_t node,
+    std::vector<std::pair<std::size_t, LocalDecision>>& memo) const {
+  for (const auto& [cached_node, decision] : memo) {
+    if (cached_node == node) return decision;
+  }
+  // At most one entry per node; reserving up front keeps previously
+  // returned references valid across later queries on the same profile.
+  if (memo.empty()) memo.reserve(nodes_->size());
+  memo.emplace_back(node, compute_decision(node, work, io_bytes));
+  return memo.back().second;
+}
+
+const LocalDecision& ClusterCostModel::data_slice_decision(const DataSliceProfile& slice,
+                                                           std::size_t node) const {
+  return decide(slice.work, slice.input_bytes + slice.output_bytes, node, slice.decisions);
+}
+
+const ClusterCostModel::DataHeadProfile& ClusterCostModel::data_head_profile(int split) const {
+  DataTables& tables = data_tables();
+  auto it = tables.heads.find(split);
+  if (it != tables.heads.end()) return it->second;
+  DataHeadProfile head;
+  head.work = WorkProfile::from_graph(*graph_, split, -1);
+  const dnn::Layer& boundary = graph_->layer(split - 1);
+  const std::int64_t target_row_bytes = static_cast<std::int64_t>(boundary.output.channels) *
+                                        boundary.output.width * bytes_per_element_;
+  head.io_bytes = static_cast<std::int64_t>(boundary.output.height) * target_row_bytes +
+                  graph_->output_shape().bytes(bytes_per_element_);
+  return tables.heads.emplace(split, std::move(head)).first->second;
+}
+
+const LocalDecision& ClusterCostModel::data_head_decision(int split, std::size_t node) const {
+  const DataHeadProfile& head = data_head_profile(split);
+  return decide(head.work, head.io_bytes, node, head.decisions);
 }
 
 std::vector<double> ClusterCostModel::psi(std::size_t leader) const {

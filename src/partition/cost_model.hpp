@@ -19,6 +19,7 @@
 
 #include "dnn/cut_analysis.hpp"
 #include "dnn/graph.hpp"
+#include "dnn/receptive_field.hpp"
 #include "net/link.hpp"
 #include "partition/local_config.hpp"
 #include "platform/node.hpp"
@@ -95,6 +96,52 @@ class ClusterCostModel {
   /// Memoised per node — worker ordering sorts on it repeatedly.
   double node_rate_gflops(std::size_t node) const;
 
+  // ---- data-partition planning tables -------------------------------------
+  // The data partitioner's hot path: everything below is lazily built per
+  // graph and memoised, so a plan sweep re-probing the same (split, band)
+  // geometry — MoDNN/DisNet every request, HiDP's sigma loop — costs hash
+  // lookups instead of receptive-field backprops and local DSE searches.
+
+  /// Thinned data-split candidate list (see data_split_candidates in
+  /// data_partitioner.hpp), memoised per max_candidates.
+  const std::vector<int>& data_split_candidate_list(int max_candidates) const;
+
+  /// One slice's exact work and traffic for rows `band` of the split layer's
+  /// output, halo recompute included — bit-identical to the per-candidate
+  /// loop over dnn::backpropagate_rows.
+  struct DataSliceProfile {
+    platform::WorkProfile work;     ///< exact FLOPs incl. halo recompute
+    std::int64_t input_bytes = 0;   ///< network-input rows shipped in
+    std::int64_t output_bytes = 0;  ///< split-layer rows gathered back
+    std::int64_t sync_bytes = 0;    ///< SqueezeExcite all-reduce traffic
+    /// Per-node local decisions (lazily filled; tiny, so linear scan).
+    mutable std::vector<std::pair<std::size_t, LocalDecision>> decisions;
+  };
+  /// Memoised local decision for `slice` on `node`. The reference stays
+  /// valid until the slice memo flushes or set_local_search_space runs —
+  /// copy it (as the planner does) if retained beyond the current sweep.
+  const LocalDecision& data_slice_decision(const DataSliceProfile& slice,
+                                           std::size_t node) const;
+
+  /// Batched lookup for one planning sweep: profiles for all of a split's
+  /// bands at once, misses backpropagated in a single batched walk. `out`
+  /// is aligned with `bands`; empty bands yield nullptr. The memo is
+  /// bounded (wholesale flush at capacity, never mid-call), so pointers are
+  /// only guaranteed until the next data_slice_profiles call — consume or
+  /// copy within the sweep.
+  void data_slice_profiles(int split, const std::vector<dnn::RowRange>& bands,
+                           std::vector<const DataSliceProfile*>& out) const;
+
+  /// Classifier-head (layers [split, n)) work, io volume and per-node local
+  /// decisions, memoised per split.
+  struct DataHeadProfile {
+    platform::WorkProfile work;
+    std::int64_t io_bytes = 0;
+    mutable std::vector<std::pair<std::size_t, LocalDecision>> decisions;
+  };
+  const DataHeadProfile& data_head_profile(int split) const;
+  const LocalDecision& data_head_decision(int split, std::size_t node) const;
+
   /// Global resource vector Psi{Lambda, beta} from `leader` (paper Eq. 3).
   std::vector<double> psi(std::size_t leader) const;
 
@@ -127,6 +174,7 @@ class ClusterCostModel {
   NodeExecutionPolicy policy_;
   int bytes_per_element_;
   LocalSearchSpace local_search_;
+  std::vector<int> clean_cuts_;  ///< unthinned clean cuts (graph analysis)
   std::vector<int> candidates_;
   std::vector<platform::WorkProfile> prefix_profiles_;  ///< per candidate
   std::vector<std::int64_t> boundary_bytes_;            ///< per candidate
@@ -152,6 +200,33 @@ class ClusterCostModel {
   mutable std::vector<double> node_rate_cache_;  ///< NaN = not yet computed
   mutable std::unordered_map<ProfileKey, LocalDecision, ProfileKeyHash>
       profile_decision_cache_;
+
+  /// Lazily-built flattened tables + memos for data-partition planning.
+  struct DataTables {
+    dnn::RowBackprop backprop;             ///< flat receptive-field walker
+    std::vector<double> row_flops;         ///< per layer: FLOPs per output row
+    std::vector<dnn::LayerKind> kind;      ///< per layer
+    std::vector<platform::WorkClass> work_class;  ///< per layer
+    std::vector<std::uint8_t> has_flops;   ///< per layer: layer.flops > 0
+    std::vector<std::int64_t> se_sync_bytes;  ///< per layer: 0 unless SE gate
+    std::int64_t input_row_bytes = 0;
+    std::unordered_map<int, std::vector<int>> candidate_lists;  ///< per max
+    std::unordered_map<std::uint64_t, DataSliceProfile> slices;
+    std::unordered_map<int, DataHeadProfile> heads;
+    std::vector<std::size_t> missing_scratch;
+    std::vector<dnn::RowRange> missing_band_scratch;
+    explicit DataTables(const dnn::DnnGraph& graph);
+  };
+  DataTables& data_tables() const;
+  DataSliceProfile build_slice(DataTables& tables, int split, dnn::RowRange band,
+                               const dnn::RowRange* needed, std::size_t stride) const;
+  /// The one policy dispatch every decision path funnels through.
+  LocalDecision compute_decision(std::size_t node, const platform::WorkProfile& work,
+                                 std::int64_t io_bytes) const;
+  const LocalDecision& decide(const platform::WorkProfile& work, std::int64_t io_bytes,
+                              std::size_t node,
+                              std::vector<std::pair<std::size_t, LocalDecision>>& memo) const;
+  mutable std::unique_ptr<DataTables> data_;
 };
 
 }  // namespace hidp::partition

@@ -8,16 +8,19 @@ namespace hidp::partition {
 using dnn::RowRange;
 using platform::WorkProfile;
 
-std::vector<RowRange> proportional_row_bands(int total_rows, const std::vector<double>& weights) {
-  std::vector<RowRange> bands(weights.size());
-  if (total_rows <= 0 || weights.empty()) return bands;
+void proportional_row_bands_into(int total_rows, const std::vector<double>& weights,
+                                 std::vector<RowRange>& bands) {
+  bands.assign(weights.size(), RowRange{});
+  if (total_rows <= 0 || weights.empty()) return;
   double weight_sum = 0.0;
   for (double w : weights) weight_sum += std::max(w, 0.0);
   if (weight_sum <= 0.0) weight_sum = static_cast<double>(weights.size());
 
   // Largest-remainder apportionment so bands are contiguous and exact.
-  std::vector<int> rows(weights.size(), 0);
-  std::vector<std::pair<double, std::size_t>> remainders;
+  static thread_local std::vector<int> rows;
+  static thread_local std::vector<std::pair<double, std::size_t>> remainders;
+  rows.assign(weights.size(), 0);
+  remainders.clear();
   int assigned = 0;
   for (std::size_t i = 0; i < weights.size(); ++i) {
     const double exact = static_cast<double>(total_rows) * std::max(weights[i], 0.0) / weight_sum;
@@ -35,25 +38,47 @@ std::vector<RowRange> proportional_row_bands(int total_rows, const std::vector<d
     bands[i] = RowRange{cursor, cursor + rows[i]};
     cursor += rows[i];
   }
+}
+
+std::vector<RowRange> proportional_row_bands(int total_rows, const std::vector<double>& weights) {
+  std::vector<RowRange> bands;
+  proportional_row_bands_into(total_rows, weights, bands);
   return bands;
 }
 
 std::vector<int> data_split_candidates(const dnn::DnnGraph& graph, int max_candidates) {
+  return data_split_candidates_from_cuts(graph, dnn::clean_cut_positions(graph),
+                                         max_candidates);
+}
+
+std::vector<int> data_split_candidates_from_cuts(const dnn::DnnGraph& graph,
+                                                 const std::vector<int>& clean_cuts,
+                                                 int max_candidates) {
   std::vector<int> candidates;
-  const int deepest = dnn::data_partition_point(graph);
+  const int deepest = dnn::data_partition_point_from_cuts(graph, clean_cuts);
   if (deepest <= 0) return candidates;
-  for (int cut : dnn::clean_cut_positions(graph)) {
+  for (int cut : clean_cuts) {
     if (cut > deepest) break;
     if (graph.layer(cut - 1).output.height > 1) candidates.push_back(cut);
   }
   if (max_candidates > 0 && static_cast<int>(candidates.size()) > max_candidates) {
     std::vector<int> thinned;
-    const double step =
-        static_cast<double>(candidates.size() - 1) / static_cast<double>(max_candidates - 1);
-    for (int i = 0; i < max_candidates; ++i) {
-      thinned.push_back(candidates[static_cast<std::size_t>(i * step + 0.5)]);
+    if (max_candidates == 1) {
+      // A one-slot budget cannot be stepped evenly: the even-step divisor
+      // would be zero, and 0 * inf is a NaN cast to an index (UB). Keep the
+      // deepest admissible split — the canonical data-partition point.
+      thinned.push_back(candidates.back());
+    } else {
+      const double step =
+          static_cast<double>(candidates.size() - 1) / static_cast<double>(max_candidates - 1);
+      for (int i = 0; i < max_candidates; ++i) {
+        thinned.push_back(candidates[static_cast<std::size_t>(i * step + 0.5)]);
+      }
+      thinned.back() = candidates.back();
+      // Rounding (and the forced last element) can revisit an index; the
+      // thinned list is nondecreasing, so adjacent unique suffices.
+      thinned.erase(std::unique(thinned.begin(), thinned.end()), thinned.end());
     }
-    thinned.back() = candidates.back();
     candidates = std::move(thinned);
   }
   return candidates;
@@ -63,7 +88,7 @@ DataPartitionResult plan_best_data_partition(const ClusterCostModel& cost,
                                              const std::vector<std::size_t>& worker_nodes,
                                              std::size_t leader, int max_candidates) {
   DataPartitionResult best;
-  for (int split : data_split_candidates(cost.graph(), max_candidates)) {
+  for (int split : cost.data_split_candidate_list(max_candidates)) {
     DataPartitionResult candidate = plan_data_partition(cost, worker_nodes, leader, split);
     if (candidate.valid && (!best.valid || candidate.latency_s < best.latency_s)) {
       best = std::move(candidate);
@@ -72,18 +97,98 @@ DataPartitionResult plan_best_data_partition(const ClusterCostModel& cost,
   return best;
 }
 
+namespace {
+
+/// Shared timing model: scatter serialisation on the leader radio, local
+/// compute, SqueezeExcite all-reduce, gather. Both the table path and the
+/// reference path fold their slices through this.
+void finish_slice_timing(const ClusterCostModel& cost, std::size_t leader,
+                         DataSliceAssignment& slice, double& scatter_cursor_s,
+                         double& slowest) {
+  double t = 0.0;
+  if (slice.node != leader) {
+    // Scatter serialises on the leader radio; later slices start later.
+    scatter_cursor_s += cost.transfer_s(leader, slice.node, slice.input_bytes);
+    t = scatter_cursor_s;
+  }
+  t += slice.compute_s;
+  if (slice.sync_bytes > 0 && slice.node != leader) {
+    t += 2.0 * cost.transfer_s(slice.node, leader, slice.sync_bytes);
+  }
+  if (slice.node != leader) t += cost.transfer_s(slice.node, leader, slice.output_bytes);
+  slice.total_s = t;
+  slowest = std::max(slowest, t);
+}
+
+/// Validity screen shared by both paths; returns the resolved split or 0.
+int resolve_split(const dnn::DnnGraph& graph, const std::vector<std::size_t>& worker_nodes,
+                  int split_layer) {
+  const int split = split_layer < 0 ? dnn::data_partition_point(graph) : split_layer;
+  if (split <= 0 || split > static_cast<int>(graph.size()) || worker_nodes.empty()) return 0;
+  if (split > graph.spatial_prefix_end() || graph.layer(split - 1).output.height <= 1) return 0;
+  return split;
+}
+
+}  // namespace
+
 DataPartitionResult plan_data_partition(const ClusterCostModel& cost,
                                         const std::vector<std::size_t>& worker_nodes,
                                         std::size_t leader, int split_layer) {
   DataPartitionResult result;
   const dnn::DnnGraph& graph = cost.graph();
-  const int split = split_layer < 0 ? dnn::data_partition_point(graph) : split_layer;
-  if (split <= 0 || split > static_cast<int>(graph.size()) || worker_nodes.empty()) {
-    return result;
+  const int split = resolve_split(graph, worker_nodes, split_layer);
+  if (split == 0) return result;
+  result.split_layer = split;
+  result.head_node = leader;
+
+  const int target_rows = graph.layer(split - 1).output.height;
+  // Planner-local reusable scratch (one planning thread, same pattern as
+  // proportional_row_bands_into's internals).
+  static thread_local std::vector<double> rates;
+  static thread_local std::vector<RowRange> bands;
+  static thread_local std::vector<const ClusterCostModel::DataSliceProfile*> profiles;
+  rates.clear();
+  rates.reserve(worker_nodes.size());
+  for (std::size_t node : worker_nodes) rates.push_back(cost.node_rate_gflops(node));
+  proportional_row_bands_into(target_rows, rates, bands);
+  cost.data_slice_profiles(split, bands, profiles);
+
+  double scatter_cursor_s = 0.0;  // leader radio serialises the input scatter
+  double slowest = 0.0;
+  result.slices.reserve(worker_nodes.size());
+  for (std::size_t i = 0; i < worker_nodes.size(); ++i) {
+    if (bands[i].empty() || profiles[i] == nullptr) continue;
+    const ClusterCostModel::DataSliceProfile& profile = *profiles[i];
+    DataSliceAssignment slice;
+    slice.node = worker_nodes[i];
+    slice.target_rows = bands[i];
+    slice.work = profile.work;
+    slice.input_bytes = profile.input_bytes;
+    slice.output_bytes = profile.output_bytes;
+    slice.sync_bytes = profile.sync_bytes;
+    slice.local = cost.data_slice_decision(profile, slice.node);
+    slice.compute_s = slice.local.latency_s;
+    finish_slice_timing(cost, leader, slice, scatter_cursor_s, slowest);
+    result.slices.push_back(std::move(slice));
   }
-  if (split > graph.spatial_prefix_end() || graph.layer(split - 1).output.height <= 1) {
-    return result;
-  }
+  profiles.clear();  // the memo entries they point at may outlive this call, but not the cost model
+  if (result.slices.empty()) return result;
+
+  // Classifier head on the leader.
+  result.head_local = cost.data_head_decision(split, leader);
+  result.head_s = result.head_local.latency_s;
+  result.latency_s = slowest + result.head_s;
+  result.valid = true;
+  return result;
+}
+
+DataPartitionResult plan_data_partition_reference(const ClusterCostModel& cost,
+                                                  const std::vector<std::size_t>& worker_nodes,
+                                                  std::size_t leader, int split_layer) {
+  DataPartitionResult result;
+  const dnn::DnnGraph& graph = cost.graph();
+  const int split = resolve_split(graph, worker_nodes, split_layer);
+  if (split == 0) return result;
   result.split_layer = split;
   result.head_node = leader;
 
@@ -102,7 +207,7 @@ DataPartitionResult plan_data_partition(const ClusterCostModel& cost,
   for (std::size_t node : worker_nodes) rates.push_back(cost.node_rate_gflops(node));
   const std::vector<RowRange> bands = proportional_row_bands(target_rows, rates);
 
-  double scatter_cursor_s = 0.0;  // leader radio serialises the input scatter
+  double scatter_cursor_s = 0.0;
   double slowest = 0.0;
   for (std::size_t i = 0; i < worker_nodes.size(); ++i) {
     if (bands[i].empty()) continue;
@@ -130,36 +235,35 @@ DataPartitionResult plan_data_partition(const ClusterCostModel& cost,
     const std::int64_t io = slice.input_bytes + slice.output_bytes;
     slice.local = cost.local_decision(slice.node, slice.work, io);
     slice.compute_s = slice.local.latency_s;
-
-    double t = 0.0;
-    if (slice.node != leader) {
-      // Scatter serialises on the leader radio; later slices start later.
-      scatter_cursor_s += cost.transfer_s(leader, slice.node, slice.input_bytes);
-      t = scatter_cursor_s;
-    }
-    t += slice.compute_s;
-    if (slice.sync_bytes > 0 && slice.node != leader) {
-      t += 2.0 * cost.transfer_s(slice.node, leader, slice.sync_bytes);
-    }
-    if (slice.node != leader) t += cost.transfer_s(slice.node, leader, slice.output_bytes);
-    slice.total_s = t;
-    slowest = std::max(slowest, t);
+    finish_slice_timing(cost, leader, slice, scatter_cursor_s, slowest);
     result.slices.push_back(std::move(slice));
   }
   if (result.slices.empty()) return result;
 
   // Classifier head on the leader.
   const WorkProfile head_work = WorkProfile::from_graph(graph, split, -1);
-  const platform::NodeModel& head_model = cost.nodes()[leader];
   const std::int64_t head_io =
       static_cast<std::int64_t>(target_rows) * target_row_bytes +
       graph.output_shape().bytes(bpe);
   result.head_local = cost.local_decision(leader, head_work, head_io);
   result.head_s = result.head_local.latency_s;
-  (void)head_model;
   result.latency_s = slowest + result.head_s;
   result.valid = true;
   return result;
+}
+
+DataPartitionResult plan_best_data_partition_reference(
+    const ClusterCostModel& cost, const std::vector<std::size_t>& worker_nodes,
+    std::size_t leader, int max_candidates) {
+  DataPartitionResult best;
+  for (int split : data_split_candidates(cost.graph(), max_candidates)) {
+    DataPartitionResult candidate =
+        plan_data_partition_reference(cost, worker_nodes, leader, split);
+    if (candidate.valid && (!best.valid || candidate.latency_s < best.latency_s)) {
+      best = std::move(candidate);
+    }
+  }
+  return best;
 }
 
 }  // namespace hidp::partition

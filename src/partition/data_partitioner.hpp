@@ -53,6 +53,13 @@ DataPartitionResult plan_data_partition(const ClusterCostModel& cost,
 /// at most `max_candidates`.
 std::vector<int> data_split_candidates(const dnn::DnnGraph& graph, int max_candidates = 12);
 
+/// Same, over a precomputed (ascending) clean-cut list — the cost model
+/// reuses its construction-time cut analysis instead of re-walking the
+/// graph per planning request.
+std::vector<int> data_split_candidates_from_cuts(const dnn::DnnGraph& graph,
+                                                 const std::vector<int>& clean_cuts,
+                                                 int max_candidates = 12);
+
 /// HiDP's data-mode DSE: sweeps the split point (deeper splits parallelise
 /// more FLOPs but pay receptive-field halo recompute; shallower splits
 /// leave a bigger sequential head) and returns the latency-minimal plan.
@@ -64,5 +71,22 @@ DataPartitionResult plan_best_data_partition(const ClusterCostModel& cost,
 /// sums to total). Exposed for tests and for the local tier.
 std::vector<dnn::RowRange> proportional_row_bands(int total_rows,
                                                   const std::vector<double>& weights);
+
+/// In-place variant used by the planner hot path: writes into `bands`
+/// (resized to weights.size()) instead of allocating. Identical results.
+void proportional_row_bands_into(int total_rows, const std::vector<double>& weights,
+                                 std::vector<dnn::RowRange>& bands);
+
+/// The seed's per-candidate planning loop, kept verbatim as the reference
+/// the equivalence tests (and the DSE microbench's data-partition series)
+/// compare the memoised table path against: every slice re-runs
+/// dnn::backpropagate_rows and re-derives its local decision through the
+/// generic (node, profile, io) memo instead of the flattened tables.
+DataPartitionResult plan_data_partition_reference(const ClusterCostModel& cost,
+                                                  const std::vector<std::size_t>& worker_nodes,
+                                                  std::size_t leader, int split_layer = -1);
+DataPartitionResult plan_best_data_partition_reference(
+    const ClusterCostModel& cost, const std::vector<std::size_t>& worker_nodes,
+    std::size_t leader, int max_candidates = 12);
 
 }  // namespace hidp::partition

@@ -1,6 +1,7 @@
 #include "partition/local_config.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <limits>
 
@@ -79,23 +80,36 @@ LocalConfig default_processor_config(const NodeModel& node, const WorkProfile& w
 
 namespace {
 
-/// Splits `fraction` of the work across the node's CPU processors
-/// proportionally to their rates for this workload.
-void append_cpu_shares(const NodeModel& node, const WorkProfile& work, double fraction,
-                       int partitions, std::vector<ProcShare>& out) {
+/// Splits `fraction` of the work proportionally across the node's CPU
+/// processors, rates supplied by `rate_fn(proc, partitions)`. The single
+/// share-construction rule both the sweep engine (lambda_gflops rates) and
+/// the analytic engine (hoisted base-seconds rates) build configs with.
+template <typename RateFn>
+void append_cpu_shares_by_rate(const NodeModel& node, double fraction, int partitions,
+                               const RateFn& rate_fn, std::vector<ProcShare>& out) {
   if (fraction <= 0.0) return;
   double total_rate = 0.0;
   for (std::size_t p = 0; p < node.processor_count(); ++p) {
     if (node.processor(p).kind() == ProcKind::kGpu) continue;
-    total_rate += node.processor(p).lambda_gflops(work, partitions);
+    total_rate += rate_fn(p, partitions);
   }
   if (total_rate <= 0.0) return;
   for (std::size_t p = 0; p < node.processor_count(); ++p) {
     if (node.processor(p).kind() == ProcKind::kGpu) continue;
-    const double rate = node.processor(p).lambda_gflops(work, partitions);
+    const double rate = rate_fn(p, partitions);
     if (rate <= 0.0) continue;
     out.push_back(ProcShare{p, fraction * rate / total_rate, partitions});
   }
+}
+
+/// Splits `fraction` of the work across the node's CPU processors
+/// proportionally to their rates for this workload.
+void append_cpu_shares(const NodeModel& node, const WorkProfile& work, double fraction,
+                       int partitions, std::vector<ProcShare>& out) {
+  append_cpu_shares_by_rate(
+      node, fraction, partitions,
+      [&](std::size_t p, int parts) { return node.processor(p).lambda_gflops(work, parts); },
+      out);
 }
 
 LocalConfig split_config(const NodeModel& node, const WorkProfile& work, double gpu_share,
@@ -240,12 +254,56 @@ LocalDecision best_local_config(const NodeModel& node, const WorkProfile& work,
   // no LocalConfig vectors, no per-candidate lambda_gflops re-derivation.
   LocalDecision best;
   best.config = default_processor_config(node, work);
-  best.latency_s = estimate_local_latency(node, work, best.config, io_bytes);
-  if (work.total() <= 0.0 || node.processor_count() == 0) return best;
+  if (work.total() <= 0.0 || node.processor_count() == 0) {
+    best.latency_s = estimate_local_latency(node, work, best.config, io_bytes);
+    return best;
+  }
 
   const std::size_t gpu = node.gpu_index();
   const bool has_gpu = gpu < node.processor_count();
   const double total_flops = work.total();
+  const double layer_count = work.layer_count();
+
+  // Hoisted per-processor raw seconds: every time_for/lambda_gflops the
+  // search would issue walks the same 33-bucket profile; walk it once per
+  // processor and serve the sigma sweep from scalars.
+  std::array<double, 16> base_buf;
+  std::vector<double> base_dyn;
+  double* base = base_buf.data();
+  if (node.processor_count() > base_buf.size()) {
+    base_dyn.resize(node.processor_count());
+    base = base_dyn.data();
+  }
+  for (std::size_t p = 0; p < node.processor_count(); ++p) {
+    base[p] = node.processor(p).base_seconds(work);
+  }
+  const auto proc_time = [&](std::size_t p, int sigma) {
+    return node.processor(p).time_from_base(base[p], layer_count, sigma);
+  };
+  const auto proc_rate = [&](std::size_t p, int sigma) {
+    // lambda_gflops(work, sigma), served from the hoisted base seconds.
+    const double t = proc_time(p, sigma);
+    if (t <= 0.0) return node.processor(p).peak_gflops();
+    if (t >= 1e29) return 0.0;
+    return total_flops / t / 1e9;
+  };
+  // Default config is a single processor, one partition: its latency is one
+  // scalar off the hoisted bases (what estimate_local_latency would walk).
+  best.latency_s = proc_time(best.config.shares.front().proc, 1);
+
+  // split_config built from the hoisted rates: the same proportional CPU
+  // shares (append_cpu_shares_by_rate) without re-walking the profile.
+  const auto build_split = [&](double gpu_share, int gpu_partitions, int cpu_partitions) {
+    LocalConfig config;
+    config.mode = LocalMode::kDataParallel;
+    config.label = "dse";
+    if (has_gpu && gpu_share > 0.0) {
+      config.shares.push_back(ProcShare{gpu, gpu_share, gpu_partitions});
+    }
+    append_cpu_shares_by_rate(node, 1.0 - gpu_share, cpu_partitions, proc_rate,
+                              config.shares);
+    return config;
+  };
 
   // Winner bookkeeping: remember *what* to build, build it once at the end.
   struct Winner {
@@ -264,16 +322,23 @@ LocalDecision best_local_config(const NodeModel& node, const WorkProfile& work,
 
   // Single-processor alternatives (e.g. CPU beating the GPU on RPi boards).
   for (std::size_t p = 0; p < node.processor_count(); ++p) {
-    offer(Winner::Kind::kSingle, p, 1, 1.0, node.processor(p).time_for(work, 1));
+    offer(Winner::Kind::kSingle, p, 1, 1.0, proc_time(p, 1));
   }
+
+  // DRAM exchange is linear in bytes, so the share evaluators scale these
+  // hoisted constants instead of calling local_exchange_s per probe. (The
+  // probe drops the seed's byte truncation — sub-nanosecond on any real
+  // DRAM rate; the winner is re-estimated exactly below.)
+  const double exchange_full_s = node.local_exchange_s(io_bytes);
+  const double pipe_boundary_s = node.local_exchange_s(io_bytes / 2);
 
   for (int sigma : space.partition_counts) {
     // Hoisted per-sigma rates (the seed re-derived these per share step).
     SigmaRates r;
-    if (has_gpu) r.gpu_s = node.processor(gpu).time_for(work, sigma);
+    if (has_gpu) r.gpu_s = proc_time(gpu, sigma);
     for (std::size_t p = 0; p < node.processor_count(); ++p) {
       if (node.processor(p).kind() == ProcKind::kGpu) continue;
-      const double rate = node.processor(p).lambda_gflops(work, sigma);
+      const double rate = proc_rate(p, sigma);
       if (rate <= 0.0) continue;
       r.cpu_rate += rate;
       ++r.active_cpus;
@@ -308,9 +373,7 @@ LocalDecision best_local_config(const NodeModel& node, const WorkProfile& work,
       }
       if (active == 0) return std::numeric_limits<double>::infinity();
       if (active == 1) return slowest;
-      const auto bytes = static_cast<std::int64_t>(static_cast<double>(io_bytes) *
-                                                   std::min(fraction, 1.0));
-      return slowest + node.local_exchange_s(bytes);
+      return slowest + std::min(fraction, 1.0) * exchange_full_s;
     };
 
     if (has_gpu) {
@@ -334,7 +397,7 @@ LocalDecision best_local_config(const NodeModel& node, const WorkProfile& work,
       const auto eval_pipe = [&](double g) {
         double total = g * r.gpu_s + (1.0 - g) * r.cpu_pipe_s;
         const int boundaries = 1 + r.active_cpus;
-        total += static_cast<double>(boundaries - 1) * node.local_exchange_s(io_bytes / 2);
+        total += static_cast<double>(boundaries - 1) * pipe_boundary_s;
         return total;
       };
       const double best_g = eval_pipe(0.1) <= eval_pipe(0.9) ? 0.1 : 0.9;
@@ -359,10 +422,8 @@ LocalDecision best_local_config(const NodeModel& node, const WorkProfile& work,
       return best;
     }
     case Winner::Kind::kData: {
-      LocalConfig config = has_gpu
-                               ? split_config(node, work, winner.g, winner.sigma,
-                                              winner.sigma, "dse")
-                               : split_config(node, work, 0.0, 1, winner.sigma, "dse");
+      LocalConfig config = has_gpu ? build_split(winner.g, winner.sigma, winner.sigma)
+                                   : build_split(0.0, 1, winner.sigma);
       const double t = estimate_local_latency(node, work, config, io_bytes);
       if (t < best.latency_s) {
         best.latency_s = t;
@@ -371,8 +432,7 @@ LocalDecision best_local_config(const NodeModel& node, const WorkProfile& work,
       return best;
     }
     case Winner::Kind::kPipe: {
-      LocalConfig pipe =
-          split_config(node, work, winner.g, winner.sigma, winner.sigma, "dse");
+      LocalConfig pipe = build_split(winner.g, winner.sigma, winner.sigma);
       pipe.mode = LocalMode::kPipeline;
       const double t = estimate_local_latency(node, work, pipe, io_bytes);
       if (t < best.latency_s) {

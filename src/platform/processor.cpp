@@ -145,7 +145,7 @@ double ProcessorModel::utilization(int partitions) const noexcept {
   return util_single_ + (util_max_ - util_single_) * (1.0 - 1.0 / static_cast<double>(sigma));
 }
 
-double ProcessorModel::time_for(const WorkProfile& work, int partitions) const noexcept {
+double ProcessorModel::base_seconds(const WorkProfile& work) const noexcept {
   const double peak = peak_gflops() * 1e9;
   if (peak <= 0.0) return work.total() > 0.0 ? 1e30 : 0.0;
   double seconds = 0.0;
@@ -160,12 +160,23 @@ double ProcessorModel::time_for(const WorkProfile& work, int partitions) const n
       seconds += flops / (peak * eff);
     }
   }
-  seconds /= utilization(partitions);
+  return seconds;
+}
+
+double ProcessorModel::time_from_base(double base_s, double layer_count,
+                                      int partitions) const noexcept {
+  if (base_s >= 1e30) return 1e30;
+  if (peak_gflops() <= 0.0) return base_s;
+  double seconds = base_s / utilization(partitions);
   // Kernel launches serialise on the submission queue; sigma concurrent
   // partitions overlap launch gaps across streams (capped amortisation).
   const double streams = std::min(std::max(partitions, 1), 4);
-  seconds += work.layer_count() * dispatch_s_ / streams;
+  seconds += layer_count * dispatch_s_ / streams;
   return seconds;
+}
+
+double ProcessorModel::time_for(const WorkProfile& work, int partitions) const noexcept {
+  return time_from_base(base_seconds(work), work.layer_count(), partitions);
 }
 
 double ProcessorModel::lambda_gflops(const WorkProfile& work, int partitions) const noexcept {

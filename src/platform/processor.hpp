@@ -133,6 +133,14 @@ class ProcessorModel {
   /// through the efficiency table.
   double time_for(const WorkProfile& work, int partitions = 1) const noexcept;
 
+  /// Partition-independent part of time_for: the raw efficiency-weighted
+  /// seconds of `work` at utilisation 1 (1e30 when the processor cannot run
+  /// a represented kind). time_for(work, s) == time_from_base(
+  /// base_seconds(work), work.layer_count(), s) bit-for-bit, so searches
+  /// probing many partition counts pay the 33-bucket walk once.
+  double base_seconds(const WorkProfile& work) const noexcept;
+  double time_from_base(double base_s, double layer_count, int partitions) const noexcept;
+
   /// Effective computation rate lambda [GFLOPS] for a workload — the
   /// paper's lambda_k = f_k / delta.
   double lambda_gflops(const WorkProfile& work, int partitions = 1) const noexcept;

@@ -108,6 +108,14 @@ Plan compile_model_partition(const partition::ModelPartitionResult& partition,
   plan.predicted_latency_s = partition.latency_s;
   if (!partition.valid || partition.blocks.empty()) return plan;
 
+  // One handoff plus a handful of local-config tasks per block; reserving
+  // the upper bound keeps the compile free of vector regrowth.
+  std::size_t estimate = 1;
+  for (const auto& block : partition.blocks) {
+    estimate += 1 + std::max<std::size_t>(block.local.config.shares.size(), 1);
+  }
+  plan.tasks.reserve(estimate);
+
   std::vector<int> deps;
   std::size_t previous = leader;
   std::vector<std::size_t> used;
@@ -144,7 +152,15 @@ Plan compile_data_partition(const partition::DataPartitionResult& partition,
   plan.predicted_latency_s = partition.latency_s;
   if (!partition.valid || partition.slices.empty()) return plan;
 
+  // Scatter + SE round-trip + gather per slice on top of its local-config
+  // tasks, then merge + head.
+  std::size_t estimate = 2 + std::max<std::size_t>(partition.head_local.config.shares.size(), 1);
+  for (const auto& slice : partition.slices) {
+    estimate += 4 + std::max<std::size_t>(slice.local.config.shares.size(), 1);
+  }
+  plan.tasks.reserve(estimate);
   std::vector<int> gather_deps;
+  gather_deps.reserve(partition.slices.size());
   std::vector<std::size_t> used{leader};
   for (std::size_t i = 0; i < partition.slices.size(); ++i) {
     const auto& slice = partition.slices[i];
@@ -167,9 +183,9 @@ Plan compile_data_partition(const partition::DataPartitionResult& partition,
     for (int d : deps) gather_deps.push_back(d);
   }
 
-  // Merge + classifier head on the leader.
-  const WorkProfile head =
-      WorkProfile::from_graph(cost.graph(), partition.split_layer, -1);
+  // Merge + classifier head on the leader (head work served from the cost
+  // model's per-split memo instead of re-walking the graph).
+  const WorkProfile& head = cost.data_head_profile(partition.split_layer).work;
   std::vector<int> deps = gather_deps;
   if (head.total() > 0.0) {
     const std::int64_t merge_bytes =

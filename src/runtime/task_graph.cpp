@@ -37,6 +37,16 @@ PlanStats analyze_plan(const Plan& plan, const std::vector<platform::NodeModel>&
 }
 
 std::string plan_to_dot(const Plan& plan, const std::vector<platform::NodeModel>& nodes) {
+  // Renders whatever it is handed — including malformed plans a debugging
+  // session is trying to inspect — so node/processor ids are bounds-checked
+  // (analyze_plan already is) and out-of-range ids degrade to placeholders.
+  const auto node_name = [&nodes](std::size_t id) -> std::string {
+    return id < nodes.size() ? nodes[id].name() : "node?";
+  };
+  const auto proc_name = [&nodes](std::size_t node, std::size_t proc) -> std::string {
+    if (node >= nodes.size() || proc >= nodes[node].processor_count()) return "proc?";
+    return nodes[node].processor(proc).name();
+  };
   std::ostringstream out;
   out << "digraph plan {\n  rankdir=LR;\n  node [shape=box, fontsize=10];\n";
   for (std::size_t i = 0; i < plan.tasks.size(); ++i) {
@@ -45,13 +55,13 @@ std::string plan_to_dot(const Plan& plan, const std::vector<platform::NodeModel>
     std::string style;
     switch (task.kind) {
       case PlanTask::Kind::kCompute:
-        label << task.label << "\\n" << nodes[task.node].name() << "/"
-              << nodes[task.node].processor(task.proc).name() << "\\n"
+        label << task.label << "\\n" << node_name(task.node) << "/"
+              << proc_name(task.node, task.proc) << "\\n"
               << task.seconds * 1e3 << " ms";
         break;
       case PlanTask::Kind::kTransfer:
-        label << task.label << "\\n" << nodes[task.from].name() << " -> "
-              << nodes[task.to].name() << "\\n" << task.bytes / 1024 << " KiB";
+        label << task.label << "\\n" << node_name(task.from) << " -> "
+              << node_name(task.to) << "\\n" << task.bytes / 1024 << " KiB";
         style = ", style=dashed";
         break;
       case PlanTask::Kind::kLocalExchange:
@@ -62,7 +72,13 @@ std::string plan_to_dot(const Plan& plan, const std::vector<platform::NodeModel>
     out << "  t" << i << " [label=\"" << label.str() << "\"" << style << "];\n";
   }
   for (std::size_t i = 0; i < plan.tasks.size(); ++i) {
-    for (int d : plan.tasks[i].deps) out << "  t" << d << " -> t" << i << ";\n";
+    for (int d : plan.tasks[i].deps) {
+      // Malformed deps (negative or forward references, which validate_plan
+      // rejects) would emit ids graphviz cannot parse; skip the edge and
+      // keep the rest of the render usable.
+      if (d < 0 || static_cast<std::size_t>(d) >= i) continue;
+      out << "  t" << d << " -> t" << i << ";\n";
+    }
   }
   out << "}\n";
   return out.str();

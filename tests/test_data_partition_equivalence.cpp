@@ -1,0 +1,180 @@
+// Equivalence proofs for the PR 2 data-partition fast path: the flattened
+// receptive-field walker and the memoised (split, band) slice tables must
+// return bit-identical results to the seed per-candidate loop (kept verbatim
+// as plan_data_partition_reference) across the zoo models, both execution
+// policies, and randomized worker subsets.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "dnn/receptive_field.hpp"
+#include "dnn/zoo/zoo.hpp"
+#include "partition/data_partitioner.hpp"
+#include "platform/device_db.hpp"
+#include "util/rng.hpp"
+
+namespace hidp::partition {
+namespace {
+
+using dnn::RowRange;
+
+std::vector<dnn::DnnGraph> zoo_graphs() {
+  std::vector<dnn::DnnGraph> graphs;
+  graphs.push_back(dnn::zoo::build_vgg19());
+  graphs.push_back(dnn::zoo::build_resnet152());
+  graphs.push_back(dnn::zoo::build_inception_v3());
+  graphs.push_back(dnn::zoo::build_efficientnet_b0());
+  return graphs;
+}
+
+void expect_decisions_identical(const LocalDecision& a, const LocalDecision& b,
+                                const std::string& where) {
+  EXPECT_EQ(a.latency_s, b.latency_s) << where;  // bit-identical, not NEAR
+  EXPECT_EQ(a.config.mode, b.config.mode) << where;
+  ASSERT_EQ(a.config.shares.size(), b.config.shares.size()) << where;
+  for (std::size_t i = 0; i < a.config.shares.size(); ++i) {
+    EXPECT_EQ(a.config.shares[i].proc, b.config.shares[i].proc) << where;
+    EXPECT_EQ(a.config.shares[i].share, b.config.shares[i].share) << where;
+    EXPECT_EQ(a.config.shares[i].data_partitions, b.config.shares[i].data_partitions) << where;
+  }
+}
+
+void expect_results_identical(const DataPartitionResult& fast,
+                              const DataPartitionResult& reference,
+                              const std::string& where) {
+  ASSERT_EQ(fast.valid, reference.valid) << where;
+  if (!fast.valid) return;
+  EXPECT_EQ(fast.split_layer, reference.split_layer) << where;
+  EXPECT_EQ(fast.head_node, reference.head_node) << where;
+  EXPECT_EQ(fast.head_s, reference.head_s) << where;
+  EXPECT_EQ(fast.latency_s, reference.latency_s) << where;
+  expect_decisions_identical(fast.head_local, reference.head_local, where + " head");
+  ASSERT_EQ(fast.slices.size(), reference.slices.size()) << where;
+  for (std::size_t i = 0; i < fast.slices.size(); ++i) {
+    const auto& a = fast.slices[i];
+    const auto& b = reference.slices[i];
+    const std::string slice_where = where + " slice " + std::to_string(i);
+    EXPECT_EQ(a.node, b.node) << slice_where;
+    EXPECT_EQ(a.target_rows, b.target_rows) << slice_where;
+    EXPECT_EQ(a.input_bytes, b.input_bytes) << slice_where;
+    EXPECT_EQ(a.output_bytes, b.output_bytes) << slice_where;
+    EXPECT_EQ(a.sync_bytes, b.sync_bytes) << slice_where;
+    EXPECT_EQ(a.compute_s, b.compute_s) << slice_where;
+    EXPECT_EQ(a.total_s, b.total_s) << slice_where;
+    EXPECT_EQ(a.work.total(), b.work.total()) << slice_where;
+    EXPECT_EQ(a.work.layer_count(), b.work.layer_count()) << slice_where;
+    for (int k = 0; k < dnn::kLayerKindCount; ++k) {
+      for (int c = 0; c < platform::kWorkClassCount; ++c) {
+        EXPECT_EQ(a.work.flops_of(static_cast<dnn::LayerKind>(k),
+                                  static_cast<platform::WorkClass>(c)),
+                  b.work.flops_of(static_cast<dnn::LayerKind>(k),
+                                  static_cast<platform::WorkClass>(c)))
+            << slice_where;
+      }
+    }
+    expect_decisions_identical(a.local, b.local, slice_where);
+  }
+}
+
+TEST(RowBackpropEquivalence, MatchesFreeFunctionAcrossZooAndBands) {
+  util::Rng rng(20260731);
+  for (const auto& graph : zoo_graphs()) {
+    dnn::RowBackprop backprop(graph);
+    for (int split : data_split_candidates(graph, 0)) {
+      const int height = graph.layer(split - 1).output.height;
+      for (int trial = 0; trial < 8; ++trial) {
+        const int begin = static_cast<int>(rng.next_u64() % static_cast<std::uint64_t>(height));
+        const int end =
+            begin + 1 +
+            static_cast<int>(rng.next_u64() % static_cast<std::uint64_t>(height - begin));
+        const RowRange band{begin, end};
+        const auto expected = dnn::backpropagate_rows(graph, split, band);
+        const auto& flat = backprop(split, band);
+        ASSERT_EQ(flat.size(), expected.size());
+        for (std::size_t l = 0; l < expected.size(); ++l) {
+          ASSERT_EQ(flat[l], expected[l]) << graph.name() << " split " << split << " layer " << l;
+        }
+      }
+    }
+  }
+}
+
+TEST(RowBackpropEquivalence, BatchMatchesSingleQueries) {
+  for (const auto& graph : zoo_graphs()) {
+    dnn::RowBackprop backprop(graph);
+    for (int split : data_split_candidates(graph, 6)) {
+      const int height = graph.layer(split - 1).output.height;
+      const std::vector<RowRange> bands =
+          proportional_row_bands(height, {3.0, 1.0, 2.0, 0.5});
+      const auto& batch = backprop.run_batch(split, bands.data(), bands.size());
+      for (std::size_t k = 0; k < bands.size(); ++k) {
+        const auto expected = dnn::backpropagate_rows(graph, split, bands[k]);
+        for (int l = 0; l < split; ++l) {
+          ASSERT_EQ(batch[static_cast<std::size_t>(l) * bands.size() + k],
+                    expected[static_cast<std::size_t>(l)])
+              << graph.name() << " split " << split << " band " << k << " layer " << l;
+        }
+      }
+    }
+  }
+}
+
+class DataPartitionEquivalence : public ::testing::TestWithParam<NodeExecutionPolicy> {};
+
+TEST_P(DataPartitionEquivalence, MemoisedPathMatchesSeedLoop) {
+  const auto nodes = platform::paper_cluster();
+  const net::NetworkSpec network(nodes);
+  util::Rng rng(42);
+  for (const auto& graph : zoo_graphs()) {
+    ClusterCostModel cost(graph, nodes, network, GetParam());
+    // Randomized worker bands: random subset sizes, orders and leaders.
+    for (int trial = 0; trial < 6; ++trial) {
+      std::vector<std::size_t> workers(nodes.size());
+      for (std::size_t j = 0; j < nodes.size(); ++j) workers[j] = j;
+      for (std::size_t j = workers.size(); j > 1; --j) {
+        std::swap(workers[j - 1], workers[rng.next_u64() % j]);
+      }
+      workers.resize(2 + rng.next_u64() % (nodes.size() - 1));
+      const std::size_t leader = workers[rng.next_u64() % workers.size()];
+      const std::string where = graph.name() + " trial " + std::to_string(trial);
+
+      for (int split : cost.data_split_candidate_list(12)) {
+        expect_results_identical(plan_data_partition(cost, workers, leader, split),
+                                 plan_data_partition_reference(cost, workers, leader, split),
+                                 where + " split " + std::to_string(split));
+      }
+      expect_results_identical(plan_best_data_partition(cost, workers, leader),
+                               plan_best_data_partition_reference(cost, workers, leader),
+                               where + " best");
+    }
+  }
+}
+
+TEST_P(DataPartitionEquivalence, SearchSpaceChangeInvalidatesDecisions) {
+  const auto nodes = platform::paper_cluster();
+  const net::NetworkSpec network(nodes);
+  const auto graph = dnn::zoo::build_vgg19();
+  ClusterCostModel cost(graph, nodes, network, GetParam());
+  (void)plan_best_data_partition(cost, {0, 1, 2}, 0);  // warm the memos
+
+  LocalSearchSpace seed_space;
+  seed_space.use_golden_section = false;
+  cost.set_local_search_space(seed_space);
+  // After the switch both paths must still agree (stale memoised decisions
+  // from the old search space would break this).
+  expect_results_identical(plan_best_data_partition(cost, {0, 1, 2}, 0),
+                           plan_best_data_partition_reference(cost, {0, 1, 2}, 0),
+                           "post search-space change");
+}
+
+INSTANTIATE_TEST_SUITE_P(BothPolicies, DataPartitionEquivalence,
+                         ::testing::Values(NodeExecutionPolicy::kHierarchicalLocal,
+                                           NodeExecutionPolicy::kDefaultProcessor),
+                         [](const auto& info) {
+                           return info.param == NodeExecutionPolicy::kHierarchicalLocal
+                                      ? std::string("Hierarchical")
+                                      : std::string("DefaultProcessor");
+                         });
+
+}  // namespace
+}  // namespace hidp::partition

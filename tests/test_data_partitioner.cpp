@@ -1,6 +1,8 @@
 // Data partitioner: band sizing, exact slice FLOPs, halo overlap, head.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "dnn/zoo/zoo.hpp"
 #include "partition/data_partitioner.hpp"
 #include "platform/device_db.hpp"
@@ -88,6 +90,45 @@ TEST(DataPartitioner, SplitCandidatesAreCleanSpatialCuts) {
   for (int c : candidates) {
     EXPECT_GT(f.graph.layer(c - 1).output.height, 1);
     EXPECT_LE(c, f.graph.spatial_prefix_end());
+  }
+}
+
+TEST(DataPartitioner, SplitCandidateThinningSweep) {
+  // Regression for the thinning NaN/dup bug: max_candidates == 1 used to
+  // divide by zero (step = inf, 0 * inf = NaN cast to an index — UB), and
+  // rounding plus the forced last element could select a candidate twice.
+  Fixture f;
+  const auto full = data_split_candidates(f.graph, 0);  // 0 = unthinned
+  ASSERT_GE(full.size(), 2u);
+  for (int max = 1; max <= static_cast<int>(full.size()) + 2; ++max) {
+    const auto thinned = data_split_candidates(f.graph, max);
+    ASSERT_FALSE(thinned.empty()) << "max=" << max;
+    EXPECT_LE(static_cast<int>(thinned.size()), max) << "max=" << max;
+    EXPECT_EQ(thinned.back(), dnn::data_partition_point(f.graph)) << "max=" << max;
+    for (std::size_t i = 0; i < thinned.size(); ++i) {
+      if (i > 0) EXPECT_LT(thinned[i - 1], thinned[i]) << "max=" << max;  // sorted, no dups
+      EXPECT_TRUE(std::find(full.begin(), full.end(), thinned[i]) != full.end())
+          << "max=" << max << " candidate " << thinned[i] << " not a clean spatial cut";
+    }
+  }
+}
+
+TEST(DataPartitioner, SingleCandidateKeepsDeepestSplit) {
+  Fixture f;
+  const auto thinned = data_split_candidates(f.graph, 1);
+  ASSERT_EQ(thinned.size(), 1u);
+  EXPECT_EQ(thinned.front(), dnn::data_partition_point(f.graph));
+  // The sweep with one candidate must still produce a valid plan.
+  const auto result = plan_best_data_partition(f.cost, {0, 1}, 0, 1);
+  EXPECT_TRUE(result.valid);
+  EXPECT_EQ(result.split_layer, dnn::data_partition_point(f.graph));
+}
+
+TEST(DataPartitioner, CandidateListMemoMatchesFreeFunction) {
+  Fixture f;
+  for (int max : {1, 2, 5, 12, 100}) {
+    EXPECT_EQ(f.cost.data_split_candidate_list(max), data_split_candidates(f.graph, max))
+        << "max=" << max;
   }
 }
 

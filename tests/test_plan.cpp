@@ -175,5 +175,35 @@ TEST(PlanDot, EmitsGraphviz) {
   EXPECT_NE(dot.find("Jetson"), std::string::npos);
 }
 
+TEST(PlanDot, OutOfRangeIdsDegradeToPlaceholders) {
+  // A debugging render of a malformed plan must not index past the node
+  // vector (validate_plan throws on such plans; plan_to_dot must not).
+  Fixture f;
+  Plan plan;
+  PlanTask compute;
+  compute.kind = PlanTask::Kind::kCompute;
+  compute.node = f.nodes.size() + 3;
+  compute.proc = 99;
+  plan.tasks.push_back(compute);
+  PlanTask bad_proc;
+  bad_proc.kind = PlanTask::Kind::kCompute;
+  bad_proc.node = 0;
+  bad_proc.proc = f.nodes[0].processor_count() + 7;
+  plan.tasks.push_back(bad_proc);
+  PlanTask transfer;
+  transfer.kind = PlanTask::Kind::kTransfer;
+  transfer.from = f.nodes.size();
+  transfer.to = f.nodes.size() + 1;
+  transfer.deps = {-1, 99, 0};  // only the backward in-range dep may render
+  plan.tasks.push_back(transfer);
+  const std::string dot = plan_to_dot(plan, f.nodes);
+  EXPECT_NE(dot.find("node?"), std::string::npos);
+  EXPECT_NE(dot.find("proc?"), std::string::npos);
+  EXPECT_NE(dot.find("digraph plan"), std::string::npos);
+  EXPECT_EQ(dot.find("t-1"), std::string::npos);
+  EXPECT_EQ(dot.find("t99"), std::string::npos);
+  EXPECT_NE(dot.find("t0 -> t2"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace hidp::runtime

@@ -208,6 +208,117 @@ TEST(OmniboostStrategy, DeterministicAcrossInstances) {
   }
 }
 
+TEST(BaselinePlanCache, RepeatedSituationHits) {
+  const auto nodes = platform::paper_cluster();
+  runtime::ModelSet models;
+  baselines::ModnnStrategy modnn;
+  baselines::DisnetStrategy disnet;
+  baselines::OmniboostStrategy omni;
+  const auto& graph = models.graph(dnn::zoo::ModelId::kResNet152);
+  for (auto* strategy :
+       std::initializer_list<runtime::IStrategy*>{&modnn, &disnet, &omni}) {
+    const Plan first = strategy->plan(graph, snapshot(nodes, 0));
+    const Plan second = strategy->plan(graph, snapshot(nodes, 0));
+    ASSERT_FALSE(first.empty()) << strategy->name();
+    ASSERT_EQ(first.tasks.size(), second.tasks.size()) << strategy->name();
+    // The hit charges lookup cost, not the strategy's planning latency.
+    EXPECT_LT(second.phases.total(), first.phases.total()) << strategy->name();
+  }
+  EXPECT_EQ(modnn.plan_cache_stats().hits, 1u);
+  EXPECT_EQ(modnn.plan_cache_stats().misses, 1u);
+  EXPECT_EQ(disnet.plan_cache_stats().hits, 1u);
+  EXPECT_EQ(omni.plan_cache_stats().hits, 1u);
+}
+
+TEST(BaselinePlanCache, QueueDepthKeyedOnlyWhereRead) {
+  const auto nodes = platform::paper_cluster();
+  runtime::ModelSet models;
+  const auto& graph = models.graph(dnn::zoo::ModelId::kResNet152);
+  // MoDNN never consults queue depth: depth churn must stay a cache hit.
+  baselines::ModnnStrategy modnn;
+  (void)modnn.plan(graph, snapshot(nodes, 0, /*queue=*/0));
+  (void)modnn.plan(graph, snapshot(nodes, 0, /*queue=*/3));
+  EXPECT_EQ(modnn.plan_cache_stats().hits, 1u);
+  // OmniBoost switches objective on queue_depth > 0: exactly two regimes.
+  baselines::OmniboostStrategy omni;
+  (void)omni.plan(graph, snapshot(nodes, 0, /*queue=*/0));
+  (void)omni.plan(graph, snapshot(nodes, 0, /*queue=*/2));  // miss: q>0 regime
+  (void)omni.plan(graph, snapshot(nodes, 0, /*queue=*/7));  // hit: same regime
+  EXPECT_EQ(omni.plan_cache_stats().misses, 2u);
+  EXPECT_EQ(omni.plan_cache_stats().hits, 1u);
+}
+
+TEST(BaselinePlanCache, DistinctSituationsMiss) {
+  const auto nodes = platform::paper_cluster();
+  runtime::ModelSet models;
+  baselines::ModnnStrategy modnn;
+  const auto& graph = models.graph(dnn::zoo::ModelId::kVgg19);
+  (void)modnn.plan(graph, snapshot(nodes, 0));
+  (void)modnn.plan(graph, snapshot(nodes, 1));  // different leader
+  auto degraded = snapshot(nodes, 0);
+  degraded.available = {true, true, false, true, true};
+  (void)modnn.plan(graph, degraded);  // different availability
+  EXPECT_EQ(modnn.plan_cache_stats().hits, 0u);
+  EXPECT_EQ(modnn.plan_cache_stats().misses, 3u);
+}
+
+TEST(BaselinePlanCache, EmptyAvailabilityDoesNotAliasAllDown) {
+  // An empty availability vector means "everyone available" (worker
+  // ordering skips nothing), while an explicit all-false means leader-only;
+  // the cache key must distinguish them or the leader-only request replays
+  // the all-node plan onto down nodes.
+  const auto nodes = platform::paper_cluster();
+  runtime::ModelSet models;
+  baselines::ModnnStrategy modnn;
+  const auto& graph = models.graph(dnn::zoo::ModelId::kResNet152);
+  auto everyone = snapshot(nodes, 0);
+  everyone.available.clear();
+  (void)modnn.plan(graph, everyone);
+  auto leader_only = snapshot(nodes, 0);
+  leader_only.available.assign(nodes.size(), false);
+  leader_only.available[0] = true;
+  const Plan plan = modnn.plan(graph, leader_only);
+  EXPECT_EQ(modnn.plan_cache_stats().hits, 0u);
+  for (const auto& task : plan.tasks) {
+    if (task.kind == runtime::PlanTask::Kind::kCompute) EXPECT_EQ(task.node, 0u);
+  }
+}
+
+TEST(BaselinePlanCache, ClusterChangeInvalidates) {
+  auto nodes = platform::paper_cluster();
+  runtime::ModelSet models;
+  baselines::DisnetStrategy disnet;
+  const auto& graph = models.graph(dnn::zoo::ModelId::kResNet152);
+  (void)disnet.plan(graph, snapshot(nodes, 0));
+  (void)disnet.plan(graph, snapshot(nodes, 0));
+  EXPECT_EQ(disnet.plan_cache_stats().hits, 1u);
+
+  // Shrinking the cluster must drop the cached plans (and the cost models
+  // priced against the old node vector/network).
+  const auto smaller = platform::paper_cluster(3);
+  const Plan plan = disnet.plan(graph, snapshot(smaller, 0));
+  ASSERT_FALSE(plan.empty());
+  EXPECT_NO_THROW(runtime::validate_plan(plan, smaller));
+  EXPECT_EQ(disnet.plan_cache_stats().invalidations, 1u);
+  for (const auto& task : plan.tasks) {
+    if (task.kind == runtime::PlanTask::Kind::kCompute) EXPECT_LT(task.node, smaller.size());
+  }
+}
+
+TEST(BaselinePlanCache, DisabledCacheNeverHits) {
+  const auto nodes = platform::paper_cluster();
+  runtime::ModelSet models;
+  baselines::ModnnStrategy::Options options;
+  options.plan_cache.enabled = false;
+  baselines::ModnnStrategy modnn(options);
+  const auto& graph = models.graph(dnn::zoo::ModelId::kResNet152);
+  const Plan first = modnn.plan(graph, snapshot(nodes, 0));
+  const Plan second = modnn.plan(graph, snapshot(nodes, 0));
+  EXPECT_EQ(modnn.plan_cache_stats().hits, 0u);
+  EXPECT_EQ(modnn.plan_cache_stats().misses, 0u);
+  EXPECT_DOUBLE_EQ(first.phases.total(), second.phases.total());
+}
+
 TEST(Strategies, HidpPredictsLowestLatency) {
   // Contention-free critical paths: HiDP's plan must beat every baseline's
   // for each model (leader = TX2, the paper's Fig. 1 board).
