@@ -27,10 +27,11 @@ class AblatedStrategy : public runtime::IStrategy {
 
   std::string name() const override { return name_; }
 
-  runtime::Plan plan(const dnn::DnnGraph& model, const runtime::ClusterSnapshot& snap) override {
+  runtime::PlanResult plan(const runtime::PlanRequest& request) override {
+    const runtime::ClusterSnapshot& snap = request.snapshot;
     const auto policy = local_dse_ ? partition::NodeExecutionPolicy::kHierarchicalLocal
                                    : partition::NodeExecutionPolicy::kDefaultProcessor;
-    partition::ClusterCostModel cost(model, *snap.nodes, snap.network, policy);
+    partition::ClusterCostModel cost(request.graph(), *snap.nodes, snap.network, policy);
     core::GlobalPartitioner global;
     runtime::Plan plan;
     if (global_dse_) {
@@ -43,7 +44,7 @@ class AblatedStrategy : public runtime::IStrategy {
     }
     plan.phases.explore_s = 0.010;
     plan.phases.map_s = local_dse_ ? 0.005 : 0.0;
-    return plan;
+    return runtime::PlanResult{std::move(plan), false};
   }
 
  private:

@@ -15,14 +15,16 @@ std::unique_ptr<runtime::IStrategy> make_strategy(const std::string& name) {
 }
 
 StreamResult run_requests(runtime::IStrategy& strategy,
-                          const std::vector<runtime::InferenceRequest>& requests,
+                          const std::vector<runtime::RequestSpec>& requests,
                           std::size_t cluster_size, std::size_t leader) {
   runtime::Cluster cluster(platform::paper_cluster(cluster_size));
-  runtime::ExecutionEngine engine(cluster, strategy, leader);
+  runtime::InferenceService service(cluster, strategy, leader);
+  runtime::ReplayArrivals arrivals(requests);
+  service.attach(&arrivals);
   StreamResult result;
-  result.records = engine.run(requests);
+  result.records = service.run();
   result.metrics = runtime::summarize_run(result.records, cluster);
-  result.traces = engine.traces();
+  result.traces = service.traces();
   return result;
 }
 

@@ -19,6 +19,7 @@
 #include "baselines/omniboost.hpp"
 #include "core/hidp_strategy.hpp"
 #include "runtime/metrics.hpp"
+#include "runtime/service.hpp"
 #include "runtime/workload.hpp"
 #include "util/table.hpp"
 
@@ -40,9 +41,10 @@ struct StreamResult {
 };
 
 /// Runs `requests` under `strategy` on a fresh cluster of `cluster_size`
-/// paper nodes with the given leader.
+/// paper nodes with the given leader (replayed through an InferenceService
+/// with unlimited admission).
 StreamResult run_requests(runtime::IStrategy& strategy,
-                          const std::vector<runtime::InferenceRequest>& requests,
+                          const std::vector<runtime::RequestSpec>& requests,
                           std::size_t cluster_size = 5,
                           std::size_t leader = kDefaultLeader);
 

@@ -44,6 +44,14 @@ runtime::ClusterSnapshot make_snapshot(const std::vector<platform::NodeModel>& n
   return snap;
 }
 
+runtime::Plan plan_request(runtime::IStrategy& strategy, const dnn::DnnGraph& graph,
+                           const runtime::ClusterSnapshot& snap) {
+  runtime::PlanRequest request;
+  request.model = &graph;
+  request.snapshot = snap;
+  return strategy.plan(request).plan;
+}
+
 /// Cold planning throughput: every plan() is the first one a fresh strategy
 /// instance ever sees, so the cost-model tables fill from scratch — the
 /// regime the paper's per-request 15 ms budget is about.
@@ -54,7 +62,7 @@ double measure_cold_plans_per_sec(const MakeStrategy& make, const dnn::DnnGraph&
   for (int i = 0; i < iterations; ++i) {
     auto strategy = make();
     const auto begin = std::chrono::steady_clock::now();
-    const runtime::Plan plan = strategy->plan(graph, snap);
+    const runtime::Plan plan = plan_request(*strategy, graph, snap);
     const auto end = std::chrono::steady_clock::now();
     if (plan.empty()) return 0.0;
     elapsed_s += std::chrono::duration<double>(end - begin).count();
@@ -65,12 +73,12 @@ double measure_cold_plans_per_sec(const MakeStrategy& make, const dnn::DnnGraph&
 double measure_plans_per_sec(runtime::IStrategy& strategy, const dnn::DnnGraph& graph,
                              const runtime::ClusterSnapshot& snap, int warmup, int iterations) {
   for (int i = 0; i < warmup; ++i) {
-    const runtime::Plan plan = strategy.plan(graph, snap);
+    const runtime::Plan plan = plan_request(strategy, graph, snap);
     if (plan.empty()) return 0.0;
   }
   const auto begin = std::chrono::steady_clock::now();
   for (int i = 0; i < iterations; ++i) {
-    const runtime::Plan plan = strategy.plan(graph, snap);
+    const runtime::Plan plan = plan_request(strategy, graph, snap);
     (void)plan;
   }
   const auto end = std::chrono::steady_clock::now();
@@ -213,6 +221,36 @@ int main(int argc, char** argv) {
     cold_speedups.emplace_back(dnn::zoo::model_name(id), speedup);
     std::cout << "  cold-planner speedup vs seed (" << dnn::zoo::model_name(id)
               << "): " << speedup << "x\n";
+  }
+
+  // Cold ClusterCostModel construction: with the block-decision tables now
+  // allocated lazily per node row, a cold build no longer pays the dense
+  // (node x ci x cj) allocation up front. `-construct` measures bare
+  // construction; `-first-plan` proves the lazy rows do not regress the
+  // warm path (the deferred allocation is repaid on first use, and the
+  // default/steady-state series above stay the no-regression reference).
+  const int cm_iterations = smoke ? 3 : 200;
+  for (const auto id : models.ids()) {
+    const auto& graph = models.graph(id);
+    double construct_s = 0.0;
+    double first_plan_s = 0.0;
+    for (int i = 0; i < cm_iterations; ++i) {
+      const auto begin = std::chrono::steady_clock::now();
+      partition::ClusterCostModel cost(graph, nodes, snap.network,
+                                       partition::NodeExecutionPolicy::kHierarchicalLocal);
+      const auto built = std::chrono::steady_clock::now();
+      core::GlobalPartitioner global;
+      const runtime::Plan plan =
+          global.partition(cost, bench::kDefaultLeader, snap.available, 0, "HiDP");
+      const auto end = std::chrono::steady_clock::now();
+      if (plan.empty()) break;
+      construct_s += std::chrono::duration<double>(built - begin).count();
+      first_plan_s += std::chrono::duration<double>(end - built).count();
+    }
+    record("CostModel-construct", dnn::zoo::model_name(id),
+           construct_s > 0.0 ? static_cast<double>(cm_iterations) / construct_s : 0.0);
+    record("CostModel-first-plan", dnn::zoo::model_name(id),
+           first_plan_s > 0.0 ? static_cast<double>(cm_iterations) / first_plan_s : 0.0);
   }
 
   // Cold data-partition planning (PR 2 tentpole): plan_best_data_partition

@@ -30,13 +30,15 @@ int main() {
       auto strategy = bench::make_strategy(name);
       // Recreate the run with cluster access for service-energy accounting.
       runtime::Cluster cluster(platform::paper_cluster());
-      runtime::ExecutionEngine engine(cluster, *strategy, bench::kDefaultLeader);
-      const auto records =
-          engine.run(runtime::periodic_stream(models.graph(id), kRequests, kInterval));
+      runtime::InferenceService service(cluster, *strategy, bench::kDefaultLeader);
+      runtime::ReplayArrivals arrivals(
+          runtime::periodic_stream(models.graph(id), kRequests, kInterval));
+      service.attach(&arrivals);
+      const auto records = service.run();
       Cell cell;
       cell.metrics = runtime::summarize_run(records, cluster);
       cell.service_energy_j =
-          runtime::mean_service_energy_j(records, engine.traces(), cluster);
+          runtime::mean_service_energy_j(records, service.traces(), cluster);
       results[name][dnn::zoo::model_name(id)] = cell;
     }
   }

@@ -35,7 +35,10 @@ int main() {
           snap.available.assign(nodes.size(), true);
           snap.leader = leader;
           snap.queue_depth = queue;
-          const runtime::Plan plan = strategy->plan(models.graph(id), snap);
+          runtime::PlanRequest request;
+          request.model = &models.graph(id);
+          request.snapshot = snap;
+          const runtime::Plan plan = strategy->plan(request).plan;
           modes.insert(plan.global_mode);
           // Local partitioning: a node runs *parallel* compute tasks on
           // different processors (same dependency frontier) — the adaptive

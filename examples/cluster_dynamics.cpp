@@ -37,7 +37,10 @@ int main() {
     snap.network = net::NetworkSpec(nodes);
     snap.available = available;
     snap.leader = 1;
-    const runtime::Plan plan = hidp.plan(vgg, snap);
+    runtime::PlanRequest request;
+    request.model = &vgg;
+    request.snapshot = snap;
+    const runtime::Plan plan = hidp.plan(request).plan;
     int count = 0;
     for (bool a : available) count += a ? 1 : 0;
     churn.add_row({std::to_string(count),
@@ -61,7 +64,10 @@ int main() {
     snap.available.assign(nodes.size(), true);
     snap.leader = 1;
     snap.queue_depth = depth;
-    hidp.plan(resnet, snap);
+    runtime::PlanRequest request;
+    request.model = &resnet;
+    request.snapshot = snap;
+    hidp.plan(request);
     const auto& d = hidp.last_decision();
     queue.add_row({std::to_string(depth),
                    std::string(partition::partition_mode_name(d.mode)),
@@ -73,14 +79,16 @@ int main() {
   std::printf("== mid-stream failure ==\n");
   runtime::Cluster cluster(platform::paper_cluster());
   core::HidpStrategy live;
-  runtime::ExecutionEngine engine(cluster, live, 1);
+  runtime::InferenceService service(cluster, live, 1);
   auto requests = runtime::periodic_stream(resnet, 10, 0.2);
   cluster.simulator().schedule_at(0.9, [&cluster] {
     cluster.network().set_available(0, false);  // Orin NX drops at t=0.9s
     cluster.network().set_available(3, false);  // RPi5 drops too
     std::printf("t=0.90s: Jetson Orin NX and Raspberry Pi 5 left the cluster\n");
   });
-  const auto records = engine.run(requests);
+  runtime::ReplayArrivals arrivals(requests);
+  service.attach(&arrivals);
+  const auto records = service.run();
   const auto metrics = runtime::summarize_run(records, cluster);
   std::printf("completed %d/10 requests, mean latency %.1f ms (before+after churn)\n",
               metrics.requests, metrics.mean_latency_s * 1e3);

@@ -46,8 +46,10 @@ int main() {
   //    (the camera node), and let HiDP decide.
   runtime::Cluster cluster(platform::paper_cluster(3));
   core::HidpStrategy hidp;
-  runtime::ExecutionEngine engine(cluster, hidp, /*leader=*/2);
-  const auto records = engine.run(runtime::periodic_stream(g, 10, 0.05));
+  runtime::InferenceService service(cluster, hidp, /*leader=*/2);
+  runtime::ReplayArrivals arrivals(runtime::periodic_stream(g, 10, 0.05));
+  service.attach(&arrivals);
+  const auto records = service.run();
   const auto metrics = runtime::summarize_run(records, cluster);
   std::printf("\nHiDP on 3 nodes (leader = Jetson Nano): mean latency %.2f ms, "
               "throughput %.0f/100s\n",
@@ -59,7 +61,10 @@ int main() {
   snap.network = cluster.network().spec();
   snap.available.assign(cluster.size(), true);
   snap.leader = 2;
-  const runtime::Plan plan = hidp.plan(g, snap);
+  runtime::PlanRequest request;
+  request.model = &g;
+  request.snapshot = snap;
+  const runtime::Plan plan = hidp.plan(request).plan;
   const auto stats = runtime::analyze_plan(plan, cluster.nodes());
   std::printf("\nplan: %d compute tasks, %d transfers, depth %d, %.0f KiB over the air\n",
               stats.compute_tasks, stats.transfer_tasks, stats.depth,

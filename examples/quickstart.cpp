@@ -10,6 +10,7 @@
 #include "core/hidp_strategy.hpp"
 #include "dnn/zoo/zoo.hpp"
 #include "runtime/metrics.hpp"
+#include "runtime/service.hpp"
 #include "runtime/task_graph.hpp"
 #include "runtime/workload.hpp"
 
@@ -32,8 +33,9 @@ int main() {
   // 3. HiDP plans hierarchically: global DSE picks the mode and block
   //    distribution; each node's block gets a local CPU/GPU configuration.
   core::HidpStrategy hidp;
-  runtime::ExecutionEngine engine(cluster, hidp, /*leader=*/1);
-  const auto records = engine.run({runtime::InferenceRequest{0, &resnet, 0.0}});
+  runtime::InferenceService service(cluster, hidp, /*leader=*/1);
+  service.submit(runtime::RequestSpec{0, &resnet, 0.0});
+  const auto records = service.run();
 
   const auto& decision = hidp.last_decision();
   std::printf("\nHiDP decision: global mode = %s, predicted latency = %.1f ms\n",

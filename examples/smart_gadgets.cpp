@@ -43,9 +43,11 @@ int main(int argc, char** argv) {
 
     util::Rng rng(7);  // identical arrival pattern for every strategy
     runtime::Cluster cluster(platform::paper_cluster());
-    runtime::ExecutionEngine engine(cluster, *strategy, /*leader=*/1);
-    const auto stream = runtime::mixed_stream(models, gadget_mix, requests, 0.15, rng);
-    const auto records = engine.run(stream);
+    runtime::InferenceService service(cluster, *strategy, /*leader=*/1);
+    runtime::ReplayArrivals arrivals(
+        runtime::mixed_stream(models, gadget_mix, requests, 0.15, rng));
+    service.attach(&arrivals);
+    const auto records = service.run();
     const auto m = runtime::summarize_run(records, cluster);
     table.add_row({name, util::fmt(m.mean_latency_s * 1e3, 1),
                    util::fmt(m.p95_latency_s * 1e3, 1), util::fmt(m.throughput_per_100s, 0),

@@ -1,12 +1,13 @@
-// Shared plumbing for the baseline strategies: per-model cost-model caching
-// under the framework-default node execution policy (no local tier — the
-// distinguishing limitation of all three baselines per the paper's Table I)
-// plus the same cross-request plan cache HiDP uses, so the baselines' plan
-// throughput reflects their algorithms rather than missing caching.
+// Shared plumbing for the baseline strategies: the one serving-side cached
+// planning path of core::CachingStrategyBase plus per-model cost-model
+// caching under the framework-default node execution policy (no local
+// tier — the distinguishing limitation of all three baselines per the
+// paper's Table I). Baselines only implement their search (plan_fresh);
+// admission, cache probing, hit stamping and invalidation are shared with
+// HiDP.
 #pragma once
 
 #include <memory>
-#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -24,24 +25,18 @@ struct PlanCacheOptions {
   double cached_planning_latency_s = 1e-4;
 };
 
-/// How much of the queue depth a strategy's planning actually reads —
-/// keying on more than that fragments its plan cache for nothing.
-enum class QueueSensitivity {
-  kNone,    ///< MoDNN/DisNet: queue depth never consulted
-  kBinary,  ///< OmniBoost: objective switches on queue_depth > 0
-};
-
-/// Cost models and cached plans for one baseline strategy. Both are dropped
-/// together whenever the cluster's nodes or network change — a cost model
-/// bakes the network spec in at construction, so the old nodes-pointer-only
-/// invalidation could serve plans priced against a stale network.
-class BaselineCaches {
- public:
-  BaselineCaches(partition::NodeExecutionPolicy policy, int bytes_per_element,
-                 PlanCacheOptions cache_options = {},
-                 QueueSensitivity queue = QueueSensitivity::kNone)
-      : policy_(policy), bytes_per_element_(bytes_per_element),
-        options_(cache_options), queue_(queue), plans_(cache_options.capacity) {}
+/// Base class of the three baselines. Both the plan cache and the cost
+/// models are dropped together whenever the cluster's nodes or network
+/// change — a cost model bakes the network spec in at construction, so a
+/// nodes-pointer-only invalidation could serve plans priced against a
+/// stale network.
+class BaselineStrategy : public core::CachingStrategyBase {
+ protected:
+  BaselineStrategy(partition::NodeExecutionPolicy policy, int bytes_per_element,
+                   double planning_latency_s, const PlanCacheOptions& cache_options,
+                   core::QueueSensitivity queue = core::QueueSensitivity::kNone)
+      : CachingStrategyBase(make_policy(planning_latency_s, cache_options, queue)),
+        policy_(policy), bytes_per_element_(bytes_per_element) {}
 
   partition::ClusterCostModel& cost_model(const dnn::DnnGraph& model,
                                           const runtime::ClusterSnapshot& snap) {
@@ -56,41 +51,25 @@ class BaselineCaches {
     return *it->second;
   }
 
-  /// Cache probe for one request. Refreshes the cluster epoch, then returns
-  /// the cached plan with its hit phases stamped, or nullopt (with
-  /// `key`/`cacheable` primed for store_plan after planning). The single
-  /// point of truth for hit stamping across the three baselines.
-  std::optional<runtime::Plan> cached_plan(const dnn::DnnGraph& model,
-                                           const runtime::ClusterSnapshot& snap,
-                                           core::GlobalDecisionKey* key, bool* cacheable) {
-    if (plans_.refresh_cluster(snap)) cost_models_.clear();
-    *cacheable = options_.enabled &&
-                 core::CrossRequestPlanCache<runtime::Plan>::make_key(model, snap,
-                                                                      snap.available, key);
-    if (!*cacheable) return std::nullopt;
-    key->queue_bucket = queue_ == QueueSensitivity::kBinary && snap.queue_depth > 0 ? 1 : 0;
-    const runtime::Plan* hit = plans_.find(*key);
-    if (hit == nullptr) return std::nullopt;
-    runtime::Plan plan = *hit;
-    plan.phases.explore_s = options_.cached_planning_latency_s;
-    return plan;
-  }
-
-  /// Stores `plan` (phases should be unset; hits are stamped per request).
-  void store_plan(const core::GlobalDecisionKey& key, runtime::Plan plan) {
-    plans_.insert(key, std::move(plan));
-  }
-
-  const core::DecisionCacheStats& plan_cache_stats() const noexcept { return plans_.stats(); }
+  void on_cluster_change() override { cost_models_.clear(); }
 
  private:
+  static CachePolicy make_policy(double planning_latency_s,
+                                 const PlanCacheOptions& cache_options,
+                                 core::QueueSensitivity queue) {
+    CachePolicy policy;
+    policy.enabled = cache_options.enabled;
+    policy.capacity = cache_options.capacity;
+    policy.queue = queue;
+    policy.fresh_explore_s = planning_latency_s;
+    policy.hit_explore_s = cache_options.cached_planning_latency_s;
+    return policy;
+  }
+
   partition::NodeExecutionPolicy policy_;
   int bytes_per_element_;
-  PlanCacheOptions options_;
-  QueueSensitivity queue_;
   std::unordered_map<const dnn::DnnGraph*, std::unique_ptr<partition::ClusterCostModel>>
       cost_models_;
-  core::CrossRequestPlanCache<runtime::Plan> plans_;
 };
 
 /// Available workers (leader first, then by descending default-policy rate).

@@ -5,15 +5,12 @@
 
 namespace hidp::baselines {
 
-runtime::Plan DisnetStrategy::plan(const dnn::DnnGraph& model,
-                                   const runtime::ClusterSnapshot& snap) {
-  core::GlobalDecisionKey key;
-  bool cacheable = false;
-  if (auto cached = caches_.cached_plan(model, snap, &key, &cacheable)) return *std::move(cached);
-
-  partition::ClusterCostModel& cost = caches_.cost_model(model, snap);
-  const std::vector<std::size_t> workers =
-      default_worker_order(cost, snap.leader, snap.available);
+void DisnetStrategy::plan_fresh(const runtime::PlanRequest& request,
+                                const std::vector<bool>& available,
+                                core::CachedPlanEntry& entry) {
+  const runtime::ClusterSnapshot& snap = request.snapshot;
+  partition::ClusterCostModel& cost = cost_model(request.graph(), snap);
+  const std::vector<std::size_t> workers = default_worker_order(cost, snap.leader, available);
 
   // Heuristic hybrid choice: greedy model split vs. proportional data
   // splits; no queue awareness and no local tier.
@@ -31,19 +28,17 @@ runtime::Plan DisnetStrategy::plan(const dnn::DnnGraph& model,
     }
   }
 
-  runtime::Plan plan;
   const bool use_data =
       best_data.valid && (!model_split.valid || best_data.latency_s < model_split.latency_s);
   if (use_data) {
-    plan = runtime::compile_data_partition(best_data, cost.nodes(), cost, snap.leader, name());
-    plan.predicted_latency_s = best_data.latency_s;
+    entry.plan =
+        runtime::compile_data_partition(best_data, cost.nodes(), cost, snap.leader, name());
+    entry.plan.predicted_latency_s = best_data.latency_s;
   } else if (model_split.valid) {
-    plan = runtime::compile_model_partition(model_split, cost.nodes(), cost, snap.leader, name());
-    plan.predicted_latency_s = model_split.latency_s;
+    entry.plan =
+        runtime::compile_model_partition(model_split, cost.nodes(), cost, snap.leader, name());
+    entry.plan.predicted_latency_s = model_split.latency_s;
   }
-  if (cacheable) caches_.store_plan(key, plan);
-  plan.phases.explore_s = options_.planning_latency_s;
-  return plan;
 }
 
 }  // namespace hidp::baselines

@@ -10,7 +10,7 @@
 
 namespace hidp::baselines {
 
-class DisnetStrategy : public runtime::IStrategy {
+class DisnetStrategy : public BaselineStrategy {
  public:
   struct Options {
     int bytes_per_element = 4;
@@ -21,21 +21,19 @@ class DisnetStrategy : public runtime::IStrategy {
 
   DisnetStrategy() : DisnetStrategy(Options{}) {}
   explicit DisnetStrategy(Options options)
-      : options_(std::move(options)),
-        caches_(partition::NodeExecutionPolicy::kDefaultProcessor, options_.bytes_per_element,
-                options_.plan_cache) {}
+      : BaselineStrategy(partition::NodeExecutionPolicy::kDefaultProcessor,
+                         options.bytes_per_element, options.planning_latency_s,
+                         options.plan_cache),
+        options_(std::move(options)) {}
 
   std::string name() const override { return "DisNet"; }
-  runtime::Plan plan(const dnn::DnnGraph& model, const runtime::ClusterSnapshot& snap) override;
 
-  /// Cross-request plan-cache counters (hits skip the hybrid search).
-  const core::DecisionCacheStats& plan_cache_stats() const noexcept {
-    return caches_.plan_cache_stats();
-  }
+ protected:
+  void plan_fresh(const runtime::PlanRequest& request, const std::vector<bool>& available,
+                  core::CachedPlanEntry& entry) override;
 
  private:
   Options options_;
-  BaselineCaches caches_;
 };
 
 }  // namespace hidp::baselines

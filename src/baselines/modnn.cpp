@@ -5,30 +5,24 @@
 
 namespace hidp::baselines {
 
-runtime::Plan ModnnStrategy::plan(const dnn::DnnGraph& model,
-                                  const runtime::ClusterSnapshot& snap) {
-  core::GlobalDecisionKey key;
-  bool cacheable = false;
-  if (auto cached = caches_.cached_plan(model, snap, &key, &cacheable)) return *std::move(cached);
+void ModnnStrategy::plan_fresh(const runtime::PlanRequest& request,
+                               const std::vector<bool>& available,
+                               core::CachedPlanEntry& entry) {
+  const runtime::ClusterSnapshot& snap = request.snapshot;
+  partition::ClusterCostModel& cost = cost_model(request.graph(), snap);
+  const std::vector<std::size_t> workers = default_worker_order(cost, snap.leader, available);
 
-  partition::ClusterCostModel& cost = caches_.cost_model(model, snap);
-  const std::vector<std::size_t> workers =
-      default_worker_order(cost, snap.leader, snap.available);
-
-  runtime::Plan plan;
   const auto data = partition::plan_best_data_partition(cost, workers, snap.leader);
   if (data.valid) {
-    plan = runtime::compile_data_partition(data, cost.nodes(), cost, snap.leader, name());
-    plan.predicted_latency_s = data.latency_s;
+    entry.plan = runtime::compile_data_partition(data, cost.nodes(), cost, snap.leader, name());
+    entry.plan.predicted_latency_s = data.latency_s;
   } else {
     // Degenerate graphs without a spatial prefix: run whole on the leader.
     const auto local = partition::plan_model_partition(
         cost, {snap.leader}, snap.leader, partition::PartitionObjective::kMinimizeSum);
-    plan = runtime::compile_model_partition(local, cost.nodes(), cost, snap.leader, name());
+    entry.plan =
+        runtime::compile_model_partition(local, cost.nodes(), cost, snap.leader, name());
   }
-  if (cacheable) caches_.store_plan(key, plan);
-  plan.phases.explore_s = options_.planning_latency_s;
-  return plan;
 }
 
 }  // namespace hidp::baselines

@@ -11,7 +11,7 @@
 
 namespace hidp::baselines {
 
-class ModnnStrategy : public runtime::IStrategy {
+class ModnnStrategy : public BaselineStrategy {
  public:
   struct Options {
     int bytes_per_element = 4;
@@ -20,22 +20,16 @@ class ModnnStrategy : public runtime::IStrategy {
   };
 
   ModnnStrategy() : ModnnStrategy(Options{}) {}
-  explicit ModnnStrategy(Options options)
-      : options_(options),
-        caches_(partition::NodeExecutionPolicy::kDefaultProcessor, options.bytes_per_element,
-                options.plan_cache) {}
+  explicit ModnnStrategy(const Options& options)
+      : BaselineStrategy(partition::NodeExecutionPolicy::kDefaultProcessor,
+                         options.bytes_per_element, options.planning_latency_s,
+                         options.plan_cache) {}
 
   std::string name() const override { return "MoDNN"; }
-  runtime::Plan plan(const dnn::DnnGraph& model, const runtime::ClusterSnapshot& snap) override;
 
-  /// Cross-request plan-cache counters (hits skip the planning sweep).
-  const core::DecisionCacheStats& plan_cache_stats() const noexcept {
-    return caches_.plan_cache_stats();
-  }
-
- private:
-  Options options_;
-  BaselineCaches caches_;
+ protected:
+  void plan_fresh(const runtime::PlanRequest& request, const std::vector<bool>& available,
+                  core::CachedPlanEntry& entry) override;
 };
 
 }  // namespace hidp::baselines

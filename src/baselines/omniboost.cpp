@@ -42,15 +42,12 @@ std::vector<ProcStage> build_stages(const partition::ClusterCostModel& cost,
 
 }  // namespace
 
-runtime::Plan OmniboostStrategy::plan(const dnn::DnnGraph& model,
-                                      const runtime::ClusterSnapshot& snap) {
-  core::GlobalDecisionKey key;
-  bool cacheable = false;
-  if (auto cached = caches_.cached_plan(model, snap, &key, &cacheable)) return *std::move(cached);
-
-  partition::ClusterCostModel& cost = caches_.cost_model(model, snap);
-  const std::vector<std::size_t> workers =
-      default_worker_order(cost, snap.leader, snap.available);
+void OmniboostStrategy::plan_fresh(const runtime::PlanRequest& request,
+                                   const std::vector<bool>& available,
+                                   core::CachedPlanEntry& entry) {
+  const runtime::ClusterSnapshot& snap = request.snapshot;
+  partition::ClusterCostModel& cost = cost_model(request.graph(), snap);
+  const std::vector<std::size_t> workers = default_worker_order(cost, snap.leader, available);
   const std::vector<ProcStage> stages = build_stages(cost, workers);
 
   const int segments = static_cast<int>(cost.segment_count());
@@ -81,21 +78,17 @@ runtime::Plan OmniboostStrategy::plan(const dnn::DnnGraph& model,
   const auto search = mcts_partition(segments, static_cast<int>(stages.size()), stage_cost,
                                      boundary_cost, objective, options_.mcts, rng_);
 
-  runtime::Plan plan;
+  runtime::Plan& plan = entry.plan;
   plan.strategy = name();
   plan.global_mode = partition::PartitionMode::kModel;
   plan.leader = snap.leader;
-  if (!search.valid()) {
-    plan.phases.explore_s = options_.planning_latency_s;
-    return plan;
-  }
+  if (!search.valid()) return;
 
   // Compile the per-processor pipeline directly (one compute task per
   // block, on the exact processor MCTS chose).
   std::vector<int> deps;
   std::size_t previous_node = snap.leader;
   std::vector<std::size_t> used{snap.leader};
-  double predicted = 0.0;
   for (const auto& block : search.blocks) {
     const ProcStage& stage = stages[static_cast<std::size_t>(block.worker)];
     const std::int64_t bytes = cost.boundary_bytes(block.begin);
@@ -131,7 +124,6 @@ runtime::Plan OmniboostStrategy::plan(const dnn::DnnGraph& model,
     compute.label = "pipe-block";
     plan.tasks.push_back(std::move(compute));
     deps = {static_cast<int>(plan.tasks.size()) - 1};
-    predicted += compute.seconds;
     if (std::find(used.begin(), used.end(), stage.node) == used.end()) used.push_back(stage.node);
     previous_node = stage.node;
   }
@@ -147,10 +139,6 @@ runtime::Plan OmniboostStrategy::plan(const dnn::DnnGraph& model,
   }
   plan.nodes_used = static_cast<int>(used.size());
   plan.predicted_latency_s = search.sum_cost;
-  (void)predicted;
-  if (cacheable) caches_.store_plan(key, plan);
-  plan.phases.explore_s = options_.planning_latency_s;
-  return plan;
 }
 
 }  // namespace hidp::baselines

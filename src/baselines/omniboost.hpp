@@ -15,7 +15,7 @@
 
 namespace hidp::baselines {
 
-class OmniboostStrategy : public runtime::IStrategy {
+class OmniboostStrategy : public BaselineStrategy {
  public:
   struct Options {
     int bytes_per_element = 4;
@@ -27,22 +27,20 @@ class OmniboostStrategy : public runtime::IStrategy {
 
   OmniboostStrategy() : OmniboostStrategy(Options{}) {}
   explicit OmniboostStrategy(Options options)
-      : options_(std::move(options)),
-        caches_(partition::NodeExecutionPolicy::kDefaultProcessor, options_.bytes_per_element,
-                options_.plan_cache, QueueSensitivity::kBinary),
+      : BaselineStrategy(partition::NodeExecutionPolicy::kDefaultProcessor,
+                         options.bytes_per_element, options.planning_latency_s,
+                         options.plan_cache, core::QueueSensitivity::kBinary),
+        options_(std::move(options)),
         rng_(options_.seed) {}
 
   std::string name() const override { return "OmniBoost"; }
-  runtime::Plan plan(const dnn::DnnGraph& model, const runtime::ClusterSnapshot& snap) override;
 
-  /// Cross-request plan-cache counters (hits skip the MCTS entirely).
-  const core::DecisionCacheStats& plan_cache_stats() const noexcept {
-    return caches_.plan_cache_stats();
-  }
+ protected:
+  void plan_fresh(const runtime::PlanRequest& request, const std::vector<bool>& available,
+                  core::CachedPlanEntry& entry) override;
 
  private:
   Options options_;
-  BaselineCaches caches_;
   util::Rng rng_;
 };
 

@@ -2,76 +2,66 @@
 
 namespace hidp::core {
 
+CachingStrategyBase::CachePolicy HidpStrategy::make_policy(const Options& options) {
+  CachePolicy policy;
+  policy.enabled = options.enable_plan_cache;
+  policy.capacity = options.plan_cache_capacity;
+  policy.queue = QueueSensitivity::kBucketed;
+  policy.fresh_explore_s = options.explore_latency_s;
+  policy.fresh_map_s = options.map_latency_s;
+  policy.hit_explore_s = options.cached_explore_latency_s;
+  policy.hit_map_s = options.cached_map_latency_s;
+  return policy;
+}
+
 HidpStrategy::HidpStrategy(Options options)
-    : options_(std::move(options)),
+    : CachingStrategyBase(make_policy(options)),
+      options_(std::move(options)),
       global_(DseAgent{options_.dse}),
       rng_(options_.seed),
-      last_fsm_(std::make_unique<RuntimeSchedulerFsm>(FsmRole::kLeader)),
-      plan_cache_(options_.plan_cache_capacity) {}
+      last_fsm_(std::make_unique<RuntimeSchedulerFsm>(FsmRole::kLeader)) {}
 
 partition::ClusterCostModel& HidpStrategy::cost_model(const dnn::DnnGraph& model,
                                                       const runtime::ClusterSnapshot& snap) {
-  auto it = cache_.find(&model);
-  if (it == cache_.end()) {
+  auto it = cost_models_.find(&model);
+  if (it == cost_models_.end()) {
     auto cost = std::make_unique<partition::ClusterCostModel>(
         model, *snap.nodes, snap.network, partition::NodeExecutionPolicy::kHierarchicalLocal,
         options_.bytes_per_element);
     cost->set_local_search_space(options_.local_search);
-    it = cache_.emplace(&model, std::move(cost)).first;
+    it = cost_models_.emplace(&model, std::move(cost)).first;
   }
   return *it->second;
 }
 
-runtime::Plan HidpStrategy::plan(const dnn::DnnGraph& model,
-                                 const runtime::ClusterSnapshot& snap) {
-  // Cluster changed (e.g. Fig. 8 node sweep, link degradation, DVFS): every
-  // cost model and cached decision was derived from stale hardware
-  // assumptions.
-  if (plan_cache_.refresh_cluster(snap)) cache_.clear();
-
-  // Analyze: availability probing with pseudo packets.
+double HidpStrategy::analyze(const runtime::PlanRequest& request,
+                             std::vector<bool>& available) {
+  if (!options_.probe_availability) return 0.0;
+  const runtime::ClusterSnapshot& snap = request.snapshot;
   net::ClusterProber prober(snap.network, /*probe_bytes=*/1024, options_.probe_noise_fraction);
-  std::vector<bool> available = snap.available;
-  double analyze_s = 0.0;
-  if (options_.probe_availability) {
-    const net::ProbeReport report = prober.probe(snap.leader, snap.available, rng_);
-    available = report.available;
-    analyze_s = prober.round_cost_s(snap.leader);
-  }
+  const net::ProbeReport report = prober.probe(snap.leader, snap.available, rng_);
+  available = report.available;
+  return prober.round_cost_s(snap.leader);
+}
 
-  // Steady-state fast path: an identical planning situation was already
-  // explored — reuse its decision and skip the DSE.
-  GlobalDecisionKey key;
-  const bool cacheable = options_.enable_plan_cache &&
-                         CrossRequestPlanCache<CachedPlan>::make_key(model, snap, available, &key);
-  if (cacheable) {
-    if (const CachedPlan* hit = plan_cache_.find(key)) {
-      last_decision_ = hit->decision;
-      runtime::Plan plan = hit->plan;
-      plan.phases.analyze_s = analyze_s;
-      plan.phases.explore_s = options_.cached_explore_latency_s;
-      plan.phases.map_s = options_.cached_map_latency_s;
-      last_fsm_ = std::make_unique<RuntimeSchedulerFsm>(FsmRole::kLeader);
-      last_fsm_->run_leader_round(snap.now_s, analyze_s, plan.phases.explore_s,
-                                  plan.phases.map_s, plan.predicted_latency_s);
-      return plan;
-    }
-  }
+void HidpStrategy::plan_fresh(const runtime::PlanRequest& request,
+                              const std::vector<bool>& available, CachedPlanEntry& entry) {
+  const runtime::ClusterSnapshot& snap = request.snapshot;
+  partition::ClusterCostModel& cost = cost_model(request.graph(), snap);
+  entry.plan = global_.partition(cost, snap.leader, available, snap.queue_depth, name(),
+                                 &entry.decision);
+  entry.has_decision = true;
+}
 
-  // Explore + Offload + Map through the global partitioner / DSE agent.
-  partition::ClusterCostModel& cost = cost_model(model, snap);
-  runtime::Plan plan = global_.partition(cost, snap.leader, available, snap.queue_depth,
-                                         name(), &last_decision_);
-  if (cacheable) plan_cache_.insert(key, CachedPlan{plan, last_decision_});
-  plan.phases.analyze_s = analyze_s;
-  plan.phases.explore_s = options_.explore_latency_s;
-  plan.phases.map_s = options_.map_latency_s;
-
+void HidpStrategy::on_planned(const runtime::PlanRequest& request, const runtime::Plan& plan,
+                              const GlobalDecision* decision, double analyze_s,
+                              bool cache_hit) {
+  (void)cache_hit;
+  if (decision != nullptr) last_decision_ = *decision;
   // Drive the paper's FSM for this planning round (trace for tests/examples).
   last_fsm_ = std::make_unique<RuntimeSchedulerFsm>(FsmRole::kLeader);
-  last_fsm_->run_leader_round(snap.now_s, analyze_s, options_.explore_latency_s,
-                              options_.map_latency_s, plan.predicted_latency_s);
-  return plan;
+  last_fsm_->run_leader_round(request.snapshot.now_s, analyze_s, plan.phases.explore_s,
+                              plan.phases.map_s, plan.predicted_latency_s);
 }
 
 }  // namespace hidp::core

@@ -14,10 +14,11 @@
 // The FSM phase costs (Analyze/Explore/Map) are charged to every request;
 // the defaults follow the paper's measured 15 ms DP exploration overhead.
 // Steady-state streaming traffic mostly repeats the same planning
-// situation, so the strategy keeps a cross-request GlobalDecision cache
-// keyed by (model, leader, probed availability, queue-depth bucket): a hit
-// skips Explore+Map entirely and charges only a table-lookup cost. The
-// cache is invalidated whenever the cluster's nodes or network change.
+// situation, so the strategy plans through the shared
+// core::CachingStrategyBase path: a cross-request cache hit replays the
+// GlobalDecision, skips Explore+Map entirely and charges only a
+// table-lookup cost. The cache is invalidated whenever the cluster's nodes
+// or network change.
 #pragma once
 
 #include <memory>
@@ -33,7 +34,7 @@
 
 namespace hidp::core {
 
-class HidpStrategy : public runtime::IStrategy {
+class HidpStrategy : public CachingStrategyBase {
  public:
   struct Options {
     DseConfig dse;
@@ -61,20 +62,21 @@ class HidpStrategy : public runtime::IStrategy {
   explicit HidpStrategy(Options options);
 
   std::string name() const override { return "HiDP"; }
-  runtime::Plan plan(const dnn::DnnGraph& model, const runtime::ClusterSnapshot& snap) override;
 
   /// DSE outcome and FSM trace of the most recent plan() call.
   const GlobalDecision& last_decision() const noexcept { return last_decision_; }
   const RuntimeSchedulerFsm& last_fsm() const noexcept { return *last_fsm_; }
 
-  /// Cross-request plan-cache counters (hits mean the DSE was skipped).
-  const DecisionCacheStats& plan_cache_stats() const noexcept { return plan_cache_.stats(); }
+ protected:
+  double analyze(const runtime::PlanRequest& request, std::vector<bool>& available) override;
+  void plan_fresh(const runtime::PlanRequest& request, const std::vector<bool>& available,
+                  CachedPlanEntry& entry) override;
+  void on_planned(const runtime::PlanRequest& request, const runtime::Plan& plan,
+                  const GlobalDecision* decision, double analyze_s, bool cache_hit) override;
+  void on_cluster_change() override { cost_models_.clear(); }
 
  private:
-  struct CachedPlan {
-    runtime::Plan plan;  ///< phases unset; stamped per request
-    GlobalDecision decision;
-  };
+  static CachePolicy make_policy(const Options& options);
 
   partition::ClusterCostModel& cost_model(const dnn::DnnGraph& model,
                                           const runtime::ClusterSnapshot& snap);
@@ -84,8 +86,8 @@ class HidpStrategy : public runtime::IStrategy {
   util::Rng rng_;
   GlobalDecision last_decision_;
   std::unique_ptr<RuntimeSchedulerFsm> last_fsm_;
-  std::unordered_map<const dnn::DnnGraph*, std::unique_ptr<partition::ClusterCostModel>> cache_;
-  CrossRequestPlanCache<CachedPlan> plan_cache_;
+  std::unordered_map<const dnn::DnnGraph*, std::unique_ptr<partition::ClusterCostModel>>
+      cost_models_;
 };
 
 }  // namespace hidp::core

@@ -28,4 +28,76 @@ std::uint64_t cluster_compute_fingerprint(const std::vector<platform::NodeModel>
   return h;
 }
 
+double CachingStrategyBase::analyze(const runtime::PlanRequest& request,
+                                    std::vector<bool>& available) {
+  (void)request;
+  (void)available;
+  return 0.0;
+}
+
+void CachingStrategyBase::on_planned(const runtime::PlanRequest& request,
+                                     const runtime::Plan& plan, const GlobalDecision* decision,
+                                     double analyze_s, bool cache_hit) {
+  (void)request;
+  (void)plan;
+  (void)decision;
+  (void)analyze_s;
+  (void)cache_hit;
+}
+
+int CachingStrategyBase::queue_bucket(int queue_depth) const noexcept {
+  switch (policy_.queue) {
+    case QueueSensitivity::kNone: return 0;
+    case QueueSensitivity::kBinary: return queue_depth > 0 ? 1 : 0;
+    case QueueSensitivity::kBucketed: return queue_depth_bucket(queue_depth);
+  }
+  return 0;
+}
+
+runtime::PlanResult CachingStrategyBase::plan(const runtime::PlanRequest& request) {
+  const runtime::ClusterSnapshot& snap = request.snapshot;
+  // Cluster changed (e.g. Fig. 8 node sweep, link degradation, DVFS): every
+  // cached decision and derived cost model assumed stale hardware.
+  if (cache_.refresh_cluster(snap)) on_cluster_change();
+
+  std::vector<bool> available = snap.available;
+  const double analyze_s = analyze(request, available);
+
+  GlobalDecisionKey key;
+  const bool cacheable =
+      policy_.enabled &&
+      CrossRequestPlanCache<CachedPlanEntry>::make_key(request.graph(), snap, available, &key);
+  if (cacheable) {
+    key.queue_bucket = queue_bucket(snap.queue_depth);
+    if (const CachedPlanEntry* hit = cache_.find(key)) {
+      runtime::PlanResult result;
+      result.plan = hit->plan;
+      result.cache_hit = true;
+      result.plan.phases.analyze_s = analyze_s;
+      result.plan.phases.explore_s = policy_.hit_explore_s;
+      result.plan.phases.map_s = policy_.hit_map_s;
+      on_planned(request, result.plan, hit->has_decision ? &hit->decision : nullptr, analyze_s,
+                 true);
+      return result;
+    }
+  }
+
+  CachedPlanEntry entry;
+  plan_fresh(request, available, entry);
+  // Empty plans (e.g. a failed stochastic search) are never cached: the
+  // next identical request should retry the search, not replay the failure.
+  const bool store = cacheable && !entry.plan.empty();
+  runtime::PlanResult result;
+  // Copy only when the cache keeps the phase-less original.
+  result.plan = store ? entry.plan : std::move(entry.plan);
+  result.cache_hit = false;
+  result.plan.phases.analyze_s = analyze_s;
+  result.plan.phases.explore_s = policy_.fresh_explore_s;
+  result.plan.phases.map_s = policy_.fresh_map_s;
+  on_planned(request, result.plan, entry.has_decision ? &entry.decision : nullptr, analyze_s,
+             false);
+  if (store) cache_.insert(key, std::move(entry));
+  return result;
+}
+
 }  // namespace hidp::core

@@ -3,11 +3,13 @@
 // Steady-state streaming traffic mostly repeats the same planning
 // situation: same model, same leader, same probed availability, same
 // queue-depth bucket. PR 1 gave HiDP a GlobalDecision/Plan cache keyed on
-// exactly that situation; this module factors the cache (key construction,
-// hit/miss/invalidation accounting, epoch eviction, cluster-change
-// invalidation) out of HidpStrategy so DisNet, OmniBoost and MoDNN plan at
-// HiDP-comparable speed instead of re-running their searches per request —
-// the skew the Table-1-style planning-overhead comparisons suffered from.
+// exactly that situation; PR 2 factored the cache out so the baselines plan
+// at HiDP-comparable speed. This PR finishes the unification:
+// CachingStrategyBase is the one code path every strategy's
+// plan(PlanRequest) goes through — cluster-epoch refresh, Analyze hook,
+// key construction with per-strategy queue sensitivity, hit replay with
+// phase stamping, miss planning and store — so the four strategies differ
+// only in their plan_fresh() search, not in their serving-loop plumbing.
 #pragma once
 
 #include <cstdint>
@@ -25,18 +27,27 @@ namespace hidp::core {
 /// covered — callers doing those should use a fresh node vector.
 std::uint64_t cluster_compute_fingerprint(const std::vector<platform::NodeModel>& nodes);
 
+/// How much of the queue depth a strategy's planning actually reads —
+/// keying on more than that fragments its plan cache for nothing.
+enum class QueueSensitivity {
+  kNone,      ///< MoDNN/DisNet: queue depth never consulted
+  kBinary,    ///< OmniBoost: objective switches on queue_depth > 0
+  kBucketed,  ///< HiDP: queue-aware score, log2-bucketed via queue_depth_bucket
+};
+
 /// Cross-request plan cache keyed by the steady-state planning situation.
-/// `Payload` is whatever the strategy wants replayed on a hit — a bare
-/// runtime::Plan for the baselines, plan + GlobalDecision for HiDP. The
-/// cache holds whole payloads, so it is bounded: at `capacity` entries it
-/// is flushed wholesale (epoch eviction — availability flapping would
+/// `Payload` is whatever the strategy wants replayed on a hit. The cache
+/// holds whole payloads, so it is bounded: at `capacity` entries it is
+/// flushed wholesale (epoch eviction — availability flapping would
 /// otherwise grow it forever).
 template <typename Payload>
 class CrossRequestPlanCache {
  public:
   explicit CrossRequestPlanCache(std::size_t capacity = 256) : capacity_(capacity) {}
 
-  /// Builds the key for one planning situation. Returns false when the
+  /// Builds the key for one planning situation, except `queue_bucket`,
+  /// which the caller sets per its QueueSensitivity (the one source of
+  /// queue-bucketing truth is CachingStrategyBase). Returns false when the
   /// situation is uncacheable (> 64 nodes do not fit the availability mask).
   static bool make_key(const dnn::DnnGraph& model, const runtime::ClusterSnapshot& snap,
                        const std::vector<bool>& available, GlobalDecisionKey* key) {
@@ -54,7 +65,7 @@ class CrossRequestPlanCache {
         key->availability_mask |= std::uint64_t{1} << j;
       }
     }
-    key->queue_bucket = queue_depth_bucket(snap.queue_depth);
+    key->queue_bucket = 0;
     return true;
   }
 
@@ -100,6 +111,71 @@ class CrossRequestPlanCache {
   const std::vector<platform::NodeModel>* cached_nodes_ = nullptr;
   std::uint64_t cached_fingerprint_ = 0;
   net::NetworkSpec cached_network_;
+};
+
+/// What every strategy caches per planning situation: the compiled plan
+/// (phases unset — they are stamped per request) plus the DSE decision for
+/// strategies that expose one (HiDP).
+struct CachedPlanEntry {
+  runtime::Plan plan;
+  GlobalDecision decision;
+  bool has_decision = false;
+};
+
+/// The shared serving-side planning path. Subclasses implement the actual
+/// search (plan_fresh) and may hook the Analyze phase and cache
+/// invalidation; everything else — epoch refresh, key construction, queue
+/// bucketing, hit replay, phase stamping, storing — lives here once.
+class CachingStrategyBase : public runtime::IStrategy {
+ public:
+  /// Cache behaviour + the FSM phase charges stamped on every plan.
+  struct CachePolicy {
+    bool enabled = true;
+    std::size_t capacity = 256;
+    QueueSensitivity queue = QueueSensitivity::kNone;
+    double fresh_explore_s = 0.0;  ///< Explore charge on a cache miss
+    double fresh_map_s = 0.0;      ///< Map charge on a cache miss
+    double hit_explore_s = 0.0;    ///< Explore charge on a hit (table lookup)
+    double hit_map_s = 0.0;        ///< Map charge on a hit
+  };
+
+  runtime::PlanResult plan(const runtime::PlanRequest& request) final;
+
+  /// Cross-request plan-cache counters (hits mean the search was skipped).
+  const DecisionCacheStats& plan_cache_stats() const noexcept { return cache_.stats(); }
+
+ protected:
+  explicit CachingStrategyBase(CachePolicy policy)
+      : policy_(policy), cache_(policy.capacity) {}
+
+  /// Analyze-phase hook, run before the cache probe. May probe availability
+  /// (HiDP's pseudo packets) by rewriting `available`; returns the seconds
+  /// charged as the Analyze phase. Default: trust the snapshot, zero cost.
+  virtual double analyze(const runtime::PlanRequest& request, std::vector<bool>& available);
+
+  /// The strategy's search, run on a cache miss. Fills `entry.plan` with
+  /// phases unset; strategies tracking a GlobalDecision also fill
+  /// `entry.decision` and set `entry.has_decision`.
+  virtual void plan_fresh(const runtime::PlanRequest& request,
+                          const std::vector<bool>& available, CachedPlanEntry& entry) = 0;
+
+  /// Observation hook invoked with the winning plan (fresh or replayed)
+  /// after phase stamping — HiDP records its last decision and drives its
+  /// FSM trace here. `decision` is null when the entry carries none.
+  virtual void on_planned(const runtime::PlanRequest& request, const runtime::Plan& plan,
+                          const GlobalDecision* decision, double analyze_s, bool cache_hit);
+
+  /// The cluster's nodes or network changed: per-cluster state (cost
+  /// models) derived from stale hardware assumptions must be dropped.
+  virtual void on_cluster_change() = 0;
+
+  const CachePolicy& cache_policy() const noexcept { return policy_; }
+
+ private:
+  int queue_bucket(int queue_depth) const noexcept;
+
+  CachePolicy policy_;
+  CrossRequestPlanCache<CachedPlanEntry> cache_;
 };
 
 }  // namespace hidp::core

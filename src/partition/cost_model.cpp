@@ -116,14 +116,18 @@ ClusterCostModel::ClusterCostModel(const dnn::DnnGraph& graph,
       }
     }
   }
-  block_decisions_.resize(nodes.size() * c_count * c_count);
-  block_filled_.assign(block_decisions_.size(), 0);
+  block_rows_.resize(nodes.size());
   node_rate_cache_.assign(nodes.size(), std::numeric_limits<double>::quiet_NaN());
 }
 
 void ClusterCostModel::set_local_search_space(LocalSearchSpace space) {
   local_search_ = std::move(space);
-  std::fill(block_filled_.begin(), block_filled_.end(), 0);
+  for (BlockDecisionRow& row : block_rows_) {
+    row.decisions.clear();
+    row.decisions.shrink_to_fit();
+    row.filled.clear();
+    row.filled.shrink_to_fit();
+  }
   profile_decision_cache_.clear();
   node_rate_cache_.assign(nodes_->size(), std::numeric_limits<double>::quiet_NaN());
   if (data_) {
@@ -158,13 +162,19 @@ LocalDecision ClusterCostModel::compute_decision(std::size_t node,
 }
 
 const LocalDecision& ClusterCostModel::block_decision(std::size_t node, int ci, int cj) const {
-  const std::size_t index = block_index(node, ci, cj);
-  if (!block_filled_[index]) {
-    const WorkProfile work = profile_between(ci, cj);
-    block_decisions_[index] = compute_decision(node, work, boundary_bytes(ci) + boundary_bytes(cj));
-    block_filled_[index] = 1;
+  BlockDecisionRow& row = block_rows_[node];
+  if (row.filled.empty()) {
+    const std::size_t cells = candidates_.size() * candidates_.size();
+    row.decisions.resize(cells);
+    row.filled.assign(cells, 0);
   }
-  return block_decisions_[index];
+  const std::size_t index = block_index(ci, cj);
+  if (!row.filled[index]) {
+    const WorkProfile work = profile_between(ci, cj);
+    row.decisions[index] = compute_decision(node, work, boundary_bytes(ci) + boundary_bytes(cj));
+    row.filled[index] = 1;
+  }
+  return row.decisions[index];
 }
 
 double ClusterCostModel::node_time(std::size_t node, int ci, int cj,

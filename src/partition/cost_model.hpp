@@ -162,9 +162,8 @@ class ClusterCostModel {
     std::size_t operator()(const ProfileKey& key) const noexcept;
   };
 
-  std::size_t block_index(std::size_t node, int ci, int cj) const noexcept {
-    return (node * candidates_.size() + static_cast<std::size_t>(ci)) * candidates_.size() +
-           static_cast<std::size_t>(cj);
+  std::size_t block_index(int ci, int cj) const noexcept {
+    return static_cast<std::size_t>(ci) * candidates_.size() + static_cast<std::size_t>(cj);
   }
   const LocalDecision& block_decision(std::size_t node, int ci, int cj) const;
 
@@ -194,9 +193,16 @@ class ClusterCostModel {
   std::vector<ProcPrefix> proc_prefix_;
   std::vector<double> layer_prefix_;  ///< per candidate
 
-  /// Dense lazily-filled (node × ci × cj) decision table: the DSE hot path.
-  mutable std::vector<LocalDecision> block_decisions_;
-  mutable std::vector<std::uint8_t> block_filled_;
+  /// Dense lazily-filled (ci × cj) decision tables, one row per node,
+  /// allocated on a node's first block query: cold construction no longer
+  /// pays the whole (node × ci × cj) allocation up front (ROADMAP measured
+  /// ~17 µs per cold build), and plans that never touch a node never
+  /// allocate its row. The DSE hot path stays O(1) per probe.
+  struct BlockDecisionRow {
+    std::vector<LocalDecision> decisions;  ///< ci * candidates + cj
+    std::vector<std::uint8_t> filled;      ///< empty until the row's first use
+  };
+  mutable std::vector<BlockDecisionRow> block_rows_;
   mutable std::vector<double> node_rate_cache_;  ///< NaN = not yet computed
   mutable std::unordered_map<ProfileKey, LocalDecision, ProfileKeyHash>
       profile_decision_cache_;

@@ -18,25 +18,47 @@ struct RequestRun {
   int remaining = 0;
   RequestRecord* record = nullptr;
   int request_id = 0;
+  std::function<void()> done;
 };
 
 }  // namespace
+
+std::string_view qos_class_name(QosClass qos) noexcept {
+  switch (qos) {
+    case QosClass::kBestEffort: return "best-effort";
+    case QosClass::kStandard: return "standard";
+    case QosClass::kInteractive: return "interactive";
+  }
+  return "?";
+}
+
+std::string_view request_outcome_name(RequestOutcome outcome) noexcept {
+  switch (outcome) {
+    case RequestOutcome::kCompleted: return "completed";
+    case RequestOutcome::kRejected: return "rejected";
+    case RequestOutcome::kDropped: return "dropped";
+    case RequestOutcome::kDeadlineMiss: return "deadline-miss";
+  }
+  return "?";
+}
 
 ExecutionEngine::ExecutionEngine(Cluster& cluster, IStrategy& strategy, std::size_t leader)
     : cluster_(&cluster), strategy_(&strategy), leader_(leader) {
   if (leader_ >= cluster.size()) throw std::invalid_argument("leader index out of range");
 }
 
-std::vector<RequestRecord> ExecutionEngine::run(const std::vector<InferenceRequest>& requests) {
+std::vector<RequestRecord> ExecutionEngine::run(const std::vector<RequestSpec>& requests) {
   auto records = std::make_shared<std::vector<RequestRecord>>(requests.size());
   for (std::size_t i = 0; i < requests.size(); ++i) {
-    const InferenceRequest request = requests[i];
+    const RequestSpec request = requests[i];
     if (request.model == nullptr) throw std::invalid_argument("request without model");
     (*records)[i].id = request.id;
     (*records)[i].model = request.model->name();
     (*records)[i].arrival_s = request.arrival_s;
+    (*records)[i].qos = request.qos;
+    (*records)[i].deadline_s = request.deadline_s;
     cluster_->simulator().schedule_at(request.arrival_s, [this, request, records, i] {
-      launch(request, (*records)[i]);
+      execute(request, (*records)[i], /*queued_behind=*/0, [] {});
     });
   }
   cluster_->simulator().run();
@@ -48,17 +70,29 @@ std::vector<RequestRecord> ExecutionEngine::run(const std::vector<InferenceReque
   return out;
 }
 
-void ExecutionEngine::launch(const InferenceRequest& request, RequestRecord& record) {
+void ExecutionEngine::finalize_record(RequestRecord& record) {
+  if (record.deadline_s > 0.0 && record.finish_s > record.deadline_s) {
+    record.outcome = RequestOutcome::kDeadlineMiss;
+  }
+}
+
+void ExecutionEngine::execute(const RequestSpec& request, RequestRecord& record,
+                              int queued_behind, std::function<void()> done) {
+  if (request.model == nullptr) throw std::invalid_argument("request without model");
   ++in_flight_;
-  ClusterSnapshot snapshot;
+  PlanRequest plan_request;
+  plan_request.model = request.model;
+  plan_request.qos = request.qos;
+  plan_request.deadline_s = request.deadline_s;
+  ClusterSnapshot& snapshot = plan_request.snapshot;
   snapshot.nodes = &cluster_->nodes();
   snapshot.network = cluster_->network().spec();
   snapshot.available = cluster_->network().availability();
   snapshot.leader = leader_;
-  snapshot.queue_depth = in_flight_ - 1;
+  snapshot.queue_depth = in_flight_ - 1 + queued_behind;
   snapshot.now_s = cluster_->simulator().now();
 
-  Plan plan = strategy_->plan(*request.model, snapshot);
+  Plan plan = strategy_->plan(plan_request).plan;
   validate_plan(plan, cluster_->nodes());
   record.strategy = plan.strategy;
   record.mode = plan.global_mode;
@@ -68,10 +102,12 @@ void ExecutionEngine::launch(const InferenceRequest& request, RequestRecord& rec
   if (plan.empty()) {
     HIDP_LOG(kWarn, "engine") << "empty plan for request " << request.id;
     record.finish_s = start;
+    finalize_record(record);
     --in_flight_;
+    done();
     return;
   }
-  dispatch_plan(request.id, std::move(plan), start, record);
+  dispatch_plan(request.id, std::move(plan), start, record, std::move(done));
 }
 
 void ExecutionEngine::record_trace(const TaskTrace& trace) {
@@ -79,11 +115,12 @@ void ExecutionEngine::record_trace(const TaskTrace& trace) {
 }
 
 void ExecutionEngine::dispatch_plan(int request_id, Plan&& plan, double start_s,
-                                    RequestRecord& record) {
+                                    RequestRecord& record, std::function<void()> done) {
   auto run = std::make_shared<RequestRun>();
   run->plan = std::move(plan);
   run->record = &record;
   run->request_id = request_id;
+  run->done = std::move(done);
   const std::size_t n = run->plan.tasks.size();
   run->pending_deps.resize(n, 0);
   run->dependents.resize(n);
@@ -114,6 +151,7 @@ void ExecutionEngine::dispatch_plan(int request_id, Plan&& plan, double start_s,
       double flops = 0.0;
       for (const PlanTask& t : run->plan.tasks) flops += t.flops;
       run->record->flops = flops;
+      finalize_record(*run->record);
       --in_flight_;
       // Break the on_done <-> start_task capture cycle so the request state
       // is reclaimed (long streaming benches run thousands of requests).
@@ -121,6 +159,7 @@ void ExecutionEngine::dispatch_plan(int request_id, Plan&& plan, double start_s,
         *on_done = nullptr;
         *start_task = nullptr;
       });
+      if (run->done) run->done();
     }
   };
 

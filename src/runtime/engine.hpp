@@ -1,16 +1,21 @@
-// Cluster execution engine: replays strategy plans on the DES cluster.
+// Cluster execution backend: replays strategy plans on the DES cluster.
 //
-// Requests arrive at the leader at their arrival times; the installed
-// strategy is consulted with a cluster snapshot (availability, queue
-// pressure — what the paper's Analyze state gathers) and returns a Plan.
-// The engine charges the plan's FSM phase overheads, then dispatches the
-// task DAG onto processor and radio resources. Contention between
-// concurrent requests is resolved by the FIFO resources, which is exactly
-// how pipelined/parallel execution overlaps in the real cluster.
+// The online serving surface is runtime::InferenceService (service.hpp),
+// which owns the request lifecycle — admission, QoS deadlines, load
+// shedding, pluggable arrival sources. ExecutionEngine is the execution
+// backend behind it: `execute()` plans one admitted request against live
+// cluster state (availability, queue pressure — what the paper's Analyze
+// state gathers) and dispatches its task DAG onto processor and radio
+// resources. Contention between concurrent requests is resolved by the
+// FIFO resources, which is exactly how pipelined/parallel execution
+// overlaps in the real cluster. The batch `run()` entry point predates the
+// service and is kept as a thin closed-world shim (and as the reference
+// the service's equivalence tests compare against).
 #pragma once
 
 #include <functional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "dnn/graph.hpp"
@@ -19,12 +24,26 @@
 
 namespace hidp::runtime {
 
+/// QoS class of a request. Admission control dispatches higher classes
+/// first and sheds lower classes first under overload.
+enum class QosClass { kBestEffort = 0, kStandard = 1, kInteractive = 2 };
+
+std::string_view qos_class_name(QosClass qos) noexcept;
+
 /// One DNN inference request (paper: requests arrive randomly at a node).
-struct InferenceRequest {
+/// `deadline_s` is an absolute completion deadline on the simulation clock;
+/// <= 0 means none.
+struct RequestSpec {
   int id = 0;
   const dnn::DnnGraph* model = nullptr;
   double arrival_s = 0.0;
+  QosClass qos = QosClass::kStandard;
+  double deadline_s = 0.0;
 };
+
+/// Batch-era name for RequestSpec, kept while callers migrate to the
+/// InferenceService lifecycle.
+using InferenceRequest = RequestSpec;
 
 /// What the strategy sees when planning (paper's Analyze state output).
 struct ClusterSnapshot {
@@ -36,13 +55,41 @@ struct ClusterSnapshot {
   double now_s = 0.0;
 };
 
+/// One planning situation handed to a strategy: the model, the Analyze-state
+/// cluster snapshot, and the request's QoS context (class + deadline) so
+/// deadline-aware strategies can trade latency against resource footprint.
+struct PlanRequest {
+  const dnn::DnnGraph* model = nullptr;
+  ClusterSnapshot snapshot;
+  QosClass qos = QosClass::kStandard;
+  double deadline_s = 0.0;  ///< absolute; <= 0 = none
+
+  const dnn::DnnGraph& graph() const noexcept { return *model; }
+};
+
+/// Outcome of one planning round.
+struct PlanResult {
+  Plan plan;
+  bool cache_hit = false;  ///< served from a cross-request plan cache
+};
+
 /// Strategy interface implemented by HiDP and the baselines.
 class IStrategy {
  public:
   virtual ~IStrategy() = default;
   virtual std::string name() const = 0;
-  virtual Plan plan(const dnn::DnnGraph& model, const ClusterSnapshot& snapshot) = 0;
+  virtual PlanResult plan(const PlanRequest& request) = 0;
 };
+
+/// Terminal state of a request's lifecycle.
+enum class RequestOutcome {
+  kCompleted,     ///< executed, finished (within its deadline if it had one)
+  kRejected,      ///< admission refused on arrival (queue caps)
+  kDropped,       ///< shed from the pending queue / stale deadline at dispatch
+  kDeadlineMiss,  ///< executed, but finished past its deadline
+};
+
+std::string_view request_outcome_name(RequestOutcome outcome) noexcept;
 
 /// Completion record for one request.
 struct RequestRecord {
@@ -50,12 +97,20 @@ struct RequestRecord {
   std::string model;
   std::string strategy;
   partition::PartitionMode mode = partition::PartitionMode::kNone;
+  QosClass qos = QosClass::kStandard;
+  double deadline_s = 0.0;  ///< absolute; <= 0 = none
+  RequestOutcome outcome = RequestOutcome::kCompleted;
   double arrival_s = 0.0;
   double dispatch_s = 0.0;  ///< after FSM phases
   double finish_s = 0.0;
   double flops = 0.0;       ///< executed FLOPs (incl. halo recompute)
   int nodes_used = 0;
   double latency_s() const noexcept { return finish_s - arrival_s; }
+  /// The request actually ran on the cluster (completed or missed its
+  /// deadline, as opposed to being rejected/dropped without execution).
+  bool executed() const noexcept {
+    return outcome == RequestOutcome::kCompleted || outcome == RequestOutcome::kDeadlineMiss;
+  }
 };
 
 /// Execution trace of one task (for GFLOPS timelines and invariants).
@@ -74,12 +129,29 @@ class ExecutionEngine {
  public:
   ExecutionEngine(Cluster& cluster, IStrategy& strategy, std::size_t leader = 0);
 
-  /// Runs all requests to completion; returns per-request records sorted by
-  /// request id. The cluster's simulator advances to the final completion.
-  std::vector<RequestRecord> run(const std::vector<InferenceRequest>& requests);
+  /// Closed-world batch shim: schedules every request's arrival up front,
+  /// runs all to completion, returns per-request records sorted by request
+  /// id. No admission control, no deadline enforcement beyond outcome
+  /// stamping. New callers should drive an InferenceService instead.
+  std::vector<RequestRecord> run(const std::vector<RequestSpec>& requests);
+
+  /// Online entry point used by InferenceService: plans `request` against
+  /// the cluster state at the current simulation time and dispatches its
+  /// task DAG. `queued_behind` is the caller's pending-queue depth, added to
+  /// the queue pressure the strategy sees. `done` fires exactly once, at
+  /// the request's final completion (immediately for empty plans), after
+  /// `record` has its outcome stamped.
+  void execute(const RequestSpec& request, RequestRecord& record, int queued_behind,
+               std::function<void()> done);
 
   const std::vector<TaskTrace>& traces() const noexcept { return traces_; }
   double makespan_s() const noexcept { return makespan_s_; }
+
+  /// Requests planned-and-dispatched but not yet finished.
+  int in_flight() const noexcept { return in_flight_; }
+  std::size_t leader() const noexcept { return leader_; }
+  Cluster& cluster() noexcept { return *cluster_; }
+  IStrategy& strategy() noexcept { return *strategy_; }
 
   /// Caps the retained task traces (long streaming benches run millions of
   /// tasks; unbounded growth dominated their memory). Tracing stops once
@@ -88,9 +160,11 @@ class ExecutionEngine {
   std::size_t trace_capacity() const noexcept { return trace_capacity_; }
 
  private:
-  void launch(const InferenceRequest& request, RequestRecord& record);
-  void dispatch_plan(int request_id, Plan&& plan, double start_s, RequestRecord& record);
+  void dispatch_plan(int request_id, Plan&& plan, double start_s, RequestRecord& record,
+                     std::function<void()> done);
   void record_trace(const TaskTrace& trace);
+  /// Stamps the terminal outcome once `finish_s` is known.
+  static void finalize_record(RequestRecord& record);
 
   Cluster* cluster_;
   IStrategy* strategy_;

@@ -15,18 +15,29 @@ StreamMetrics summarize_run(const std::vector<RequestRecord>& records, const Clu
   std::vector<double> latencies;
   latencies.reserve(records.size());
   for (const RequestRecord& r : records) {
-    latencies.push_back(r.latency_s());
     m.makespan_s = std::max(m.makespan_s, r.finish_s);
+    switch (r.outcome) {
+      case RequestOutcome::kRejected: ++m.rejected; continue;
+      case RequestOutcome::kDropped: ++m.dropped; continue;
+      case RequestOutcome::kDeadlineMiss: ++m.deadline_misses; break;
+      case RequestOutcome::kCompleted: ++m.completed; break;
+    }
+    latencies.push_back(r.latency_s());
     m.total_flops += r.flops;
   }
   m.requests = static_cast<int>(records.size());
-  m.mean_latency_s = util::mean(latencies);
-  m.p95_latency_s = util::percentile(latencies, 0.95);
-  m.max_latency_s = *std::max_element(latencies.begin(), latencies.end());
   m.energy_j = cluster.total_energy_j(m.makespan_s);
-  m.energy_per_inference_j = m.energy_j / static_cast<double>(m.requests);
+  const int executed = m.completed + m.deadline_misses;
+  if (executed > 0) {
+    m.mean_latency_s = util::mean(latencies);
+    m.p50_latency_s = util::percentile(latencies, 0.50);
+    m.p95_latency_s = util::percentile(latencies, 0.95);
+    m.p99_latency_s = util::percentile(latencies, 0.99);
+    m.max_latency_s = *std::max_element(latencies.begin(), latencies.end());
+    m.energy_per_inference_j = m.energy_j / static_cast<double>(executed);
+  }
   if (m.makespan_s > 0.0) {
-    m.throughput_per_100s = 100.0 * static_cast<double>(m.requests) / m.makespan_s;
+    m.throughput_per_100s = 100.0 * static_cast<double>(executed) / m.makespan_s;
     m.avg_gflops = m.total_flops / m.makespan_s / 1e9;
   }
   return m;

@@ -11,17 +11,25 @@
 
 namespace hidp::runtime {
 
-/// Aggregate metrics of one experiment run.
+/// Aggregate metrics of one experiment run. Latency statistics cover the
+/// requests that actually executed (completed or deadline-missed); the
+/// lifecycle counters record the ones the service turned away.
 struct StreamMetrics {
-  int requests = 0;
+  int requests = 0;                   ///< all records, whatever their outcome
+  int completed = 0;                  ///< executed and met any deadline
+  int deadline_misses = 0;            ///< executed but finished late
+  int rejected = 0;                   ///< refused at admission
+  int dropped = 0;                    ///< shed from the pending queue
   double mean_latency_s = 0.0;
+  double p50_latency_s = 0.0;
   double p95_latency_s = 0.0;
+  double p99_latency_s = 0.0;
   double max_latency_s = 0.0;
   double makespan_s = 0.0;            ///< last finish time
   double total_flops = 0.0;
   double energy_j = 0.0;              ///< cluster energy over the makespan
   double energy_per_inference_j = 0.0;
-  double throughput_per_100s = 0.0;   ///< completed inferences per 100 s
+  double throughput_per_100s = 0.0;   ///< executed inferences per 100 s
   double avg_gflops = 0.0;            ///< total FLOPs / makespan
 };
 

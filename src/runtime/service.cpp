@@ -1,0 +1,180 @@
+#include "runtime/service.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hidp::runtime {
+
+void ArrivalProcess::on_complete(const RequestRecord& record, double now_s) {
+  (void)record;
+  (void)now_s;
+}
+
+InferenceService::InferenceService(Cluster& cluster, IStrategy& strategy, std::size_t leader,
+                                   ServiceOptions options)
+    : owned_engine_(std::make_unique<ExecutionEngine>(cluster, strategy, leader)),
+      engine_(owned_engine_.get()),
+      options_(options) {}
+
+InferenceService::InferenceService(ExecutionEngine& engine, ServiceOptions options)
+    : engine_(&engine), options_(options) {}
+
+double InferenceService::now() const noexcept {
+  return engine_->cluster().simulator().now();
+}
+
+RequestHandle InferenceService::submit(const RequestSpec& spec) {
+  if (spec.model == nullptr) throw std::invalid_argument("request without model");
+  ++stats_.submitted;
+  const std::size_t slot = requests_.size();
+  requests_.push_back(Tracked{spec, RequestRecord{}});
+  RequestRecord& record = requests_.back().record;
+  record.id = spec.id;
+  record.model = spec.model->name();
+  record.arrival_s = spec.arrival_s;
+  record.qos = spec.qos;
+  record.deadline_s = spec.deadline_s;
+  engine_->cluster().simulator().schedule_at(spec.arrival_s,
+                                             [this, slot] { on_arrival(slot); });
+  return RequestHandle{spec.id};
+}
+
+void InferenceService::pump() {
+  if (source_ == nullptr) return;
+  while (auto spec = source_->next(now())) submit(*spec);
+}
+
+void InferenceService::on_arrival(std::size_t slot) {
+  if (can_dispatch() && pending_.empty()) {
+    dispatch(slot);
+    return;
+  }
+  if (options_.max_pending == 0 || pending_.size() < options_.max_pending) {
+    pending_.push_back(slot);
+    stats_.peak_pending = std::max(stats_.peak_pending, pending_.size());
+    dispatch_next();
+    return;
+  }
+  shed(slot);
+}
+
+void InferenceService::shed(std::size_t arriving) {
+  const QosClass arriving_qos = requests_[arriving].spec.qos;
+  const bool prefer_oldest = options_.shed_policy == LoadShedPolicy::kDropOldest;
+  const std::size_t victim_index = victim_pending_index(prefer_oldest);
+  bool displace = false;
+  if (victim_index < pending_.size()) {
+    const QosClass victim_qos = requests_[pending_[victim_index]].spec.qos;
+    // kDropOldest makes room for same-class arrivals (FIFO freshness);
+    // kRejectNewest only bumps a pending request for a strictly higher class.
+    displace = prefer_oldest ? arriving_qos >= victim_qos : arriving_qos > victim_qos;
+  }
+  if (!displace) {
+    finish_without_execution(arriving, RequestOutcome::kRejected);
+    return;
+  }
+  const std::size_t victim = pending_[victim_index];
+  pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(victim_index));
+  finish_without_execution(victim, RequestOutcome::kDropped);
+  pending_.push_back(arriving);
+  stats_.peak_pending = std::max(stats_.peak_pending, pending_.size());
+}
+
+std::size_t InferenceService::best_pending_index() const {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < pending_.size(); ++i) {
+    const Tracked& candidate = requests_[pending_[i]];
+    const Tracked& incumbent = requests_[pending_[best]];
+    if (candidate.spec.qos > incumbent.spec.qos ||
+        (candidate.spec.qos == incumbent.spec.qos &&
+         candidate.spec.arrival_s < incumbent.spec.arrival_s)) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+std::size_t InferenceService::victim_pending_index(bool prefer_oldest) const {
+  if (pending_.empty()) return pending_.size();
+  std::size_t victim = 0;
+  for (std::size_t i = 1; i < pending_.size(); ++i) {
+    const Tracked& candidate = requests_[pending_[i]];
+    const Tracked& incumbent = requests_[pending_[victim]];
+    if (candidate.spec.qos < incumbent.spec.qos) {
+      victim = i;
+    } else if (candidate.spec.qos == incumbent.spec.qos) {
+      const bool older = candidate.spec.arrival_s < incumbent.spec.arrival_s;
+      if (older == prefer_oldest && candidate.spec.arrival_s != incumbent.spec.arrival_s) {
+        victim = i;
+      }
+    }
+  }
+  return victim;
+}
+
+void InferenceService::dispatch_next() {
+  while (can_dispatch() && !pending_.empty()) {
+    const std::size_t index = best_pending_index();
+    const std::size_t slot = pending_[index];
+    pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(index));
+    const RequestSpec& spec = requests_[slot].spec;
+    if (options_.drop_expired_pending && spec.deadline_s > 0.0 && now() > spec.deadline_s) {
+      finish_without_execution(slot, RequestOutcome::kDropped);
+      continue;
+    }
+    dispatch(slot);
+  }
+}
+
+void InferenceService::dispatch(std::size_t slot) {
+  ++in_flight_;
+  stats_.peak_in_flight = std::max(stats_.peak_in_flight, in_flight_);
+  Tracked& tracked = requests_[slot];
+  engine_->execute(tracked.spec, tracked.record, static_cast<int>(pending_.size()),
+                   [this, slot] { on_finished(slot); });
+}
+
+void InferenceService::on_finished(std::size_t slot) {
+  --in_flight_;
+  const RequestRecord& record = requests_[slot].record;
+  if (record.outcome == RequestOutcome::kDeadlineMiss) {
+    ++stats_.deadline_misses;
+  } else {
+    ++stats_.completed;
+  }
+  notify_terminal(slot);
+  dispatch_next();
+}
+
+void InferenceService::finish_without_execution(std::size_t slot, RequestOutcome outcome) {
+  RequestRecord& record = requests_[slot].record;
+  record.outcome = outcome;
+  record.dispatch_s = now();
+  record.finish_s = now();
+  if (outcome == RequestOutcome::kRejected) ++stats_.rejected;
+  if (outcome == RequestOutcome::kDropped) ++stats_.dropped;
+  notify_terminal(slot);
+}
+
+void InferenceService::notify_terminal(std::size_t slot) {
+  if (source_ == nullptr) return;
+  source_->on_complete(requests_[slot].record, now());
+  pump();
+}
+
+std::vector<RequestRecord> InferenceService::run() {
+  pump();
+  engine_->cluster().simulator().run();
+  std::vector<RequestRecord> out;
+  out.reserve(requests_.size());
+  makespan_s_ = 0.0;
+  for (const Tracked& tracked : requests_) {
+    out.push_back(tracked.record);
+    makespan_s_ = std::max(makespan_s_, tracked.record.finish_s);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const RequestRecord& a, const RequestRecord& b) { return a.id < b.id; });
+  return out;
+}
+
+}  // namespace hidp::runtime

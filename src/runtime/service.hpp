@@ -1,0 +1,151 @@
+// Online serving surface: the request lifecycle in front of the execution
+// engine.
+//
+// The paper's scheduler is an online system — requests arrive randomly at
+// a node and the leader's FSM plans each one against live cluster state.
+// InferenceService is that serving loop: requests enter via submit() (or a
+// pluggable ArrivalProcess source), pass admission control (dispatch
+// concurrency + pending-queue caps with a QoS-aware load-shedding policy),
+// and leave with an explicit terminal state — Completed, Rejected, Dropped
+// or DeadlineMiss — recorded per request. ExecutionEngine is the DES
+// execution backend behind the service; with unlimited admission and no
+// deadlines the service reproduces the closed-world batch
+// ExecutionEngine::run() bit-identically (the equivalence tests hold it to
+// that), while under overload the bounded queue plus shedding keep
+// throughput sustained where the batch path's latency diverges.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "runtime/engine.hpp"
+
+namespace hidp::runtime {
+
+/// Pluggable request source. The service polls `next()` until it returns
+/// nullopt — at startup and again after every terminal request outcome —
+/// so open-loop sources (replayed traces, Poisson processes) can hand over
+/// their whole stream up front, while closed-loop sources (client pools)
+/// release the next request only when a completion frees a client.
+class ArrivalProcess {
+ public:
+  virtual ~ArrivalProcess() = default;
+
+  /// Next request to issue, with arrival_s >= now_s, or nullopt when the
+  /// source currently has nothing more.
+  virtual std::optional<RequestSpec> next(double now_s) = 0;
+
+  /// Terminal-outcome feedback (completed, rejected, dropped or
+  /// deadline-miss; inspect `record.outcome`). Closed-loop sources use it
+  /// to schedule their clients' next requests. Default: ignore.
+  virtual void on_complete(const RequestRecord& record, double now_s);
+};
+
+/// What to do with an arrival when the pending queue is full.
+enum class LoadShedPolicy {
+  /// Reject the arriving request — unless it outranks the lowest-QoS
+  /// pending request, which is then dropped in its favour.
+  kRejectNewest,
+  /// Drop the oldest pending request of the lowest QoS class to make room,
+  /// provided the arrival's class is at least as high; reject otherwise.
+  kDropOldest,
+};
+
+struct ServiceOptions {
+  /// Requests planned-and-dispatched concurrently; arrivals beyond this
+  /// wait in the pending queue. 0 = unlimited (dispatch on arrival — the
+  /// batch-equivalent configuration; the pending queue then never fills).
+  std::size_t max_in_flight = 0;
+  /// Pending-queue cap; arrivals beyond it are shed per `shed_policy`.
+  /// 0 = unlimited. Only meaningful with a finite `max_in_flight`.
+  std::size_t max_pending = 0;
+  LoadShedPolicy shed_policy = LoadShedPolicy::kRejectNewest;
+  /// Drop (rather than dispatch) pending requests whose deadline already
+  /// passed while they queued — the work could only ever miss.
+  bool drop_expired_pending = false;
+};
+
+/// Lifecycle counters of one service run.
+struct ServiceStats {
+  std::size_t submitted = 0;
+  std::size_t rejected = 0;
+  std::size_t dropped = 0;
+  std::size_t completed = 0;
+  std::size_t deadline_misses = 0;  ///< executed but finished late
+  std::size_t peak_pending = 0;
+  std::size_t peak_in_flight = 0;
+};
+
+/// Ticket returned by submit(); records returned by run() carry the same id.
+struct RequestHandle {
+  int id = -1;
+  bool valid() const noexcept { return id >= 0; }
+};
+
+class InferenceService {
+ public:
+  /// Service owning its execution engine on `cluster`.
+  InferenceService(Cluster& cluster, IStrategy& strategy, std::size_t leader = 0,
+                   ServiceOptions options = {});
+  /// Service over an existing engine (shares its traces and cluster).
+  explicit InferenceService(ExecutionEngine& engine, ServiceOptions options = {});
+
+  /// Registers one request; its arrival event is scheduled at
+  /// `spec.arrival_s`. Throws std::invalid_argument on a null model.
+  RequestHandle submit(const RequestSpec& spec);
+
+  /// Attaches a pluggable arrival source, polled at run() start and after
+  /// every terminal outcome. At most one source; pass nullptr to detach.
+  void attach(ArrivalProcess* source) { source_ = source; }
+
+  /// Drains the simulator and returns every request's record, sorted by
+  /// request id. Can be called again after further submissions.
+  std::vector<RequestRecord> run();
+
+  const ServiceStats& stats() const noexcept { return stats_; }
+  std::size_t pending() const noexcept { return pending_.size(); }
+  std::size_t in_flight() const noexcept { return in_flight_; }
+  double makespan_s() const noexcept { return makespan_s_; }
+  const std::vector<TaskTrace>& traces() const noexcept { return engine_->traces(); }
+  ExecutionEngine& engine() noexcept { return *engine_; }
+  Cluster& cluster() noexcept { return engine_->cluster(); }
+
+ private:
+  struct Tracked {
+    RequestSpec spec;
+    RequestRecord record;
+  };
+
+  void pump();
+  void on_arrival(std::size_t slot);
+  void dispatch(std::size_t slot);
+  void dispatch_next();
+  void on_finished(std::size_t slot);
+  void shed(std::size_t arriving);
+  void finish_without_execution(std::size_t slot, RequestOutcome outcome);
+  /// Index into pending_ of the entry dispatch should take next.
+  std::size_t best_pending_index() const;
+  /// Index into pending_ of the shed victim: lowest QoS class, oldest or
+  /// newest arrival within it per `prefer_oldest`.
+  std::size_t victim_pending_index(bool prefer_oldest) const;
+  bool can_dispatch() const noexcept {
+    return options_.max_in_flight == 0 || in_flight_ < options_.max_in_flight;
+  }
+  double now() const noexcept;
+  /// Notifies the source of a terminal outcome and polls it for follow-ups.
+  void notify_terminal(std::size_t slot);
+
+  std::unique_ptr<ExecutionEngine> owned_engine_;
+  ExecutionEngine* engine_;
+  ServiceOptions options_;
+  ArrivalProcess* source_ = nullptr;
+  std::deque<Tracked> requests_;      ///< stable storage; slot = index
+  std::vector<std::size_t> pending_;  ///< slots admitted but not dispatched
+  std::size_t in_flight_ = 0;
+  double makespan_s_ = 0.0;
+  ServiceStats stats_;
+};
+
+}  // namespace hidp::runtime

@@ -22,61 +22,64 @@ const dnn::DnnGraph& ModelSet::graph(ModelId id) const {
   throw std::invalid_argument("model not in set");
 }
 
-std::vector<InferenceRequest> periodic_stream(const dnn::DnnGraph& model, int count,
-                                              double interval_s, double start_s, int first_id) {
-  std::vector<InferenceRequest> requests;
+std::vector<RequestSpec> periodic_stream(const dnn::DnnGraph& model, int count,
+                                         double interval_s, double start_s, int first_id) {
+  std::vector<RequestSpec> requests;
   requests.reserve(static_cast<std::size_t>(count));
   for (int i = 0; i < count; ++i) {
-    requests.push_back(InferenceRequest{first_id + i, &model,
-                                        start_s + interval_s * static_cast<double>(i)});
+    requests.push_back(RequestSpec{first_id + i, &model,
+                                   start_s + interval_s * static_cast<double>(i)});
   }
   return requests;
 }
 
-std::vector<InferenceRequest> staggered_arrivals(const ModelSet& models,
-                                                 const std::vector<ModelId>& order,
-                                                 double stagger_s) {
-  std::vector<InferenceRequest> requests;
+std::vector<RequestSpec> staggered_arrivals(const ModelSet& models,
+                                            const std::vector<ModelId>& order,
+                                            double stagger_s) {
+  std::vector<RequestSpec> requests;
   requests.reserve(order.size());
   for (std::size_t i = 0; i < order.size(); ++i) {
-    requests.push_back(InferenceRequest{static_cast<int>(i), &models.graph(order[i]),
-                                        stagger_s * static_cast<double>(i)});
+    requests.push_back(RequestSpec{static_cast<int>(i), &models.graph(order[i]),
+                                   stagger_s * static_cast<double>(i)});
   }
   return requests;
 }
 
-std::vector<InferenceRequest> staggered_streams(const ModelSet& models,
-                                                const std::vector<ModelId>& order,
-                                                double stagger_s, int per_model,
-                                                double interval_s) {
-  std::vector<InferenceRequest> requests;
+std::vector<RequestSpec> staggered_streams(const ModelSet& models,
+                                           const std::vector<ModelId>& order,
+                                           double stagger_s, int per_model,
+                                           double interval_s) {
+  std::vector<RequestSpec> requests;
   requests.reserve(order.size() * static_cast<std::size_t>(per_model));
   int id = 0;
   for (std::size_t m = 0; m < order.size(); ++m) {
     for (int k = 0; k < per_model; ++k) {
-      requests.push_back(InferenceRequest{id++, &models.graph(order[m]),
-                                          stagger_s * static_cast<double>(m) +
-                                              interval_s * static_cast<double>(k)});
+      requests.push_back(RequestSpec{id++, &models.graph(order[m]),
+                                     stagger_s * static_cast<double>(m) +
+                                         interval_s * static_cast<double>(k)});
     }
   }
   std::sort(requests.begin(), requests.end(),
-            [](const InferenceRequest& a, const InferenceRequest& b) {
+            [](const RequestSpec& a, const RequestSpec& b) {
               return a.arrival_s < b.arrival_s;
             });
   return requests;
 }
 
-std::vector<InferenceRequest> mixed_stream(const ModelSet& models,
-                                           const std::vector<ModelId>& mix, int count,
-                                           double interval_s, util::Rng& rng) {
-  std::vector<InferenceRequest> requests;
+std::vector<RequestSpec> mixed_stream(const ModelSet& models,
+                                      const std::vector<ModelId>& mix, int count,
+                                      double interval_s, util::Rng& rng) {
+  if (interval_s < 0.0) throw std::invalid_argument("mixed_stream: negative interval");
+  std::vector<RequestSpec> requests;
   if (mix.empty()) return requests;
   requests.reserve(static_cast<std::size_t>(count));
   double t = 0.0;
   for (int i = 0; i < count; ++i) {
     const ModelId id = mix[static_cast<std::size_t>(i) % mix.size()];
-    requests.push_back(InferenceRequest{i, &models.graph(id), t});
-    t += interval_s * rng.uniform(0.75, 1.25);
+    requests.push_back(RequestSpec{i, &models.graph(id), t});
+    // Jittered gaps are clamped non-negative so arrivals stay sorted even
+    // when rounding makes interval * uniform(0.75, 1.25) underflow.
+    t = std::max(t, t + interval_s * rng.uniform(0.75, 1.25));
   }
   return requests;
 }
@@ -95,6 +98,81 @@ std::vector<std::vector<ModelId>> paper_mixes() {
       {kEfficientNetB0, kResNet152, kVgg19},
       {kInceptionV3, kResNet152, kVgg19},
   };
+}
+
+// ---- arrival processes -----------------------------------------------------
+
+std::optional<RequestSpec> ReplayArrivals::next(double now_s) {
+  (void)now_s;
+  if (cursor_ >= requests_.size()) return std::nullopt;
+  return requests_[cursor_++];
+}
+
+PoissonArrivals::PoissonArrivals(const ModelSet& models, std::vector<ModelId> mix,
+                                 Options options)
+    : models_(&models), mix_(std::move(mix)), options_(options), rng_(options.seed),
+      next_arrival_s_(options.start_s) {
+  if (options_.rate_hz <= 0.0) throw std::invalid_argument("PoissonArrivals: rate must be > 0");
+  if (mix_.empty()) throw std::invalid_argument("PoissonArrivals: empty mix");
+}
+
+std::optional<RequestSpec> PoissonArrivals::next(double now_s) {
+  (void)now_s;
+  if (issued_ >= options_.count) return std::nullopt;
+  RequestSpec spec;
+  spec.id = options_.first_id + issued_;
+  spec.model = &models_->graph(mix_[static_cast<std::size_t>(issued_) % mix_.size()]);
+  spec.arrival_s = next_arrival_s_;
+  spec.qos = options_.qos;
+  if (options_.relative_deadline_s > 0.0) {
+    spec.deadline_s = spec.arrival_s + options_.relative_deadline_s;
+  }
+  next_arrival_s_ += rng_.exponential(options_.rate_hz);
+  ++issued_;
+  return spec;
+}
+
+ClosedLoopClients::ClosedLoopClients(const ModelSet& models, std::vector<ModelId> mix,
+                                     Options options)
+    : models_(&models), mix_(std::move(mix)), options_(options) {
+  if (options_.clients <= 0) throw std::invalid_argument("ClosedLoopClients: no clients");
+  if (mix_.empty()) throw std::invalid_argument("ClosedLoopClients: empty mix");
+  clients_.resize(static_cast<std::size_t>(options_.clients));
+  for (Client& client : clients_) client.ready_s = options_.start_s;
+}
+
+RequestSpec ClosedLoopClients::make_spec(std::size_t client, double arrival_s) {
+  RequestSpec spec;
+  spec.id = options_.first_id + issued_;
+  spec.model = &models_->graph(mix_[static_cast<std::size_t>(issued_) % mix_.size()]);
+  spec.arrival_s = arrival_s;
+  spec.qos = options_.qos;
+  if (options_.relative_deadline_s > 0.0) spec.deadline_s = arrival_s + options_.relative_deadline_s;
+  request_client_.push_back(static_cast<int>(client));
+  ++issued_;
+  clients_[client].waiting = true;
+  ++clients_[client].issued;
+  return spec;
+}
+
+std::optional<RequestSpec> ClosedLoopClients::next(double now_s) {
+  for (std::size_t c = 0; c < clients_.size(); ++c) {
+    Client& client = clients_[c];
+    if (client.waiting || client.issued >= options_.requests_per_client) continue;
+    return make_spec(c, std::max(now_s, client.ready_s));
+  }
+  return std::nullopt;
+}
+
+void ClosedLoopClients::on_complete(const RequestRecord& record, double now_s) {
+  const int index = record.id - options_.first_id;
+  if (index < 0 || static_cast<std::size_t>(index) >= request_client_.size()) return;
+  Client& client = clients_[static_cast<std::size_t>(request_client_[static_cast<std::size_t>(index)])];
+  // The service forwards every terminal outcome, including requests from
+  // other sources; an idle client means this record cannot be ours.
+  if (!client.waiting) return;
+  client.waiting = false;
+  client.ready_s = now_s + options_.think_s;
 }
 
 }  // namespace hidp::runtime

@@ -1,13 +1,16 @@
-// Workload generators for the paper's experiments: periodic single-model
-// streams (Fig. 5/8), the staggered four-model ramp of Fig. 6, and the
-// eight DNN mixes of Fig. 7.
+// Workload generators for the paper's experiments — periodic single-model
+// streams (Fig. 5/8), the staggered four-model ramp of Fig. 6, the eight
+// DNN mixes of Fig. 7 — plus the pluggable ArrivalProcess sources the
+// InferenceService consumes: replayed traces of those generators, an
+// open-loop Poisson source, and a closed-loop client pool for saturation
+// studies.
 #pragma once
 
 #include <memory>
 #include <vector>
 
 #include "dnn/zoo/zoo.hpp"
-#include "runtime/engine.hpp"
+#include "runtime/service.hpp"
 #include "util/rng.hpp"
 
 namespace hidp::runtime {
@@ -27,31 +30,122 @@ class ModelSet {
 };
 
 /// `count` requests of one model every `interval_s`, starting at `start_s`.
-std::vector<InferenceRequest> periodic_stream(const dnn::DnnGraph& model, int count,
-                                              double interval_s, double start_s = 0.0,
-                                              int first_id = 0);
+std::vector<RequestSpec> periodic_stream(const dnn::DnnGraph& model, int count,
+                                         double interval_s, double start_s = 0.0,
+                                         int first_id = 0);
 
 /// Fig. 6 scenario: one request of each model in `order`, staggered by
 /// `stagger_s` (paper: EfficientNet, Inception, ResNet, VGG at 0.5 s).
-std::vector<InferenceRequest> staggered_arrivals(const ModelSet& models,
-                                                 const std::vector<dnn::zoo::ModelId>& order,
-                                                 double stagger_s);
+std::vector<RequestSpec> staggered_arrivals(const ModelSet& models,
+                                            const std::vector<dnn::zoo::ModelId>& order,
+                                            double stagger_s);
 
 /// Fig. 6 progressive overload: model k's stream starts at k * stagger_s
 /// and issues `per_model` requests every `interval_s` — by the last stagger
 /// all streams run concurrently. Requests are sorted by arrival time.
-std::vector<InferenceRequest> staggered_streams(const ModelSet& models,
-                                                const std::vector<dnn::zoo::ModelId>& order,
-                                                double stagger_s, int per_model,
-                                                double interval_s);
+std::vector<RequestSpec> staggered_streams(const ModelSet& models,
+                                           const std::vector<dnn::zoo::ModelId>& order,
+                                           double stagger_s, int per_model,
+                                           double interval_s);
 
 /// Fig. 7 mixes: `count` requests alternating over `mix`, spaced by
 /// `interval_s` with ±25% uniform jitter ("requests arrive randomly").
-std::vector<InferenceRequest> mixed_stream(const ModelSet& models,
-                                           const std::vector<dnn::zoo::ModelId>& mix, int count,
-                                           double interval_s, util::Rng& rng);
+/// Arrival times are clamped non-negative and non-decreasing (the jitter
+/// can never reorder the stream); `interval_s` must be >= 0.
+std::vector<RequestSpec> mixed_stream(const ModelSet& models,
+                                      const std::vector<dnn::zoo::ModelId>& mix, int count,
+                                      double interval_s, util::Rng& rng);
 
 /// The paper's eight workload mixes (Mix 1-4: two models, Mix 5-8: three).
 std::vector<std::vector<dnn::zoo::ModelId>> paper_mixes();
+
+// ---- arrival processes -----------------------------------------------------
+
+/// Open-loop replay of a pre-generated request trace. The existing
+/// generators (periodic_stream, staggered_*, mixed_stream) plug into the
+/// service through this: `ReplayArrivals(periodic_stream(...))`.
+class ReplayArrivals : public ArrivalProcess {
+ public:
+  explicit ReplayArrivals(std::vector<RequestSpec> requests)
+      : requests_(std::move(requests)) {}
+
+  std::optional<RequestSpec> next(double now_s) override;
+
+ private:
+  std::vector<RequestSpec> requests_;
+  std::size_t cursor_ = 0;
+};
+
+/// Open-loop Poisson source: exponential inter-arrival times at `rate_hz`,
+/// cycling over `mix`. Deterministic per seed; `count` bounds the stream.
+class PoissonArrivals : public ArrivalProcess {
+ public:
+  struct Options {
+    double rate_hz = 1.0;      ///< mean arrivals per second (> 0)
+    int count = 0;             ///< total requests to issue
+    double start_s = 0.0;
+    int first_id = 0;
+    QosClass qos = QosClass::kStandard;
+    double relative_deadline_s = 0.0;  ///< per-request deadline after arrival; <= 0 none
+    std::uint64_t seed = 1;
+  };
+
+  PoissonArrivals(const ModelSet& models, std::vector<dnn::zoo::ModelId> mix,
+                  Options options);
+
+  std::optional<RequestSpec> next(double now_s) override;
+
+ private:
+  const ModelSet* models_;
+  std::vector<dnn::zoo::ModelId> mix_;
+  Options options_;
+  util::Rng rng_;
+  double next_arrival_s_ = 0.0;
+  int issued_ = 0;
+};
+
+/// Closed-loop client pool for saturation studies: `clients` concurrent
+/// clients each submit one request, wait for its terminal outcome, think
+/// for `think_s`, and submit the next — so offered load tracks service
+/// capacity instead of running open-loop. Each client cycles over `mix`.
+/// The pool matches completions to clients by request id, so its id range
+/// [first_id, first_id + clients * requests_per_client) must not collide
+/// with ids submitted through other sources on the same service.
+class ClosedLoopClients : public ArrivalProcess {
+ public:
+  struct Options {
+    int clients = 1;
+    int requests_per_client = 1;
+    double think_s = 0.0;
+    double start_s = 0.0;
+    int first_id = 0;
+    QosClass qos = QosClass::kStandard;
+    double relative_deadline_s = 0.0;  ///< <= 0 none
+  };
+
+  ClosedLoopClients(const ModelSet& models, std::vector<dnn::zoo::ModelId> mix,
+                    Options options);
+
+  std::optional<RequestSpec> next(double now_s) override;
+  void on_complete(const RequestRecord& record, double now_s) override;
+
+  int issued() const noexcept { return issued_; }
+
+ private:
+  struct Client {
+    int issued = 0;
+    bool waiting = false;    ///< a request is in the system
+    double ready_s = 0.0;    ///< earliest next submission time
+  };
+
+  RequestSpec make_spec(std::size_t client, double arrival_s);
+
+  const ModelSet* models_;
+  std::vector<dnn::zoo::ModelId> mix_;
+  Options options_;
+  std::vector<Client> clients_;
+  std::vector<int> request_client_;  ///< request id - first_id -> client
+  int issued_ = 0;
+};
 
 }  // namespace hidp::runtime

@@ -23,6 +23,16 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
+/// Plans through the redesigned PlanRequest surface.
+runtime::Plan plan_hidp(core::HidpStrategy& hidp, const dnn::DnnGraph& model,
+                        const runtime::ClusterSnapshot& snap) {
+  runtime::PlanRequest request;
+  request.model = &model;
+  request.snapshot = snap;
+  return hidp.plan(request).plan;
+}
+
+
 // ---------------------------------------------------------------------------
 // Seed reference implementations (the pre-optimisation algorithms, kept
 // verbatim so every refactor of the production engines is checked against
@@ -400,12 +410,12 @@ TEST(PlanCache, SteadyStateHitsSkipExploreAndReuseDecision) {
   snap.leader = 1;
 
   const auto& graph = models.graph(dnn::zoo::ModelId::kResNet152);
-  const runtime::Plan first = hidp.plan(graph, snap);
+  const runtime::Plan first = plan_hidp(hidp, graph, snap);
   EXPECT_EQ(hidp.plan_cache_stats().hits, 0u);
   EXPECT_EQ(hidp.plan_cache_stats().misses, 1u);
   EXPECT_NEAR(first.phases.explore_s + first.phases.map_s, 0.015, 1e-12);
 
-  const runtime::Plan second = hidp.plan(graph, snap);
+  const runtime::Plan second = plan_hidp(hidp, graph, snap);
   EXPECT_EQ(hidp.plan_cache_stats().hits, 1u);
   // The cached plan is the same plan, minus the Explore/Map charge.
   ASSERT_EQ(second.tasks.size(), first.tasks.size());
@@ -421,23 +431,23 @@ TEST(PlanCache, SteadyStateHitsSkipExploreAndReuseDecision) {
 
   // Different availability -> different key -> miss.
   snap.available[4] = false;
-  hidp.plan(graph, snap);
+  plan_hidp(hidp, graph, snap);
   EXPECT_EQ(hidp.plan_cache_stats().misses, 2u);
 
   // Deep queue buckets coarsely: 9 and 10 share a bucket.
   snap.available[4] = true;
   snap.queue_depth = 9;
-  hidp.plan(graph, snap);
+  plan_hidp(hidp, graph, snap);
   const auto misses_before = hidp.plan_cache_stats().misses;
   snap.queue_depth = 10;
-  hidp.plan(graph, snap);
+  plan_hidp(hidp, graph, snap);
   EXPECT_EQ(hidp.plan_cache_stats().misses, misses_before);
 
   // A different cluster object invalidates everything.
   const auto other_nodes = platform::paper_cluster();
   snap.nodes = &other_nodes;
   snap.queue_depth = 0;
-  hidp.plan(graph, snap);
+  plan_hidp(hidp, graph, snap);
   EXPECT_GE(hidp.plan_cache_stats().invalidations, 1u);
 }
 
@@ -455,8 +465,8 @@ TEST(PlanCache, DisabledCacheAlwaysExplores) {
   snap.available.assign(nodes.size(), true);
   snap.leader = 1;
   const auto& graph = models.graph(dnn::zoo::ModelId::kVgg19);
-  const runtime::Plan a = hidp.plan(graph, snap);
-  const runtime::Plan b = hidp.plan(graph, snap);
+  const runtime::Plan a = plan_hidp(hidp, graph, snap);
+  const runtime::Plan b = plan_hidp(hidp, graph, snap);
   EXPECT_EQ(hidp.plan_cache_stats().hits, 0u);
   EXPECT_EQ(hidp.plan_cache_stats().misses, 0u);
   EXPECT_NEAR(b.phases.explore_s + b.phases.map_s, 0.015, 1e-12);

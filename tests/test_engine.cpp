@@ -8,33 +8,38 @@
 namespace hidp::runtime {
 namespace {
 
-/// Deterministic strategy issuing one fixed compute task on (node 0, proc 0).
+/// Deterministic strategy issuing `tasks` fixed compute tasks on
+/// (node 0, proc 0).
 class FixedStrategy : public IStrategy {
  public:
-  explicit FixedStrategy(double seconds, double phases_s = 0.0)
-      : seconds_(seconds), phases_s_(phases_s) {}
+  explicit FixedStrategy(double seconds, double phases_s = 0.0, int tasks = 1)
+      : seconds_(seconds), phases_s_(phases_s), tasks_(tasks) {}
   std::string name() const override { return "Fixed"; }
-  Plan plan(const dnn::DnnGraph&, const ClusterSnapshot& snap) override {
-    last_snapshot = snap;
+  PlanResult plan(const PlanRequest& request) override {
+    last_snapshot = request.snapshot;
     Plan p;
     p.strategy = name();
-    p.leader = snap.leader;
-    PlanTask t;
-    t.kind = PlanTask::Kind::kCompute;
-    t.node = 0;
-    t.proc = 0;
-    t.seconds = seconds_;
-    t.flops = 1e9;
-    p.tasks.push_back(t);
+    p.leader = request.snapshot.leader;
+    for (int i = 0; i < tasks_; ++i) {
+      PlanTask t;
+      t.kind = PlanTask::Kind::kCompute;
+      t.node = 0;
+      t.proc = 0;
+      t.seconds = seconds_;
+      t.flops = 1e9;
+      if (i > 0) t.deps = {i - 1};
+      p.tasks.push_back(t);
+    }
     p.phases.explore_s = phases_s_;
     p.nodes_used = 1;
-    return p;
+    return PlanResult{std::move(p), false};
   }
   ClusterSnapshot last_snapshot;
 
  private:
   double seconds_;
   double phases_s_;
+  int tasks_;
 };
 
 TEST(Engine, SingleRequestLatency) {
@@ -47,6 +52,7 @@ TEST(Engine, SingleRequestLatency) {
   EXPECT_DOUBLE_EQ(records[0].arrival_s, 1.0);
   EXPECT_DOUBLE_EQ(records[0].finish_s, 1.5);
   EXPECT_DOUBLE_EQ(records[0].latency_s(), 0.5);
+  EXPECT_EQ(records[0].outcome, RequestOutcome::kCompleted);
   EXPECT_DOUBLE_EQ(engine.makespan_s(), 1.5);
 }
 
@@ -86,6 +92,20 @@ TEST(Engine, QueueDepthVisibleToStrategy) {
   EXPECT_EQ(strategy.last_snapshot.queue_depth, 1);
 }
 
+TEST(Engine, DeadlineMissStampedOnLateFinish) {
+  Cluster cluster(platform::paper_cluster(2));
+  FixedStrategy strategy(1.0);
+  ExecutionEngine engine(cluster, strategy, 0);
+  dnn::DnnGraph model = dnn::zoo::build_efficientnet_b0(32, 4);
+  InferenceRequest late{0, &model, 0.0};
+  late.deadline_s = 0.5;  // the 1 s task can only miss
+  InferenceRequest fine{1, &model, 2.0};
+  fine.deadline_s = 4.0;
+  const auto records = engine.run({late, fine});
+  EXPECT_EQ(records[0].outcome, RequestOutcome::kDeadlineMiss);
+  EXPECT_EQ(records[1].outcome, RequestOutcome::kCompleted);
+}
+
 TEST(Engine, TracesRecordComputeIntervals) {
   Cluster cluster(platform::paper_cluster(2));
   FixedStrategy strategy(0.25);
@@ -97,6 +117,42 @@ TEST(Engine, TracesRecordComputeIntervals) {
   EXPECT_DOUBLE_EQ(engine.traces()[0].end_s, 0.25);
   EXPECT_DOUBLE_EQ(engine.traces()[1].start_s, 0.25);  // queued
   EXPECT_DOUBLE_EQ(engine.traces()[1].flops, 1e9);
+}
+
+TEST(Engine, TraceCapacityZeroDisablesTracing) {
+  Cluster cluster(platform::paper_cluster(2));
+  FixedStrategy strategy(0.25, 0.0, /*tasks=*/3);
+  ExecutionEngine engine(cluster, strategy, 0);
+  engine.set_trace_capacity(0);
+  dnn::DnnGraph model = dnn::zoo::build_efficientnet_b0(32, 4);
+  const auto records =
+      engine.run({InferenceRequest{0, &model, 0.0}, InferenceRequest{1, &model, 0.0}});
+  EXPECT_TRUE(engine.traces().empty());
+  // Execution itself is unaffected: both requests still complete (their
+  // chained tasks interleave on the shared FIFO processor).
+  EXPECT_DOUBLE_EQ(records[0].finish_s, 1.25);
+  EXPECT_DOUBLE_EQ(records[1].finish_s, 1.5);
+}
+
+TEST(Engine, TraceCapHitMidRunStopsCollection) {
+  Cluster cluster(platform::paper_cluster(2));
+  FixedStrategy strategy(0.1, 0.0, /*tasks=*/2);
+  ExecutionEngine engine(cluster, strategy, 0);
+  engine.set_trace_capacity(3);  // 3 requests x 2 tasks = 6 would overflow
+  dnn::DnnGraph model = dnn::zoo::build_efficientnet_b0(32, 4);
+  const auto records = engine.run({
+      InferenceRequest{0, &model, 0.0},
+      InferenceRequest{1, &model, 0.0},
+      InferenceRequest{2, &model, 0.0},
+  });
+  EXPECT_EQ(engine.traces().size(), 3u);
+  // The cap hit mid-run (between tasks of request 1): the retained prefix
+  // is still time-ordered and complete execution was unaffected.
+  for (std::size_t i = 1; i < engine.traces().size(); ++i) {
+    EXPECT_GE(engine.traces()[i].start_s, engine.traces()[i - 1].start_s);
+  }
+  EXPECT_EQ(records.size(), 3u);
+  for (const auto& r : records) EXPECT_EQ(r.outcome, RequestOutcome::kCompleted);
 }
 
 TEST(Engine, RecordsSortedById) {
@@ -111,6 +167,26 @@ TEST(Engine, RecordsSortedById) {
   ASSERT_EQ(records.size(), 2u);
   EXPECT_EQ(records[0].id, 3);
   EXPECT_EQ(records[1].id, 7);
+}
+
+TEST(Engine, RecordsSortedByIdUnderShuffledArrivalOrder) {
+  // The id-sorted invariant must hold regardless of arrival order, id
+  // gaps, or submission order (ids here are neither contiguous nor sorted
+  // by arrival).
+  Cluster cluster(platform::paper_cluster(2));
+  FixedStrategy strategy(0.05);
+  ExecutionEngine engine(cluster, strategy, 0);
+  dnn::DnnGraph model = dnn::zoo::build_efficientnet_b0(32, 4);
+  const auto records = engine.run({
+      InferenceRequest{42, &model, 0.30},
+      InferenceRequest{-3, &model, 0.20},
+      InferenceRequest{7, &model, 0.00},
+      InferenceRequest{19, &model, 0.10},
+  });
+  ASSERT_EQ(records.size(), 4u);
+  for (std::size_t i = 1; i < records.size(); ++i) {
+    EXPECT_LT(records[i - 1].id, records[i].id);
+  }
 }
 
 TEST(Engine, RejectsNullModel) {
@@ -130,7 +206,7 @@ TEST(Engine, EmptyPlanFinishesImmediately) {
   class EmptyStrategy : public IStrategy {
    public:
     std::string name() const override { return "Empty"; }
-    Plan plan(const dnn::DnnGraph&, const ClusterSnapshot&) override { return Plan{}; }
+    PlanResult plan(const PlanRequest&) override { return PlanResult{}; }
   };
   Cluster cluster(platform::paper_cluster(2));
   EmptyStrategy strategy;

@@ -23,8 +23,10 @@ RunResult run_stream(runtime::IStrategy& strategy, const runtime::ModelSet& mode
                      ModelId id, int count, double interval, std::size_t leader = 1,
                      std::size_t cluster_size = 5) {
   runtime::Cluster cluster(platform::paper_cluster(cluster_size));
-  runtime::ExecutionEngine engine(cluster, strategy, leader);
-  const auto records = engine.run(runtime::periodic_stream(models.graph(id), count, interval));
+  runtime::InferenceService service(cluster, strategy, leader);
+  runtime::ReplayArrivals arrivals(runtime::periodic_stream(models.graph(id), count, interval));
+  service.attach(&arrivals);
+  const auto records = service.run();
   return RunResult{runtime::summarize_run(records, cluster), records};
 }
 
@@ -59,9 +61,11 @@ TEST(Integration, EnergyConservation) {
   runtime::ModelSet models;
   core::HidpStrategy hidp;
   runtime::Cluster cluster(platform::paper_cluster());
-  runtime::ExecutionEngine engine(cluster, hidp, 1);
-  const auto records =
-      engine.run(runtime::periodic_stream(models.graph(ModelId::kVgg19), 5, 0.3));
+  runtime::InferenceService service(cluster, hidp, 1);
+  for (const auto& request : runtime::periodic_stream(models.graph(ModelId::kVgg19), 5, 0.3)) {
+    service.submit(request);
+  }
+  const auto records = service.run();
   const auto metrics = runtime::summarize_run(records, cluster);
   double active = 0.0;
   for (std::size_t n = 0; n < cluster.size(); ++n) {
@@ -75,11 +79,13 @@ TEST(Integration, TracesConsistentWithRecords) {
   runtime::ModelSet models;
   core::HidpStrategy hidp;
   runtime::Cluster cluster(platform::paper_cluster());
-  runtime::ExecutionEngine engine(cluster, hidp, 0);
-  const auto records =
-      engine.run(runtime::periodic_stream(models.graph(ModelId::kEfficientNetB0), 4, 0.2));
+  runtime::InferenceService service(cluster, hidp, 0);
+  runtime::ReplayArrivals arrivals(
+      runtime::periodic_stream(models.graph(ModelId::kEfficientNetB0), 4, 0.2));
+  service.attach(&arrivals);
+  const auto records = service.run();
   double trace_flops = 0.0;
-  for (const auto& t : engine.traces()) {
+  for (const auto& t : service.traces()) {
     EXPECT_LE(t.start_s, t.end_s);
     trace_flops += t.flops;
   }
@@ -92,8 +98,11 @@ TEST(Integration, BusyProcessorsNeverOverlap) {
   runtime::ModelSet models;
   core::HidpStrategy hidp;
   runtime::Cluster cluster(platform::paper_cluster());
-  runtime::ExecutionEngine engine(cluster, hidp, 1);
-  engine.run(runtime::periodic_stream(models.graph(ModelId::kResNet152), 8, 0.1));
+  runtime::InferenceService service(cluster, hidp, 1);
+  runtime::ReplayArrivals arrivals(
+      runtime::periodic_stream(models.graph(ModelId::kResNet152), 8, 0.1));
+  service.attach(&arrivals);
+  service.run();
   for (std::size_t n = 0; n < cluster.size(); ++n) {
     for (std::size_t p = 0; p < cluster.nodes()[n].processor_count(); ++p) {
       const auto& intervals = cluster.processor(n, p).intervals();
@@ -161,11 +170,13 @@ TEST(Integration, NodeFailureInjection) {
   runtime::Cluster cluster(platform::paper_cluster());
   cluster.network().set_available(2, false);
   cluster.network().set_available(4, false);
-  runtime::ExecutionEngine engine(cluster, hidp, 0);
-  const auto records =
-      engine.run(runtime::periodic_stream(models.graph(ModelId::kVgg19), 4, 0.3));
+  runtime::InferenceService service(cluster, hidp, 0);
+  runtime::ReplayArrivals arrivals(
+      runtime::periodic_stream(models.graph(ModelId::kVgg19), 4, 0.3));
+  service.attach(&arrivals);
+  const auto records = service.run();
   EXPECT_EQ(records.size(), 4u);
-  for (const auto& t : engine.traces()) {
+  for (const auto& t : service.traces()) {
     if (t.kind == runtime::PlanTask::Kind::kCompute) {
       EXPECT_NE(t.node, 2u);
       EXPECT_NE(t.node, 4u);
@@ -182,8 +193,10 @@ TEST(Integration, MixedWorkloadThroughput) {
   auto run_mix = [&](runtime::IStrategy& s) {
     util::Rng stream_rng(21);
     runtime::Cluster cluster(platform::paper_cluster());
-    runtime::ExecutionEngine engine(cluster, s, 1);
-    const auto records = engine.run(runtime::mixed_stream(models, mix, 12, 0.05, stream_rng));
+    runtime::InferenceService service(cluster, s, 1);
+    runtime::ReplayArrivals arrivals(runtime::mixed_stream(models, mix, 12, 0.05, stream_rng));
+    service.attach(&arrivals);
+    const auto records = service.run();
     return runtime::summarize_run(records, cluster).throughput_per_100s;
   };
   core::HidpStrategy hidp;
@@ -197,9 +210,11 @@ TEST(Integration, StaggeredScenarioCompletesFast) {
   runtime::ModelSet models;
   core::HidpStrategy hidp;
   runtime::Cluster cluster(platform::paper_cluster());
-  runtime::ExecutionEngine engine(cluster, hidp, 1);
-  const auto records =
-      engine.run(runtime::staggered_arrivals(models, dnn::zoo::all_models(), 0.5));
+  runtime::InferenceService service(cluster, hidp, 1);
+  runtime::ReplayArrivals arrivals(
+      runtime::staggered_arrivals(models, dnn::zoo::all_models(), 0.5));
+  service.attach(&arrivals);
+  const auto records = service.run();
   const auto metrics = runtime::summarize_run(records, cluster);
   EXPECT_EQ(metrics.requests, 4);
   EXPECT_LT(metrics.makespan_s, 5.0);  // paper: HiDP completes within 5 s

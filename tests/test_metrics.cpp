@@ -37,6 +37,63 @@ TEST(Metrics, SummaryAggregates) {
   EXPECT_DOUBLE_EQ(m.energy_per_inference_j, m.energy_j / 3.0);
 }
 
+TEST(Metrics, PercentilesFromLatencyDistribution) {
+  Cluster cluster(platform::paper_cluster(2));
+  std::vector<RequestRecord> records;
+  // Latencies 1..100 s: the percentile helper interpolates over the sorted
+  // sample, so p50 = 50.5, p95 = 95.05, p99 = 99.01.
+  for (int i = 1; i <= 100; ++i) {
+    records.push_back(record(i, "A", 0.0, static_cast<double>(i), 1e9));
+  }
+  const StreamMetrics m = summarize_run(records, cluster);
+  EXPECT_NEAR(m.p50_latency_s, 50.5, 1e-9);
+  EXPECT_NEAR(m.p95_latency_s, 95.05, 1e-9);
+  EXPECT_NEAR(m.p99_latency_s, 99.01, 1e-9);
+  EXPECT_DOUBLE_EQ(m.max_latency_s, 100.0);
+  EXPECT_LE(m.p50_latency_s, m.p95_latency_s);
+  EXPECT_LE(m.p95_latency_s, m.p99_latency_s);
+  EXPECT_LE(m.p99_latency_s, m.max_latency_s);
+}
+
+TEST(Metrics, LifecycleOutcomesCounted) {
+  Cluster cluster(platform::paper_cluster(2));
+  std::vector<RequestRecord> records{
+      record(0, "A", 0.0, 1.0, 1e9),
+      record(1, "A", 0.0, 2.0, 1e9),
+      record(2, "A", 0.5, 3.0, 1e9),
+      record(3, "A", 0.5, 0.5, 0.0),
+      record(4, "A", 0.7, 0.7, 0.0),
+  };
+  records[1].outcome = RequestOutcome::kDeadlineMiss;
+  records[3].outcome = RequestOutcome::kRejected;
+  records[4].outcome = RequestOutcome::kDropped;
+  const StreamMetrics m = summarize_run(records, cluster);
+  EXPECT_EQ(m.requests, 5);
+  EXPECT_EQ(m.completed, 2);
+  EXPECT_EQ(m.deadline_misses, 1);
+  EXPECT_EQ(m.rejected, 1);
+  EXPECT_EQ(m.dropped, 1);
+  // Latency statistics cover only the three executed requests; the shed
+  // ones would otherwise drag the mean toward zero.
+  EXPECT_DOUBLE_EQ(m.mean_latency_s, (1.0 + 2.0 + 2.5) / 3.0);
+  // Throughput counts executed inferences (completed + missed).
+  EXPECT_DOUBLE_EQ(m.throughput_per_100s, 100.0 * 3.0 / 3.0);
+  EXPECT_DOUBLE_EQ(m.energy_per_inference_j, m.energy_j / 3.0);
+}
+
+TEST(Metrics, AllShedRunHasNoLatencyStats) {
+  Cluster cluster(platform::paper_cluster(2));
+  std::vector<RequestRecord> records{record(0, "A", 0.0, 0.0, 0.0)};
+  records[0].outcome = RequestOutcome::kRejected;
+  const StreamMetrics m = summarize_run(records, cluster);
+  EXPECT_EQ(m.requests, 1);
+  EXPECT_EQ(m.rejected, 1);
+  EXPECT_DOUBLE_EQ(m.mean_latency_s, 0.0);
+  EXPECT_DOUBLE_EQ(m.p99_latency_s, 0.0);
+  EXPECT_DOUBLE_EQ(m.energy_per_inference_j, 0.0);
+  EXPECT_DOUBLE_EQ(m.throughput_per_100s, 0.0);
+}
+
 TEST(Metrics, EmptyRunIsZero) {
   Cluster cluster(platform::paper_cluster(2));
   const StreamMetrics m = summarize_run({}, cluster);

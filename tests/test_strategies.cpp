@@ -25,6 +25,19 @@ ClusterSnapshot snapshot(const std::vector<platform::NodeModel>& nodes, std::siz
   return snap;
 }
 
+/// Plans one request through the redesigned PlanRequest surface.
+runtime::PlanResult plan_request(runtime::IStrategy& strategy, const dnn::DnnGraph& model,
+                                 ClusterSnapshot snap) {
+  runtime::PlanRequest request;
+  request.model = &model;
+  request.snapshot = std::move(snap);
+  return strategy.plan(request);
+}
+
+Plan plan_once(runtime::IStrategy& strategy, const dnn::DnnGraph& model, ClusterSnapshot snap) {
+  return plan_request(strategy, model, std::move(snap)).plan;
+}
+
 class StrategyContract : public ::testing::TestWithParam<int> {
  protected:
   std::unique_ptr<runtime::IStrategy> make() const {
@@ -43,7 +56,7 @@ TEST_P(StrategyContract, ValidPlanForEveryModelAndLeader) {
   auto strategy = make();
   for (const auto id : models.ids()) {
     for (const std::size_t leader : {0u, 1u, 4u}) {
-      const Plan plan = strategy->plan(models.graph(id), snapshot(nodes, leader));
+      const Plan plan = plan_once(*strategy, models.graph(id), snapshot(nodes, leader));
       ASSERT_FALSE(plan.empty())
           << strategy->name() << " " << dnn::zoo::model_name(id) << " leader " << leader;
       EXPECT_NO_THROW(runtime::validate_plan(plan, nodes));
@@ -60,7 +73,7 @@ TEST_P(StrategyContract, SurvivesPartialAvailability) {
   auto strategy = make();
   auto snap = snapshot(nodes, 0);
   snap.available = {true, false, false, true, false};
-  const Plan plan = strategy->plan(models.graph(dnn::zoo::ModelId::kResNet152), snap);
+  const Plan plan = plan_once(*strategy, models.graph(dnn::zoo::ModelId::kResNet152), snap);
   ASSERT_FALSE(plan.empty());
   for (const auto& task : plan.tasks) {
     if (task.kind == runtime::PlanTask::Kind::kCompute) {
@@ -83,7 +96,7 @@ TEST(HidpStrategy, UsesHierarchicalLocalPartitioning) {
   const auto nodes = platform::paper_cluster();
   runtime::ModelSet models;
   core::HidpStrategy hidp;
-  const Plan plan = hidp.plan(models.graph(dnn::zoo::ModelId::kEfficientNetB0),
+  const Plan plan = plan_once(hidp, models.graph(dnn::zoo::ModelId::kEfficientNetB0),
                               snapshot(nodes, 1));
   // HiDP's local tier splits blocks across processors: expect at least one
   // node contributing >= 2 parallel compute tasks.
@@ -100,7 +113,7 @@ TEST(HidpStrategy, FsmTraceFollowsPaperWorkflow) {
   const auto nodes = platform::paper_cluster();
   runtime::ModelSet models;
   core::HidpStrategy hidp;
-  hidp.plan(models.graph(dnn::zoo::ModelId::kInceptionV3), snapshot(nodes, 0));
+  plan_once(hidp, models.graph(dnn::zoo::ModelId::kInceptionV3), snapshot(nodes, 0));
   const auto& fsm = hidp.last_fsm();
   ASSERT_GE(fsm.trace().size(), 6u);
   EXPECT_EQ(fsm.trace().front().to, core::FsmState::kExplore);
@@ -112,7 +125,7 @@ TEST(HidpStrategy, ChargesPaperPlanningOverhead) {
   const auto nodes = platform::paper_cluster();
   runtime::ModelSet models;
   core::HidpStrategy hidp;
-  const Plan plan = hidp.plan(models.graph(dnn::zoo::ModelId::kResNet152), snapshot(nodes, 0));
+  const Plan plan = plan_once(hidp, models.graph(dnn::zoo::ModelId::kResNet152), snapshot(nodes, 0));
   // Explore + Map default to 15 ms (paper §IV-A); Analyze adds probe RTT.
   EXPECT_NEAR(plan.phases.explore_s + plan.phases.map_s, 0.015, 1e-12);
   EXPECT_GT(plan.phases.analyze_s, 0.0);
@@ -127,7 +140,7 @@ TEST(HidpStrategy, AdaptsModeToModel) {
   std::set<partition::PartitionMode> modes;
   for (const auto id : models.ids()) {
     for (const std::size_t leader : {0u, 3u, 4u}) {
-      const Plan plan = hidp.plan(models.graph(id), snapshot(nodes, leader, 2));
+      const Plan plan = plan_once(hidp, models.graph(id), snapshot(nodes, leader, 2));
       modes.insert(plan.global_mode);
     }
   }
@@ -140,7 +153,7 @@ TEST(ModnnStrategy, AlwaysDataPartitions) {
   runtime::ModelSet models;
   baselines::ModnnStrategy modnn;
   for (const auto id : models.ids()) {
-    const Plan plan = modnn.plan(models.graph(id), snapshot(nodes, 0));
+    const Plan plan = plan_once(modnn, models.graph(id), snapshot(nodes, 0));
     EXPECT_EQ(plan.global_mode, partition::PartitionMode::kData)
         << dnn::zoo::model_name(id);
   }
@@ -150,7 +163,7 @@ TEST(ModnnStrategy, DefaultLocalPlacementOnly) {
   const auto nodes = platform::paper_cluster();
   runtime::ModelSet models;
   baselines::ModnnStrategy modnn;
-  const Plan plan = modnn.plan(models.graph(dnn::zoo::ModelId::kVgg19), snapshot(nodes, 0));
+  const Plan plan = plan_once(modnn, models.graph(dnn::zoo::ModelId::kVgg19), snapshot(nodes, 0));
   // No local tier: each participating node runs its slice on ONE processor.
   std::map<std::size_t, std::set<std::size_t>> procs_per_node;
   for (const auto& t : plan.tasks) {
@@ -167,7 +180,7 @@ TEST(DisnetStrategy, HybridButGlobalOnly) {
   baselines::DisnetStrategy disnet;
   std::set<partition::PartitionMode> modes;
   for (const auto id : models.ids()) {
-    const Plan plan = disnet.plan(models.graph(id), snapshot(nodes, 4));
+    const Plan plan = plan_once(disnet, models.graph(id), snapshot(nodes, 4));
     modes.insert(plan.global_mode);
     std::map<std::size_t, std::set<std::size_t>> procs_per_node;
     for (const auto& t : plan.tasks) {
@@ -182,7 +195,7 @@ TEST(OmniboostStrategy, PipelinesAcrossProcessors) {
   const auto nodes = platform::paper_cluster();
   runtime::ModelSet models;
   baselines::OmniboostStrategy omni;
-  const Plan plan = omni.plan(models.graph(dnn::zoo::ModelId::kResNet152),
+  const Plan plan = plan_once(omni, models.graph(dnn::zoo::ModelId::kResNet152),
                               snapshot(nodes, 0, /*queue=*/2));
   EXPECT_EQ(plan.global_mode, partition::PartitionMode::kModel);
   // Sequential pipeline: every compute task depends (transitively) on the
@@ -199,8 +212,8 @@ TEST(OmniboostStrategy, DeterministicAcrossInstances) {
   const auto nodes = platform::paper_cluster();
   runtime::ModelSet models;
   baselines::OmniboostStrategy a, b;
-  const Plan pa = a.plan(models.graph(dnn::zoo::ModelId::kVgg19), snapshot(nodes, 0));
-  const Plan pb = b.plan(models.graph(dnn::zoo::ModelId::kVgg19), snapshot(nodes, 0));
+  const Plan pa = plan_once(a, models.graph(dnn::zoo::ModelId::kVgg19), snapshot(nodes, 0));
+  const Plan pb = plan_once(b, models.graph(dnn::zoo::ModelId::kVgg19), snapshot(nodes, 0));
   ASSERT_EQ(pa.tasks.size(), pb.tasks.size());
   for (std::size_t i = 0; i < pa.tasks.size(); ++i) {
     EXPECT_EQ(pa.tasks[i].node, pb.tasks[i].node);
@@ -217,8 +230,8 @@ TEST(BaselinePlanCache, RepeatedSituationHits) {
   const auto& graph = models.graph(dnn::zoo::ModelId::kResNet152);
   for (auto* strategy :
        std::initializer_list<runtime::IStrategy*>{&modnn, &disnet, &omni}) {
-    const Plan first = strategy->plan(graph, snapshot(nodes, 0));
-    const Plan second = strategy->plan(graph, snapshot(nodes, 0));
+    const Plan first = plan_once(*strategy, graph, snapshot(nodes, 0));
+    const Plan second = plan_once(*strategy, graph, snapshot(nodes, 0));
     ASSERT_FALSE(first.empty()) << strategy->name();
     ASSERT_EQ(first.tasks.size(), second.tasks.size()) << strategy->name();
     // The hit charges lookup cost, not the strategy's planning latency.
@@ -236,14 +249,14 @@ TEST(BaselinePlanCache, QueueDepthKeyedOnlyWhereRead) {
   const auto& graph = models.graph(dnn::zoo::ModelId::kResNet152);
   // MoDNN never consults queue depth: depth churn must stay a cache hit.
   baselines::ModnnStrategy modnn;
-  (void)modnn.plan(graph, snapshot(nodes, 0, /*queue=*/0));
-  (void)modnn.plan(graph, snapshot(nodes, 0, /*queue=*/3));
+  (void)plan_once(modnn, graph, snapshot(nodes, 0, /*queue=*/0));
+  (void)plan_once(modnn, graph, snapshot(nodes, 0, /*queue=*/3));
   EXPECT_EQ(modnn.plan_cache_stats().hits, 1u);
   // OmniBoost switches objective on queue_depth > 0: exactly two regimes.
   baselines::OmniboostStrategy omni;
-  (void)omni.plan(graph, snapshot(nodes, 0, /*queue=*/0));
-  (void)omni.plan(graph, snapshot(nodes, 0, /*queue=*/2));  // miss: q>0 regime
-  (void)omni.plan(graph, snapshot(nodes, 0, /*queue=*/7));  // hit: same regime
+  (void)plan_once(omni, graph, snapshot(nodes, 0, /*queue=*/0));
+  (void)plan_once(omni, graph, snapshot(nodes, 0, /*queue=*/2));  // miss: q>0 regime
+  (void)plan_once(omni, graph, snapshot(nodes, 0, /*queue=*/7));  // hit: same regime
   EXPECT_EQ(omni.plan_cache_stats().misses, 2u);
   EXPECT_EQ(omni.plan_cache_stats().hits, 1u);
 }
@@ -253,11 +266,11 @@ TEST(BaselinePlanCache, DistinctSituationsMiss) {
   runtime::ModelSet models;
   baselines::ModnnStrategy modnn;
   const auto& graph = models.graph(dnn::zoo::ModelId::kVgg19);
-  (void)modnn.plan(graph, snapshot(nodes, 0));
-  (void)modnn.plan(graph, snapshot(nodes, 1));  // different leader
+  (void)plan_once(modnn, graph, snapshot(nodes, 0));
+  (void)plan_once(modnn, graph, snapshot(nodes, 1));  // different leader
   auto degraded = snapshot(nodes, 0);
   degraded.available = {true, true, false, true, true};
-  (void)modnn.plan(graph, degraded);  // different availability
+  (void)plan_once(modnn, graph, degraded);  // different availability
   EXPECT_EQ(modnn.plan_cache_stats().hits, 0u);
   EXPECT_EQ(modnn.plan_cache_stats().misses, 3u);
 }
@@ -273,11 +286,11 @@ TEST(BaselinePlanCache, EmptyAvailabilityDoesNotAliasAllDown) {
   const auto& graph = models.graph(dnn::zoo::ModelId::kResNet152);
   auto everyone = snapshot(nodes, 0);
   everyone.available.clear();
-  (void)modnn.plan(graph, everyone);
+  (void)plan_once(modnn, graph, everyone);
   auto leader_only = snapshot(nodes, 0);
   leader_only.available.assign(nodes.size(), false);
   leader_only.available[0] = true;
-  const Plan plan = modnn.plan(graph, leader_only);
+  const Plan plan = plan_once(modnn, graph, leader_only);
   EXPECT_EQ(modnn.plan_cache_stats().hits, 0u);
   for (const auto& task : plan.tasks) {
     if (task.kind == runtime::PlanTask::Kind::kCompute) EXPECT_EQ(task.node, 0u);
@@ -289,14 +302,14 @@ TEST(BaselinePlanCache, ClusterChangeInvalidates) {
   runtime::ModelSet models;
   baselines::DisnetStrategy disnet;
   const auto& graph = models.graph(dnn::zoo::ModelId::kResNet152);
-  (void)disnet.plan(graph, snapshot(nodes, 0));
-  (void)disnet.plan(graph, snapshot(nodes, 0));
+  (void)plan_once(disnet, graph, snapshot(nodes, 0));
+  (void)plan_once(disnet, graph, snapshot(nodes, 0));
   EXPECT_EQ(disnet.plan_cache_stats().hits, 1u);
 
   // Shrinking the cluster must drop the cached plans (and the cost models
   // priced against the old node vector/network).
   const auto smaller = platform::paper_cluster(3);
-  const Plan plan = disnet.plan(graph, snapshot(smaller, 0));
+  const Plan plan = plan_once(disnet, graph, snapshot(smaller, 0));
   ASSERT_FALSE(plan.empty());
   EXPECT_NO_THROW(runtime::validate_plan(plan, smaller));
   EXPECT_EQ(disnet.plan_cache_stats().invalidations, 1u);
@@ -312,11 +325,45 @@ TEST(BaselinePlanCache, DisabledCacheNeverHits) {
   options.plan_cache.enabled = false;
   baselines::ModnnStrategy modnn(options);
   const auto& graph = models.graph(dnn::zoo::ModelId::kResNet152);
-  const Plan first = modnn.plan(graph, snapshot(nodes, 0));
-  const Plan second = modnn.plan(graph, snapshot(nodes, 0));
+  const Plan first = plan_once(modnn, graph, snapshot(nodes, 0));
+  const Plan second = plan_once(modnn, graph, snapshot(nodes, 0));
   EXPECT_EQ(modnn.plan_cache_stats().hits, 0u);
   EXPECT_EQ(modnn.plan_cache_stats().misses, 0u);
   EXPECT_DOUBLE_EQ(first.phases.total(), second.phases.total());
+}
+
+TEST(SharedPlanPath, AllFourStrategiesCacheThroughPlanRequest) {
+  // The redesigned surface: every strategy derives from CachingStrategyBase
+  // and plans through the one PlanRequest -> CrossRequestPlanCache code
+  // path. A repeated situation must be a hit for each of the four, visible
+  // both in PlanResult::cache_hit and in the shared stats counters.
+  const auto nodes = platform::paper_cluster();
+  runtime::ModelSet models;
+  const auto& graph = models.graph(dnn::zoo::ModelId::kInceptionV3);
+  core::HidpStrategy::Options hidp_options;
+  hidp_options.probe_availability = false;  // deterministic cache key
+  core::HidpStrategy hidp(hidp_options);
+  baselines::DisnetStrategy disnet;
+  baselines::OmniboostStrategy omni;
+  baselines::ModnnStrategy modnn;
+  for (auto* strategy :
+       std::initializer_list<runtime::IStrategy*>{&hidp, &disnet, &omni, &modnn}) {
+    auto* cached = dynamic_cast<core::CachingStrategyBase*>(strategy);
+    ASSERT_NE(cached, nullptr) << strategy->name();
+    const runtime::PlanResult first = plan_request(*strategy, graph, snapshot(nodes, 1));
+    const runtime::PlanResult second = plan_request(*strategy, graph, snapshot(nodes, 1));
+    EXPECT_FALSE(first.cache_hit) << strategy->name();
+    EXPECT_TRUE(second.cache_hit) << strategy->name();
+    EXPECT_EQ(second.plan.tasks.size(), first.plan.tasks.size()) << strategy->name();
+    EXPECT_EQ(cached->plan_cache_stats().misses, 1u) << strategy->name();
+    EXPECT_EQ(cached->plan_cache_stats().hits, 1u) << strategy->name();
+    // A deeper-queue regime fragments the key only as far as the strategy
+    // actually reads the queue depth.
+    const runtime::PlanResult queued = plan_request(*strategy, graph, snapshot(nodes, 1, 7));
+    const bool queue_blind = cached->plan_cache_stats().hits == 2u;
+    EXPECT_EQ(queue_blind, strategy == &modnn || strategy == &disnet) << strategy->name();
+    (void)queued;
+  }
 }
 
 TEST(Strategies, HidpPredictsLowestLatency) {
@@ -332,11 +379,11 @@ TEST(Strategies, HidpPredictsLowestLatency) {
   for (const auto id : models.ids()) {
     const auto& graph = models.graph(id);
     const double t_hidp =
-        runtime::critical_path_s(hidp.plan(graph, snapshot(nodes, 1)), nodes, network);
+        runtime::critical_path_s(plan_once(hidp, graph, snapshot(nodes, 1)), nodes, network);
     for (runtime::IStrategy* baseline :
          std::initializer_list<runtime::IStrategy*>{&disnet, &omni, &modnn}) {
       const double t_base =
-          runtime::critical_path_s(baseline->plan(graph, snapshot(nodes, 1)), nodes, network);
+          runtime::critical_path_s(plan_once(*baseline, graph, snapshot(nodes, 1)), nodes, network);
       EXPECT_LT(t_hidp, t_base) << dnn::zoo::model_name(id) << " vs " << baseline->name();
     }
   }

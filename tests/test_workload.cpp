@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <stdexcept>
 
 #include "runtime/workload.hpp"
 
@@ -65,6 +66,30 @@ TEST(MixedStream, DeterministicPerSeed) {
   for (std::size_t i = 0; i < ra.size(); ++i) {
     EXPECT_DOUBLE_EQ(ra[i].arrival_s, rb[i].arrival_s);
   }
+}
+
+TEST(MixedStream, TinyIntervalStaysSortedAndNonNegative) {
+  // Regression: with a tiny interval the jittered gap can round to (or
+  // below) zero; arrivals must stay non-negative and sorted regardless.
+  const ModelSet models;
+  util::Rng rng(11);
+  const std::vector<ModelId> mix{ModelId::kEfficientNetB0, ModelId::kVgg19};
+  for (const double interval : {0.0, 1e-300, 1e-9}) {
+    util::Rng local(rng.next_u64());
+    const auto reqs = mixed_stream(models, mix, 500, interval, local);
+    ASSERT_EQ(reqs.size(), 500u);
+    EXPECT_GE(reqs.front().arrival_s, 0.0);
+    for (std::size_t i = 1; i < reqs.size(); ++i) {
+      EXPECT_GE(reqs[i].arrival_s, reqs[i - 1].arrival_s) << "interval " << interval;
+    }
+  }
+}
+
+TEST(MixedStream, NegativeIntervalThrows) {
+  const ModelSet models;
+  util::Rng rng(3);
+  const std::vector<ModelId> mix{ModelId::kEfficientNetB0};
+  EXPECT_THROW(mixed_stream(models, mix, 4, -0.5, rng), std::invalid_argument);
 }
 
 TEST(PaperMixes, FourPairsFourTriples) {
