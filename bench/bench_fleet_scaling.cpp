@@ -1,0 +1,165 @@
+// Fleet scaling bench: aggregate serving throughput of a ServiceFleet as
+// the same 8-node cluster is carved into 1, 2 and 4 shards, under the
+// PR 3 overload workload (arrival spacing far below service demand,
+// bounded admission shedding the excess).
+//
+// Also measures work stealing: a skewed stream (model-affinity routing
+// funnels everything onto one shard) with stealing on vs off.
+//
+// Output: a human-readable table on stdout plus BENCH_fleet.json in the
+// working directory. `--smoke` runs tiny request counts so CI can catch
+// build rot without paying full measurement time.
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "runtime/fleet.hpp"
+
+namespace {
+
+using namespace hidp;
+using dnn::zoo::ModelId;
+
+/// 4x (Orin NX + TX2) pairs: every 2-node shard gets the same hardware, so
+/// shard-count sweeps compare topology, not device luck.
+std::vector<platform::NodeModel> paired_cluster() {
+  std::vector<platform::NodeModel> nodes;
+  for (int i = 0; i < 4; ++i) {
+    nodes.push_back(platform::make_device("Jetson Orin NX"));
+    nodes.push_back(platform::make_device("Jetson TX2"));
+  }
+  return nodes;
+}
+
+struct FleetResult {
+  std::string config;
+  std::size_t shards = 0;
+  std::size_t completed = 0;
+  std::size_t rejected = 0;
+  std::size_t dropped = 0;
+  std::size_t steals = 0;
+  double makespan_s = 0.0;
+  double completed_per_s = 0.0;
+  double p50_s = 0.0;
+  double p99_s = 0.0;
+};
+
+FleetResult run_fleet(const std::string& config, std::size_t shard_count,
+                      const std::vector<runtime::RequestSpec>& stream,
+                      runtime::RoutingPolicy& routing, bool work_stealing) {
+  runtime::Cluster cluster(paired_cluster());
+  std::vector<std::unique_ptr<core::HidpStrategy>> strategies;
+  std::vector<runtime::FleetShard> shards;
+  const std::size_t span = 8 / shard_count;
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    strategies.push_back(std::make_unique<core::HidpStrategy>());
+    runtime::FleetShard shard;
+    shard.strategy = strategies.back().get();
+    for (std::size_t n = 0; n < span; ++n) shard.nodes.push_back(s * span + n);
+    shard.leader = s * span + 1;  // the shard's TX2, per the paper convention
+    shard.service.max_in_flight = 2;
+    shard.service.max_pending = 16;
+    shard.service.shed_policy = runtime::LoadShedPolicy::kRejectNewest;
+    shards.push_back(std::move(shard));
+  }
+  runtime::FleetOptions options;
+  options.work_stealing = work_stealing;
+  runtime::ServiceFleet fleet(cluster, shards, routing, options);
+  // Keep trace memory bounded: the overload stream runs thousands of tasks.
+  for (std::size_t s = 0; s < shard_count; ++s) fleet.shard(s).engine().set_trace_capacity(0);
+  runtime::ReplayArrivals arrivals(stream);
+  fleet.attach(&arrivals);
+  const auto records = fleet.run();
+  const runtime::StreamMetrics metrics = runtime::summarize_run(records, cluster);
+  const runtime::ServiceStats stats = fleet.stats();
+
+  FleetResult result;
+  result.config = config;
+  result.shards = shard_count;
+  result.completed = stats.completed;
+  result.rejected = stats.rejected;
+  result.dropped = stats.dropped;
+  result.steals = fleet.steals();
+  result.makespan_s = metrics.makespan_s;
+  result.completed_per_s =
+      metrics.makespan_s > 0.0 ? static_cast<double>(stats.completed) / metrics.makespan_s : 0.0;
+  result.p50_s = metrics.p50_latency_s;
+  result.p99_s = metrics.p99_latency_s;
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_fleet.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  runtime::ModelSet models;
+  const int count = smoke ? 80 : 1500;
+  // PR 3 overload shape: arrivals every 2 ms against tens-of-ms service
+  // demand — far oversubscribed even for the 4-shard fleet, so completed
+  // throughput measures saturation capacity, not offered load.
+  util::Rng mix_rng(11);
+  const auto stream = runtime::mixed_stream(
+      models, {ModelId::kEfficientNetB0, ModelId::kResNet152}, count, 0.002, mix_rng);
+
+  std::vector<FleetResult> results;
+  for (const std::size_t shard_count : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    runtime::LeastLoadedRouting routing;
+    results.push_back(run_fleet("overload-scaling", shard_count, stream, routing,
+                                /*work_stealing=*/true));
+  }
+  const bool monotonic = results[1].completed_per_s > results[0].completed_per_s &&
+                         results[2].completed_per_s > results[1].completed_per_s;
+
+  // Skew study: model-affinity on a single-model stream funnels every
+  // request to one shard of two; stealing should pull the tail in.
+  util::Rng skew_rng(13);
+  const auto skew_stream =
+      runtime::mixed_stream(models, {ModelId::kEfficientNetB0}, count, 0.002, skew_rng);
+  runtime::ModelAffinityRouting affinity_off, affinity_on;
+  results.push_back(
+      run_fleet("skew-no-steal", 2, skew_stream, affinity_off, /*work_stealing=*/false));
+  results.push_back(
+      run_fleet("skew-steal", 2, skew_stream, affinity_on, /*work_stealing=*/true));
+
+  std::cout << "fleet scaling (" << (smoke ? "smoke" : "full") << ", " << count
+            << " requests)\n";
+  for (const FleetResult& r : results) {
+    std::cout << "  " << r.config << " shards=" << r.shards << " completed=" << r.completed
+              << " rejected=" << r.rejected << " dropped=" << r.dropped
+              << " steals=" << r.steals << " completed/s=" << r.completed_per_s
+              << " p50=" << r.p50_s << "s p99=" << r.p99_s << "s\n";
+  }
+  std::cout << "  1->2->4 shard throughput monotonic: " << (monotonic ? "yes" : "NO") << "\n";
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "error: cannot open " << out_path << " for writing\n";
+    return 1;
+  }
+  out << "{\n  \"bench\": \"fleet_scaling\",\n  \"requests\": " << count
+      << ",\n  \"smoke\": " << (smoke ? "true" : "false")
+      << ",\n  \"throughput_monotonic_1_2_4\": " << (monotonic ? "true" : "false")
+      << ",\n  \"results\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const FleetResult& r = results[i];
+    out << "    {\"config\": \"" << r.config << "\", \"shards\": " << r.shards
+        << ", \"completed\": " << r.completed << ", \"rejected\": " << r.rejected
+        << ", \"dropped\": " << r.dropped << ", \"steals\": " << r.steals
+        << ", \"makespan_s\": " << r.makespan_s
+        << ", \"completed_per_s\": " << r.completed_per_s << ", \"p50_s\": " << r.p50_s
+        << ", \"p99_s\": " << r.p99_s << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::cout << "wrote " << out_path << "\n";
+  // The scaling claim is part of the bench's contract; fail loudly (CI runs
+  // --smoke) if carving the same nodes into more shards stops paying off.
+  return monotonic ? 0 : 2;
+}

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "util/hash.hpp"
+
 namespace hidp::core {
 
 int queue_depth_bucket(int queue_depth) noexcept {
@@ -17,21 +19,16 @@ int queue_depth_bucket(int queue_depth) noexcept {
 }
 
 std::size_t GlobalDecisionKeyHash::operator()(const GlobalDecisionKey& key) const noexcept {
-  std::uint64_t h = 0xcbf29ce484222325ULL;
-  auto mix = [&h](std::uint64_t v) {
-    h ^= v;
-    h *= 0x100000001b3ULL;
-  };
-  mix(reinterpret_cast<std::uintptr_t>(key.model));
-  mix(key.model_layers);
-  std::uint64_t flops_bits = 0;
-  static_assert(sizeof(flops_bits) == sizeof(key.model_flops));
-  std::memcpy(&flops_bits, &key.model_flops, sizeof(flops_bits));
-  mix(flops_bits);
-  mix(key.leader);
-  mix(key.availability_mask);
-  mix(static_cast<std::uint64_t>(key.queue_bucket));
-  return static_cast<std::size_t>(h);
+  util::Fnv1a h;
+  h.mix(reinterpret_cast<std::uintptr_t>(key.model));
+  h.mix(key.model_layers);
+  h.mix_double(key.model_flops);
+  h.mix(key.leader);
+  // For >64-node clusters availability_mask is already the digest of
+  // wide_mask, so the words need no re-mixing here.
+  h.mix(key.availability_mask);
+  h.mix(static_cast<std::uint64_t>(key.queue_bucket));
+  return static_cast<std::size_t>(h.digest());
 }
 
 using partition::ClusterCostModel;

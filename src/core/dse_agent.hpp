@@ -64,12 +64,19 @@ struct GlobalDecisionKey {
   std::size_t model_layers = 0;
   double model_flops = 0.0;
   std::size_t leader = 0;
-  std::uint64_t availability_mask = 0;  ///< bit j = node j available
+  /// Clusters up to 64 nodes: bit j = node j available. Beyond 64 nodes
+  /// this holds an FNV digest of `wide_mask` (fast compare/hash input);
+  /// equality still checks the exact words, so a digest collision can
+  /// never replay a plan onto the wrong availability set.
+  std::uint64_t availability_mask = 0;
+  /// Exact availability bit-words for > 64-node clusters; empty otherwise.
+  std::vector<std::uint64_t> wide_mask;
   int queue_bucket = 0;
   bool operator==(const GlobalDecisionKey& other) const noexcept {
     return model == other.model && model_layers == other.model_layers &&
            model_flops == other.model_flops && leader == other.leader &&
-           availability_mask == other.availability_mask && queue_bucket == other.queue_bucket;
+           availability_mask == other.availability_mask && wide_mask == other.wide_mask &&
+           queue_bucket == other.queue_bucket;
   }
 };
 

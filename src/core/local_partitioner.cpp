@@ -1,7 +1,8 @@
 #include "core/local_partitioner.hpp"
 
-#include <bit>
 #include <cmath>
+
+#include "util/hash.hpp"
 
 namespace hidp::core {
 
@@ -9,16 +10,12 @@ namespace {
 
 /// FLOP-signature hash of (work, io) for memoisation.
 std::uint64_t signature(const platform::WorkProfile& work, std::int64_t io_bytes) {
-  std::uint64_t h = 0xcbf29ce484222325ULL;
-  auto mix = [&h](std::uint64_t v) {
-    h ^= v;
-    h *= 0x100000001b3ULL;
-  };
+  util::Fnv1a h;
   for (int k = 0; k < dnn::kLayerKindCount; ++k) {
-    mix(std::bit_cast<std::uint64_t>(work.flops_of(static_cast<dnn::LayerKind>(k))));
+    h.mix_double(work.flops_of(static_cast<dnn::LayerKind>(k)));
   }
-  mix(static_cast<std::uint64_t>(io_bytes));
-  return h;
+  h.mix(static_cast<std::uint64_t>(io_bytes));
+  return h.digest();
 }
 
 }  // namespace

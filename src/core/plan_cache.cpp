@@ -5,27 +5,17 @@
 namespace hidp::core {
 
 std::uint64_t cluster_compute_fingerprint(const std::vector<platform::NodeModel>& nodes) {
-  std::uint64_t h = 0xcbf29ce484222325ULL;
-  auto mix = [&h](std::uint64_t v) {
-    h ^= v;
-    h *= 0x100000001b3ULL;
-  };
-  auto mix_double = [&mix](double d) {
-    std::uint64_t bits;
-    static_assert(sizeof(bits) == sizeof(d));
-    std::memcpy(&bits, &d, sizeof(bits));
-    mix(bits);
-  };
+  util::Fnv1a h;
   for (const platform::NodeModel& node : nodes) {
-    mix(node.processor_count());
-    mix_double(node.dram_bw_gbps());
+    h.mix(node.processor_count());
+    h.mix_double(node.dram_bw_gbps());
     for (const platform::ProcessorModel& proc : node.processors()) {
-      mix_double(proc.peak_gflops());
-      mix_double(proc.utilization(1));
-      mix_double(proc.dispatch_s());
+      h.mix_double(proc.peak_gflops());
+      h.mix_double(proc.utilization(1));
+      h.mix_double(proc.dispatch_s());
     }
   }
-  return h;
+  return h.digest();
 }
 
 double CachingStrategyBase::analyze(const runtime::PlanRequest& request,
@@ -64,10 +54,9 @@ runtime::PlanResult CachingStrategyBase::plan(const runtime::PlanRequest& reques
   const double analyze_s = analyze(request, available);
 
   GlobalDecisionKey key;
-  const bool cacheable =
-      policy_.enabled &&
-      CrossRequestPlanCache<CachedPlanEntry>::make_key(request.graph(), snap, available, &key);
+  const bool cacheable = policy_.enabled;
   if (cacheable) {
+    CrossRequestPlanCache<CachedPlanEntry>::make_key(request.graph(), snap, available, &key);
     key.queue_bucket = queue_bucket(snap.queue_depth);
     if (const CachedPlanEntry* hit = cache_.find(key)) {
       runtime::PlanResult result;

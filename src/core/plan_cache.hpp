@@ -18,6 +18,7 @@
 
 #include "core/dse_agent.hpp"
 #include "runtime/engine.hpp"
+#include "util/hash.hpp"
 
 namespace hidp::core {
 
@@ -47,26 +48,39 @@ class CrossRequestPlanCache {
 
   /// Builds the key for one planning situation, except `queue_bucket`,
   /// which the caller sets per its QueueSensitivity (the one source of
-  /// queue-bucketing truth is CachingStrategyBase). Returns false when the
-  /// situation is uncacheable (> 64 nodes do not fit the availability mask).
-  static bool make_key(const dnn::DnnGraph& model, const runtime::ClusterSnapshot& snap,
+  /// queue-bucketing truth is CachingStrategyBase). Clusters up to 64 nodes
+  /// pack availability into one word; larger fleets keep the exact
+  /// bit-words in `wide_mask` (plus a digest for hashing), so no cluster
+  /// size is silently uncacheable.
+  static void make_key(const dnn::DnnGraph& model, const runtime::ClusterSnapshot& snap,
                        const std::vector<bool>& available, GlobalDecisionKey* key) {
-    if (snap.nodes->size() > 64) return false;
     key->model = &model;
     key->model_layers = model.size();
     key->model_flops = model.total_flops();
     key->leader = snap.leader;
     key->availability_mask = 0;
-    for (std::size_t j = 0; j < snap.nodes->size() && j < 64; ++j) {
-      // Worker ordering treats indices beyond the vector as available, so
-      // the mask must too — otherwise a short (or empty) vector aliases an
-      // explicit all-false one and replays a plan onto down nodes.
-      if (j >= available.size() || available[j]) {
-        key->availability_mask |= std::uint64_t{1} << j;
+    key->wide_mask.clear();
+    const std::size_t n = snap.nodes->size();
+    // Worker ordering treats indices beyond the vector as available, so
+    // the mask must too — otherwise a short (or empty) vector aliases an
+    // explicit all-false one and replays a plan onto down nodes.
+    const auto node_up = [&available](std::size_t j) {
+      return j >= available.size() || available[j];
+    };
+    if (n <= 64) {
+      for (std::size_t j = 0; j < n; ++j) {
+        if (node_up(j)) key->availability_mask |= std::uint64_t{1} << j;
       }
+    } else {
+      key->wide_mask.assign((n + 63) / 64, 0);
+      for (std::size_t j = 0; j < n; ++j) {
+        if (node_up(j)) key->wide_mask[j / 64] |= std::uint64_t{1} << (j % 64);
+      }
+      util::Fnv1a digest;
+      for (const std::uint64_t word : key->wide_mask) digest.mix(word);
+      key->availability_mask = digest.digest();
     }
     key->queue_bucket = 0;
-    return true;
   }
 
   /// Drops every entry when the cluster's nodes or network changed since
@@ -79,6 +93,7 @@ class CrossRequestPlanCache {
     const bool network_changed = !(cached_network_ == snap.network);
     if (!nodes_changed && !network_changed) return false;
     if (!entries_.empty()) ++stats_.invalidations;
+    ++epoch_;
     entries_.clear();
     cached_nodes_ = snap.nodes;
     cached_fingerprint_ = fingerprint;
@@ -98,16 +113,25 @@ class CrossRequestPlanCache {
   }
 
   void insert(const GlobalDecisionKey& key, Payload payload) {
-    if (entries_.size() >= capacity_) entries_.clear();
+    if (entries_.size() >= capacity_) {
+      entries_.clear();
+      ++epoch_;
+    }
     entries_.emplace(key, std::move(payload));
   }
 
   const DecisionCacheStats& stats() const noexcept { return stats_; }
 
+  /// Cache generation: bumps on every wholesale flush (cluster change or
+  /// capacity eviction). Fleet shards each run their own cache, so their
+  /// epochs advance independently.
+  std::uint64_t epoch() const noexcept { return epoch_; }
+
  private:
   std::size_t capacity_;
   std::unordered_map<GlobalDecisionKey, Payload, GlobalDecisionKeyHash> entries_;
   DecisionCacheStats stats_;
+  std::uint64_t epoch_ = 0;
   const std::vector<platform::NodeModel>* cached_nodes_ = nullptr;
   std::uint64_t cached_fingerprint_ = 0;
   net::NetworkSpec cached_network_;
@@ -143,6 +167,9 @@ class CachingStrategyBase : public runtime::IStrategy {
 
   /// Cross-request plan-cache counters (hits mean the search was skipped).
   const DecisionCacheStats& plan_cache_stats() const noexcept { return cache_.stats(); }
+
+  /// Plan-cache generation (see CrossRequestPlanCache::epoch).
+  std::uint64_t plan_cache_epoch() const noexcept { return cache_.epoch(); }
 
  protected:
   explicit CachingStrategyBase(CachePolicy policy)

@@ -1,12 +1,14 @@
 #include "partition/cost_model.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <cmath>
 #include <cstring>
 #include <limits>
 
 #include "partition/data_partitioner.hpp"
+#include "util/hash.hpp"
 
 namespace hidp::partition {
 
@@ -189,26 +191,14 @@ double ClusterCostModel::node_time(std::size_t node, int ci, int cj,
 }
 
 std::size_t ClusterCostModel::ProfileKeyHash::operator()(const ProfileKey& key) const noexcept {
-  std::uint64_t h = 0xcbf29ce484222325ULL ^ key.node;
-  auto mix = [&h](std::uint64_t v) {
-    h ^= v;
-    h *= 0x100000001b3ULL;
-  };
+  util::Fnv1a h(key.node);
   for (std::size_t i = 0; i < key.flops.size(); ++i) {
     const double f = key.flops[i];
-    if (f > 0.0) {
-      std::uint64_t bits;
-      static_assert(sizeof(bits) == sizeof(f));
-      std::memcpy(&bits, &f, sizeof(bits));
-      mix(bits ^ (i + 1));
-    }
+    if (f > 0.0) h.mix(std::bit_cast<std::uint64_t>(f) ^ (i + 1));
   }
-  mix(static_cast<std::uint64_t>(key.io_bytes));
-  std::uint64_t layer_bits;
-  static_assert(sizeof(layer_bits) == sizeof(key.layers));
-  std::memcpy(&layer_bits, &key.layers, sizeof(layer_bits));
-  mix(layer_bits);
-  return static_cast<std::size_t>(h);
+  h.mix(static_cast<std::uint64_t>(key.io_bytes));
+  h.mix(std::bit_cast<std::uint64_t>(key.layers));
+  return static_cast<std::size_t>(h.digest());
 }
 
 const LocalDecision& ClusterCostModel::local_decision(std::size_t node,

@@ -1,5 +1,8 @@
 #include "runtime/cluster.hpp"
 
+#include <algorithm>
+#include <stdexcept>
+
 namespace hidp::runtime {
 
 Cluster::Cluster(std::vector<platform::NodeModel> nodes, net::MediumMode medium)
@@ -27,6 +30,42 @@ double Cluster::total_energy_j(double horizon_s) const {
   double total = 0.0;
   for (std::size_t n = 0; n < nodes_.size(); ++n) total += node_energy(n, horizon_s).total_j();
   return total;
+}
+
+ClusterView Cluster::view() { return ClusterView(*this); }
+
+ClusterView Cluster::shard(std::vector<std::size_t> members) {
+  return ClusterView(*this, std::move(members));
+}
+
+ClusterView::ClusterView(Cluster& cluster) : cluster_(&cluster), whole_(true) {
+  members_.resize(cluster.size());
+  for (std::size_t i = 0; i < members_.size(); ++i) members_[i] = i;
+  membership_.assign(cluster.size(), true);
+}
+
+ClusterView::ClusterView(Cluster& cluster, std::vector<std::size_t> members)
+    : cluster_(&cluster), members_(std::move(members)) {
+  if (members_.empty()) throw std::invalid_argument("ClusterView: empty member set");
+  std::sort(members_.begin(), members_.end());
+  if (std::adjacent_find(members_.begin(), members_.end()) != members_.end()) {
+    throw std::invalid_argument("ClusterView: duplicate member");
+  }
+  if (members_.back() >= cluster.size()) {
+    throw std::invalid_argument("ClusterView: member out of range");
+  }
+  membership_.assign(cluster.size(), false);
+  for (const std::size_t node : members_) membership_[node] = true;
+  whole_ = members_.size() == cluster.size();
+}
+
+std::vector<bool> ClusterView::visible_availability() const {
+  std::vector<bool> available = cluster_->network().availability();
+  if (whole_) return available;
+  for (std::size_t j = 0; j < available.size(); ++j) {
+    if (!membership_[j]) available[j] = false;
+  }
+  return available;
 }
 
 }  // namespace hidp::runtime

@@ -1,5 +1,11 @@
 // Simulated cluster: node models + DES resources (one per processor) + the
 // wireless network, with energy integration over the run horizon.
+//
+// A Cluster can also be carved into node-subset shard views (ClusterView):
+// each view is the planning scope of one fleet leader — it shares the
+// parent's simulator, network and processor resources, but an engine
+// scoped to it only sees member nodes, so several leaders can plan over
+// disjoint node sets while being co-simulated on the one DES clock.
 #pragma once
 
 #include <memory>
@@ -12,6 +18,8 @@
 #include "sim/simulator.hpp"
 
 namespace hidp::runtime {
+
+class ClusterView;
 
 class Cluster {
  public:
@@ -41,11 +49,49 @@ class Cluster {
   /// Total cluster energy over [0, horizon_s].
   double total_energy_j(double horizon_s) const;
 
+  /// Whole-cluster view (scoping an engine to it is bit-identical to the
+  /// unscoped engine).
+  ClusterView view();
+
+  /// Node-subset shard view over `members` (global node indices). Throws
+  /// std::invalid_argument on empty, duplicate or out-of-range members.
+  ClusterView shard(std::vector<std::size_t> members);
+
  private:
   std::vector<platform::NodeModel> nodes_;
   sim::Simulator sim_;
   std::unique_ptr<net::WirelessNetwork> network_;
   std::vector<std::vector<std::unique_ptr<sim::Resource>>> processors_;
+};
+
+/// Node-subset view of a Cluster: the planning/serving scope of one fleet
+/// shard. Copyable value type holding the member set; the parent cluster
+/// must outlive it.
+class ClusterView {
+ public:
+  /// Whole-cluster view.
+  explicit ClusterView(Cluster& cluster);
+  /// Subset view; members are sorted. Throws on empty/duplicate/range.
+  ClusterView(Cluster& cluster, std::vector<std::size_t> members);
+
+  Cluster& cluster() const noexcept { return *cluster_; }
+  /// Member node indices into cluster().nodes(), sorted ascending.
+  const std::vector<std::size_t>& members() const noexcept { return members_; }
+  /// Full-size membership mask (membership()[j] == node j is a member).
+  const std::vector<bool>& membership() const noexcept { return membership_; }
+  bool whole_cluster() const noexcept { return whole_; }
+  bool contains(std::size_t node) const noexcept {
+    return node < membership_.size() && membership_[node];
+  }
+  /// Network availability restricted to member nodes (non-members read as
+  /// down). For a whole-cluster view this is the raw availability vector.
+  std::vector<bool> visible_availability() const;
+
+ private:
+  Cluster* cluster_;
+  std::vector<std::size_t> members_;
+  std::vector<bool> membership_;
+  bool whole_ = false;
 };
 
 }  // namespace hidp::runtime

@@ -43,8 +43,25 @@ std::string_view request_outcome_name(RequestOutcome outcome) noexcept {
 }
 
 ExecutionEngine::ExecutionEngine(Cluster& cluster, IStrategy& strategy, std::size_t leader)
-    : cluster_(&cluster), strategy_(&strategy), leader_(leader) {
-  if (leader_ >= cluster.size()) throw std::invalid_argument("leader index out of range");
+    : ExecutionEngine(ClusterView(cluster), strategy, leader) {}
+
+ExecutionEngine::ExecutionEngine(const ClusterView& scope, IStrategy& strategy,
+                                 std::size_t leader)
+    : scope_(scope), strategy_(&strategy), leader_(leader) {
+  if (!scope_.contains(leader_)) throw std::invalid_argument("leader outside engine scope");
+}
+
+void ExecutionEngine::check_scope(const Plan& plan) const {
+  if (scope_.whole_cluster()) return;
+  for (const PlanTask& task : plan.tasks) {
+    const bool inside = task.kind == PlanTask::Kind::kTransfer
+                            ? scope_.contains(task.from) && scope_.contains(task.to)
+                            : scope_.contains(task.node);
+    if (!inside) {
+      throw std::runtime_error("plan for strategy '" + plan.strategy +
+                               "' escapes its shard's node set");
+    }
+  }
 }
 
 std::vector<RequestRecord> ExecutionEngine::run(const std::vector<RequestSpec>& requests) {
@@ -57,11 +74,11 @@ std::vector<RequestRecord> ExecutionEngine::run(const std::vector<RequestSpec>& 
     (*records)[i].arrival_s = request.arrival_s;
     (*records)[i].qos = request.qos;
     (*records)[i].deadline_s = request.deadline_s;
-    cluster_->simulator().schedule_at(request.arrival_s, [this, request, records, i] {
+    cluster().simulator().schedule_at(request.arrival_s, [this, request, records, i] {
       execute(request, (*records)[i], /*queued_behind=*/0, [] {});
     });
   }
-  cluster_->simulator().run();
+  cluster().simulator().run();
   makespan_s_ = 0.0;
   for (const RequestRecord& r : *records) makespan_s_ = std::max(makespan_s_, r.finish_s);
   std::vector<RequestRecord> out = *records;
@@ -85,19 +102,20 @@ void ExecutionEngine::execute(const RequestSpec& request, RequestRecord& record,
   plan_request.qos = request.qos;
   plan_request.deadline_s = request.deadline_s;
   ClusterSnapshot& snapshot = plan_request.snapshot;
-  snapshot.nodes = &cluster_->nodes();
-  snapshot.network = cluster_->network().spec();
-  snapshot.available = cluster_->network().availability();
+  snapshot.nodes = &cluster().nodes();
+  snapshot.network = cluster().network().spec();
+  snapshot.available = scope_.visible_availability();
   snapshot.leader = leader_;
   snapshot.queue_depth = in_flight_ - 1 + queued_behind;
-  snapshot.now_s = cluster_->simulator().now();
+  snapshot.now_s = cluster().simulator().now();
 
   Plan plan = strategy_->plan(plan_request).plan;
-  validate_plan(plan, cluster_->nodes());
+  validate_plan(plan, cluster().nodes());
+  check_scope(plan);
   record.strategy = plan.strategy;
   record.mode = plan.global_mode;
   record.nodes_used = plan.nodes_used;
-  const double start = cluster_->simulator().now() + plan.phases.total();
+  const double start = cluster().simulator().now() + plan.phases.total();
   record.dispatch_s = start;
   if (plan.empty()) {
     HIDP_LOG(kWarn, "engine") << "empty plan for request " << request.id;
@@ -147,7 +165,7 @@ void ExecutionEngine::dispatch_plan(int request_id, Plan&& plan, double start_s,
       if (--run->pending_deps[static_cast<std::size_t>(dep)] == 0) (*start_task)(dep);
     }
     if (--run->remaining == 0) {
-      run->record->finish_s = cluster_->simulator().now();
+      run->record->finish_s = cluster().simulator().now();
       double flops = 0.0;
       for (const PlanTask& t : run->plan.tasks) flops += t.flops;
       run->record->flops = flops;
@@ -155,7 +173,7 @@ void ExecutionEngine::dispatch_plan(int request_id, Plan&& plan, double start_s,
       --in_flight_;
       // Break the on_done <-> start_task capture cycle so the request state
       // is reclaimed (long streaming benches run thousands of requests).
-      cluster_->simulator().schedule_in(0.0, [on_done, start_task] {
+      cluster().simulator().schedule_in(0.0, [on_done, start_task] {
         *on_done = nullptr;
         *start_task = nullptr;
       });
@@ -165,10 +183,10 @@ void ExecutionEngine::dispatch_plan(int request_id, Plan&& plan, double start_s,
 
   *start_task = [this, run, on_done](int index) {
     const PlanTask& task = run->plan.tasks[static_cast<std::size_t>(index)];
-    const double now = cluster_->simulator().now();
+    const double now = cluster().simulator().now();
     switch (task.kind) {
       case PlanTask::Kind::kCompute: {
-        sim::Resource& proc = cluster_->processor(task.node, task.proc);
+        sim::Resource& proc = cluster().processor(task.node, task.proc);
         const double begin = proc.next_free(now);
         proc.submit(now, task.seconds, [this, run, on_done, index, task, begin](sim::Time end) {
           record_trace(TaskTrace{run->request_id, task.kind, task.node, task.proc, begin, end,
@@ -178,7 +196,7 @@ void ExecutionEngine::dispatch_plan(int request_id, Plan&& plan, double start_s,
         break;
       }
       case PlanTask::Kind::kTransfer: {
-        cluster_->network().transfer(
+        cluster().network().transfer(
             task.from, task.to, task.bytes, now,
             [this, run, on_done, index, task, now](sim::Time end) {
               record_trace(TaskTrace{run->request_id, task.kind, task.from, 0, now, end, 0.0,
@@ -188,8 +206,8 @@ void ExecutionEngine::dispatch_plan(int request_id, Plan&& plan, double start_s,
         break;
       }
       case PlanTask::Kind::kLocalExchange: {
-        const double duration = cluster_->nodes()[task.node].local_exchange_s(task.bytes);
-        cluster_->simulator().schedule_in(
+        const double duration = cluster().nodes()[task.node].local_exchange_s(task.bytes);
+        cluster().simulator().schedule_in(
             duration, [this, run, on_done, index, task, now, duration] {
               record_trace(TaskTrace{run->request_id, task.kind, task.node, 0, now,
                                      now + duration, 0.0, task.bytes});
@@ -200,7 +218,7 @@ void ExecutionEngine::dispatch_plan(int request_id, Plan&& plan, double start_s,
     }
   };
 
-  cluster_->simulator().schedule_at(start_s, [run, start_task] {
+  cluster().simulator().schedule_at(start_s, [run, start_task] {
     for (std::size_t i = 0; i < run->plan.tasks.size(); ++i) {
       if (run->pending_deps[i] == 0) (*start_task)(static_cast<int>(i));
     }

@@ -28,6 +28,9 @@ namespace hidp::runtime {
 /// first and sheds lower classes first under overload.
 enum class QosClass { kBestEffort = 0, kStandard = 1, kInteractive = 2 };
 
+/// Number of QoS classes (per-class stat arrays index by the enum value).
+inline constexpr std::size_t kQosClassCount = 3;
+
 std::string_view qos_class_name(QosClass qos) noexcept;
 
 /// One DNN inference request (paper: requests arrive randomly at a node).
@@ -129,6 +132,11 @@ class ExecutionEngine {
  public:
   ExecutionEngine(Cluster& cluster, IStrategy& strategy, std::size_t leader = 0);
 
+  /// Engine scoped to a node-subset shard view: planning sees only member
+  /// nodes as available, and plans are validated to stay inside the shard.
+  /// A whole-cluster view is bit-identical to the unscoped constructor.
+  ExecutionEngine(const ClusterView& scope, IStrategy& strategy, std::size_t leader);
+
   /// Closed-world batch shim: schedules every request's arrival up front,
   /// runs all to completion, returns per-request records sorted by request
   /// id. No admission control, no deadline enforcement beyond outcome
@@ -150,7 +158,8 @@ class ExecutionEngine {
   /// Requests planned-and-dispatched but not yet finished.
   int in_flight() const noexcept { return in_flight_; }
   std::size_t leader() const noexcept { return leader_; }
-  Cluster& cluster() noexcept { return *cluster_; }
+  Cluster& cluster() noexcept { return scope_.cluster(); }
+  const ClusterView& scope() const noexcept { return scope_; }
   IStrategy& strategy() noexcept { return *strategy_; }
 
   /// Caps the retained task traces (long streaming benches run millions of
@@ -165,8 +174,11 @@ class ExecutionEngine {
   void record_trace(const TaskTrace& trace);
   /// Stamps the terminal outcome once `finish_s` is known.
   static void finalize_record(RequestRecord& record);
+  /// Shard containment: every task of a scoped engine's plan must run on a
+  /// member node (throws std::runtime_error otherwise).
+  void check_scope(const Plan& plan) const;
 
-  Cluster* cluster_;
+  ClusterView scope_;
   IStrategy* strategy_;
   std::size_t leader_;
   int in_flight_ = 0;

@@ -1,0 +1,228 @@
+#include "runtime/fleet.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "util/hash.hpp"
+
+namespace hidp::runtime {
+
+namespace {
+
+std::size_t checked_route(RoutingPolicy& policy, const RequestSpec& spec,
+                          const ServiceFleet& fleet) {
+  const std::size_t shard = policy.route(spec, fleet);
+  if (shard >= fleet.shard_count()) {
+    throw std::out_of_range("routing policy returned shard index out of range");
+  }
+  return shard;
+}
+
+}  // namespace
+
+std::size_t RoundRobinRouting::route(const RequestSpec& spec, const ServiceFleet& fleet) {
+  (void)spec;
+  const std::size_t shard = next_ % fleet.shard_count();
+  ++next_;
+  return shard;
+}
+
+std::size_t LeastLoadedRouting::route(const RequestSpec& spec, const ServiceFleet& fleet) {
+  (void)spec;
+  std::size_t best = 0;
+  std::size_t best_load = std::numeric_limits<std::size_t>::max();
+  for (std::size_t i = 0; i < fleet.shard_count(); ++i) {
+    const InferenceService& shard = fleet.shard(i);
+    const std::size_t load = shard.pending() + shard.in_flight() + shard.inbound();
+    if (load < best_load) {
+      best = i;
+      best_load = load;
+    }
+  }
+  return best;
+}
+
+std::size_t ModelAffinityRouting::route(const RequestSpec& spec, const ServiceFleet& fleet) {
+  // Hash of the model name: stable across runs and processes (the graph's
+  // address is not).
+  const std::uint64_t h = util::Fnv1a().mix_bytes(spec.model->name()).digest();
+  return static_cast<std::size_t>(h % fleet.shard_count());
+}
+
+std::size_t QosWeightedRouting::route(const RequestSpec& spec, const ServiceFleet& fleet) {
+  (void)spec;
+  constexpr std::size_t kWeight[kQosClassCount] = {1, 2, 4};  // BE, standard, interactive
+  std::size_t best = 0;
+  std::size_t best_load = std::numeric_limits<std::size_t>::max();
+  for (std::size_t i = 0; i < fleet.shard_count(); ++i) {
+    const InferenceService& shard = fleet.shard(i);
+    std::size_t load = kWeight[static_cast<std::size_t>(QosClass::kStandard)] *
+                       (shard.in_flight() + shard.inbound());
+    for (std::size_t c = 0; c < kQosClassCount; ++c) {
+      load += kWeight[c] * shard.pending_of(static_cast<QosClass>(c));
+    }
+    if (load < best_load) {
+      best = i;
+      best_load = load;
+    }
+  }
+  return best;
+}
+
+ServiceFleet::ServiceFleet(Cluster& cluster, const std::vector<FleetShard>& shards,
+                           RoutingPolicy& routing, FleetOptions options)
+    : cluster_(&cluster), routing_(&routing), options_(options) {
+  if (shards.empty()) throw std::invalid_argument("ServiceFleet: no shards");
+  std::unordered_set<const IStrategy*> strategies;
+  std::vector<bool> claimed(cluster.size(), false);
+  for (const FleetShard& config : shards) {
+    if (config.strategy == nullptr) {
+      throw std::invalid_argument("ServiceFleet: shard without strategy");
+    }
+    if (!strategies.insert(config.strategy).second) {
+      throw std::invalid_argument(
+          "ServiceFleet: shards must not share a strategy instance (each leader needs its "
+          "own cost models and plan cache)");
+    }
+    if (config.nodes.empty() && shards.size() > 1) {
+      throw std::invalid_argument(
+          "ServiceFleet: whole-cluster shards are only valid in a 1-shard fleet");
+    }
+    const ClusterView view =
+        config.nodes.empty() ? cluster.view() : cluster.shard(config.nodes);
+    if (!config.nodes.empty()) {
+      for (const std::size_t node : view.members()) {
+        if (claimed[node]) {
+          throw std::invalid_argument("ServiceFleet: shard node sets must be disjoint");
+        }
+        claimed[node] = true;
+      }
+    }
+    const std::size_t leader =
+        config.leader == FleetShard::kAutoLeader ? view.members().front() : config.leader;
+    Shard shard;
+    shard.service =
+        std::make_unique<InferenceService>(view, *config.strategy, leader, config.service);
+    shard.service->set_terminal_hook(
+        [this](const RequestRecord& record, double now_s) { on_shard_terminal(record, now_s); });
+    shards_.push_back(std::move(shard));
+  }
+  if (options_.work_stealing && shards_.size() > 1) {
+    for (Shard& shard : shards_) {
+      shard.service->set_state_hook([this] { rebalance(); });
+    }
+  }
+}
+
+RequestHandle ServiceFleet::submit(const RequestSpec& spec) {
+  if (spec.model == nullptr) throw std::invalid_argument("request without model");
+  // Pass-through and load-independent policies route immediately (a 1-shard
+  // fleet must be event-for-event identical to a bare service); load-aware
+  // policies defer to the arrival time so they see live shard state.
+  if (shards_.size() == 1 || !routing_->routes_on_arrival()) {
+    route_now(spec);
+  } else {
+    cluster_->simulator().schedule_at(spec.arrival_s, [this, spec] { route_now(spec); });
+  }
+  return RequestHandle{spec.id};
+}
+
+void ServiceFleet::route_now(const RequestSpec& spec) {
+  const std::size_t shard =
+      shards_.size() == 1 ? 0 : checked_route(*routing_, spec, *this);
+  shards_[shard].service->submit(spec);
+}
+
+void ServiceFleet::pump() {
+  if (source_ == nullptr) return;
+  while (auto spec = source_->next(cluster_->simulator().now())) submit(*spec);
+}
+
+void ServiceFleet::on_shard_terminal(const RequestRecord& record, double now_s) {
+  if (source_ != nullptr) {
+    source_->on_complete(record, now_s);
+    pump();
+  }
+}
+
+void ServiceFleet::rebalance() {
+  if (!options_.work_stealing || shards_.size() < 2) return;
+  while (true) {
+    std::size_t thief = shards_.size();
+    std::size_t thief_capacity = 0;
+    std::size_t victim = shards_.size();
+    std::size_t victim_backlog = 0;
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      const InferenceService& service = *shards_[i].service;
+      const std::size_t capacity = service.steal_capacity();
+      if (capacity > thief_capacity) {
+        thief = i;
+        thief_capacity = capacity;
+      }
+      const std::size_t backlog = service.pending();
+      if (backlog >= options_.steal_min_pending && backlog > victim_backlog) {
+        victim = i;
+        victim_backlog = backlog;
+      }
+    }
+    // A thief has an empty queue, a victim a non-empty one — never the same
+    // shard. Each adoption reserves a thief slot, so the loop terminates.
+    if (thief == shards_.size() || victim == shards_.size()) return;
+    const auto spec = shards_[victim].service->steal_pending();
+    if (!spec) return;
+    shards_[thief].service->adopt(*spec);
+  }
+}
+
+std::vector<RequestRecord> ServiceFleet::run() {
+  pump();
+  cluster_->simulator().run();
+  std::vector<RequestRecord> out;
+  makespan_s_ = 0.0;
+  for (Shard& shard : shards_) {
+    // The shared simulator is already drained; shard run() just collects.
+    std::vector<RequestRecord> records = shard.service->run();
+    makespan_s_ = std::max(makespan_s_, shard.service->makespan_s());
+    out.insert(out.end(), std::make_move_iterator(records.begin()),
+               std::make_move_iterator(records.end()));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const RequestRecord& a, const RequestRecord& b) { return a.id < b.id; });
+  return out;
+}
+
+ServiceStats ServiceFleet::stats() const {
+  ServiceStats total;
+  for (const Shard& shard : shards_) {
+    const ServiceStats& s = shard.service->stats();
+    total.submitted += s.submitted;
+    total.rejected += s.rejected;
+    total.dropped += s.dropped;
+    total.completed += s.completed;
+    total.deadline_misses += s.deadline_misses;
+    total.peak_pending += s.peak_pending;
+    total.peak_in_flight += s.peak_in_flight;
+    total.stolen_away += s.stolen_away;
+    total.stolen_in += s.stolen_in;
+    for (std::size_t c = 0; c < kQosClassCount; ++c) {
+      total.per_class[c].submitted += s.per_class[c].submitted;
+      total.per_class[c].completed += s.per_class[c].completed;
+      total.per_class[c].rejected += s.per_class[c].rejected;
+      total.per_class[c].dropped += s.per_class[c].dropped;
+      total.per_class[c].deadline_misses += s.per_class[c].deadline_misses;
+      total.per_class[c].stolen_away += s.per_class[c].stolen_away;
+      total.per_class[c].stolen_in += s.per_class[c].stolen_in;
+    }
+  }
+  return total;
+}
+
+std::size_t ServiceFleet::steals() const {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) total += shard.service->stats().stolen_in;
+  return total;
+}
+
+}  // namespace hidp::runtime

@@ -1,0 +1,160 @@
+// Sharded multi-leader serving: several InferenceService shards over
+// disjoint node subsets of one Cluster, co-simulated on the shared DES
+// clock.
+//
+// The paper's scheduler is a single-leader loop; the fleet is the topology
+// level above it (related work partitions and places DNNs across whole
+// edge clusters for throughput). Each shard is an InferenceService whose
+// engine is scoped to a ClusterView — its leader plans over its own node
+// subset with its own strategy instance, cost models and plan-cache
+// epochs. The front end routes submit()ed requests to shards through a
+// pluggable RoutingPolicy, and optional cross-shard work stealing migrates
+// pending requests from saturated shards to idle ones, subject to QoS
+// ordering (the highest-class, earliest-arrival pending request moves
+// first). A 1-shard fleet with pass-through routing reproduces a bare
+// InferenceService bit-identically (tests/test_service.cpp holds it to
+// that).
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "runtime/service.hpp"
+
+namespace hidp::runtime {
+
+class ServiceFleet;
+
+/// Pluggable front-end routing: picks the shard that serves a request.
+class RoutingPolicy {
+ public:
+  virtual ~RoutingPolicy() = default;
+  virtual std::string_view name() const = 0;
+  /// Shard index in [0, fleet.shard_count()).
+  virtual std::size_t route(const RequestSpec& spec, const ServiceFleet& fleet) = 0;
+  /// Load-aware policies route when the request's arrival time is reached,
+  /// so they see live queue state; load-independent policies (overriding
+  /// this to false) route at submission with no extra event.
+  virtual bool routes_on_arrival() const { return true; }
+};
+
+/// Cycles shards in submission order.
+class RoundRobinRouting final : public RoutingPolicy {
+ public:
+  std::string_view name() const override { return "round-robin"; }
+  std::size_t route(const RequestSpec& spec, const ServiceFleet& fleet) override;
+  bool routes_on_arrival() const override { return false; }
+
+ private:
+  std::size_t next_ = 0;
+};
+
+/// Least pending + in-flight at arrival time; ties go to the lowest index.
+class LeastLoadedRouting final : public RoutingPolicy {
+ public:
+  std::string_view name() const override { return "least-loaded"; }
+  std::size_t route(const RequestSpec& spec, const ServiceFleet& fleet) override;
+};
+
+/// Stable hash of the model name: every request for a model lands on the
+/// same shard, so that shard's plan cache and cost models stay hot for it.
+class ModelAffinityRouting final : public RoutingPolicy {
+ public:
+  std::string_view name() const override { return "model-affinity"; }
+  std::size_t route(const RequestSpec& spec, const ServiceFleet& fleet) override;
+  bool routes_on_arrival() const override { return false; }
+};
+
+/// Least QoS-weighted load: pending requests count by their class weight
+/// (interactive > standard > best-effort), so shards holding high-class
+/// backlogs are avoided first. In-flight work counts at standard weight
+/// (its class is no longer tracked per shard).
+class QosWeightedRouting final : public RoutingPolicy {
+ public:
+  std::string_view name() const override { return "qos-weighted"; }
+  std::size_t route(const RequestSpec& spec, const ServiceFleet& fleet) override;
+};
+
+/// Configuration of one fleet shard.
+struct FleetShard {
+  /// Per-shard strategy instance (own cost models and plan-cache epochs);
+  /// caller owns, must outlive the fleet. Sharing one instance between
+  /// shards is rejected.
+  IStrategy* strategy = nullptr;
+  /// Global node indices this shard plans over. Disjoint across shards.
+  /// Empty = the whole cluster, allowed only for a single-shard fleet.
+  std::vector<std::size_t> nodes;
+  /// Leader node (global index, must be a member). Default: first member.
+  std::size_t leader = kAutoLeader;
+  ServiceOptions service;
+
+  static constexpr std::size_t kAutoLeader = static_cast<std::size_t>(-1);
+};
+
+struct FleetOptions {
+  /// Migrate pending requests from backlogged shards to shards with free
+  /// dispatch slots and empty queues. Only effective for shards with
+  /// bounded admission (max_in_flight > 0).
+  bool work_stealing = false;
+  /// A shard only loses work while it has at least this many pending.
+  std::size_t steal_min_pending = 1;
+};
+
+class ServiceFleet {
+ public:
+  /// Throws std::invalid_argument on empty/overlapping shard node sets,
+  /// null or shared strategies, or out-of-scope leaders.
+  ServiceFleet(Cluster& cluster, const std::vector<FleetShard>& shards,
+               RoutingPolicy& routing, FleetOptions options = {});
+
+  /// Registers one request with the fleet front end. Routing happens at
+  /// submission or at the request's arrival time, per the policy. Request
+  /// ids must be unique fleet-wide (records merge by id).
+  RequestHandle submit(const RequestSpec& spec);
+
+  /// Attaches a fleet-level arrival source. Terminal outcomes from every
+  /// shard feed back to it, so closed-loop pools work across shards.
+  void attach(ArrivalProcess* source) { source_ = source; }
+
+  /// Drains the shared simulator and returns the merged records of all
+  /// shards, sorted by request id (stolen requests appear once, reported
+  /// by the shard that finished them).
+  std::vector<RequestRecord> run();
+
+  std::size_t shard_count() const noexcept { return shards_.size(); }
+  InferenceService& shard(std::size_t index) { return *shards_.at(index).service; }
+  const InferenceService& shard(std::size_t index) const {
+    return *shards_.at(index).service;
+  }
+
+  /// Fleet-aggregated lifecycle counters: sums over shards (peaks are the
+  /// sum of per-shard peaks — an upper bound, not a simultaneous maximum).
+  ServiceStats stats() const;
+
+  double makespan_s() const noexcept { return makespan_s_; }
+  /// Total cross-shard migrations so far.
+  std::size_t steals() const;
+  Cluster& cluster() noexcept { return *cluster_; }
+  RoutingPolicy& routing() noexcept { return *routing_; }
+  const FleetOptions& options() const noexcept { return options_; }
+
+ private:
+  struct Shard {
+    std::unique_ptr<InferenceService> service;
+  };
+
+  void route_now(const RequestSpec& spec);
+  void rebalance();
+  void pump();
+  void on_shard_terminal(const RequestRecord& record, double now_s);
+
+  Cluster* cluster_;
+  RoutingPolicy* routing_;
+  FleetOptions options_;
+  std::vector<Shard> shards_;
+  ArrivalProcess* source_ = nullptr;
+  double makespan_s_ = 0.0;
+};
+
+}  // namespace hidp::runtime

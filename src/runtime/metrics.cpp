@@ -1,6 +1,7 @@
 #include "runtime/metrics.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <unordered_map>
 
@@ -14,16 +15,25 @@ StreamMetrics summarize_run(const std::vector<RequestRecord>& records, const Clu
   if (records.empty()) return m;
   std::vector<double> latencies;
   latencies.reserve(records.size());
+  std::array<std::vector<double>, kQosClassCount> class_latencies;
   for (const RequestRecord& r : records) {
     m.makespan_s = std::max(m.makespan_s, r.finish_s);
+    QosClassMetrics& qc = m.per_class[static_cast<std::size_t>(r.qos)];
+    ++qc.requests;
     switch (r.outcome) {
-      case RequestOutcome::kRejected: ++m.rejected; continue;
-      case RequestOutcome::kDropped: ++m.dropped; continue;
-      case RequestOutcome::kDeadlineMiss: ++m.deadline_misses; break;
-      case RequestOutcome::kCompleted: ++m.completed; break;
+      case RequestOutcome::kRejected: ++m.rejected; ++qc.rejected; continue;
+      case RequestOutcome::kDropped: ++m.dropped; ++qc.dropped; continue;
+      case RequestOutcome::kDeadlineMiss: ++m.deadline_misses; ++qc.deadline_misses; break;
+      case RequestOutcome::kCompleted: ++m.completed; ++qc.completed; break;
     }
     latencies.push_back(r.latency_s());
+    class_latencies[static_cast<std::size_t>(r.qos)].push_back(r.latency_s());
     m.total_flops += r.flops;
+  }
+  for (std::size_t c = 0; c < kQosClassCount; ++c) {
+    if (class_latencies[c].empty()) continue;
+    m.per_class[c].p50_latency_s = util::percentile(class_latencies[c], 0.50);
+    m.per_class[c].p99_latency_s = util::percentile(class_latencies[c], 0.99);
   }
   m.requests = static_cast<int>(records.size());
   m.energy_j = cluster.total_energy_j(m.makespan_s);

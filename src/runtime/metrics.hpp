@@ -3,6 +3,7 @@
 // performance timeline of Fig. 6.
 #pragma once
 
+#include <array>
 #include <string>
 #include <vector>
 
@@ -10,6 +11,19 @@
 #include "runtime/engine.hpp"
 
 namespace hidp::runtime {
+
+/// Per-QoS-class slice of a run: lifecycle counts and latency percentiles
+/// over that class's executed requests (fleet routing decisions consume
+/// the per-class view; aggregate counters hide class-level starvation).
+struct QosClassMetrics {
+  int requests = 0;  ///< all records of this class
+  int completed = 0;
+  int deadline_misses = 0;
+  int rejected = 0;
+  int dropped = 0;
+  double p50_latency_s = 0.0;
+  double p99_latency_s = 0.0;
+};
 
 /// Aggregate metrics of one experiment run. Latency statistics cover the
 /// requests that actually executed (completed or deadline-missed); the
@@ -31,6 +45,11 @@ struct StreamMetrics {
   double energy_per_inference_j = 0.0;
   double throughput_per_100s = 0.0;   ///< executed inferences per 100 s
   double avg_gflops = 0.0;            ///< total FLOPs / makespan
+  std::array<QosClassMetrics, kQosClassCount> per_class;
+
+  const QosClassMetrics& of(QosClass qos) const {
+    return per_class[static_cast<std::size_t>(qos)];
+  }
 };
 
 /// Summarises a finished run (pass the engine's cluster for energy).

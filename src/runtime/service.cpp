@@ -1,6 +1,7 @@
 #include "runtime/service.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 
 namespace hidp::runtime {
@@ -16,6 +17,12 @@ InferenceService::InferenceService(Cluster& cluster, IStrategy& strategy, std::s
       engine_(owned_engine_.get()),
       options_(options) {}
 
+InferenceService::InferenceService(const ClusterView& scope, IStrategy& strategy,
+                                   std::size_t leader, ServiceOptions options)
+    : owned_engine_(std::make_unique<ExecutionEngine>(scope, strategy, leader)),
+      engine_(owned_engine_.get()),
+      options_(options) {}
+
 InferenceService::InferenceService(ExecutionEngine& engine, ServiceOptions options)
     : engine_(&engine), options_(options) {}
 
@@ -23,20 +30,66 @@ double InferenceService::now() const noexcept {
   return engine_->cluster().simulator().now();
 }
 
-RequestHandle InferenceService::submit(const RequestSpec& spec) {
+RequestHandle InferenceService::register_request(const RequestSpec& spec) {
   if (spec.model == nullptr) throw std::invalid_argument("request without model");
-  ++stats_.submitted;
-  const std::size_t slot = requests_.size();
-  requests_.push_back(Tracked{spec, RequestRecord{}});
+  requests_.push_back(Tracked{spec, RequestRecord{}, false});
   RequestRecord& record = requests_.back().record;
   record.id = spec.id;
   record.model = spec.model->name();
   record.arrival_s = spec.arrival_s;
   record.qos = spec.qos;
   record.deadline_s = spec.deadline_s;
-  engine_->cluster().simulator().schedule_at(spec.arrival_s,
-                                             [this, slot] { on_arrival(slot); });
   return RequestHandle{spec.id};
+}
+
+RequestHandle InferenceService::submit(const RequestSpec& spec) {
+  const RequestHandle handle = register_request(spec);
+  ++stats_.submitted;
+  ++stats_.of(spec.qos).submitted;
+  const std::size_t slot = requests_.size() - 1;
+  schedule_arrival(slot, spec.arrival_s);
+  return handle;
+}
+
+RequestHandle InferenceService::adopt(const RequestSpec& spec) {
+  const RequestHandle handle = register_request(spec);
+  ++stats_.stolen_in;
+  ++stats_.of(spec.qos).stolen_in;
+  const std::size_t slot = requests_.size() - 1;
+  // Clamped to now by the simulator: the original arrival time is in the
+  // past on migration, but the record keeps it so latency spans the steal.
+  schedule_arrival(slot, spec.arrival_s);
+  return handle;
+}
+
+void InferenceService::schedule_arrival(std::size_t slot, double arrival_s) {
+  ++inbound_;
+  inbound_due_.insert(std::max(arrival_s, now()));
+  engine_->cluster().simulator().schedule_at(arrival_s, [this, slot] { on_arrival(slot); });
+}
+
+std::optional<RequestSpec> InferenceService::steal_pending() {
+  if (pending_.empty()) return std::nullopt;
+  const auto it = pending_.begin();  // dispatch-next choice: QoS order holds
+  const std::size_t slot = it->slot;
+  erase_pending(it);
+  requests_[slot].migrated = true;
+  ++stats_.stolen_away;
+  ++stats_.of(requests_[slot].spec.qos).stolen_away;
+  return requests_[slot].spec;
+}
+
+std::size_t InferenceService::steal_capacity() const {
+  if (options_.max_in_flight == 0) return 0;  // unlimited admission never queues
+  if (!pending_.empty()) return 0;
+  // Arrivals firing later this same instant have already claimed slots;
+  // future arrivals have not — an idle shard should steal even with work
+  // scheduled seconds out.
+  const auto due_end = inbound_due_.upper_bound(now());
+  const std::size_t due =
+      static_cast<std::size_t>(std::distance(inbound_due_.begin(), due_end));
+  const std::size_t committed = in_flight_ + due;
+  return committed < options_.max_in_flight ? options_.max_in_flight - committed : 0;
 }
 
 void InferenceService::pump() {
@@ -44,27 +97,53 @@ void InferenceService::pump() {
   while (auto spec = source_->next(now())) submit(*spec);
 }
 
+void InferenceService::enqueue_pending(std::size_t slot) {
+  const RequestSpec& spec = requests_[slot].spec;
+  pending_.insert(PendingEntry{spec.qos, spec.arrival_s, pending_seq_++, slot});
+  ++pending_by_class_[static_cast<std::size_t>(spec.qos)];
+  stats_.peak_pending = std::max(stats_.peak_pending, pending_.size());
+}
+
+void InferenceService::erase_pending(PendingSet::iterator it) {
+  --pending_by_class_[static_cast<std::size_t>(it->qos)];
+  pending_.erase(it);
+}
+
 void InferenceService::on_arrival(std::size_t slot) {
+  --inbound_;
+  // Arrivals fire in time order, so the firing event's scheduled instant
+  // is the smallest outstanding one.
+  inbound_due_.erase(inbound_due_.begin());
   if (can_dispatch() && pending_.empty()) {
-    dispatch(slot);
+    const RequestSpec& spec = requests_[slot].spec;
+    // A request can reach a free shard with its deadline already gone —
+    // stolen after queueing on a saturated victim, or submitted stale.
+    // Under drop_expired_pending that work could only ever miss.
+    if (options_.drop_expired_pending && spec.deadline_s > 0.0 && now() > spec.deadline_s) {
+      finish_without_execution(slot, RequestOutcome::kDropped);
+    } else {
+      dispatch(slot);
+    }
+    notify_state();
     return;
   }
   if (options_.max_pending == 0 || pending_.size() < options_.max_pending) {
-    pending_.push_back(slot);
-    stats_.peak_pending = std::max(stats_.peak_pending, pending_.size());
+    enqueue_pending(slot);
     dispatch_next();
+    notify_state();
     return;
   }
   shed(slot);
+  notify_state();
 }
 
 void InferenceService::shed(std::size_t arriving) {
   const QosClass arriving_qos = requests_[arriving].spec.qos;
   const bool prefer_oldest = options_.shed_policy == LoadShedPolicy::kDropOldest;
-  const std::size_t victim_index = victim_pending_index(prefer_oldest);
+  const auto victim_it = victim_pending(prefer_oldest);
   bool displace = false;
-  if (victim_index < pending_.size()) {
-    const QosClass victim_qos = requests_[pending_[victim_index]].spec.qos;
+  if (victim_it != pending_.end()) {
+    const QosClass victim_qos = victim_it->qos;
     // kDropOldest makes room for same-class arrivals (FIFO freshness);
     // kRejectNewest only bumps a pending request for a strictly higher class.
     displace = prefer_oldest ? arriving_qos >= victim_qos : arriving_qos > victim_qos;
@@ -73,50 +152,35 @@ void InferenceService::shed(std::size_t arriving) {
     finish_without_execution(arriving, RequestOutcome::kRejected);
     return;
   }
-  const std::size_t victim = pending_[victim_index];
-  pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(victim_index));
+  const std::size_t victim = victim_it->slot;
+  erase_pending(victim_it);
   finish_without_execution(victim, RequestOutcome::kDropped);
-  pending_.push_back(arriving);
-  stats_.peak_pending = std::max(stats_.peak_pending, pending_.size());
+  enqueue_pending(arriving);
 }
 
-std::size_t InferenceService::best_pending_index() const {
-  std::size_t best = 0;
-  for (std::size_t i = 1; i < pending_.size(); ++i) {
-    const Tracked& candidate = requests_[pending_[i]];
-    const Tracked& incumbent = requests_[pending_[best]];
-    if (candidate.spec.qos > incumbent.spec.qos ||
-        (candidate.spec.qos == incumbent.spec.qos &&
-         candidate.spec.arrival_s < incumbent.spec.arrival_s)) {
-      best = i;
-    }
+InferenceService::PendingSet::iterator InferenceService::victim_pending(bool prefer_oldest) {
+  if (pending_.empty()) return pending_.end();
+  // The set orders by (QoS desc, arrival asc, admission asc), so the lowest
+  // class forms the tail block and the last entry names that class.
+  const QosClass lowest = std::prev(pending_.end())->qos;
+  if (prefer_oldest) {
+    // First entry of the tail block: oldest arrival, first admitted.
+    return pending_.lower_bound(
+        PendingEntry{lowest, -std::numeric_limits<double>::infinity(), 0, 0});
   }
-  return best;
-}
-
-std::size_t InferenceService::victim_pending_index(bool prefer_oldest) const {
-  if (pending_.empty()) return pending_.size();
-  std::size_t victim = 0;
-  for (std::size_t i = 1; i < pending_.size(); ++i) {
-    const Tracked& candidate = requests_[pending_[i]];
-    const Tracked& incumbent = requests_[pending_[victim]];
-    if (candidate.spec.qos < incumbent.spec.qos) {
-      victim = i;
-    } else if (candidate.spec.qos == incumbent.spec.qos) {
-      const bool older = candidate.spec.arrival_s < incumbent.spec.arrival_s;
-      if (older == prefer_oldest && candidate.spec.arrival_s != incumbent.spec.arrival_s) {
-        victim = i;
-      }
-    }
-  }
-  return victim;
+  // Newest arrival in the lowest class; among equal arrivals the victim is
+  // the first-admitted one — the head of the last entry's exact-tie run,
+  // found in O(log n) (a burst of same-instant arrivals would make a
+  // backwards walk linear again).
+  const auto last = std::prev(pending_.end());
+  return pending_.lower_bound(PendingEntry{last->qos, last->arrival_s, 0, 0});
 }
 
 void InferenceService::dispatch_next() {
   while (can_dispatch() && !pending_.empty()) {
-    const std::size_t index = best_pending_index();
-    const std::size_t slot = pending_[index];
-    pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(index));
+    const auto it = pending_.begin();
+    const std::size_t slot = it->slot;
+    erase_pending(it);
     const RequestSpec& spec = requests_[slot].spec;
     if (options_.drop_expired_pending && spec.deadline_s > 0.0 && now() > spec.deadline_s) {
       finish_without_execution(slot, RequestOutcome::kDropped);
@@ -139,11 +203,14 @@ void InferenceService::on_finished(std::size_t slot) {
   const RequestRecord& record = requests_[slot].record;
   if (record.outcome == RequestOutcome::kDeadlineMiss) {
     ++stats_.deadline_misses;
+    ++stats_.of(record.qos).deadline_misses;
   } else {
     ++stats_.completed;
+    ++stats_.of(record.qos).completed;
   }
   notify_terminal(slot);
   dispatch_next();
+  notify_state();
 }
 
 void InferenceService::finish_without_execution(std::size_t slot, RequestOutcome outcome) {
@@ -151,15 +218,28 @@ void InferenceService::finish_without_execution(std::size_t slot, RequestOutcome
   record.outcome = outcome;
   record.dispatch_s = now();
   record.finish_s = now();
-  if (outcome == RequestOutcome::kRejected) ++stats_.rejected;
-  if (outcome == RequestOutcome::kDropped) ++stats_.dropped;
+  if (outcome == RequestOutcome::kRejected) {
+    ++stats_.rejected;
+    ++stats_.of(record.qos).rejected;
+  }
+  if (outcome == RequestOutcome::kDropped) {
+    ++stats_.dropped;
+    ++stats_.of(record.qos).dropped;
+  }
   notify_terminal(slot);
 }
 
 void InferenceService::notify_terminal(std::size_t slot) {
-  if (source_ == nullptr) return;
-  source_->on_complete(requests_[slot].record, now());
-  pump();
+  const RequestRecord& record = requests_[slot].record;
+  if (source_ != nullptr) {
+    source_->on_complete(record, now());
+    pump();
+  }
+  if (terminal_hook_) terminal_hook_(record, now());
+}
+
+void InferenceService::notify_state() {
+  if (state_hook_) state_hook_();
 }
 
 std::vector<RequestRecord> InferenceService::run() {
@@ -169,6 +249,7 @@ std::vector<RequestRecord> InferenceService::run() {
   out.reserve(requests_.size());
   makespan_s_ = 0.0;
   for (const Tracked& tracked : requests_) {
+    if (tracked.migrated) continue;
     out.push_back(tracked.record);
     makespan_s_ = std::max(makespan_s_, tracked.record.finish_s);
   }

@@ -13,11 +13,19 @@
 // ExecutionEngine::run() bit-identically (the equivalence tests hold it to
 // that), while under overload the bounded queue plus shedding keep
 // throughput sustained where the batch path's latency diverges.
+//
+// A service can also run as one shard of a runtime::ServiceFleet
+// (fleet.hpp): the fleet scopes it to a ClusterView, taps its terminal
+// outcomes, and migrates pending requests between shards through
+// steal_pending()/adopt().
 #pragma once
 
+#include <array>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <optional>
+#include <set>
 #include <vector>
 
 #include "runtime/engine.hpp"
@@ -67,7 +75,22 @@ struct ServiceOptions {
   bool drop_expired_pending = false;
 };
 
-/// Lifecycle counters of one service run.
+/// Per-QoS-class slice of the lifecycle counters. Balances like the
+/// aggregate: submitted - stolen_away + stolen_in = terminal outcomes.
+struct QosClassStats {
+  std::size_t submitted = 0;
+  std::size_t completed = 0;
+  std::size_t rejected = 0;
+  std::size_t dropped = 0;
+  std::size_t deadline_misses = 0;
+  std::size_t stolen_away = 0;
+  std::size_t stolen_in = 0;
+};
+
+/// Lifecycle counters of one service run. With work stealing, a shard's
+/// terminal counters balance as submitted - stolen_away + stolen_in =
+/// completed + rejected + dropped + deadline_misses (stolen requests reach
+/// their terminal state on the adopting shard).
 struct ServiceStats {
   std::size_t submitted = 0;
   std::size_t rejected = 0;
@@ -76,6 +99,14 @@ struct ServiceStats {
   std::size_t deadline_misses = 0;  ///< executed but finished late
   std::size_t peak_pending = 0;
   std::size_t peak_in_flight = 0;
+  std::size_t stolen_away = 0;  ///< pending requests migrated to sibling shards
+  std::size_t stolen_in = 0;    ///< requests adopted from sibling shards
+  std::array<QosClassStats, kQosClassCount> per_class;
+
+  QosClassStats& of(QosClass qos) { return per_class[static_cast<std::size_t>(qos)]; }
+  const QosClassStats& of(QosClass qos) const {
+    return per_class[static_cast<std::size_t>(qos)];
+  }
 };
 
 /// Ticket returned by submit(); records returned by run() carry the same id.
@@ -89,6 +120,9 @@ class InferenceService {
   /// Service owning its execution engine on `cluster`.
   InferenceService(Cluster& cluster, IStrategy& strategy, std::size_t leader = 0,
                    ServiceOptions options = {});
+  /// Service owning its engine scoped to a shard view (fleet shards).
+  InferenceService(const ClusterView& scope, IStrategy& strategy, std::size_t leader,
+                   ServiceOptions options = {});
   /// Service over an existing engine (shares its traces and cluster).
   explicit InferenceService(ExecutionEngine& engine, ServiceOptions options = {});
 
@@ -101,23 +135,87 @@ class InferenceService {
   void attach(ArrivalProcess* source) { source_ = source; }
 
   /// Drains the simulator and returns every request's record, sorted by
-  /// request id. Can be called again after further submissions.
+  /// request id (requests stolen by sibling shards are excluded — the
+  /// adopting shard reports them). Can be called again after further
+  /// submissions.
   std::vector<RequestRecord> run();
 
   const ServiceStats& stats() const noexcept { return stats_; }
   std::size_t pending() const noexcept { return pending_.size(); }
+  /// Pending requests of one QoS class (fleet routing's per-class view).
+  std::size_t pending_of(QosClass qos) const noexcept {
+    return pending_by_class_[static_cast<std::size_t>(qos)];
+  }
   std::size_t in_flight() const noexcept { return in_flight_; }
+  /// Requests whose arrival event has not fired yet (submitted or adopted
+  /// but not admitted). Load-aware fleet routing adds this so a burst of
+  /// simultaneous arrivals does not pile onto one shard.
+  std::size_t inbound() const noexcept { return inbound_; }
   double makespan_s() const noexcept { return makespan_s_; }
   const std::vector<TaskTrace>& traces() const noexcept { return engine_->traces(); }
   ExecutionEngine& engine() noexcept { return *engine_; }
+  const ExecutionEngine& engine() const noexcept { return *engine_; }
   Cluster& cluster() noexcept { return engine_->cluster(); }
+
+  // ---- fleet integration ---------------------------------------------------
+  // Hooks a ServiceFleet installs on each shard. Both default to unset.
+
+  /// Terminal-outcome tap, fired for every terminal record after the
+  /// service's own ArrivalProcess was notified (the fleet forwards it to
+  /// the fleet-level source).
+  void set_terminal_hook(std::function<void(const RequestRecord&, double)> hook) {
+    terminal_hook_ = std::move(hook);
+  }
+  /// Fired at the end of every arrival/completion event, once local
+  /// dispatching has settled — the fleet rebalances shards here.
+  void set_state_hook(std::function<void()> hook) { state_hook_ = std::move(hook); }
+
+  /// Work stealing, victim side: removes and returns the spec of the
+  /// pending request dispatch would take next (highest QoS class, earliest
+  /// arrival), or nullopt when nothing is pending. The request disappears
+  /// from this shard's records and is counted in stats().stolen_away.
+  std::optional<RequestSpec> steal_pending();
+
+  /// Work stealing, thief side: admits a request stolen from a sibling
+  /// shard. Counted as stolen_in (not submitted); its arrival event fires
+  /// at the current simulation time, preserving the original arrival_s in
+  /// the record so latency spans the migration.
+  RequestHandle adopt(const RequestSpec& spec);
+
+  /// Dispatch slots a steal could fill right now: nonzero only when this
+  /// shard has bounded admission, an empty pending queue, and free
+  /// in-flight capacity not already claimed by an in-transit arrival due
+  /// at the current instant (in-transit adoptions included).
+  std::size_t steal_capacity() const;
 
  private:
   struct Tracked {
     RequestSpec spec;
     RequestRecord record;
+    bool migrated = false;  ///< stolen by a sibling shard; excluded from run()
   };
 
+  /// Pending-queue entry, ordered by dispatch priority: higher QoS first,
+  /// then earlier arrival, then admission order. The ordered set replaces
+  /// the old O(pending) scans — fleet overload runs queue thousands of
+  /// requests, where per-event linear scans went quadratic.
+  struct PendingEntry {
+    QosClass qos;
+    double arrival_s;
+    std::uint64_t seq;  ///< admission order, ties broken first-admitted
+    std::size_t slot;
+  };
+  struct DispatchBefore {
+    bool operator()(const PendingEntry& a, const PendingEntry& b) const noexcept {
+      if (a.qos != b.qos) return a.qos > b.qos;
+      if (a.arrival_s != b.arrival_s) return a.arrival_s < b.arrival_s;
+      return a.seq < b.seq;
+    }
+  };
+  using PendingSet = std::set<PendingEntry, DispatchBefore>;
+
+  RequestHandle register_request(const RequestSpec& spec);
+  void schedule_arrival(std::size_t slot, double arrival_s);
   void pump();
   void on_arrival(std::size_t slot);
   void dispatch(std::size_t slot);
@@ -125,25 +223,35 @@ class InferenceService {
   void on_finished(std::size_t slot);
   void shed(std::size_t arriving);
   void finish_without_execution(std::size_t slot, RequestOutcome outcome);
-  /// Index into pending_ of the entry dispatch should take next.
-  std::size_t best_pending_index() const;
-  /// Index into pending_ of the shed victim: lowest QoS class, oldest or
-  /// newest arrival within it per `prefer_oldest`.
-  std::size_t victim_pending_index(bool prefer_oldest) const;
+  void enqueue_pending(std::size_t slot);
+  void erase_pending(PendingSet::iterator it);
+  /// Shed victim: lowest QoS class, oldest or newest arrival within it per
+  /// `prefer_oldest` (ties keep the first-admitted). end() when empty.
+  PendingSet::iterator victim_pending(bool prefer_oldest);
   bool can_dispatch() const noexcept {
     return options_.max_in_flight == 0 || in_flight_ < options_.max_in_flight;
   }
   double now() const noexcept;
   /// Notifies the source of a terminal outcome and polls it for follow-ups.
   void notify_terminal(std::size_t slot);
+  void notify_state();
 
   std::unique_ptr<ExecutionEngine> owned_engine_;
   ExecutionEngine* engine_;
   ServiceOptions options_;
   ArrivalProcess* source_ = nullptr;
-  std::deque<Tracked> requests_;      ///< stable storage; slot = index
-  std::vector<std::size_t> pending_;  ///< slots admitted but not dispatched
+  std::function<void(const RequestRecord&, double)> terminal_hook_;
+  std::function<void()> state_hook_;
+  std::deque<Tracked> requests_;  ///< stable storage; slot = index
+  PendingSet pending_;            ///< admitted but not dispatched
+  std::array<std::size_t, kQosClassCount> pending_by_class_{};
+  std::uint64_t pending_seq_ = 0;
   std::size_t in_flight_ = 0;
+  std::size_t inbound_ = 0;  ///< arrival events scheduled but not fired
+  /// Scheduled instants of the in-transit arrivals (multiset: duplicates
+  /// are the norm). Entries <= now are arrivals firing later this instant
+  /// — they already claim a dispatch slot, so steals must not.
+  std::multiset<double> inbound_due_;
   double makespan_s_ = 0.0;
   ServiceStats stats_;
 };

@@ -1,0 +1,40 @@
+// The one FNV-1a implementation behind every memo key, cache fingerprint
+// and routing hash in the codebase — a change to hashing (seeding, width)
+// lands in one place instead of silently diverging per copy.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <string_view>
+
+namespace hidp::util {
+
+/// Streaming 64-bit FNV-1a over caller-encoded words. Word-at-a-time: each
+/// mixed value is one 64-bit unit (byte streams mix one byte per step via
+/// mix_bytes), so existing key encodings keep their exact digests.
+class Fnv1a {
+ public:
+  Fnv1a() = default;
+  /// Salted start (offset basis XOR salt) for keys with a leading field.
+  explicit Fnv1a(std::uint64_t salt) : h_(kOffset ^ salt) {}
+
+  Fnv1a& mix(std::uint64_t value) noexcept {
+    h_ ^= value;
+    h_ *= kPrime;
+    return *this;
+  }
+  Fnv1a& mix_double(double value) noexcept { return mix(std::bit_cast<std::uint64_t>(value)); }
+  Fnv1a& mix_bytes(std::string_view bytes) noexcept {
+    for (const char c : bytes) mix(static_cast<unsigned char>(c));
+    return *this;
+  }
+
+  std::uint64_t digest() const noexcept { return h_; }
+
+ private:
+  static constexpr std::uint64_t kOffset = 0xcbf29ce484222325ULL;
+  static constexpr std::uint64_t kPrime = 0x100000001b3ULL;
+  std::uint64_t h_ = kOffset;
+};
+
+}  // namespace hidp::util

@@ -81,6 +81,55 @@ TEST(Metrics, LifecycleOutcomesCounted) {
   EXPECT_DOUBLE_EQ(m.energy_per_inference_j, m.energy_j / 3.0);
 }
 
+TEST(Metrics, PerQosClassBreakdown) {
+  Cluster cluster(platform::paper_cluster(2));
+  std::vector<RequestRecord> records;
+  // Interactive: latencies 1..10 s. Best-effort: one completion, one
+  // rejection, one drop, one deadline miss.
+  for (int i = 1; i <= 10; ++i) {
+    records.push_back(record(i, "A", 0.0, static_cast<double>(i), 1e9));
+    records.back().qos = QosClass::kInteractive;
+  }
+  records.push_back(record(20, "A", 0.0, 2.0, 1e9));
+  records.back().qos = QosClass::kBestEffort;
+  records.push_back(record(21, "A", 0.5, 0.5, 0.0));
+  records.back().qos = QosClass::kBestEffort;
+  records.back().outcome = RequestOutcome::kRejected;
+  records.push_back(record(22, "A", 0.6, 0.6, 0.0));
+  records.back().qos = QosClass::kBestEffort;
+  records.back().outcome = RequestOutcome::kDropped;
+  records.push_back(record(23, "A", 0.0, 4.0, 1e9));
+  records.back().qos = QosClass::kBestEffort;
+  records.back().outcome = RequestOutcome::kDeadlineMiss;
+  const StreamMetrics m = summarize_run(records, cluster);
+
+  const QosClassMetrics& interactive = m.of(QosClass::kInteractive);
+  EXPECT_EQ(interactive.requests, 10);
+  EXPECT_EQ(interactive.completed, 10);
+  EXPECT_EQ(interactive.rejected, 0);
+  EXPECT_NEAR(interactive.p50_latency_s, 5.5, 1e-9);
+  EXPECT_NEAR(interactive.p99_latency_s, 9.91, 1e-9);
+
+  const QosClassMetrics& best_effort = m.of(QosClass::kBestEffort);
+  EXPECT_EQ(best_effort.requests, 4);
+  EXPECT_EQ(best_effort.completed, 1);
+  EXPECT_EQ(best_effort.rejected, 1);
+  EXPECT_EQ(best_effort.dropped, 1);
+  EXPECT_EQ(best_effort.deadline_misses, 1);
+  // Percentiles cover the executed requests of the class only (latencies
+  // 2 s and 4 s).
+  EXPECT_NEAR(best_effort.p50_latency_s, 3.0, 1e-9);
+  EXPECT_GT(best_effort.p99_latency_s, 3.9);
+
+  const QosClassMetrics& standard = m.of(QosClass::kStandard);
+  EXPECT_EQ(standard.requests, 0);
+  EXPECT_DOUBLE_EQ(standard.p50_latency_s, 0.0);
+
+  // Class slices partition the aggregate counters.
+  EXPECT_EQ(interactive.completed + best_effort.completed + standard.completed, m.completed);
+  EXPECT_EQ(interactive.requests + best_effort.requests + standard.requests, m.requests);
+}
+
 TEST(Metrics, AllShedRunHasNoLatencyStats) {
   Cluster cluster(platform::paper_cluster(2));
   std::vector<RequestRecord> records{record(0, "A", 0.0, 0.0, 0.0)};

@@ -7,6 +7,7 @@
 #include <set>
 
 #include "core/hidp_strategy.hpp"
+#include "runtime/fleet.hpp"
 #include "runtime/metrics.hpp"
 #include "runtime/service.hpp"
 #include "runtime/workload.hpp"
@@ -93,6 +94,64 @@ TEST(ServiceEquivalence, ReproducesBatchRunOnPaperWorkloads) {
     EXPECT_EQ(service.stats().completed, workloads_a[w].size());
     EXPECT_EQ(service.stats().rejected, 0u);
     EXPECT_EQ(service.stats().dropped, 0u);
+  }
+}
+
+/// A 1-shard fleet with pass-through routing is the same computation as a
+/// bare InferenceService: records, traces and stats must match bit for bit
+/// on the paper workloads.
+TEST(ServiceEquivalence, OneShardFleetIsBitIdenticalToBareService) {
+  ModelSet models;
+  util::Rng mix_rng_a(21), mix_rng_b(21);
+  const std::vector<ModelId> mix{ModelId::kEfficientNetB0, ModelId::kVgg19};
+  const std::vector<std::vector<RequestSpec>> workloads_a{
+      periodic_stream(models.graph(ModelId::kResNet152), 8, 0.2),
+      staggered_streams(models, dnn::zoo::all_models(), 0.5, 3, 0.25),
+      mixed_stream(models, mix, 10, 0.05, mix_rng_a),
+  };
+  const std::vector<std::vector<RequestSpec>> workloads_b{
+      periodic_stream(models.graph(ModelId::kResNet152), 8, 0.2),
+      staggered_streams(models, dnn::zoo::all_models(), 0.5, 3, 0.25),
+      mixed_stream(models, mix, 10, 0.05, mix_rng_b),
+  };
+  for (std::size_t w = 0; w < workloads_a.size(); ++w) {
+    Cluster bare_cluster(platform::paper_cluster());
+    core::HidpStrategy bare_strategy;
+    InferenceService bare(bare_cluster, bare_strategy, 1);
+    ReplayArrivals bare_arrivals(workloads_a[w]);
+    bare.attach(&bare_arrivals);
+    const auto bare_records = bare.run();
+
+    Cluster fleet_cluster(platform::paper_cluster());
+    core::HidpStrategy fleet_strategy;
+    RoundRobinRouting routing;
+    ServiceFleet fleet(fleet_cluster, {{&fleet_strategy, {}, 1, ServiceOptions{}}}, routing);
+    ReplayArrivals fleet_arrivals(workloads_b[w]);
+    fleet.attach(&fleet_arrivals);
+    const auto fleet_records = fleet.run();
+
+    expect_bit_identical(bare_records, fleet_records);
+    EXPECT_EQ(fleet.makespan_s(), bare.makespan_s()) << "workload " << w;
+
+    // Traces too: the scoped engine must schedule the same tasks at the
+    // same instants.
+    const auto& bare_traces = bare.traces();
+    const auto& fleet_traces = fleet.shard(0).traces();
+    ASSERT_EQ(bare_traces.size(), fleet_traces.size()) << "workload " << w;
+    for (std::size_t i = 0; i < bare_traces.size(); ++i) {
+      EXPECT_EQ(bare_traces[i].request, fleet_traces[i].request);
+      EXPECT_EQ(bare_traces[i].node, fleet_traces[i].node);
+      EXPECT_EQ(bare_traces[i].proc, fleet_traces[i].proc);
+      EXPECT_EQ(bare_traces[i].start_s, fleet_traces[i].start_s);
+      EXPECT_EQ(bare_traces[i].end_s, fleet_traces[i].end_s);
+    }
+
+    const ServiceStats fleet_stats = fleet.stats();
+    EXPECT_EQ(fleet_stats.submitted, bare.stats().submitted);
+    EXPECT_EQ(fleet_stats.completed, bare.stats().completed);
+    EXPECT_EQ(fleet_stats.rejected, 0u);
+    EXPECT_EQ(fleet_stats.dropped, 0u);
+    EXPECT_EQ(fleet_stats.stolen_in, 0u);
   }
 }
 
@@ -187,6 +246,13 @@ TEST(Service, RejectNewestPrefersHigherQos) {
   EXPECT_EQ(records[3].outcome, RequestOutcome::kCompleted);
   EXPECT_EQ(service.stats().dropped, 2u);
   EXPECT_EQ(service.stats().rejected, 0u);
+  // Per-class slices attribute each outcome to its request's QoS class.
+  EXPECT_EQ(service.stats().of(QosClass::kBestEffort).submitted, 1u);
+  EXPECT_EQ(service.stats().of(QosClass::kBestEffort).dropped, 1u);
+  EXPECT_EQ(service.stats().of(QosClass::kStandard).submitted, 2u);
+  EXPECT_EQ(service.stats().of(QosClass::kStandard).completed, 1u);
+  EXPECT_EQ(service.stats().of(QosClass::kStandard).dropped, 1u);
+  EXPECT_EQ(service.stats().of(QosClass::kInteractive).completed, 1u);
 }
 
 TEST(Service, RejectNewestRefusesEqualQos) {

@@ -366,6 +366,82 @@ TEST(SharedPlanPath, AllFourStrategiesCacheThroughPlanRequest) {
   }
 }
 
+/// Minimal CachingStrategyBase subclass: counts searches, plans a single
+/// leader-local task. Lets the cache-key tests run on clusters far larger
+/// than the planners are tuned for.
+class CountingStrategy : public core::CachingStrategyBase {
+ public:
+  CountingStrategy() : CachingStrategyBase(CachePolicy{}) {}
+  std::string name() const override { return "Counting"; }
+  int fresh_calls = 0;
+
+ protected:
+  void plan_fresh(const runtime::PlanRequest& request, const std::vector<bool>& available,
+                  core::CachedPlanEntry& entry) override {
+    (void)available;
+    ++fresh_calls;
+    Plan plan;
+    plan.strategy = name();
+    plan.leader = request.snapshot.leader;
+    runtime::PlanTask task;
+    task.kind = runtime::PlanTask::Kind::kCompute;
+    task.node = request.snapshot.leader;
+    task.proc = 0;
+    task.seconds = 0.01;
+    task.flops = 1e9;
+    plan.tasks.push_back(task);
+    plan.nodes_used = 1;
+    entry.plan = std::move(plan);
+  }
+  void on_cluster_change() override {}
+};
+
+TEST(PlanCacheWideClusters, BeyondSixtyFourNodesStillCaches) {
+  // Regression for the >64-node cliff: the single-word availability mask
+  // used to make large fleets silently uncacheable — every request
+  // replanned with no signal. The key now keeps exact multi-word
+  // availability for big clusters.
+  std::vector<platform::NodeModel> nodes;
+  for (int i = 0; i < 80; ++i) nodes.push_back(platform::make_device("Raspberry Pi 4"));
+  runtime::ModelSet models;
+  const auto& graph = models.graph(dnn::zoo::ModelId::kEfficientNetB0);
+  CountingStrategy strategy;
+
+  const auto first = plan_request(strategy, graph, snapshot(nodes, 0));
+  const auto second = plan_request(strategy, graph, snapshot(nodes, 0));
+  EXPECT_FALSE(first.cache_hit);
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(strategy.fresh_calls, 1);
+  EXPECT_EQ(strategy.plan_cache_stats().hits, 1u);
+
+  // Availability flips beyond bit 63 must key distinct situations.
+  auto degraded = snapshot(nodes, 0);
+  degraded.available[70] = false;
+  const auto third = plan_request(strategy, graph, degraded);
+  EXPECT_FALSE(third.cache_hit);
+  EXPECT_EQ(strategy.fresh_calls, 2);
+
+  // ... and each situation replays from its own entry afterwards.
+  auto degraded_again = snapshot(nodes, 0);
+  degraded_again.available[70] = false;
+  EXPECT_TRUE(plan_request(strategy, graph, degraded_again).cache_hit);
+  EXPECT_TRUE(plan_request(strategy, graph, snapshot(nodes, 0)).cache_hit);
+  EXPECT_EQ(strategy.fresh_calls, 2);
+}
+
+TEST(PlanCacheWideClusters, EpochAdvancesOnClusterChange) {
+  std::vector<platform::NodeModel> nodes;
+  for (int i = 0; i < 66; ++i) nodes.push_back(platform::make_device("Jetson Nano"));
+  runtime::ModelSet models;
+  const auto& graph = models.graph(dnn::zoo::ModelId::kEfficientNetB0);
+  CountingStrategy strategy;
+  (void)plan_request(strategy, graph, snapshot(nodes, 0));
+  const auto epoch = strategy.plan_cache_epoch();
+  const auto smaller = platform::paper_cluster(3);
+  (void)plan_request(strategy, graph, snapshot(smaller, 0));
+  EXPECT_GT(strategy.plan_cache_epoch(), epoch);
+}
+
 TEST(Strategies, HidpPredictsLowestLatency) {
   // Contention-free critical paths: HiDP's plan must beat every baseline's
   // for each model (leader = TX2, the paper's Fig. 1 board).
