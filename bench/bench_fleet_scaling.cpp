@@ -6,6 +6,13 @@
 // Also measures work stealing: a skewed stream (model-affinity routing
 // funnels everything onto one shard) with stealing on vs off.
 //
+// And node-churn failover: the same 2-shard fleet under an MTBF/MTTR
+// availability trace hammering shard 0 (leader included), with
+// FailoverPolicy on vs off. Failover must complete strictly more requests
+// at a strictly lower p99 — the off-configuration parks/fails the dead
+// shard's requests while the on-configuration evacuates them — and that
+// claim is part of the bench's exit-code contract.
+//
 // Output: a human-readable table on stdout plus BENCH_fleet.json in the
 // working directory. `--smoke` runs tiny request counts so CI can catch
 // build rot without paying full measurement time.
@@ -16,6 +23,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "runtime/churn.hpp"
 #include "runtime/fleet.hpp"
 
 namespace {
@@ -40,7 +48,10 @@ struct FleetResult {
   std::size_t completed = 0;
   std::size_t rejected = 0;
   std::size_t dropped = 0;
+  std::size_t failed = 0;
   std::size_t steals = 0;
+  std::size_t evacuations = 0;
+  std::size_t churn_events = 0;
   double makespan_s = 0.0;
   double completed_per_s = 0.0;
   double p50_s = 0.0;
@@ -49,7 +60,9 @@ struct FleetResult {
 
 FleetResult run_fleet(const std::string& config, std::size_t shard_count,
                       const std::vector<runtime::RequestSpec>& stream,
-                      runtime::RoutingPolicy& routing, bool work_stealing) {
+                      runtime::RoutingPolicy& routing, bool work_stealing,
+                      std::vector<runtime::ChurnProcess*> churn = {},
+                      bool failover = false) {
   runtime::Cluster cluster(paired_cluster());
   std::vector<std::unique_ptr<core::HidpStrategy>> strategies;
   std::vector<runtime::FleetShard> shards;
@@ -67,11 +80,17 @@ FleetResult run_fleet(const std::string& config, std::size_t shard_count,
   }
   runtime::FleetOptions options;
   options.work_stealing = work_stealing;
+  options.failover.enabled = failover;
   runtime::ServiceFleet fleet(cluster, shards, routing, options);
   // Keep trace memory bounded: the overload stream runs thousands of tasks.
   for (std::size_t s = 0; s < shard_count; ++s) fleet.shard(s).engine().set_trace_capacity(0);
   runtime::ReplayArrivals arrivals(stream);
   fleet.attach(&arrivals);
+  std::vector<std::unique_ptr<runtime::ChurnInjector>> injectors;
+  for (runtime::ChurnProcess* process : churn) {
+    injectors.push_back(std::make_unique<runtime::ChurnInjector>(cluster, *process));
+    injectors.back()->start();
+  }
   const auto records = fleet.run();
   const runtime::StreamMetrics metrics = runtime::summarize_run(records, cluster);
   const runtime::ServiceStats stats = fleet.stats();
@@ -82,7 +101,10 @@ FleetResult run_fleet(const std::string& config, std::size_t shard_count,
   result.completed = stats.completed;
   result.rejected = stats.rejected;
   result.dropped = stats.dropped;
+  result.failed = stats.failed;
   result.steals = fleet.steals();
+  result.evacuations = fleet.evacuations();
+  for (const auto& injector : injectors) result.churn_events += injector->applied();
   result.makespan_s = metrics.makespan_s;
   result.completed_per_s =
       metrics.makespan_s > 0.0 ? static_cast<double>(stats.completed) / metrics.makespan_s : 0.0;
@@ -129,15 +151,69 @@ int main(int argc, char** argv) {
   results.push_back(
       run_fleet("skew-steal", 2, skew_stream, affinity_on, /*work_stealing=*/true));
 
+  // Churn study: MTBF/MTTR failures-and-repairs over shard 0's four nodes
+  // (leader included, so the shard periodically goes dead outright) under a
+  // *moderate* stream the surviving shard could absorb — failover is a
+  // resilience mechanism, not extra capacity, so the saturated overload
+  // shape would only shuffle which requests are shed. Failover-off parks
+  // the dead shard's requests until repair (tail blowup) and fails its
+  // mid-task work; failover-on evacuates both to the surviving shard. A
+  // final scripted repair wave closes the trace so parked work resolves
+  // inside the run either way. Work stealing is off in both runs: parked
+  // pending is stealable, so stealing would partially mask the failover
+  // contrast being measured.
+  util::Rng churn_rng(19);
+  const auto churn_stream = runtime::mixed_stream(
+      models, {ModelId::kEfficientNetB0, ModelId::kResNet152}, count, 0.04, churn_rng);
+  const double churn_horizon_s = churn_stream.back().arrival_s;
+  const auto make_churn = [&]() {
+    runtime::MtbfChurn::Options churn_options;
+    churn_options.mtbf_s = smoke ? 0.5 : 2.0;
+    churn_options.mttr_s = smoke ? 0.5 : 1.5;
+    churn_options.horizon_s = churn_horizon_s;
+    churn_options.seed = 23;
+    churn_options.nodes = {0, 1, 2, 3};  // all of shard 0
+    return runtime::MtbfChurn(churn_options);
+  };
+  const auto make_final_repairs = [&]() {
+    std::vector<runtime::ChurnEvent> repairs;
+    for (std::size_t node = 0; node < 4; ++node) {
+      repairs.push_back(
+          {churn_horizon_s, node, runtime::ChurnEvent::Action::kRepair, 1.0});
+    }
+    return runtime::ScriptedChurn(std::move(repairs));
+  };
+  {
+    runtime::LeastLoadedRouting routing_off, routing_on;
+    auto churn_off = make_churn();
+    auto repairs_off = make_final_repairs();
+    results.push_back(run_fleet("churn-no-failover", 2, churn_stream, routing_off,
+                                /*work_stealing=*/false, {&churn_off, &repairs_off},
+                                /*failover=*/false));
+    auto churn_on = make_churn();
+    auto repairs_on = make_final_repairs();
+    results.push_back(run_fleet("churn-failover", 2, churn_stream, routing_on,
+                                /*work_stealing=*/false, {&churn_on, &repairs_on},
+                                /*failover=*/true));
+  }
+  const FleetResult& churn_off = results[results.size() - 2];
+  const FleetResult& churn_on = results[results.size() - 1];
+  const bool failover_wins =
+      churn_on.completed > churn_off.completed && churn_on.p99_s < churn_off.p99_s;
+
   std::cout << "fleet scaling (" << (smoke ? "smoke" : "full") << ", " << count
             << " requests)\n";
   for (const FleetResult& r : results) {
     std::cout << "  " << r.config << " shards=" << r.shards << " completed=" << r.completed
               << " rejected=" << r.rejected << " dropped=" << r.dropped
-              << " steals=" << r.steals << " completed/s=" << r.completed_per_s
-              << " p50=" << r.p50_s << "s p99=" << r.p99_s << "s\n";
+              << " failed=" << r.failed << " steals=" << r.steals
+              << " evacuations=" << r.evacuations << " churn_events=" << r.churn_events
+              << " completed/s=" << r.completed_per_s << " p50=" << r.p50_s
+              << "s p99=" << r.p99_s << "s\n";
   }
   std::cout << "  1->2->4 shard throughput monotonic: " << (monotonic ? "yes" : "NO") << "\n";
+  std::cout << "  failover completes more at lower p99 under churn: "
+            << (failover_wins ? "yes" : "NO") << "\n";
 
   std::ofstream out(out_path);
   if (!out) {
@@ -147,19 +223,24 @@ int main(int argc, char** argv) {
   out << "{\n  \"bench\": \"fleet_scaling\",\n  \"requests\": " << count
       << ",\n  \"smoke\": " << (smoke ? "true" : "false")
       << ",\n  \"throughput_monotonic_1_2_4\": " << (monotonic ? "true" : "false")
+      << ",\n  \"failover_wins_under_churn\": " << (failover_wins ? "true" : "false")
       << ",\n  \"results\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const FleetResult& r = results[i];
     out << "    {\"config\": \"" << r.config << "\", \"shards\": " << r.shards
         << ", \"completed\": " << r.completed << ", \"rejected\": " << r.rejected
-        << ", \"dropped\": " << r.dropped << ", \"steals\": " << r.steals
-        << ", \"makespan_s\": " << r.makespan_s
+        << ", \"dropped\": " << r.dropped << ", \"failed\": " << r.failed
+        << ", \"steals\": " << r.steals << ", \"evacuations\": " << r.evacuations
+        << ", \"churn_events\": " << r.churn_events << ", \"makespan_s\": " << r.makespan_s
         << ", \"completed_per_s\": " << r.completed_per_s << ", \"p50_s\": " << r.p50_s
         << ", \"p99_s\": " << r.p99_s << "}" << (i + 1 < results.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
   std::cout << "wrote " << out_path << "\n";
-  // The scaling claim is part of the bench's contract; fail loudly (CI runs
-  // --smoke) if carving the same nodes into more shards stops paying off.
-  return monotonic ? 0 : 2;
+  // Both claims are part of the bench's contract; fail loudly (CI runs
+  // --smoke) if carving the same nodes into more shards stops paying off,
+  // or if failover stops beating failover-off under churn.
+  if (!monotonic) return 2;
+  if (!failover_wins) return 3;
+  return 0;
 }

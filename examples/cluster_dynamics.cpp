@@ -1,14 +1,19 @@
 // Cluster dynamics: node churn and queue pressure.
 //
 // Shows HiDP's Analyze-state probing reacting to availability changes
-// (nodes leaving/rejoining between requests) and the queue-aware DSE
+// (nodes leaving/rejoining between requests), the queue-aware DSE
 // shifting from latency-optimal to throughput-friendly decisions as the
-// request queue builds up.
+// request queue builds up, and mid-stream node failures injected through
+// the canonical churn path — Cluster::set_node_available() via a
+// ScriptedChurn trace — so engines fail in-flight work, the service
+// retries on survivors, and the plan cache reacts, instead of the
+// deprecated network().set_available() back door that none of them see.
 //
 //   build/examples/cluster_dynamics
 #include <cstdio>
 
 #include "core/hidp_strategy.hpp"
+#include "runtime/churn.hpp"
 #include "runtime/metrics.hpp"
 #include "runtime/workload.hpp"
 #include "util/table.hpp"
@@ -75,22 +80,33 @@ int main() {
   }
   std::printf("%s\n", queue.to_string().c_str());
 
-  // Phase 3: live run where two nodes fail mid-stream.
-  std::printf("== mid-stream failure ==\n");
+  // Phase 3: live run where two nodes fail mid-stream and one returns.
+  // The ScriptedChurn trace drives Cluster::set_node_available(), so the
+  // membership epoch bumps, the engine fails any in-flight work on the
+  // dead nodes at the failure instant, and the service replans survivors.
+  std::printf("== mid-stream failure (scripted churn) ==\n");
   runtime::Cluster cluster(platform::paper_cluster());
   core::HidpStrategy live;
   runtime::InferenceService service(cluster, live, 1);
   auto requests = runtime::periodic_stream(resnet, 10, 0.2);
-  cluster.simulator().schedule_at(0.9, [&cluster] {
-    cluster.network().set_available(0, false);  // Orin NX drops at t=0.9s
-    cluster.network().set_available(3, false);  // RPi5 drops too
-    std::printf("t=0.90s: Jetson Orin NX and Raspberry Pi 5 left the cluster\n");
+  runtime::ScriptedChurn trace({
+      {0.9, 0, runtime::ChurnEvent::Action::kFail, 1.0},    // Orin NX drops
+      {0.9, 3, runtime::ChurnEvent::Action::kFail, 1.0},    // RPi5 drops too
+      {1.6, 0, runtime::ChurnEvent::Action::kRepair, 1.0},  // Orin NX rejoins
   });
+  runtime::ChurnInjector injector(cluster, trace);
+  injector.start();
   runtime::ReplayArrivals arrivals(requests);
   service.attach(&arrivals);
   const auto records = service.run();
   const auto metrics = runtime::summarize_run(records, cluster);
-  std::printf("completed %d/10 requests, mean latency %.1f ms (before+after churn)\n",
-              metrics.requests, metrics.mean_latency_s * 1e3);
+  std::printf(
+      "churn events applied: %zu (membership epoch %llu)\n", injector.applied(),
+      static_cast<unsigned long long>(cluster.membership_epoch()));
+  std::printf(
+      "completed %d/10 requests (%d failed, %zu retries), mean latency %.1f ms "
+      "(before+after churn)\n",
+      metrics.completed, metrics.failed, service.stats().retries,
+      metrics.mean_latency_s * 1e3);
   return 0;
 }

@@ -35,6 +35,12 @@ void CachingStrategyBase::on_planned(const runtime::PlanRequest& request,
   (void)cache_hit;
 }
 
+void CachingStrategyBase::on_node_event(const runtime::NodeEvent& event) {
+  if (event.kind != runtime::NodeEvent::Kind::kDvfs) return;
+  cache_.invalidate();
+  on_cluster_change();
+}
+
 int CachingStrategyBase::queue_bucket(int queue_depth) const noexcept {
   switch (policy_.queue) {
     case QueueSensitivity::kNone: return 0;

@@ -120,6 +120,19 @@ class CrossRequestPlanCache {
     entries_.emplace(key, std::move(payload));
   }
 
+  /// Eager wholesale invalidation (churn observers drive this at the event
+  /// instant, rather than waiting for refresh_cluster to detect drift at
+  /// the next plan). Resets the cached cluster identity too, so the next
+  /// refresh_cluster re-fingerprints from scratch.
+  void invalidate() {
+    if (!entries_.empty()) ++stats_.invalidations;
+    ++epoch_;
+    entries_.clear();
+    cached_nodes_ = nullptr;
+    cached_fingerprint_ = 0;
+    cached_network_ = net::NetworkSpec();
+  }
+
   const DecisionCacheStats& stats() const noexcept { return stats_; }
 
   /// Cache generation: bumps on every wholesale flush (cluster change or
@@ -164,6 +177,15 @@ class CachingStrategyBase : public runtime::IStrategy {
   };
 
   runtime::PlanResult plan(const runtime::PlanRequest& request) final;
+
+  /// Churn notification (services forward Cluster node events here). A
+  /// DVFS change alters the compute model every cached plan and derived
+  /// cost model assumed, so both are dropped at the event instant — the
+  /// epoch machinery that previously only caught this as fingerprint drift
+  /// on the next plan() call. Availability changes keep the cache: keys
+  /// carry the exact availability mask, so plans for other membership
+  /// states stay valid (and flapping nodes don't flush everything).
+  void on_node_event(const runtime::NodeEvent& event) override;
 
   /// Cross-request plan-cache counters (hits mean the search was skipped).
   const DecisionCacheStats& plan_cache_stats() const noexcept { return cache_.stats(); }

@@ -27,6 +27,11 @@ class WirelessNetwork {
   const NetworkSpec& spec() const noexcept { return spec_; }
 
   /// Marks a node (un)available; transfers to unavailable nodes throw.
+  /// Deprecated as a churn entry point: this mutates the raw availability
+  /// vector only — no membership-epoch bump, no observer fan-out, no plan
+  /// cache / cost model invalidation. Runtime callers should go through
+  /// runtime::Cluster::set_node_available() so engines, services and
+  /// fleets react; direct use is for network-level unit tests.
   void set_available(std::size_t node, bool available);
   bool available(std::size_t node) const { return available_.at(node); }
 

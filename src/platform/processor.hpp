@@ -121,6 +121,11 @@ class ProcessorModel {
   int cores() const noexcept { return cores_; }
   double freq_ghz() const noexcept { return freq_ghz_; }
 
+  /// DVFS-style frequency change (runtime::Cluster::set_dvfs_scale drives
+  /// this). Scales peak_gflops linearly; throws nothing, clamps nothing —
+  /// callers own sanity checks.
+  void set_freq_ghz(double freq_ghz) noexcept { freq_ghz_ = freq_ghz; }
+
   /// Theoretical peak GFLOPS (cores * frequency * FLOPs/cycle).
   double peak_gflops() const noexcept;
 

@@ -1,0 +1,111 @@
+#include "runtime/churn.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hidp::runtime {
+
+ScriptedChurn::ScriptedChurn(std::vector<ChurnEvent> events) : events_(std::move(events)) {
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const ChurnEvent& a, const ChurnEvent& b) { return a.time_s < b.time_s; });
+}
+
+std::optional<ChurnEvent> ScriptedChurn::next(double now_s) {
+  (void)now_s;
+  if (cursor_ >= events_.size()) return std::nullopt;
+  return events_[cursor_++];
+}
+
+MtbfChurn::MtbfChurn(Options options) : options_(std::move(options)), rng_(options_.seed) {
+  if (!(options_.mtbf_s > 0.0) || !(options_.mttr_s > 0.0)) {
+    throw std::invalid_argument("MtbfChurn: mtbf_s and mttr_s must be > 0");
+  }
+  if (!(options_.horizon_s > 0.0)) {
+    throw std::invalid_argument("MtbfChurn: horizon_s must be > 0");
+  }
+  if (options_.nodes.empty()) throw std::invalid_argument("MtbfChurn: no target nodes");
+  states_.reserve(options_.nodes.size());
+  // One fixed rng draw order: node order at construction, then strictly by
+  // event time — identical seeds reproduce identical event streams.
+  for (const std::size_t node : options_.nodes) {
+    NodeState state;
+    state.node = node;
+    state.up = true;
+    state.next_s = options_.start_s + rng_.exponential(1.0 / options_.mtbf_s);
+    states_.push_back(state);
+  }
+}
+
+std::optional<ChurnEvent> MtbfChurn::next(double now_s) {
+  (void)now_s;
+  NodeState* soonest = nullptr;
+  for (NodeState& state : states_) {
+    if (state.next_s >= options_.horizon_s) continue;
+    if (soonest == nullptr || state.next_s < soonest->next_s ||
+        (state.next_s == soonest->next_s && state.node < soonest->node)) {
+      soonest = &state;
+    }
+  }
+  if (soonest == nullptr) return std::nullopt;
+  ChurnEvent event;
+  event.time_s = soonest->next_s;
+  event.node = soonest->node;
+  event.action = soonest->up ? ChurnEvent::Action::kFail : ChurnEvent::Action::kRepair;
+  // The hold after this event: a failing node stays down ~Exp(mttr), a
+  // repaired one stays up ~Exp(mtbf).
+  const double hold = rng_.exponential(1.0 / (soonest->up ? options_.mttr_s : options_.mtbf_s));
+  soonest->up = !soonest->up;
+  soonest->next_s += hold;
+  return event;
+}
+
+FlappingChurn::FlappingChurn(Options options) : options_(std::move(options)) {
+  if (!(options_.down_s > 0.0) || !(options_.up_s > 0.0)) {
+    throw std::invalid_argument("FlappingChurn: down_s and up_s must be > 0");
+  }
+  if (options_.cycles < 0) throw std::invalid_argument("FlappingChurn: negative cycles");
+}
+
+std::optional<ChurnEvent> FlappingChurn::next(double now_s) {
+  (void)now_s;
+  if (emitted_ >= 2 * options_.cycles) return std::nullopt;
+  const int cycle = emitted_ / 2;
+  const bool failing = emitted_ % 2 == 0;
+  ChurnEvent event;
+  event.node = options_.node;
+  event.action = failing ? ChurnEvent::Action::kFail : ChurnEvent::Action::kRepair;
+  event.time_s = options_.start_s + cycle * (options_.down_s + options_.up_s) +
+                 (failing ? 0.0 : options_.down_s);
+  ++emitted_;
+  return event;
+}
+
+void ChurnInjector::start() {
+  if (started_) return;
+  started_ = true;
+  schedule_next();
+}
+
+void ChurnInjector::schedule_next() {
+  const auto event = process_->next(cluster_->simulator().now());
+  if (!event) return;
+  cluster_->simulator().schedule_at(event->time_s, [this, e = *event] { apply(e); });
+}
+
+void ChurnInjector::apply(const ChurnEvent& event) {
+  switch (event.action) {
+    case ChurnEvent::Action::kFail:
+      cluster_->set_node_available(event.node, false);
+      break;
+    case ChurnEvent::Action::kRepair:
+      cluster_->set_node_available(event.node, true);
+      break;
+    case ChurnEvent::Action::kDvfs:
+      cluster_->set_dvfs_scale(event.node, event.dvfs_scale);
+      break;
+  }
+  ++applied_;
+  schedule_next();
+}
+
+}  // namespace hidp::runtime

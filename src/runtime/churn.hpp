@@ -1,0 +1,143 @@
+// Node-churn processes: DES-injected availability and DVFS changes.
+//
+// HiDP's premise is planning under *changing* edge conditions — the
+// paper's Fig. 6 timeline replans as nodes come and go. ChurnProcess is
+// the availability-side sibling of ArrivalProcess: a pluggable source of
+// timed node-state changes (failures, repairs, frequency rescales) that a
+// ChurnInjector replays onto the shared DES clock through
+// Cluster::set_node_available() / set_dvfs_scale(), so every layer above
+// (engines, services, fleets) reacts through the cluster's observer
+// fan-out. Three kinds ship:
+//
+//  * ScriptedChurn   — replay an explicit, time-sorted event trace;
+//  * MtbfChurn       — per-node exponential failures and repairs (MTBF /
+//                      MTTR), deterministic per seed, bounded by a horizon;
+//  * FlappingChurn   — one node toggling down/up on a fixed period (the
+//                      adversarial case for plan caches and failover).
+//
+// A run with no churn attached is bit-identical to one predating this
+// subsystem: the injector only schedules events the process emits.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "runtime/cluster.hpp"
+#include "util/rng.hpp"
+
+namespace hidp::runtime {
+
+/// One timed node-state change.
+struct ChurnEvent {
+  enum class Action {
+    kFail,    ///< node becomes unavailable
+    kRepair,  ///< node becomes available again
+    kDvfs,    ///< node's processor frequencies rescale to `dvfs_scale`
+  };
+  double time_s = 0.0;
+  std::size_t node = 0;
+  Action action = Action::kFail;
+  double dvfs_scale = 1.0;  ///< only meaningful for kDvfs
+};
+
+/// Pluggable source of churn events. The injector polls `next()` lazily:
+/// after applying one event it asks for the following one, so adaptive
+/// processes may react to their own history. Returned events must be
+/// non-decreasing in time; events before `now_s` are clamped to now.
+class ChurnProcess {
+ public:
+  virtual ~ChurnProcess() = default;
+  /// Next churn event, or nullopt when the process is exhausted.
+  virtual std::optional<ChurnEvent> next(double now_s) = 0;
+};
+
+/// Replays an explicit trace (sorted by time on construction).
+class ScriptedChurn : public ChurnProcess {
+ public:
+  explicit ScriptedChurn(std::vector<ChurnEvent> events);
+  std::optional<ChurnEvent> next(double now_s) override;
+
+ private:
+  std::vector<ChurnEvent> events_;
+  std::size_t cursor_ = 0;
+};
+
+/// Exponential failures-and-repairs: each targeted node alternates between
+/// up intervals ~ Exp(1/mtbf_s) and down intervals ~ Exp(1/mttr_s),
+/// independently, deterministic per seed. Events beyond `horizon_s` are
+/// never emitted (the stream must be finite for the DES to drain).
+class MtbfChurn : public ChurnProcess {
+ public:
+  struct Options {
+    double mtbf_s = 1.0;    ///< mean time between failures (> 0)
+    double mttr_s = 0.5;    ///< mean time to repair (> 0)
+    double horizon_s = 0.0; ///< no events at/after this time (> 0 required)
+    double start_s = 0.0;   ///< first failure draws start from here
+    std::uint64_t seed = 1;
+    /// Node indices subjected to churn; must be non-empty.
+    std::vector<std::size_t> nodes;
+  };
+
+  explicit MtbfChurn(Options options);
+  std::optional<ChurnEvent> next(double now_s) override;
+
+ private:
+  struct NodeState {
+    std::size_t node = 0;
+    double next_s = 0.0;
+    bool up = true;  ///< next event fails (true) or repairs (false)
+  };
+
+  Options options_;
+  util::Rng rng_;
+  std::vector<NodeState> states_;
+};
+
+/// One node toggling down for `down_s` then up for `up_s`, starting with a
+/// failure at `start_s`, for `cycles` down/up rounds. The pathological
+/// input for caches and failover hysteresis.
+class FlappingChurn : public ChurnProcess {
+ public:
+  struct Options {
+    std::size_t node = 0;
+    double start_s = 0.0;
+    double down_s = 0.1;
+    double up_s = 0.1;
+    int cycles = 1;
+  };
+
+  explicit FlappingChurn(Options options);
+  std::optional<ChurnEvent> next(double now_s) override;
+
+ private:
+  Options options_;
+  int emitted_ = 0;  ///< events emitted so far (2 per cycle)
+};
+
+/// Schedules a ChurnProcess's events on the cluster's simulator and applies
+/// them through the Cluster's canonical churn entry points. Pull-based:
+/// each applied event schedules the next, so the event queue holds at most
+/// one churn event at a time. The cluster and process must outlive the
+/// injector; start() may be called once, before or during the run.
+class ChurnInjector {
+ public:
+  ChurnInjector(Cluster& cluster, ChurnProcess& process)
+      : cluster_(&cluster), process_(&process) {}
+
+  /// Schedules the first event. Safe to call with an exhausted process.
+  void start();
+
+  /// Events applied so far (failures + repairs + DVFS changes).
+  std::size_t applied() const noexcept { return applied_; }
+
+ private:
+  void schedule_next();
+  void apply(const ChurnEvent& event);
+
+  Cluster* cluster_;
+  ChurnProcess* process_;
+  std::size_t applied_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace hidp::runtime

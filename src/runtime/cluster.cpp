@@ -9,11 +9,80 @@ Cluster::Cluster(std::vector<platform::NodeModel> nodes, net::MediumMode medium)
     : nodes_(std::move(nodes)) {
   network_ = std::make_unique<net::WirelessNetwork>(sim_, nodes_, medium);
   processors_.resize(nodes_.size());
+  dvfs_scale_.assign(nodes_.size(), 1.0);
+  freq_offset_.reserve(nodes_.size());
   for (std::size_t n = 0; n < nodes_.size(); ++n) {
+    freq_offset_.push_back(base_freq_ghz_.size());
     for (std::size_t p = 0; p < nodes_[n].processor_count(); ++p) {
       processors_[n].push_back(std::make_unique<sim::Resource>(
           sim_, nodes_[n].name() + "/" + nodes_[n].processor(p).name()));
+      base_freq_ghz_.push_back(nodes_[n].processor(p).freq_ghz());
     }
+  }
+}
+
+void Cluster::set_node_available(std::size_t node, bool available) {
+  if (node >= nodes_.size()) throw std::out_of_range("Cluster::set_node_available");
+  if (network_->available(node) == available) return;  // idempotent
+  network_->set_available(node, available);
+  ++membership_epoch_;
+  NodeEvent event;
+  event.kind = available ? NodeEvent::Kind::kUp : NodeEvent::Kind::kDown;
+  event.node = node;
+  event.dvfs_scale = dvfs_scale_[node];
+  event.epoch = membership_epoch_;
+  event.time_s = sim_.now();
+  notify(event);
+}
+
+void Cluster::set_dvfs_scale(std::size_t node, double scale) {
+  if (node >= nodes_.size()) throw std::out_of_range("Cluster::set_dvfs_scale");
+  if (!(scale > 0.0)) throw std::invalid_argument("Cluster::set_dvfs_scale: scale <= 0");
+  if (dvfs_scale_[node] == scale) return;  // idempotent
+  dvfs_scale_[node] = scale;
+  for (std::size_t p = 0; p < nodes_[node].processor_count(); ++p) {
+    nodes_[node].processors()[p].set_freq_ghz(base_freq_ghz_[freq_offset_[node] + p] * scale);
+  }
+  ++membership_epoch_;
+  NodeEvent event;
+  event.kind = NodeEvent::Kind::kDvfs;
+  event.node = node;
+  event.dvfs_scale = scale;
+  event.epoch = membership_epoch_;
+  event.time_s = sim_.now();
+  notify(event);
+}
+
+std::size_t Cluster::add_observer(std::function<void(const NodeEvent&)> observer) {
+  const std::size_t id = next_observer_id_++;
+  observers_.push_back(Observer{id, std::move(observer)});
+  return id;
+}
+
+void Cluster::remove_observer(std::size_t id) {
+  for (auto it = observers_.begin(); it != observers_.end(); ++it) {
+    if (it->id == id) {
+      observers_.erase(it);
+      return;
+    }
+  }
+}
+
+void Cluster::notify(const NodeEvent& event) {
+  // Snapshot the ids: an observer may register/unregister others while the
+  // event fans out (e.g. a fleet rescoping a shard's engine).
+  std::vector<std::size_t> ids;
+  ids.reserve(observers_.size());
+  for (const Observer& observer : observers_) ids.push_back(observer.id);
+  for (const std::size_t id : ids) {
+    std::function<void(const NodeEvent&)> fn;
+    for (const Observer& observer : observers_) {
+      if (observer.id == id) {
+        fn = observer.fn;  // copy: the callback may mutate observers_
+        break;
+      }
+    }
+    if (fn) fn(event);
   }
 }
 

@@ -1,6 +1,16 @@
 // Simulated cluster: node models + DES resources (one per processor) + the
 // wireless network, with energy integration over the run horizon.
 //
+// The Cluster is also the single authority for *dynamic* node state. Node
+// churn (failures, repairs, DVFS frequency changes) enters through
+// set_node_available() / set_dvfs_scale(): each effective change updates
+// the network and node models, bumps a monotonically increasing
+// membership_epoch(), and fans out a NodeEvent to registered observers —
+// engines fail mid-flight work, services re-validate pending requests and
+// invalidate plan caches, fleets evacuate dead shards. Mutating
+// network().set_available() directly is the deprecated back door: it
+// bypasses the epoch and the observers, so nothing reacts.
+//
 // A Cluster can also be carved into node-subset shard views (ClusterView):
 // each view is the planning scope of one fleet leader — it shares the
 // parent's simulator, network and processor resources, but an engine
@@ -8,6 +18,8 @@
 // disjoint node sets while being co-simulated on the one DES clock.
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -20,6 +32,20 @@
 namespace hidp::runtime {
 
 class ClusterView;
+
+/// One effective node-state change, as delivered to observers.
+struct NodeEvent {
+  enum class Kind {
+    kDown,  ///< node left the cluster (availability true -> false)
+    kUp,    ///< node rejoined (availability false -> true)
+    kDvfs,  ///< processor frequencies rescaled (compute model changed)
+  };
+  Kind kind = Kind::kDown;
+  std::size_t node = 0;
+  double dvfs_scale = 1.0;   ///< new scale relative to construction (kDvfs)
+  std::uint64_t epoch = 0;   ///< membership_epoch() after this change
+  double time_s = 0.0;       ///< simulation time of the change
+};
 
 class Cluster {
  public:
@@ -57,11 +83,59 @@ class Cluster {
   /// std::invalid_argument on empty, duplicate or out-of-range members.
   ClusterView shard(std::vector<std::size_t> members);
 
+  // ---- dynamic node state ---------------------------------------------------
+
+  /// Monotonic version of the cluster's dynamic node state. Starts at 0 and
+  /// bumps on every *effective* set_node_available / set_dvfs_scale change
+  /// (idempotent calls are no-ops). Cached plans and shard views made under
+  /// an older epoch may be stale.
+  std::uint64_t membership_epoch() const noexcept { return membership_epoch_; }
+
+  /// Marks a node (un)available, bumps the epoch and notifies observers.
+  /// The canonical churn entry point — use this instead of
+  /// network().set_available(), which bypasses epoch and fan-out. No-op if
+  /// the availability already matches.
+  void set_node_available(std::size_t node, bool available);
+
+  /// Rescales a node's processor frequencies to `scale` x their
+  /// construction-time values (DVFS). Absolute, not cumulative: calling
+  /// with the current scale is a no-op; scale 1.0 restores the baseline.
+  /// Bumps the epoch and notifies observers. Throws on scale <= 0.
+  /// In-flight work keeps its planned task durations — a DVFS change is a
+  /// performance shift, not a failure, so (like a shard rescope) it only
+  /// affects plans made after the event; observers invalidate plan caches
+  /// and cost models so those plans price the new frequencies.
+  void set_dvfs_scale(std::size_t node, double scale);
+
+  /// Current DVFS scale of a node (1.0 = construction-time frequencies).
+  double dvfs_scale(std::size_t node) const { return dvfs_scale_.at(node); }
+
+  bool node_available(std::size_t node) const { return network_->available(node); }
+
+  /// Registers a node-state observer; returns an id for remove_observer().
+  /// Observers fire synchronously, in registration order, after the network
+  /// and node models reflect the change. The cluster must outlive every
+  /// registered observer.
+  std::size_t add_observer(std::function<void(const NodeEvent&)> observer);
+  void remove_observer(std::size_t id);
+
  private:
+  void notify(const NodeEvent& event);
+
   std::vector<platform::NodeModel> nodes_;
   sim::Simulator sim_;
   std::unique_ptr<net::WirelessNetwork> network_;
   std::vector<std::vector<std::unique_ptr<sim::Resource>>> processors_;
+  std::vector<double> base_freq_ghz_;  ///< flattened per (node, proc)
+  std::vector<std::size_t> freq_offset_;
+  std::vector<double> dvfs_scale_;
+  std::uint64_t membership_epoch_ = 0;
+  struct Observer {
+    std::size_t id;
+    std::function<void(const NodeEvent&)> fn;
+  };
+  std::vector<Observer> observers_;
+  std::size_t next_observer_id_ = 1;
 };
 
 /// Node-subset view of a Cluster: the planning/serving scope of one fleet

@@ -8,20 +8,42 @@
 
 namespace hidp::runtime {
 
-namespace {
-
 /// Per-request execution state shared by task-completion callbacks.
-struct RequestRun {
+struct ExecutionEngine::RequestRun {
   Plan plan;
-  std::vector<int> pending_deps;            ///< per task
+  std::vector<int> pending_deps;             ///< per task
   std::vector<std::vector<int>> dependents;  ///< reverse edges
+  std::vector<char> task_done;               ///< per task, set on completion
   int remaining = 0;
   RequestRecord* record = nullptr;
   int request_id = 0;
   std::function<void()> done;
-};
+  std::function<void()> on_failed;
+  /// Node churn killed this run: late resource callbacks become no-ops.
+  bool failed = false;
+  /// Resource/transfer callbacks submitted but not fired yet. A failed
+  /// run's state is reclaimed once the last one drains.
+  int outstanding = 0;
+  bool released = false;
+  // The event-driven topological executor; held here so the failure path
+  // can break the run <-> callback capture cycle.
+  std::shared_ptr<std::function<void(int)>> on_done_fn;
+  std::shared_ptr<std::function<void(int)>> start_task_fn;
 
-}  // namespace
+  /// True when task `i` has unfinished business on `node`.
+  bool task_touches(std::size_t i, std::size_t node) const {
+    if (task_done[i]) return false;
+    const PlanTask& task = plan.tasks[i];
+    if (task.kind == PlanTask::Kind::kTransfer) return task.from == node || task.to == node;
+    return task.node == node;
+  }
+  bool touches(std::size_t node) const {
+    for (std::size_t i = 0; i < plan.tasks.size(); ++i) {
+      if (task_touches(i, node)) return true;
+    }
+    return false;
+  }
+};
 
 std::string_view qos_class_name(QosClass qos) noexcept {
   switch (qos) {
@@ -38,6 +60,7 @@ std::string_view request_outcome_name(RequestOutcome outcome) noexcept {
     case RequestOutcome::kRejected: return "rejected";
     case RequestOutcome::kDropped: return "dropped";
     case RequestOutcome::kDeadlineMiss: return "deadline-miss";
+    case RequestOutcome::kFailed: return "failed";
   }
   return "?";
 }
@@ -49,6 +72,19 @@ ExecutionEngine::ExecutionEngine(const ClusterView& scope, IStrategy& strategy,
                                  std::size_t leader)
     : scope_(scope), strategy_(&strategy), leader_(leader) {
   if (!scope_.contains(leader_)) throw std::invalid_argument("leader outside engine scope");
+  observer_id_ = this->cluster().add_observer([this](const NodeEvent& event) {
+    if (event.kind == NodeEvent::Kind::kDown) fail_runs_on(event.node);
+  });
+}
+
+ExecutionEngine::~ExecutionEngine() { cluster().remove_observer(observer_id_); }
+
+void ExecutionEngine::rescope(const ClusterView& scope) {
+  if (&scope.cluster() != &scope_.cluster()) {
+    throw std::invalid_argument("rescope must stay on the engine's cluster");
+  }
+  if (!scope.contains(leader_)) throw std::invalid_argument("leader outside engine scope");
+  scope_ = scope;
 }
 
 void ExecutionEngine::check_scope(const Plan& plan) const {
@@ -94,7 +130,8 @@ void ExecutionEngine::finalize_record(RequestRecord& record) {
 }
 
 void ExecutionEngine::execute(const RequestSpec& request, RequestRecord& record,
-                              int queued_behind, std::function<void()> done) {
+                              int queued_behind, std::function<void()> done,
+                              std::function<void()> on_failed) {
   if (request.model == nullptr) throw std::invalid_argument("request without model");
   ++in_flight_;
   PlanRequest plan_request;
@@ -125,23 +162,96 @@ void ExecutionEngine::execute(const RequestSpec& request, RequestRecord& record,
     done();
     return;
   }
-  dispatch_plan(request.id, std::move(plan), start, record, std::move(done));
+  dispatch_plan(request.id, std::move(plan), start, record, std::move(done),
+                std::move(on_failed));
 }
 
 void ExecutionEngine::record_trace(const TaskTrace& trace) {
   if (traces_.size() < trace_capacity_) traces_.push_back(trace);
 }
 
+void ExecutionEngine::unregister(const RequestRun* run) {
+  for (auto it = active_.begin(); it != active_.end(); ++it) {
+    if (it->get() == run) {
+      active_.erase(it);
+      return;
+    }
+  }
+}
+
+void ExecutionEngine::fail_runs_on(std::size_t node) {
+  if (active_.empty()) return;
+  // Collect first: failure callbacks may replan, mutating active_.
+  std::vector<std::shared_ptr<RequestRun>> doomed;
+  for (const auto& run : active_) {
+    if (!run->failed && run->touches(node)) doomed.push_back(run);
+  }
+  for (const auto& run : doomed) fail_run(run);
+}
+
+void ExecutionEngine::fail_run(const std::shared_ptr<RequestRun>& run) {
+  run->failed = true;
+  RequestRecord& record = *run->record;
+  record.outcome = RequestOutcome::kFailed;
+  record.finish_s = cluster().simulator().now();
+  double flops = 0.0;
+  for (std::size_t i = 0; i < run->plan.tasks.size(); ++i) {
+    if (run->task_done[i]) flops += run->plan.tasks[i].flops;  // partial work
+  }
+  record.flops = flops;
+  --in_flight_;
+  unregister(run.get());
+  maybe_release(run);
+  // Exactly one of on_failed / done fires; clear both against re-entry.
+  std::function<void()> callback =
+      run->on_failed ? std::move(run->on_failed) : std::move(run->done);
+  run->on_failed = nullptr;
+  run->done = nullptr;
+  if (callback) callback();
+}
+
+void ExecutionEngine::release_run(const std::shared_ptr<RequestRun>& run) {
+  // Break the on_done <-> start_task capture cycle so the request state is
+  // reclaimed (long streaming benches run thousands of requests). Deferred
+  // by one zero-delay event: the functions may be executing right now.
+  cluster().simulator().schedule_in(0.0, [run] {
+    if (run->on_done_fn) *run->on_done_fn = nullptr;
+    if (run->start_task_fn) *run->start_task_fn = nullptr;
+    run->on_done_fn.reset();
+    run->start_task_fn.reset();
+  });
+}
+
+void ExecutionEngine::maybe_release(const std::shared_ptr<RequestRun>& run) {
+  if (run->outstanding == 0 && !run->released) {
+    run->released = true;
+    release_run(run);
+  }
+}
+
+bool ExecutionEngine::drain_if_failed(const std::shared_ptr<RequestRun>& run) {
+  // Shared epilogue of every resource/transfer/exchange callback: account
+  // the drained callback, and swallow it when churn already failed the run
+  // (releasing the run's state once the last one lands).
+  --run->outstanding;
+  if (!run->failed) return false;
+  maybe_release(run);
+  return true;
+}
+
 void ExecutionEngine::dispatch_plan(int request_id, Plan&& plan, double start_s,
-                                    RequestRecord& record, std::function<void()> done) {
+                                    RequestRecord& record, std::function<void()> done,
+                                    std::function<void()> on_failed) {
   auto run = std::make_shared<RequestRun>();
   run->plan = std::move(plan);
   run->record = &record;
   run->request_id = request_id;
   run->done = std::move(done);
+  run->on_failed = std::move(on_failed);
   const std::size_t n = run->plan.tasks.size();
   run->pending_deps.resize(n, 0);
   run->dependents.resize(n);
+  run->task_done.assign(n, 0);
   run->remaining = static_cast<int>(n);
   for (std::size_t i = 0; i < n; ++i) {
     run->pending_deps[i] = static_cast<int>(run->plan.tasks[i].deps.size());
@@ -155,12 +265,17 @@ void ExecutionEngine::dispatch_plan(int request_id, Plan&& plan, double start_s,
     // every subsequent request into a full reallocate-and-copy.
     traces_.reserve(std::max(want, traces_.capacity() * 2));
   }
+  active_.push_back(run);
 
   // start_task / on_done form the event-driven topological execution.
   auto on_done = std::make_shared<std::function<void(int)>>();
   auto start_task = std::make_shared<std::function<void(int)>>();
+  run->on_done_fn = on_done;
+  run->start_task_fn = start_task;
 
   *on_done = [this, run, on_done, start_task](int index) {
+    if (run->failed) return;
+    run->task_done[static_cast<std::size_t>(index)] = 1;
     for (int dep : run->dependents[static_cast<std::size_t>(index)]) {
       if (--run->pending_deps[static_cast<std::size_t>(dep)] == 0) (*start_task)(dep);
     }
@@ -171,24 +286,35 @@ void ExecutionEngine::dispatch_plan(int request_id, Plan&& plan, double start_s,
       run->record->flops = flops;
       finalize_record(*run->record);
       --in_flight_;
-      // Break the on_done <-> start_task capture cycle so the request state
-      // is reclaimed (long streaming benches run thousands of requests).
-      cluster().simulator().schedule_in(0.0, [on_done, start_task] {
-        *on_done = nullptr;
-        *start_task = nullptr;
-      });
+      unregister(run.get());
+      maybe_release(run);  // outstanding is 0: the last callback just drained
+      run->on_failed = nullptr;
       if (run->done) run->done();
     }
   };
 
   *start_task = [this, run, on_done](int index) {
+    if (run->failed) return;
     const PlanTask& task = run->plan.tasks[static_cast<std::size_t>(index)];
+    // A node named by the plan may have died since planning (stale plan, or
+    // churn during the FSM phase delay): fail the request now instead of
+    // executing on a ghost (compute) or throwing (transfer).
+    const auto& available = cluster().network().availability();
+    const bool task_nodes_up = task.kind == PlanTask::Kind::kTransfer
+                                   ? available[task.from] && available[task.to]
+                                   : available[task.node];
+    if (!task_nodes_up) {
+      fail_run(run);
+      return;
+    }
     const double now = cluster().simulator().now();
     switch (task.kind) {
       case PlanTask::Kind::kCompute: {
         sim::Resource& proc = cluster().processor(task.node, task.proc);
         const double begin = proc.next_free(now);
+        ++run->outstanding;
         proc.submit(now, task.seconds, [this, run, on_done, index, task, begin](sim::Time end) {
+          if (drain_if_failed(run)) return;
           record_trace(TaskTrace{run->request_id, task.kind, task.node, task.proc, begin, end,
                                  task.flops, 0});
           (*on_done)(index);
@@ -196,9 +322,11 @@ void ExecutionEngine::dispatch_plan(int request_id, Plan&& plan, double start_s,
         break;
       }
       case PlanTask::Kind::kTransfer: {
+        ++run->outstanding;
         cluster().network().transfer(
             task.from, task.to, task.bytes, now,
             [this, run, on_done, index, task, now](sim::Time end) {
+              if (drain_if_failed(run)) return;
               record_trace(TaskTrace{run->request_id, task.kind, task.from, 0, now, end, 0.0,
                                      task.bytes});
               (*on_done)(index);
@@ -207,8 +335,10 @@ void ExecutionEngine::dispatch_plan(int request_id, Plan&& plan, double start_s,
       }
       case PlanTask::Kind::kLocalExchange: {
         const double duration = cluster().nodes()[task.node].local_exchange_s(task.bytes);
+        ++run->outstanding;
         cluster().simulator().schedule_in(
             duration, [this, run, on_done, index, task, now, duration] {
+              if (drain_if_failed(run)) return;
               record_trace(TaskTrace{run->request_id, task.kind, task.node, 0, now,
                                      now + duration, 0.0, task.bytes});
               (*on_done)(index);
@@ -220,6 +350,7 @@ void ExecutionEngine::dispatch_plan(int request_id, Plan&& plan, double start_s,
 
   cluster().simulator().schedule_at(start_s, [run, start_task] {
     for (std::size_t i = 0; i < run->plan.tasks.size(); ++i) {
+      if (run->failed) return;
       if (run->pending_deps[i] == 0) (*start_task)(static_cast<int>(i));
     }
   });

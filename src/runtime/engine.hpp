@@ -14,6 +14,7 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -82,6 +83,11 @@ class IStrategy {
   virtual ~IStrategy() = default;
   virtual std::string name() const = 0;
   virtual PlanResult plan(const PlanRequest& request) = 0;
+  /// Churn notification: the owning service forwards effective cluster
+  /// node-state changes (see Cluster::add_observer) so strategies can
+  /// invalidate derived state eagerly instead of detecting drift at the
+  /// next plan() call. Default: ignore.
+  virtual void on_node_event(const NodeEvent& event) { (void)event; }
 };
 
 /// Terminal state of a request's lifecycle.
@@ -90,6 +96,7 @@ enum class RequestOutcome {
   kRejected,      ///< admission refused on arrival (queue caps)
   kDropped,       ///< shed from the pending queue / stale deadline at dispatch
   kDeadlineMiss,  ///< executed, but finished past its deadline
+  kFailed,        ///< node churn killed it mid-task and retries ran out
 };
 
 std::string_view request_outcome_name(RequestOutcome outcome) noexcept;
@@ -137,6 +144,10 @@ class ExecutionEngine {
   /// A whole-cluster view is bit-identical to the unscoped constructor.
   ExecutionEngine(const ClusterView& scope, IStrategy& strategy, std::size_t leader);
 
+  ExecutionEngine(const ExecutionEngine&) = delete;
+  ExecutionEngine& operator=(const ExecutionEngine&) = delete;
+  ~ExecutionEngine();
+
   /// Closed-world batch shim: schedules every request's arrival up front,
   /// runs all to completion, returns per-request records sorted by request
   /// id. No admission control, no deadline enforcement beyond outcome
@@ -146,11 +157,16 @@ class ExecutionEngine {
   /// Online entry point used by InferenceService: plans `request` against
   /// the cluster state at the current simulation time and dispatches its
   /// task DAG. `queued_behind` is the caller's pending-queue depth, added to
-  /// the queue pressure the strategy sees. `done` fires exactly once, at
-  /// the request's final completion (immediately for empty plans), after
-  /// `record` has its outcome stamped.
+  /// the queue pressure the strategy sees. Exactly one of the two callbacks
+  /// fires, once: `done` at the request's final completion (immediately for
+  /// empty plans), after `record` has its outcome stamped; `on_failed` at
+  /// the instant node churn kills the request mid-task (a member node with
+  /// unfinished work of this plan went down — `record` is stamped kFailed
+  /// with its partial FLOPs first), so the owner can replan on surviving
+  /// nodes or finalise the failure. With no `on_failed`, failures fire
+  /// `done` with the kFailed record.
   void execute(const RequestSpec& request, RequestRecord& record, int queued_behind,
-               std::function<void()> done);
+               std::function<void()> done, std::function<void()> on_failed = nullptr);
 
   const std::vector<TaskTrace>& traces() const noexcept { return traces_; }
   double makespan_s() const noexcept { return makespan_s_; }
@@ -168,15 +184,36 @@ class ExecutionEngine {
   void set_trace_capacity(std::size_t max_traces) noexcept { trace_capacity_ = max_traces; }
   std::size_t trace_capacity() const noexcept { return trace_capacity_; }
 
+  /// Rescopes the engine to a new shard view over the same cluster (fleet
+  /// membership changes; ServiceFleet::reassign drives this). The leader
+  /// must stay inside the new scope; in-flight requests keep running under
+  /// the plans they were dispatched with.
+  void rescope(const ClusterView& scope);
+
  private:
+  struct RequestRun;
+
   void dispatch_plan(int request_id, Plan&& plan, double start_s, RequestRecord& record,
-                     std::function<void()> done);
+                     std::function<void()> done, std::function<void()> on_failed);
   void record_trace(const TaskTrace& trace);
   /// Stamps the terminal outcome once `finish_s` is known.
   static void finalize_record(RequestRecord& record);
   /// Shard containment: every task of a scoped engine's plan must run on a
   /// member node (throws std::runtime_error otherwise).
   void check_scope(const Plan& plan) const;
+  /// Churn reaction: fails every active run with unfinished work touching
+  /// `node` at the current instant (stamps kFailed, fires on_failed/done).
+  void fail_runs_on(std::size_t node);
+  /// Fails one active run (must still be registered in active_).
+  void fail_run(const std::shared_ptr<RequestRun>& run);
+  void unregister(const RequestRun* run);
+  /// Breaks a finished/drained run's callback capture cycle (deferred).
+  void release_run(const std::shared_ptr<RequestRun>& run);
+  /// release_run once a failed run's last outstanding callback drained.
+  void maybe_release(const std::shared_ptr<RequestRun>& run);
+  /// Callback epilogue: drains one outstanding callback; true = the run
+  /// already failed and the caller should swallow the completion.
+  bool drain_if_failed(const std::shared_ptr<RequestRun>& run);
 
   ClusterView scope_;
   IStrategy* strategy_;
@@ -185,6 +222,8 @@ class ExecutionEngine {
   double makespan_s_ = 0.0;
   std::size_t trace_capacity_ = static_cast<std::size_t>(-1);
   std::vector<TaskTrace> traces_;
+  std::vector<std::shared_ptr<RequestRun>> active_;  ///< dispatched, unfinished
+  std::size_t observer_id_ = 0;  ///< cluster node-event subscription
 };
 
 }  // namespace hidp::runtime

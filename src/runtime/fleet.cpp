@@ -109,11 +109,33 @@ ServiceFleet::ServiceFleet(Cluster& cluster, const std::vector<FleetShard>& shar
         [this](const RequestRecord& record, double now_s) { on_shard_terminal(record, now_s); });
     shards_.push_back(std::move(shard));
   }
-  if (options_.work_stealing && shards_.size() > 1) {
+  if ((options_.work_stealing || options_.failover.enabled) && shards_.size() > 1) {
     for (Shard& shard : shards_) {
       shard.service->set_state_hook([this] { rebalance(); });
     }
   }
+  if (options_.failover.enabled && shards_.size() > 1) {
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      shards_[i].service->set_failure_hook(
+          [this, i](const RequestSpec& spec, int attempts) {
+            return failover_take(i, spec, attempts);
+          });
+      // Keep the shard's own parking predicate aligned with the fleet's
+      // death predicate: a below-floor shard must not dispatch from the
+      // same queue the fleet is evacuating.
+      shards_[i].service->set_liveness_hook([this, i] { return !shard_dead(i); });
+    }
+    // Registered after every shard's engine + service observers: by the
+    // time the fleet reacts, mid-flight work has already failed over and
+    // plan caches are invalidated.
+    observer_id_ = cluster_->add_observer([this](const NodeEvent& event) {
+      on_node_event(event);
+    });
+  }
+}
+
+ServiceFleet::~ServiceFleet() {
+  if (observer_id_ != 0) cluster_->remove_observer(observer_id_);
 }
 
 RequestHandle ServiceFleet::submit(const RequestSpec& spec) {
@@ -130,9 +152,152 @@ RequestHandle ServiceFleet::submit(const RequestSpec& spec) {
 }
 
 void ServiceFleet::route_now(const RequestSpec& spec) {
-  const std::size_t shard =
-      shards_.size() == 1 ? 0 : checked_route(*routing_, spec, *this);
+  std::size_t shard = shards_.size() == 1 ? 0 : checked_route(*routing_, spec, *this);
+  // Failover front end: don't feed a dead shard when a live one exists.
+  if (options_.failover.enabled && options_.failover.route_around_dead &&
+      shards_.size() > 1 && shard_dead(shard)) {
+    const std::size_t fallback = best_live_shard(shard);
+    if (fallback < shards_.size()) shard = fallback;
+  }
   shards_[shard].service->submit(spec);
+}
+
+std::size_t ServiceFleet::shard_of(std::size_t node) const {
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    if (shards_[i].service->engine().scope().contains(node)) return i;
+  }
+  return shards_.size();
+}
+
+bool ServiceFleet::shard_dead(std::size_t index) const {
+  const ExecutionEngine& engine = shards_[index].service->engine();
+  if (!cluster_->node_available(engine.leader())) return true;
+  std::size_t live = 0;
+  for (const std::size_t node : engine.scope().members()) {
+    if (cluster_->node_available(node)) ++live;
+  }
+  return live < options_.failover.min_live_nodes;
+}
+
+std::size_t ServiceFleet::best_live_shard(std::size_t except, bool require_room) const {
+  std::size_t best = shards_.size();
+  std::size_t best_load = std::numeric_limits<std::size_t>::max();
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    if (i == except || shard_dead(i)) continue;
+    const InferenceService& service = *shards_[i].service;
+    if (require_room && service.admission_room() == 0) continue;
+    const std::size_t load = service.pending() + service.in_flight() + service.inbound();
+    if (load < best_load) {
+      best = i;
+      best_load = load;
+    }
+  }
+  return best;
+}
+
+void ServiceFleet::on_node_event(const NodeEvent& event) {
+  if (shards_.size() < 2) return;
+  if (event.kind == NodeEvent::Kind::kDown) {
+    evacuate_dead_shards();
+    if (options_.failover.merge_orphans) {
+      const std::size_t owner = shard_of(event.node);
+      if (owner < shards_.size() && shard_dead(owner)) merge_orphans(owner);
+    }
+  } else if (event.kind == NodeEvent::Kind::kUp) {
+    // A repaired shard may have free capacity again: let stealing pull
+    // backlog toward it, and drain anything parked meanwhile.
+    rebalance();
+  }
+}
+
+void ServiceFleet::evacuate_dead_shards() {
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    if (!shard_dead(i)) continue;
+    InferenceService& victim = *shards_[i].service;
+    while (victim.pending() > 0) {
+      // Only evacuate into admission room: adopted requests that a bounded
+      // sibling would immediately shed are better off parked here, where a
+      // repair event can still rescue them.
+      const std::size_t target = best_live_shard(i, /*require_room=*/true);
+      if (target >= shards_.size()) return;  // nowhere to go; stay parked
+      const auto spec = victim.steal_pending();
+      if (!spec) break;
+      shards_[target].service->adopt(*spec);
+      ++evacuations_;
+    }
+  }
+}
+
+bool ServiceFleet::failover_take(std::size_t from, const RequestSpec& spec, int attempts) {
+  if (shards_.size() < 2) return false;
+  // Take the request only when its own shard can no longer serve it: the
+  // shard is dead, or its local retry budget just ran out (a live sibling
+  // is a better last chance than terminal kFailed).
+  const InferenceService& victim = *shards_[from].service;
+  const bool local_retries_left =
+      static_cast<std::size_t>(attempts) <= victim.options().max_retries;
+  if (!shard_dead(from) && local_retries_left) return false;
+  // Same admission gate as pending evacuation: adopting into a full
+  // bounded sibling would shed work there (the request's or an innocent
+  // displaced one) instead of serving it.
+  const std::size_t target = best_live_shard(from, /*require_room=*/true);
+  if (target >= shards_.size()) return false;
+  shards_[target].service->adopt(spec);
+  ++evacuations_;
+  return true;
+}
+
+void ServiceFleet::merge_orphans(std::size_t dead_shard) {
+  const ExecutionEngine& engine = shards_[dead_shard].service->engine();
+  const std::size_t leader = engine.leader();
+  // Copy: reassign() rescopes the engine, mutating the member list.
+  const std::vector<std::size_t> members = engine.scope().members();
+  for (const std::size_t node : members) {
+    if (node == leader || !cluster_->node_available(node)) continue;
+    // Smallest live shard by membership: spread the orphans.
+    std::size_t target = shards_.size();
+    std::size_t target_size = std::numeric_limits<std::size_t>::max();
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      if (i == dead_shard || shard_dead(i)) continue;
+      const std::size_t size = shards_[i].service->engine().scope().members().size();
+      if (size < target_size) {
+        target = i;
+        target_size = size;
+      }
+    }
+    if (target >= shards_.size()) return;  // no live shard to absorb them
+    reassign(node, target);
+  }
+}
+
+void ServiceFleet::reassign(std::size_t node, std::size_t to_shard) {
+  if (to_shard >= shards_.size()) {
+    throw std::invalid_argument("ServiceFleet::reassign: shard out of range");
+  }
+  if (node >= cluster_->size()) {
+    throw std::invalid_argument("ServiceFleet::reassign: node out of range");
+  }
+  if (shards_.size() == 1) {
+    throw std::invalid_argument(
+        "ServiceFleet::reassign: single-shard fleets have no membership to move");
+  }
+  const std::size_t from = shard_of(node);
+  if (from >= shards_.size()) {
+    throw std::invalid_argument("ServiceFleet::reassign: node not assigned to any shard");
+  }
+  if (from == to_shard) return;
+  ExecutionEngine& from_engine = shards_[from].service->engine();
+  if (from_engine.leader() == node) {
+    throw std::invalid_argument("ServiceFleet::reassign: cannot move a shard leader");
+  }
+  std::vector<std::size_t> from_members = from_engine.scope().members();
+  from_members.erase(std::find(from_members.begin(), from_members.end(), node));
+  std::vector<std::size_t> to_members =
+      shards_[to_shard].service->engine().scope().members();
+  to_members.push_back(node);
+  from_engine.rescope(cluster_->shard(std::move(from_members)));
+  shards_[to_shard].service->engine().rescope(cluster_->shard(std::move(to_members)));
+  ++membership_epoch_;
 }
 
 void ServiceFleet::pump() {
@@ -148,7 +313,11 @@ void ServiceFleet::on_shard_terminal(const RequestRecord& record, double now_s) 
 }
 
 void ServiceFleet::rebalance() {
-  if (!options_.work_stealing || shards_.size() < 2) return;
+  if (shards_.size() < 2) return;
+  // Failover sweep first: requests parked on shards that died (or were
+  // routed there in-flight) move to live shards regardless of steal knobs.
+  if (options_.failover.enabled) evacuate_dead_shards();
+  if (!options_.work_stealing) return;
   while (true) {
     std::size_t thief = shards_.size();
     std::size_t thief_capacity = 0;
@@ -177,8 +346,18 @@ void ServiceFleet::rebalance() {
 }
 
 std::vector<RequestRecord> ServiceFleet::run() {
-  pump();
-  cluster_->simulator().run();
+  // Drain loop mirroring InferenceService::run(): finalising requests
+  // stranded on dead shards can release closed-loop sources, which then
+  // need another drain. One iteration when nothing strands.
+  while (true) {
+    pump();
+    cluster_->simulator().run();
+    bool finalized = false;
+    for (Shard& shard : shards_) {
+      finalized = shard.service->finalize_stranded() || finalized;
+    }
+    if (!finalized) break;
+  }
   std::vector<RequestRecord> out;
   makespan_s_ = 0.0;
   for (Shard& shard : shards_) {
@@ -202,6 +381,8 @@ ServiceStats ServiceFleet::stats() const {
     total.dropped += s.dropped;
     total.completed += s.completed;
     total.deadline_misses += s.deadline_misses;
+    total.failed += s.failed;
+    total.retries += s.retries;
     total.peak_pending += s.peak_pending;
     total.peak_in_flight += s.peak_in_flight;
     total.stolen_away += s.stolen_away;
@@ -212,6 +393,7 @@ ServiceStats ServiceFleet::stats() const {
       total.per_class[c].rejected += s.per_class[c].rejected;
       total.per_class[c].dropped += s.per_class[c].dropped;
       total.per_class[c].deadline_misses += s.per_class[c].deadline_misses;
+      total.per_class[c].failed += s.per_class[c].failed;
       total.per_class[c].stolen_away += s.per_class[c].stolen_away;
       total.per_class[c].stolen_in += s.per_class[c].stolen_in;
     }

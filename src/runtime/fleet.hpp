@@ -16,6 +16,7 @@
 // that).
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string_view>
 #include <vector>
@@ -92,13 +93,41 @@ struct FleetShard {
   static constexpr std::size_t kAutoLeader = static_cast<std::size_t>(-1);
 };
 
+/// Shard-failure reaction policy. A shard is *dead* while its leader node
+/// is unavailable or its live membership dropped below `min_live_nodes`;
+/// a dead shard cannot plan, so its requests park. With failover enabled
+/// the fleet instead evacuates them: pending requests migrate to live
+/// shards through the stealing plumbing (adopt(), stolen_in/stolen_away
+/// accounted so per-shard slices still balance), mid-task failures are
+/// re-adopted instead of burning local retries, and new arrivals route
+/// around the dead shard. Disabled (default), a zero-churn run is
+/// bit-identical to the pre-failover fleet.
+struct FailoverPolicy {
+  bool enabled = false;
+  /// Live-membership floor: a shard with fewer available member nodes
+  /// counts as dead even while its leader is up (too little capacity left
+  /// to serve its slice).
+  std::size_t min_live_nodes = 1;
+  /// Permanently reassign a dead shard's surviving non-leader nodes to the
+  /// smallest live shard (ClusterView membership is mutable; see
+  /// ServiceFleet::reassign). One-way: a later repair of the leader does
+  /// not pull them back.
+  bool merge_orphans = false;
+  /// Front-end routing falls back to the least-loaded live shard when the
+  /// policy picks a dead one.
+  bool route_around_dead = true;
+};
+
 struct FleetOptions {
   /// Migrate pending requests from backlogged shards to shards with free
-  /// dispatch slots and empty queues. Only effective for shards with
-  /// bounded admission (max_in_flight > 0).
+  /// dispatch slots and empty queues. Effective for shards with bounded
+  /// admission (max_in_flight > 0), and for unlimited-admission shards
+  /// that opt into cost-aware capacity via ServiceOptions::steal_backlog_s.
   bool work_stealing = false;
   /// A shard only loses work while it has at least this many pending.
   std::size_t steal_min_pending = 1;
+  /// Node-churn failover (see FailoverPolicy).
+  FailoverPolicy failover;
 };
 
 class ServiceFleet {
@@ -107,6 +136,10 @@ class ServiceFleet {
   /// null or shared strategies, or out-of-scope leaders.
   ServiceFleet(Cluster& cluster, const std::vector<FleetShard>& shards,
                RoutingPolicy& routing, FleetOptions options = {});
+
+  ServiceFleet(const ServiceFleet&) = delete;
+  ServiceFleet& operator=(const ServiceFleet&) = delete;
+  ~ServiceFleet();
 
   /// Registers one request with the fleet front end. Routing happens at
   /// submission or at the request's arrival time, per the policy. Request
@@ -133,11 +166,35 @@ class ServiceFleet {
   ServiceStats stats() const;
 
   double makespan_s() const noexcept { return makespan_s_; }
-  /// Total cross-shard migrations so far.
+  /// Total cross-shard migrations so far (steals + evacuations).
   std::size_t steals() const;
+  /// Failover migrations so far: requests moved off dead shards (pending
+  /// evacuations + re-adopted mid-task failures). A subset of steals().
+  std::size_t evacuations() const noexcept { return evacuations_; }
   Cluster& cluster() noexcept { return *cluster_; }
   RoutingPolicy& routing() noexcept { return *routing_; }
   const FleetOptions& options() const noexcept { return options_; }
+
+  // ---- dynamic shard membership ---------------------------------------------
+
+  /// Moves `node` from the shard that owns it to `to_shard`, rescoping
+  /// both engines (in-flight work keeps its dispatched plan). Bumps
+  /// membership_epoch(). Throws std::invalid_argument when `node` is a
+  /// shard leader, unassigned, already on `to_shard` is fine (no-op), or
+  /// the fleet is a single whole-cluster shard.
+  void reassign(std::size_t node, std::size_t to_shard);
+
+  /// Monotonic version of the fleet's shard-membership assignment; bumps
+  /// on every effective reassign() (failover orphan merges included).
+  std::uint64_t membership_epoch() const noexcept { return membership_epoch_; }
+
+  /// Shard index currently owning `node`, or shard_count() when
+  /// unassigned. The whole-cluster single-shard fleet owns every node.
+  std::size_t shard_of(std::size_t node) const;
+
+  /// Failover's shard-death predicate: leader down, or live membership
+  /// below the policy floor.
+  bool shard_dead(std::size_t index) const;
 
  private:
   struct Shard {
@@ -148,6 +205,19 @@ class ServiceFleet {
   void rebalance();
   void pump();
   void on_shard_terminal(const RequestRecord& record, double now_s);
+  void on_node_event(const NodeEvent& event);
+  /// Live (not dead) shard best suited to absorb one more request, or
+  /// shard_count() when none qualifies. `except` is excluded;
+  /// `require_room` additionally demands free admission room (evacuation
+  /// must not feed a sibling that would immediately shed the request).
+  std::size_t best_live_shard(std::size_t except, bool require_room = false) const;
+  /// Drains dead shards' parked pending queues onto live shards.
+  void evacuate_dead_shards();
+  /// Re-adopts a mid-task failure from shard `from` onto a live sibling.
+  /// Returns false when local handling (retry / kFailed) should proceed.
+  bool failover_take(std::size_t from, const RequestSpec& spec, int attempts);
+  /// Reassigns a dead shard's surviving non-leader nodes to live shards.
+  void merge_orphans(std::size_t dead_shard);
 
   Cluster* cluster_;
   RoutingPolicy* routing_;
@@ -155,6 +225,9 @@ class ServiceFleet {
   std::vector<Shard> shards_;
   ArrivalProcess* source_ = nullptr;
   double makespan_s_ = 0.0;
+  std::size_t evacuations_ = 0;
+  std::uint64_t membership_epoch_ = 0;
+  std::size_t observer_id_ = 0;
 };
 
 }  // namespace hidp::runtime

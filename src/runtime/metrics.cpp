@@ -23,6 +23,10 @@ StreamMetrics summarize_run(const std::vector<RequestRecord>& records, const Clu
     switch (r.outcome) {
       case RequestOutcome::kRejected: ++m.rejected; ++qc.rejected; continue;
       case RequestOutcome::kDropped: ++m.dropped; ++qc.dropped; continue;
+      // Failed requests burned partial FLOPs but delivered no inference:
+      // they stay out of the latency/throughput aggregates like the other
+      // non-executed outcomes.
+      case RequestOutcome::kFailed: ++m.failed; ++qc.failed; continue;
       case RequestOutcome::kDeadlineMiss: ++m.deadline_misses; ++qc.deadline_misses; break;
       case RequestOutcome::kCompleted: ++m.completed; ++qc.completed; break;
     }

@@ -21,6 +21,7 @@ struct QosClassMetrics {
   int deadline_misses = 0;
   int rejected = 0;
   int dropped = 0;
+  int failed = 0;  ///< killed by node churn mid-task (retries exhausted)
   double p50_latency_s = 0.0;
   double p99_latency_s = 0.0;
 };
@@ -34,6 +35,7 @@ struct StreamMetrics {
   int deadline_misses = 0;            ///< executed but finished late
   int rejected = 0;                   ///< refused at admission
   int dropped = 0;                    ///< shed from the pending queue
+  int failed = 0;                     ///< killed by node churn, retries exhausted
   double mean_latency_s = 0.0;
   double p50_latency_s = 0.0;
   double p95_latency_s = 0.0;

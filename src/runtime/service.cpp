@@ -15,19 +15,63 @@ InferenceService::InferenceService(Cluster& cluster, IStrategy& strategy, std::s
                                    ServiceOptions options)
     : owned_engine_(std::make_unique<ExecutionEngine>(cluster, strategy, leader)),
       engine_(owned_engine_.get()),
-      options_(options) {}
+      options_(options) {
+  observe_cluster();
+}
 
 InferenceService::InferenceService(const ClusterView& scope, IStrategy& strategy,
                                    std::size_t leader, ServiceOptions options)
     : owned_engine_(std::make_unique<ExecutionEngine>(scope, strategy, leader)),
       engine_(owned_engine_.get()),
-      options_(options) {}
+      options_(options) {
+  observe_cluster();
+}
 
 InferenceService::InferenceService(ExecutionEngine& engine, ServiceOptions options)
-    : engine_(&engine), options_(options) {}
+    : engine_(&engine), options_(options) {
+  observe_cluster();
+}
+
+InferenceService::~InferenceService() {
+  engine_->cluster().remove_observer(observer_id_);
+}
+
+void InferenceService::observe_cluster() {
+  // Fires after the engine's own observer (registered at engine
+  // construction) failed mid-flight work, so retries triggered there
+  // already planned against the post-churn availability.
+  observer_id_ = engine_->cluster().add_observer([this](const NodeEvent& event) {
+    // Eager strategy invalidation: churn reaches the plan cache at the
+    // event instant instead of being detected as drift at the next plan.
+    engine_->strategy().on_node_event(event);
+    if (event.kind == NodeEvent::Kind::kUp && engine_->scope().contains(event.node)) {
+      // A repair can resurrect a parked shard: resume dispatching.
+      dispatch_next();
+      notify_state();
+    }
+  });
+}
 
 double InferenceService::now() const noexcept {
   return engine_->cluster().simulator().now();
+}
+
+bool InferenceService::shard_live() const {
+  if (!engine_->cluster().node_available(engine_->leader())) return false;
+  return !liveness_hook_ || liveness_hook_();
+}
+
+std::size_t InferenceService::admission_room() const {
+  // An uncapped pending queue absorbs anything without shedding.
+  if (options_.max_in_flight == 0 || options_.max_pending == 0) {
+    return std::numeric_limits<std::size_t>::max();
+  }
+  const std::size_t slots =
+      in_flight_ < options_.max_in_flight ? options_.max_in_flight - in_flight_ : 0;
+  const std::size_t queue =
+      pending_.size() < options_.max_pending ? options_.max_pending - pending_.size() : 0;
+  const std::size_t room = slots + queue;
+  return room > inbound_ ? room - inbound_ : 0;
 }
 
 RequestHandle InferenceService::register_request(const RequestSpec& spec) {
@@ -80,7 +124,7 @@ std::optional<RequestSpec> InferenceService::steal_pending() {
 }
 
 std::size_t InferenceService::steal_capacity() const {
-  if (options_.max_in_flight == 0) return 0;  // unlimited admission never queues
+  if (!shard_live()) return 0;  // a dead shard can't serve stolen work
   if (!pending_.empty()) return 0;
   // Arrivals firing later this same instant have already claimed slots;
   // future arrivals have not — an idle shard should steal even with work
@@ -89,6 +133,18 @@ std::size_t InferenceService::steal_capacity() const {
   const std::size_t due =
       static_cast<std::size_t>(std::distance(inbound_due_.begin(), due_end));
   const std::size_t committed = in_flight_ + due;
+  if (options_.max_in_flight == 0) {
+    // Unlimited admission has no slot signal; derive capacity from the
+    // estimated backlog cost instead (0 = seed behaviour: never steal).
+    if (options_.steal_backlog_s <= 0.0) return 0;
+    if (avg_execution_s_ <= 0.0) {
+      // No latency sample yet: bootstrap with a single steal when idle.
+      return committed == 0 ? 1 : 0;
+    }
+    const auto budget =
+        static_cast<std::size_t>(options_.steal_backlog_s / avg_execution_s_);
+    return committed < budget ? budget - committed : 0;
+  }
   return committed < options_.max_in_flight ? options_.max_in_flight - committed : 0;
 }
 
@@ -114,7 +170,7 @@ void InferenceService::on_arrival(std::size_t slot) {
   // Arrivals fire in time order, so the firing event's scheduled instant
   // is the smallest outstanding one.
   inbound_due_.erase(inbound_due_.begin());
-  if (can_dispatch() && pending_.empty()) {
+  if (can_dispatch() && pending_.empty() && shard_live()) {
     const RequestSpec& spec = requests_[slot].spec;
     // A request can reach a free shard with its deadline already gone —
     // stolen after queueing on a saturated victim, or submitted stale.
@@ -177,7 +233,10 @@ InferenceService::PendingSet::iterator InferenceService::victim_pending(bool pre
 }
 
 void InferenceService::dispatch_next() {
-  while (can_dispatch() && !pending_.empty()) {
+  // A dead shard parks its pending queue: planning needs a live leader.
+  // Requests resume on the repair event, are evacuated by the fleet, or
+  // turn kFailed in finalize_stranded() if neither ever happens.
+  while (can_dispatch() && !pending_.empty() && shard_live()) {
     const auto it = pending_.begin();
     const std::size_t slot = it->slot;
     erase_pending(it);
@@ -194,20 +253,85 @@ void InferenceService::dispatch(std::size_t slot) {
   ++in_flight_;
   stats_.peak_in_flight = std::max(stats_.peak_in_flight, in_flight_);
   Tracked& tracked = requests_[slot];
+  ++tracked.attempts;
   engine_->execute(tracked.spec, tracked.record, static_cast<int>(pending_.size()),
-                   [this, slot] { on_finished(slot); });
+                   [this, slot] { on_finished(slot); },
+                   [this, slot] { on_execute_failed(slot); });
 }
 
 void InferenceService::on_finished(std::size_t slot) {
   --in_flight_;
   const RequestRecord& record = requests_[slot].record;
-  if (record.outcome == RequestOutcome::kDeadlineMiss) {
+  if (record.outcome == RequestOutcome::kFailed) {
+    // Batch-shim path: the engine stamps kFailed and fires `done` when no
+    // failure callback is installed; via dispatch() failures land in
+    // on_execute_failed instead.
+    ++stats_.failed;
+    ++stats_.of(record.qos).failed;
+  } else if (record.outcome == RequestOutcome::kDeadlineMiss) {
     ++stats_.deadline_misses;
     ++stats_.of(record.qos).deadline_misses;
   } else {
     ++stats_.completed;
     ++stats_.of(record.qos).completed;
   }
+  if (record.executed()) {
+    // Execution-latency EWMA: the backlog-cost signal for unlimited-
+    // admission steal capacity. Deadline misses executed fully — their
+    // durations are exactly the samples a backlog estimate needs.
+    const double execution_s = std::max(record.finish_s - record.dispatch_s, 0.0);
+    avg_execution_s_ = avg_execution_s_ <= 0.0
+                           ? execution_s
+                           : 0.8 * avg_execution_s_ + 0.2 * execution_s;
+  }
+  notify_terminal(slot);
+  dispatch_next();
+  notify_state();
+}
+
+void InferenceService::on_execute_failed(std::size_t slot) {
+  Tracked& tracked = requests_[slot];
+  // Under drop_expired_pending, a churn-killed request whose deadline has
+  // already passed is could-only-miss work — drop it instead of burning a
+  // retry or a sibling's admission room on it (the same rule both dispatch
+  // paths apply before execution).
+  const RequestSpec& spec = tracked.spec;
+  if (options_.drop_expired_pending && spec.deadline_s > 0.0 && now() > spec.deadline_s) {
+    --in_flight_;
+    tracked.record.outcome = RequestOutcome::kDropped;
+    tracked.record.finish_s = now();
+    ++stats_.dropped;
+    ++stats_.of(spec.qos).dropped;
+    notify_terminal(slot);
+    dispatch_next();
+    notify_state();
+    return;
+  }
+  // Fleet escalation next: a dead shard's requests are worth more on a
+  // live sibling than burning local retries against missing nodes.
+  if (failure_hook_ && failure_hook_(tracked.spec, tracked.attempts)) {
+    tracked.migrated = true;
+    ++stats_.stolen_away;
+    ++stats_.of(tracked.spec.qos).stolen_away;
+    --in_flight_;
+    dispatch_next();
+    notify_state();
+    return;
+  }
+  if (static_cast<std::size_t>(tracked.attempts) <= options_.max_retries && shard_live()) {
+    ++stats_.retries;
+    ++tracked.attempts;
+    // Reset the engine-stamped failure; the retry restamps everything.
+    tracked.record.outcome = RequestOutcome::kCompleted;
+    tracked.record.flops = 0.0;
+    engine_->execute(tracked.spec, tracked.record, static_cast<int>(pending_.size()),
+                     [this, slot] { on_finished(slot); },
+                     [this, slot] { on_execute_failed(slot); });
+    return;  // still in flight
+  }
+  --in_flight_;
+  ++stats_.failed;
+  ++stats_.of(tracked.record.qos).failed;
   notify_terminal(slot);
   dispatch_next();
   notify_state();
@@ -226,7 +350,24 @@ void InferenceService::finish_without_execution(std::size_t slot, RequestOutcome
     ++stats_.dropped;
     ++stats_.of(record.qos).dropped;
   }
+  if (outcome == RequestOutcome::kFailed) {
+    ++stats_.failed;
+    ++stats_.of(record.qos).failed;
+  }
   notify_terminal(slot);
+}
+
+bool InferenceService::finalize_stranded() {
+  if (pending_.empty() || shard_live()) return false;
+  // The simulator drained with requests parked on a dead shard: no repair
+  // is coming, so they can only fail.
+  while (!pending_.empty()) {
+    const auto it = pending_.begin();
+    const std::size_t slot = it->slot;
+    erase_pending(it);
+    finish_without_execution(slot, RequestOutcome::kFailed);
+  }
+  return true;
 }
 
 void InferenceService::notify_terminal(std::size_t slot) {
@@ -243,8 +384,15 @@ void InferenceService::notify_state() {
 }
 
 std::vector<RequestRecord> InferenceService::run() {
-  pump();
-  engine_->cluster().simulator().run();
+  // Drain loop: finalising stranded requests fires terminal notifications,
+  // which can release closed-loop clients — re-pump and re-drain until the
+  // system is quiescent. Without churn this is one iteration, identical to
+  // the historical pump-then-run.
+  while (true) {
+    pump();
+    engine_->cluster().simulator().run();
+    if (!finalize_stranded()) break;
+  }
   std::vector<RequestRecord> out;
   out.reserve(requests_.size());
   makespan_s_ = 0.0;

@@ -73,30 +73,49 @@ struct ServiceOptions {
   /// Drop (rather than dispatch) pending requests whose deadline already
   /// passed while they queued — the work could only ever miss.
   bool drop_expired_pending = false;
+  /// Replan attempts after node churn kills a request mid-task. Each retry
+  /// replans against the surviving nodes at the failure instant; once
+  /// exhausted (or while the shard has no live leader) the request turns
+  /// terminal RequestOutcome::kFailed — unless a fleet failure hook
+  /// evacuates it to a sibling shard first.
+  std::size_t max_retries = 1;
+  /// Cost-aware steal capacity for unlimited-admission shards
+  /// (max_in_flight == 0): while the estimated backlog cost — in-system
+  /// requests x the EWMA of recent execution latencies — stays below this
+  /// many seconds, the shard advertises capacity to the fleet's work
+  /// stealing. 0 (default) keeps the seed behaviour: unlimited-admission
+  /// shards never steal. Ignored under bounded admission, where free
+  /// dispatch slots are the capacity signal.
+  double steal_backlog_s = 0.0;
 };
 
 /// Per-QoS-class slice of the lifecycle counters. Balances like the
-/// aggregate: submitted - stolen_away + stolen_in = terminal outcomes.
+/// aggregate: submitted - stolen_away + stolen_in = terminal outcomes
+/// (completed + rejected + dropped + deadline_misses + failed).
 struct QosClassStats {
   std::size_t submitted = 0;
   std::size_t completed = 0;
   std::size_t rejected = 0;
   std::size_t dropped = 0;
   std::size_t deadline_misses = 0;
+  std::size_t failed = 0;  ///< node churn killed it; retries exhausted
   std::size_t stolen_away = 0;
   std::size_t stolen_in = 0;
 };
 
-/// Lifecycle counters of one service run. With work stealing, a shard's
-/// terminal counters balance as submitted - stolen_away + stolen_in =
-/// completed + rejected + dropped + deadline_misses (stolen requests reach
-/// their terminal state on the adopting shard).
+/// Lifecycle counters of one service run. With work stealing or failover
+/// evacuation, a shard's terminal counters balance as submitted -
+/// stolen_away + stolen_in = completed + rejected + dropped +
+/// deadline_misses + failed (migrated requests reach their terminal state
+/// on the adopting shard; evacuations count as steals).
 struct ServiceStats {
   std::size_t submitted = 0;
   std::size_t rejected = 0;
   std::size_t dropped = 0;
   std::size_t completed = 0;
   std::size_t deadline_misses = 0;  ///< executed but finished late
+  std::size_t failed = 0;           ///< churn-killed, terminal kFailed
+  std::size_t retries = 0;          ///< replans after mid-task failures
   std::size_t peak_pending = 0;
   std::size_t peak_in_flight = 0;
   std::size_t stolen_away = 0;  ///< pending requests migrated to sibling shards
@@ -126,6 +145,10 @@ class InferenceService {
   /// Service over an existing engine (shares its traces and cluster).
   explicit InferenceService(ExecutionEngine& engine, ServiceOptions options = {});
 
+  InferenceService(const InferenceService&) = delete;
+  InferenceService& operator=(const InferenceService&) = delete;
+  ~InferenceService();
+
   /// Registers one request; its arrival event is scheduled at
   /// `spec.arrival_s`. Throws std::invalid_argument on a null model.
   RequestHandle submit(const RequestSpec& spec);
@@ -141,6 +164,7 @@ class InferenceService {
   std::vector<RequestRecord> run();
 
   const ServiceStats& stats() const noexcept { return stats_; }
+  const ServiceOptions& options() const noexcept { return options_; }
   std::size_t pending() const noexcept { return pending_.size(); }
   /// Pending requests of one QoS class (fleet routing's per-class view).
   std::size_t pending_of(QosClass qos) const noexcept {
@@ -170,6 +194,21 @@ class InferenceService {
   /// dispatching has settled — the fleet rebalances shards here.
   void set_state_hook(std::function<void()> hook) { state_hook_ = std::move(hook); }
 
+  /// Mid-task failure escalation. Consulted whenever node churn kills one
+  /// of this shard's requests (before local retry): return true to take
+  /// ownership — the fleet adopts the request on a sibling shard and this
+  /// shard counts it stolen_away — or false to let the shard retry locally
+  /// / finalise kFailed. `attempts` counts engine executions so far.
+  void set_failure_hook(std::function<bool(const RequestSpec&, int attempts)> hook) {
+    failure_hook_ = std::move(hook);
+  }
+
+  /// Extra shard-liveness veto ANDed into shard_live(). The fleet installs
+  /// its FailoverPolicy death predicate here so a shard it considers dead
+  /// (e.g. live membership below min_live_nodes with the leader still up)
+  /// parks instead of racing the fleet's evacuation for the same queue.
+  void set_liveness_hook(std::function<bool()> hook) { liveness_hook_ = std::move(hook); }
+
   /// Work stealing, victim side: removes and returns the spec of the
   /// pending request dispatch would take next (highest QoS class, earliest
   /// arrival), or nullopt when nothing is pending. The request disappears
@@ -182,17 +221,44 @@ class InferenceService {
   /// the record so latency spans the migration.
   RequestHandle adopt(const RequestSpec& spec);
 
-  /// Dispatch slots a steal could fill right now: nonzero only when this
-  /// shard has bounded admission, an empty pending queue, and free
+  /// Dispatch slots a steal could fill right now. Bounded admission: free
   /// in-flight capacity not already claimed by an in-transit arrival due
-  /// at the current instant (in-transit adoptions included).
+  /// at the current instant (in-transit adoptions included), with an empty
+  /// pending queue. Unlimited admission: derived from estimated backlog
+  /// cost when `steal_backlog_s` is set (see ServiceOptions), else 0.
   std::size_t steal_capacity() const;
+
+  /// The shard can currently plan and execute: its leader node is up and
+  /// any fleet-installed liveness hook agrees. While false, pending
+  /// requests park (no dispatch) until a repair event resumes them or the
+  /// fleet evacuates them.
+  bool shard_live() const;
+
+  /// Requests this shard could still accept without shedding: free
+  /// dispatch slots plus free pending-queue slots, minus in-transit
+  /// arrivals. SIZE_MAX when the pending queue is uncapped. Failover
+  /// evacuation gates on this so a dead shard's backlog is not dumped
+  /// into a bounded sibling only to be rejected.
+  std::size_t admission_room() const;
+
+  /// EWMA of recent execution latencies (dispatch to finish) of executed
+  /// requests; 0 until the first completion. The cost signal behind
+  /// unlimited-admission steal capacity.
+  double avg_execution_s() const noexcept { return avg_execution_s_; }
+
+  /// Terminal-failure sweep after the simulator drained: pending requests
+  /// parked on a dead shard (no live leader, no repair ever came) turn
+  /// kFailed. Returns true when anything was finalised — callers owning
+  /// the drain loop (run(), ServiceFleet::run()) must then re-drain, since
+  /// terminal notifications can release closed-loop sources.
+  bool finalize_stranded();
 
  private:
   struct Tracked {
     RequestSpec spec;
     RequestRecord record;
     bool migrated = false;  ///< stolen by a sibling shard; excluded from run()
+    int attempts = 0;       ///< engine executions (1 + retries)
   };
 
   /// Pending-queue entry, ordered by dispatch priority: higher QoS first,
@@ -215,12 +281,16 @@ class InferenceService {
   using PendingSet = std::set<PendingEntry, DispatchBefore>;
 
   RequestHandle register_request(const RequestSpec& spec);
+  void observe_cluster();
   void schedule_arrival(std::size_t slot, double arrival_s);
   void pump();
   void on_arrival(std::size_t slot);
   void dispatch(std::size_t slot);
   void dispatch_next();
   void on_finished(std::size_t slot);
+  /// Node churn killed slot's request mid-task: escalate to the fleet,
+  /// retry on surviving nodes, or finalise kFailed.
+  void on_execute_failed(std::size_t slot);
   void shed(std::size_t arriving);
   void finish_without_execution(std::size_t slot, RequestOutcome outcome);
   void enqueue_pending(std::size_t slot);
@@ -242,6 +312,10 @@ class InferenceService {
   ArrivalProcess* source_ = nullptr;
   std::function<void(const RequestRecord&, double)> terminal_hook_;
   std::function<void()> state_hook_;
+  std::function<bool(const RequestSpec&, int)> failure_hook_;
+  std::function<bool()> liveness_hook_;
+  std::size_t observer_id_ = 0;  ///< cluster node-event subscription
+  double avg_execution_s_ = 0.0;
   std::deque<Tracked> requests_;  ///< stable storage; slot = index
   PendingSet pending_;            ///< admitted but not dispatched
   std::array<std::size_t, kQosClassCount> pending_by_class_{};

@@ -1,12 +1,15 @@
 // ServiceFleet: shard construction/validation, routing policies,
 // cross-shard work stealing, fleet-level arrival sources (determinism and
-// closed-loop liveness), and throughput scaling with shard count.
+// closed-loop liveness), throughput scaling with shard count, node-churn
+// failover (evacuation, route-around, orphan merging, reassign), and
+// cost-aware stealing for unlimited-admission shards.
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <set>
 
 #include "core/hidp_strategy.hpp"
+#include "runtime/churn.hpp"
 #include "runtime/fleet.hpp"
 #include "runtime/metrics.hpp"
 #include "runtime/workload.hpp"
@@ -357,6 +360,284 @@ TEST(FleetArrivals, ClosedLoopClientsAcrossShardsNeverDeadlock) {
   for (const auto& record : records) ids.insert(record.id);
   EXPECT_EQ(ids.size(), 20u);
   EXPECT_EQ(fleet.shard(0).pending() + fleet.shard(1).pending(), 0u);
+}
+
+TEST(FleetFailover, DeadShardEvacuatesPendingAndInFlightToSibling) {
+  ModelSet models;
+  const dnn::DnnGraph& model = models.graph(ModelId::kEfficientNetB0);
+  Cluster cluster(uniform_cluster(4));
+  LeaderLocalStrategy a(0.2), b(0.2);
+  AllToZeroRouting routing;  // everything lands on shard 0
+  FleetShard shard_a{&a, {0, 1}, FleetShard::kAutoLeader, {}};
+  FleetShard shard_b{&b, {2, 3}, FleetShard::kAutoLeader, {}};
+  shard_a.service.max_in_flight = 1;
+  shard_b.service.max_in_flight = 1;
+  FleetOptions options;
+  options.failover.enabled = true;
+  ServiceFleet fleet(cluster, {shard_a, shard_b}, routing, options);
+  // 6 requests pile onto shard 0; its nodes die at t=0.3 with one request
+  // mid-task and the rest pending.
+  const auto stream = periodic_stream(model, 6, 0.05);
+  for (const auto& spec : stream) fleet.submit(spec);
+  ScriptedChurn trace({
+      {0.3, 0, ChurnEvent::Action::kFail, 1.0},
+      {0.3, 1, ChurnEvent::Action::kFail, 1.0},
+  });
+  ChurnInjector injector(cluster, trace);
+  injector.start();
+  const auto records = fleet.run();
+  ASSERT_EQ(records.size(), 6u);
+  for (const auto& record : records) {
+    EXPECT_EQ(record.outcome, RequestOutcome::kCompleted) << "request " << record.id;
+  }
+  EXPECT_GT(fleet.evacuations(), 0u);
+  // Post-churn work ran on shard 1's nodes only.
+  for (const auto& trace_entry : fleet.shard(1).traces()) {
+    EXPECT_GE(trace_entry.node, 2u);
+  }
+  // Migration accounting balances on both sides.
+  const ServiceStats& victim = fleet.shard(0).stats();
+  const ServiceStats& thief = fleet.shard(1).stats();
+  EXPECT_EQ(victim.submitted - victim.stolen_away,
+            victim.completed + victim.rejected + victim.dropped + victim.deadline_misses +
+                victim.failed);
+  EXPECT_EQ(thief.stolen_in, victim.stolen_away);
+  EXPECT_EQ(thief.stolen_in + thief.submitted,
+            thief.completed + thief.rejected + thief.dropped + thief.deadline_misses +
+                thief.failed);
+}
+
+TEST(FleetFailover, DisabledFleetStrandsDeadShardRequestsAsFailed) {
+  ModelSet models;
+  const dnn::DnnGraph& model = models.graph(ModelId::kEfficientNetB0);
+  Cluster cluster(uniform_cluster(4));
+  LeaderLocalStrategy a(0.2), b(0.2);
+  AllToZeroRouting routing;
+  FleetShard shard_a{&a, {0, 1}, FleetShard::kAutoLeader, {}};
+  FleetShard shard_b{&b, {2, 3}, FleetShard::kAutoLeader, {}};
+  shard_a.service.max_in_flight = 1;
+  shard_b.service.max_in_flight = 1;
+  ServiceFleet fleet(cluster, {shard_a, shard_b}, routing);  // failover off
+  const auto stream = periodic_stream(model, 6, 0.05);
+  for (const auto& spec : stream) fleet.submit(spec);
+  ScriptedChurn trace({
+      {0.3, 0, ChurnEvent::Action::kFail, 1.0},
+      {0.3, 1, ChurnEvent::Action::kFail, 1.0},
+  });
+  ChurnInjector injector(cluster, trace);
+  injector.start();
+  const auto records = fleet.run();
+  ASSERT_EQ(records.size(), 6u);
+  const ServiceStats stats = fleet.stats();
+  EXPECT_EQ(fleet.evacuations(), 0u);
+  EXPECT_GT(stats.failed, 0u);
+  EXPECT_LT(stats.completed, 6u);
+  EXPECT_EQ(stats.completed + stats.failed, 6u);
+}
+
+TEST(FleetFailover, BelowFloorShardParksAndEvacuatesEvenWithLiveLeader) {
+  // min_live_nodes = 2 on a 2-node shard: losing the non-leader worker
+  // makes the shard dead by the fleet's floor even though its leader is
+  // up. The shard must park (its liveness hook mirrors the fleet's death
+  // predicate) and let the fleet evacuate — not race it for the queue.
+  ModelSet models;
+  const dnn::DnnGraph& model = models.graph(ModelId::kEfficientNetB0);
+  Cluster cluster(uniform_cluster(4));
+  LeaderLocalStrategy a(0.2), b(0.2);
+  AllToZeroRouting routing;
+  FleetShard shard_a{&a, {0, 1}, FleetShard::kAutoLeader, {}};
+  FleetShard shard_b{&b, {2, 3}, FleetShard::kAutoLeader, {}};
+  shard_a.service.max_in_flight = 1;
+  shard_b.service.max_in_flight = 1;
+  FleetOptions options;
+  options.failover.enabled = true;
+  options.failover.min_live_nodes = 2;
+  ServiceFleet fleet(cluster, {shard_a, shard_b}, routing, options);
+  const auto stream = periodic_stream(model, 5, 0.05);
+  for (const auto& spec : stream) fleet.submit(spec);
+  // Kill the non-leader worker of shard 0 at t=0.1: leader 0 stays up.
+  ScriptedChurn trace({{0.1, 1, ChurnEvent::Action::kFail, 1.0}});
+  ChurnInjector injector(cluster, trace);
+  injector.start();
+  const auto records = fleet.run();
+  ASSERT_EQ(records.size(), 5u);
+  for (const auto& record : records) {
+    EXPECT_EQ(record.outcome, RequestOutcome::kCompleted) << "request " << record.id;
+  }
+  EXPECT_GT(fleet.evacuations(), 0u);
+  // Nothing dispatched on shard 0 after the floor violation.
+  for (const auto& trace_entry : fleet.shard(0).traces()) {
+    EXPECT_LT(trace_entry.end_s, 0.1 + 0.2 + 1e-9);
+  }
+}
+
+TEST(FleetFailover, RoutesAroundDeadShardAtArrival) {
+  ModelSet models;
+  const dnn::DnnGraph& model = models.graph(ModelId::kEfficientNetB0);
+  Cluster cluster(uniform_cluster(4));
+  LeaderLocalStrategy a(0.05), b(0.05);
+  LeastLoadedRouting routing;
+  FleetShard shard_a{&a, {0, 1}, FleetShard::kAutoLeader, {}};
+  FleetShard shard_b{&b, {2, 3}, FleetShard::kAutoLeader, {}};
+  FleetOptions options;
+  options.failover.enabled = true;
+  ServiceFleet fleet(cluster, {shard_a, shard_b}, routing, options);
+  // Shard 0 dead from the start; all arrivals must route to shard 1.
+  ScriptedChurn trace({{0.0, 0, ChurnEvent::Action::kFail, 1.0}});
+  ChurnInjector injector(cluster, trace);
+  injector.start();
+  const auto stream = periodic_stream(model, 4, 0.1, /*start_s=*/0.05);
+  for (const auto& spec : stream) fleet.submit(spec);
+  const auto records = fleet.run();
+  ASSERT_EQ(records.size(), 4u);
+  for (const auto& record : records) EXPECT_EQ(record.outcome, RequestOutcome::kCompleted);
+  EXPECT_EQ(fleet.shard(0).stats().submitted, 0u);
+  EXPECT_EQ(fleet.shard(1).stats().submitted, 4u);
+}
+
+TEST(FleetFailover, MergeOrphansReassignsSurvivorsOfDeadShard) {
+  ModelSet models;
+  const dnn::DnnGraph& model = models.graph(ModelId::kEfficientNetB0);
+  Cluster cluster(uniform_cluster(4));
+  LeaderLocalStrategy a(0.05), b(0.05);
+  RoundRobinRouting routing;
+  FleetShard shard_a{&a, {0, 1}, FleetShard::kAutoLeader, {}};
+  FleetShard shard_b{&b, {2, 3}, FleetShard::kAutoLeader, {}};
+  FleetOptions options;
+  options.failover.enabled = true;
+  options.failover.merge_orphans = true;
+  ServiceFleet fleet(cluster, {shard_a, shard_b}, routing, options);
+  EXPECT_EQ(fleet.shard_of(1), 0u);
+  const std::uint64_t epoch_before = fleet.membership_epoch();
+  // Shard 0's leader (node 0) dies; its surviving worker node 1 merges
+  // into shard 1.
+  cluster.set_node_available(0, false);
+  EXPECT_EQ(fleet.shard_of(1), 1u);
+  EXPECT_GT(fleet.membership_epoch(), epoch_before);
+  EXPECT_TRUE(fleet.shard(1).engine().scope().contains(1));
+  EXPECT_FALSE(fleet.shard(0).engine().scope().contains(1));
+  // The merged shard serves requests over its enlarged membership.
+  fleet.submit(RequestSpec{0, &model, 0.1});
+  fleet.submit(RequestSpec{1, &model, 0.1});
+  const auto records = fleet.run();
+  ASSERT_EQ(records.size(), 2u);
+  for (const auto& record : records) EXPECT_EQ(record.outcome, RequestOutcome::kCompleted);
+}
+
+TEST(FleetFailover, ReassignValidatesAndMovesMembership) {
+  Cluster cluster(uniform_cluster(4));
+  LeaderLocalStrategy a(0.05), b(0.05);
+  RoundRobinRouting routing;
+  ServiceFleet fleet(cluster, {{&a, {0, 1}}, {&b, {2, 3}}}, routing);
+  EXPECT_THROW(fleet.reassign(0, 1), std::invalid_argument);  // shard 0's leader
+  EXPECT_THROW(fleet.reassign(1, 5), std::invalid_argument);  // shard out of range
+  EXPECT_THROW(fleet.reassign(9, 1), std::invalid_argument);  // node out of range
+  fleet.reassign(1, 1);
+  EXPECT_EQ(fleet.shard_of(1), 1u);
+  EXPECT_EQ(fleet.membership_epoch(), 1u);
+  fleet.reassign(1, 1);  // already there: no-op
+  EXPECT_EQ(fleet.membership_epoch(), 1u);
+  fleet.reassign(1, 0);  // and back
+  EXPECT_EQ(fleet.shard_of(1), 0u);
+  EXPECT_EQ(fleet.membership_epoch(), 2u);
+}
+
+TEST(FleetFailover, ZeroChurnRunBitIdenticalWithFailoverEnabled) {
+  // The failover machinery (observers, hooks, route-around checks) must be
+  // inert without churn: records, traces and stats match a fleet that
+  // never heard of failover, field for field.
+  ModelSet models;
+  const auto stream = [&] {
+    util::Rng rng(17);
+    return mixed_stream(models, {ModelId::kEfficientNetB0}, 30, 0.02, rng);
+  }();
+  const auto run_fleet = [&](bool failover) {
+    Cluster cluster(uniform_cluster(4));
+    LeaderLocalStrategy a(0.1), b(0.1);
+    LeastLoadedRouting routing;
+    FleetShard shard_a{&a, {0, 1}, FleetShard::kAutoLeader, {}};
+    FleetShard shard_b{&b, {2, 3}, FleetShard::kAutoLeader, {}};
+    shard_a.service.max_in_flight = 1;
+    shard_a.service.max_pending = 4;
+    shard_b.service.max_in_flight = 1;
+    shard_b.service.max_pending = 4;
+    FleetOptions options;
+    options.work_stealing = true;
+    options.failover.enabled = failover;
+    options.failover.merge_orphans = failover;
+    ServiceFleet fleet(cluster, {shard_a, shard_b}, routing, options);
+    ReplayArrivals arrivals(stream);
+    fleet.attach(&arrivals);
+    auto records = fleet.run();
+    std::vector<TaskTrace> traces;
+    for (std::size_t s = 0; s < fleet.shard_count(); ++s) {
+      const auto& shard_traces = fleet.shard(s).traces();
+      traces.insert(traces.end(), shard_traces.begin(), shard_traces.end());
+    }
+    return std::make_tuple(std::move(records), std::move(traces), fleet.stats());
+  };
+  const auto [plain_records, plain_traces, plain_stats] = run_fleet(false);
+  const auto [failover_records, failover_traces, failover_stats] = run_fleet(true);
+  ASSERT_EQ(plain_records.size(), failover_records.size());
+  for (std::size_t i = 0; i < plain_records.size(); ++i) {
+    const RequestRecord& p = plain_records[i];
+    const RequestRecord& f = failover_records[i];
+    EXPECT_EQ(p.id, f.id);
+    EXPECT_EQ(p.outcome, f.outcome);
+    EXPECT_DOUBLE_EQ(p.arrival_s, f.arrival_s);
+    EXPECT_DOUBLE_EQ(p.dispatch_s, f.dispatch_s);
+    EXPECT_DOUBLE_EQ(p.finish_s, f.finish_s);
+    EXPECT_DOUBLE_EQ(p.flops, f.flops);
+  }
+  ASSERT_EQ(plain_traces.size(), failover_traces.size());
+  for (std::size_t i = 0; i < plain_traces.size(); ++i) {
+    EXPECT_EQ(plain_traces[i].request, failover_traces[i].request);
+    EXPECT_EQ(plain_traces[i].node, failover_traces[i].node);
+    EXPECT_DOUBLE_EQ(plain_traces[i].start_s, failover_traces[i].start_s);
+    EXPECT_DOUBLE_EQ(plain_traces[i].end_s, failover_traces[i].end_s);
+  }
+  EXPECT_EQ(plain_stats.completed, failover_stats.completed);
+  EXPECT_EQ(plain_stats.rejected, failover_stats.rejected);
+  EXPECT_EQ(plain_stats.dropped, failover_stats.dropped);
+  EXPECT_EQ(plain_stats.failed, failover_stats.failed);
+  EXPECT_EQ(plain_stats.stolen_in, failover_stats.stolen_in);
+  EXPECT_EQ(plain_stats.peak_pending, failover_stats.peak_pending);
+}
+
+TEST(FleetWorkStealing, CostAwareStealingForUnlimitedAdmissionShards) {
+  // Shard 0: bounded admission, saturated by the skewed stream. Shard 1:
+  // unlimited admission. Seed behaviour (steal_backlog_s = 0) never
+  // steals into shard 1; the cost-aware knob lets it absorb backlog up to
+  // its backlog-cost budget.
+  ModelSet models;
+  const dnn::DnnGraph& model = models.graph(ModelId::kEfficientNetB0);
+  const auto stream = periodic_stream(model, 40, 0.05);
+  const auto run_fleet = [&](double steal_backlog_s) {
+    Cluster cluster(uniform_cluster(4));
+    LeaderLocalStrategy a(0.2), b(0.2);
+    AllToZeroRouting routing;
+    FleetShard shard_a{&a, {0, 1}, FleetShard::kAutoLeader, {}};
+    FleetShard shard_b{&b, {2, 3}, FleetShard::kAutoLeader, {}};
+    shard_a.service.max_in_flight = 1;
+    shard_b.service.max_in_flight = 0;  // unlimited admission
+    shard_b.service.steal_backlog_s = steal_backlog_s;
+    FleetOptions options;
+    options.work_stealing = true;
+    ServiceFleet fleet(cluster, {shard_a, shard_b}, routing, options);
+    ReplayArrivals arrivals(stream);
+    fleet.attach(&arrivals);
+    const auto records = fleet.run();
+    StreamMetrics metrics = summarize_run(records, cluster);
+    return std::make_pair(metrics, fleet.steals());
+  };
+  const auto [seed_metrics, seed_steals] = run_fleet(0.0);
+  const auto [cost_metrics, cost_steals] = run_fleet(0.6);
+  // Regression: the default stays the seed behaviour — no stealing into
+  // unlimited-admission shards.
+  EXPECT_EQ(seed_steals, 0u);
+  EXPECT_GT(cost_steals, 0u);
+  EXPECT_LT(cost_metrics.p99_latency_s, seed_metrics.p99_latency_s);
+  EXPECT_LE(cost_metrics.makespan_s, seed_metrics.makespan_s);
 }
 
 TEST(FleetScaling, ThroughputGrowsWithShardCount) {

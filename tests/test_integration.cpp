@@ -168,8 +168,10 @@ TEST(Integration, NodeFailureInjection) {
   runtime::ModelSet models;
   core::HidpStrategy hidp;
   runtime::Cluster cluster(platform::paper_cluster());
-  cluster.network().set_available(2, false);
-  cluster.network().set_available(4, false);
+  // The canonical churn entry point (bumps the membership epoch and
+  // notifies observers) — not the network().set_available() back door.
+  cluster.set_node_available(2, false);
+  cluster.set_node_available(4, false);
   runtime::InferenceService service(cluster, hidp, 0);
   runtime::ReplayArrivals arrivals(
       runtime::periodic_stream(models.graph(ModelId::kVgg19), 4, 0.3));
