@@ -25,6 +25,7 @@
 #include "bench_common.hpp"
 #include "runtime/churn.hpp"
 #include "runtime/fleet.hpp"
+#include "runtime/netfault.hpp"
 
 namespace {
 
@@ -58,11 +59,22 @@ struct FleetResult {
   double p99_s = 0.0;
 };
 
+/// Per-run serving knobs beyond the shared shard shape (used by the
+/// degradation study to contrast stale vs degradation-aware planning).
+struct RunTuning {
+  double transfer_timeout_factor = 0.0;
+  bool stale_network_planning = false;
+  std::size_t max_retries = 1;
+};
+
 FleetResult run_fleet(const std::string& config, std::size_t shard_count,
                       const std::vector<runtime::RequestSpec>& stream,
                       runtime::RoutingPolicy& routing, bool work_stealing,
                       std::vector<runtime::ChurnProcess*> churn = {},
-                      bool failover = false) {
+                      bool failover = false,
+                      std::vector<runtime::NetDegradationProcess*> degradation = {},
+                      RunTuning tuning = {},
+                      std::vector<runtime::RequestRecord>* records_out = nullptr) {
   runtime::Cluster cluster(paired_cluster());
   std::vector<std::unique_ptr<core::HidpStrategy>> strategies;
   std::vector<runtime::FleetShard> shards;
@@ -76,6 +88,9 @@ FleetResult run_fleet(const std::string& config, std::size_t shard_count,
     shard.service.max_in_flight = 2;
     shard.service.max_pending = 16;
     shard.service.shed_policy = runtime::LoadShedPolicy::kRejectNewest;
+    shard.service.transfer_timeout_factor = tuning.transfer_timeout_factor;
+    shard.service.stale_network_planning = tuning.stale_network_planning;
+    shard.service.max_retries = tuning.max_retries;
     shards.push_back(std::move(shard));
   }
   runtime::FleetOptions options;
@@ -91,7 +106,13 @@ FleetResult run_fleet(const std::string& config, std::size_t shard_count,
     injectors.push_back(std::make_unique<runtime::ChurnInjector>(cluster, *process));
     injectors.back()->start();
   }
+  std::vector<std::unique_ptr<runtime::NetFaultInjector>> net_injectors;
+  for (runtime::NetDegradationProcess* process : degradation) {
+    net_injectors.push_back(std::make_unique<runtime::NetFaultInjector>(cluster, *process));
+    net_injectors.back()->start();
+  }
   const auto records = fleet.run();
+  if (records_out != nullptr) *records_out = records;
   const runtime::StreamMetrics metrics = runtime::summarize_run(records, cluster);
   const runtime::ServiceStats stats = fleet.stats();
 
@@ -105,6 +126,7 @@ FleetResult run_fleet(const std::string& config, std::size_t shard_count,
   result.steals = fleet.steals();
   result.evacuations = fleet.evacuations();
   for (const auto& injector : injectors) result.churn_events += injector->applied();
+  for (const auto& injector : net_injectors) result.churn_events += injector->applied();
   result.makespan_s = metrics.makespan_s;
   result.completed_per_s =
       metrics.makespan_s > 0.0 ? static_cast<double>(stats.completed) / metrics.makespan_s : 0.0;
@@ -201,6 +223,104 @@ int main(int argc, char** argv) {
   const bool failover_wins =
       churn_on.completed > churn_off.completed && churn_on.p99_s < churn_off.p99_s;
 
+  // Degradation study: Gilbert–Elliott bursty radio collapse over shard 0's
+  // non-leader nodes, same moderate stream shape as the churn study. The
+  // stale configuration plans every request against construction-time betas
+  // and never arms a transfer watchdog — it keeps shipping activations into
+  // collapsed radios at healthy prices. The aware configuration plans
+  // against the live spec (link events re-price its cost models) and a
+  // 4x-expected-time watchdog turns silent mid-flight collapses into
+  // bounded-retry replans. Aware must complete strictly more requests at a
+  // strictly lower p99 — part of the exit-code contract below.
+  // Tighter spacing than the churn study: the contrast needs enough offered
+  // load that planning into collapsed radios overflows the bounded pending
+  // queue (stale sheds), while live-priced plans keep up.
+  util::Rng degrade_rng(29);
+  const auto degrade_stream = runtime::mixed_stream(
+      models, {ModelId::kEfficientNetB0, ModelId::kResNet152}, count, 0.01, degrade_rng);
+  const double degrade_horizon_s = degrade_stream.back().arrival_s;
+  const auto make_degradation = [&]() {
+    runtime::GilbertElliottDegradation::Options options;
+    // Both shards' workers degrade (leaders 1 and 5 stay healthy): with a
+    // single sick shard, least-loaded routing would drain load to the
+    // healthy one and mask the planning contrast being measured.
+    options.nodes = {0, 2, 3, 4, 6, 7};
+    options.good_s = smoke ? 0.3 : 1.0;
+    options.bad_s = smoke ? 0.6 : 1.5;
+    options.bad_bw_scale = 0.005;
+    options.bad_latency_scale = 2.0;
+    options.horizon_s = degrade_horizon_s;
+    options.seed = 31;
+    return runtime::GilbertElliottDegradation(options);
+  };
+  // Final heal wave (the degradation twin of the churn study's repair
+  // wave): a node left mid-burst at the horizon would otherwise crawl
+  // forever, and the bench wants tail latency, not an unbounded makespan.
+  const auto make_final_heals = [&]() {
+    std::vector<runtime::NetEvent> heals;
+    for (const std::size_t node : {0, 2, 3, 4, 6, 7}) {
+      runtime::NetEvent heal;
+      heal.time_s = degrade_horizon_s;
+      heal.action = runtime::NetEvent::Action::kRadioScale;
+      heal.node = node;
+      heal.bw_scale = 1.0;
+      heal.latency_scale = 1.0;
+      heals.push_back(heal);
+    }
+    return runtime::ScriptedDegradation(std::move(heals));
+  };
+  {
+    runtime::LeastLoadedRouting routing_stale, routing_aware;
+    auto degradation_stale = make_degradation();
+    auto heals_stale = make_final_heals();
+    RunTuning stale_tuning;
+    stale_tuning.stale_network_planning = true;
+    stale_tuning.max_retries = 3;
+    results.push_back(run_fleet("degradation-stale", 2, degrade_stream, routing_stale,
+                                /*work_stealing=*/false, {}, /*failover=*/false,
+                                {&degradation_stale, &heals_stale}, stale_tuning));
+    auto degradation_aware = make_degradation();
+    auto heals_aware = make_final_heals();
+    RunTuning aware_tuning;
+    aware_tuning.transfer_timeout_factor = 4.0;
+    aware_tuning.max_retries = 3;
+    results.push_back(run_fleet("degradation-aware", 2, degrade_stream, routing_aware,
+                                /*work_stealing=*/false, {}, /*failover=*/false,
+                                {&degradation_aware, &heals_aware}, aware_tuning));
+  }
+  const FleetResult& degrade_stale = results[results.size() - 2];
+  const FleetResult& degrade_aware = results[results.size() - 1];
+  const bool degradation_aware_wins = degrade_aware.completed > degrade_stale.completed &&
+                                      degrade_aware.p99_s < degrade_stale.p99_s;
+
+  // Zero-degradation control: with no degradation injected, the stale and
+  // aware configurations must produce bit-identical records — the watchdog
+  // and the live-spec planning path cost nothing until a link actually
+  // degrades.
+  bool zero_degradation_identical = true;
+  {
+    runtime::LeastLoadedRouting routing_stale, routing_aware;
+    std::vector<runtime::RequestRecord> stale_records, aware_records;
+    RunTuning stale_tuning;
+    stale_tuning.stale_network_planning = true;
+    run_fleet("control-stale", 2, degrade_stream, routing_stale,
+              /*work_stealing=*/false, {}, /*failover=*/false, {}, stale_tuning,
+              &stale_records);
+    RunTuning aware_tuning;
+    aware_tuning.transfer_timeout_factor = 4.0;
+    run_fleet("control-aware", 2, degrade_stream, routing_aware,
+              /*work_stealing=*/false, {}, /*failover=*/false, {}, aware_tuning,
+              &aware_records);
+    zero_degradation_identical = stale_records.size() == aware_records.size();
+    for (std::size_t i = 0; zero_degradation_identical && i < stale_records.size(); ++i) {
+      zero_degradation_identical = stale_records[i].id == aware_records[i].id &&
+                                   stale_records[i].outcome == aware_records[i].outcome &&
+                                   stale_records[i].dispatch_s == aware_records[i].dispatch_s &&
+                                   stale_records[i].finish_s == aware_records[i].finish_s &&
+                                   stale_records[i].flops == aware_records[i].flops;
+    }
+  }
+
   std::cout << "fleet scaling (" << (smoke ? "smoke" : "full") << ", " << count
             << " requests)\n";
   for (const FleetResult& r : results) {
@@ -214,6 +334,10 @@ int main(int argc, char** argv) {
   std::cout << "  1->2->4 shard throughput monotonic: " << (monotonic ? "yes" : "NO") << "\n";
   std::cout << "  failover completes more at lower p99 under churn: "
             << (failover_wins ? "yes" : "NO") << "\n";
+  std::cout << "  degradation-aware planning beats stale betas: "
+            << (degradation_aware_wins ? "yes" : "NO") << "\n";
+  std::cout << "  zero-degradation stale/aware runs bit-identical: "
+            << (zero_degradation_identical ? "yes" : "NO") << "\n";
 
   std::ofstream out(out_path);
   if (!out) {
@@ -224,7 +348,9 @@ int main(int argc, char** argv) {
       << ",\n  \"smoke\": " << (smoke ? "true" : "false")
       << ",\n  \"throughput_monotonic_1_2_4\": " << (monotonic ? "true" : "false")
       << ",\n  \"failover_wins_under_churn\": " << (failover_wins ? "true" : "false")
-      << ",\n  \"results\": [\n";
+      << ",\n  \"degradation_aware_wins\": " << (degradation_aware_wins ? "true" : "false")
+      << ",\n  \"zero_degradation_identical\": "
+      << (zero_degradation_identical ? "true" : "false") << ",\n  \"results\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const FleetResult& r = results[i];
     out << "    {\"config\": \"" << r.config << "\", \"shards\": " << r.shards
@@ -237,10 +363,14 @@ int main(int argc, char** argv) {
   }
   out << "  ]\n}\n";
   std::cout << "wrote " << out_path << "\n";
-  // Both claims are part of the bench's contract; fail loudly (CI runs
+  // All four claims are part of the bench's contract; fail loudly (CI runs
   // --smoke) if carving the same nodes into more shards stops paying off,
-  // or if failover stops beating failover-off under churn.
+  // if failover stops beating failover-off under churn, if degradation-aware
+  // planning stops beating stale betas, or if the degradation machinery
+  // perturbs healthy runs.
   if (!monotonic) return 2;
   if (!failover_wins) return 3;
+  if (!degradation_aware_wins) return 4;
+  if (!zero_degradation_identical) return 5;
   return 0;
 }

@@ -3,17 +3,21 @@
 // Shows HiDP's Analyze-state probing reacting to availability changes
 // (nodes leaving/rejoining between requests), the queue-aware DSE
 // shifting from latency-optimal to throughput-friendly decisions as the
-// request queue builds up, and mid-stream node failures injected through
+// request queue builds up, mid-stream node failures injected through
 // the canonical churn path — Cluster::set_node_available() via a
 // ScriptedChurn trace — so engines fail in-flight work, the service
 // retries on survivors, and the plan cache reacts, instead of the
-// deprecated network().set_available() back door that none of them see.
+// removed network().set_available() back door that none of them saw,
+// and finally mid-stream link degradation: a ScriptedDegradation trace
+// collapses a worker's radio and partitions a link while requests are in
+// flight, and the service replans around both.
 //
 //   build/examples/cluster_dynamics
 #include <cstdio>
 
 #include "core/hidp_strategy.hpp"
 #include "runtime/churn.hpp"
+#include "runtime/netfault.hpp"
 #include "runtime/metrics.hpp"
 #include "runtime/workload.hpp"
 #include "util/table.hpp"
@@ -105,8 +109,61 @@ int main() {
       static_cast<unsigned long long>(cluster.membership_epoch()));
   std::printf(
       "completed %d/10 requests (%d failed, %zu retries), mean latency %.1f ms "
-      "(before+after churn)\n",
+      "(before+after churn)\n\n",
       metrics.completed, metrics.failed, service.stats().retries,
       metrics.mean_latency_s * 1e3);
+
+  // Phase 4: mid-stream link degradation. A scripted trace partitions the
+  // leader<->Orin NX link while a transfer is in flight on it (the abort
+  // fails the run, and the service replans around the dead link through
+  // the same bounded-retry path churn uses), then collapses the Orin NX
+  // radio to 2% bandwidth (plans re-price away from it — cost models
+  // re-price in place, no rebuild), and finally heals both. The 4x
+  // transfer watchdog would catch a degradation the trace didn't announce.
+  std::printf("== mid-stream link degradation (scripted trace) ==\n");
+  runtime::Cluster degraded(platform::paper_cluster());
+  core::HidpStrategy planner;
+  runtime::ServiceOptions degrade_options;
+  degrade_options.max_in_flight = 1;
+  degrade_options.max_retries = 2;
+  degrade_options.transfer_timeout_factor = 4.0;
+  runtime::InferenceService degraded_service(degraded, planner, 1, degrade_options);
+  auto degrade_requests = runtime::periodic_stream(resnet, 10, 0.2);
+  using runtime::NetEvent;
+  NetEvent cut;        // leader<->Orin NX partition: in-flight work fails
+  cut.time_s = 0.43;
+  cut.action = NetEvent::Action::kLinkDown;
+  cut.node = 1;
+  cut.peer = 0;
+  NetEvent slow;       // Orin NX radio crawls: plans re-price away from it
+  slow.time_s = 0.5;
+  slow.action = NetEvent::Action::kRadioScale;
+  slow.node = 0;
+  slow.bw_scale = 0.02;
+  slow.latency_scale = 2.0;
+  NetEvent rejoin;     // link heals...
+  rejoin.time_s = 1.4;
+  rejoin.action = NetEvent::Action::kLinkUp;
+  rejoin.node = 1;
+  rejoin.peer = 0;
+  NetEvent recover;    // ...and the radio returns to base characteristics
+  recover.time_s = 1.4;
+  recover.action = NetEvent::Action::kRadioScale;
+  recover.node = 0;
+  runtime::ScriptedDegradation degrade_trace({cut, slow, rejoin, recover});
+  runtime::NetFaultInjector net_injector(degraded, degrade_trace);
+  net_injector.start();
+  runtime::ReplayArrivals degrade_arrivals(degrade_requests);
+  degraded_service.attach(&degrade_arrivals);
+  const auto degrade_records = degraded_service.run();
+  const auto degrade_metrics = runtime::summarize_run(degrade_records, degraded);
+  std::printf("degradation events applied: %zu (membership epoch %llu)\n",
+              net_injector.applied(),
+              static_cast<unsigned long long>(degraded.membership_epoch()));
+  std::printf(
+      "completed %d/10 requests (%d failed, %zu retries), mean latency %.1f ms "
+      "(through collapse, partition and heal)\n",
+      degrade_metrics.completed, degrade_metrics.failed,
+      degraded_service.stats().retries, degrade_metrics.mean_latency_s * 1e3);
   return 0;
 }

@@ -7,6 +7,7 @@
 // HiDP.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -25,11 +26,13 @@ struct PlanCacheOptions {
   double cached_planning_latency_s = 1e-4;
 };
 
-/// Base class of the three baselines. Both the plan cache and the cost
-/// models are dropped together whenever the cluster's nodes or network
-/// change — a cost model bakes the network spec in at construction, so a
-/// nodes-pointer-only invalidation could serve plans priced against a
-/// stale network.
+/// Base class of the three baselines. The plan cache and cost models
+/// invalidate granularly with the cluster: a compute change (DVFS, node
+/// edits) rebuilds the cost models, while a network-only change (radio
+/// degradation, partitions) re-points their transfer pricing at the
+/// current spec and keeps the memoised rate tables — the same policy as
+/// HidpStrategy, so the degradation bench compares planning quality, not
+/// invalidation plumbing.
 class BaselineStrategy : public core::CachingStrategyBase {
  protected:
   BaselineStrategy(partition::NodeExecutionPolicy policy, int bytes_per_element,
@@ -43,17 +46,33 @@ class BaselineStrategy : public core::CachingStrategyBase {
     auto it = cost_models_.find(&model);
     if (it == cost_models_.end()) {
       it = cost_models_
-               .emplace(&model, std::make_unique<partition::ClusterCostModel>(
-                                    model, *snap.nodes, snap.network, policy_,
-                                    bytes_per_element_))
+               .emplace(&model,
+                        CachedCostModel{std::make_unique<partition::ClusterCostModel>(
+                                            model, *snap.nodes, snap.network, policy_,
+                                            bytes_per_element_),
+                                        network_version_})
                .first;
+    } else if (it->second.network_version != network_version_) {
+      it->second.model->set_network(snap.network);
+      it->second.network_version = network_version_;
     }
-    return *it->second;
+    return *it->second.model;
   }
 
-  void on_cluster_change() override { cost_models_.clear(); }
+  void on_cluster_change(core::ClusterChange change) override {
+    if (change == core::ClusterChange::kNetwork) {
+      ++network_version_;
+      return;
+    }
+    cost_models_.clear();
+  }
 
  private:
+  struct CachedCostModel {
+    std::unique_ptr<partition::ClusterCostModel> model;
+    std::uint64_t network_version = 0;
+  };
+
   static CachePolicy make_policy(double planning_latency_s,
                                  const PlanCacheOptions& cache_options,
                                  core::QueueSensitivity queue) {
@@ -68,8 +87,8 @@ class BaselineStrategy : public core::CachingStrategyBase {
 
   partition::NodeExecutionPolicy policy_;
   int bytes_per_element_;
-  std::unordered_map<const dnn::DnnGraph*, std::unique_ptr<partition::ClusterCostModel>>
-      cost_models_;
+  std::uint64_t network_version_ = 0;
+  std::unordered_map<const dnn::DnnGraph*, CachedCostModel> cost_models_;
 };
 
 /// Available workers (leader first, then by descending default-policy rate).

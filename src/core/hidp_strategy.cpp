@@ -29,9 +29,15 @@ partition::ClusterCostModel& HidpStrategy::cost_model(const dnn::DnnGraph& model
         model, *snap.nodes, snap.network, partition::NodeExecutionPolicy::kHierarchicalLocal,
         options_.bytes_per_element);
     cost->set_local_search_space(options_.local_search);
-    it = cost_models_.emplace(&model, std::move(cost)).first;
+    it = cost_models_.emplace(&model, CachedCostModel{std::move(cost), network_version_}).first;
+  } else if (it->second.network_version != network_version_) {
+    // Link state changed since this model last priced a transfer: re-point
+    // it at the snapshot's spec, keeping the compute and local-DSE memos.
+    it->second.model->set_network(snap.network);
+    it->second.network_version = network_version_;
+    ++network_repricings_;
   }
-  return *it->second;
+  return *it->second.model;
 }
 
 double HidpStrategy::analyze(const runtime::PlanRequest& request,

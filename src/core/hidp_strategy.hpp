@@ -67,15 +67,33 @@ class HidpStrategy : public CachingStrategyBase {
   const GlobalDecision& last_decision() const noexcept { return last_decision_; }
   const RuntimeSchedulerFsm& last_fsm() const noexcept { return *last_fsm_; }
 
+  /// Granular invalidation counters (tests pin which cluster edits bump
+  /// which): full cost-model rebuilds (compute changes) vs in-place
+  /// network re-pricings (link degradation keeping compute memos).
+  std::uint64_t cost_model_rebuilds() const noexcept { return cost_model_rebuilds_; }
+  std::uint64_t network_repricings() const noexcept { return network_repricings_; }
+
  protected:
   double analyze(const runtime::PlanRequest& request, std::vector<bool>& available) override;
   void plan_fresh(const runtime::PlanRequest& request, const std::vector<bool>& available,
                   CachedPlanEntry& entry) override;
   void on_planned(const runtime::PlanRequest& request, const runtime::Plan& plan,
                   const GlobalDecision* decision, double analyze_s, bool cache_hit) override;
-  void on_cluster_change() override { cost_models_.clear(); }
+  void on_cluster_change(ClusterChange change) override {
+    if (change == ClusterChange::kNetwork) {
+      ++network_version_;  // cost models re-price lazily at next access
+      return;
+    }
+    if (!cost_models_.empty()) ++cost_model_rebuilds_;
+    cost_models_.clear();
+  }
 
  private:
+  struct CachedCostModel {
+    std::unique_ptr<partition::ClusterCostModel> model;
+    std::uint64_t network_version = 0;  ///< version the model last priced
+  };
+
   static CachePolicy make_policy(const Options& options);
 
   partition::ClusterCostModel& cost_model(const dnn::DnnGraph& model,
@@ -86,8 +104,10 @@ class HidpStrategy : public CachingStrategyBase {
   util::Rng rng_;
   GlobalDecision last_decision_;
   std::unique_ptr<RuntimeSchedulerFsm> last_fsm_;
-  std::unordered_map<const dnn::DnnGraph*, std::unique_ptr<partition::ClusterCostModel>>
-      cost_models_;
+  std::uint64_t network_version_ = 0;
+  std::uint64_t cost_model_rebuilds_ = 0;
+  std::uint64_t network_repricings_ = 0;
+  std::unordered_map<const dnn::DnnGraph*, CachedCostModel> cost_models_;
 };
 
 }  // namespace hidp::core

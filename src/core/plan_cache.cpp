@@ -36,9 +36,19 @@ void CachingStrategyBase::on_planned(const runtime::PlanRequest& request,
 }
 
 void CachingStrategyBase::on_node_event(const runtime::NodeEvent& event) {
-  if (event.kind != runtime::NodeEvent::Kind::kDvfs) return;
-  cache_.invalidate();
-  on_cluster_change();
+  switch (event.kind) {
+    case runtime::NodeEvent::Kind::kDvfs:
+      cache_.invalidate_entries();
+      on_cluster_change(ClusterChange::kCompute);
+      break;
+    case runtime::NodeEvent::Kind::kLink:
+      cache_.invalidate_entries();
+      on_cluster_change(ClusterChange::kNetwork);
+      break;
+    case runtime::NodeEvent::Kind::kDown:
+    case runtime::NodeEvent::Kind::kUp:
+      break;  // availability is part of the cache key; nothing is stale
+  }
 }
 
 int CachingStrategyBase::queue_bucket(int queue_depth) const noexcept {
@@ -53,8 +63,12 @@ int CachingStrategyBase::queue_bucket(int queue_depth) const noexcept {
 runtime::PlanResult CachingStrategyBase::plan(const runtime::PlanRequest& request) {
   const runtime::ClusterSnapshot& snap = request.snapshot;
   // Cluster changed (e.g. Fig. 8 node sweep, link degradation, DVFS): every
-  // cached decision and derived cost model assumed stale hardware.
-  if (cache_.refresh_cluster(snap)) on_cluster_change();
+  // cached decision and derived cost model assumed stale hardware. The
+  // refresh names the drifted component, so a radio-only degradation does
+  // not cost a full cost-model rebuild.
+  const ClusterRefresh refresh = cache_.refresh_cluster(snap);
+  if (refresh.nodes_changed) on_cluster_change(ClusterChange::kCompute);
+  if (refresh.network_changed) on_cluster_change(ClusterChange::kNetwork);
 
   std::vector<bool> available = snap.available;
   const double analyze_s = analyze(request, available);

@@ -28,6 +28,24 @@ namespace hidp::core {
 /// covered — callers doing those should use a fresh node vector.
 std::uint64_t cluster_compute_fingerprint(const std::vector<platform::NodeModel>& nodes);
 
+/// Which component of the cluster changed, for granular derived-state
+/// invalidation. A compute change (DVFS, node-model edits) staleness every
+/// per-node rate and local-DSE memo, so cost models rebuild; a
+/// network-only change (radio degradation, partitions) staleness only the
+/// transfer pricing, which a cost model can re-point at the new spec while
+/// keeping its expensive compute memos.
+enum class ClusterChange {
+  kCompute,  ///< node compute models changed (rates, local DSE stale)
+  kNetwork,  ///< link characteristics changed (transfer pricing stale)
+};
+
+/// What CrossRequestPlanCache::refresh_cluster detected.
+struct ClusterRefresh {
+  bool nodes_changed = false;
+  bool network_changed = false;
+  bool any() const noexcept { return nodes_changed || network_changed; }
+};
+
 /// How much of the queue depth a strategy's planning actually reads —
 /// keying on more than that fragments its plan cache for nothing.
 enum class QueueSensitivity {
@@ -84,21 +102,22 @@ class CrossRequestPlanCache {
   }
 
   /// Drops every entry when the cluster's nodes or network changed since
-  /// the last call. Returns true when an invalidation happened (callers
-  /// also holding per-cluster cost models should drop those too).
-  bool refresh_cluster(const runtime::ClusterSnapshot& snap) {
+  /// the last call, reporting *which* component drifted so callers holding
+  /// per-cluster cost models can invalidate exactly the stale part
+  /// (compute memos on a node change, transfer pricing on a network one).
+  ClusterRefresh refresh_cluster(const runtime::ClusterSnapshot& snap) {
     const std::uint64_t fingerprint = cluster_compute_fingerprint(*snap.nodes);
-    const bool nodes_changed =
-        cached_nodes_ != snap.nodes || cached_fingerprint_ != fingerprint;
-    const bool network_changed = !(cached_network_ == snap.network);
-    if (!nodes_changed && !network_changed) return false;
+    ClusterRefresh refresh;
+    refresh.nodes_changed = cached_nodes_ != snap.nodes || cached_fingerprint_ != fingerprint;
+    refresh.network_changed = !(cached_network_ == snap.network);
+    if (!refresh.any()) return refresh;
     if (!entries_.empty()) ++stats_.invalidations;
     ++epoch_;
     entries_.clear();
     cached_nodes_ = snap.nodes;
     cached_fingerprint_ = fingerprint;
     cached_network_ = snap.network;
-    return true;
+    return refresh;
   }
 
   /// Cached payload for the situation, or nullptr (counts hits/misses).
@@ -120,17 +139,26 @@ class CrossRequestPlanCache {
     entries_.emplace(key, std::move(payload));
   }
 
-  /// Eager wholesale invalidation (churn observers drive this at the event
-  /// instant, rather than waiting for refresh_cluster to detect drift at
-  /// the next plan). Resets the cached cluster identity too, so the next
-  /// refresh_cluster re-fingerprints from scratch.
+  /// Eager wholesale invalidation. Resets the cached cluster identity too,
+  /// so the next refresh_cluster re-fingerprints from scratch (and reports
+  /// both components changed).
   void invalidate() {
-    if (!entries_.empty()) ++stats_.invalidations;
-    ++epoch_;
-    entries_.clear();
+    invalidate_entries();
     cached_nodes_ = nullptr;
     cached_fingerprint_ = 0;
     cached_network_ = net::NetworkSpec();
+  }
+
+  /// Eager entry flush that keeps the cached cluster identity (churn
+  /// observers drive this at the event instant, rather than waiting for
+  /// refresh_cluster to detect drift at the next plan). The next
+  /// refresh_cluster then reports exactly the component that actually
+  /// drifted — a link event must not read as a compute change, or granular
+  /// cost-model invalidation degenerates to a full rebuild.
+  void invalidate_entries() {
+    if (!entries_.empty()) ++stats_.invalidations;
+    ++epoch_;
+    entries_.clear();
   }
 
   const DecisionCacheStats& stats() const noexcept { return stats_; }
@@ -180,11 +208,13 @@ class CachingStrategyBase : public runtime::IStrategy {
 
   /// Churn notification (services forward Cluster node events here). A
   /// DVFS change alters the compute model every cached plan and derived
-  /// cost model assumed, so both are dropped at the event instant — the
-  /// epoch machinery that previously only caught this as fingerprint drift
-  /// on the next plan() call. Availability changes keep the cache: keys
-  /// carry the exact availability mask, so plans for other membership
-  /// states stay valid (and flapping nodes don't flush everything).
+  /// cost model assumed; a link change (radio degradation, partition)
+  /// alters every boundary's beta — either way cached plans are dropped at
+  /// the event instant, and on_cluster_change relays the exact component
+  /// (kCompute vs kNetwork) so cost models invalidate granularly.
+  /// Availability changes keep the cache: keys carry the exact
+  /// availability mask, so plans for other membership states stay valid
+  /// (and flapping nodes don't flush everything).
   void on_node_event(const runtime::NodeEvent& event) override;
 
   /// Cross-request plan-cache counters (hits mean the search was skipped).
@@ -214,9 +244,15 @@ class CachingStrategyBase : public runtime::IStrategy {
   virtual void on_planned(const runtime::PlanRequest& request, const runtime::Plan& plan,
                           const GlobalDecision* decision, double analyze_s, bool cache_hit);
 
-  /// The cluster's nodes or network changed: per-cluster state (cost
-  /// models) derived from stale hardware assumptions must be dropped.
-  virtual void on_cluster_change() = 0;
+  /// The cluster changed: per-cluster state derived from stale hardware
+  /// assumptions must be invalidated. `change` names the stale component —
+  /// kCompute drops cost models wholesale (per-node rates and local-DSE
+  /// memos are wrong), kNetwork only requires re-pointing their transfer
+  /// pricing at the current spec (ClusterCostModel::set_network), keeping
+  /// the expensive compute memos. May fire more than once per actual edit
+  /// (eagerly at the churn event, again when refresh_cluster confirms the
+  /// drift); implementations must be idempotent.
+  virtual void on_cluster_change(ClusterChange change) = 0;
 
   const CachePolicy& cache_policy() const noexcept { return policy_; }
 

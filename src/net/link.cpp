@@ -12,23 +12,57 @@ NetworkSpec::NetworkSpec(const std::vector<platform::NodeModel>& nodes) {
     radio_bw_bps_.push_back(node.radio_bw_bps());
     radio_latency_s_.push_back(node.radio_latency_s());
   }
+  bw_scale_.assign(nodes.size(), 1.0);
+  latency_scale_.assign(nodes.size(), 1.0);
 }
 
 LinkSpec NetworkSpec::link(std::size_t from, std::size_t to) const {
   if (from >= size() || to >= size()) throw std::out_of_range("NetworkSpec::link");
   LinkSpec spec;
   if (from == to) {
-    spec.bandwidth_bps = 1e12;  // loopback: effectively free
+    spec.bandwidth_bps = 1e12;  // loopback: effectively free, never degraded
     spec.latency_s = 0.0;
     return spec;
   }
-  spec.bandwidth_bps = std::min(radio_bw_bps_[from], radio_bw_bps_[to]);
-  spec.latency_s = radio_latency_s_[from] + radio_latency_s_[to];
+  spec.bandwidth_bps =
+      std::min(radio_bw_bps_[from] * bw_scale(from), radio_bw_bps_[to] * bw_scale(to));
+  spec.latency_s =
+      radio_latency_s_[from] * latency_scale(from) + radio_latency_s_[to] * latency_scale(to);
+  spec.up = link_up(from, to);
   return spec;
 }
 
 double NetworkSpec::beta_bps(std::size_t leader, std::size_t j) const {
-  return link(leader, j).bandwidth_bps;
+  const LinkSpec l = link(leader, j);
+  return l.up ? l.bandwidth_bps : 0.0;
+}
+
+void NetworkSpec::set_radio_scale(std::size_t node, double bw_scale, double latency_scale) {
+  if (node >= size()) throw std::out_of_range("NetworkSpec::set_radio_scale");
+  if (!(bw_scale > 0.0) || !(latency_scale > 0.0)) {
+    throw std::invalid_argument("NetworkSpec::set_radio_scale: scale <= 0");
+  }
+  bw_scale_[node] = bw_scale;
+  latency_scale_[node] = latency_scale;
+}
+
+void NetworkSpec::set_link_up(std::size_t a, std::size_t b, bool up) {
+  if (a >= size() || b >= size()) throw std::out_of_range("NetworkSpec::set_link_up");
+  if (a == b) throw std::invalid_argument("NetworkSpec::set_link_up: loopback");
+  const std::pair<std::size_t, std::size_t> key{std::min(a, b), std::max(a, b)};
+  const auto it = std::lower_bound(down_links_.begin(), down_links_.end(), key);
+  const bool down_now = it != down_links_.end() && *it == key;
+  if (up && down_now) {
+    down_links_.erase(it);
+  } else if (!up && !down_now) {
+    down_links_.insert(it, key);
+  }
+}
+
+bool NetworkSpec::link_up(std::size_t a, std::size_t b) const {
+  if (down_links_.empty() || a == b) return true;
+  const std::pair<std::size_t, std::size_t> key{std::min(a, b), std::max(a, b)};
+  return !std::binary_search(down_links_.begin(), down_links_.end(), key);
 }
 
 }  // namespace hidp::net

@@ -1,13 +1,20 @@
-// Static link characterisation of the wireless edge cluster.
+// Link characterisation of the wireless edge cluster.
 //
 // The paper connects nodes over an 80 MB/s wireless LAN through a POSIX
 // client-server setup and measures each node's communication rate beta by
-// sending pseudo packets (§III). NetworkSpec is the static, analytically
-// queryable view the partitioners plan against; net/network.hpp provides the
-// discrete-event counterpart with radio contention.
+// sending pseudo packets (§III). NetworkSpec is the analytically queryable
+// view the partitioners plan against; net/network.hpp provides the
+// discrete-event counterpart with radio contention. Construction-time
+// radio characteristics are the *base* values; radio conditions degrade
+// and recover at runtime through per-node bandwidth/latency scales and
+// per-link up/down state, all of which participate in operator== so
+// plan-cache / cost-model invalidation keyed on spec equality stays
+// correct under degradation.
 #pragma once
 
 #include <cstdint>
+#include <limits>
+#include <utility>
 #include <vector>
 
 #include "platform/node.hpp"
@@ -18,16 +25,21 @@ namespace hidp::net {
 struct LinkSpec {
   double bandwidth_bps = 80e6;  ///< payload bytes per second
   double latency_s = 2e-3;      ///< per-message protocol + MAC latency
+  bool up = true;               ///< false: the link is partitioned
 
   /// Seconds to move `bytes` over the link (0 bytes still pays latency).
+  /// A down link never delivers: infinity.
   double transfer_s(std::int64_t bytes) const noexcept {
+    if (!up) return std::numeric_limits<double>::infinity();
     if (bytes < 0) bytes = 0;
     return latency_s + (bandwidth_bps > 0.0 ? static_cast<double>(bytes) / bandwidth_bps : 0.0);
   }
 };
 
 /// Pairwise link view over a cluster; link (i,j) is limited by the slower
-/// of the two radios and pays both protocol latencies.
+/// of the two radios and pays both protocol latencies. Effective radio
+/// characteristics are base values times the node's current degradation
+/// scales (1.0 = healthy).
 class NetworkSpec {
  public:
   NetworkSpec() = default;
@@ -37,22 +49,58 @@ class NetworkSpec {
 
   LinkSpec link(std::size_t from, std::size_t to) const;
 
-  /// Paper's beta_j: effective bytes/s between the leader and node j.
+  /// Paper's beta_j: effective bytes/s between the leader and node j
+  /// (0 when the link is down).
   double beta_bps(std::size_t leader, std::size_t j) const;
 
-  /// Radio bandwidth of one node.
-  double radio_bw_bps(std::size_t i) const { return radio_bw_bps_.at(i); }
+  /// Effective radio bandwidth of one node (base x current bw scale).
+  double radio_bw_bps(std::size_t i) const { return radio_bw_bps_.at(i) * bw_scale(i); }
 
-  /// Two specs plan identically iff their per-node radio characteristics
-  /// match — what cross-request plan caches key invalidation on.
+  /// Construction-time radio bandwidth, before any degradation.
+  double base_radio_bw_bps(std::size_t i) const { return radio_bw_bps_.at(i); }
+
+  /// Construction-time per-message radio latency, before any degradation.
+  double base_radio_latency_s(std::size_t i) const { return radio_latency_s_.at(i); }
+
+  // ---- dynamic link state ---------------------------------------------------
+
+  /// Rescales one node's radio: bandwidth x `bw_scale`, protocol latency x
+  /// `latency_scale`. Absolute, not cumulative; 1.0/1.0 restores the base
+  /// characteristics. Loopback is unaffected. Throws on scale <= 0.
+  void set_radio_scale(std::size_t node, double bw_scale, double latency_scale);
+  double bw_scale(std::size_t i) const {
+    return i < bw_scale_.size() ? bw_scale_[i] : 1.0;
+  }
+  double latency_scale(std::size_t i) const {
+    return i < latency_scale_.size() ? latency_scale_[i] : 1.0;
+  }
+
+  /// Marks the (a, b) link down/up (symmetric; a == b throws — loopback
+  /// cannot partition). Down links have infinite transfer time and beta 0.
+  void set_link_up(std::size_t a, std::size_t b, bool up);
+  bool link_up(std::size_t a, std::size_t b) const;
+
+  /// Any link marked down right now?
+  bool any_link_down() const noexcept { return !down_links_.empty(); }
+
+  /// Two specs plan identically iff their per-node radio characteristics,
+  /// degradation scales and link up/down state all match — what
+  /// cross-request plan caches key invalidation on.
   bool operator==(const NetworkSpec& other) const noexcept {
-    return radio_bw_bps_ == other.radio_bw_bps_ && radio_latency_s_ == other.radio_latency_s_;
+    return radio_bw_bps_ == other.radio_bw_bps_ &&
+           radio_latency_s_ == other.radio_latency_s_ && bw_scale_ == other.bw_scale_ &&
+           latency_scale_ == other.latency_scale_ && down_links_ == other.down_links_;
   }
   bool operator!=(const NetworkSpec& other) const noexcept { return !(*this == other); }
 
  private:
   std::vector<double> radio_bw_bps_;
   std::vector<double> radio_latency_s_;
+  std::vector<double> bw_scale_;       ///< per-node; 1.0 = healthy
+  std::vector<double> latency_scale_;  ///< per-node; 1.0 = healthy
+  /// Down links as sorted (min, max) endpoint pairs — usually empty, so
+  /// per-snapshot spec copies stay cheap.
+  std::vector<std::pair<std::size_t, std::size_t>> down_links_;
 };
 
 }  // namespace hidp::net

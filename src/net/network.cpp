@@ -7,7 +7,7 @@ namespace hidp::net {
 
 WirelessNetwork::WirelessNetwork(sim::Simulator& sim,
                                  const std::vector<platform::NodeModel>& nodes, MediumMode mode)
-    : sim_(&sim), spec_(nodes), mode_(mode), available_(nodes.size(), true) {
+    : sim_(&sim), spec_(nodes), base_spec_(spec_), mode_(mode), available_(nodes.size(), true) {
   radios_.reserve(nodes.size());
   for (const platform::NodeModel& node : nodes) {
     radios_.push_back(std::make_unique<sim::Resource>(sim, node.name() + "/radio"));
@@ -23,16 +23,22 @@ void WirelessNetwork::set_available(std::size_t node, bool available) {
 
 void WirelessNetwork::transfer(std::size_t from, std::size_t to, std::int64_t bytes,
                                sim::Time earliest_start,
-                               std::function<void(sim::Time)> on_delivered) {
+                               std::function<void(sim::Time)> on_delivered,
+                               std::function<void(const TransferAbort&)> on_aborted,
+                               double timeout_s) {
   if (from >= size() || to >= size()) throw std::out_of_range("WirelessNetwork::transfer");
   if (!available_[from] || !available_[to]) {
     throw std::runtime_error("transfer to/from unavailable node");
   }
   if (from == to) {
-    // Loopback: the leader keeping its own partition pays no radio time.
+    // Loopback: the leader keeping its own partition pays no radio time
+    // and rides no link — it cannot degrade, partition or time out.
     sim_->schedule_at(std::max(earliest_start, sim_->now()),
                       [cb = std::move(on_delivered), this] { cb(sim_->now()); });
     return;
+  }
+  if (!spec_.link_up(from, to)) {
+    throw std::runtime_error("transfer on a down link");
   }
   const double duration = spec_.link(from, to).transfer_s(bytes);
   bytes_transferred_ += std::max<std::int64_t>(bytes, 0);
@@ -44,10 +50,120 @@ void WirelessNetwork::transfer(std::size_t from, std::size_t to, std::int64_t by
   start = std::max(start, radios_[to]->next_free(start));
   if (shared_medium_) start = std::max(start, shared_medium_->next_free(start));
 
-  radios_[from]->submit(start, duration, nullptr);
-  if (shared_medium_) shared_medium_->submit(start, duration, nullptr);
-  radios_[to]->submit(start, duration,
-                      [cb = std::move(on_delivered)](sim::Time end) { cb(end); });
+  const std::uint64_t id = next_transfer_++;
+  ActiveTransfer t;
+  t.from = from;
+  t.to = to;
+  t.bytes = bytes;
+  t.start = start;
+  t.end = start + duration;
+  t.from_job = radios_[from]->submit(start, duration, nullptr);
+  if (shared_medium_) t.medium_job = shared_medium_->submit(start, duration, nullptr);
+  t.to_job = radios_[to]->submit(start, duration, nullptr);
+  t.on_delivered = std::move(on_delivered);
+  t.on_aborted = std::move(on_aborted);
+  active_.emplace(id, std::move(t));
+  // The delivery event sits exactly where the receiver radio's completion
+  // callback used to, so degradation-free runs keep a bit-identical event
+  // sequence; holding it here lets degradation move or cancel delivery.
+  sim_->schedule_at(start + duration, [this, id] { complete(id); });
+  if (timeout_s > 0.0) {
+    sim_->schedule_at(start + timeout_s, [this, id] { expire(id); });
+  }
+}
+
+void WirelessNetwork::complete(std::uint64_t id) {
+  const auto it = active_.find(id);
+  if (it == active_.end()) return;  // aborted, or delivered by an earlier event
+  // A re-time pushed delivery past this event's timestamp: a fresher event
+  // owns the delivery now.
+  if (sim_->now() < it->second.end - 1e-12) return;
+  const sim::Time end = it->second.end;
+  auto cb = std::move(it->second.on_delivered);
+  active_.erase(it);
+  if (cb) cb(end);
+}
+
+void WirelessNetwork::expire(std::uint64_t id) {
+  if (active_.find(id) == active_.end()) return;  // already delivered or aborted
+  abort_transfer(id, TransferAbort::Cause::kTimeout);
+}
+
+void WirelessNetwork::abort_transfer(std::uint64_t id, TransferAbort::Cause cause) {
+  const auto it = active_.find(id);
+  if (it == active_.end()) return;
+  ActiveTransfer t = std::move(it->second);
+  active_.erase(it);
+  const sim::Time now = sim_->now();
+  double fraction = 1.0;
+  if (t.end > t.start) fraction = (now - t.start) / (t.end - t.start);
+  fraction = std::clamp(fraction, 0.0, 1.0);
+  const auto delivered =
+      static_cast<std::int64_t>(static_cast<double>(std::max<std::int64_t>(t.bytes, 0)) * fraction);
+  bytes_transferred_ -= std::max<std::int64_t>(t.bytes, 0) - delivered;
+  radios_[t.from]->adjust_job_end(t.from_job, now);
+  radios_[t.to]->adjust_job_end(t.to_job, now);
+  if (shared_medium_) shared_medium_->adjust_job_end(t.medium_job, now);
+  if (t.on_aborted) {
+    TransferAbort abort;
+    abort.cause = cause;
+    abort.time_s = now;
+    abort.bytes_delivered = delivered;
+    t.on_aborted(abort);
+  }
+}
+
+void WirelessNetwork::retime_transfer(ActiveTransfer& t, std::uint64_t id) {
+  const sim::Time now = sim_->now();
+  if (now >= t.end) return;  // delivering this very instant; leave it be
+  const double full_s = spec_.link(t.from, t.to).transfer_s(t.bytes);
+  sim::Time new_end;
+  if (now <= t.start) {
+    // Still queued on its radios: same admitted window, new duration.
+    new_end = t.start + full_s;
+  } else {
+    // Mid-flight: the undelivered payload fraction is re-priced at the new
+    // link rate from this instant.
+    const double remaining = (t.end - now) / (t.end - t.start);
+    new_end = now + remaining * full_s;
+  }
+  if (new_end == t.end) return;
+  radios_[t.from]->adjust_job_end(t.from_job, new_end);
+  radios_[t.to]->adjust_job_end(t.to_job, new_end);
+  if (shared_medium_) shared_medium_->adjust_job_end(t.medium_job, new_end);
+  t.end = new_end;
+  sim_->schedule_at(new_end, [this, id] { complete(id); });
+}
+
+void WirelessNetwork::set_radio_scale(std::size_t node, double bw_scale, double latency_scale) {
+  if (node >= size()) throw std::out_of_range("WirelessNetwork::set_radio_scale");
+  if (spec_.bw_scale(node) == bw_scale && spec_.latency_scale(node) == latency_scale) return;
+  spec_.set_radio_scale(node, bw_scale, latency_scale);
+  // Sorted ids: the re-timed delivery events land in admission order, not
+  // hash order, keeping the DES event sequence platform-independent.
+  std::vector<std::uint64_t> touched;
+  for (const auto& [id, t] : active_) {
+    if (t.from == node || t.to == node) touched.push_back(id);
+  }
+  std::sort(touched.begin(), touched.end());
+  for (const std::uint64_t id : touched) retime_transfer(active_.at(id), id);
+}
+
+void WirelessNetwork::set_link_up(std::size_t a, std::size_t b, bool up) {
+  if (spec_.link_up(a, b) == up) {
+    spec_.set_link_up(a, b, up);  // still validates the endpoints
+    return;
+  }
+  spec_.set_link_up(a, b, up);
+  if (up) return;
+  // Abort callbacks may replan and submit new transfers: snapshot the
+  // doomed ids first.
+  std::vector<std::uint64_t> doomed;
+  for (const auto& [id, t] : active_) {
+    if ((t.from == a && t.to == b) || (t.from == b && t.to == a)) doomed.push_back(id);
+  }
+  std::sort(doomed.begin(), doomed.end());  // deterministic abort order
+  for (const std::uint64_t id : doomed) abort_transfer(id, TransferAbort::Cause::kLinkDown);
 }
 
 }  // namespace hidp::net

@@ -1,21 +1,47 @@
 // Discrete-event wireless network: per-node radios with FIFO serialisation
 // and an optional shared-medium mode where all transfers additionally
 // serialise on the access point (worst-case contention).
+//
+// Link state is dynamic: per-node radio degradation (set_radio_scale) and
+// per-link partitions (set_link_up) re-time or abort in-flight transfers —
+// a transfer caught on a failing link delivers nothing, rolls its
+// undelivered bytes out of bytes_transferred(), truncates its radio busy
+// intervals and surfaces the failure through its abort callback, so no
+// ghost deliveries survive a partition. runtime::Cluster is the authority
+// that drives these mutations (epoch bump + observer fan-out); see
+// set_available() below for the same rule on node availability.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "net/link.hpp"
 #include "sim/resource.hpp"
 #include "sim/simulator.hpp"
 
+namespace hidp::runtime {
+class Cluster;
+}
+
 namespace hidp::net {
 
 enum class MediumMode {
   kPerRadio,      ///< transfers serialise on the two endpoint radios only
   kSharedMedium,  ///< transfers additionally serialise on one shared channel
+};
+
+/// Why and when an in-flight transfer was killed.
+struct TransferAbort {
+  enum class Cause {
+    kLinkDown,  ///< the link partitioned mid-flight
+    kTimeout,   ///< the caller's per-transfer watchdog expired
+  };
+  Cause cause = Cause::kLinkDown;
+  sim::Time time_s = 0.0;            ///< abort instant
+  std::int64_t bytes_delivered = 0;  ///< pro-rated bytes moved before the abort
 };
 
 class WirelessNetwork {
@@ -25,39 +51,100 @@ class WirelessNetwork {
 
   std::size_t size() const noexcept { return radios_.size(); }
   const NetworkSpec& spec() const noexcept { return spec_; }
+  /// Construction-time spec, before any degradation (what a service
+  /// configured for stale planning keeps pricing against).
+  const NetworkSpec& base_spec() const noexcept { return base_spec_; }
 
-  /// Marks a node (un)available; transfers to unavailable nodes throw.
-  /// Deprecated as a churn entry point: this mutates the raw availability
-  /// vector only — no membership-epoch bump, no observer fan-out, no plan
-  /// cache / cost model invalidation. Runtime callers should go through
-  /// runtime::Cluster::set_node_available() so engines, services and
-  /// fleets react; direct use is for network-level unit tests.
-  void set_available(std::size_t node, bool available);
   bool available(std::size_t node) const { return available_.at(node); }
 
   /// Availability vector A(N_phi) (paper Eq. 4).
   const std::vector<bool>& availability() const noexcept { return available_; }
 
-  /// Schedules a transfer of `bytes` from node `from` to node `to`.
-  /// Completion fires `on_delivered(end_time)`. A loopback transfer
-  /// completes after `earliest_start` with no radio occupancy.
-  void transfer(std::size_t from, std::size_t to, std::int64_t bytes, sim::Time earliest_start,
-                std::function<void(sim::Time)> on_delivered);
+  /// Rescales one node's radio (bandwidth x bw_scale, latency x
+  /// latency_scale; absolute, 1.0/1.0 = healthy). In-flight transfers
+  /// touching the node are re-timed: the remaining fraction of the payload
+  /// is re-priced at the new link rate from the current instant (loopback
+  /// and already-queued admission windows are unaffected). Runtime callers
+  /// go through runtime::Cluster::set_radio_scale so observers react.
+  void set_radio_scale(std::size_t node, double bw_scale, double latency_scale);
 
-  /// Total bytes moved over the air so far (loopback excluded).
+  /// Marks the (a, b) link down/up. Taking a link down aborts every
+  /// in-flight transfer crossing it (see TransferAbort); new transfers on
+  /// a down link throw. Runtime callers go through
+  /// runtime::Cluster::set_link_up so observers react.
+  void set_link_up(std::size_t a, std::size_t b, bool up);
+
+  /// Schedules a transfer of `bytes` from node `from` to node `to`.
+  /// Completion fires `on_delivered(end_time)`; if the link fails (or the
+  /// optional watchdog expires) first, `on_aborted` fires instead — exactly
+  /// one of the two, once. `timeout_s > 0` arms a watchdog at the
+  /// transfer's admitted radio start (queueing delay excluded) + timeout_s.
+  /// A loopback transfer completes after `earliest_start` with no radio
+  /// occupancy and can neither degrade nor abort.
+  void transfer(std::size_t from, std::size_t to, std::int64_t bytes, sim::Time earliest_start,
+                std::function<void(sim::Time)> on_delivered,
+                std::function<void(const TransferAbort&)> on_aborted = nullptr,
+                double timeout_s = 0.0);
+
+  /// Total bytes moved over the air so far (loopback excluded; aborted
+  /// transfers count only their pro-rated delivered bytes).
   std::int64_t bytes_transferred() const noexcept { return bytes_transferred_; }
 
   /// Busy seconds of a node's radio (for energy/occupancy accounting).
   double radio_busy_s(std::size_t node) const { return radios_.at(node)->busy_time(); }
 
+  /// In-flight (admitted, neither delivered nor aborted) transfer count.
+  std::size_t transfers_in_flight() const noexcept { return active_.size(); }
+
+  /// Test-only alias of the private availability mutation, for network
+  /// unit tests that have no Cluster. Everything runtime-facing must go
+  /// through runtime::Cluster::set_node_available() instead — raw mutation
+  /// bypasses the membership epoch and the observer fan-out, so engines,
+  /// services and fleets would not react.
+  void set_available_for_test(std::size_t node, bool available) {
+    set_available(node, available);
+  }
+
  private:
+  friend class hidp::runtime::Cluster;
+
+  struct ActiveTransfer {
+    std::size_t from = 0;
+    std::size_t to = 0;
+    std::int64_t bytes = 0;
+    sim::Time start = 0.0;  ///< admitted radio start
+    sim::Time end = 0.0;    ///< current expected delivery
+    std::uint64_t from_job = 0;
+    std::uint64_t to_job = 0;
+    std::uint64_t medium_job = 0;
+    std::function<void(sim::Time)> on_delivered;
+    std::function<void(const TransferAbort&)> on_aborted;
+  };
+
+  /// Marks a node (un)available; transfers to unavailable nodes throw.
+  /// Private: runtime::Cluster (friend) is the only churn authority —
+  /// see set_available_for_test() for the unit-test escape hatch.
+  void set_available(std::size_t node, bool available);
+
+  void complete(std::uint64_t id);
+  void expire(std::uint64_t id);
+  /// Kills one active transfer: rolls back undelivered bytes, truncates
+  /// the radio busy intervals at `now`, erases it and fires on_aborted.
+  void abort_transfer(std::uint64_t id, TransferAbort::Cause cause);
+  /// Re-prices the remaining payload of one active transfer at the current
+  /// link rate and moves its delivery event.
+  void retime_transfer(ActiveTransfer& t, std::uint64_t id);
+
   sim::Simulator* sim_;
   NetworkSpec spec_;
+  NetworkSpec base_spec_;
   MediumMode mode_;
   std::vector<std::unique_ptr<sim::Resource>> radios_;
   std::unique_ptr<sim::Resource> shared_medium_;
   std::vector<bool> available_;
   std::int64_t bytes_transferred_ = 0;
+  std::unordered_map<std::uint64_t, ActiveTransfer> active_;
+  std::uint64_t next_transfer_ = 1;
 };
 
 }  // namespace hidp::net

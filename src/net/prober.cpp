@@ -11,10 +11,12 @@ ProbeReport ClusterProber::probe(std::size_t leader, const std::vector<bool>& av
   report.available.assign(n, false);
   report.beta_bps.assign(n, 0.0);
   report.rtt_s.assign(n, 0.0);
+  report.degraded.assign(n, false);
   for (std::size_t j = 0; j < n; ++j) {
     if (j >= availability.size() || !availability[j]) continue;  // no response
-    report.available[j] = true;
     const LinkSpec link = spec_.link(leader, j);
+    if (j != leader && !link.up) continue;  // partitioned: probe never returns
+    report.available[j] = true;
     const double noise = noise_fraction_ > 0.0
                              ? std::max(0.5, rng.normal(1.0, noise_fraction_))
                              : 1.0;
@@ -24,6 +26,16 @@ ProbeReport ClusterProber::probe(std::size_t leader, const std::vector<bool>& av
     // moved both ways divided by measured time net of protocol latency.
     const double payload_time = std::max(rtt - 2.0 * link.latency_s, 1e-9);
     report.beta_bps[j] = j == leader ? 1e12 : 2.0 * static_cast<double>(probe_bytes_) / payload_time;
+    if (j != leader) {
+      // Degradation check against the *construction-time* link: the rate a
+      // healthy probe of this pair would measure, no scales applied.
+      const double base_bw =
+          std::min(spec_.base_radio_bw_bps(leader), spec_.base_radio_bw_bps(j));
+      const double base_beta = base_bw > 0.0 ? base_bw : 0.0;
+      if (base_beta > 0.0 && report.beta_bps[j] < degraded_threshold_ * base_beta) {
+        report.degraded[j] = true;
+      }
+    }
   }
   return report;
 }
@@ -32,7 +44,11 @@ double ClusterProber::round_cost_s(std::size_t leader) const {
   double worst = 0.0;
   for (std::size_t j = 0; j < spec_.size(); ++j) {
     if (j == leader) continue;
-    worst = std::max(worst, 2.0 * spec_.link(leader, j).transfer_s(probe_bytes_));
+    const LinkSpec link = spec_.link(leader, j);
+    // A partitioned peer never answers; the prober abandons it within the
+    // round rather than letting an infinite transfer time poison the cost.
+    if (!link.up) continue;
+    worst = std::max(worst, 2.0 * link.transfer_s(probe_bytes_));
   }
   return worst;
 }

@@ -16,21 +16,34 @@ struct ProbeReport {
   std::vector<bool> available;       ///< alpha_j per node (paper Eq. 4)
   std::vector<double> beta_bps;      ///< measured communication rate per node
   std::vector<double> rtt_s;         ///< measured round-trip times
+  /// Node answered but its measured beta fell below the degradation
+  /// threshold of its *undegraded* link to the leader: alive, reachable,
+  /// slow. A partitioned node (link down) is reported unavailable instead —
+  /// probes to it never return.
+  std::vector<bool> degraded;
   std::size_t available_count() const noexcept {
     std::size_t n = 0;
     for (bool a : available) n += a ? 1 : 0;
+    return n;
+  }
+  std::size_t degraded_count() const noexcept {
+    std::size_t n = 0;
+    for (bool d : degraded) n += d ? 1 : 0;
     return n;
   }
 };
 
 /// Probes the cluster analytically (no DES interaction): RTT = 2x link
 /// latency + 2x probe payload, with multiplicative measurement noise drawn
-/// from `rng` (set noise_fraction = 0 for deterministic probing).
+/// from `rng` (set noise_fraction = 0 for deterministic probing). The spec
+/// is probed live: radio degradation shows up as lower measured beta, a
+/// downed link as an unavailable node.
 class ClusterProber {
  public:
   ClusterProber(const NetworkSpec& spec, std::int64_t probe_bytes = 1024,
-                double noise_fraction = 0.05)
-      : spec_(spec), probe_bytes_(probe_bytes), noise_fraction_(noise_fraction) {}
+                double noise_fraction = 0.05, double degraded_threshold = 0.9)
+      : spec_(spec), probe_bytes_(probe_bytes), noise_fraction_(noise_fraction),
+        degraded_threshold_(degraded_threshold) {}
 
   /// One probing round from `leader` given current availability flags.
   ProbeReport probe(std::size_t leader, const std::vector<bool>& availability,
@@ -44,6 +57,7 @@ class ClusterProber {
   NetworkSpec spec_;
   std::int64_t probe_bytes_;
   double noise_fraction_;
+  double degraded_threshold_;
 };
 
 }  // namespace hidp::net

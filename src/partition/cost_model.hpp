@@ -15,6 +15,7 @@
 #include <memory>
 #include <optional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "dnn/cut_analysis.hpp"
@@ -48,6 +49,13 @@ class ClusterCostModel {
   const dnn::DnnGraph& graph() const noexcept { return *graph_; }
   const std::vector<platform::NodeModel>& nodes() const noexcept { return *nodes_; }
   const net::NetworkSpec& network() const noexcept { return network_; }
+
+  /// Re-points transfer pricing (transfer_s, the beta term of psi) at a new
+  /// NetworkSpec — the granular reaction to link degradation. Every
+  /// memoised table (per-node rates, prefix profiles, local-DSE decisions)
+  /// is compute- or model-derived and prices no link, so it stays valid;
+  /// only a *compute* change warrants rebuilding the model.
+  void set_network(net::NetworkSpec network) { network_ = std::move(network); }
   NodeExecutionPolicy policy() const noexcept { return policy_; }
   int bytes_per_element() const noexcept { return bytes_per_element_; }
 

@@ -53,6 +53,49 @@ void Cluster::set_dvfs_scale(std::size_t node, double scale) {
   notify(event);
 }
 
+void Cluster::set_radio_scale(std::size_t node, double bw_scale, double latency_scale) {
+  if (node >= nodes_.size()) throw std::out_of_range("Cluster::set_radio_scale");
+  if (!(bw_scale > 0.0) || !(latency_scale > 0.0)) {
+    throw std::invalid_argument("Cluster::set_radio_scale: scale <= 0");
+  }
+  const net::NetworkSpec& spec = network_->spec();
+  if (spec.bw_scale(node) == bw_scale && spec.latency_scale(node) == latency_scale) {
+    return;  // idempotent
+  }
+  // The network first: in-flight transfers re-time before observers react.
+  network_->set_radio_scale(node, bw_scale, latency_scale);
+  ++membership_epoch_;
+  NodeEvent event;
+  event.kind = NodeEvent::Kind::kLink;
+  event.node = node;
+  event.bw_scale = bw_scale;
+  event.latency_scale = latency_scale;
+  event.epoch = membership_epoch_;
+  event.time_s = sim_.now();
+  notify(event);
+}
+
+void Cluster::set_link_up(std::size_t a, std::size_t b, bool up) {
+  if (a >= nodes_.size() || b >= nodes_.size()) {
+    throw std::out_of_range("Cluster::set_link_up");
+  }
+  if (a == b) throw std::invalid_argument("Cluster::set_link_up: loopback");
+  if (network_->spec().link_up(a, b) == up) return;  // idempotent
+  // The network first: in-flight transfers on a dying link abort (failing
+  // their runs through the engine's abort callbacks) before observers
+  // sweep runs with pending transfers and invalidate caches.
+  network_->set_link_up(a, b, up);
+  ++membership_epoch_;
+  NodeEvent event;
+  event.kind = NodeEvent::Kind::kLink;
+  event.node = a;
+  event.peer = b;
+  event.link_up = up;
+  event.epoch = membership_epoch_;
+  event.time_s = sim_.now();
+  notify(event);
+}
+
 std::size_t Cluster::add_observer(std::function<void(const NodeEvent&)> observer) {
   const std::size_t id = next_observer_id_++;
   observers_.push_back(Observer{id, std::move(observer)});

@@ -1,15 +1,18 @@
 // Simulated cluster: node models + DES resources (one per processor) + the
 // wireless network, with energy integration over the run horizon.
 //
-// The Cluster is also the single authority for *dynamic* node state. Node
-// churn (failures, repairs, DVFS frequency changes) enters through
-// set_node_available() / set_dvfs_scale(): each effective change updates
-// the network and node models, bumps a monotonically increasing
-// membership_epoch(), and fans out a NodeEvent to registered observers —
-// engines fail mid-flight work, services re-validate pending requests and
-// invalidate plan caches, fleets evacuate dead shards. Mutating
-// network().set_available() directly is the deprecated back door: it
-// bypasses the epoch and the observers, so nothing reacts.
+// The Cluster is also the single authority for *dynamic* cluster state.
+// Node churn (failures, repairs, DVFS frequency changes) enters through
+// set_node_available() / set_dvfs_scale(), and link churn (radio
+// degradation, partitions) through set_radio_scale() / set_link_up(): each
+// effective change updates the network and node models, bumps a
+// monotonically increasing membership_epoch(), and fans out a NodeEvent to
+// registered observers — engines fail mid-flight work, services
+// re-validate pending requests and invalidate plan caches, fleets evacuate
+// dead or partitioned shards. The old network().set_available() back door
+// is retired: it is private to the network now (Cluster is its only
+// runtime caller), with set_available_for_test() left for network unit
+// tests that have no Cluster.
 //
 // A Cluster can also be carved into node-subset shard views (ClusterView):
 // each view is the planning scope of one fleet leader — it shares the
@@ -33,18 +36,28 @@ namespace hidp::runtime {
 
 class ClusterView;
 
-/// One effective node-state change, as delivered to observers.
+/// One effective node- or link-state change, as delivered to observers.
 struct NodeEvent {
   enum class Kind {
     kDown,  ///< node left the cluster (availability true -> false)
     kUp,    ///< node rejoined (availability false -> true)
     kDvfs,  ///< processor frequencies rescaled (compute model changed)
+    kLink,  ///< network changed: radio degradation or a link partition
   };
+  /// `peer` value for radio-wide kLink events (no specific link partner).
+  static constexpr std::size_t kNoPeer = static_cast<std::size_t>(-1);
+
   Kind kind = Kind::kDown;
   std::size_t node = 0;
   double dvfs_scale = 1.0;   ///< new scale relative to construction (kDvfs)
   std::uint64_t epoch = 0;   ///< membership_epoch() after this change
   double time_s = 0.0;       ///< simulation time of the change
+  // kLink payload: a radio rescale carries the new scales with
+  // peer == kNoPeer; a link up/down carries the (node, peer) pair.
+  std::size_t peer = kNoPeer;
+  double bw_scale = 1.0;
+  double latency_scale = 1.0;
+  bool link_up = true;
 };
 
 class Cluster {
@@ -85,16 +98,16 @@ class Cluster {
 
   // ---- dynamic node state ---------------------------------------------------
 
-  /// Monotonic version of the cluster's dynamic node state. Starts at 0 and
-  /// bumps on every *effective* set_node_available / set_dvfs_scale change
-  /// (idempotent calls are no-ops). Cached plans and shard views made under
-  /// an older epoch may be stale.
+  /// Monotonic version of the cluster's dynamic state. Starts at 0 and
+  /// bumps on every *effective* set_node_available / set_dvfs_scale /
+  /// set_radio_scale / set_link_up change (idempotent calls are no-ops).
+  /// Cached plans and shard views made under an older epoch may be stale.
   std::uint64_t membership_epoch() const noexcept { return membership_epoch_; }
 
   /// Marks a node (un)available, bumps the epoch and notifies observers.
-  /// The canonical churn entry point — use this instead of
-  /// network().set_available(), which bypasses epoch and fan-out. No-op if
-  /// the availability already matches.
+  /// The canonical churn entry point; the raw network-level availability
+  /// mutation is private to WirelessNetwork, so runtime code cannot bypass
+  /// the epoch and fan-out. No-op if the availability already matches.
   void set_node_available(std::size_t node, bool available);
 
   /// Rescales a node's processor frequencies to `scale` x their
@@ -109,6 +122,27 @@ class Cluster {
 
   /// Current DVFS scale of a node (1.0 = construction-time frequencies).
   double dvfs_scale(std::size_t node) const { return dvfs_scale_.at(node); }
+
+  /// Rescales a node's radio (bandwidth x bw_scale, protocol latency x
+  /// latency_scale; absolute, 1.0/1.0 restores the construction-time
+  /// characteristics). The canonical link-degradation entry point: the
+  /// network re-times in-flight transfers touching the node, the epoch
+  /// bumps, and a kLink NodeEvent fans out so strategies invalidate
+  /// network-priced state. No-op if both scales already match; throws on
+  /// scale <= 0.
+  void set_radio_scale(std::size_t node, double bw_scale, double latency_scale);
+  double radio_bw_scale(std::size_t node) const { return network_->spec().bw_scale(node); }
+  double radio_latency_scale(std::size_t node) const {
+    return network_->spec().latency_scale(node);
+  }
+
+  /// Partitions (up = false) or heals the (a, b) link. Taking a link down
+  /// aborts in-flight transfers crossing it (their runs fail and retry via
+  /// the service path), bumps the epoch and fans out a kLink NodeEvent
+  /// carrying the pair. No-op if the link state already matches; throws on
+  /// a == b or out-of-range endpoints.
+  void set_link_up(std::size_t a, std::size_t b, bool up);
+  bool link_up(std::size_t a, std::size_t b) const { return network_->spec().link_up(a, b); }
 
   bool node_available(std::size_t node) const { return network_->available(node); }
 

@@ -1,6 +1,7 @@
 #include "runtime/engine.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <memory>
 #include <stdexcept>
 
@@ -11,6 +12,9 @@ namespace hidp::runtime {
 /// Per-request execution state shared by task-completion callbacks.
 struct ExecutionEngine::RequestRun {
   Plan plan;
+  /// The NetworkSpec the plan was priced against — the expectation the
+  /// per-transfer straggler watchdog compares live transfers to.
+  net::NetworkSpec planned_network;
   std::vector<int> pending_deps;             ///< per task
   std::vector<std::vector<int>> dependents;  ///< reverse edges
   std::vector<char> task_done;               ///< per task, set on completion
@@ -40,6 +44,16 @@ struct ExecutionEngine::RequestRun {
   bool touches(std::size_t node) const {
     for (std::size_t i = 0; i < plan.tasks.size(); ++i) {
       if (task_touches(i, node)) return true;
+    }
+    return false;
+  }
+  /// True when any unfinished transfer of this run crosses the (a, b) link.
+  bool touches_link(std::size_t a, std::size_t b) const {
+    for (std::size_t i = 0; i < plan.tasks.size(); ++i) {
+      if (task_done[i]) continue;
+      const PlanTask& task = plan.tasks[i];
+      if (task.kind != PlanTask::Kind::kTransfer) continue;
+      if ((task.from == a && task.to == b) || (task.from == b && task.to == a)) return true;
     }
     return false;
   }
@@ -74,6 +88,10 @@ ExecutionEngine::ExecutionEngine(const ClusterView& scope, IStrategy& strategy,
   if (!scope_.contains(leader_)) throw std::invalid_argument("leader outside engine scope");
   observer_id_ = this->cluster().add_observer([this](const NodeEvent& event) {
     if (event.kind == NodeEvent::Kind::kDown) fail_runs_on(event.node);
+    if (event.kind == NodeEvent::Kind::kLink && !event.link_up &&
+        event.peer != NodeEvent::kNoPeer) {
+      fail_runs_on_link(event.node, event.peer);
+    }
   });
 }
 
@@ -140,7 +158,8 @@ void ExecutionEngine::execute(const RequestSpec& request, RequestRecord& record,
   plan_request.deadline_s = request.deadline_s;
   ClusterSnapshot& snapshot = plan_request.snapshot;
   snapshot.nodes = &cluster().nodes();
-  snapshot.network = cluster().network().spec();
+  snapshot.network = stale_network_planning_ ? cluster().network().base_spec()
+                                             : cluster().network().spec();
   snapshot.available = scope_.visible_availability();
   snapshot.leader = leader_;
   snapshot.queue_depth = in_flight_ - 1 + queued_behind;
@@ -162,8 +181,8 @@ void ExecutionEngine::execute(const RequestSpec& request, RequestRecord& record,
     done();
     return;
   }
-  dispatch_plan(request.id, std::move(plan), start, record, std::move(done),
-                std::move(on_failed));
+  dispatch_plan(request.id, std::move(plan), std::move(snapshot.network), start, record,
+                std::move(done), std::move(on_failed));
 }
 
 void ExecutionEngine::record_trace(const TaskTrace& trace) {
@@ -187,6 +206,26 @@ void ExecutionEngine::fail_runs_on(std::size_t node) {
     if (!run->failed && run->touches(node)) doomed.push_back(run);
   }
   for (const auto& run : doomed) fail_run(run);
+}
+
+void ExecutionEngine::fail_runs_on_link(std::size_t a, std::size_t b) {
+  if (active_.empty()) return;
+  // In-flight transfers on the dying link were aborted by the network
+  // before this observer fired; their runs are failed already. This sweep
+  // catches runs whose doomed transfer has not been submitted yet.
+  std::vector<std::shared_ptr<RequestRun>> doomed;
+  for (const auto& run : active_) {
+    if (!run->failed && run->touches_link(a, b)) doomed.push_back(run);
+  }
+  for (const auto& run : doomed) fail_run(run);
+}
+
+void ExecutionEngine::set_transfer_timeout_factor(double factor) {
+  if (factor != 0.0 && factor <= 1.0) {
+    throw std::invalid_argument(
+        "ExecutionEngine::set_transfer_timeout_factor: factor must be > 1 (or 0 = off)");
+  }
+  transfer_timeout_factor_ = factor;
 }
 
 void ExecutionEngine::fail_run(const std::shared_ptr<RequestRun>& run) {
@@ -239,11 +278,13 @@ bool ExecutionEngine::drain_if_failed(const std::shared_ptr<RequestRun>& run) {
   return true;
 }
 
-void ExecutionEngine::dispatch_plan(int request_id, Plan&& plan, double start_s,
+void ExecutionEngine::dispatch_plan(int request_id, Plan&& plan,
+                                    net::NetworkSpec&& planned_network, double start_s,
                                     RequestRecord& record, std::function<void()> done,
                                     std::function<void()> on_failed) {
   auto run = std::make_shared<RequestRun>();
   run->plan = std::move(plan);
+  run->planned_network = std::move(planned_network);
   run->record = &record;
   run->request_id = request_id;
   run->done = std::move(done);
@@ -322,6 +363,18 @@ void ExecutionEngine::dispatch_plan(int request_id, Plan&& plan, double start_s,
         break;
       }
       case PlanTask::Kind::kTransfer: {
+        // The link may have partitioned since planning: fail the request
+        // into the replan path instead of throwing out of the DES.
+        if (task.from != task.to && !cluster().network().spec().link_up(task.from, task.to)) {
+          fail_run(run);
+          return;
+        }
+        double timeout_s = 0.0;
+        if (transfer_timeout_factor_ > 0.0 && task.from != task.to) {
+          const double expected =
+              run->planned_network.link(task.from, task.to).transfer_s(task.bytes);
+          if (std::isfinite(expected)) timeout_s = expected * transfer_timeout_factor_;
+        }
         ++run->outstanding;
         cluster().network().transfer(
             task.from, task.to, task.bytes, now,
@@ -330,7 +383,14 @@ void ExecutionEngine::dispatch_plan(int request_id, Plan&& plan, double start_s,
               record_trace(TaskTrace{run->request_id, task.kind, task.from, 0, now, end, 0.0,
                                      task.bytes});
               (*on_done)(index);
-            });
+            },
+            [this, run](const net::TransferAbort&) {
+              // The abort replaces this transfer's delivery callback: drain
+              // it, then fail the run (unless churn got there first).
+              if (drain_if_failed(run)) return;
+              fail_run(run);
+            },
+            timeout_s);
         break;
       }
       case PlanTask::Kind::kLocalExchange: {

@@ -190,11 +190,28 @@ class ExecutionEngine {
   /// the plans they were dispatched with.
   void rescope(const ClusterView& scope);
 
+  /// Per-transfer straggler watchdog: each dispatched transfer is given
+  /// `factor` x its plan-time expected duration before the network aborts
+  /// it (failing the run into the on_failed replan path). Detects silently
+  /// degraded links that would otherwise ride a crawling transfer to the
+  /// deadline. 0 (default) disables the watchdog — runs are then
+  /// bit-identical to pre-watchdog behaviour. Factors <= 1 would expire
+  /// healthy transfers; throw.
+  void set_transfer_timeout_factor(double factor);
+  double transfer_timeout_factor() const noexcept { return transfer_timeout_factor_; }
+
+  /// Plan against the construction-time NetworkSpec instead of the live
+  /// (possibly degraded) one — the "stale betas" contrast configuration of
+  /// the degradation bench. Execution still runs on the live network.
+  void set_stale_network_planning(bool stale) noexcept { stale_network_planning_ = stale; }
+  bool stale_network_planning() const noexcept { return stale_network_planning_; }
+
  private:
   struct RequestRun;
 
-  void dispatch_plan(int request_id, Plan&& plan, double start_s, RequestRecord& record,
-                     std::function<void()> done, std::function<void()> on_failed);
+  void dispatch_plan(int request_id, Plan&& plan, net::NetworkSpec&& planned_network,
+                     double start_s, RequestRecord& record, std::function<void()> done,
+                     std::function<void()> on_failed);
   void record_trace(const TaskTrace& trace);
   /// Stamps the terminal outcome once `finish_s` is known.
   static void finalize_record(RequestRecord& record);
@@ -204,6 +221,10 @@ class ExecutionEngine {
   /// Churn reaction: fails every active run with unfinished work touching
   /// `node` at the current instant (stamps kFailed, fires on_failed/done).
   void fail_runs_on(std::size_t node);
+  /// Partition reaction: fails every active run with a *pending* transfer
+  /// crossing the (a, b) link. In-flight transfers on that link were
+  /// already aborted (and their runs failed) by the network itself.
+  void fail_runs_on_link(std::size_t a, std::size_t b);
   /// Fails one active run (must still be registered in active_).
   void fail_run(const std::shared_ptr<RequestRun>& run);
   void unregister(const RequestRun* run);
@@ -218,6 +239,8 @@ class ExecutionEngine {
   ClusterView scope_;
   IStrategy* strategy_;
   std::size_t leader_;
+  double transfer_timeout_factor_ = 0.0;  ///< 0 = no per-transfer watchdog
+  bool stale_network_planning_ = false;
   int in_flight_ = 0;
   double makespan_s_ = 0.0;
   std::size_t trace_capacity_ = static_cast<std::size_t>(-1);

@@ -171,10 +171,15 @@ std::size_t ServiceFleet::shard_of(std::size_t node) const {
 
 bool ServiceFleet::shard_dead(std::size_t index) const {
   const ExecutionEngine& engine = shards_[index].service->engine();
-  if (!cluster_->node_available(engine.leader())) return true;
+  const std::size_t leader = engine.leader();
+  if (!cluster_->node_available(leader)) return true;
   std::size_t live = 0;
   for (const std::size_t node : engine.scope().members()) {
-    if (cluster_->node_available(node)) ++live;
+    // A worker partitioned from its leader is as useless to the shard as a
+    // crashed one: the leader cannot ship it work or collect results.
+    if (!cluster_->node_available(node)) continue;
+    if (node != leader && !cluster_->link_up(leader, node)) continue;
+    ++live;
   }
   return live < options_.failover.min_live_nodes;
 }
@@ -207,6 +212,14 @@ void ServiceFleet::on_node_event(const NodeEvent& event) {
     // A repaired shard may have free capacity again: let stealing pull
     // backlog toward it, and drain anything parked meanwhile.
     rebalance();
+  } else if (event.kind == NodeEvent::Kind::kLink && event.peer != NodeEvent::kNoPeer) {
+    if (!event.link_up) {
+      // A partition can starve a shard below min_live_nodes without any
+      // node going down — same evacuation as a crash.
+      evacuate_dead_shards();
+    } else {
+      rebalance();
+    }
   }
 }
 

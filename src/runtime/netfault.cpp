@@ -1,0 +1,103 @@
+#include "runtime/netfault.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hidp::runtime {
+
+ScriptedDegradation::ScriptedDegradation(std::vector<NetEvent> events)
+    : events_(std::move(events)) {
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const NetEvent& a, const NetEvent& b) { return a.time_s < b.time_s; });
+}
+
+std::optional<NetEvent> ScriptedDegradation::next(double now_s) {
+  (void)now_s;
+  if (cursor_ >= events_.size()) return std::nullopt;
+  return events_[cursor_++];
+}
+
+GilbertElliottDegradation::GilbertElliottDegradation(Options options)
+    : options_(std::move(options)), rng_(options_.seed) {
+  if (!(options_.good_s > 0.0) || !(options_.bad_s > 0.0)) {
+    throw std::invalid_argument("GilbertElliottDegradation: good_s and bad_s must be > 0");
+  }
+  if (!(options_.bad_bw_scale > 0.0) || !(options_.bad_latency_scale > 0.0)) {
+    throw std::invalid_argument("GilbertElliottDegradation: bad scales must be > 0");
+  }
+  if (!(options_.horizon_s > 0.0)) {
+    throw std::invalid_argument("GilbertElliottDegradation: horizon_s must be > 0");
+  }
+  if (options_.nodes.empty()) {
+    throw std::invalid_argument("GilbertElliottDegradation: no target nodes");
+  }
+  states_.reserve(options_.nodes.size());
+  // One fixed rng draw order (node order at construction, then strictly by
+  // event time) — identical seeds reproduce identical event streams.
+  for (const std::size_t node : options_.nodes) {
+    NodeState state;
+    state.node = node;
+    state.good = true;
+    state.next_s = options_.start_s + rng_.exponential(1.0 / options_.good_s);
+    states_.push_back(state);
+  }
+}
+
+std::optional<NetEvent> GilbertElliottDegradation::next(double now_s) {
+  (void)now_s;
+  NodeState* soonest = nullptr;
+  for (NodeState& state : states_) {
+    if (state.next_s >= options_.horizon_s) continue;
+    if (soonest == nullptr || state.next_s < soonest->next_s ||
+        (state.next_s == soonest->next_s && state.node < soonest->node)) {
+      soonest = &state;
+    }
+  }
+  if (soonest == nullptr) return std::nullopt;
+  NetEvent event;
+  event.time_s = soonest->next_s;
+  event.action = NetEvent::Action::kRadioScale;
+  event.node = soonest->node;
+  if (soonest->good) {
+    event.bw_scale = options_.bad_bw_scale;
+    event.latency_scale = options_.bad_latency_scale;
+  } else {
+    event.bw_scale = 1.0;
+    event.latency_scale = 1.0;
+  }
+  const double hold =
+      rng_.exponential(1.0 / (soonest->good ? options_.bad_s : options_.good_s));
+  soonest->good = !soonest->good;
+  soonest->next_s += hold;
+  return event;
+}
+
+void NetFaultInjector::start() {
+  if (started_) return;
+  started_ = true;
+  schedule_next();
+}
+
+void NetFaultInjector::schedule_next() {
+  const auto event = process_->next(cluster_->simulator().now());
+  if (!event) return;
+  cluster_->simulator().schedule_at(event->time_s, [this, e = *event] { apply(e); });
+}
+
+void NetFaultInjector::apply(const NetEvent& event) {
+  switch (event.action) {
+    case NetEvent::Action::kRadioScale:
+      cluster_->set_radio_scale(event.node, event.bw_scale, event.latency_scale);
+      break;
+    case NetEvent::Action::kLinkDown:
+      cluster_->set_link_up(event.node, event.peer, false);
+      break;
+    case NetEvent::Action::kLinkUp:
+      cluster_->set_link_up(event.node, event.peer, true);
+      break;
+  }
+  ++applied_;
+  schedule_next();
+}
+
+}  // namespace hidp::runtime

@@ -1,0 +1,125 @@
+// Network-fault processes: DES-injected link degradation and partitions.
+//
+// The network-side sibling of runtime/churn.hpp. Where ChurnProcess emits
+// node failures/repairs/DVFS changes, NetDegradationProcess emits radio
+// rescales and link up/down flips that a NetFaultInjector replays onto the
+// shared DES clock through Cluster::set_radio_scale() / set_link_up() —
+// so in-flight transfers re-time or abort, cost models re-price, plan
+// caches invalidate, and fleets route around partitions, all through the
+// cluster's observer fan-out. Two processes ship:
+//
+//  * ScriptedDegradation     — replay an explicit, time-sorted trace;
+//  * GilbertElliottDegradation — per-node bursty good/bad radio model
+//                              (exponential holds, deterministic per seed,
+//                              bounded by a horizon).
+//
+// A run with no degradation attached is bit-identical to one predating
+// this subsystem: the injector only schedules events the process emits.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "runtime/cluster.hpp"
+#include "util/rng.hpp"
+
+namespace hidp::runtime {
+
+/// One timed network-state change.
+struct NetEvent {
+  enum class Action {
+    kRadioScale,  ///< node's radio rescales to (bw_scale, latency_scale)
+    kLinkDown,    ///< the (node, peer) link partitions
+    kLinkUp,      ///< the (node, peer) link heals
+  };
+  double time_s = 0.0;
+  Action action = Action::kRadioScale;
+  std::size_t node = 0;
+  std::size_t peer = 0;       ///< only meaningful for kLinkDown / kLinkUp
+  double bw_scale = 1.0;      ///< only meaningful for kRadioScale
+  double latency_scale = 1.0; ///< only meaningful for kRadioScale
+};
+
+/// Pluggable source of degradation events. Polled lazily like
+/// ChurnProcess: after applying one event the injector asks for the next.
+/// Returned events must be non-decreasing in time.
+class NetDegradationProcess {
+ public:
+  virtual ~NetDegradationProcess() = default;
+  /// Next event, or nullopt when the process is exhausted.
+  virtual std::optional<NetEvent> next(double now_s) = 0;
+};
+
+/// Replays an explicit trace (sorted by time on construction; ties keep
+/// their construction order).
+class ScriptedDegradation : public NetDegradationProcess {
+ public:
+  explicit ScriptedDegradation(std::vector<NetEvent> events);
+  std::optional<NetEvent> next(double now_s) override;
+
+ private:
+  std::vector<NetEvent> events_;
+  std::size_t cursor_ = 0;
+};
+
+/// Bursty radio quality per the Gilbert–Elliott channel model: each
+/// targeted node's radio alternates between a good state (base
+/// characteristics) and a bad state (bandwidth x bad_bw_scale, latency x
+/// bad_latency_scale), with exponential hold times. Deterministic per
+/// seed; events at/after `horizon_s` are never emitted.
+class GilbertElliottDegradation : public NetDegradationProcess {
+ public:
+  struct Options {
+    /// Node indices whose radios degrade; must be non-empty.
+    std::vector<std::size_t> nodes;
+    double good_s = 1.0;           ///< mean good-state hold (> 0)
+    double bad_s = 0.25;           ///< mean bad-state hold (> 0)
+    double bad_bw_scale = 0.1;     ///< bandwidth multiplier while bad (> 0)
+    double bad_latency_scale = 1.0;///< latency multiplier while bad (> 0)
+    double horizon_s = 0.0;        ///< no events at/after this time (> 0)
+    double start_s = 0.0;          ///< first bad transition draws from here
+    std::uint64_t seed = 1;
+  };
+
+  explicit GilbertElliottDegradation(Options options);
+  std::optional<NetEvent> next(double now_s) override;
+
+ private:
+  struct NodeState {
+    std::size_t node = 0;
+    double next_s = 0.0;
+    bool good = true;  ///< next transition degrades (true) or heals (false)
+  };
+
+  Options options_;
+  util::Rng rng_;
+  std::vector<NodeState> states_;
+};
+
+/// Schedules a NetDegradationProcess's events on the cluster's simulator
+/// and applies them through the Cluster's canonical link-churn entry
+/// points. Pull-based like ChurnInjector: the event queue holds at most
+/// one degradation event at a time. The cluster and process must outlive
+/// the injector; start() may be called once, before or during the run.
+class NetFaultInjector {
+ public:
+  NetFaultInjector(Cluster& cluster, NetDegradationProcess& process)
+      : cluster_(&cluster), process_(&process) {}
+
+  /// Schedules the first event. Safe to call with an exhausted process.
+  void start();
+
+  /// Events applied so far (rescales + partitions + heals).
+  std::size_t applied() const noexcept { return applied_; }
+
+ private:
+  void schedule_next();
+  void apply(const NetEvent& event);
+
+  Cluster* cluster_;
+  NetDegradationProcess* process_;
+  std::size_t applied_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace hidp::runtime

@@ -37,15 +37,28 @@ InferenceService::~InferenceService() {
 }
 
 void InferenceService::observe_cluster() {
+  engine_->set_transfer_timeout_factor(options_.transfer_timeout_factor);
+  engine_->set_stale_network_planning(options_.stale_network_planning);
   // Fires after the engine's own observer (registered at engine
   // construction) failed mid-flight work, so retries triggered there
   // already planned against the post-churn availability.
   observer_id_ = engine_->cluster().add_observer([this](const NodeEvent& event) {
     // Eager strategy invalidation: churn reaches the plan cache at the
     // event instant instead of being detected as drift at the next plan.
-    engine_->strategy().on_node_event(event);
-    if (event.kind == NodeEvent::Kind::kUp && engine_->scope().contains(event.node)) {
-      // A repair can resurrect a parked shard: resume dispatching.
+    // A stale-planning service deliberately stays blind to link events —
+    // its strategy keeps pricing the construction-time network.
+    if (event.kind != NodeEvent::Kind::kLink || !options_.stale_network_planning) {
+      engine_->strategy().on_node_event(event);
+    }
+    const bool node_back =
+        event.kind == NodeEvent::Kind::kUp && engine_->scope().contains(event.node);
+    // A restored link can un-partition a parked shard the same way a node
+    // repair can; resume dispatching when either endpoint is in scope.
+    const bool link_back =
+        event.kind == NodeEvent::Kind::kLink && event.link_up &&
+        event.peer != NodeEvent::kNoPeer &&
+        (engine_->scope().contains(event.node) || engine_->scope().contains(event.peer));
+    if (node_back || link_back) {
       dispatch_next();
       notify_state();
     }

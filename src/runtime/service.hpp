@@ -87,6 +87,17 @@ struct ServiceOptions {
   /// shards never steal. Ignored under bounded admission, where free
   /// dispatch slots are the capacity signal.
   double steal_backlog_s = 0.0;
+  /// Per-transfer watchdog: a transfer that has not delivered within
+  /// (planned transfer time x this factor) aborts, failing the run into the
+  /// same bounded-retry replan path as churn. Detects links degraded
+  /// *after* planning — the replan prices the degraded spec and routes
+  /// around it. 0 (default) disables the watchdog; values in (0, 1] would
+  /// time out healthy transfers, so the engine rejects them.
+  double transfer_timeout_factor = 0.0;
+  /// Contrast knob for the degradation bench: plan every request against
+  /// the construction-time NetworkSpec and ignore link events, as if the
+  /// service never noticed degradation. Never enable outside experiments.
+  bool stale_network_planning = false;
 };
 
 /// Per-QoS-class slice of the lifecycle counters. Balances like the

@@ -1,6 +1,7 @@
 #include "sim/resource.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace hidp::sim {
 
@@ -11,11 +12,32 @@ std::uint64_t Resource::submit(Time earliest_start, Time duration,
   const Time end = start + std::max(duration, 0.0);
   free_at_ = end;
   busy_time_ += end - start;
-  intervals_.push_back(BusyInterval{start, end, job});
+  intervals_.push_back(BusyInterval{start, end, job, on_done != nullptr});
   if (on_done) {
     sim_->schedule_at(end, [cb = std::move(on_done), end] { cb(end); });
   }
   return job;
+}
+
+void Resource::adjust_job_end(std::uint64_t job, Time new_end) {
+  // Recent jobs live at the tail; degradation only ever re-times active
+  // transfers, so scan backwards.
+  for (auto it = intervals_.rbegin(); it != intervals_.rend(); ++it) {
+    BusyInterval& interval = *it;
+    if (interval.job_id != job) continue;
+    if (interval.has_callback) {
+      throw std::logic_error("Resource::adjust_job_end: job has a scheduled completion");
+    }
+    new_end = std::max(new_end, interval.start);
+    busy_time_ += new_end - interval.end;
+    // FIFO admission makes interval ends monotone, so the last interval is
+    // the watermark owner; earlier jobs' windows are already fenced off by
+    // their successors' admitted start times.
+    if (&interval == &intervals_.back()) free_at_ = new_end;
+    interval.end = new_end;
+    return;
+  }
+  throw std::out_of_range("Resource::adjust_job_end: unknown job");
 }
 
 }  // namespace hidp::sim

@@ -19,6 +19,7 @@ struct BusyInterval {
   Time start = 0.0;
   Time end = 0.0;
   std::uint64_t job_id = 0;
+  bool has_callback = false;  ///< a completion event is already scheduled
   double duration() const noexcept { return end - start; }
 };
 
@@ -52,6 +53,15 @@ class Resource {
 
   /// Number of jobs executed or queued.
   std::uint64_t jobs_submitted() const noexcept { return next_job_; }
+
+  /// Re-times a queued/running job's end (mid-flight transfer degradation
+  /// or abort): busy accounting shrinks or grows by the delta, and the
+  /// free-at watermark follows when the job is the most recent one. The
+  /// new end is clamped to the job's start (a fully-aborted job keeps a
+  /// zero-length interval). Jobs submitted with an on_done callback cannot
+  /// be re-timed (their completion event is already scheduled); the caller
+  /// owning the completion event re-times only callback-less jobs.
+  void adjust_job_end(std::uint64_t job, Time new_end);
 
  private:
   Simulator* sim_;

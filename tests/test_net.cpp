@@ -92,7 +92,7 @@ TEST(WirelessNetwork, LoopbackSkipsRadio) {
 TEST(WirelessNetwork, UnavailableNodeRejectsTransfers) {
   sim::Simulator sim;
   WirelessNetwork net(sim, platform::paper_cluster());
-  net.set_available(2, false);
+  net.set_available_for_test(2, false);
   EXPECT_FALSE(net.available(2));
   EXPECT_THROW(net.transfer(0, 2, 100, 0.0, [](sim::Time) {}), std::runtime_error);
   EXPECT_THROW(net.transfer(2, 0, 100, 0.0, [](sim::Time) {}), std::runtime_error);

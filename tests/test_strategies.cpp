@@ -393,7 +393,7 @@ class CountingStrategy : public core::CachingStrategyBase {
     plan.nodes_used = 1;
     entry.plan = std::move(plan);
   }
-  void on_cluster_change() override {}
+  void on_cluster_change(core::ClusterChange) override {}
 };
 
 TEST(PlanCacheWideClusters, BeyondSixtyFourNodesStillCaches) {
