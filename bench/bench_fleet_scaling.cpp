@@ -13,6 +13,11 @@
 // shard's requests while the on-configuration evacuates them — and that
 // claim is part of the bench's exit-code contract.
 //
+// And continuous batching: a same-model storm where coalescing arrivals
+// into shared plans amortises per-layer dispatch overhead. Batched must
+// complete strictly more at a no-worse p99, and max_batch=1 must be
+// bit-identical to the default serving path (exit codes 6/7).
+//
 // Output: a human-readable table on stdout plus BENCH_fleet.json in the
 // working directory. `--smoke` runs tiny request counts so CI can catch
 // build rot without paying full measurement time.
@@ -53,6 +58,8 @@ struct FleetResult {
   std::size_t steals = 0;
   std::size_t evacuations = 0;
   std::size_t churn_events = 0;
+  std::size_t groups = 0;
+  std::size_t batched = 0;
   double makespan_s = 0.0;
   double completed_per_s = 0.0;
   double p50_s = 0.0;
@@ -65,6 +72,8 @@ struct RunTuning {
   double transfer_timeout_factor = 0.0;
   bool stale_network_planning = false;
   std::size_t max_retries = 1;
+  std::size_t max_batch = 1;
+  double max_wait_s = 0.0;
 };
 
 FleetResult run_fleet(const std::string& config, std::size_t shard_count,
@@ -91,6 +100,8 @@ FleetResult run_fleet(const std::string& config, std::size_t shard_count,
     shard.service.transfer_timeout_factor = tuning.transfer_timeout_factor;
     shard.service.stale_network_planning = tuning.stale_network_planning;
     shard.service.max_retries = tuning.max_retries;
+    shard.service.max_batch = tuning.max_batch;
+    shard.service.max_wait_s = tuning.max_wait_s;
     shards.push_back(std::move(shard));
   }
   runtime::FleetOptions options;
@@ -125,6 +136,8 @@ FleetResult run_fleet(const std::string& config, std::size_t shard_count,
   result.failed = stats.failed;
   result.steals = fleet.steals();
   result.evacuations = fleet.evacuations();
+  result.groups = stats.groups_dispatched;
+  result.batched = stats.batched_requests;
   for (const auto& injector : injectors) result.churn_events += injector->applied();
   for (const auto& injector : net_injectors) result.churn_events += injector->applied();
   result.makespan_s = metrics.makespan_s;
@@ -321,6 +334,57 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Batching study: a same-model storm (every request is EfficientNet-B0,
+  // the dispatch-bound zoo member) against one whole-cluster shard, batched
+  // vs unbatched under identical nodes and admission. Grouped requests
+  // share one planned run, so the per-layer dispatch overhead — the
+  // dominant cost for this model — is paid once per group instead of once
+  // per request. Batched must complete strictly more at a no-worse p99,
+  // and max_batch=1 must leave the serving path bit-identical to the
+  // default options (the batching machinery is free until it is enabled) —
+  // both claims are part of the exit-code contract below.
+  std::vector<runtime::RequestRecord> storm_baseline_records;
+  {
+    runtime::LeastLoadedRouting routing_unbatched, routing_batched;
+    results.push_back(run_fleet("storm-unbatched", 1, skew_stream, routing_unbatched,
+                                /*work_stealing=*/false, {}, /*failover=*/false, {}, {},
+                                &storm_baseline_records));
+    RunTuning batched_tuning;
+    batched_tuning.max_batch = 8;
+    batched_tuning.max_wait_s = 0.004;  // two arrival intervals
+    results.push_back(run_fleet("storm-batched", 1, skew_stream, routing_batched,
+                                /*work_stealing=*/false, {}, /*failover=*/false, {},
+                                batched_tuning));
+  }
+  const FleetResult& storm_unbatched = results[results.size() - 2];
+  const FleetResult& storm_batched = results[results.size() - 1];
+  const bool batching_wins = storm_batched.completed > storm_unbatched.completed &&
+                             storm_batched.p99_s <= storm_unbatched.p99_s;
+
+  // max_batch=1 control: with batching disabled the hold timer, group
+  // formation and join paths must never engage — records bit-identical to
+  // the default-options storm run above.
+  bool batch_one_identical = true;
+  {
+    runtime::LeastLoadedRouting routing_one;
+    std::vector<runtime::RequestRecord> one_records;
+    RunTuning one_tuning;
+    one_tuning.max_batch = 1;
+    one_tuning.max_wait_s = 0.004;  // must be inert while max_batch <= 1
+    run_fleet("control-batch-one", 1, skew_stream, routing_one,
+              /*work_stealing=*/false, {}, /*failover=*/false, {}, one_tuning,
+              &one_records);
+    batch_one_identical = one_records.size() == storm_baseline_records.size();
+    for (std::size_t i = 0; batch_one_identical && i < one_records.size(); ++i) {
+      batch_one_identical =
+          one_records[i].id == storm_baseline_records[i].id &&
+          one_records[i].outcome == storm_baseline_records[i].outcome &&
+          one_records[i].dispatch_s == storm_baseline_records[i].dispatch_s &&
+          one_records[i].finish_s == storm_baseline_records[i].finish_s &&
+          one_records[i].flops == storm_baseline_records[i].flops;
+    }
+  }
+
   std::cout << "fleet scaling (" << (smoke ? "smoke" : "full") << ", " << count
             << " requests)\n";
   for (const FleetResult& r : results) {
@@ -328,6 +392,7 @@ int main(int argc, char** argv) {
               << " rejected=" << r.rejected << " dropped=" << r.dropped
               << " failed=" << r.failed << " steals=" << r.steals
               << " evacuations=" << r.evacuations << " churn_events=" << r.churn_events
+              << " groups=" << r.groups << " batched=" << r.batched
               << " completed/s=" << r.completed_per_s << " p50=" << r.p50_s
               << "s p99=" << r.p99_s << "s\n";
   }
@@ -338,6 +403,10 @@ int main(int argc, char** argv) {
             << (degradation_aware_wins ? "yes" : "NO") << "\n";
   std::cout << "  zero-degradation stale/aware runs bit-identical: "
             << (zero_degradation_identical ? "yes" : "NO") << "\n";
+  std::cout << "  batched storm completes more at no-worse p99: "
+            << (batching_wins ? "yes" : "NO") << "\n";
+  std::cout << "  max_batch=1 storm bit-identical to default options: "
+            << (batch_one_identical ? "yes" : "NO") << "\n";
 
   std::ofstream out(out_path);
   if (!out) {
@@ -350,27 +419,34 @@ int main(int argc, char** argv) {
       << ",\n  \"failover_wins_under_churn\": " << (failover_wins ? "true" : "false")
       << ",\n  \"degradation_aware_wins\": " << (degradation_aware_wins ? "true" : "false")
       << ",\n  \"zero_degradation_identical\": "
-      << (zero_degradation_identical ? "true" : "false") << ",\n  \"results\": [\n";
+      << (zero_degradation_identical ? "true" : "false")
+      << ",\n  \"batching_wins\": " << (batching_wins ? "true" : "false")
+      << ",\n  \"batch_one_identical\": " << (batch_one_identical ? "true" : "false")
+      << ",\n  \"results\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const FleetResult& r = results[i];
     out << "    {\"config\": \"" << r.config << "\", \"shards\": " << r.shards
         << ", \"completed\": " << r.completed << ", \"rejected\": " << r.rejected
         << ", \"dropped\": " << r.dropped << ", \"failed\": " << r.failed
         << ", \"steals\": " << r.steals << ", \"evacuations\": " << r.evacuations
-        << ", \"churn_events\": " << r.churn_events << ", \"makespan_s\": " << r.makespan_s
+        << ", \"churn_events\": " << r.churn_events << ", \"groups\": " << r.groups
+        << ", \"batched\": " << r.batched << ", \"makespan_s\": " << r.makespan_s
         << ", \"completed_per_s\": " << r.completed_per_s << ", \"p50_s\": " << r.p50_s
         << ", \"p99_s\": " << r.p99_s << "}" << (i + 1 < results.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
   std::cout << "wrote " << out_path << "\n";
-  // All four claims are part of the bench's contract; fail loudly (CI runs
+  // All six claims are part of the bench's contract; fail loudly (CI runs
   // --smoke) if carving the same nodes into more shards stops paying off,
   // if failover stops beating failover-off under churn, if degradation-aware
-  // planning stops beating stale betas, or if the degradation machinery
-  // perturbs healthy runs.
+  // planning stops beating stale betas, if the degradation machinery
+  // perturbs healthy runs, if batching stops paying for the same-model
+  // storm, or if disabled batching perturbs the serving path.
   if (!monotonic) return 2;
   if (!failover_wins) return 3;
   if (!degradation_aware_wins) return 4;
   if (!zero_degradation_identical) return 5;
+  if (!batching_wins) return 6;
+  if (!batch_one_identical) return 7;
   return 0;
 }

@@ -42,14 +42,18 @@ class BaselineStrategy : public core::CachingStrategyBase {
         policy_(policy), bytes_per_element_(bytes_per_element) {}
 
   partition::ClusterCostModel& cost_model(const dnn::DnnGraph& model,
-                                          const runtime::ClusterSnapshot& snap) {
-    auto it = cost_models_.find(&model);
+                                          const runtime::ClusterSnapshot& snap,
+                                          int batch = 1) {
+    const CostModelKey key{&model, batch};
+    auto it = cost_models_.find(key);
     if (it == cost_models_.end()) {
       it = cost_models_
-               .emplace(&model,
+               .emplace(key,
                         CachedCostModel{std::make_unique<partition::ClusterCostModel>(
                                             model, *snap.nodes, snap.network, policy_,
-                                            bytes_per_element_),
+                                            bytes_per_element_,
+                                            partition::ClusterCostModel::kDefaultMaxCandidates,
+                                            batch),
                                         network_version_})
                .first;
     } else if (it->second.network_version != network_version_) {
@@ -72,6 +76,21 @@ class BaselineStrategy : public core::CachingStrategyBase {
     std::unique_ptr<partition::ClusterCostModel> model;
     std::uint64_t network_version = 0;
   };
+  /// Cost models cache per (graph, batch size): batched groups price
+  /// scaled FLOPs/bytes tables, so each batch bucket keeps its own memos.
+  struct CostModelKey {
+    const dnn::DnnGraph* model = nullptr;
+    int batch = 1;
+    bool operator==(const CostModelKey& other) const noexcept {
+      return model == other.model && batch == other.batch;
+    }
+  };
+  struct CostModelKeyHash {
+    std::size_t operator()(const CostModelKey& key) const noexcept {
+      return std::hash<const void*>()(key.model) ^
+             (static_cast<std::size_t>(key.batch) * 0x9e3779b97f4a7c15ULL);
+    }
+  };
 
   static CachePolicy make_policy(double planning_latency_s,
                                  const PlanCacheOptions& cache_options,
@@ -88,7 +107,7 @@ class BaselineStrategy : public core::CachingStrategyBase {
   partition::NodeExecutionPolicy policy_;
   int bytes_per_element_;
   std::uint64_t network_version_ = 0;
-  std::unordered_map<const dnn::DnnGraph*, CachedCostModel> cost_models_;
+  std::unordered_map<CostModelKey, CachedCostModel, CostModelKeyHash> cost_models_;
 };
 
 /// Available workers (leader first, then by descending default-policy rate).

@@ -9,7 +9,7 @@ void DisnetStrategy::plan_fresh(const runtime::PlanRequest& request,
                                 const std::vector<bool>& available,
                                 core::CachedPlanEntry& entry) {
   const runtime::ClusterSnapshot& snap = request.snapshot;
-  partition::ClusterCostModel& cost = cost_model(request.graph(), snap);
+  partition::ClusterCostModel& cost = cost_model(request.graph(), snap, request.batch);
   const std::vector<std::size_t> workers = default_worker_order(cost, snap.leader, available);
 
   // Heuristic hybrid choice: greedy model split vs. proportional data

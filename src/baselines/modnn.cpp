@@ -9,7 +9,7 @@ void ModnnStrategy::plan_fresh(const runtime::PlanRequest& request,
                                const std::vector<bool>& available,
                                core::CachedPlanEntry& entry) {
   const runtime::ClusterSnapshot& snap = request.snapshot;
-  partition::ClusterCostModel& cost = cost_model(request.graph(), snap);
+  partition::ClusterCostModel& cost = cost_model(request.graph(), snap, request.batch);
   const std::vector<std::size_t> workers = default_worker_order(cost, snap.leader, available);
 
   const auto data = partition::plan_best_data_partition(cost, workers, snap.leader);

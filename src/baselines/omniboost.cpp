@@ -46,7 +46,7 @@ void OmniboostStrategy::plan_fresh(const runtime::PlanRequest& request,
                                    const std::vector<bool>& available,
                                    core::CachedPlanEntry& entry) {
   const runtime::ClusterSnapshot& snap = request.snapshot;
-  partition::ClusterCostModel& cost = cost_model(request.graph(), snap);
+  partition::ClusterCostModel& cost = cost_model(request.graph(), snap, request.batch);
   const std::vector<std::size_t> workers = default_worker_order(cost, snap.leader, available);
   const std::vector<ProcStage> stages = build_stages(cost, workers);
 

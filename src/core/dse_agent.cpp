@@ -28,6 +28,7 @@ std::size_t GlobalDecisionKeyHash::operator()(const GlobalDecisionKey& key) cons
   // wide_mask, so the words need no re-mixing here.
   h.mix(key.availability_mask);
   h.mix(static_cast<std::uint64_t>(key.queue_bucket));
+  h.mix(static_cast<std::uint64_t>(key.batch));
   return static_cast<std::size_t>(h.digest());
 }
 

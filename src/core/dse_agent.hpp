@@ -72,11 +72,14 @@ struct GlobalDecisionKey {
   /// Exact availability bit-words for > 64-node clusters; empty otherwise.
   std::vector<std::uint64_t> wide_mask;
   int queue_bucket = 0;
+  /// Batch size the plan was priced for (continuous batching): one cold
+  /// analysis per (situation, batch) serves every group of that size.
+  int batch = 1;
   bool operator==(const GlobalDecisionKey& other) const noexcept {
     return model == other.model && model_layers == other.model_layers &&
            model_flops == other.model_flops && leader == other.leader &&
            availability_mask == other.availability_mask && wide_mask == other.wide_mask &&
-           queue_bucket == other.queue_bucket;
+           queue_bucket == other.queue_bucket && batch == other.batch;
   }
 };
 

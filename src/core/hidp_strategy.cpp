@@ -22,14 +22,16 @@ HidpStrategy::HidpStrategy(Options options)
       last_fsm_(std::make_unique<RuntimeSchedulerFsm>(FsmRole::kLeader)) {}
 
 partition::ClusterCostModel& HidpStrategy::cost_model(const dnn::DnnGraph& model,
-                                                      const runtime::ClusterSnapshot& snap) {
-  auto it = cost_models_.find(&model);
+                                                      const runtime::ClusterSnapshot& snap,
+                                                      int batch) {
+  const CostModelKey key{&model, batch};
+  auto it = cost_models_.find(key);
   if (it == cost_models_.end()) {
     auto cost = std::make_unique<partition::ClusterCostModel>(
         model, *snap.nodes, snap.network, partition::NodeExecutionPolicy::kHierarchicalLocal,
-        options_.bytes_per_element);
+        options_.bytes_per_element, partition::ClusterCostModel::kDefaultMaxCandidates, batch);
     cost->set_local_search_space(options_.local_search);
-    it = cost_models_.emplace(&model, CachedCostModel{std::move(cost), network_version_}).first;
+    it = cost_models_.emplace(key, CachedCostModel{std::move(cost), network_version_}).first;
   } else if (it->second.network_version != network_version_) {
     // Link state changed since this model last priced a transfer: re-point
     // it at the snapshot's spec, keeping the compute and local-DSE memos.
@@ -53,7 +55,7 @@ double HidpStrategy::analyze(const runtime::PlanRequest& request,
 void HidpStrategy::plan_fresh(const runtime::PlanRequest& request,
                               const std::vector<bool>& available, CachedPlanEntry& entry) {
   const runtime::ClusterSnapshot& snap = request.snapshot;
-  partition::ClusterCostModel& cost = cost_model(request.graph(), snap);
+  partition::ClusterCostModel& cost = cost_model(request.graph(), snap, request.batch);
   entry.plan = global_.partition(cost, snap.leader, available, snap.queue_depth, name(),
                                  &entry.decision);
   entry.has_decision = true;

@@ -93,11 +93,26 @@ class HidpStrategy : public CachingStrategyBase {
     std::unique_ptr<partition::ClusterCostModel> model;
     std::uint64_t network_version = 0;  ///< version the model last priced
   };
+  /// Cost models are cached per (graph, batch size): batched groups price
+  /// scaled FLOPs/bytes tables, and each batch bucket keeps its own memos.
+  struct CostModelKey {
+    const dnn::DnnGraph* model = nullptr;
+    int batch = 1;
+    bool operator==(const CostModelKey& other) const noexcept {
+      return model == other.model && batch == other.batch;
+    }
+  };
+  struct CostModelKeyHash {
+    std::size_t operator()(const CostModelKey& key) const noexcept {
+      return std::hash<const void*>()(key.model) ^
+             (static_cast<std::size_t>(key.batch) * 0x9e3779b97f4a7c15ULL);
+    }
+  };
 
   static CachePolicy make_policy(const Options& options);
 
   partition::ClusterCostModel& cost_model(const dnn::DnnGraph& model,
-                                          const runtime::ClusterSnapshot& snap);
+                                          const runtime::ClusterSnapshot& snap, int batch);
 
   Options options_;
   GlobalPartitioner global_;
@@ -107,7 +122,7 @@ class HidpStrategy : public CachingStrategyBase {
   std::uint64_t network_version_ = 0;
   std::uint64_t cost_model_rebuilds_ = 0;
   std::uint64_t network_repricings_ = 0;
-  std::unordered_map<const dnn::DnnGraph*, CachedCostModel> cost_models_;
+  std::unordered_map<CostModelKey, CachedCostModel, CostModelKeyHash> cost_models_;
 };
 
 }  // namespace hidp::core

@@ -78,6 +78,7 @@ runtime::PlanResult CachingStrategyBase::plan(const runtime::PlanRequest& reques
   if (cacheable) {
     CrossRequestPlanCache<CachedPlanEntry>::make_key(request.graph(), snap, available, &key);
     key.queue_bucket = queue_bucket(snap.queue_depth);
+    key.batch = request.batch;
     if (const CachedPlanEntry* hit = cache_.find(key)) {
       runtime::PlanResult result;
       result.plan = hit->plan;

@@ -26,12 +26,13 @@ std::string_view partition_mode_name(PartitionMode mode) noexcept {
 ClusterCostModel::ClusterCostModel(const dnn::DnnGraph& graph,
                                    const std::vector<platform::NodeModel>& nodes,
                                    net::NetworkSpec network, NodeExecutionPolicy policy,
-                                   int bytes_per_element, int max_candidates)
+                                   int bytes_per_element, int max_candidates, int batch_size)
     : graph_(&graph),
       nodes_(&nodes),
       network_(std::move(network)),
       policy_(policy),
-      bytes_per_element_(bytes_per_element) {
+      bytes_per_element_(bytes_per_element),
+      batch_(batch_size < 1 ? 1 : batch_size) {
   clean_cuts_ = dnn::clean_cut_positions(graph);
   std::vector<int> cuts = clean_cuts_;
   if (max_candidates > 2 && static_cast<int>(cuts.size()) > max_candidates - 2) {
@@ -69,6 +70,13 @@ ClusterCostModel::ClusterCostModel(const dnn::DnnGraph& graph,
     } else {
       boundary_bytes_.push_back(dnn::cut_bytes(graph, candidate, bytes_per_element_));
     }
+  }
+  if (batch_ > 1) {
+    // Batch the tables before anything downstream (proc prefix tables,
+    // layer prefixes) is derived from them: FLOPs and boundary activations
+    // scale with the batch, layer counts (dispatch overhead) do not.
+    for (WorkProfile& prefix : prefix_profiles_) prefix = prefix.batched(batch_);
+    for (std::int64_t& bytes : boundary_bytes_) bytes *= batch_;
   }
 
   // Per-(node, processor) prefix tables: apply the efficiency factors to the
@@ -276,7 +284,15 @@ ClusterCostModel::DataTables::DataTables(const dnn::DnnGraph& graph) : backprop(
 }
 
 ClusterCostModel::DataTables& ClusterCostModel::data_tables() const {
-  if (!data_) data_ = std::make_unique<DataTables>(*graph_);
+  if (!data_) {
+    data_ = std::make_unique<DataTables>(*graph_);
+    if (batch_ > 1) {
+      // Per-row FLOPs and SqueezeExcite sync traffic scale with the batch;
+      // the receptive-field geometry itself is batch-invariant.
+      for (double& flops : data_->row_flops) flops *= static_cast<double>(batch_);
+      for (std::int64_t& bytes : data_->se_sync_bytes) bytes *= batch_;
+    }
+  }
   return *data_;
 }
 
@@ -369,12 +385,12 @@ ClusterCostModel::DataSliceProfile ClusterCostModel::build_slice(
   if (tables.input_row_bytes == 0) {
     const dnn::Shape& input_shape = graph_->input_shape();
     tables.input_row_bytes = static_cast<std::int64_t>(input_shape.channels) *
-                             input_shape.width * bytes_per_element_;
+                             input_shape.width * bytes_per_element_ * batch_;
   }
   entry.input_bytes = needed[0].size() * tables.input_row_bytes;
   const dnn::Layer& boundary = graph_->layer(split - 1);
   const std::int64_t target_row_bytes = static_cast<std::int64_t>(boundary.output.channels) *
-                                        boundary.output.width * bytes_per_element_;
+                                        boundary.output.width * bytes_per_element_ * batch_;
   entry.output_bytes = band.size() * target_row_bytes;
   return entry;
 }
@@ -403,11 +419,12 @@ const ClusterCostModel::DataHeadProfile& ClusterCostModel::data_head_profile(int
   if (it != tables.heads.end()) return it->second;
   DataHeadProfile head;
   head.work = WorkProfile::from_graph(*graph_, split, -1);
+  if (batch_ > 1) head.work = head.work.batched(batch_);
   const dnn::Layer& boundary = graph_->layer(split - 1);
   const std::int64_t target_row_bytes = static_cast<std::int64_t>(boundary.output.channels) *
-                                        boundary.output.width * bytes_per_element_;
+                                        boundary.output.width * bytes_per_element_ * batch_;
   head.io_bytes = static_cast<std::int64_t>(boundary.output.height) * target_row_bytes +
-                  graph_->output_shape().bytes(bytes_per_element_);
+                  graph_->output_shape().bytes(bytes_per_element_) * batch_;
   return tables.heads.emplace(split, std::move(head)).first->second;
 }
 

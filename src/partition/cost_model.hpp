@@ -40,11 +40,19 @@ std::string_view partition_mode_name(PartitionMode mode) noexcept;
 
 class ClusterCostModel {
  public:
+  static constexpr int kDefaultMaxCandidates = 26;
+
   /// `max_candidates` bounds the cut-candidate list (clean cuts are thinned
   /// evenly); coarser lists keep the DP within the paper's ~15 ms budget.
+  /// `batch_size` prices a batched execution of the network: per-stage FLOPs
+  /// and boundary/sync bytes scale with the batch while per-layer dispatch
+  /// overhead does not (layer counts are batch-invariant) — the amortisation
+  /// continuous batching exists to exploit. batch_size == 1 builds tables
+  /// bit-identical to the pre-batching model.
   ClusterCostModel(const dnn::DnnGraph& graph, const std::vector<platform::NodeModel>& nodes,
                    net::NetworkSpec network, NodeExecutionPolicy policy,
-                   int bytes_per_element = 4, int max_candidates = 26);
+                   int bytes_per_element = 4, int max_candidates = kDefaultMaxCandidates,
+                   int batch_size = 1);
 
   const dnn::DnnGraph& graph() const noexcept { return *graph_; }
   const std::vector<platform::NodeModel>& nodes() const noexcept { return *nodes_; }
@@ -58,6 +66,8 @@ class ClusterCostModel {
   void set_network(net::NetworkSpec network) { network_ = std::move(network); }
   NodeExecutionPolicy policy() const noexcept { return policy_; }
   int bytes_per_element() const noexcept { return bytes_per_element_; }
+  /// Batch size this model's tables are priced for.
+  int batch_size() const noexcept { return batch_; }
 
   /// Search-space bounds handed to every local DSE this model runs. Setting
   /// a new space clears the memoised decisions.
@@ -180,6 +190,7 @@ class ClusterCostModel {
   net::NetworkSpec network_;
   NodeExecutionPolicy policy_;
   int bytes_per_element_;
+  int batch_ = 1;
   LocalSearchSpace local_search_;
   std::vector<int> clean_cuts_;  ///< unthinned clean cuts (graph analysis)
   std::vector<int> candidates_;

@@ -66,6 +66,15 @@ WorkProfile WorkProfile::scaled(double fraction) const noexcept {
   return out;
 }
 
+WorkProfile WorkProfile::batched(int n) const noexcept {
+  WorkProfile out;
+  const double factor = static_cast<double>(n);
+  for (std::size_t i = 0; i < flops_.size(); ++i) out.flops_[i] = flops_[i] * factor;
+  out.total_ = total_ * factor;
+  out.layer_count_ = layer_count_;
+  return out;
+}
+
 EfficiencyTable EfficiencyTable::for_kind(ProcKind kind) {
   EfficiencyTable t;
   auto set = [&t](LayerKind k, double v) {

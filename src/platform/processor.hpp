@@ -82,6 +82,11 @@ class WorkProfile {
   /// Profile scaled by a factor in [0, inf): `fraction` of this work.
   WorkProfile scaled(double fraction) const noexcept;
 
+  /// Profile of `n` batched instances of this work: FLOPs scale with the
+  /// batch, but the kernel launches (layer_count) do not — the whole point
+  /// of batching is to amortise per-layer dispatch across the batch.
+  WorkProfile batched(int n) const noexcept;
+
   /// Element-wise difference a - b (clamped at 0); used to derive the
   /// profile of a layer range from prefix profiles.
   static WorkProfile difference(const WorkProfile& a, const WorkProfile& b) noexcept;

@@ -21,8 +21,28 @@ struct ExecutionEngine::RequestRun {
   int remaining = 0;
   RequestRecord* record = nullptr;
   int request_id = 0;
+  /// Batched group run: member specs/records, aligned. Empty for single
+  /// runs — the single-request paths are untouched by batching.
+  std::vector<RequestSpec> member_specs;
+  std::vector<RequestRecord*> member_records;
+  std::uint64_t group = 0;   ///< groups_ key while joinable; 0 = single run
+  /// A try_join replanned this group: the run was replaced before starting,
+  /// so its pending start event must not fire.
+  bool superseded = false;
+  /// Compute reservations this run holds (preempted at failure so retries
+  /// do not queue behind dead work).
+  struct ComputeJob {
+    std::size_t node = 0;
+    std::size_t proc = 0;
+    std::uint64_t job = 0;
+  };
+  std::vector<ComputeJob> compute_jobs;
   std::function<void()> done;
   std::function<void()> on_failed;
+
+  int batch() const noexcept {
+    return member_records.empty() ? 1 : static_cast<int>(member_records.size());
+  }
   /// Node churn killed this run: late resource callbacks become no-ops.
   bool failed = false;
   /// Resource/transfer callbacks submitted but not fired yet. A failed
@@ -147,27 +167,38 @@ void ExecutionEngine::finalize_record(RequestRecord& record) {
   }
 }
 
-void ExecutionEngine::execute(const RequestSpec& request, RequestRecord& record,
-                              int queued_behind, std::function<void()> done,
-                              std::function<void()> on_failed) {
-  if (request.model == nullptr) throw std::invalid_argument("request without model");
-  ++in_flight_;
+Plan ExecutionEngine::plan_batch(const dnn::DnnGraph& model, QosClass qos, double deadline_s,
+                                 int batch, int queued_behind,
+                                 net::NetworkSpec* network_out) {
   PlanRequest plan_request;
-  plan_request.model = request.model;
-  plan_request.qos = request.qos;
-  plan_request.deadline_s = request.deadline_s;
+  plan_request.model = &model;
+  plan_request.qos = qos;
+  plan_request.deadline_s = deadline_s;
+  plan_request.batch = batch;
   ClusterSnapshot& snapshot = plan_request.snapshot;
   snapshot.nodes = &cluster().nodes();
   snapshot.network = stale_network_planning_ ? cluster().network().base_spec()
                                              : cluster().network().spec();
   snapshot.available = scope_.visible_availability();
   snapshot.leader = leader_;
-  snapshot.queue_depth = in_flight_ - 1 + queued_behind;
+  snapshot.queue_depth = in_flight_ - batch + queued_behind;
   snapshot.now_s = cluster().simulator().now();
 
   Plan plan = strategy_->plan(plan_request).plan;
   validate_plan(plan, cluster().nodes());
   check_scope(plan);
+  if (network_out != nullptr) *network_out = std::move(snapshot.network);
+  return plan;
+}
+
+void ExecutionEngine::execute(const RequestSpec& request, RequestRecord& record,
+                              int queued_behind, std::function<void()> done,
+                              std::function<void()> on_failed) {
+  if (request.model == nullptr) throw std::invalid_argument("request without model");
+  ++in_flight_;
+  net::NetworkSpec planned_network;
+  Plan plan = plan_batch(*request.model, request.qos, request.deadline_s, /*batch=*/1,
+                         queued_behind, &planned_network);
   record.strategy = plan.strategy;
   record.mode = plan.global_mode;
   record.nodes_used = plan.nodes_used;
@@ -181,8 +212,125 @@ void ExecutionEngine::execute(const RequestSpec& request, RequestRecord& record,
     done();
     return;
   }
-  dispatch_plan(request.id, std::move(plan), std::move(snapshot.network), start, record,
+  dispatch_plan(request.id, std::move(plan), std::move(planned_network), start, record,
                 std::move(done), std::move(on_failed));
+}
+
+std::uint64_t ExecutionEngine::execute_group(const std::vector<RequestSpec>& specs,
+                                             const std::vector<RequestRecord*>& records,
+                                             int queued_behind, std::function<void()> done,
+                                             std::function<void()> on_failed) {
+  if (specs.empty() || specs.size() != records.size()) {
+    throw std::invalid_argument("execute_group: specs and records must align");
+  }
+  double tightest_deadline = 0.0;
+  for (const RequestSpec& spec : specs) {
+    if (spec.model == nullptr) throw std::invalid_argument("request without model");
+    if (spec.model != specs.front().model) {
+      throw std::invalid_argument("execute_group: members must share one model");
+    }
+    if (spec.deadline_s > 0.0 &&
+        (tightest_deadline <= 0.0 || spec.deadline_s < tightest_deadline)) {
+      tightest_deadline = spec.deadline_s;
+    }
+  }
+  const int n = static_cast<int>(specs.size());
+  in_flight_ += n;
+  net::NetworkSpec planned_network;
+  Plan plan = plan_batch(*specs.front().model, specs.front().qos, tightest_deadline, n,
+                         queued_behind, &planned_network);
+  const double start = cluster().simulator().now() + plan.phases.total();
+  for (RequestRecord* record : records) {
+    record->strategy = plan.strategy;
+    record->mode = plan.global_mode;
+    record->nodes_used = plan.nodes_used;
+    record->dispatch_s = start;
+  }
+  if (plan.empty()) {
+    HIDP_LOG(kWarn, "engine") << "empty plan for group led by request " << specs.front().id;
+    for (RequestRecord* record : records) {
+      record->finish_s = start;
+      finalize_record(*record);
+    }
+    in_flight_ -= n;
+    done();
+    return 0;
+  }
+  const std::uint64_t group = next_group_id_++;
+  auto run = std::make_shared<RequestRun>();
+  run->plan = std::move(plan);
+  run->planned_network = std::move(planned_network);
+  run->record = records.front();
+  run->request_id = specs.front().id;
+  run->member_specs = specs;
+  run->member_records = records;
+  run->group = group;
+  run->done = std::move(done);
+  run->on_failed = std::move(on_failed);
+  groups_.emplace(group, run);
+  launch_run(run, start);
+  return group;
+}
+
+bool ExecutionEngine::try_join(std::uint64_t group, const RequestSpec& spec,
+                               RequestRecord& record, int queued_behind) {
+  auto it = groups_.find(group);
+  if (it == groups_.end()) return false;
+  std::shared_ptr<RequestRun> old_run = it->second;
+  if (old_run->failed || old_run->superseded) return false;
+  if (spec.model == nullptr) throw std::invalid_argument("request without model");
+  if (spec.model != old_run->member_specs.front().model) return false;
+
+  std::vector<RequestSpec> specs = old_run->member_specs;
+  specs.push_back(spec);
+  double tightest_deadline = 0.0;
+  for (const RequestSpec& member : specs) {
+    if (member.deadline_s > 0.0 &&
+        (tightest_deadline <= 0.0 || member.deadline_s < tightest_deadline)) {
+      tightest_deadline = member.deadline_s;
+    }
+  }
+  ++in_flight_;
+  net::NetworkSpec planned_network;
+  Plan plan = plan_batch(*specs.front().model, specs.front().qos, tightest_deadline,
+                         static_cast<int>(specs.size()), queued_behind, &planned_network);
+  if (plan.empty()) {
+    // Joining must never regress the existing members: keep the old run.
+    --in_flight_;
+    return false;
+  }
+  // Supersede the old run: its FSM phases are still running, so no task has
+  // started and nothing is outstanding — the pending start event no-ops.
+  old_run->superseded = true;
+  unregister(old_run.get());
+  maybe_release(old_run);
+  std::function<void()> done = std::move(old_run->done);
+  std::function<void()> on_failed = std::move(old_run->on_failed);
+  old_run->done = nullptr;
+  old_run->on_failed = nullptr;
+
+  std::vector<RequestRecord*> records = old_run->member_records;
+  records.push_back(&record);
+  const double start = cluster().simulator().now() + plan.phases.total();
+  for (RequestRecord* member : records) {
+    member->strategy = plan.strategy;
+    member->mode = plan.global_mode;
+    member->nodes_used = plan.nodes_used;
+    member->dispatch_s = start;
+  }
+  auto run = std::make_shared<RequestRun>();
+  run->plan = std::move(plan);
+  run->planned_network = std::move(planned_network);
+  run->record = records.front();
+  run->request_id = specs.front().id;
+  run->member_specs = std::move(specs);
+  run->member_records = std::move(records);
+  run->group = group;
+  run->done = std::move(done);
+  run->on_failed = std::move(on_failed);
+  it->second = run;
+  launch_run(run, start);
+  return true;
 }
 
 void ExecutionEngine::record_trace(const TaskTrace& trace) {
@@ -230,15 +378,35 @@ void ExecutionEngine::set_transfer_timeout_factor(double factor) {
 
 void ExecutionEngine::fail_run(const std::shared_ptr<RequestRun>& run) {
   run->failed = true;
-  RequestRecord& record = *run->record;
-  record.outcome = RequestOutcome::kFailed;
-  record.finish_s = cluster().simulator().now();
+  const double now = cluster().simulator().now();
+  // Preemptible reservations: release the unexecuted remainder of every
+  // compute slot this run holds, at the failure instant — retries and
+  // unrelated requests no longer queue behind dead work until its scheduled
+  // end. The baked completion events drain through drain_if_failed.
+  for (const RequestRun::ComputeJob& job : run->compute_jobs) {
+    cluster().processor(job.node, job.proc).cancel(job.job, now);
+  }
   double flops = 0.0;
   for (std::size_t i = 0; i < run->plan.tasks.size(); ++i) {
     if (run->task_done[i]) flops += run->plan.tasks[i].flops;  // partial work
   }
-  record.flops = flops;
-  --in_flight_;
+  if (run->member_records.empty()) {
+    RequestRecord& record = *run->record;
+    record.outcome = RequestOutcome::kFailed;
+    record.finish_s = now;
+    record.flops = flops;
+    --in_flight_;
+  } else {
+    // The whole group fails together; partial work is attributed evenly.
+    const double share = flops / static_cast<double>(run->member_records.size());
+    for (RequestRecord* record : run->member_records) {
+      record->outcome = RequestOutcome::kFailed;
+      record->finish_s = now;
+      record->flops = share;
+    }
+    in_flight_ -= static_cast<int>(run->member_records.size());
+    groups_.erase(run->group);
+  }
   unregister(run.get());
   maybe_release(run);
   // Exactly one of on_failed / done fires; clear both against re-entry.
@@ -289,6 +457,10 @@ void ExecutionEngine::dispatch_plan(int request_id, Plan&& plan,
   run->request_id = request_id;
   run->done = std::move(done);
   run->on_failed = std::move(on_failed);
+  launch_run(run, start_s);
+}
+
+void ExecutionEngine::launch_run(const std::shared_ptr<RequestRun>& run, double start_s) {
   const std::size_t n = run->plan.tasks.size();
   run->pending_deps.resize(n, 0);
   run->dependents.resize(n);
@@ -321,12 +493,27 @@ void ExecutionEngine::dispatch_plan(int request_id, Plan&& plan,
       if (--run->pending_deps[static_cast<std::size_t>(dep)] == 0) (*start_task)(dep);
     }
     if (--run->remaining == 0) {
-      run->record->finish_s = cluster().simulator().now();
+      const double finish = cluster().simulator().now();
       double flops = 0.0;
       for (const PlanTask& t : run->plan.tasks) flops += t.flops;
-      run->record->flops = flops;
-      finalize_record(*run->record);
-      --in_flight_;
+      if (run->member_records.empty()) {
+        run->record->finish_s = finish;
+        run->record->flops = flops;
+        finalize_record(*run->record);
+        --in_flight_;
+      } else {
+        // One planned run fans out N terminal outcomes: every member is
+        // stamped individually (its own deadline decides completed vs
+        // missed), the executed FLOPs are shared evenly.
+        const double share = flops / static_cast<double>(run->member_records.size());
+        for (RequestRecord* record : run->member_records) {
+          record->finish_s = finish;
+          record->flops = share;
+          finalize_record(*record);
+        }
+        in_flight_ -= static_cast<int>(run->member_records.size());
+        groups_.erase(run->group);
+      }
       unregister(run.get());
       maybe_release(run);  // outstanding is 0: the last callback just drained
       run->on_failed = nullptr;
@@ -354,12 +541,14 @@ void ExecutionEngine::dispatch_plan(int request_id, Plan&& plan,
         sim::Resource& proc = cluster().processor(task.node, task.proc);
         const double begin = proc.next_free(now);
         ++run->outstanding;
-        proc.submit(now, task.seconds, [this, run, on_done, index, task, begin](sim::Time end) {
-          if (drain_if_failed(run)) return;
-          record_trace(TaskTrace{run->request_id, task.kind, task.node, task.proc, begin, end,
-                                 task.flops, 0});
-          (*on_done)(index);
-        });
+        const std::uint64_t job =
+            proc.submit(now, task.seconds, [this, run, on_done, index, task, begin](sim::Time end) {
+              if (drain_if_failed(run)) return;
+              record_trace(TaskTrace{run->request_id, task.kind, task.node, task.proc, begin,
+                                     end, task.flops, 0, run->batch()});
+              (*on_done)(index);
+            });
+        run->compute_jobs.push_back(RequestRun::ComputeJob{task.node, task.proc, job});
         break;
       }
       case PlanTask::Kind::kTransfer: {
@@ -381,7 +570,7 @@ void ExecutionEngine::dispatch_plan(int request_id, Plan&& plan,
             [this, run, on_done, index, task, now](sim::Time end) {
               if (drain_if_failed(run)) return;
               record_trace(TaskTrace{run->request_id, task.kind, task.from, 0, now, end, 0.0,
-                                     task.bytes});
+                                     task.bytes, run->batch()});
               (*on_done)(index);
             },
             [this, run](const net::TransferAbort&) {
@@ -400,7 +589,7 @@ void ExecutionEngine::dispatch_plan(int request_id, Plan&& plan,
             duration, [this, run, on_done, index, task, now, duration] {
               if (drain_if_failed(run)) return;
               record_trace(TaskTrace{run->request_id, task.kind, task.node, 0, now,
-                                     now + duration, 0.0, task.bytes});
+                                     now + duration, 0.0, task.bytes, run->batch()});
               (*on_done)(index);
             });
         break;
@@ -408,7 +597,11 @@ void ExecutionEngine::dispatch_plan(int request_id, Plan&& plan,
     }
   };
 
-  cluster().simulator().schedule_at(start_s, [run, start_task] {
+  cluster().simulator().schedule_at(start_s, [this, run, start_task] {
+    if (run->superseded) return;  // a try_join replanned this group
+    // The FSM-phase window closes here: once tasks start executing, the
+    // group can no longer absorb joins.
+    if (run->group != 0) groups_.erase(run->group);
     for (std::size_t i = 0; i < run->plan.tasks.size(); ++i) {
       if (run->failed) return;
       if (run->pending_deps[i] == 0) (*start_task)(static_cast<int>(i));

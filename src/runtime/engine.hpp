@@ -17,6 +17,7 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "dnn/graph.hpp"
@@ -67,6 +68,9 @@ struct PlanRequest {
   ClusterSnapshot snapshot;
   QosClass qos = QosClass::kStandard;
   double deadline_s = 0.0;  ///< absolute; <= 0 = none
+  /// Requests coalesced into this planned execution (continuous batching).
+  /// Per-stage FLOPs/bytes are priced at this batch size; 1 = unbatched.
+  int batch = 1;
 
   const dnn::DnnGraph& graph() const noexcept { return *model; }
 };
@@ -125,7 +129,7 @@ struct RequestRecord {
 
 /// Execution trace of one task (for GFLOPS timelines and invariants).
 struct TaskTrace {
-  int request = 0;
+  int request = 0;  ///< lead request id of the run (group runs share tasks)
   PlanTask::Kind kind = PlanTask::Kind::kCompute;
   std::size_t node = 0;
   std::size_t proc = 0;
@@ -133,6 +137,7 @@ struct TaskTrace {
   double end_s = 0.0;
   double flops = 0.0;
   std::int64_t bytes = 0;
+  int batch = 1;  ///< requests sharing this task (batched group runs)
 };
 
 class ExecutionEngine {
@@ -167,6 +172,36 @@ class ExecutionEngine {
   /// `done` with the kFailed record.
   void execute(const RequestSpec& request, RequestRecord& record, int queued_behind,
                std::function<void()> done, std::function<void()> on_failed = nullptr);
+
+  /// Continuous batching: plans and dispatches `specs` (same model, caller-
+  /// vetted compatibility) as ONE batched run whose cost model prices the
+  /// group's batch size, fanning out to `records[i]` per member — finish,
+  /// FLOPs share (total / N) and the per-member deadline outcome are stamped
+  /// individually. `done` / `on_failed` fire once for the whole group with
+  /// the same semantics as execute(): a mid-run node/link failure stamps
+  /// every member kFailed (partial FLOPs shared) and fires `on_failed` so
+  /// the owner can re-form smaller groups. Returns a group id usable with
+  /// try_join() while the run sits in its FSM-phase window, or 0 when the
+  /// run finished synchronously (empty plan — `done` already fired).
+  std::uint64_t execute_group(const std::vector<RequestSpec>& specs,
+                              const std::vector<RequestRecord*>& records, int queued_behind,
+                              std::function<void()> done,
+                              std::function<void()> on_failed = nullptr);
+
+  /// Admits one more member into a dispatched-but-not-started group ("the
+  /// plan allows" = no task has begun executing, i.e. the group is still in
+  /// its FSM-phase window). The group replans at the current instant with
+  /// the larger batch (typically a plan-cache hit on the new batch bucket)
+  /// and every member's dispatch stamp moves to the new start. Returns
+  /// false — membership unchanged — when the group is unknown, already
+  /// started/failed, the model differs, or the replan came back empty.
+  bool try_join(std::uint64_t group, const RequestSpec& spec, RequestRecord& record,
+                int queued_behind);
+
+  /// True while `group` can still accept try_join() members.
+  bool group_joinable(std::uint64_t group) const noexcept {
+    return groups_.find(group) != groups_.end();
+  }
 
   const std::vector<TaskTrace>& traces() const noexcept { return traces_; }
   double makespan_s() const noexcept { return makespan_s_; }
@@ -212,6 +247,15 @@ class ExecutionEngine {
   void dispatch_plan(int request_id, Plan&& plan, net::NetworkSpec&& planned_network,
                      double start_s, RequestRecord& record, std::function<void()> done,
                      std::function<void()> on_failed);
+  /// Shared planning front half of execute()/execute_group(): snapshot,
+  /// strategy->plan at `batch`, validation. The snapshot's network is moved
+  /// into `network_out` (the watchdog's expectation baseline).
+  Plan plan_batch(const dnn::DnnGraph& model, QosClass qos, double deadline_s, int batch,
+                  int queued_behind, net::NetworkSpec* network_out);
+  /// Builds the dep graph + topological-executor closures for `run` and
+  /// schedules its start — the shared back half of dispatch_plan() and the
+  /// group dispatch path.
+  void launch_run(const std::shared_ptr<RequestRun>& run, double start_s);
   void record_trace(const TaskTrace& trace);
   /// Stamps the terminal outcome once `finish_s` is known.
   static void finalize_record(RequestRecord& record);
@@ -246,6 +290,11 @@ class ExecutionEngine {
   std::size_t trace_capacity_ = static_cast<std::size_t>(-1);
   std::vector<TaskTrace> traces_;
   std::vector<std::shared_ptr<RequestRun>> active_;  ///< dispatched, unfinished
+  /// Joinable group runs (dispatched, FSM phases still running). Entries
+  /// leave on start, completion or failure; try_join on an absent id is a
+  /// clean refusal.
+  std::unordered_map<std::uint64_t, std::shared_ptr<RequestRun>> groups_;
+  std::uint64_t next_group_id_ = 1;
   std::size_t observer_id_ = 0;  ///< cluster node-event subscription
 };
 

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "net/prober.hpp"
 #include "util/hash.hpp"
 
 namespace hidp::runtime {
@@ -66,6 +67,53 @@ std::size_t QosWeightedRouting::route(const RequestSpec& spec, const ServiceFlee
     if (load < best_load) {
       best = i;
       best_load = load;
+    }
+  }
+  return best;
+}
+
+std::size_t DegradationAwareRouting::route(const RequestSpec& spec,
+                                           const ServiceFleet& fleet) {
+  (void)spec;
+  constexpr std::size_t kWeight[kQosClassCount] = {1, 2, 4};  // BE, standard, interactive
+  std::size_t best = 0;
+  double best_score = std::numeric_limits<double>::infinity();
+  util::Rng rng(0);  // noise 0: probing is deterministic, the rng is idle
+  for (std::size_t i = 0; i < fleet.shard_count(); ++i) {
+    const InferenceService& shard = fleet.shard(i);
+    double load = 0.0;
+    if (base_ == Base::kQosWeighted) {
+      load = static_cast<double>(kWeight[static_cast<std::size_t>(QosClass::kStandard)] *
+                                 (shard.in_flight() + shard.inbound()));
+      for (std::size_t c = 0; c < kQosClassCount; ++c) {
+        load += static_cast<double>(kWeight[c] * shard.pending_of(static_cast<QosClass>(c)));
+      }
+    } else {
+      load = static_cast<double>(shard.pending() + shard.in_flight() + shard.inbound());
+    }
+    // One deterministic probing round over the shard's slice: a member
+    // whose measured rate to the leader fell below the degradation
+    // threshold still serves, but every transfer it takes rides the slow
+    // link — price that next to the queue depth instead of ignoring it.
+    const ExecutionEngine& engine = shard.engine();
+    const ClusterView& scope = engine.scope();
+    const net::ClusterProber prober(scope.cluster().network().spec(),
+                                    /*probe_bytes=*/1024, /*noise_fraction=*/0.0);
+    const net::ProbeReport report =
+        prober.probe(engine.leader(), scope.visible_availability(), rng);
+    double penalty = 0.0;
+    for (const std::size_t node : scope.members()) {
+      if (node == engine.leader()) continue;
+      if (node < report.available.size() && !report.available[node]) {
+        penalty += down_penalty_;
+      } else if (node < report.degraded.size() && report.degraded[node]) {
+        penalty += degraded_penalty_;
+      }
+    }
+    const double score = load + penalty;
+    if (score < best_score) {
+      best = i;
+      best_score = score;
     }
   }
   return best;
@@ -352,6 +400,17 @@ void ServiceFleet::rebalance() {
     // A thief has an empty queue, a victim a non-empty one — never the same
     // shard. Each adoption reserves a thief slot, so the loop terminates.
     if (thief == shards_.size() || victim == shards_.size()) return;
+    // A batching thief takes a coherent same-(model, QoS) group in one
+    // migration — up to its batch width — so the stolen work arrives
+    // already batchable instead of trickling over one request at a time.
+    const std::size_t thief_batch = shards_[thief].service->options().max_batch;
+    if (thief_batch > 1) {
+      const std::vector<RequestSpec> group = shards_[victim].service->steal_pending_group(
+          std::min(thief_capacity, thief_batch));
+      if (group.empty()) return;
+      for (const RequestSpec& spec : group) shards_[thief].service->adopt(spec);
+      continue;
+    }
     const auto spec = shards_[victim].service->steal_pending();
     if (!spec) return;
     shards_[thief].service->adopt(*spec);
@@ -400,6 +459,9 @@ ServiceStats ServiceFleet::stats() const {
     total.peak_in_flight += s.peak_in_flight;
     total.stolen_away += s.stolen_away;
     total.stolen_in += s.stolen_in;
+    total.groups_dispatched += s.groups_dispatched;
+    total.batched_requests += s.batched_requests;
+    total.group_joins += s.group_joins;
     for (std::size_t c = 0; c < kQosClassCount; ++c) {
       total.per_class[c].submitted += s.per_class[c].submitted;
       total.per_class[c].completed += s.per_class[c].completed;

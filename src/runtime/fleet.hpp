@@ -77,6 +77,33 @@ class QosWeightedRouting final : public RoutingPolicy {
   std::size_t route(const RequestSpec& spec, const ServiceFleet& fleet) override;
 };
 
+/// Health-aware routing: a deterministic probing round (noise 0) over each
+/// shard's slice surfaces members whose links to their leader degraded or
+/// partitioned, and that health penalty is weighed alongside queue depth —
+/// a shard that looks idle but would plan every transfer over a degraded
+/// radio loses to a slightly busier healthy one. The base load signal is
+/// either LeastLoadedRouting's flat count or QosWeightedRouting's
+/// class-weighted one.
+class DegradationAwareRouting final : public RoutingPolicy {
+ public:
+  enum class Base { kLeastLoaded, kQosWeighted };
+  /// `degraded_penalty` / `down_penalty` are in request-load units: how
+  /// many queued requests a degraded (resp. unreachable) member is worth.
+  explicit DegradationAwareRouting(Base base = Base::kLeastLoaded,
+                                   double degraded_penalty = 4.0,
+                                   double down_penalty = 8.0)
+      : base_(base), degraded_penalty_(degraded_penalty), down_penalty_(down_penalty) {}
+  std::string_view name() const override {
+    return base_ == Base::kLeastLoaded ? "degradation-aware" : "degradation-aware-qos";
+  }
+  std::size_t route(const RequestSpec& spec, const ServiceFleet& fleet) override;
+
+ private:
+  Base base_;
+  double degraded_penalty_;
+  double down_penalty_;
+};
+
 /// Configuration of one fleet shard.
 struct FleetShard {
   /// Per-shard strategy instance (own cost models and plan-cache epochs);

@@ -79,8 +79,11 @@ std::size_t InferenceService::admission_room() const {
   if (options_.max_in_flight == 0 || options_.max_pending == 0) {
     return std::numeric_limits<std::size_t>::max();
   }
-  const std::size_t slots =
-      in_flight_ < options_.max_in_flight ? options_.max_in_flight - in_flight_ : 0;
+  // Under batching max_in_flight bounds runs; requests fit max_batch per run.
+  const std::size_t cap = options_.max_batch > 1
+                              ? options_.max_in_flight * options_.max_batch
+                              : options_.max_in_flight;
+  const std::size_t slots = in_flight_ < cap ? cap - in_flight_ : 0;
   const std::size_t queue =
       pending_.size() < options_.max_pending ? options_.max_pending - pending_.size() : 0;
   const std::size_t room = slots + queue;
@@ -136,6 +139,35 @@ std::optional<RequestSpec> InferenceService::steal_pending() {
   return requests_[slot].spec;
 }
 
+std::vector<RequestSpec> InferenceService::steal_pending_group(std::size_t max_count) {
+  std::vector<RequestSpec> out;
+  if (pending_.empty() || max_count == 0) return out;
+  // Same gather rule as batched dispatch: the head plus same-(model, QoS)
+  // peers from its class block, so the thief receives a batchable group
+  // rather than a model-mixed grab bag.
+  const auto head_it = pending_.begin();
+  const QosClass qos = head_it->qos;
+  const dnn::DnnGraph* model = requests_[head_it->slot].spec.model;
+  std::vector<PendingSet::iterator> taken;
+  taken.push_back(head_it);
+  for (auto it = std::next(head_it); it != pending_.end() && taken.size() < max_count;
+       ++it) {
+    if (it->qos != qos) break;
+    if (requests_[it->slot].spec.model != model) continue;
+    taken.push_back(it);
+  }
+  out.reserve(taken.size());
+  for (const auto it : taken) {
+    const std::size_t slot = it->slot;
+    erase_pending(it);
+    requests_[slot].migrated = true;
+    ++stats_.stolen_away;
+    ++stats_.of(requests_[slot].spec.qos).stolen_away;
+    out.push_back(requests_[slot].spec);
+  }
+  return out;
+}
+
 std::size_t InferenceService::steal_capacity() const {
   if (!shard_live()) return 0;  // a dead shard can't serve stolen work
   if (!pending_.empty()) return 0;
@@ -157,6 +189,12 @@ std::size_t InferenceService::steal_capacity() const {
     const auto budget =
         static_cast<std::size_t>(options_.steal_backlog_s / avg_execution_s_);
     return committed < budget ? budget - committed : 0;
+  }
+  if (options_.max_batch > 1) {
+    // Bounded batched admission: max_in_flight caps runs, so the request-
+    // denominated capacity is a full complement of full groups.
+    const std::size_t full = options_.max_in_flight * options_.max_batch;
+    return committed < full ? full - committed : 0;
   }
   return committed < options_.max_in_flight ? options_.max_in_flight - committed : 0;
 }
@@ -183,6 +221,28 @@ void InferenceService::on_arrival(std::size_t slot) {
   // Arrivals fire in time order, so the firing event's scheduled instant
   // is the smallest outstanding one.
   inbound_due_.erase(inbound_due_.begin());
+  if (options_.max_batch > 1) {
+    // Continuous batching: an arrival landing while a same-(model, QoS)
+    // group still sits in its FSM-phase window joins that group in place
+    // of dispatching alone; otherwise it queues and the batched dispatch
+    // loop decides (group up, hold for peers, or go immediately).
+    const RequestSpec& spec = requests_[slot].spec;
+    const bool expired =
+        options_.drop_expired_pending && spec.deadline_s > 0.0 && now() > spec.deadline_s;
+    if (!expired && pending_.empty() && shard_live() && try_join_group(slot)) {
+      notify_state();
+      return;
+    }
+    if (options_.max_pending == 0 || pending_.size() < options_.max_pending) {
+      enqueue_pending(slot);
+      dispatch_next();
+      notify_state();
+      return;
+    }
+    shed(slot);
+    notify_state();
+    return;
+  }
   if (can_dispatch() && pending_.empty() && shard_live()) {
     const RequestSpec& spec = requests_[slot].spec;
     // A request can reach a free shard with its deadline already gone —
@@ -246,6 +306,10 @@ InferenceService::PendingSet::iterator InferenceService::victim_pending(bool pre
 }
 
 void InferenceService::dispatch_next() {
+  if (options_.max_batch > 1) {
+    dispatch_next_batched();
+    return;
+  }
   // A dead shard parks its pending queue: planning needs a live leader.
   // Requests resume on the repair event, are evacuated by the fleet, or
   // turn kFailed in finalize_stranded() if neither ever happens.
@@ -262,8 +326,64 @@ void InferenceService::dispatch_next() {
   }
 }
 
+void InferenceService::dispatch_next_batched() {
+  while (can_dispatch() && !pending_.empty() && shard_live()) {
+    const auto head_it = pending_.begin();
+    const std::size_t head = head_it->slot;
+    const RequestSpec& head_spec = requests_[head].spec;
+    if (options_.drop_expired_pending && head_spec.deadline_s > 0.0 &&
+        now() > head_spec.deadline_s) {
+      erase_pending(head_it);
+      finish_without_execution(head, RequestOutcome::kDropped);
+      continue;
+    }
+    // Gather the group: the head plus same-(model, QoS) peers from the
+    // head's class block. The pending set orders by QoS first, so peers of
+    // a lower class never jump ahead of the head's class; a candidate whose
+    // deadline would already be blown at the projected group completion
+    // stays queued rather than riding a batch it can only miss in.
+    std::vector<PendingSet::iterator> members;
+    members.push_back(head_it);
+    for (auto it = std::next(head_it);
+         it != pending_.end() && members.size() < options_.max_batch; ++it) {
+      if (it->qos != head_spec.qos) break;
+      const RequestSpec& cand = requests_[it->slot].spec;
+      if (cand.model != head_spec.model) continue;
+      if (cand.deadline_s > 0.0 && avg_execution_s_ > 0.0 &&
+          now() + avg_execution_s_ > cand.deadline_s) {
+        continue;
+      }
+      members.push_back(it);
+    }
+    // Under-full group: hold the head up to max_wait_s for more peers. The
+    // DES timer re-enters this loop at the expiry; a head that is no longer
+    // the one held (stolen, shed, dropped) resets the hold window.
+    if (members.size() < options_.max_batch && options_.max_wait_s > 0.0) {
+      if (hold_slot_ != head) {
+        hold_slot_ = head;
+        hold_until_ = now() + options_.max_wait_s;
+        engine_->cluster().simulator().schedule_at(hold_until_, [this] {
+          dispatch_next();
+          notify_state();
+        });
+        return;
+      }
+      if (now() < hold_until_) return;  // still inside the hold window
+    }
+    clear_hold();
+    std::vector<std::size_t> slots;
+    slots.reserve(members.size());
+    for (const auto it : members) {
+      slots.push_back(it->slot);
+      erase_pending(it);
+    }
+    dispatch_group(slots);
+  }
+}
+
 void InferenceService::dispatch(std::size_t slot) {
   ++in_flight_;
+  ++runs_in_flight_;
   stats_.peak_in_flight = std::max(stats_.peak_in_flight, in_flight_);
   Tracked& tracked = requests_[slot];
   ++tracked.attempts;
@@ -272,8 +392,167 @@ void InferenceService::dispatch(std::size_t slot) {
                    [this, slot] { on_execute_failed(slot); });
 }
 
+void InferenceService::dispatch_group(const std::vector<std::size_t>& slots) {
+  // A size-1 group still dispatches through the engine's group path: its
+  // run keeps an open FSM-phase window, so the next same-model arrival can
+  // join it mid-planning — the solo-head-then-storm case continuous
+  // batching exists for. (Counters below only count multi-member groups.)
+  auto shared_slots = std::make_shared<std::vector<std::size_t>>(slots);
+  std::vector<RequestSpec> specs;
+  std::vector<RequestRecord*> records;
+  specs.reserve(slots.size());
+  records.reserve(slots.size());
+  for (const std::size_t slot : slots) {
+    Tracked& tracked = requests_[slot];
+    ++tracked.attempts;
+    specs.push_back(tracked.spec);
+    records.push_back(&tracked.record);
+  }
+  in_flight_ += slots.size();
+  stats_.peak_in_flight = std::max(stats_.peak_in_flight, in_flight_);
+  ++runs_in_flight_;
+  if (slots.size() > 1) {
+    ++stats_.groups_dispatched;
+    stats_.batched_requests += slots.size();
+  }
+  const std::uint64_t group = engine_->execute_group(
+      specs, records, static_cast<int>(pending_.size()),
+      [this, shared_slots] { on_group_finished(shared_slots); },
+      [this, shared_slots] { on_group_failed(shared_slots); });
+  if (group != 0) {
+    open_groups_.push_back(OpenGroup{group, requests_[slots.front()].spec.model,
+                                     requests_[slots.front()].spec.qos, shared_slots});
+  }
+}
+
+bool InferenceService::try_join_group(std::size_t slot) {
+  if (open_groups_.empty()) return false;
+  Tracked& tracked = requests_[slot];
+  const RequestSpec& spec = tracked.spec;
+  for (std::size_t i = 0; i < open_groups_.size();) {
+    OpenGroup& group = open_groups_[i];
+    if (!engine_->group_joinable(group.id)) {
+      // The run started, finished or failed since dispatch: forget it.
+      group = open_groups_.back();
+      open_groups_.pop_back();
+      continue;
+    }
+    if (group.model != spec.model || group.qos != spec.qos ||
+        group.slots->size() >= options_.max_batch) {
+      ++i;
+      continue;
+    }
+    // Same projected-completion deadline rule as group formation: do not
+    // ride a batch the joiner can only miss in.
+    if (spec.deadline_s > 0.0 && avg_execution_s_ > 0.0 &&
+        now() + avg_execution_s_ > spec.deadline_s) {
+      ++i;
+      continue;
+    }
+    ++tracked.attempts;
+    if (!engine_->try_join(group.id, spec, tracked.record,
+                           static_cast<int>(pending_.size()))) {
+      --tracked.attempts;
+      ++i;
+      continue;
+    }
+    group.slots->push_back(slot);
+    ++in_flight_;
+    stats_.peak_in_flight = std::max(stats_.peak_in_flight, in_flight_);
+    ++stats_.group_joins;
+    ++stats_.batched_requests;
+    return true;
+  }
+  return false;
+}
+
+void InferenceService::prune_open_group(
+    const std::shared_ptr<std::vector<std::size_t>>& slots) {
+  for (std::size_t i = 0; i < open_groups_.size(); ++i) {
+    if (open_groups_[i].slots == slots) {
+      open_groups_[i] = open_groups_.back();
+      open_groups_.pop_back();
+      return;
+    }
+  }
+}
+
+void InferenceService::on_group_finished(
+    const std::shared_ptr<std::vector<std::size_t>>& slots) {
+  --runs_in_flight_;
+  in_flight_ -= slots->size();
+  prune_open_group(slots);
+  bool sampled = false;
+  for (const std::size_t slot : *slots) {
+    const RequestRecord& record = requests_[slot].record;
+    if (record.outcome == RequestOutcome::kFailed) {
+      ++stats_.failed;
+      ++stats_.of(record.qos).failed;
+    } else if (record.outcome == RequestOutcome::kDeadlineMiss) {
+      ++stats_.deadline_misses;
+      ++stats_.of(record.qos).deadline_misses;
+    } else {
+      ++stats_.completed;
+      ++stats_.of(record.qos).completed;
+    }
+    // One EWMA sample per group: the members share one run, so counting
+    // each would weight a batch of N as N identical observations.
+    if (!sampled && record.executed()) {
+      const double execution_s = std::max(record.finish_s - record.dispatch_s, 0.0);
+      avg_execution_s_ = avg_execution_s_ <= 0.0
+                             ? execution_s
+                             : 0.8 * avg_execution_s_ + 0.2 * execution_s;
+      sampled = true;
+    }
+    notify_terminal(slot);
+  }
+  dispatch_next();
+  notify_state();
+}
+
+void InferenceService::on_group_failed(
+    const std::shared_ptr<std::vector<std::size_t>>& slots) {
+  --runs_in_flight_;
+  in_flight_ -= slots->size();
+  prune_open_group(slots);
+  for (const std::size_t slot : *slots) {
+    Tracked& tracked = requests_[slot];
+    const RequestSpec& spec = tracked.spec;
+    if (options_.drop_expired_pending && spec.deadline_s > 0.0 && now() > spec.deadline_s) {
+      tracked.record.outcome = RequestOutcome::kDropped;
+      tracked.record.finish_s = now();
+      ++stats_.dropped;
+      ++stats_.of(spec.qos).dropped;
+      notify_terminal(slot);
+      continue;
+    }
+    if (failure_hook_ && failure_hook_(spec, tracked.attempts)) {
+      tracked.migrated = true;
+      ++stats_.stolen_away;
+      ++stats_.of(spec.qos).stolen_away;
+      continue;
+    }
+    if (static_cast<std::size_t>(tracked.attempts) <= options_.max_retries && shard_live()) {
+      // Re-queue instead of re-executing directly: the batched dispatch
+      // loop re-forms (possibly smaller) groups from the survivors, so one
+      // churn event does not turn a batch into N solo replans.
+      ++stats_.retries;
+      tracked.record.outcome = RequestOutcome::kCompleted;
+      tracked.record.flops = 0.0;
+      enqueue_pending(slot);
+      continue;
+    }
+    ++stats_.failed;
+    ++stats_.of(tracked.record.qos).failed;
+    notify_terminal(slot);
+  }
+  dispatch_next();
+  notify_state();
+}
+
 void InferenceService::on_finished(std::size_t slot) {
   --in_flight_;
+  --runs_in_flight_;
   const RequestRecord& record = requests_[slot].record;
   if (record.outcome == RequestOutcome::kFailed) {
     // Batch-shim path: the engine stamps kFailed and fires `done` when no
@@ -311,6 +590,7 @@ void InferenceService::on_execute_failed(std::size_t slot) {
   const RequestSpec& spec = tracked.spec;
   if (options_.drop_expired_pending && spec.deadline_s > 0.0 && now() > spec.deadline_s) {
     --in_flight_;
+    --runs_in_flight_;
     tracked.record.outcome = RequestOutcome::kDropped;
     tracked.record.finish_s = now();
     ++stats_.dropped;
@@ -327,6 +607,7 @@ void InferenceService::on_execute_failed(std::size_t slot) {
     ++stats_.stolen_away;
     ++stats_.of(tracked.spec.qos).stolen_away;
     --in_flight_;
+    --runs_in_flight_;
     dispatch_next();
     notify_state();
     return;
@@ -343,6 +624,7 @@ void InferenceService::on_execute_failed(std::size_t slot) {
     return;  // still in flight
   }
   --in_flight_;
+  --runs_in_flight_;
   ++stats_.failed;
   ++stats_.of(tracked.record.qos).failed;
   notify_terminal(slot);

@@ -98,6 +98,19 @@ struct ServiceOptions {
   /// the construction-time NetworkSpec and ignore link events, as if the
   /// service never noticed degradation. Never enable outside experiments.
   bool stale_network_planning = false;
+  /// Continuous batching: coalesce up to this many same-(model, QoS)
+  /// pending requests into one planned group, executed as a single run with
+  /// per-request terminal attribution. 1 (default) keeps the unbatched
+  /// request-per-run path bit-identical to the seed. With max_batch > 1,
+  /// `max_in_flight` bounds concurrent *runs* (groups), not requests, and
+  /// arrivals landing while a same-model group still sits in its FSM-phase
+  /// window join it in place of dispatching alone.
+  std::size_t max_batch = 1;
+  /// How long an under-full group's head request may wait for same-model
+  /// peers before dispatching anyway (a DES timer re-opens dispatch at the
+  /// hold expiry). 0 = dispatch immediately with whatever is pending.
+  /// Meaningful only with max_batch > 1.
+  double max_wait_s = 0.0;
 };
 
 /// Per-QoS-class slice of the lifecycle counters. Balances like the
@@ -131,6 +144,11 @@ struct ServiceStats {
   std::size_t peak_in_flight = 0;
   std::size_t stolen_away = 0;  ///< pending requests migrated to sibling shards
   std::size_t stolen_in = 0;    ///< requests adopted from sibling shards
+  // Continuous-batching counters (informational; outside the balance
+  // equation — every batched request still reaches exactly one terminal).
+  std::size_t groups_dispatched = 0;  ///< multi-request groups dispatched
+  std::size_t batched_requests = 0;   ///< requests that rode in a group (joins incl.)
+  std::size_t group_joins = 0;        ///< arrivals that joined an open group's window
   std::array<QosClassStats, kQosClassCount> per_class;
 
   QosClassStats& of(QosClass qos) { return per_class[static_cast<std::size_t>(qos)]; }
@@ -226,6 +244,12 @@ class InferenceService {
   /// from this shard's records and is counted in stats().stolen_away.
   std::optional<RequestSpec> steal_pending();
 
+  /// Group-aware stealing, victim side: removes and returns up to
+  /// `max_count` pending requests sharing the dispatch-next head's (model,
+  /// QoS class) — a coherent group the thief can dispatch as one batch.
+  /// All are counted stolen_away. Empty when nothing is pending.
+  std::vector<RequestSpec> steal_pending_group(std::size_t max_count);
+
   /// Work stealing, thief side: admits a request stolen from a sibling
   /// shard. Counted as stolen_in (not submitted); its arrival event fires
   /// at the current simulation time, preserving the original arrival_s in
@@ -291,6 +315,17 @@ class InferenceService {
   };
   using PendingSet = std::set<PendingEntry, DispatchBefore>;
 
+  /// A dispatched multi-request group whose run still sits in its FSM-phase
+  /// window: arrivals of the same (model, QoS) may join via the engine.
+  /// `slots` is shared with the run's completion callbacks so joins extend
+  /// the member list the callbacks will attribute.
+  struct OpenGroup {
+    std::uint64_t id = 0;
+    const dnn::DnnGraph* model = nullptr;
+    QosClass qos = QosClass::kStandard;
+    std::shared_ptr<std::vector<std::size_t>> slots;
+  };
+
   RequestHandle register_request(const RequestSpec& spec);
   void observe_cluster();
   void schedule_arrival(std::size_t slot, double arrival_s);
@@ -298,6 +333,16 @@ class InferenceService {
   void on_arrival(std::size_t slot);
   void dispatch(std::size_t slot);
   void dispatch_next();
+  /// Batched dispatch loop (max_batch > 1): forms same-(model, QoS) groups
+  /// from the pending head, holding under-full groups up to max_wait_s.
+  void dispatch_next_batched();
+  /// Dispatches `slots` as one group run (size 1 degrades to dispatch()).
+  void dispatch_group(const std::vector<std::size_t>& slots);
+  /// Arrival-time join into an open group's FSM window. True on success.
+  bool try_join_group(std::size_t slot);
+  void on_group_finished(const std::shared_ptr<std::vector<std::size_t>>& slots);
+  void on_group_failed(const std::shared_ptr<std::vector<std::size_t>>& slots);
+  void prune_open_group(const std::shared_ptr<std::vector<std::size_t>>& slots);
   void on_finished(std::size_t slot);
   /// Node churn killed slot's request mid-task: escalate to the fleet,
   /// retry on surviving nodes, or finalise kFailed.
@@ -310,7 +355,15 @@ class InferenceService {
   /// `prefer_oldest` (ties keep the first-admitted). end() when empty.
   PendingSet::iterator victim_pending(bool prefer_oldest);
   bool can_dispatch() const noexcept {
-    return options_.max_in_flight == 0 || in_flight_ < options_.max_in_flight;
+    if (options_.max_in_flight == 0) return true;
+    // Batching re-denominates the admission bound: a group is one planned
+    // run, so max_in_flight caps concurrent runs rather than requests.
+    if (options_.max_batch > 1) return runs_in_flight_ < options_.max_in_flight;
+    return in_flight_ < options_.max_in_flight;
+  }
+  void clear_hold() noexcept {
+    hold_slot_ = kNoHold;
+    hold_until_ = 0.0;
   }
   double now() const noexcept;
   /// Notifies the source of a terminal outcome and polls it for follow-ups.
@@ -332,6 +385,18 @@ class InferenceService {
   std::array<std::size_t, kQosClassCount> pending_by_class_{};
   std::uint64_t pending_seq_ = 0;
   std::size_t in_flight_ = 0;
+  /// Concurrent planned runs (a group counts once). Equal to in_flight_
+  /// without batching; the admission denominator when max_batch > 1.
+  std::size_t runs_in_flight_ = 0;
+  /// Groups dispatched but still joinable (engine FSM-phase window open).
+  /// Pruned lazily against ExecutionEngine::group_joinable().
+  std::vector<OpenGroup> open_groups_;
+  static constexpr std::size_t kNoHold = static_cast<std::size_t>(-1);
+  /// Head slot currently held for same-model peers, and the DES instant the
+  /// hold expires. kNoHold when nothing is held; a stolen/shed head
+  /// self-heals because the new head no longer matches hold_slot_.
+  std::size_t hold_slot_ = kNoHold;
+  double hold_until_ = 0.0;
   std::size_t inbound_ = 0;  ///< arrival events scheduled but not fired
   /// Scheduled instants of the in-transit arrivals (multiset: duplicates
   /// are the norm). Entries <= now are arrivals firing later this instant

@@ -40,4 +40,28 @@ void Resource::adjust_job_end(std::uint64_t job, Time new_end) {
   throw std::out_of_range("Resource::adjust_job_end: unknown job");
 }
 
+double Resource::cancel(std::uint64_t job, Time now) {
+  for (auto it = intervals_.rbegin(); it != intervals_.rend(); ++it) {
+    BusyInterval& interval = *it;
+    if (interval.job_id != job) continue;
+    if (interval.end <= now) return 0.0;  // already finished: nothing to reclaim
+    const Time new_end = std::max(interval.start, now);
+    const double reclaimed = interval.end - new_end;
+    busy_time_ -= reclaimed;
+    interval.end = new_end;
+    interval.truncated = true;
+    // Recompute the watermark: FIFO admission keeps non-truncated ends
+    // monotone, so the first non-truncated interval from the tail bounds
+    // everything before it.
+    Time watermark = 0.0;
+    for (auto scan = intervals_.rbegin(); scan != intervals_.rend(); ++scan) {
+      watermark = std::max(watermark, scan->end);
+      if (!scan->truncated) break;
+    }
+    free_at_ = watermark;
+    return reclaimed;
+  }
+  return 0.0;
+}
+
 }  // namespace hidp::sim

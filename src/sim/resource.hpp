@@ -20,6 +20,7 @@ struct BusyInterval {
   Time end = 0.0;
   std::uint64_t job_id = 0;
   bool has_callback = false;  ///< a completion event is already scheduled
+  bool truncated = false;     ///< cancel() reclaimed the unexecuted remainder
   double duration() const noexcept { return end - start; }
 };
 
@@ -62,6 +63,17 @@ class Resource {
   /// be re-timed (their completion event is already scheduled); the caller
   /// owning the completion event re-times only callback-less jobs.
   void adjust_job_end(std::uint64_t job, Time new_end);
+
+  /// Preemptively releases the unexecuted remainder of a job at `now`
+  /// (failed-run reservation reclaim): the interval is truncated to
+  /// max(start, now), busy accounting shrinks by the reclaimed seconds, and
+  /// the free-at watermark is recomputed so later submissions reuse the
+  /// window immediately instead of queueing behind dead work. Unlike
+  /// adjust_job_end this accepts jobs with a scheduled completion — the
+  /// caller owns that event and must swallow it (the engine's failed-run
+  /// drain does). Returns the reclaimed seconds (0 when the job already
+  /// ended or is unknown — cancelling twice is harmless).
+  double cancel(std::uint64_t job, Time now);
 
  private:
   Simulator* sim_;
