@@ -18,6 +18,11 @@
 // complete strictly more at a no-worse p99, and max_batch=1 must be
 // bit-identical to the default serving path (exit codes 6/7).
 //
+// And pipelined steady-state serving: a sustained same-model series where
+// the stream rides one stage-resident pipeline plan. Pipelined must beat
+// per-request planning on completed/s at a no-worse p99, and pipeline-off
+// must be bit-identical to the per-request path (exit codes 8/9).
+//
 // Output: a human-readable table on stdout plus BENCH_fleet.json in the
 // working directory. `--smoke` runs tiny request counts so CI can catch
 // build rot without paying full measurement time.
@@ -60,6 +65,7 @@ struct FleetResult {
   std::size_t churn_events = 0;
   std::size_t groups = 0;
   std::size_t batched = 0;
+  std::size_t pipelined = 0;
   double makespan_s = 0.0;
   double completed_per_s = 0.0;
   double p50_s = 0.0;
@@ -74,6 +80,12 @@ struct RunTuning {
   std::size_t max_retries = 1;
   std::size_t max_batch = 1;
   double max_wait_s = 0.0;
+  // Admission shape (defaults match the historical bounded overload runs).
+  std::size_t max_in_flight = 2;
+  std::size_t max_pending = 16;
+  // Pipelined steady-state serving (the stream study).
+  bool pipeline = false;
+  const dnn::DnnGraph* pipeline_stream_model = nullptr;
 };
 
 FleetResult run_fleet(const std::string& config, std::size_t shard_count,
@@ -94,14 +106,16 @@ FleetResult run_fleet(const std::string& config, std::size_t shard_count,
     shard.strategy = strategies.back().get();
     for (std::size_t n = 0; n < span; ++n) shard.nodes.push_back(s * span + n);
     shard.leader = s * span + 1;  // the shard's TX2, per the paper convention
-    shard.service.max_in_flight = 2;
-    shard.service.max_pending = 16;
+    shard.service.max_in_flight = tuning.max_in_flight;
+    shard.service.max_pending = tuning.max_pending;
     shard.service.shed_policy = runtime::LoadShedPolicy::kRejectNewest;
     shard.service.transfer_timeout_factor = tuning.transfer_timeout_factor;
     shard.service.stale_network_planning = tuning.stale_network_planning;
     shard.service.max_retries = tuning.max_retries;
     shard.service.max_batch = tuning.max_batch;
     shard.service.max_wait_s = tuning.max_wait_s;
+    shard.service.pipeline.enabled = tuning.pipeline;
+    shard.service.pipeline.stream_model = tuning.pipeline_stream_model;
     shards.push_back(std::move(shard));
   }
   runtime::FleetOptions options;
@@ -138,6 +152,7 @@ FleetResult run_fleet(const std::string& config, std::size_t shard_count,
   result.evacuations = fleet.evacuations();
   result.groups = stats.groups_dispatched;
   result.batched = stats.batched_requests;
+  result.pipelined = stats.pipelined_requests;
   for (const auto& injector : injectors) result.churn_events += injector->applied();
   for (const auto& injector : net_injectors) result.churn_events += injector->applied();
   result.makespan_s = metrics.makespan_s;
@@ -385,6 +400,65 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Pipeline study: a sustained same-model ResNet-152 series against one
+  // whole-cluster shard with unlimited admission, per-request planning vs
+  // per-model-stream pipelining. Per-request planning replays the cached
+  // minimum-*latency* plan, whose busiest resource bounds sustained
+  // throughput; the pipeline plan cuts the same model to minimise the
+  // steady-state *period* (max stage / handoff time), so consecutive stream
+  // requests overlap on different stages and drain faster at a bounded
+  // tail. Pipelined must complete strictly more per second at a no-worse
+  // p99, and pipeline-off must leave the serving path bit-identical — both
+  // claims join the exit-code contract below.
+  util::Rng pipe_rng(37);
+  const auto pipeline_series =
+      runtime::mixed_stream(models, {ModelId::kResNet152}, count, 0.01, pipe_rng);
+  std::vector<runtime::RequestRecord> series_baseline_records;
+  {
+    runtime::LeastLoadedRouting routing_seq, routing_pipe;
+    RunTuning series_tuning;
+    series_tuning.max_in_flight = 0;  // unlimited: throughput, not shedding
+    series_tuning.max_pending = 0;
+    results.push_back(run_fleet("stream-per-request", 1, pipeline_series, routing_seq,
+                                /*work_stealing=*/false, {}, /*failover=*/false, {},
+                                series_tuning, &series_baseline_records));
+    RunTuning pipe_tuning = series_tuning;
+    pipe_tuning.pipeline = true;
+    results.push_back(run_fleet("stream-pipelined", 1, pipeline_series, routing_pipe,
+                                /*work_stealing=*/false, {}, /*failover=*/false, {},
+                                pipe_tuning));
+  }
+  const FleetResult& stream_seq = results[results.size() - 2];
+  const FleetResult& stream_pipe = results[results.size() - 1];
+  const bool pipeline_wins = stream_pipe.completed_per_s > stream_seq.completed_per_s &&
+                             stream_pipe.p99_s <= stream_seq.p99_s;
+
+  // Pipeline-off control: with PipelineMode disabled (even with a stream
+  // target configured) the records must be bit-identical to the per-request
+  // run — the pipeline machinery is free until it is enabled.
+  bool pipeline_off_identical = true;
+  {
+    runtime::LeastLoadedRouting routing_off;
+    std::vector<runtime::RequestRecord> off_records;
+    RunTuning off_tuning;
+    off_tuning.max_in_flight = 0;
+    off_tuning.max_pending = 0;
+    off_tuning.pipeline = false;
+    off_tuning.pipeline_stream_model = &models.graph(ModelId::kResNet152);
+    run_fleet("control-pipeline-off", 1, pipeline_series, routing_off,
+              /*work_stealing=*/false, {}, /*failover=*/false, {}, off_tuning,
+              &off_records);
+    pipeline_off_identical = off_records.size() == series_baseline_records.size();
+    for (std::size_t i = 0; pipeline_off_identical && i < off_records.size(); ++i) {
+      pipeline_off_identical =
+          off_records[i].id == series_baseline_records[i].id &&
+          off_records[i].outcome == series_baseline_records[i].outcome &&
+          off_records[i].dispatch_s == series_baseline_records[i].dispatch_s &&
+          off_records[i].finish_s == series_baseline_records[i].finish_s &&
+          off_records[i].flops == series_baseline_records[i].flops;
+    }
+  }
+
   std::cout << "fleet scaling (" << (smoke ? "smoke" : "full") << ", " << count
             << " requests)\n";
   for (const FleetResult& r : results) {
@@ -393,8 +467,8 @@ int main(int argc, char** argv) {
               << " failed=" << r.failed << " steals=" << r.steals
               << " evacuations=" << r.evacuations << " churn_events=" << r.churn_events
               << " groups=" << r.groups << " batched=" << r.batched
-              << " completed/s=" << r.completed_per_s << " p50=" << r.p50_s
-              << "s p99=" << r.p99_s << "s\n";
+              << " pipelined=" << r.pipelined << " completed/s=" << r.completed_per_s
+              << " p50=" << r.p50_s << "s p99=" << r.p99_s << "s\n";
   }
   std::cout << "  1->2->4 shard throughput monotonic: " << (monotonic ? "yes" : "NO") << "\n";
   std::cout << "  failover completes more at lower p99 under churn: "
@@ -407,6 +481,10 @@ int main(int argc, char** argv) {
             << (batching_wins ? "yes" : "NO") << "\n";
   std::cout << "  max_batch=1 storm bit-identical to default options: "
             << (batch_one_identical ? "yes" : "NO") << "\n";
+  std::cout << "  pipelined stream beats per-request planning: "
+            << (pipeline_wins ? "yes" : "NO") << "\n";
+  std::cout << "  pipeline-off stream bit-identical to per-request: "
+            << (pipeline_off_identical ? "yes" : "NO") << "\n";
 
   std::ofstream out(out_path);
   if (!out) {
@@ -422,6 +500,8 @@ int main(int argc, char** argv) {
       << (zero_degradation_identical ? "true" : "false")
       << ",\n  \"batching_wins\": " << (batching_wins ? "true" : "false")
       << ",\n  \"batch_one_identical\": " << (batch_one_identical ? "true" : "false")
+      << ",\n  \"pipeline_wins\": " << (pipeline_wins ? "true" : "false")
+      << ",\n  \"pipeline_off_identical\": " << (pipeline_off_identical ? "true" : "false")
       << ",\n  \"results\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const FleetResult& r = results[i];
@@ -430,23 +510,28 @@ int main(int argc, char** argv) {
         << ", \"dropped\": " << r.dropped << ", \"failed\": " << r.failed
         << ", \"steals\": " << r.steals << ", \"evacuations\": " << r.evacuations
         << ", \"churn_events\": " << r.churn_events << ", \"groups\": " << r.groups
-        << ", \"batched\": " << r.batched << ", \"makespan_s\": " << r.makespan_s
+        << ", \"batched\": " << r.batched << ", \"pipelined\": " << r.pipelined
+        << ", \"makespan_s\": " << r.makespan_s
         << ", \"completed_per_s\": " << r.completed_per_s << ", \"p50_s\": " << r.p50_s
         << ", \"p99_s\": " << r.p99_s << "}" << (i + 1 < results.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
   std::cout << "wrote " << out_path << "\n";
-  // All six claims are part of the bench's contract; fail loudly (CI runs
+  // All eight claims are part of the bench's contract; fail loudly (CI runs
   // --smoke) if carving the same nodes into more shards stops paying off,
   // if failover stops beating failover-off under churn, if degradation-aware
   // planning stops beating stale betas, if the degradation machinery
   // perturbs healthy runs, if batching stops paying for the same-model
-  // storm, or if disabled batching perturbs the serving path.
+  // storm, if disabled batching perturbs the serving path, if the pipelined
+  // stream stops beating per-request planning, or if disabled pipelining
+  // perturbs the serving path.
   if (!monotonic) return 2;
   if (!failover_wins) return 3;
   if (!degradation_aware_wins) return 4;
   if (!zero_degradation_identical) return 5;
   if (!batching_wins) return 6;
   if (!batch_one_identical) return 7;
+  if (!pipeline_wins) return 8;
+  if (!pipeline_off_identical) return 9;
   return 0;
 }

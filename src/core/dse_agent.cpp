@@ -29,6 +29,7 @@ std::size_t GlobalDecisionKeyHash::operator()(const GlobalDecisionKey& key) cons
   h.mix(key.availability_mask);
   h.mix(static_cast<std::uint64_t>(key.queue_bucket));
   h.mix(static_cast<std::uint64_t>(key.batch));
+  h.mix(static_cast<std::uint64_t>(key.plan_kind));
   return static_cast<std::size_t>(h.digest());
 }
 

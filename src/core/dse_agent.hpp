@@ -75,11 +75,15 @@ struct GlobalDecisionKey {
   /// Batch size the plan was priced for (continuous batching): one cold
   /// analysis per (situation, batch) serves every group of that size.
   int batch = 1;
+  /// Plan kind (runtime::PlanRequest::PlanKind as int): latency plans and
+  /// steady-state pipeline plans coexist per situation without colliding.
+  int plan_kind = 0;
   bool operator==(const GlobalDecisionKey& other) const noexcept {
     return model == other.model && model_layers == other.model_layers &&
            model_flops == other.model_flops && leader == other.leader &&
            availability_mask == other.availability_mask && wide_mask == other.wide_mask &&
-           queue_bucket == other.queue_bucket && batch == other.batch;
+           queue_bucket == other.queue_bucket && batch == other.batch &&
+           plan_kind == other.plan_kind;
   }
 };
 

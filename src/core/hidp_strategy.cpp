@@ -18,6 +18,7 @@ HidpStrategy::HidpStrategy(Options options)
     : CachingStrategyBase(make_policy(options)),
       options_(std::move(options)),
       global_(DseAgent{options_.dse}),
+      pipeline_planner_(options_.dse),
       rng_(options_.seed),
       last_fsm_(std::make_unique<RuntimeSchedulerFsm>(FsmRole::kLeader)) {}
 
@@ -56,6 +57,26 @@ void HidpStrategy::plan_fresh(const runtime::PlanRequest& request,
                               const std::vector<bool>& available, CachedPlanEntry& entry) {
   const runtime::ClusterSnapshot& snap = request.snapshot;
   partition::ClusterCostModel& cost = cost_model(request.graph(), snap, request.batch);
+  if (request.kind == runtime::PlanRequest::PlanKind::kPipeline) {
+    // Stage-resident pipeline for a sustained stream: cut points minimise
+    // the steady-state period over the same memoised cost tables the
+    // latency DSE fills. Invalid searches leave the plan empty (not
+    // cached), so the next request retries against fresh availability.
+    const PipelinePlan pipeline = pipeline_planner_.plan(cost, snap.leader, available);
+    if (!pipeline.valid) return;
+    entry.plan = runtime::compile_model_partition(pipeline.stages, *snap.nodes, cost,
+                                                  snap.leader, name() + "-pipeline");
+    entry.plan.predicted_latency_s = pipeline.fill_latency_s;
+    entry.plan.period_s = pipeline.period_s;
+    entry.decision.mode = partition::PartitionMode::kModel;
+    entry.decision.model = pipeline.stages;
+    entry.decision.latency_s = pipeline.fill_latency_s;
+    entry.decision.bottleneck_s = pipeline.period_s;
+    entry.decision.effective_s = pipeline.period_s;
+    entry.decision.workers = pipeline.workers;
+    entry.has_decision = true;
+    return;
+  }
   entry.plan = global_.partition(cost, snap.leader, available, snap.queue_depth, name(),
                                  &entry.decision);
   entry.has_decision = true;

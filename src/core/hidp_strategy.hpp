@@ -26,6 +26,7 @@
 #include <unordered_map>
 
 #include "core/global_partitioner.hpp"
+#include "core/pipeline_planner.hpp"
 #include "core/plan_cache.hpp"
 #include "core/scheduler_fsm.hpp"
 #include "net/prober.hpp"
@@ -62,6 +63,11 @@ class HidpStrategy : public CachingStrategyBase {
   explicit HidpStrategy(Options options);
 
   std::string name() const override { return "HiDP"; }
+
+  /// PlanKind::kPipeline requests run the PipelinePlanner over the same
+  /// memoised cost tables; the compiled plan carries its steady-state
+  /// period and is cached under the pipeline plan-kind dimension.
+  bool supports_pipeline() const override { return true; }
 
   /// DSE outcome and FSM trace of the most recent plan() call.
   const GlobalDecision& last_decision() const noexcept { return last_decision_; }
@@ -116,6 +122,7 @@ class HidpStrategy : public CachingStrategyBase {
 
   Options options_;
   GlobalPartitioner global_;
+  PipelinePlanner pipeline_planner_;
   util::Rng rng_;
   GlobalDecision last_decision_;
   std::unique_ptr<RuntimeSchedulerFsm> last_fsm_;

@@ -1,0 +1,46 @@
+#include "core/pipeline_planner.hpp"
+
+#include <algorithm>
+
+namespace hidp::core {
+
+PipelinePlan PipelinePlanner::plan(const partition::ClusterCostModel& cost, std::size_t leader,
+                                   const std::vector<bool>& available) const {
+  PipelinePlan out;
+  out.workers = agent_.order_workers(cost, leader, available);
+  out.stages = partition::plan_model_partition(cost, out.workers, leader,
+                                               partition::PartitionObjective::kMinimizePeriod,
+                                               agent_.config().engine);
+  if (!out.stages.valid) return out;
+
+  // Fill latency: one request traverses every stage, handoff and shipping
+  // leg in sequence — the sum the search already evaluated.
+  out.fill_latency_s = out.stages.latency_s;
+
+  // Steady-state period: the busiest single resource. Stage computes serve
+  // one request at a time; every transfer co-reserves BOTH endpoint radios,
+  // so a node's radio carries its inbound and its outbound leg once per
+  // request (and the leader's radio carries the input shipping plus the
+  // logits return).
+  const auto& blocks = out.stages.blocks;
+  double period = 0.0;
+  std::vector<double> radio(available.size(), 0.0);
+  const auto charge = [&](std::size_t from, std::size_t to, std::int64_t bytes) {
+    if (from == to) return;
+    const double leg = cost.transfer_s(from, to, bytes);
+    radio[from] += leg;
+    radio[to] += leg;
+  };
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    period = std::max(period, blocks[b].stage_s);
+    if (b > 0) charge(blocks[b - 1].node, blocks[b].node, blocks[b].in_bytes);
+  }
+  charge(leader, blocks.front().node, blocks.front().in_bytes);
+  charge(blocks.back().node, leader, blocks.back().out_bytes);
+  for (const double occupancy : radio) period = std::max(period, occupancy);
+  out.period_s = period;
+  out.valid = true;
+  return out;
+}
+
+}  // namespace hidp::core

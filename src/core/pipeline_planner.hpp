@@ -1,0 +1,65 @@
+// Stage-resident pipeline planning for sustained same-model streams.
+//
+// HiDP's DSE minimises one request's end-to-end latency. For a stream of
+// same-model requests the throughput-optimal regime is different: keep each
+// stage resident on its node and let consecutive requests occupy
+// consecutive stages, so the steady-state completion rate is set by the
+// slowest single resource — a stage's compute time or an inter-stage link —
+// not by the latency sum. PipelinePlanner reuses the same flat
+// StageCostTable/BoundaryCostTable memos the latency DP fills, but searches
+// under PartitionObjective::kMinimizePeriod: a handoff (radio) overlaps the
+// next request's compute (processors), and because every transfer
+// co-reserves both endpoint radios, a stage node's radio carries its
+// inbound plus outbound leg per request — each block is priced at
+// max(stage compute, in_leg + out_leg), which is what stops the search
+// from over-splitting into transfer-bound chains.
+//
+// The resulting PipelinePlan is cached by the serving strategy in
+// CrossRequestPlanCache under a plan-kind dimension, so pipeline and
+// latency plans coexist per (model, availability, batch-bucket) key.
+#pragma once
+
+#include "core/dse_agent.hpp"
+
+namespace hidp::core {
+
+/// A steady-state pipeline assignment for one model stream.
+struct PipelinePlan {
+  /// stage -> node / local-config assignment, pipeline order. Each block's
+  /// local decision is the node's best intra-node configuration for its
+  /// layer range (the hierarchical policy, same as latency plans).
+  partition::ModelPartitionResult stages;
+  /// Psi-ordered candidate nodes the search saw (leader first).
+  std::vector<std::size_t> workers;
+  /// Steady-state seconds between consecutive completions: the busiest
+  /// single pipeline resource — a stage's compute, or a node radio's
+  /// inbound plus outbound legs (handoffs and leader shipping both
+  /// co-reserve the two endpoint radios).
+  double period_s = 0.0;
+  /// One request's end-to-end pass through the filled pipeline (stages +
+  /// handoffs + shipping) — what the first request of a stream pays.
+  double fill_latency_s = 0.0;
+  bool valid = false;
+};
+
+/// Picks pipeline cut points minimising the steady-state period (max over
+/// blocks of stage compute vs radio in+out occupancy) rather than the
+/// latency sum.
+class PipelinePlanner {
+ public:
+  explicit PipelinePlanner(DseConfig config = {}) : agent_(std::move(config)) {}
+
+  const DseConfig& config() const noexcept { return agent_.config(); }
+
+  /// Plans the model's pipeline over the available nodes (leader first,
+  /// then descending compute rate — the same Psi ordering the latency DSE
+  /// uses, so both plan kinds draw from the same memoised cost tables).
+  /// Invalid when no feasible cover exists (e.g. every worker down).
+  PipelinePlan plan(const partition::ClusterCostModel& cost, std::size_t leader,
+                    const std::vector<bool>& available) const;
+
+ private:
+  DseAgent agent_;  ///< worker ordering + search-engine configuration
+};
+
+}  // namespace hidp::core

@@ -77,8 +77,14 @@ runtime::PlanResult CachingStrategyBase::plan(const runtime::PlanRequest& reques
   const bool cacheable = policy_.enabled;
   if (cacheable) {
     CrossRequestPlanCache<CachedPlanEntry>::make_key(request.graph(), snap, available, &key);
-    key.queue_bucket = queue_bucket(snap.queue_depth);
+    // A pipeline plan is stream-wide, not queue-adaptive: its period is set
+    // by the cut layout alone, so keying it on queue depth would only
+    // fragment the cache (and force a fresh DP per congestion level).
+    key.queue_bucket = request.kind == runtime::PlanRequest::PlanKind::kPipeline
+                           ? 0
+                           : queue_bucket(snap.queue_depth);
     key.batch = request.batch;
+    key.plan_kind = static_cast<int>(request.kind);
     if (const CachedPlanEntry* hit = cache_.find(key)) {
       runtime::PlanResult result;
       result.plan = hit->plan;

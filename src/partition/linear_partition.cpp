@@ -16,6 +16,14 @@ double combine(PartitionObjective objective, double acc, double stage, double bo
   return std::max(acc, stage + boundary);
 }
 
+double ship_in(const ShipCost* ship, int worker) {
+  return ship != nullptr && ship->in_ship ? ship->in_ship(worker) : 0.0;
+}
+
+double ship_out(const ShipCost* ship, int worker) {
+  return ship != nullptr && ship->out_ship ? ship->out_ship(worker) : 0.0;
+}
+
 }  // namespace
 
 StageCostTable::StageCostTable(int num_segments, int num_workers, StageCostFn fn)
@@ -66,10 +74,13 @@ BoundaryCostFn BoundaryCostTable::as_fn() const {
 double evaluate_partition(const std::vector<LinearPartitionResult::Block>& blocks,
                           const StageCostFn& stage_cost, const BoundaryCostFn& boundary_cost,
                           PartitionObjective objective, double* sum_out,
-                          double* bottleneck_out) {
+                          double* bottleneck_out, const ShipCost* ship) {
   double sum = 0.0;
   double bottleneck = 0.0;
+  double period = 0.0;
   const LinearPartitionResult::Block* prev = nullptr;
+  double prev_stage = 0.0;
+  double prev_in_leg = 0.0;  // radio leg feeding prev's block
   for (const auto& block : blocks) {
     if (block.begin >= block.end) continue;
     double handoff = 0.0;
@@ -77,17 +88,29 @@ double evaluate_partition(const std::vector<LinearPartitionResult::Block>& block
     const double stage = stage_cost(block.begin, block.end, block.worker);
     sum += stage + handoff;
     bottleneck = std::max(bottleneck, stage + handoff);
+    if (prev != nullptr) {
+      // Closing prev's radio ledger: its in-leg plus this outgoing handoff.
+      period = std::max(period, std::max(prev_stage, prev_in_leg + handoff));
+      prev_in_leg = handoff;
+    } else {
+      prev_in_leg = ship_in(ship, block.worker);
+    }
+    prev_stage = stage;
     prev = &block;
+  }
+  if (prev != nullptr) {
+    period = std::max(period, std::max(prev_stage, prev_in_leg + ship_out(ship, prev->worker)));
   }
   if (sum_out != nullptr) *sum_out = sum;
   if (bottleneck_out != nullptr) *bottleneck_out = bottleneck;
-  return objective == PartitionObjective::kMinimizeSum ? sum : bottleneck;
+  if (objective == PartitionObjective::kMinimizeSum) return sum;
+  return objective == PartitionObjective::kMinimizePeriod ? period : bottleneck;
 }
 
 LinearPartitionResult dp_linear_partition(int num_segments, int num_workers,
                                           const StageCostFn& stage_cost,
                                           const BoundaryCostFn& boundary_cost,
-                                          PartitionObjective objective) {
+                                          PartitionObjective objective, const ShipCost* ship) {
   LinearPartitionResult result;
   if (num_segments <= 0 || num_workers <= 0) return result;
 
@@ -106,6 +129,14 @@ LinearPartitionResult dp_linear_partition(int num_segments, int num_workers,
   std::vector<int> back_boundary(best.size(), -1);
   std::vector<int> back_worker(best.size(), -1);
 
+  // Period objective only: the radio leg feeding the chain's last block.
+  // The next cut charges in_leg + handoff to that block's radio, so the
+  // state must remember it; chains are kept by best open value with smaller
+  // in-legs breaking ties (near-exact, deterministic).
+  const bool period = objective == PartitionObjective::kMinimizePeriod;
+  std::vector<double> in_leg;
+  if (period) in_leg.assign(best.size(), 0.0);
+
   StageCostTable stage(num_segments, num_workers, stage_cost);
 
   // Incumbent: best complete cover seen so far. Costs are non-negative, so
@@ -120,16 +151,23 @@ LinearPartitionResult dp_linear_partition(int num_segments, int num_workers,
 
   // First block: worker w takes [0, s).
   for (int w = 0; w < num_workers; ++w) {
+    const double first_ship = period ? ship_in(ship, w) : 0.0;
     for (int s = 1; s <= num_segments; ++s) {
       const double first = stage(0, s, w);
       if (!std::isfinite(first)) continue;
-      const double value = combine(objective, 0.0, first, 0.0);
+      const double value =
+          period ? std::max(first, first_ship) : combine(objective, 0.0, first, 0.0);
       auto& slot = best[state(s, w)];
-      if (value < slot) {
+      if (value < slot || (period && value == slot && first_ship < in_leg[state(s, w)])) {
         slot = value;
         back_boundary[state(s, w)] = 0;
         back_worker[state(s, w)] = -1;
-        if (s == num_segments) upper = std::min(upper, value);
+        if (period) in_leg[state(s, w)] = first_ship;
+        if (s == num_segments) {
+          const double closed =
+              period ? std::max(value, first_ship + ship_out(ship, w)) : value;
+          upper = std::min(upper, closed);
+        }
       }
     }
   }
@@ -144,33 +182,49 @@ LinearPartitionResult dp_linear_partition(int num_segments, int num_workers,
         const double handoff = boundary_cost(s1, w1, w2);
         if (!std::isfinite(handoff)) continue;
         // Every value in the s2 loop is at least this (stage >= 0), so the
-        // whole worker extension can be bounded away at once.
-        const double floor = objective == PartitionObjective::kMinimizeSum
-                                 ? acc + handoff
-                                 : std::max(acc, handoff);
+        // whole worker extension can be bounded away at once. Period: the
+        // cut closes w1's radio ledger (its in-leg plus this handoff).
+        double floor;
+        if (objective == PartitionObjective::kMinimizeSum) {
+          floor = acc + handoff;
+        } else if (period) {
+          floor = std::max(acc, in_leg[state(s1, w1)] + handoff);
+        } else {
+          floor = std::max(acc, handoff);
+        }
         if (floor > upper) continue;
         for (int s2 = s1 + 1; s2 <= num_segments; ++s2) {
           const double block_cost = stage(s1, s2, w2);
           if (!std::isfinite(block_cost)) continue;
-          const double value = combine(objective, acc, block_cost, handoff);
+          const double value =
+              period ? std::max(floor, block_cost) : combine(objective, acc, block_cost, handoff);
           if (value > upper) continue;  // bound: this state cannot win
           auto& slot = best[state(s2, w2)];
-          if (value < slot) {
+          if (value < slot || (period && value == slot && handoff < in_leg[state(s2, w2)])) {
             slot = value;
             back_boundary[state(s2, w2)] = s1;
             back_worker[state(s2, w2)] = w1;
-            if (s2 == num_segments) upper = std::min(upper, value);
+            if (period) in_leg[state(s2, w2)] = handoff;
+            if (s2 == num_segments) {
+              const double closed =
+                  period ? std::max(value, handoff + ship_out(ship, w2)) : value;
+              upper = std::min(upper, closed);
+            }
           }
         }
       }
     }
   }
 
-  // Pick the best full cover.
+  // Pick the best full cover (period: closed value — the last block's radio
+  // also returns the logits to the leader).
   int best_worker = -1;
   double best_value = kInf;
   for (int w = 0; w < num_workers; ++w) {
-    const double v = best[state(num_segments, w)];
+    double v = best[state(num_segments, w)];
+    if (period && std::isfinite(v)) {
+      v = std::max(v, in_leg[state(num_segments, w)] + ship_out(ship, w));
+    }
     if (v < best_value) {
       best_value = v;
       best_worker = w;
@@ -192,7 +246,7 @@ LinearPartitionResult dp_linear_partition(int num_segments, int num_workers,
   result.blocks.assign(reversed.rbegin(), reversed.rend());
   result.objective = best_value;
   evaluate_partition(result.blocks, stage.as_fn(), boundary_cost, objective, &result.sum_cost,
-                     &result.bottleneck_cost);
+                     &result.bottleneck_cost, ship);
   return result;
 }
 
@@ -201,7 +255,8 @@ LinearPartitionResult greedy_backprop_partition(int num_segments, int num_worker
                                                 const std::vector<double>& segment_weights,
                                                 const StageCostFn& stage_cost,
                                                 const BoundaryCostFn& boundary_cost,
-                                                PartitionObjective objective) {
+                                                PartitionObjective objective,
+                                                const ShipCost* ship) {
   LinearPartitionResult result;
   if (num_segments <= 0 || num_workers <= 0) return result;
 
@@ -240,11 +295,13 @@ LinearPartitionResult greedy_backprop_partition(int num_segments, int num_worker
   BoundaryCostTable boundary(num_segments, num_workers, boundary_cost);
 
   // contrib[w] = stage + incoming-handoff seconds of worker w's block under
-  // `bounds` (0 for empty blocks). Summing / maxing contrib in worker order
-  // reproduces evaluate_partition bit-for-bit, so a boundary move only has
-  // to refresh the entries it touches instead of re-walking the chain.
+  // `bounds` (0 for empty blocks); handoffs[w] the handoff share alone, kept
+  // so the period objective can split the two (they land on different
+  // resources). Summing / maxing contrib in worker order reproduces
+  // evaluate_partition bit-for-bit, so a boundary move only has to refresh
+  // the entries it touches instead of re-walking the chain.
   auto fill_contrib = [&](const std::vector<int>& bounds, std::vector<double>& contrib,
-                          int from_worker) {
+                          std::vector<double>& handoffs, int from_worker) {
     // Recompute contrib for workers >= from_worker; entries before it are
     // untouched by a move at boundary index > from_worker.
     int prev = -1;
@@ -256,28 +313,53 @@ LinearPartitionResult greedy_backprop_partition(int num_segments, int num_worker
       const int hi = bounds[static_cast<std::size_t>(w) + 1];
       if (hi <= lo) {
         contrib[static_cast<std::size_t>(w)] = 0.0;
+        handoffs[static_cast<std::size_t>(w)] = 0.0;
         continue;
       }
       const double handoff = prev >= 0 ? boundary(lo, prev, w) : 0.0;
       contrib[static_cast<std::size_t>(w)] = stage(lo, hi, w) + handoff;
+      handoffs[static_cast<std::size_t>(w)] = handoff;
       prev = w;
     }
   };
-  auto objective_of = [&](const std::vector<int>& bounds, const std::vector<double>& contrib) {
+  auto objective_of = [&](const std::vector<int>& bounds, const std::vector<double>& contrib,
+                          const std::vector<double>& handoffs) {
     double sum = 0.0;
     double bottleneck = 0.0;
+    double period = 0.0;
+    // Period: each block's radio carries its incoming and outgoing leg per
+    // request (transfers co-reserve both endpoint radios), so the block is
+    // charged max(stage, in_leg + out_leg); the leader shipping legs feed
+    // the first block and drain the last.
+    double prev_stage = 0.0;
+    double prev_in_leg = 0.0;
+    int prev = -1;
     for (int w = 0; w < num_workers; ++w) {
       if (bounds[static_cast<std::size_t>(w) + 1] <= bounds[static_cast<std::size_t>(w)]) continue;
       const double c = contrib[static_cast<std::size_t>(w)];
+      const double h = handoffs[static_cast<std::size_t>(w)];
       sum += c;
       bottleneck = std::max(bottleneck, c);
+      if (prev >= 0) {
+        period = std::max(period, std::max(prev_stage, prev_in_leg + h));
+        prev_in_leg = h;
+      } else {
+        prev_in_leg = ship_in(ship, w);
+      }
+      prev_stage = c - h;
+      prev = w;
     }
-    return objective == PartitionObjective::kMinimizeSum ? sum : bottleneck;
+    if (prev >= 0) {
+      period = std::max(period, std::max(prev_stage, prev_in_leg + ship_out(ship, prev)));
+    }
+    if (objective == PartitionObjective::kMinimizeSum) return sum;
+    return objective == PartitionObjective::kMinimizePeriod ? period : bottleneck;
   };
 
   std::vector<double> contrib(static_cast<std::size_t>(num_workers), 0.0);
-  fill_contrib(boundaries, contrib, 0);
-  double current = objective_of(boundaries, contrib);
+  std::vector<double> handoffs(static_cast<std::size_t>(num_workers), 0.0);
+  fill_contrib(boundaries, contrib, handoffs, 0);
+  double current = objective_of(boundaries, contrib, handoffs);
 
   // 2. Back-propagate block by block: move one segment across a boundary at
   //    a time while the end-to-end latency improves. A move at boundary
@@ -287,6 +369,7 @@ LinearPartitionResult greedy_backprop_partition(int num_segments, int num_worker
   //    instead of re-costing the whole chain.
   std::vector<int> trial_bounds;
   std::vector<double> trial_contrib;
+  std::vector<double> trial_handoffs;
   bool improved = true;
   int guard = num_segments * num_workers * 4;  // paper's O(n*m) budget
   while (improved && guard-- > 0) {
@@ -301,12 +384,14 @@ LinearPartitionResult greedy_backprop_partition(int num_segments, int num_worker
         trial_bounds = boundaries;
         trial_bounds[static_cast<std::size_t>(w)] = moved;
         trial_contrib = contrib;
-        fill_contrib(trial_bounds, trial_contrib, w - 1);
-        const double value = objective_of(trial_bounds, trial_contrib);
+        trial_handoffs = handoffs;
+        fill_contrib(trial_bounds, trial_contrib, trial_handoffs, w - 1);
+        const double value = objective_of(trial_bounds, trial_contrib, trial_handoffs);
         if (value + 1e-12 < current) {
           current = value;
           boundaries.swap(trial_bounds);
           contrib.swap(trial_contrib);
+          handoffs.swap(trial_handoffs);
           improved = true;
         }
       }
@@ -321,7 +406,7 @@ LinearPartitionResult greedy_backprop_partition(int num_segments, int num_worker
   }
   result.objective = current;
   evaluate_partition(result.blocks, stage.as_fn(), boundary.as_fn(), objective,
-                     &result.sum_cost, &result.bottleneck_cost);
+                     &result.sum_cost, &result.bottleneck_cost, ship);
   return result;
 }
 

@@ -26,6 +26,16 @@ namespace hidp::partition {
 enum class PartitionObjective {
   kMinimizeSum,         ///< single-shot latency: sum of stage + boundary costs
   kMinimizeBottleneck,  ///< steady-state pipeline interval: slowest stage
+  /// Steady-state pipeline *period* with stages on processors and handoffs
+  /// on radios, overlapping across consecutive requests. A transfer
+  /// co-reserves BOTH endpoint radios, so a stage node's radio carries its
+  /// incoming and its outgoing handoff once per request: each block is
+  /// charged max(stage, in_leg + out_leg) and the period is the max over
+  /// blocks. This is what makes over-splitting unprofitable — every extra
+  /// cut adds a full leg to two radios — unlike kMinimizeBottleneck, which
+  /// charges a handoff to its downstream stage only (the right model when
+  /// one request owns the chain end to end).
+  kMinimizePeriod,
 };
 
 /// Cost (seconds) for `worker` to execute segments [begin, end). An empty
@@ -38,6 +48,17 @@ using StageCostFn = std::function<double(int begin, int end, int worker)>;
 /// Cost (seconds) of handing off the boundary tensor at segment boundary
 /// `boundary` from `from_worker` to `to_worker`.
 using BoundaryCostFn = std::function<double(int boundary, int from_worker, int to_worker)>;
+
+/// Leader shipping legs, used by kMinimizePeriod only. The latency
+/// objectives fold input shipping / logits return into the first and last
+/// block's stage cost; the period objective must keep them on the radio
+/// side of the ledger instead — in_ship(w) is the radio seconds to ship the
+/// model input to worker w when it takes the first block (0 when w is the
+/// leader), out_ship(w) the logits return when it takes the last.
+struct ShipCost {
+  std::function<double(int worker)> in_ship;
+  std::function<double(int worker)> out_ship;
+};
 
 /// Lazily-filled flat memo of a StageCostFn over the (boundary × boundary ×
 /// worker) grid. Both search engines build one internally, and callers that
@@ -97,10 +118,17 @@ struct LinearPartitionResult {
 /// stage once per predecessor worker), and branch-and-bound prunes states
 /// and extensions that already exceed the best complete cover found so far
 /// — all without changing the returned blocks or objective.
+/// For kMinimizePeriod the DP state additionally tracks the incoming radio
+/// leg of the chain's last block (needed to price in+out radio pairing);
+/// chains are kept by best open value with smaller in-legs breaking ties,
+/// which makes the period search a deterministic near-exact heuristic
+/// rather than a provably optimal DP. `ship` supplies the leader shipping
+/// legs and is ignored by the latency objectives.
 LinearPartitionResult dp_linear_partition(int num_segments, int num_workers,
                                           const StageCostFn& stage_cost,
                                           const BoundaryCostFn& boundary_cost,
-                                          PartitionObjective objective);
+                                          PartitionObjective objective,
+                                          const ShipCost* ship = nullptr);
 
 /// The paper's greedy back-propagation heuristic (O(S*W) refinement steps).
 /// `worker_rates` orders the initial allocation "following the resource
@@ -110,13 +138,16 @@ LinearPartitionResult greedy_backprop_partition(int num_segments, int num_worker
                                                 const std::vector<double>& segment_weights,
                                                 const StageCostFn& stage_cost,
                                                 const BoundaryCostFn& boundary_cost,
-                                                PartitionObjective objective);
+                                                PartitionObjective objective,
+                                                const ShipCost* ship = nullptr);
 
 /// Objective value of an explicit block layout (shared by both engines and
-/// by tests).
+/// by tests). For kMinimizePeriod the returned value prices each block at
+/// max(stage, in_leg + out_leg) using `ship` for the leader legs (treated
+/// as zero when absent).
 double evaluate_partition(const std::vector<LinearPartitionResult::Block>& blocks,
                           const StageCostFn& stage_cost, const BoundaryCostFn& boundary_cost,
                           PartitionObjective objective, double* sum_out = nullptr,
-                          double* bottleneck_out = nullptr);
+                          double* bottleneck_out = nullptr, const ShipCost* ship = nullptr);
 
 }  // namespace hidp::partition

@@ -14,13 +14,19 @@ ModelPartitionResult plan_model_partition(const ClusterCostModel& cost,
   const int workers = static_cast<int>(worker_nodes.size());
 
   // Stage cost: block execution, plus input shipping for the first block
-  // and logits return for the last one (both relative to the leader).
-  const auto stage_cost = [&](int begin, int end, int worker) {
+  // and logits return for the last one (both relative to the leader). The
+  // period objective keeps the shipping legs on the radio ledger instead —
+  // they overlap neighbouring requests' compute, so folding them into the
+  // stage would double-charge the processors and hide the radio pairing.
+  const bool fold_ship = objective != PartitionObjective::kMinimizePeriod;
+  const auto stage_cost = [&, fold_ship](int begin, int end, int worker) {
     const std::size_t node = worker_nodes[static_cast<std::size_t>(worker)];
     double t = cost.node_time(node, begin, end);
-    if (begin == 0 && node != leader) t += cost.transfer_s(leader, node, cost.boundary_bytes(0));
-    if (end == segments && node != leader) {
-      t += cost.transfer_s(node, leader, cost.boundary_bytes(segments));
+    if (fold_ship) {
+      if (begin == 0 && node != leader) t += cost.transfer_s(leader, node, cost.boundary_bytes(0));
+      if (end == segments && node != leader) {
+        t += cost.transfer_s(node, leader, cost.boundary_bytes(segments));
+      }
     }
     return t;
   };
@@ -29,12 +35,23 @@ ModelPartitionResult plan_model_partition(const ClusterCostModel& cost,
     const std::size_t to = worker_nodes[static_cast<std::size_t>(to_worker)];
     return cost.transfer_s(from, to, cost.boundary_bytes(boundary));
   };
+  ShipCost ship;
+  ship.in_ship = [&](int worker) {
+    const std::size_t node = worker_nodes[static_cast<std::size_t>(worker)];
+    return node != leader ? cost.transfer_s(leader, node, cost.boundary_bytes(0)) : 0.0;
+  };
+  ship.out_ship = [&](int worker) {
+    const std::size_t node = worker_nodes[static_cast<std::size_t>(worker)];
+    return node != leader ? cost.transfer_s(node, leader, cost.boundary_bytes(segments)) : 0.0;
+  };
+  const ShipCost* ship_arg = fold_ship ? nullptr : &ship;
 
   // Both engines memoise stage/boundary costs into flat tables internally,
   // so the raw cost-model closures can be handed over directly.
   LinearPartitionResult search;
   if (engine == SearchEngine::kExactDp) {
-    search = dp_linear_partition(segments, workers, stage_cost, boundary_cost, objective);
+    search = dp_linear_partition(segments, workers, stage_cost, boundary_cost, objective,
+                                 ship_arg);
   } else {
     std::vector<double> rates;
     rates.reserve(worker_nodes.size());
@@ -45,7 +62,7 @@ ModelPartitionResult plan_model_partition(const ClusterCostModel& cost,
       weights.push_back(cost.profile_between(s, s + 1).total());
     }
     search = greedy_backprop_partition(segments, workers, rates, weights, stage_cost,
-                                       boundary_cost, objective);
+                                       boundary_cost, objective, ship_arg);
   }
   if (!search.valid()) return result;
 
@@ -61,6 +78,18 @@ ModelPartitionResult plan_model_partition(const ClusterCostModel& cost,
     result.blocks.push_back(std::move(assignment));
   }
   result.latency_s = search.sum_cost;
+  if (!fold_ship) {
+    // The pure stage costs excluded the leader shipping legs; one request's
+    // end-to-end traversal still pays them.
+    const auto& first = result.blocks.front();
+    const auto& last = result.blocks.back();
+    if (first.node != leader) {
+      result.latency_s += cost.transfer_s(leader, first.node, first.in_bytes);
+    }
+    if (last.node != leader) {
+      result.latency_s += cost.transfer_s(last.node, leader, last.out_bytes);
+    }
+  }
   result.bottleneck_s = search.bottleneck_cost;
   result.valid = true;
   return result;

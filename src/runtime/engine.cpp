@@ -168,13 +168,14 @@ void ExecutionEngine::finalize_record(RequestRecord& record) {
 }
 
 Plan ExecutionEngine::plan_batch(const dnn::DnnGraph& model, QosClass qos, double deadline_s,
-                                 int batch, int queued_behind,
-                                 net::NetworkSpec* network_out) {
+                                 int batch, int queued_behind, net::NetworkSpec* network_out,
+                                 PlanRequest::PlanKind kind) {
   PlanRequest plan_request;
   plan_request.model = &model;
   plan_request.qos = qos;
   plan_request.deadline_s = deadline_s;
   plan_request.batch = batch;
+  plan_request.kind = kind;
   ClusterSnapshot& snapshot = plan_request.snapshot;
   snapshot.nodes = &cluster().nodes();
   snapshot.network = stale_network_planning_ ? cluster().network().base_spec()
@@ -214,6 +215,51 @@ void ExecutionEngine::execute(const RequestSpec& request, RequestRecord& record,
   }
   dispatch_plan(request.id, std::move(plan), std::move(planned_network), start, record,
                 std::move(done), std::move(on_failed));
+}
+
+Plan ExecutionEngine::plan_pipeline(const dnn::DnnGraph& model, QosClass qos,
+                                    int queued_behind) {
+  if (!strategy_->supports_pipeline()) return Plan{};
+  return plan_batch(model, qos, /*deadline_s=*/0.0, /*batch=*/1, queued_behind,
+                    /*network_out=*/nullptr, PlanRequest::PlanKind::kPipeline);
+}
+
+void ExecutionEngine::execute_planned(const RequestSpec& request, const Plan& plan,
+                                      RequestRecord& record, std::function<void()> done,
+                                      std::function<void()> on_failed) {
+  if (request.model == nullptr) throw std::invalid_argument("request without model");
+  check_scope(plan);
+  ++in_flight_;
+  record.strategy = plan.strategy;
+  record.mode = plan.global_mode;
+  record.nodes_used = plan.nodes_used;
+  const double start = cluster().simulator().now() + plan.phases.total();
+  record.dispatch_s = start;
+  if (plan.empty()) {
+    HIDP_LOG(kWarn, "engine") << "empty pipeline plan for request " << request.id;
+    record.finish_s = start;
+    finalize_record(record);
+    --in_flight_;
+    done();
+    return;
+  }
+  // Watchdog expectation baseline: the live spec at dispatch. The shared
+  // plan may be many requests old, so the plan-time spec is not retained;
+  // stale-planning engines keep their construction-time baseline as always.
+  net::NetworkSpec planned_network = stale_network_planning_
+                                         ? cluster().network().base_spec()
+                                         : cluster().network().spec();
+  Plan copy = plan;
+  dispatch_plan(request.id, std::move(copy), std::move(planned_network), start, record,
+                std::move(done), std::move(on_failed));
+}
+
+double ExecutionEngine::estimate_batch_span(const dnn::DnnGraph& model, QosClass qos,
+                                            double deadline_s, int batch, int queued_behind) {
+  Plan plan = plan_batch(model, qos, deadline_s, batch, queued_behind,
+                         /*network_out=*/nullptr);
+  if (plan.empty()) return 0.0;
+  return plan.phases.total() + plan.predicted_latency_s;
 }
 
 std::uint64_t ExecutionEngine::execute_group(const std::vector<RequestSpec>& specs,

@@ -71,6 +71,13 @@ struct PlanRequest {
   /// Requests coalesced into this planned execution (continuous batching).
   /// Per-stage FLOPs/bytes are priced at this batch size; 1 = unbatched.
   int batch = 1;
+  /// What the plan optimises. kLatency is the per-request default; kPipeline
+  /// asks for a stage-resident steady-state pipeline (minimal period) shared
+  /// by a sustained same-model stream. Strategies that do not support
+  /// pipeline planning (IStrategy::supports_pipeline() == false) are never
+  /// asked for kPipeline plans.
+  enum class PlanKind { kLatency = 0, kPipeline = 1 };
+  PlanKind kind = PlanKind::kLatency;
 
   const dnn::DnnGraph& graph() const noexcept { return *model; }
 };
@@ -87,6 +94,10 @@ class IStrategy {
   virtual ~IStrategy() = default;
   virtual std::string name() const = 0;
   virtual PlanResult plan(const PlanRequest& request) = 0;
+  /// True when the strategy can answer PlanKind::kPipeline requests.
+  /// Callers must check before asking — the default planning paths of the
+  /// baselines know nothing about periods. Default: no.
+  virtual bool supports_pipeline() const { return false; }
   /// Churn notification: the owning service forwards effective cluster
   /// node-state changes (see Cluster::add_observer) so strategies can
   /// invalidate derived state eagerly instead of detecting drift at the
@@ -203,6 +214,35 @@ class ExecutionEngine {
     return groups_.find(group) != groups_.end();
   }
 
+  /// Plans (or replays from the plan cache) the steady-state pipeline plan
+  /// for `model` against current availability. Returns an empty plan when
+  /// the strategy does not support pipeline planning or no feasible
+  /// pipeline exists. The returned plan carries its period (Plan::period_s)
+  /// and the planning phase charges of THIS call — the stream owner charges
+  /// them to the request that triggered the (re)plan and zeroes them for
+  /// followers riding the held plan.
+  Plan plan_pipeline(const dnn::DnnGraph& model, QosClass qos, int queued_behind);
+
+  /// Pipelined dispatch: executes `request` under a pre-built stage-resident
+  /// plan shared by a stream of same-model requests, skipping per-request
+  /// planning. Stage-level occupancy emerges from the FIFO resources: the
+  /// moment request i's stage-k reservation frees, request i+1's stage-k
+  /// task (unblocked by its own stage k-1 completion) takes the node, while
+  /// in-order per-request handoff is guaranteed by the plan's dependency
+  /// edges. Churn/link-fault semantics are identical to execute(): a node
+  /// death fails only the requests with unfinished work on it, firing
+  /// `on_failed` so the owner can replan the pipeline on survivors.
+  void execute_planned(const RequestSpec& request, const Plan& plan, RequestRecord& record,
+                       std::function<void()> done, std::function<void()> on_failed = nullptr);
+
+  /// Prices `model` at `batch` through the strategy (typically a plan-cache
+  /// hit on the batch bucket) and returns the planned completion span —
+  /// planning phases plus predicted execution latency — or 0 when the plan
+  /// came back empty. Batch-aware deadline projection uses this in place of
+  /// the single-request execution EWMA.
+  double estimate_batch_span(const dnn::DnnGraph& model, QosClass qos, double deadline_s,
+                             int batch, int queued_behind);
+
   const std::vector<TaskTrace>& traces() const noexcept { return traces_; }
   double makespan_s() const noexcept { return makespan_s_; }
 
@@ -251,7 +291,8 @@ class ExecutionEngine {
   /// strategy->plan at `batch`, validation. The snapshot's network is moved
   /// into `network_out` (the watchdog's expectation baseline).
   Plan plan_batch(const dnn::DnnGraph& model, QosClass qos, double deadline_s, int batch,
-                  int queued_behind, net::NetworkSpec* network_out);
+                  int queued_behind, net::NetworkSpec* network_out,
+                  PlanRequest::PlanKind kind = PlanRequest::PlanKind::kLatency);
   /// Builds the dep graph + topological-executor closures for `run` and
   /// schedules its start — the shared back half of dispatch_plan() and the
   /// group dispatch path.

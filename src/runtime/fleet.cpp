@@ -45,11 +45,16 @@ std::size_t LeastLoadedRouting::route(const RequestSpec& spec, const ServiceFlee
   return best;
 }
 
-std::size_t ModelAffinityRouting::route(const RequestSpec& spec, const ServiceFleet& fleet) {
+std::size_t ModelAffinityRouting::shard_for(const dnn::DnnGraph& model,
+                                            std::size_t shard_count) {
   // Hash of the model name: stable across runs and processes (the graph's
   // address is not).
-  const std::uint64_t h = util::Fnv1a().mix_bytes(spec.model->name()).digest();
-  return static_cast<std::size_t>(h % fleet.shard_count());
+  const std::uint64_t h = util::Fnv1a().mix_bytes(model.name()).digest();
+  return static_cast<std::size_t>(h % shard_count);
+}
+
+std::size_t ModelAffinityRouting::route(const RequestSpec& spec, const ServiceFleet& fleet) {
+  return shard_for(*spec.model, fleet.shard_count());
 }
 
 std::size_t QosWeightedRouting::route(const RequestSpec& spec, const ServiceFleet& fleet) {
@@ -462,6 +467,8 @@ ServiceStats ServiceFleet::stats() const {
     total.groups_dispatched += s.groups_dispatched;
     total.batched_requests += s.batched_requests;
     total.group_joins += s.group_joins;
+    total.pipelined_requests += s.pipelined_requests;
+    total.pipeline_replans += s.pipeline_replans;
     for (std::size_t c = 0; c < kQosClassCount; ++c) {
       total.per_class[c].submitted += s.per_class[c].submitted;
       total.per_class[c].completed += s.per_class[c].completed;

@@ -65,6 +65,13 @@ class ModelAffinityRouting final : public RoutingPolicy {
   std::string_view name() const override { return "model-affinity"; }
   std::size_t route(const RequestSpec& spec, const ServiceFleet& fleet) override;
   bool routes_on_arrival() const override { return false; }
+
+  /// The shard a model's requests land on — the same stable hash route()
+  /// uses. Lets a fleet owner pin pipeline streams where the traffic will
+  /// arrive: shard_for(model)'s service becomes the stream owner
+  /// (InferenceService::pin_stream), making model-affinity shards the
+  /// natural per-model-stream targets of ServiceOptions::PipelineMode.
+  static std::size_t shard_for(const dnn::DnnGraph& model, std::size_t shard_count);
 };
 
 /// Least QoS-weighted load: pending requests count by their class weight

@@ -58,6 +58,9 @@ struct Plan {
   std::vector<PlanTask> tasks;   ///< topologically ordered (deps < index)
   PlanPhases phases;             ///< planning overhead charged at dispatch
   double predicted_latency_s = 0.0;
+  /// Steady-state pipeline period (seconds between completions when a
+  /// same-model stream shares this plan); 0 for per-request latency plans.
+  double period_s = 0.0;
   int nodes_used = 0;
 
   bool empty() const noexcept { return tasks.empty(); }

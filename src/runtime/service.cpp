@@ -39,6 +39,7 @@ InferenceService::~InferenceService() {
 void InferenceService::observe_cluster() {
   engine_->set_transfer_timeout_factor(options_.transfer_timeout_factor);
   engine_->set_stale_network_planning(options_.stale_network_planning);
+  pinned_stream_ = options_.pipeline.stream_model;
   // Fires after the engine's own observer (registered at engine
   // construction) failed mid-flight work, so retries triggered there
   // already planned against the post-churn availability.
@@ -49,6 +50,11 @@ void InferenceService::observe_cluster() {
     // its strategy keeps pricing the construction-time network.
     if (event.kind != NodeEvent::Kind::kLink || !options_.stale_network_planning) {
       engine_->strategy().on_node_event(event);
+      // The shard-held pipeline plan priced the pre-event cluster; drop it
+      // so the next stream request replans on the survivors. A repair
+      // event also clears the unplannable flag — more nodes may re-open a
+      // multi-stage cut.
+      if (options_.pipeline.enabled) invalidate_pipeline_plan();
     }
     const bool node_back =
         event.kind == NodeEvent::Kind::kUp && engine_->scope().contains(event.node);
@@ -67,6 +73,29 @@ void InferenceService::observe_cluster() {
 
 double InferenceService::now() const noexcept {
   return engine_->cluster().simulator().now();
+}
+
+double InferenceService::hold_window_s(const dnn::DnnGraph* model,
+                                       std::size_t missing) const {
+  if (!options_.adaptive_wait) return options_.max_wait_s;
+  const auto it = arrival_gaps_.find(model);
+  // No gap sample yet (first arrival, or a cold model): the fixed window.
+  if (it == arrival_gaps_.end() || it->second.ewma_s <= 0.0) return options_.max_wait_s;
+  // Hold only as long as the missing members should take to show up; a
+  // trickle stream dispatches instead of stalling its head the full knob.
+  return std::min(options_.max_wait_s,
+                  it->second.ewma_s * static_cast<double>(missing));
+}
+
+double InferenceService::projected_span(const dnn::DnnGraph& model, QosClass qos,
+                                        double deadline_s, int batch) {
+  if (!options_.batch_aware_deadline) return avg_execution_s_;
+  // Price the actual batched plan at the prospective size (typically a
+  // plan-cache hit on the batch bucket) instead of the solo-execution EWMA
+  // — a wide batch runs longer than one request, a well-split one shorter.
+  const double span = engine_->estimate_batch_span(model, qos, deadline_s, batch,
+                                                   static_cast<int>(pending_.size()));
+  return span > 0.0 ? span : avg_execution_s_;
 }
 
 bool InferenceService::shard_live() const {
@@ -221,15 +250,26 @@ void InferenceService::on_arrival(std::size_t slot) {
   // Arrivals fire in time order, so the firing event's scheduled instant
   // is the smallest outstanding one.
   inbound_due_.erase(inbound_due_.begin());
+  if (options_.adaptive_wait && options_.max_batch > 1) {
+    // Per-model inter-arrival gap EWMA: the adaptive hold window's signal.
+    ArrivalGap& gap = arrival_gaps_[requests_[slot].spec.model];
+    if (gap.last_s >= 0.0) {
+      const double observed = std::max(now() - gap.last_s, 0.0);
+      gap.ewma_s = gap.ewma_s <= 0.0 ? observed : 0.8 * gap.ewma_s + 0.2 * observed;
+    }
+    gap.last_s = now();
+  }
   if (options_.max_batch > 1) {
     // Continuous batching: an arrival landing while a same-(model, QoS)
     // group still sits in its FSM-phase window joins that group in place
     // of dispatching alone; otherwise it queues and the batched dispatch
-    // loop decides (group up, hold for peers, or go immediately).
+    // loop decides (group up, hold for peers, or go immediately). Stream
+    // requests never join groups — they ride the pipeline instead.
     const RequestSpec& spec = requests_[slot].spec;
     const bool expired =
         options_.drop_expired_pending && spec.deadline_s > 0.0 && now() > spec.deadline_s;
-    if (!expired && pending_.empty() && shard_live() && try_join_group(slot)) {
+    if (!expired && pending_.empty() && shard_live() && !pipeline_applies(spec) &&
+        try_join_group(slot)) {
       notify_state();
       return;
     }
@@ -337,6 +377,14 @@ void InferenceService::dispatch_next_batched() {
       finish_without_execution(head, RequestOutcome::kDropped);
       continue;
     }
+    // Stream requests bypass group formation: each flows down the shared
+    // pipeline plan individually — stage occupancy, not batching, is the
+    // throughput mechanism for the pinned model.
+    if (pipeline_applies(head_spec)) {
+      erase_pending(head_it);
+      dispatch(head);
+      continue;
+    }
     // Gather the group: the head plus same-(model, QoS) peers from the
     // head's class block. The pending set orders by QoS first, so peers of
     // a lower class never jump ahead of the head's class; a candidate whose
@@ -349,19 +397,22 @@ void InferenceService::dispatch_next_batched() {
       if (it->qos != head_spec.qos) break;
       const RequestSpec& cand = requests_[it->slot].spec;
       if (cand.model != head_spec.model) continue;
-      if (cand.deadline_s > 0.0 && avg_execution_s_ > 0.0 &&
-          now() + avg_execution_s_ > cand.deadline_s) {
-        continue;
+      if (cand.deadline_s > 0.0) {
+        const double span = projected_span(*head_spec.model, head_spec.qos, cand.deadline_s,
+                                           static_cast<int>(members.size()) + 1);
+        if (span > 0.0 && now() + span > cand.deadline_s) continue;
       }
       members.push_back(it);
     }
-    // Under-full group: hold the head up to max_wait_s for more peers. The
-    // DES timer re-enters this loop at the expiry; a head that is no longer
-    // the one held (stolen, shed, dropped) resets the hold window.
+    // Under-full group: hold the head for more peers — up to max_wait_s,
+    // or the adaptive window when enabled. The DES timer re-enters this
+    // loop at the expiry; a head that is no longer the one held (stolen,
+    // shed, dropped) resets the hold window.
     if (members.size() < options_.max_batch && options_.max_wait_s > 0.0) {
       if (hold_slot_ != head) {
         hold_slot_ = head;
-        hold_until_ = now() + options_.max_wait_s;
+        hold_until_ =
+            now() + hold_window_s(head_spec.model, options_.max_batch - members.size());
         engine_->cluster().simulator().schedule_at(hold_until_, [this] {
           dispatch_next();
           notify_state();
@@ -385,11 +436,99 @@ void InferenceService::dispatch(std::size_t slot) {
   ++in_flight_;
   ++runs_in_flight_;
   stats_.peak_in_flight = std::max(stats_.peak_in_flight, in_flight_);
+  start_execution(slot);
+}
+
+void InferenceService::start_execution(std::size_t slot) {
   Tracked& tracked = requests_[slot];
   ++tracked.attempts;
+  if (pipeline_applies(tracked.spec)) {
+    dispatch_pipelined(slot);
+    return;
+  }
+  execute_per_request(slot);
+}
+
+void InferenceService::execute_per_request(std::size_t slot) {
+  Tracked& tracked = requests_[slot];
   engine_->execute(tracked.spec, tracked.record, static_cast<int>(pending_.size()),
                    [this, slot] { on_finished(slot); },
                    [this, slot] { on_execute_failed(slot); });
+}
+
+bool InferenceService::pipeline_applies(const RequestSpec& spec) {
+  if (!options_.pipeline.enabled || !engine_->strategy().supports_pipeline()) return false;
+  // Auto-pin: with no explicit target, the first model this shard serves
+  // becomes the stream (behind model-affinity routing that is the shard's
+  // traffic, making affinity shards stream owners with no extra wiring).
+  if (pinned_stream_ == nullptr) pinned_stream_ = spec.model;
+  return spec.model == pinned_stream_;
+}
+
+void InferenceService::pin_stream(const dnn::DnnGraph* model) {
+  pinned_stream_ = model;
+  invalidate_pipeline_plan();
+}
+
+namespace {
+/// A held pipeline plan is replayable only while every node and link it
+/// names is up. Checked at dispatch because the engine's cluster observer
+/// fails in-flight runs *before* the service's observer drops the held
+/// plan — a retry fired inside that event cascade would otherwise replay a
+/// known-dead plan and burn its retry budget.
+bool plan_executable(const Plan& plan, Cluster& cluster) {
+  if (plan.empty()) return false;
+  const auto& available = cluster.network().availability();
+  for (const PlanTask& task : plan.tasks) {
+    if (task.kind == PlanTask::Kind::kTransfer) {
+      if (!available[task.from] || !available[task.to]) return false;
+      if (task.from != task.to && !cluster.network().spec().link_up(task.from, task.to)) {
+        return false;
+      }
+    } else if (!available[task.node]) {
+      return false;
+    }
+  }
+  return true;
+}
+}  // namespace
+
+void InferenceService::dispatch_pipelined(std::size_t slot) {
+  Tracked& tracked = requests_[slot];
+  if (pipeline_plan_valid_ && !plan_executable(pipeline_plan_, engine_->cluster())) {
+    invalidate_pipeline_plan();
+  }
+  if (!pipeline_plan_valid_) {
+    if (pipeline_unplannable_) {
+      // The stream could not be pipelined on the current cluster (e.g. a
+      // single survivor); serve it per-request until an event re-opens it.
+      execute_per_request(slot);
+      return;
+    }
+    Plan plan = engine_->plan_pipeline(*tracked.spec.model, tracked.spec.qos,
+                                       static_cast<int>(pending_.size()));
+    if (plan.empty()) {
+      pipeline_unplannable_ = true;
+      execute_per_request(slot);
+      return;
+    }
+    pipeline_plan_ = std::move(plan);
+    pipeline_plan_valid_ = true;
+    ++stats_.pipeline_replans;
+    ++stats_.pipelined_requests;
+    engine_->execute_planned(tracked.spec, pipeline_plan_, tracked.record,
+                             [this, slot] { on_finished(slot); },
+                             [this, slot] { on_execute_failed(slot); });
+    // The (re)planning request just paid the FSM phases; followers replay
+    // the held plan phase-free, entering the pipeline at dispatch time —
+    // stage occupancy then overlaps consecutive stream requests.
+    pipeline_plan_.phases = PlanPhases{};
+    return;
+  }
+  ++stats_.pipelined_requests;
+  engine_->execute_planned(tracked.spec, pipeline_plan_, tracked.record,
+                           [this, slot] { on_finished(slot); },
+                           [this, slot] { on_execute_failed(slot); });
 }
 
 void InferenceService::dispatch_group(const std::vector<std::size_t>& slots) {
@@ -444,10 +583,13 @@ bool InferenceService::try_join_group(std::size_t slot) {
     }
     // Same projected-completion deadline rule as group formation: do not
     // ride a batch the joiner can only miss in.
-    if (spec.deadline_s > 0.0 && avg_execution_s_ > 0.0 &&
-        now() + avg_execution_s_ > spec.deadline_s) {
-      ++i;
-      continue;
+    if (spec.deadline_s > 0.0) {
+      const double span = projected_span(*spec.model, spec.qos, spec.deadline_s,
+                                         static_cast<int>(group.slots->size()) + 1);
+      if (span > 0.0 && now() + span > spec.deadline_s) {
+        ++i;
+        continue;
+      }
     }
     ++tracked.attempts;
     if (!engine_->try_join(group.id, spec, tracked.record,
@@ -614,13 +756,12 @@ void InferenceService::on_execute_failed(std::size_t slot) {
   }
   if (static_cast<std::size_t>(tracked.attempts) <= options_.max_retries && shard_live()) {
     ++stats_.retries;
-    ++tracked.attempts;
     // Reset the engine-stamped failure; the retry restamps everything.
     tracked.record.outcome = RequestOutcome::kCompleted;
     tracked.record.flops = 0.0;
-    engine_->execute(tracked.spec, tracked.record, static_cast<int>(pending_.size()),
-                     [this, slot] { on_finished(slot); },
-                     [this, slot] { on_execute_failed(slot); });
+    // Re-route through start_execution (counts the attempt): a pipelined
+    // stream request replans its pipeline over the survivors here.
+    start_execution(slot);
     return;  // still in flight
   }
   --in_flight_;

@@ -26,6 +26,7 @@
 #include <memory>
 #include <optional>
 #include <set>
+#include <unordered_map>
 #include <vector>
 
 #include "runtime/engine.hpp"
@@ -111,6 +112,38 @@ struct ServiceOptions {
   /// hold expiry). 0 = dispatch immediately with whatever is pending.
   /// Meaningful only with max_batch > 1.
   double max_wait_s = 0.0;
+  /// Adaptive hold window: scale the batching hold with an EWMA of the
+  /// observed per-model arrival gap — hold only as long as the missing
+  /// group members are expected to take to arrive, with `max_wait_s` as
+  /// the upper bound. A fast stream fills its window; a trickle dispatches
+  /// instead of stalling its head for the full fixed knob. false (default)
+  /// keeps the fixed `max_wait_s` hold — the seed behaviour, bit-identical.
+  bool adaptive_wait = false;
+  /// Batch-aware deadline projection: price a candidate's projected group
+  /// completion from the actual batched plan's estimated latency (planning
+  /// phases + predicted execution at the prospective batch size, typically
+  /// a plan-cache hit on the batch bucket) instead of the single-request
+  /// execution EWMA. false (default) keeps the EWMA projection —
+  /// bit-identical to the seed batched path.
+  bool batch_aware_deadline = false;
+  /// Pipelined steady-state serving: requests for the pinned stream model
+  /// dispatch through one shard-held stage-resident pipeline plan (planned
+  /// once, reused by every stream request until a cluster event or
+  /// pin_stream() drops it) instead of per-request planning. Consecutive
+  /// stream requests occupy consecutive stages — the FIFO resources give a
+  /// node back to request i+1's stage the moment request i's reservation
+  /// frees — so sustained throughput is set by the pipeline period, not the
+  /// latency sum. Off-stream models keep the per-request (and batched)
+  /// paths; strategies without pipeline support fall back entirely.
+  struct PipelineMode {
+    bool enabled = false;  ///< default off = seed behaviour, bit-identical
+    /// The per-model-stream target. Null with enabled = true auto-pins the
+    /// first model this shard dispatches (how model-affinity fleet shards
+    /// become stream owners with no extra wiring); routers pin explicitly
+    /// via InferenceService::pin_stream().
+    const dnn::DnnGraph* stream_model = nullptr;
+  };
+  PipelineMode pipeline;
 };
 
 /// Per-QoS-class slice of the lifecycle counters. Balances like the
@@ -149,6 +182,9 @@ struct ServiceStats {
   std::size_t groups_dispatched = 0;  ///< multi-request groups dispatched
   std::size_t batched_requests = 0;   ///< requests that rode in a group (joins incl.)
   std::size_t group_joins = 0;        ///< arrivals that joined an open group's window
+  // Pipelined-serving counters (informational, outside the balance).
+  std::size_t pipelined_requests = 0;  ///< dispatched through the shard's pipeline plan
+  std::size_t pipeline_replans = 0;    ///< pipeline plans (re)built for the stream
   std::array<QosClassStats, kQosClassCount> per_class;
 
   QosClassStats& of(QosClass qos) { return per_class[static_cast<std::size_t>(qos)]; }
@@ -281,6 +317,16 @@ class InferenceService {
   /// unlimited-admission steal capacity.
   double avg_execution_s() const noexcept { return avg_execution_s_; }
 
+  /// Pins (or, with nullptr, unpins) the pipeline stream target at runtime
+  /// — fleet owners point a model-affinity shard at the model whose
+  /// requests it will receive (ModelAffinityRouting::shard_for). Drops any
+  /// held pipeline plan so the next stream request replans. No-op effect
+  /// while ServiceOptions::PipelineMode is disabled.
+  void pin_stream(const dnn::DnnGraph* model);
+  /// Current stream target (null = unpinned; with PipelineMode enabled the
+  /// first dispatched model auto-pins).
+  const dnn::DnnGraph* pinned_stream() const noexcept { return pinned_stream_; }
+
   /// Terminal-failure sweep after the simulator drained: pending requests
   /// parked on a dead shard (no live leader, no repair ever came) turn
   /// kFailed. Returns true when anything was finalised — callers owning
@@ -332,6 +378,23 @@ class InferenceService {
   void pump();
   void on_arrival(std::size_t slot);
   void dispatch(std::size_t slot);
+  /// Routes slot to the pipeline path or per-request engine execution
+  /// (counts one attempt either way; the churn-retry path re-enters here).
+  void start_execution(std::size_t slot);
+  /// Per-request planning + execution — the seed dispatch body.
+  void execute_per_request(std::size_t slot);
+  /// True when slot's request should ride the shard's pipeline stream
+  /// (PipelineMode enabled, strategy supports it, model matches the pinned
+  /// stream — auto-pinning the first model when none is pinned yet).
+  bool pipeline_applies(const RequestSpec& spec);
+  /// Stream dispatch through the held pipeline plan, (re)planning it when
+  /// absent or no longer executable; falls back to execute_per_request()
+  /// when the stream is unplannable on the surviving cluster.
+  void dispatch_pipelined(std::size_t slot);
+  void invalidate_pipeline_plan() noexcept {
+    pipeline_plan_valid_ = false;
+    pipeline_unplannable_ = false;
+  }
   void dispatch_next();
   /// Batched dispatch loop (max_batch > 1): forms same-(model, QoS) groups
   /// from the pending head, holding under-full groups up to max_wait_s.
@@ -365,6 +428,15 @@ class InferenceService {
     hold_slot_ = kNoHold;
     hold_until_ = 0.0;
   }
+  /// Hold window for an under-full group missing `missing` members: the
+  /// fixed max_wait_s, or (adaptive_wait) the expected arrival time of the
+  /// missing members from the model's arrival-gap EWMA, capped by it.
+  double hold_window_s(const dnn::DnnGraph* model, std::size_t missing) const;
+  /// Projected span (now -> group completion) for deadline filtering at a
+  /// prospective batch size: the execution EWMA, or (batch_aware_deadline)
+  /// the batched plan's phases + predicted latency. 0 = no estimate yet.
+  double projected_span(const dnn::DnnGraph& model, QosClass qos, double deadline_s,
+                        int batch);
   double now() const noexcept;
   /// Notifies the source of a terminal outcome and polls it for follow-ups.
   void notify_terminal(std::size_t slot);
@@ -397,6 +469,26 @@ class InferenceService {
   /// self-heals because the new head no longer matches hold_slot_.
   std::size_t hold_slot_ = kNoHold;
   double hold_until_ = 0.0;
+  // ---- pipelined serving state --------------------------------------------
+  /// Stream target; seeded from options_.pipeline.stream_model, auto-pinned
+  /// to the first dispatched model when enabled with no explicit target.
+  const dnn::DnnGraph* pinned_stream_ = nullptr;
+  /// The shard-held stage-resident plan every stream request replays. The
+  /// first request after a (re)plan pays the FSM phases; followers ride
+  /// with zeroed phases, entering the pipeline at dispatch time.
+  Plan pipeline_plan_;
+  bool pipeline_plan_valid_ = false;
+  /// The stream could not be pipeline-planned on the current cluster
+  /// (e.g. one live node); stream requests fall back to per-request
+  /// planning until a cluster event clears the flag.
+  bool pipeline_unplannable_ = false;
+  /// Per-model inter-arrival gap EWMA (adaptive_wait): seeded by the first
+  /// observed gap, then 0.8/0.2 smoothing.
+  struct ArrivalGap {
+    double last_s = -1.0;
+    double ewma_s = 0.0;
+  };
+  std::unordered_map<const dnn::DnnGraph*, ArrivalGap> arrival_gaps_;
   std::size_t inbound_ = 0;  ///< arrival events scheduled but not fired
   /// Scheduled instants of the in-transit arrivals (multiset: duplicates
   /// are the norm). Entries <= now are arrivals firing later this instant

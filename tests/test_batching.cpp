@@ -367,6 +367,99 @@ TEST(BatchingCostModel, WorkProfileBatchedKeepsLayerCount) {
   EXPECT_DOUBLE_EQ(batched.layer_count(), profile.layer_count());
 }
 
+/// Adaptive hold regression: with no gap sample yet (the very first
+/// arrivals of a model) the adaptive window falls back to the fixed
+/// max_wait_s, so a single under-full group dispatches identically with
+/// the knob on or off — and the knob defaults off.
+TEST(AdaptiveWait, NoGapSampleFallsBackToFixedWindow) {
+  ModelSet models;
+  const auto workload = periodic_stream(models.graph(ModelId::kEfficientNetB0), 2, 0.0);
+  std::vector<std::vector<RequestRecord>> runs;
+  for (const bool adaptive : {false, true}) {
+    Cluster cluster(platform::paper_cluster());
+    core::HidpStrategy strategy;
+    ServiceOptions options;
+    options.max_in_flight = 1;
+    options.max_batch = 4;
+    options.max_wait_s = 0.05;
+    options.adaptive_wait = adaptive;
+    InferenceService service(cluster, strategy, 1, options);
+    ReplayArrivals arrivals(workload);
+    service.attach(&arrivals);
+    runs.push_back(service.run());
+  }
+  expect_bit_identical(runs[0], runs[1]);
+  // Both arrive at t=0: the observed gap is 0, no positive EWMA forms, and
+  // the hold still runs the full fixed window.
+  for (const RequestRecord& record : runs[1]) EXPECT_GE(record.dispatch_s, 0.05);
+}
+
+/// Once the stream has trained the gap EWMA, an under-full tail group's
+/// hold scales to a few arrival gaps instead of stalling its head for the
+/// full fixed knob.
+TEST(AdaptiveWait, TrainedGapShortensTailGroupHold) {
+  ModelSet models;
+  // Six requests at a 0.05 s gap with max_batch 4: the first group fills
+  // and dispatches while training the EWMA; the two-member tail group then
+  // holds for (max_batch - 2) expected gaps = 0.1 s instead of 0.5 s.
+  const std::vector<RequestSpec> workload =
+      periodic_stream(models.graph(ModelId::kResNet152), 6, 0.05);
+  double dispatch_fixed = 0.0, dispatch_adaptive = 0.0;
+  for (const bool adaptive : {false, true}) {
+    Cluster cluster(platform::paper_cluster());
+    core::HidpStrategy strategy;
+    ServiceOptions options;
+    options.max_in_flight = 1;
+    options.max_batch = 4;
+    options.max_wait_s = 0.5;
+    options.adaptive_wait = adaptive;
+    InferenceService service(cluster, strategy, 1, options);
+    ReplayArrivals arrivals(workload);
+    service.attach(&arrivals);
+    const auto records = service.run();
+    ASSERT_EQ(records.size(), 6u);
+    EXPECT_EQ(service.stats().completed, 6u);
+    (adaptive ? dispatch_adaptive : dispatch_fixed) = records[4].dispatch_s;
+  }
+  EXPECT_LT(dispatch_adaptive, dispatch_fixed);
+}
+
+/// Batch-aware deadline projection: with no execution EWMA yet, the seed
+/// filter lets a doomed candidate ride the group (span unknown); pricing
+/// the actual batched plan excludes it up front.
+TEST(BatchAwareDeadline, PlanProjectionExcludesDoomedCandidate) {
+  ModelSet models;
+  std::vector<RequestSpec> workload =
+      periodic_stream(models.graph(ModelId::kEfficientNetB0), 2, 0.0);
+  // The second request could never finish by its deadline (planning phases
+  // alone exceed 1 ms); the head has none.
+  workload[1].deadline_s = 0.001;
+  for (const bool batch_aware : {false, true}) {
+    Cluster cluster(platform::paper_cluster());
+    core::HidpStrategy strategy;
+    ServiceOptions options;
+    options.max_in_flight = 1;
+    options.max_batch = 2;
+    options.max_wait_s = 0.01;
+    options.batch_aware_deadline = batch_aware;
+    InferenceService service(cluster, strategy, 1, options);
+    ReplayArrivals arrivals(workload);
+    service.attach(&arrivals);
+    const auto records = service.run();
+    ASSERT_EQ(records.size(), 2u);
+    if (batch_aware) {
+      // Projection priced the 2-wide plan, saw the blown deadline and kept
+      // the candidate out: no multi-member group forms.
+      EXPECT_EQ(service.stats().batched_requests, 0u);
+    } else {
+      // avg_execution_s_ is still 0 at formation: the EWMA filter is blind
+      // and the doomed request rides the batch.
+      EXPECT_EQ(service.stats().batched_requests, 2u);
+    }
+    expect_class_balance(service.stats());
+  }
+}
+
 /// Degradation-aware routing: with equal queue state, a shard whose worker
 /// radio degraded loses to a healthy one; undegraded, the tie falls to the
 /// lowest index as in least-loaded routing.

@@ -1,0 +1,286 @@
+// Pipelined steady-state serving: PipelineMode-off bit-identity with the
+// batched service path, stage-level occupancy overlapping consecutive
+// stream requests, per-model-stream scoping (off-stream models fall back
+// to per-request planning), unsupported-strategy fallback, and
+// deterministic churn replanning over the survivors.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <vector>
+
+#include "core/hidp_strategy.hpp"
+#include "runtime/service.hpp"
+#include "runtime/workload.hpp"
+
+namespace hidp::runtime {
+namespace {
+
+using dnn::zoo::ModelId;
+
+std::vector<platform::NodeModel> uniform_cluster(std::size_t n) {
+  std::vector<platform::NodeModel> nodes;
+  for (std::size_t i = 0; i < n; ++i) nodes.push_back(platform::make_device("Jetson TX2"));
+  return nodes;
+}
+
+/// Phase-free two-node strategy without pipeline support (IStrategy's
+/// default): PipelineMode must fall back entirely for it.
+class TwoNodeStrategy : public IStrategy {
+ public:
+  std::string name() const override { return "TwoNode"; }
+  PlanResult plan(const PlanRequest& request) override {
+    const auto& available = request.snapshot.available;
+    Plan plan;
+    plan.strategy = name();
+    plan.leader = request.snapshot.leader;
+    PlanTask a;
+    a.kind = PlanTask::Kind::kCompute;
+    a.node = 0;
+    a.proc = 0;
+    a.seconds = 0.5;
+    a.flops = 1e9;
+    plan.tasks.push_back(a);
+    if (available.size() > 1 && available[1]) {
+      PlanTask b = a;
+      b.node = 1;
+      plan.tasks.push_back(b);
+      plan.nodes_used = 2;
+    } else {
+      plan.nodes_used = 1;
+    }
+    return PlanResult{std::move(plan), false};
+  }
+};
+
+void expect_bit_identical(const std::vector<RequestRecord>& a,
+                          const std::vector<RequestRecord>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, b[i].id);
+    EXPECT_EQ(a[i].model, b[i].model);
+    EXPECT_EQ(a[i].strategy, b[i].strategy);
+    EXPECT_EQ(a[i].mode, b[i].mode);
+    EXPECT_EQ(a[i].outcome, b[i].outcome);
+    EXPECT_EQ(a[i].nodes_used, b[i].nodes_used);
+    EXPECT_EQ(a[i].arrival_s, b[i].arrival_s) << "request " << a[i].id;
+    EXPECT_EQ(a[i].dispatch_s, b[i].dispatch_s) << "request " << a[i].id;
+    EXPECT_EQ(a[i].finish_s, b[i].finish_s) << "request " << a[i].id;
+    EXPECT_EQ(a[i].flops, b[i].flops) << "request " << a[i].id;
+  }
+}
+
+std::vector<RequestRecord> run_service(const std::vector<RequestSpec>& workload,
+                                       ServiceOptions options, ServiceStats* stats = nullptr,
+                                       std::vector<TaskTrace>* traces = nullptr,
+                                       std::function<void(Cluster&)> churn = nullptr) {
+  Cluster cluster(platform::paper_cluster());
+  core::HidpStrategy strategy;
+  InferenceService service(cluster, strategy, 1, options);
+  ReplayArrivals arrivals(workload);
+  service.attach(&arrivals);
+  if (churn) churn(cluster);
+  auto records = service.run();
+  if (stats != nullptr) *stats = service.stats();
+  if (traces != nullptr) *traces = service.traces();
+  return records;
+}
+
+/// PipelineMode disabled (the default) must keep the service the same
+/// computation as the batched path — every new knob inert, including an
+/// explicitly set (but disabled) stream target.
+TEST(PipelineIdentity, DisabledReproducesBatchedServiceBitIdentically) {
+  ModelSet models;
+  const std::vector<RequestSpec> workload =
+      periodic_stream(models.graph(ModelId::kResNet152), 8, 0.05);
+
+  ServiceOptions baseline;
+  baseline.max_batch = 2;
+  baseline.max_wait_s = 0.01;
+  ServiceStats base_stats;
+  const auto base_records = run_service(workload, baseline, &base_stats);
+
+  ServiceOptions disabled = baseline;
+  disabled.pipeline.enabled = false;
+  disabled.pipeline.stream_model = &models.graph(ModelId::kResNet152);
+  disabled.adaptive_wait = false;
+  disabled.batch_aware_deadline = false;
+  ServiceStats off_stats;
+  const auto off_records = run_service(workload, disabled, &off_stats);
+
+  expect_bit_identical(base_records, off_records);
+  EXPECT_EQ(off_stats.pipelined_requests, 0u);
+  EXPECT_EQ(off_stats.pipeline_replans, 0u);
+}
+
+/// A strategy without pipeline support makes PipelineMode inert even when
+/// enabled: supports_pipeline() gates the whole path.
+TEST(PipelineIdentity, UnsupportedStrategyFallsBackBitIdentically) {
+  ModelSet models;
+  const std::vector<RequestSpec> workload =
+      periodic_stream(models.graph(ModelId::kEfficientNetB0), 6, 0.1);
+  std::vector<std::vector<RequestRecord>> runs;
+  for (const bool enabled : {false, true}) {
+    Cluster cluster(uniform_cluster(2));
+    TwoNodeStrategy strategy;
+    ServiceOptions options;
+    options.pipeline.enabled = enabled;
+    InferenceService service(cluster, strategy, 0, options);
+    ReplayArrivals arrivals(workload);
+    service.attach(&arrivals);
+    runs.push_back(service.run());
+    EXPECT_EQ(service.stats().pipelined_requests, 0u);
+  }
+  expect_bit_identical(runs[0], runs[1]);
+}
+
+/// A sustained same-model stream rides one shard-held pipeline plan: one
+/// replan, every request pipelined, followers phase-free, and stage-level
+/// occupancy overlaps consecutive requests in the traces (request i+1
+/// computes while request i is still in flight on a later stage).
+TEST(PipelineStream, StreamSharesOnePlanAndOverlapsStages) {
+  ModelSet models;
+  const std::vector<RequestSpec> workload =
+      periodic_stream(models.graph(ModelId::kResNet152), 10, 0.02);
+  ServiceOptions options;
+  options.pipeline.enabled = true;  // auto-pins the stream to ResNet152
+  ServiceStats stats;
+  std::vector<TaskTrace> traces;
+  const auto records = run_service(workload, options, &stats, &traces);
+
+  ASSERT_EQ(records.size(), 10u);
+  for (const RequestRecord& record : records) {
+    EXPECT_EQ(record.outcome, RequestOutcome::kCompleted);
+    EXPECT_EQ(record.strategy, "HiDP-pipeline");
+  }
+  EXPECT_EQ(stats.pipelined_requests, 10u);
+  EXPECT_EQ(stats.pipeline_replans, 1u);
+  // Followers replay the held plan phase-free: they dispatch at arrival,
+  // while the plan payer carries the FSM-phase delay.
+  EXPECT_GT(records[0].dispatch_s, records[0].arrival_s);
+  for (std::size_t i = 1; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].dispatch_s, records[i].arrival_s) << "request " << records[i].id;
+  }
+  // Stage occupancy: some compute interval of a later request overlaps a
+  // different request's compute interval on another node — consecutive
+  // stream requests occupy different pipeline stages simultaneously.
+  bool overlapped = false;
+  for (const TaskTrace& a : traces) {
+    if (a.kind != PlanTask::Kind::kCompute) continue;
+    for (const TaskTrace& b : traces) {
+      if (b.kind != PlanTask::Kind::kCompute || a.request == b.request) continue;
+      if (a.node == b.node && a.proc == b.proc) continue;
+      if (a.start_s < b.end_s && b.start_s < a.end_s) {
+        overlapped = true;
+        break;
+      }
+    }
+    if (overlapped) break;
+  }
+  EXPECT_TRUE(overlapped);
+}
+
+/// Off-stream models keep per-request planning while the pinned stream
+/// rides the pipeline: the stream scoping is per model, not per service.
+TEST(PipelineStream, OffStreamModelsFallBackToPerRequestPlanning) {
+  ModelSet models;
+  const dnn::DnnGraph& stream = models.graph(ModelId::kResNet152);
+  const dnn::DnnGraph& other = models.graph(ModelId::kEfficientNetB0);
+  std::vector<RequestSpec> workload;
+  for (int i = 0; i < 8; ++i) {
+    RequestSpec spec;
+    spec.id = i;
+    spec.model = i % 2 == 0 ? &stream : &other;
+    spec.arrival_s = 0.05 * i;
+    workload.push_back(spec);
+  }
+  ServiceOptions options;
+  options.pipeline.enabled = true;
+  options.pipeline.stream_model = &stream;
+  ServiceStats stats;
+  const auto records = run_service(workload, options, &stats);
+
+  ASSERT_EQ(records.size(), 8u);
+  for (const RequestRecord& record : records) {
+    EXPECT_EQ(record.outcome, RequestOutcome::kCompleted);
+    if (record.id % 2 == 0) {
+      EXPECT_EQ(record.strategy, "HiDP-pipeline") << "request " << record.id;
+    } else {
+      EXPECT_EQ(record.strategy, "HiDP") << "request " << record.id;
+    }
+  }
+  EXPECT_EQ(stats.pipelined_requests, 4u);
+}
+
+/// Identical seeds reproduce a pipelined run bit-for-bit under node churn,
+/// and the churn event drops the held plan: the service replans the
+/// pipeline over the survivors and the stream completes with retries, not
+/// terminal failures.
+TEST(PipelineChurn, DeterministicAndReplansOnSurvivors) {
+  ModelSet models;
+  const std::vector<RequestSpec> workload =
+      periodic_stream(models.graph(ModelId::kResNet152), 10, 0.05);
+  ServiceOptions options;
+  options.pipeline.enabled = true;
+  options.max_retries = 2;
+  const auto churn = [](Cluster& cluster) {
+    cluster.simulator().schedule_at(0.12, [&cluster] {
+      cluster.set_node_available(2, false);
+    });
+  };
+  ServiceStats stats_a, stats_b;
+  const auto run_a = run_service(workload, options, &stats_a, nullptr, churn);
+  const auto run_b = run_service(workload, options, &stats_b, nullptr, churn);
+
+  expect_bit_identical(run_a, run_b);
+  EXPECT_EQ(stats_a.retries, stats_b.retries);
+  EXPECT_EQ(stats_a.pipeline_replans, stats_b.pipeline_replans);
+  ASSERT_EQ(run_a.size(), 10u);
+  for (const RequestRecord& record : run_a) {
+    EXPECT_EQ(record.outcome, RequestOutcome::kCompleted) << "request " << record.id;
+  }
+  // The pre-churn plan plus at least one survivor replan.
+  EXPECT_GE(stats_a.pipeline_replans, 2u);
+  EXPECT_EQ(stats_a.failed, 0u);
+}
+
+/// pin_stream() retargets the stream at runtime and drops the held plan:
+/// requests for the new target pipeline, the old target reverts to
+/// per-request planning.
+TEST(PipelineStream, PinStreamRetargetsAndReplans) {
+  ModelSet models;
+  const dnn::DnnGraph& first = models.graph(ModelId::kResNet152);
+  const dnn::DnnGraph& second = models.graph(ModelId::kVgg19);
+  Cluster cluster(platform::paper_cluster());
+  core::HidpStrategy strategy;
+  ServiceOptions options;
+  options.pipeline.enabled = true;
+  options.pipeline.stream_model = &first;
+  InferenceService service(cluster, strategy, 1, options);
+  EXPECT_EQ(service.pinned_stream(), &first);
+
+  std::vector<RequestSpec> workload = periodic_stream(first, 3, 0.05);
+  std::vector<RequestSpec> tail = periodic_stream(second, 3, 0.05);
+  for (std::size_t i = 0; i < tail.size(); ++i) {
+    tail[i].id = static_cast<int>(3 + i);
+    tail[i].arrival_s += 0.5;
+    workload.push_back(tail[i]);
+  }
+  ReplayArrivals arrivals(workload);
+  service.attach(&arrivals);
+  cluster.simulator().schedule_at(0.4, [&] { service.pin_stream(&second); });
+  const auto records = service.run();
+
+  ASSERT_EQ(records.size(), 6u);
+  for (const RequestRecord& record : records) {
+    EXPECT_EQ(record.outcome, RequestOutcome::kCompleted);
+    EXPECT_EQ(record.strategy, "HiDP-pipeline") << "request " << record.id;
+  }
+  EXPECT_EQ(service.pinned_stream(), &second);
+  EXPECT_EQ(service.stats().pipelined_requests, 6u);
+  // One plan per stream target.
+  EXPECT_EQ(service.stats().pipeline_replans, 2u);
+}
+
+}  // namespace
+}  // namespace hidp::runtime
