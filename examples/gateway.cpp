@@ -1,0 +1,121 @@
+// Serving gateway: the DES fleet behind a real TCP front end.
+//
+//   build/example_gateway            # 4 client threads x 25 requests
+//   build/example_gateway --smoke    # CI-sized run (4 x 5)
+//
+// Walks the wall-clock runtime: Cluster + ServiceFleet as in
+// example_fleet_serving, then a runtime::Gateway that installs a WallClock
+// on the simulator, runs the fleet as a live event loop on a driver thread,
+// plans through a 2-worker PlannerPool, and serves the newline-delimited
+// JSON line protocol on an ephemeral 127.0.0.1 port. Concurrent LineClient
+// threads play external clients; the process exits nonzero unless every
+// request came back with a terminal outcome.
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/hidp_strategy.hpp"
+#include "runtime/fleet.hpp"
+#include "runtime/gateway.hpp"
+#include "runtime/workload.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hidp;
+  using dnn::zoo::ModelId;
+
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  const int kClients = 4;
+  const int kRequestsPerClient = smoke ? 5 : 25;
+
+  // 1. Two (Orin NX, TX2) shards, as in the fleet example.
+  std::vector<platform::NodeModel> nodes;
+  for (int i = 0; i < 2; ++i) {
+    nodes.push_back(platform::make_device("Jetson Orin NX"));
+    nodes.push_back(platform::make_device("Jetson TX2"));
+  }
+  runtime::Cluster cluster(std::move(nodes));
+
+  std::vector<std::unique_ptr<core::HidpStrategy>> strategies;
+  std::vector<runtime::FleetShard> shards;
+  for (std::size_t s = 0; s < 2; ++s) {
+    strategies.push_back(std::make_unique<core::HidpStrategy>());
+    runtime::FleetShard shard;
+    shard.strategy = strategies.back().get();
+    shard.nodes = {2 * s, 2 * s + 1};
+    shard.leader = 2 * s;
+    shards.push_back(std::move(shard));
+  }
+  runtime::LeastLoadedRouting routing;
+  runtime::ServiceFleet fleet(cluster, shards, routing, runtime::FleetOptions{});
+
+  // 2. The gateway: model registry, a 2-worker planner pool, ephemeral port.
+  runtime::ModelSet models;
+  runtime::Gateway::ModelRegistry registry;
+  for (const ModelId id : {ModelId::kEfficientNetB0, ModelId::kResNet152}) {
+    registry[dnn::zoo::model_name(id)] = &models.graph(id);
+  }
+  runtime::Gateway::Options options;
+  options.planner_workers = 2;
+  runtime::Gateway gateway(fleet, registry, options,
+                           [] { return std::make_unique<core::HidpStrategy>(); });
+  gateway.start();
+  std::printf("gateway listening on 127.0.0.1:%u\n", gateway.port());
+
+  // 3. Concurrent clients over the line protocol, one connection each.
+  std::vector<std::thread> clients;
+  std::vector<int> done_counts(kClients, 0);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      runtime::LineClient client;
+      if (!client.connect(gateway.port())) return;
+      const char* model = c % 2 == 0 ? "EfficientNetB0" : "ResNet152";
+      for (int r = 0; r < kRequestsPerClient; ++r) {
+        const int id = c * kRequestsPerClient + r;
+        char line[160];
+        std::snprintf(line, sizeof(line),
+                      "{\"id\":%d,\"model\":\"%s\",\"qos\":\"%s\"}", id, model,
+                      r % 5 == 0 ? "interactive" : "standard");
+        if (!client.send_line(line)) return;
+        // Stream the two response events back: accepted, then done.
+        bool done = false;
+        while (!done) {
+          const auto response = client.read_line(30.0);
+          if (!response) return;
+          const auto event = runtime::jsonl::string_field(*response, "event");
+          if (event && *event == "done") done = true;
+          if (event && *event == "error") return;
+        }
+        ++done_counts[c];
+      }
+    });
+  }
+  for (auto& client : clients) client.join();
+  gateway.stop();
+
+  // 4. Every request must have reached a terminal outcome.
+  int total_done = 0;
+  for (int c = 0; c < kClients; ++c) total_done += done_counts[c];
+  const auto stats = gateway.stats();
+  std::printf("clients=%d requests=%d done=%d | gateway received=%llu submitted=%llu "
+              "responded=%llu bad=%llu\n",
+              kClients, kClients * kRequestsPerClient, total_done,
+              static_cast<unsigned long long>(stats.received),
+              static_cast<unsigned long long>(stats.submitted),
+              static_cast<unsigned long long>(stats.responded),
+              static_cast<unsigned long long>(stats.bad_lines));
+  const auto fleet_stats = fleet.stats();
+  std::printf("fleet: submitted=%zu completed=%zu pool planned=%llu\n",
+              fleet_stats.submitted, fleet_stats.completed,
+              static_cast<unsigned long long>(
+                  gateway.planner_pool() ? gateway.planner_pool()->planned() : 0));
+  if (total_done != kClients * kRequestsPerClient) {
+    std::fprintf(stderr, "FAIL: %d of %d requests reached a terminal outcome\n",
+                 total_done, kClients * kRequestsPerClient);
+    return 1;
+  }
+  std::printf("OK\n");
+  return 0;
+}

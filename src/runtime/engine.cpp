@@ -192,6 +192,35 @@ Plan ExecutionEngine::plan_batch(const dnn::DnnGraph& model, QosClass qos, doubl
   return plan;
 }
 
+PlanRequest ExecutionEngine::make_plan_request(const dnn::DnnGraph& model, QosClass qos,
+                                               double deadline_s, int queued_behind,
+                                               PlanRequest::PlanKind kind) {
+  PlanRequest plan_request;
+  plan_request.model = &model;
+  plan_request.qos = qos;
+  plan_request.deadline_s = deadline_s;
+  plan_request.batch = 1;
+  plan_request.kind = kind;
+  ClusterSnapshot& snapshot = plan_request.snapshot;
+  snapshot.nodes = &cluster().nodes();
+  snapshot.network = stale_network_planning_ ? cluster().network().base_spec()
+                                             : cluster().network().spec();
+  snapshot.available = scope_.visible_availability();
+  snapshot.leader = leader_;
+  // The request is not yet in in_flight_ (execute() increments before it
+  // plans, then subtracts the batch): same pressure, different bookkeeping.
+  snapshot.queue_depth = in_flight_ + queued_behind;
+  snapshot.now_s = cluster().simulator().now();
+  return plan_request;
+}
+
+void ExecutionEngine::set_leader(std::size_t leader) {
+  if (!scope_.contains(leader)) {
+    throw std::invalid_argument("set_leader: node outside engine scope");
+  }
+  leader_ = leader;
+}
+
 void ExecutionEngine::execute(const RequestSpec& request, RequestRecord& record,
                               int queued_behind, std::function<void()> done,
                               std::function<void()> on_failed) {
@@ -236,7 +265,7 @@ void ExecutionEngine::execute_planned(const RequestSpec& request, const Plan& pl
   const double start = cluster().simulator().now() + plan.phases.total();
   record.dispatch_s = start;
   if (plan.empty()) {
-    HIDP_LOG(kWarn, "engine") << "empty pipeline plan for request " << request.id;
+    HIDP_LOG(kWarn, "engine") << "empty pre-built plan for request " << request.id;
     record.finish_s = start;
     finalize_record(record);
     --in_flight_;

@@ -235,6 +235,25 @@ class ExecutionEngine {
   void execute_planned(const RequestSpec& request, const Plan& plan, RequestRecord& record,
                        std::function<void()> done, std::function<void()> on_failed = nullptr);
 
+  /// Builds the PlanRequest the inline planning path would hand the strategy
+  /// for one request that has NOT yet been counted into the engine's
+  /// in-flight total (queue pressure = in_flight() + queued_behind). This is
+  /// the front half of execute() split out for asynchronous planning: a
+  /// PlannerPool ships the request to a worker thread and the resulting plan
+  /// comes back through execute_planned(). The snapshot's `nodes` pointer
+  /// still references the live cluster vector — an asynchronous caller must
+  /// deep-copy the node models before crossing a thread boundary (the
+  /// driver thread mutates them on DVFS events).
+  PlanRequest make_plan_request(const dnn::DnnGraph& model, QosClass qos, double deadline_s,
+                                int queued_behind,
+                                PlanRequest::PlanKind kind = PlanRequest::PlanKind::kLatency);
+
+  /// Moves the engine's leader to another scope member (leader re-election
+  /// after churn kills the current one). Plans cached under the old leader
+  /// simply stop matching; in-flight runs are unaffected. Throws when
+  /// `leader` is outside the engine's scope.
+  void set_leader(std::size_t leader);
+
   /// Prices `model` at `batch` through the strategy (typically a plan-cache
   /// hit on the batch bucket) and returns the planned completion span —
   /// planning phases plus predicted execution latency — or 0 when the plan

@@ -1,0 +1,117 @@
+#include "runtime/planner_pool.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "util/log.hpp"
+
+namespace hidp::runtime {
+
+PlannerPool::PlannerPool(std::size_t workers, StrategyFactory factory) {
+  if (workers == 0) throw std::invalid_argument("PlannerPool: zero workers");
+  if (!factory) throw std::invalid_argument("PlannerPool: null strategy factory");
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    auto worker = std::make_unique<Worker>();
+    worker->strategy = factory();
+    if (!worker->strategy) throw std::invalid_argument("PlannerPool: factory returned null");
+    workers_.push_back(std::move(worker));
+  }
+  // Strategies first, threads second: a throwing factory must not leave
+  // half the pool running.
+  for (auto& worker : workers_) {
+    worker->thread = std::thread([this, w = worker.get()] { worker_loop(*w); });
+  }
+}
+
+PlannerPool::~PlannerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& worker : workers_) {
+    if (worker->thread.joinable()) worker->thread.join();
+  }
+}
+
+void PlannerPool::request_plan(PlanRequest request, std::uint64_t epoch,
+                               std::function<void(Plan, std::uint64_t)> deliver) {
+  auto job = std::make_unique<Job>();
+  // Deep-copy the node models on the requesting (driver) thread, while the
+  // live vector is quiescent; the worker re-points the snapshot at its own
+  // stable buffer before planning.
+  job->nodes = *request.snapshot.nodes;
+  job->request = std::move(request);
+  job->epoch = epoch;
+  job->deliver = std::move(deliver);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) throw std::runtime_error("PlannerPool: request_plan after shutdown");
+    jobs_.push_back(std::move(job));
+  }
+  cv_.notify_one();
+}
+
+std::size_t PlannerPool::pump() {
+  std::deque<Result> batch = results_.drain();
+  for (Result& result : batch) {
+    result.deliver(std::move(result.plan), result.epoch);
+  }
+  return batch.size();
+}
+
+void PlannerPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return jobs_.empty() && in_progress_ == 0; });
+}
+
+void PlannerPool::set_completion_signal(std::function<void()> signal) {
+  std::lock_guard<std::mutex> lock(mu_);
+  signal_ = std::move(signal);
+}
+
+void PlannerPool::worker_loop(Worker& worker) {
+  for (;;) {
+    std::unique_ptr<Job> job;
+    std::function<void()> signal;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !jobs_.empty(); });
+      if (jobs_.empty()) return;  // stopping and drained
+      job = std::move(jobs_.front());
+      jobs_.pop_front();
+      ++in_progress_;
+      signal = signal_;
+    }
+    // Stable-address buffer: reusing worker.nodes keeps the strategy's
+    // cross-request plan cache keyed to one pointer across jobs; the
+    // cache's compute fingerprint still catches DVFS drift in the copied
+    // contents.
+    worker.nodes = std::move(job->nodes);
+    job->request.snapshot.nodes = &worker.nodes;
+    Plan plan;
+    try {
+      plan = worker.strategy->plan(job->request).plan;
+      validate_plan(plan, worker.nodes);
+    } catch (const std::exception& e) {
+      // A throwing strategy must not take the worker down; an empty plan
+      // flows back and the request completes without execution (the same
+      // terminal the inline path gives an unplannable request).
+      HIDP_LOG(kWarn, "planner_pool") << "worker plan failed: " << e.what();
+      plan = Plan{};
+    }
+    results_.push(Result{std::move(plan), job->epoch, std::move(job->deliver)});
+    planned_.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --in_progress_;
+      if (jobs_.empty() && in_progress_ == 0) idle_cv_.notify_all();
+    }
+    // Signal after the result is visible in the queue: a woken driver
+    // always finds the work that woke it.
+    if (signal) signal();
+  }
+}
+
+}  // namespace hidp::runtime

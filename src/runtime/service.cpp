@@ -56,6 +56,14 @@ void InferenceService::observe_cluster() {
       // multi-stage cut.
       if (options_.pipeline.enabled) invalidate_pipeline_plan();
     }
+    // Leader re-election: promote a survivor the instant churn kills this
+    // shard's leader, instead of parking the queue (or surrendering it to
+    // fleet evacuation). Runs after the engine's observer failed the
+    // leader's in-flight work, so retries replan under the new leader.
+    if (options_.leader_reelection && event.kind == NodeEvent::Kind::kDown &&
+        event.node == engine_->leader()) {
+      reelect_leader();
+    }
     const bool node_back =
         event.kind == NodeEvent::Kind::kUp && engine_->scope().contains(event.node);
     // A restored link can un-partition a parked shard the same way a node
@@ -283,8 +291,8 @@ void InferenceService::on_arrival(std::size_t slot) {
     notify_state();
     return;
   }
-  if (can_dispatch() && pending_.empty() && shard_live()) {
-    const RequestSpec& spec = requests_[slot].spec;
+  const RequestSpec& spec = requests_[slot].spec;
+  if (can_dispatch() && pending_.empty() && shard_live() && !pipeline_window_blocked(spec)) {
     // A request can reach a free shard with its deadline already gone —
     // stolen after queueing on a saturated victim, or submitted stale.
     // Under drop_expired_pending that work could only ever miss.
@@ -356,9 +364,16 @@ void InferenceService::dispatch_next() {
   while (can_dispatch() && !pending_.empty() && shard_live()) {
     const auto it = pending_.begin();
     const std::size_t slot = it->slot;
-    erase_pending(it);
     const RequestSpec& spec = requests_[slot].spec;
-    if (options_.drop_expired_pending && spec.deadline_s > 0.0 && now() > spec.deadline_s) {
+    const bool expired =
+        options_.drop_expired_pending && spec.deadline_s > 0.0 && now() > spec.deadline_s;
+    // A stream head blocked by the pipeline admission window parks the
+    // queue (FIFO back-pressure; a pipelined completion re-enters here) —
+    // unless its deadline already passed, in which case dropping it now
+    // frees the head without touching the window.
+    if (!expired && pipeline_window_blocked(spec)) break;
+    erase_pending(it);
+    if (expired) {
       finish_without_execution(slot, RequestOutcome::kDropped);
       continue;
     }
@@ -381,6 +396,7 @@ void InferenceService::dispatch_next_batched() {
     // pipeline plan individually — stage occupancy, not batching, is the
     // throughput mechanism for the pinned model.
     if (pipeline_applies(head_spec)) {
+      if (pipeline_window_blocked(head_spec)) break;  // park until a slot frees
       erase_pending(head_it);
       dispatch(head);
       continue;
@@ -450,10 +466,54 @@ void InferenceService::start_execution(std::size_t slot) {
 }
 
 void InferenceService::execute_per_request(std::size_t slot) {
+  if (plan_provider_ != nullptr) {
+    request_async_plan(slot);
+    return;
+  }
   Tracked& tracked = requests_[slot];
   engine_->execute(tracked.spec, tracked.record, static_cast<int>(pending_.size()),
                    [this, slot] { on_finished(slot); },
                    [this, slot] { on_execute_failed(slot); });
+}
+
+void InferenceService::request_async_plan(std::size_t slot) {
+  Tracked& tracked = requests_[slot];
+  PlanRequest request =
+      engine_->make_plan_request(*tracked.spec.model, tracked.spec.qos,
+                                 tracked.spec.deadline_s, static_cast<int>(pending_.size()));
+  const std::uint64_t epoch = engine_->cluster().membership_epoch();
+  ++stats_.async_plans;
+  // The slot stays dispatched (in_flight_ counted) while the plan computes;
+  // exactly one delivery per request_plan keeps the lifecycle single-owner.
+  plan_provider_->request_plan(std::move(request), epoch,
+                               [this, slot](Plan plan, std::uint64_t plan_epoch) {
+                                 deliver_plan(slot, std::move(plan), plan_epoch);
+                               });
+}
+
+void InferenceService::deliver_plan(std::size_t slot, Plan plan, std::uint64_t epoch) {
+  Tracked& tracked = requests_[slot];
+  if (epoch != engine_->cluster().membership_epoch()) {
+    // The cluster changed while the plan computed (churn, link event, DVFS):
+    // the plan may name dead nodes or mis-price the surviving topology.
+    // Discard it and replan against the current cluster.
+    ++stats_.stale_plans;
+    if (shard_live()) {
+      request_async_plan(slot);
+      return;
+    }
+    // The event that staled the plan also killed the shard: stamp the
+    // failure and route through the standard churn machinery (fleet
+    // evacuation first, kFailed once options run out).
+    tracked.record.outcome = RequestOutcome::kFailed;
+    tracked.record.dispatch_s = now();
+    tracked.record.finish_s = now();
+    on_execute_failed(slot);
+    return;
+  }
+  engine_->execute_planned(tracked.spec, plan, tracked.record,
+                           [this, slot] { on_finished(slot); },
+                           [this, slot] { on_execute_failed(slot); });
 }
 
 bool InferenceService::pipeline_applies(const RequestSpec& spec) {
@@ -516,6 +576,10 @@ void InferenceService::dispatch_pipelined(std::size_t slot) {
     pipeline_plan_valid_ = true;
     ++stats_.pipeline_replans;
     ++stats_.pipelined_requests;
+    if (options_.pipeline_window > 0) {
+      tracked.pipelined = true;
+      ++pipelined_in_flight_;
+    }
     engine_->execute_planned(tracked.spec, pipeline_plan_, tracked.record,
                              [this, slot] { on_finished(slot); },
                              [this, slot] { on_execute_failed(slot); });
@@ -526,9 +590,26 @@ void InferenceService::dispatch_pipelined(std::size_t slot) {
     return;
   }
   ++stats_.pipelined_requests;
+  if (options_.pipeline_window > 0) {
+    tracked.pipelined = true;
+    ++pipelined_in_flight_;
+  }
   engine_->execute_planned(tracked.spec, pipeline_plan_, tracked.record,
                            [this, slot] { on_finished(slot); },
                            [this, slot] { on_execute_failed(slot); });
+}
+
+bool InferenceService::pipeline_window_blocked(const RequestSpec& spec) {
+  if (options_.pipeline_window == 0) return false;
+  if (!pipeline_applies(spec)) return false;
+  return pipelined_in_flight_ >= options_.pipeline_window;
+}
+
+void InferenceService::release_pipeline_window(std::size_t slot) {
+  Tracked& tracked = requests_[slot];
+  if (!tracked.pipelined) return;
+  tracked.pipelined = false;
+  --pipelined_in_flight_;
 }
 
 void InferenceService::dispatch_group(const std::vector<std::size_t>& slots) {
@@ -695,6 +776,7 @@ void InferenceService::on_group_failed(
 void InferenceService::on_finished(std::size_t slot) {
   --in_flight_;
   --runs_in_flight_;
+  release_pipeline_window(slot);
   const RequestRecord& record = requests_[slot].record;
   if (record.outcome == RequestOutcome::kFailed) {
     // Batch-shim path: the engine stamps kFailed and fires `done` when no
@@ -725,6 +807,9 @@ void InferenceService::on_finished(std::size_t slot) {
 
 void InferenceService::on_execute_failed(std::size_t slot) {
   Tracked& tracked = requests_[slot];
+  // Any window occupancy ends with the failed run; a retry that re-enters
+  // the pipeline recounts itself.
+  release_pipeline_window(slot);
   // Under drop_expired_pending, a churn-killed request whose deadline has
   // already passed is could-only-miss work — drop it instead of burning a
   // retry or a sibling's admission room on it (the same rule both dispatch
@@ -791,6 +876,33 @@ void InferenceService::finish_without_execution(std::size_t slot, RequestOutcome
     ++stats_.of(record.qos).failed;
   }
   notify_terminal(slot);
+}
+
+void InferenceService::reelect_leader() {
+  // Highest aggregate peak processor rate among surviving scope members:
+  // planning quality is leader-independent, but the leader fronts every
+  // plan's FSM phases and first-hop traffic, so the fastest survivor is
+  // the best anchor.
+  const auto& nodes = engine_->cluster().nodes();
+  std::size_t best = nodes.size();
+  double best_rate = -1.0;
+  for (const std::size_t member : engine_->scope().members()) {
+    if (!engine_->cluster().node_available(member)) continue;
+    double rate = 0.0;
+    for (std::size_t p = 0; p < nodes[member].processor_count(); ++p) {
+      rate += nodes[member].processors()[p].peak_gflops();
+    }
+    if (rate > best_rate) {
+      best_rate = rate;
+      best = member;
+    }
+  }
+  if (best == nodes.size()) return;  // no survivor: the shard stays parked
+  engine_->set_leader(best);
+  ++stats_.leader_reelections;
+  // The shard is live again under the new leader: resume parked work now.
+  dispatch_next();
+  notify_state();
 }
 
 bool InferenceService::finalize_stranded() {

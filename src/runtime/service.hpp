@@ -144,6 +144,21 @@ struct ServiceOptions {
     const dnn::DnnGraph* stream_model = nullptr;
   };
   PipelineMode pipeline;
+  /// Pipeline admission window: with pipelined serving enabled, at most this
+  /// many stream requests may be in flight down the shared pipeline plan at
+  /// once; further stream arrivals wait in the pending queue until a
+  /// pipelined completion frees a window slot. Bounds the pile-up ahead of
+  /// the pipeline's first stage when arrivals outrun the steady-state
+  /// period (set it to the pipeline's stage count or a small multiple).
+  /// 0 (default) = unbounded, the pre-window behaviour, bit-identical.
+  std::size_t pipeline_window = 0;
+  /// Leader re-election: when churn kills this shard's leader node, promote
+  /// the surviving scope member with the highest aggregate peak processor
+  /// rate instead of parking the shard (or surrendering its queue to fleet
+  /// evacuation). The shard stays live across leader loss as long as any
+  /// member survives. false (default) keeps the seed park/evacuate
+  /// behaviour.
+  bool leader_reelection = false;
 };
 
 /// Per-QoS-class slice of the lifecycle counters. Balances like the
@@ -185,6 +200,11 @@ struct ServiceStats {
   // Pipelined-serving counters (informational, outside the balance).
   std::size_t pipelined_requests = 0;  ///< dispatched through the shard's pipeline plan
   std::size_t pipeline_replans = 0;    ///< pipeline plans (re)built for the stream
+  // Asynchronous-planning counters (informational, outside the balance).
+  std::size_t async_plans = 0;  ///< plans requested through a PlanProvider
+  std::size_t stale_plans = 0;  ///< async plans discarded: epoch moved while planning
+  // Churn-resilience counters.
+  std::size_t leader_reelections = 0;  ///< leaders promoted after leader death
   std::array<QosClassStats, kQosClassCount> per_class;
 
   QosClassStats& of(QosClass qos) { return per_class[static_cast<std::size_t>(qos)]; }
@@ -197,6 +217,22 @@ struct ServiceStats {
 struct RequestHandle {
   int id = -1;
   bool valid() const noexcept { return id >= 0; }
+};
+
+/// Asynchronous planning backend (runtime::PlannerPool is the threaded
+/// implementation). When a service has a provider installed, its per-request
+/// dispatch path hands the strategy invocation to request_plan() instead of
+/// planning inline, and continues when `deliver` fires — which MUST happen
+/// on the service's driver thread (a pool computes off-thread and delivers
+/// from a pump drained between DES events). `epoch` is the cluster
+/// membership epoch captured at request time, echoed back through `deliver`
+/// so the service can detect a plan that crossed a churn/link event and
+/// re-request instead of dispatching a stale topology.
+class PlanProvider {
+ public:
+  virtual ~PlanProvider() = default;
+  virtual void request_plan(PlanRequest request, std::uint64_t epoch,
+                            std::function<void(Plan plan, std::uint64_t epoch)> deliver) = 0;
 };
 
 class InferenceService {
@@ -327,6 +363,16 @@ class InferenceService {
   /// first dispatched model auto-pins).
   const dnn::DnnGraph* pinned_stream() const noexcept { return pinned_stream_; }
 
+  /// Installs (or, with nullptr, removes) an asynchronous planning backend.
+  /// Only the per-request dispatch path goes asynchronous — batched groups
+  /// and pipeline (re)planning keep planning inline on the driver thread,
+  /// where group membership / stream state is consistent at plan time. With
+  /// no provider (default) every path plans inline: bit-identical to the
+  /// seed. The provider must outlive the service or be detached first;
+  /// deliveries for slots of a destroyed service must never fire.
+  void set_plan_provider(PlanProvider* provider) noexcept { plan_provider_ = provider; }
+  PlanProvider* plan_provider() const noexcept { return plan_provider_; }
+
   /// Terminal-failure sweep after the simulator drained: pending requests
   /// parked on a dead shard (no live leader, no repair ever came) turn
   /// kFailed. Returns true when anything was finalised — callers owning
@@ -338,8 +384,9 @@ class InferenceService {
   struct Tracked {
     RequestSpec spec;
     RequestRecord record;
-    bool migrated = false;  ///< stolen by a sibling shard; excluded from run()
-    int attempts = 0;       ///< engine executions (1 + retries)
+    bool migrated = false;   ///< stolen by a sibling shard; excluded from run()
+    bool pipelined = false;  ///< in flight down the shared pipeline plan (window)
+    int attempts = 0;        ///< engine executions (1 + retries)
   };
 
   /// Pending-queue entry, ordered by dispatch priority: higher QoS first,
@@ -381,8 +428,19 @@ class InferenceService {
   /// Routes slot to the pipeline path or per-request engine execution
   /// (counts one attempt either way; the churn-retry path re-enters here).
   void start_execution(std::size_t slot);
-  /// Per-request planning + execution — the seed dispatch body.
+  /// Per-request planning + execution — the seed dispatch body. Routes to
+  /// request_async_plan() when a PlanProvider is installed.
   void execute_per_request(std::size_t slot);
+  /// Asynchronous per-request planning: ships slot's PlanRequest (stamped
+  /// with the current membership epoch) to the provider; deliver_plan()
+  /// continues the dispatch when the plan lands.
+  void request_async_plan(std::size_t slot);
+  /// Provider delivery (driver thread): dispatches the plan via the engine,
+  /// or — when the membership epoch moved while the plan was in flight —
+  /// discards it as stale and re-requests against the current cluster
+  /// (failing over through the normal churn machinery when the shard died
+  /// meanwhile).
+  void deliver_plan(std::size_t slot, Plan plan, std::uint64_t epoch);
   /// True when slot's request should ride the shard's pipeline stream
   /// (PipelineMode enabled, strategy supports it, model matches the pinned
   /// stream — auto-pinning the first model when none is pinned yet).
@@ -391,6 +449,16 @@ class InferenceService {
   /// absent or no longer executable; falls back to execute_per_request()
   /// when the stream is unplannable on the surviving cluster.
   void dispatch_pipelined(std::size_t slot);
+  /// True when slot's request would ride the pipeline but the admission
+  /// window (ServiceOptions::pipeline_window) is currently full — the
+  /// request must wait in the pending queue for a pipelined completion.
+  bool pipeline_window_blocked(const RequestSpec& spec);
+  /// Releases slot's pipeline-window occupancy (terminal or retry reentry).
+  void release_pipeline_window(std::size_t slot);
+  /// Leader churn response (ServiceOptions::leader_reelection): promotes the
+  /// surviving scope member with the highest aggregate peak processor rate
+  /// and resumes dispatch. No-op when no member survives.
+  void reelect_leader();
   void invalidate_pipeline_plan() noexcept {
     pipeline_plan_valid_ = false;
     pipeline_unplannable_ = false;
@@ -450,6 +518,7 @@ class InferenceService {
   std::function<void()> state_hook_;
   std::function<bool(const RequestSpec&, int)> failure_hook_;
   std::function<bool()> liveness_hook_;
+  PlanProvider* plan_provider_ = nullptr;  ///< async planning backend (null = inline)
   std::size_t observer_id_ = 0;  ///< cluster node-event subscription
   double avg_execution_s_ = 0.0;
   std::deque<Tracked> requests_;  ///< stable storage; slot = index
@@ -482,6 +551,9 @@ class InferenceService {
   /// (e.g. one live node); stream requests fall back to per-request
   /// planning until a cluster event clears the flag.
   bool pipeline_unplannable_ = false;
+  /// Stream requests currently in flight down the pipeline plan (the
+  /// admission-window numerator; counted only when pipeline_window > 0).
+  std::size_t pipelined_in_flight_ = 0;
   /// Per-model inter-arrival gap EWMA (adaptive_wait): seeded by the first
   /// observed gap, then 0.8/0.2 smoothing.
   struct ArrivalGap {

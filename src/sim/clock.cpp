@@ -1,0 +1,49 @@
+#include "sim/clock.hpp"
+
+namespace hidp::sim {
+
+ClockTime WallClock::now() const {
+  const auto elapsed = std::chrono::steady_clock::now() - start_;
+  return std::chrono::duration<double>(elapsed).count();
+}
+
+bool WallClock::wait_until(ClockTime target_s) {
+  const auto deadline =
+      start_ + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                   std::chrono::duration<double>(target_s));
+  std::unique_lock<std::mutex> lock(mu_);
+  const bool woken = cv_.wait_until(lock, deadline, [this] { return woken_; });
+  woken_ = false;  // consume the latch either way
+  return woken;
+}
+
+ClockTime WallClock::advance_to(ClockTime target) {
+  if (now() >= target) return target;
+  if (wait_until(target)) {
+    // Woken early: report where the timeline actually is so the caller
+    // re-evaluates (an external producer may have queued earlier work).
+    const ClockTime reached = now();
+    return reached < target ? reached : target;
+  }
+  return target;
+}
+
+bool WallClock::wait(ClockTime timeout_s) {
+  if (timeout_s <= 0.0) {
+    std::unique_lock<std::mutex> lock(mu_);
+    const bool woken = woken_;
+    woken_ = false;
+    return woken;
+  }
+  return wait_until(now() + timeout_s);
+}
+
+void WallClock::wake() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    woken_ = true;
+  }
+  cv_.notify_one();
+}
+
+}  // namespace hidp::sim

@@ -1,0 +1,104 @@
+// Clock abstraction: the DES timeline split behind an interface.
+//
+// Every timestamp in the system (event times, arrival stamps, latencies) is
+// seconds on one logical timeline. What that timeline is pinned to is the
+// clock's business:
+//
+//  - VirtualClock is the discrete-event simulator's native mode: time jumps
+//    instantaneously to the next event. advance_to() returns its target and
+//    never blocks, so a Simulator driven by it is bit-identical to the
+//    pre-clock DES — the whole regression/bench suite runs under it.
+//  - WallClock pins the timeline to the process's monotonic clock (seconds
+//    since the clock's construction). advance_to() blocks until real time
+//    reaches the target or wake() interrupts the wait, which is what lets
+//    runtime::Gateway run the same fleet code against real concurrent
+//    clients: events fire when their timestamps actually pass, and external
+//    submission threads wake the driver loop out of its sleep.
+//
+// Only WallClock is shared across threads, and only through now()/wake();
+// advance_to()/wait() are driver-thread-only (single consumer).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+namespace hidp::sim {
+
+/// Simulation time in seconds (mirrors simulator.hpp's alias; kept local so
+/// clock.hpp has no simulator dependency).
+using ClockTime = double;
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// True for clocks whose advance_to() never blocks (pure DES semantics).
+  virtual bool is_virtual() const noexcept = 0;
+
+  /// Current time on this clock's timeline.
+  virtual ClockTime now() const = 0;
+
+  /// Paces the caller toward `target`. Virtual: jumps, returns `target`.
+  /// Wall: blocks until the monotonic timeline reaches `target` or wake()
+  /// interrupts; returns the time actually reached (< target only when
+  /// woken early). Driver thread only.
+  virtual ClockTime advance_to(ClockTime target) = 0;
+
+  /// Blocks up to `timeout_s` for a wake() (idle waiting with no event to
+  /// pace toward). Returns true when woken, false on timeout. Virtual
+  /// clocks return false immediately — a drained DES is done. Driver
+  /// thread only.
+  virtual bool wait(ClockTime timeout_s) = 0;
+
+  /// Interrupts a blocked advance_to()/wait(). Thread-safe. A wake with no
+  /// waiter is latched and consumed by the next wait, so a producer that
+  /// pushes work and wakes between the driver's drain and its sleep cannot
+  /// be lost.
+  virtual void wake() = 0;
+};
+
+/// The DES timeline: time is wherever the last advance_to() put it.
+class VirtualClock final : public Clock {
+ public:
+  bool is_virtual() const noexcept override { return true; }
+  ClockTime now() const override { return now_; }
+  ClockTime advance_to(ClockTime target) override {
+    if (target > now_) now_ = target;
+    return target;
+  }
+  bool wait(ClockTime timeout_s) override {
+    (void)timeout_s;
+    return false;
+  }
+  void wake() override {}
+
+ private:
+  ClockTime now_ = 0.0;
+};
+
+/// Monotonic wall time, anchored at construction. Timed waits are
+/// interruptible by wake() from any thread.
+class WallClock final : public Clock {
+ public:
+  WallClock() : start_(std::chrono::steady_clock::now()) {}
+
+  bool is_virtual() const noexcept override { return false; }
+  ClockTime now() const override;
+  ClockTime advance_to(ClockTime target) override;
+  bool wait(ClockTime timeout_s) override;
+  void wake() override;
+
+ private:
+  /// Shared wait body: blocks until the monotonic timeline reaches
+  /// `target_s` (infinity = pure wake wait bounded by timeout) or a wake
+  /// lands. Returns true when woken.
+  bool wait_until(ClockTime target_s);
+
+  std::chrono::steady_clock::time_point start_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool woken_ = false;  ///< latched wake, consumed by the next wait
+};
+
+}  // namespace hidp::sim

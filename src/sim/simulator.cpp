@@ -22,35 +22,60 @@ bool Simulator::cancel(EventId id) {
   return true;
 }
 
-bool Simulator::pop_and_run() {
+bool Simulator::prune_cancelled_top() {
   while (!queue_.empty()) {
-    Event event = queue_.top();
+    const auto it = std::find(cancelled_.begin(), cancelled_.end(), queue_.top().id);
+    if (it == cancelled_.end()) return true;
+    cancelled_.erase(it);
+    --cancelled_in_queue_;
     queue_.pop();
-    const auto it = std::find(cancelled_.begin(), cancelled_.end(), event.id);
-    if (it != cancelled_.end()) {
-      cancelled_.erase(it);
-      --cancelled_in_queue_;
-      continue;
-    }
-    now_ = event.at;
-    ++executed_;
-    event.fn();
-    return true;
   }
   return false;
 }
 
+bool Simulator::pop_and_run() {
+  if (!prune_cancelled_top()) return false;
+  Event event = queue_.top();
+  queue_.pop();
+  now_ = event.at;
+  ++executed_;
+  event.fn();
+  return true;
+}
+
+std::optional<Time> Simulator::next_event_at() {
+  if (!prune_cancelled_top()) return std::nullopt;
+  return queue_.top().at;
+}
+
 Time Simulator::run() {
-  while (pop_and_run()) {
+  for (;;) {
+    if (pump_ && !pump_()) break;
+    if (!prune_cancelled_top()) {
+      if (!pump_) break;  // DES: drained means done
+      // Real-time idle: block until a producer wakes us (or the liveness
+      // bound elapses) rather than spinning on an empty queue.
+      clock_->wait(kIdleWait);
+      continue;
+    }
+    const Time at = queue_.top().at;
+    // Pace through the clock. The virtual clock jumps (returns `at`); a
+    // wall clock sleeps and may be woken early by an external producer —
+    // loop back to the pump instead of firing the event ahead of time.
+    if (clock_->advance_to(at) < at) continue;
+    pop_and_run();
   }
   return now_;
 }
 
 Time Simulator::run_until(Time deadline) {
-  while (!queue_.empty() && queue_.top().at <= deadline) {
-    if (!pop_and_run()) break;
+  for (;;) {
+    if (!prune_cancelled_top()) break;
+    const Time at = queue_.top().at;
+    if (at > deadline) break;
+    if (clock_->advance_to(at) < at) continue;
+    pop_and_run();
   }
-  if (now_ < deadline && queue_.empty()) now_ = now_;  // time only advances with events
   return now_;
 }
 

@@ -4,12 +4,26 @@
 // intervals, radio transfers, FSM transitions and request arrivals are all
 // events. Determinism is guaranteed by a (time, sequence) ordered queue, so
 // two events at the same timestamp fire in scheduling order.
+//
+// Time itself is split behind the Clock interface (clock.hpp). Under the
+// default VirtualClock the simulator is the classic DES — time jumps to the
+// next event, run() drains the queue, and behaviour is bit-identical to the
+// pre-clock engine. Under a WallClock the same queue becomes a real-time
+// event loop: run() sleeps until each event's timestamp actually passes,
+// and an external-work pump (set_pump) lets producer threads feed new
+// events through a thread-safe queue + Clock::wake() without ever touching
+// simulator state themselves. All simulator methods remain single-threaded
+// (driver thread only); cross-thread interaction goes exclusively through
+// the clock's wake() and whatever queue the pump drains.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <queue>
 #include <vector>
+
+#include "sim/clock.hpp"
 
 namespace hidp::sim {
 
@@ -37,15 +51,39 @@ class Simulator {
   /// Cancels a pending event. Returns false if already fired / unknown.
   bool cancel(EventId id);
 
-  /// Runs until the event queue is empty. Returns the final time.
+  /// Runs until the event queue is empty (with a pump installed: until the
+  /// pump returns false). Each event is paced through the clock first — the
+  /// default VirtualClock jumps, a WallClock sleeps until the event's
+  /// timestamp passes. Returns the final time.
   Time run();
 
   /// Runs until the queue is empty or `deadline` is reached, whichever is
-  /// first. Events at exactly `deadline` are executed.
+  /// first. Events at exactly `deadline` are executed. Pacing as in run();
+  /// the pump is not consulted.
   Time run_until(Time deadline);
 
-  /// Executes at most one event. Returns false if the queue was empty.
+  /// Executes at most one event, immediately (no clock pacing). Returns
+  /// false if the queue was empty.
   bool step();
+
+  /// Timestamp of the next pending event, or nullopt when the queue is
+  /// empty. Prunes cancelled events from the queue head.
+  std::optional<Time> next_event_at();
+
+  /// Installs the clock that paces run(). Defaults to an owned VirtualClock
+  /// (pure DES, bit-identical to the pre-clock engine); pass nullptr to
+  /// restore the default. The clock must outlive the simulator while set.
+  void set_clock(Clock* clock) noexcept { clock_ = clock ? clock : &virtual_clock_; }
+  Clock& clock() noexcept { return *clock_; }
+  const Clock& clock() const noexcept { return *clock_; }
+
+  /// External-work source consulted by run(): called at the top of every
+  /// loop iteration — after a wake interrupted the clock's sleep, and when
+  /// the queue drained. Return false to stop the loop (run() returns).
+  /// Absent (default), run() returns when the queue empties — the DES
+  /// behaviour. With a pump and an empty queue, run() blocks on
+  /// clock().wait() instead of spinning; producers call Clock::wake().
+  void set_pump(std::function<bool()> pump) { pump_ = std::move(pump); }
 
   /// Number of events executed so far.
   std::uint64_t events_executed() const noexcept { return executed_; }
@@ -66,7 +104,14 @@ class Simulator {
     }
   };
 
+  /// Pops cancelled events off the queue head; true while one remains.
+  bool prune_cancelled_top();
   bool pop_and_run();
+
+  /// Maximum idle block in run() when a pump is installed and the queue is
+  /// empty — a liveness bound (stop flags are re-checked at least this
+  /// often) on top of the wake() fast path.
+  static constexpr Time kIdleWait = 0.05;
 
   Time now_ = 0.0;
   EventId next_id_ = 1;
@@ -74,6 +119,9 @@ class Simulator {
   std::size_t cancelled_in_queue_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
   std::vector<EventId> cancelled_;  // sorted insertion not needed; small
+  VirtualClock virtual_clock_;      ///< default pacing: the classic DES
+  Clock* clock_ = &virtual_clock_;
+  std::function<bool()> pump_;
 };
 
 }  // namespace hidp::sim

@@ -411,5 +411,87 @@ TEST(ChurnPlanCache, DvfsEventInvalidatesEagerly) {
   EXPECT_EQ(hidp.plan_cache_epoch(), epoch_after_dvfs);
 }
 
+/// Leader death with re-election on: the surviving scope member with the
+/// highest aggregate peak rate is promoted, and requests arriving after the
+/// death plan and complete under the new leader instead of parking.
+TEST(LeaderReelection, PromotesHighestRateSurvivorAndKeepsServing) {
+  std::vector<platform::NodeModel> nodes;
+  nodes.push_back(platform::make_device("Jetson TX2"));       // leader
+  nodes.push_back(platform::make_device("Jetson TX2"));
+  nodes.push_back(platform::make_device("Jetson Orin NX"));   // fastest survivor
+  Cluster cluster(std::move(nodes));
+  PreferredNodeStrategy strategy(/*preferred=*/1, /*seconds=*/0.5);
+  ServiceOptions options;
+  options.leader_reelection = true;
+  InferenceService service(cluster, strategy, /*leader=*/0, options);
+  ModelSet models;
+  service.submit(RequestSpec{0, &models.graph(ModelId::kEfficientNetB0), 0.0});
+  service.submit(RequestSpec{1, &models.graph(ModelId::kEfficientNetB0), 2.0});
+  // The leader dies between the two requests (nothing in flight on it).
+  ScriptedChurn trace({{1.0, 0, ChurnEvent::Action::kFail, 1.0}});
+  ChurnInjector injector(cluster, trace);
+  injector.start();
+  const auto records = service.run();
+
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].outcome, RequestOutcome::kCompleted);
+  EXPECT_EQ(records[1].outcome, RequestOutcome::kCompleted);
+  EXPECT_EQ(service.stats().leader_reelections, 1u);
+  EXPECT_EQ(service.stats().failed, 0u);
+  // The Orin NX outguns the surviving TX2: it becomes the anchor.
+  EXPECT_EQ(service.engine().leader(), 2u);
+}
+
+/// Same scenario with the flag off (the default): the shard is dead once
+/// its leader is, so the post-death request parks and finalizes kFailed —
+/// the pre-PR behaviour, unchanged.
+TEST(LeaderReelection, OffByDefaultKeepsDeadShardSemantics) {
+  std::vector<platform::NodeModel> nodes;
+  nodes.push_back(platform::make_device("Jetson TX2"));
+  nodes.push_back(platform::make_device("Jetson TX2"));
+  nodes.push_back(platform::make_device("Jetson Orin NX"));
+  Cluster cluster(std::move(nodes));
+  PreferredNodeStrategy strategy(1, 0.5);
+  InferenceService service(cluster, strategy, 0);
+  ModelSet models;
+  service.submit(RequestSpec{0, &models.graph(ModelId::kEfficientNetB0), 0.0});
+  service.submit(RequestSpec{1, &models.graph(ModelId::kEfficientNetB0), 2.0});
+  ScriptedChurn trace({{1.0, 0, ChurnEvent::Action::kFail, 1.0}});
+  ChurnInjector injector(cluster, trace);
+  injector.start();
+  const auto records = service.run();
+
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].outcome, RequestOutcome::kCompleted);
+  EXPECT_EQ(records[1].outcome, RequestOutcome::kFailed);
+  EXPECT_EQ(service.stats().leader_reelections, 0u);
+  EXPECT_EQ(service.engine().leader(), 0u);
+}
+
+/// When every scope member is gone there is nobody to promote: re-election
+/// declines silently and the parked work fails terminally, balanced.
+TEST(LeaderReelection, NoSurvivorLeavesTheShardParked) {
+  Cluster cluster(uniform_cluster(2));
+  PreferredNodeStrategy strategy(1, 0.5);
+  ServiceOptions options;
+  options.leader_reelection = true;
+  InferenceService service(cluster, strategy, 0, options);
+  ModelSet models;
+  service.submit(RequestSpec{0, &models.graph(ModelId::kEfficientNetB0), 2.0});
+  ScriptedChurn trace({
+      {0.5, 0, ChurnEvent::Action::kFail, 1.0},  // leader dies: 1 promoted
+      {1.0, 1, ChurnEvent::Action::kFail, 1.0},  // new leader dies: nobody left
+  });
+  ChurnInjector injector(cluster, trace);
+  injector.start();
+  const auto records = service.run();
+
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].outcome, RequestOutcome::kFailed);
+  EXPECT_EQ(service.stats().leader_reelections, 1u);
+  EXPECT_EQ(service.stats().failed, 1u);
+  EXPECT_EQ(service.stats().completed, 0u);
+}
+
 }  // namespace
 }  // namespace hidp::runtime

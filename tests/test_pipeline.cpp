@@ -282,5 +282,91 @@ TEST(PipelineStream, PinStreamRetargetsAndReplans) {
   EXPECT_EQ(service.stats().pipeline_replans, 2u);
 }
 
+/// A window large enough to never bind is the same computation as no
+/// window: the admission cap only changes behaviour when it saturates.
+TEST(PipelineWindow, UnboundWindowIsBitIdenticalToNoWindow) {
+  ModelSet models;
+  const std::vector<RequestSpec> workload =
+      periodic_stream(models.graph(ModelId::kResNet152), 10, 0.02);
+  ServiceOptions base;
+  base.pipeline.enabled = true;
+  ServiceOptions wide = base;
+  wide.pipeline_window = 64;  // > total requests: can never saturate
+  ServiceStats base_stats, wide_stats;
+  const auto base_records = run_service(workload, base, &base_stats);
+  const auto wide_records = run_service(workload, wide, &wide_stats);
+  expect_bit_identical(base_records, wide_records);
+  EXPECT_EQ(wide_stats.pipelined_requests, base_stats.pipelined_requests);
+}
+
+/// pipeline_window = 1 serializes the stream: at most one pipelined request
+/// in flight, so no two requests' compute intervals overlap — the overlap
+/// that the unlimited stream test requires is provably absent — and the
+/// stream still drains completely in FIFO order.
+TEST(PipelineWindow, WindowOfOneSerializesTheStream) {
+  ModelSet models;
+  const std::vector<RequestSpec> workload =
+      periodic_stream(models.graph(ModelId::kResNet152), 10, 0.02);
+  ServiceOptions options;
+  options.pipeline.enabled = true;
+  options.pipeline_window = 1;
+  ServiceStats stats;
+  std::vector<TaskTrace> traces;
+  const auto records = run_service(workload, options, &stats, &traces);
+
+  ASSERT_EQ(records.size(), 10u);
+  for (const RequestRecord& record : records) {
+    EXPECT_EQ(record.outcome, RequestOutcome::kCompleted) << "request " << record.id;
+  }
+  EXPECT_EQ(stats.pipelined_requests, 10u);
+  for (const TaskTrace& a : traces) {
+    if (a.kind != PlanTask::Kind::kCompute) continue;
+    for (const TaskTrace& b : traces) {
+      if (b.kind != PlanTask::Kind::kCompute || a.request == b.request) continue;
+      EXPECT_FALSE(a.start_s < b.end_s && b.start_s < a.end_s)
+          << "requests " << a.request << " and " << b.request
+          << " overlap under window=1";
+    }
+  }
+  // Serialized admission delays later requests past their arrivals.
+  ServiceOptions unlimited;
+  unlimited.pipeline.enabled = true;
+  const auto free_records = run_service(workload, unlimited);
+  ASSERT_EQ(free_records.size(), 10u);
+  EXPECT_GT(records.back().finish_s, free_records.back().finish_s);
+}
+
+/// The window only gates the pipelined stream: off-stream models keep
+/// planning per request even when the window is saturated.
+TEST(PipelineWindow, OffStreamModelsBypassTheWindow) {
+  ModelSet models;
+  const dnn::DnnGraph& stream = models.graph(ModelId::kResNet152);
+  const dnn::DnnGraph& other = models.graph(ModelId::kEfficientNetB0);
+  std::vector<RequestSpec> workload;
+  for (int i = 0; i < 8; ++i) {
+    RequestSpec spec;
+    spec.id = i;
+    spec.model = i % 2 == 0 ? &stream : &other;
+    spec.arrival_s = 0.01 * i;
+    workload.push_back(spec);
+  }
+  ServiceOptions options;
+  options.pipeline.enabled = true;
+  options.pipeline.stream_model = &stream;
+  options.pipeline_window = 1;
+  ServiceStats stats;
+  const auto records = run_service(workload, options, &stats);
+  ASSERT_EQ(records.size(), 8u);
+  for (const RequestRecord& record : records) {
+    EXPECT_EQ(record.outcome, RequestOutcome::kCompleted) << "request " << record.id;
+    if (record.id % 2 == 0) {
+      EXPECT_EQ(record.strategy, "HiDP-pipeline") << "request " << record.id;
+    } else {
+      EXPECT_EQ(record.strategy, "HiDP") << "request " << record.id;
+    }
+  }
+  EXPECT_EQ(stats.pipelined_requests, 4u);
+}
+
 }  // namespace
 }  // namespace hidp::runtime

@@ -87,6 +87,55 @@ TEST(Simulator, StepExecutesOne) {
   EXPECT_EQ(sim.events_executed(), 2u);
 }
 
+TEST(Simulator, NextEventAtReportsEarliestPending) {
+  Simulator sim;
+  EXPECT_FALSE(sim.next_event_at().has_value());
+  sim.schedule_at(2.0, [] {});
+  sim.schedule_at(1.0, [] {});
+  ASSERT_TRUE(sim.next_event_at().has_value());
+  EXPECT_DOUBLE_EQ(*sim.next_event_at(), 1.0);
+  sim.run();
+  EXPECT_FALSE(sim.next_event_at().has_value());
+}
+
+TEST(Simulator, PumpFeedsExternalWorkAndEndsTheRun) {
+  // The pump is consulted before every event and when the queue drains;
+  // returning false is the only way a pumped run ends.
+  Simulator sim;
+  int pumps = 0;
+  std::vector<double> fired;
+  sim.set_pump([&] {
+    ++pumps;
+    if (pumps == 1) sim.schedule_at(1.0, [&] { fired.push_back(sim.now()); });
+    return pumps < 3;
+  });
+  sim.run();
+  sim.set_pump(nullptr);
+  EXPECT_EQ(pumps, 3);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_DOUBLE_EQ(fired[0], 1.0);
+}
+
+TEST(Simulator, ExplicitVirtualClockMatchesDefaultTimeline) {
+  // set_clock with an external VirtualClock keeps pure DES semantics;
+  // set_clock(nullptr) restores the built-in clock.
+  Simulator sim;
+  VirtualClock clock;
+  sim.set_clock(&clock);
+  std::vector<double> fired;
+  sim.schedule_at(0.5, [&] { fired.push_back(sim.now()); });
+  sim.schedule_in(1.25, [&] { fired.push_back(sim.now()); });
+  sim.run();
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_DOUBLE_EQ(fired[0], 0.5);
+  EXPECT_DOUBLE_EQ(fired[1], 1.25);
+  EXPECT_DOUBLE_EQ(clock.now(), 1.25);  // the external clock carried the timeline
+  sim.set_clock(nullptr);
+  sim.schedule_in(0.25, [&] { fired.push_back(sim.now()); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(sim.now(), 1.5);
+}
+
 TEST(Resource, SerializesJobs) {
   Simulator sim;
   Resource r(sim, "proc");
