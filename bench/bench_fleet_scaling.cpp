@@ -23,6 +23,10 @@
 // per-request planning on completed/s at a no-worse p99, and pipeline-off
 // must be bit-identical to the per-request path (exit codes 8/9).
 //
+// And incremental delta re-planning: the churn trace plus a bursty radio
+// collapse under failover, with plan/cost-model repair off vs on. Delta
+// must complete no fewer requests at an equal-or-lower p99 (exit code 10).
+//
 // Output: a human-readable table on stdout plus BENCH_fleet.json in the
 // working directory. `--smoke` runs tiny request counts so CI can catch
 // build rot without paying full measurement time.
@@ -66,6 +70,8 @@ struct FleetResult {
   std::size_t groups = 0;
   std::size_t batched = 0;
   std::size_t pipelined = 0;
+  std::size_t repaired_plans = 0;
+  std::size_t cold_replans = 0;
   double makespan_s = 0.0;
   double completed_per_s = 0.0;
   double p50_s = 0.0;
@@ -86,6 +92,9 @@ struct RunTuning {
   // Pipelined steady-state serving (the stream study).
   bool pipeline = false;
   const dnn::DnnGraph* pipeline_stream_model = nullptr;
+  // Incremental delta re-planning (the delta-replan study): repair cached
+  // plans and cost models on churn/DVFS/link events instead of cold flushes.
+  bool delta_replanning = false;
 };
 
 FleetResult run_fleet(const std::string& config, std::size_t shard_count,
@@ -101,7 +110,9 @@ FleetResult run_fleet(const std::string& config, std::size_t shard_count,
   std::vector<runtime::FleetShard> shards;
   const std::size_t span = 8 / shard_count;
   for (std::size_t s = 0; s < shard_count; ++s) {
-    strategies.push_back(std::make_unique<core::HidpStrategy>());
+    core::HidpStrategy::Options strategy_options;
+    strategy_options.delta_replanning = tuning.delta_replanning;
+    strategies.push_back(std::make_unique<core::HidpStrategy>(strategy_options));
     runtime::FleetShard shard;
     shard.strategy = strategies.back().get();
     for (std::size_t n = 0; n < span; ++n) shard.nodes.push_back(s * span + n);
@@ -116,6 +127,7 @@ FleetResult run_fleet(const std::string& config, std::size_t shard_count,
     shard.service.max_wait_s = tuning.max_wait_s;
     shard.service.pipeline.enabled = tuning.pipeline;
     shard.service.pipeline.stream_model = tuning.pipeline_stream_model;
+    shard.service.delta_replanning = tuning.delta_replanning;
     shards.push_back(std::move(shard));
   }
   runtime::FleetOptions options;
@@ -153,6 +165,8 @@ FleetResult run_fleet(const std::string& config, std::size_t shard_count,
   result.groups = stats.groups_dispatched;
   result.batched = stats.batched_requests;
   result.pipelined = stats.pipelined_requests;
+  result.repaired_plans = stats.repaired_plans;
+  result.cold_replans = stats.cold_replans;
   for (const auto& injector : injectors) result.churn_events += injector->applied();
   for (const auto& injector : net_injectors) result.churn_events += injector->applied();
   result.makespan_s = metrics.makespan_s;
@@ -459,6 +473,97 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Delta-replan failover study: the churn study's MTBF trace plus a
+  // Gilbert–Elliott radio burst over both shards' workers, failover on,
+  // with incremental delta re-planning off vs on. The cold configuration
+  // answers every event with a wholesale flush — each post-event request
+  // pays a fresh Explore+Map; the delta configuration repairs cost models
+  // in place (per-node repricing) and keeps cached entries whose plans the
+  // event provably cannot dethrone, so post-event requests replay cached
+  // plans at hit-path planning charges. Same events, same stream, same
+  // failover machinery — the contrast is purely the replanning path, so
+  // delta must complete no fewer requests at an equal-or-lower p99 (the
+  // exit-code contract below).
+  const auto make_delta_degradation = [&]() {
+    runtime::GilbertElliottDegradation::Options options;
+    options.nodes = {0, 2, 3, 4, 6, 7};  // both shards' workers, leaders healthy
+    options.good_s = smoke ? 0.3 : 1.0;
+    options.bad_s = smoke ? 0.6 : 1.5;
+    options.bad_bw_scale = 0.005;
+    options.bad_latency_scale = 2.0;
+    options.horizon_s = churn_horizon_s;
+    options.seed = 41;
+    return runtime::GilbertElliottDegradation(options);
+  };
+  const auto make_delta_heals = [&]() {
+    std::vector<runtime::NetEvent> heals;
+    for (const std::size_t node : {0, 2, 3, 4, 6, 7}) {
+      runtime::NetEvent heal;
+      heal.time_s = churn_horizon_s;
+      heal.action = runtime::NetEvent::Action::kRadioScale;
+      heal.node = node;
+      heal.bw_scale = 1.0;
+      heal.latency_scale = 1.0;
+      heals.push_back(heal);
+    }
+    return runtime::ScriptedDegradation(std::move(heals));
+  };
+  // Thermal throttle waves (one Orin worker per shard): each throttle is a
+  // compute degradation the delta path answers with per-node repricing —
+  // the cold path rebuilds the affected cost models from scratch. Both
+  // price identically (the equivalence the delta design guarantees), so the
+  // serving records must not drift; the repaired/cold_replans counters in
+  // the table show which path did the work.
+  const auto make_dvfs_waves = [&]() {
+    std::vector<runtime::ChurnEvent> waves;
+    for (int k = 1; k <= 8; ++k) {
+      const double t = churn_horizon_s * static_cast<double>(k) / 9.0;
+      const double scale = (k % 2 != 0) ? 0.7 : 1.0;
+      waves.push_back({t, 0, runtime::ChurnEvent::Action::kDvfs, scale});
+      waves.push_back({t, 4, runtime::ChurnEvent::Action::kDvfs, scale});
+    }
+    return runtime::ScriptedChurn(std::move(waves));
+  };
+  bool delta_replan_no_worse = true;
+  {
+    runtime::LeastLoadedRouting routing_cold, routing_delta;
+    auto churn_cold = make_churn();
+    auto repairs_cold = make_final_repairs();
+    auto dvfs_cold = make_dvfs_waves();
+    auto degradation_cold = make_delta_degradation();
+    auto heals_cold = make_delta_heals();
+    RunTuning cold_tuning;
+    cold_tuning.transfer_timeout_factor = 4.0;
+    cold_tuning.max_retries = 3;
+    results.push_back(run_fleet("failover-cold-replan", 2, churn_stream, routing_cold,
+                                /*work_stealing=*/false,
+                                {&churn_cold, &repairs_cold, &dvfs_cold},
+                                /*failover=*/true, {&degradation_cold, &heals_cold},
+                                cold_tuning));
+    auto churn_delta = make_churn();
+    auto repairs_delta = make_final_repairs();
+    auto dvfs_delta = make_dvfs_waves();
+    auto degradation_delta = make_delta_degradation();
+    auto heals_delta = make_delta_heals();
+    RunTuning delta_tuning = cold_tuning;
+    delta_tuning.delta_replanning = true;
+    results.push_back(run_fleet("failover-delta-replan", 2, churn_stream, routing_delta,
+                                /*work_stealing=*/false,
+                                {&churn_delta, &repairs_delta, &dvfs_delta},
+                                /*failover=*/true, {&degradation_delta, &heals_delta},
+                                delta_tuning));
+    // Compute the contract immediately: references into `results` dangle
+    // once later studies push_back (vector reallocation). Delta must serve
+    // no worse AND must actually engage — at least one plan priced off a
+    // repaired cost model, with the cold run never repairing.
+    const FleetResult& replan_cold = results[results.size() - 2];
+    const FleetResult& replan_delta = results[results.size() - 1];
+    delta_replan_no_worse = replan_delta.completed >= replan_cold.completed &&
+                            replan_delta.p99_s <= replan_cold.p99_s &&
+                            replan_delta.repaired_plans > 0 &&
+                            replan_cold.repaired_plans == 0;
+  }
+
   std::cout << "fleet scaling (" << (smoke ? "smoke" : "full") << ", " << count
             << " requests)\n";
   for (const FleetResult& r : results) {
@@ -467,7 +572,8 @@ int main(int argc, char** argv) {
               << " failed=" << r.failed << " steals=" << r.steals
               << " evacuations=" << r.evacuations << " churn_events=" << r.churn_events
               << " groups=" << r.groups << " batched=" << r.batched
-              << " pipelined=" << r.pipelined << " completed/s=" << r.completed_per_s
+              << " pipelined=" << r.pipelined << " repaired=" << r.repaired_plans
+              << " cold_replans=" << r.cold_replans << " completed/s=" << r.completed_per_s
               << " p50=" << r.p50_s << "s p99=" << r.p99_s << "s\n";
   }
   std::cout << "  1->2->4 shard throughput monotonic: " << (monotonic ? "yes" : "NO") << "\n";
@@ -485,6 +591,8 @@ int main(int argc, char** argv) {
             << (pipeline_wins ? "yes" : "NO") << "\n";
   std::cout << "  pipeline-off stream bit-identical to per-request: "
             << (pipeline_off_identical ? "yes" : "NO") << "\n";
+  std::cout << "  delta replanning no worse than cold under churn+degradation failover: "
+            << (delta_replan_no_worse ? "yes" : "NO") << "\n";
 
   std::ofstream out(out_path);
   if (!out) {
@@ -502,6 +610,7 @@ int main(int argc, char** argv) {
       << ",\n  \"batch_one_identical\": " << (batch_one_identical ? "true" : "false")
       << ",\n  \"pipeline_wins\": " << (pipeline_wins ? "true" : "false")
       << ",\n  \"pipeline_off_identical\": " << (pipeline_off_identical ? "true" : "false")
+      << ",\n  \"delta_replan_no_worse\": " << (delta_replan_no_worse ? "true" : "false")
       << ",\n  \"results\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const FleetResult& r = results[i];
@@ -511,6 +620,8 @@ int main(int argc, char** argv) {
         << ", \"steals\": " << r.steals << ", \"evacuations\": " << r.evacuations
         << ", \"churn_events\": " << r.churn_events << ", \"groups\": " << r.groups
         << ", \"batched\": " << r.batched << ", \"pipelined\": " << r.pipelined
+        << ", \"repaired_plans\": " << r.repaired_plans
+        << ", \"cold_replans\": " << r.cold_replans
         << ", \"makespan_s\": " << r.makespan_s
         << ", \"completed_per_s\": " << r.completed_per_s << ", \"p50_s\": " << r.p50_s
         << ", \"p99_s\": " << r.p99_s << "}" << (i + 1 < results.size() ? "," : "") << "\n";
@@ -523,8 +634,9 @@ int main(int argc, char** argv) {
   // planning stops beating stale betas, if the degradation machinery
   // perturbs healthy runs, if batching stops paying for the same-model
   // storm, if disabled batching perturbs the serving path, if the pipelined
-  // stream stops beating per-request planning, or if disabled pipelining
-  // perturbs the serving path.
+  // stream stops beating per-request planning, if disabled pipelining
+  // perturbs the serving path, or if delta replanning regresses the
+  // churn+degradation failover tail versus cold flushes.
   if (!monotonic) return 2;
   if (!failover_wins) return 3;
   if (!degradation_aware_wins) return 4;
@@ -533,5 +645,6 @@ int main(int argc, char** argv) {
   if (!batch_one_identical) return 7;
   if (!pipeline_wins) return 8;
   if (!pipeline_off_identical) return 9;
+  if (!delta_replan_no_worse) return 10;
   return 0;
 }

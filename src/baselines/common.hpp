@@ -24,6 +24,12 @@ struct PlanCacheOptions {
   std::size_t capacity = 256;
   /// Planning cost charged on a cache hit (a table lookup, not a search).
   double cached_planning_latency_s = 1e-4;
+  /// Repair cost models in place on churn/DVFS events instead of dropping
+  /// them (see core::CachingStrategyBase::CachePolicy::delta_replanning).
+  /// Baselines have no survival proof for their searches, so cached plan
+  /// entries are still dropped on events — only the cost-model memos are
+  /// repaired per node.
+  bool delta_replanning = false;
 };
 
 /// Base class of the three baselines. The plan cache and cost models
@@ -56,9 +62,14 @@ class BaselineStrategy : public core::CachingStrategyBase {
                                             batch),
                                         network_version_})
                .first;
+      count_cold_replan();
     } else if (it->second.network_version != network_version_) {
       it->second.model->set_network(snap.network);
       it->second.network_version = network_version_;
+    }
+    if (it->second.repaired) {
+      it->second.repaired = false;
+      count_repaired_plan();
     }
     return *it->second.model;
   }
@@ -71,10 +82,22 @@ class BaselineStrategy : public core::CachingStrategyBase {
     cost_models_.clear();
   }
 
+  /// Per-node cost-model repricing; the baselines share HiDP's repair
+  /// economics even though their cached plan entries never survive events.
+  std::size_t repair_compute(std::size_t node) override {
+    std::size_t rows = 0;
+    for (auto& [key, cached] : cost_models_) {
+      rows += cached.model->reprice_node(node);
+      cached.repaired = true;
+    }
+    return rows;
+  }
+
  private:
   struct CachedCostModel {
     std::unique_ptr<partition::ClusterCostModel> model;
     std::uint64_t network_version = 0;
+    bool repaired = false;  ///< per-node repriced since its last plan
   };
   /// Cost models cache per (graph, batch size): batched groups price
   /// scaled FLOPs/bytes tables, so each batch bucket keeps its own memos.
@@ -101,6 +124,7 @@ class BaselineStrategy : public core::CachingStrategyBase {
     policy.queue = queue;
     policy.fresh_explore_s = planning_latency_s;
     policy.hit_explore_s = cache_options.cached_planning_latency_s;
+    policy.delta_replanning = cache_options.delta_replanning;
     return policy;
   }
 

@@ -96,7 +96,18 @@ struct GlobalDecisionKeyHash {
 struct DecisionCacheStats {
   std::size_t hits = 0;
   std::size_t misses = 0;
-  std::size_t invalidations = 0;
+  std::size_t invalidations = 0;  ///< wholesale flushes (drift, capacity)
+  // Delta re-planning: events repair cached state instead of flushing it.
+  std::size_t scoped_invalidations = 0;  ///< entries dropped because their
+                                         ///< node set intersected an event
+  std::size_t rekeyed_entries = 0;  ///< entries surviving a node-down event
+                                    ///< under a re-keyed availability mask
+  std::size_t repaired_plans = 0;   ///< fresh plans served off a repaired
+                                    ///< (partially re-priced) cost model
+  std::size_t cold_replans = 0;     ///< fresh plans that paid a full cost-
+                                    ///< model construction
+  std::size_t partial_repriced_rows = 0;  ///< memo rows rebuilt/dropped by
+                                          ///< per-node repricing
 };
 
 class DseAgent {

@@ -1,5 +1,7 @@
 #include "core/hidp_strategy.hpp"
 
+#include <algorithm>
+
 namespace hidp::core {
 
 CachingStrategyBase::CachePolicy HidpStrategy::make_policy(const Options& options) {
@@ -11,6 +13,7 @@ CachingStrategyBase::CachePolicy HidpStrategy::make_policy(const Options& option
   policy.fresh_map_s = options.map_latency_s;
   policy.hit_explore_s = options.cached_explore_latency_s;
   policy.hit_map_s = options.cached_map_latency_s;
+  policy.delta_replanning = options.delta_replanning;
   return policy;
 }
 
@@ -33,6 +36,7 @@ partition::ClusterCostModel& HidpStrategy::cost_model(const dnn::DnnGraph& model
         options_.bytes_per_element, partition::ClusterCostModel::kDefaultMaxCandidates, batch);
     cost->set_local_search_space(options_.local_search);
     it = cost_models_.emplace(key, CachedCostModel{std::move(cost), network_version_}).first;
+    count_cold_replan();
   } else if (it->second.network_version != network_version_) {
     // Link state changed since this model last priced a transfer: re-point
     // it at the snapshot's spec, keeping the compute and local-DSE memos.
@@ -40,7 +44,46 @@ partition::ClusterCostModel& HidpStrategy::cost_model(const dnn::DnnGraph& model
     it->second.network_version = network_version_;
     ++network_repricings_;
   }
+  if (it->second.repaired) {
+    // First fresh plan exploiting a per-node repair: the warm memos saved
+    // a full cost-model construction.
+    it->second.repaired = false;
+    count_repaired_plan();
+  }
   return *it->second.model;
+}
+
+std::size_t HidpStrategy::repair_compute(std::size_t node) {
+  std::size_t rows = 0;
+  for (auto& [key, cached] : cost_models_) {
+    rows += cached.model->reprice_node(node);
+    cached.repaired = true;
+  }
+  return rows;
+}
+
+bool HidpStrategy::entry_survives_degradation(const GlobalDecisionKey& key,
+                                              const CachedPlanEntry& entry, std::size_t node,
+                                              bool compute_change) const {
+  if (key.plan_kind != static_cast<int>(runtime::PlanRequest::PlanKind::kLatency)) return false;
+  if (!entry.has_decision) return false;
+  if (!compute_change) return true;
+  // Compute change: the node's rate moves it within (or out of) the Psi
+  // worker ordering. The decision is provably untouched only if the node
+  // sat beyond every sigma prefix the data-parallel search explored —
+  // demoting or removing it then leaves every explored candidate set, and
+  // every candidate's score, exactly as the original search saw them.
+  const std::vector<std::size_t>& workers = entry.decision.workers;
+  const auto it = std::find(workers.begin(), workers.end(), node);
+  if (it == workers.end()) return true;  // was not a candidate at plan time
+  const std::size_t rank = static_cast<std::size_t>(it - workers.begin());
+  std::size_t max_sigma = 0;
+  for (const int sigma : options_.dse.sigma_candidates) {
+    if (sigma >= 2 && static_cast<std::size_t>(sigma) <= workers.size()) {
+      max_sigma = std::max(max_sigma, static_cast<std::size_t>(sigma));
+    }
+  }
+  return rank >= max_sigma;
 }
 
 double HidpStrategy::analyze(const runtime::PlanRequest& request,

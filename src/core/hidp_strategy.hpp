@@ -57,6 +57,11 @@ class HidpStrategy : public CachingStrategyBase {
     std::size_t plan_cache_capacity = 256;
     double cached_explore_latency_s = 0.0002;
     double cached_map_latency_s = 0.0001;
+    /// Repair cached plans and cost models in place on churn/DVFS/link
+    /// events instead of flushing them wholesale (see
+    /// CachePolicy::delta_replanning). Off by default; zero-event runs are
+    /// bit-identical either way.
+    bool delta_replanning = false;
   };
 
   HidpStrategy() : HidpStrategy(Options{}) {}
@@ -94,10 +99,28 @@ class HidpStrategy : public CachingStrategyBase {
     cost_models_.clear();
   }
 
+  /// Delta repair: re-prices exactly the changed node in every cached cost
+  /// model (ClusterCostModel::reprice_node) instead of dropping them.
+  std::size_t repair_compute(std::size_t node) override;
+
+  /// Survival proof for HiDP's DSE structure. An untouched kLatency entry
+  /// survives a link-only degradation outright (candidate sets and worker
+  /// ordering are unchanged; only candidates priced over the degraded
+  /// radio worsen). A compute change (DVFS slowdown, departure)
+  /// additionally requires the node to sit beyond every explored
+  /// data-parallel sigma prefix of the decision's Psi worker ordering —
+  /// otherwise its rate shift re-shapes prefix candidate sets the original
+  /// search never scored. Pipeline entries never survive: the period
+  /// search is a state-collapsing heuristic, so untouched-node changes can
+  /// still steer which chains it keeps.
+  bool entry_survives_degradation(const GlobalDecisionKey& key, const CachedPlanEntry& entry,
+                                  std::size_t node, bool compute_change) const override;
+
  private:
   struct CachedCostModel {
     std::unique_ptr<partition::ClusterCostModel> model;
     std::uint64_t network_version = 0;  ///< version the model last priced
+    bool repaired = false;  ///< per-node repriced since its last plan
   };
   /// Cost models are cached per (graph, batch size): batched groups price
   /// scaled FLOPs/bytes tables, and each batch bucket keeps its own memos.

@@ -1,5 +1,6 @@
 #include "core/plan_cache.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 namespace hidp::core {
@@ -35,7 +36,24 @@ void CachingStrategyBase::on_planned(const runtime::PlanRequest& request,
   (void)cache_hit;
 }
 
+std::size_t CachingStrategyBase::repair_compute(std::size_t node) {
+  (void)node;
+  return kNoRepair;
+}
+
+bool CachingStrategyBase::entry_survives_degradation(const GlobalDecisionKey& key,
+                                                     const CachedPlanEntry& entry,
+                                                     std::size_t node,
+                                                     bool compute_change) const {
+  (void)key;
+  (void)entry;
+  (void)node;
+  (void)compute_change;
+  return false;
+}
+
 void CachingStrategyBase::on_node_event(const runtime::NodeEvent& event) {
+  if (policy_.delta_replanning && delta_repair(event)) return;
   switch (event.kind) {
     case runtime::NodeEvent::Kind::kDvfs:
       cache_.invalidate_entries();
@@ -49,6 +67,86 @@ void CachingStrategyBase::on_node_event(const runtime::NodeEvent& event) {
     case runtime::NodeEvent::Kind::kUp:
       break;  // availability is part of the cache key; nothing is stale
   }
+}
+
+bool CachingStrategyBase::delta_repair(const runtime::NodeEvent& event) {
+  using Kind = runtime::NodeEvent::Kind;
+  // Hand-made events carry no post-event cluster state; events for a
+  // cluster this cache never planned against cannot be repaired either.
+  // Both fall back to the wholesale path (pre-delta behaviour).
+  if (event.nodes == nullptr || event.network == nullptr) return false;
+  if (!cache_.anchored_to(event.nodes)) return false;
+  switch (event.kind) {
+    case Kind::kDvfs: {
+      // A slowdown only worsens candidates running on the node, so plans
+      // avoiding it (and provably outside its ordering influence) keep
+      // winning; a speedup can promote the node into any plan, which only
+      // a wholesale entry flush handles. Cost-model repricing is sound in
+      // both directions — that is where the replan cost actually lives.
+      if (event.dvfs_scale <= event.prev_dvfs_scale) {
+        cache_.invalidate_touching(
+            event.node, runtime::NodeEvent::kNoPeer,
+            [this, &event](const GlobalDecisionKey& key, const CachedPlanEntry& entry) {
+              return entry_survives_degradation(key, entry, event.node, true);
+            });
+      } else {
+        cache_.invalidate_entries();
+      }
+      const std::size_t rows = repair_compute(event.node);
+      if (rows == kNoRepair) {
+        cache_.invalidate_entries();
+        on_cluster_change(ClusterChange::kCompute);
+        return true;  // handled: wholesale compute path already ran
+      }
+      cache_.stats_mutable().partial_repriced_rows += rows;
+      cache_.rebase_compute(*event.nodes);
+      return true;
+    }
+    case Kind::kLink: {
+      const bool degraded =
+          event.peer != runtime::NodeEvent::kNoPeer
+              ? !event.link_up
+              : event.bw_scale <= event.prev_bw_scale &&
+                    event.latency_scale >= event.prev_latency_scale;
+      if (degraded) {
+        cache_.invalidate_touching(
+            event.node, event.peer,
+            [this, &event](const GlobalDecisionKey& key, const CachedPlanEntry& entry) {
+              return entry_survives_degradation(key, entry, event.node, false);
+            });
+      } else {
+        // A healed link / improved radio can reroute any plan: flush the
+        // entries, keep the (cheaply re-pointable) cost-model memos.
+        cache_.invalidate_entries();
+      }
+      cache_.rebase_network(*event.network);
+      on_cluster_change(ClusterChange::kNetwork);
+      return true;
+    }
+    case Kind::kDown:
+      // Availability is part of the key, so nothing is stale — but plans
+      // that provably survive the departure are re-keyed onto the
+      // post-churn mask so the very next request hits instead of paying a
+      // cold replan. A departure is a compute_change: the node leaves the
+      // Psi worker ordering.
+      cache_.rekey_availability(
+          event.node,
+          [this, &event](const GlobalDecisionKey& key, CachedPlanEntry& entry) {
+            if (!entry_survives_degradation(key, entry, event.node, true)) return false;
+            // Record what the node-less cold replan would have: the same
+            // worker list minus the departed node.
+            if (entry.has_decision) {
+              auto& workers = entry.decision.workers;
+              workers.erase(std::remove(workers.begin(), workers.end(), event.node),
+                            workers.end());
+            }
+            return true;
+          });
+      return true;
+    case Kind::kUp:
+      return true;  // keyed by availability; rejoin re-hits kept originals
+  }
+  return false;
 }
 
 int CachingStrategyBase::queue_bucket(int queue_depth) const noexcept {
@@ -112,7 +210,12 @@ runtime::PlanResult CachingStrategyBase::plan(const runtime::PlanRequest& reques
   result.plan.phases.map_s = policy_.fresh_map_s;
   on_planned(request, result.plan, entry.has_decision ? &entry.decision : nullptr, analyze_s,
              false);
-  if (store) cache_.insert(key, std::move(entry));
+  if (store) {
+    std::vector<std::uint64_t> touch;
+    CrossRequestPlanCache<CachedPlanEntry>::plan_touch_mask(entry.plan, snap.nodes->size(),
+                                                            &touch);
+    cache_.insert(key, std::move(entry), std::move(touch));
+  }
   return result;
 }
 

@@ -148,6 +148,84 @@ void ClusterCostModel::set_local_search_space(LocalSearchSpace space) {
   }
 }
 
+std::size_t ClusterCostModel::reprice_node(std::size_t node) {
+  std::size_t rows = 0;
+  // Rebuild the node's per-processor prefix tables exactly as construction
+  // does — peak_gflops is the DVFS-scaled quantity they bake in. The
+  // prefix profiles and layer counts are model-derived and untouched.
+  const platform::NodeModel& model = (*nodes_)[node];
+  const std::size_t c_count = candidates_.size();
+  for (std::size_t p = 0; p < model.processor_count(); ++p) {
+    const platform::ProcessorModel& proc = model.processor(p);
+    ProcPrefix& table = proc_prefix_[proc_slot_[node] + p];
+    const double peak = proc.peak_gflops() * 1e9;
+    table.has_peak = peak > 0.0;
+    table.inv_util1 = 1.0 / proc.utilization(1);
+    table.dispatch_s = proc.dispatch_s();
+    table.base_s.clear();
+    table.bad_flops.clear();
+    table.base_s.reserve(c_count);
+    table.bad_flops.reserve(c_count);
+    for (const WorkProfile& prefix : prefix_profiles_) {
+      double base = 0.0;
+      double bad = 0.0;
+      for (int k = 0; k < dnn::kLayerKindCount; ++k) {
+        const auto kind = static_cast<dnn::LayerKind>(k);
+        for (int c = 0; c < platform::kWorkClassCount; ++c) {
+          const auto work_class = static_cast<platform::WorkClass>(c);
+          const double flops = prefix.flops_of(kind, work_class);
+          if (flops <= 0.0) continue;
+          const double eff = proc.efficiency().of(kind, work_class);
+          if (eff <= 0.0) {
+            bad += flops;
+          } else {
+            base += flops / (peak * eff);
+          }
+        }
+      }
+      table.base_s.push_back(base);
+      table.bad_flops.push_back(bad);
+    }
+    ++rows;
+  }
+  // Drop only this node's memoised decisions; everyone else's stay warm.
+  BlockDecisionRow& row = block_rows_[node];
+  if (!row.filled.empty()) {
+    for (const std::uint8_t filled : row.filled) rows += filled;
+    row.decisions.clear();
+    row.decisions.shrink_to_fit();
+    row.filled.clear();
+    row.filled.shrink_to_fit();
+  }
+  if (!std::isnan(node_rate_cache_[node])) {
+    node_rate_cache_[node] = std::numeric_limits<double>::quiet_NaN();
+    ++rows;
+  }
+  for (auto it = profile_decision_cache_.begin(); it != profile_decision_cache_.end();) {
+    if (it->first.node == node) {
+      it = profile_decision_cache_.erase(it);
+      ++rows;
+    } else {
+      ++it;
+    }
+  }
+  if (data_) {
+    const auto scrub = [&](std::vector<std::pair<std::size_t, LocalDecision>>& memo) {
+      for (std::size_t i = 0; i < memo.size(); ++i) {
+        if (memo[i].first != node) continue;
+        // Order within a memo is probe order, not meaningful: swap-erase.
+        memo[i] = std::move(memo.back());
+        memo.pop_back();
+        ++rows;
+        return;
+      }
+    };
+    for (auto& [key, slice] : data_->slices) scrub(slice.decisions);
+    for (auto& [split, head] : data_->heads) scrub(head.decisions);
+  }
+  return rows;
+}
+
 WorkProfile ClusterCostModel::profile_between(int ci, int cj) const {
   return WorkProfile::difference(prefix_profiles_.at(static_cast<std::size_t>(cj)),
                                  prefix_profiles_.at(static_cast<std::size_t>(ci)));

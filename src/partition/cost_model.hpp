@@ -64,6 +64,18 @@ class ClusterCostModel {
   /// is compute- or model-derived and prices no link, so it stays valid;
   /// only a *compute* change warrants rebuilding the model.
   void set_network(net::NetworkSpec network) { network_ = std::move(network); }
+
+  /// Re-prices exactly one node after its compute characteristics changed
+  /// (a DVFS rescale mutates the live NodeModel's processor frequencies in
+  /// place): rebuilds that node's per-processor prefix tables from the
+  /// current model and drops only its memoised decisions — block rows,
+  /// rate, profile decisions, data-partition slice/head decisions. Every
+  /// other node's memos survive, which is the delta-replanning point: a
+  /// subsequent plan is bit-identical to one from a freshly built model
+  /// (the dropped memos are recomputed from the same inputs) but only pays
+  /// for the dirty node. Returns the number of memoised rows/decisions
+  /// rebuilt or dropped (the partial_repriced_rows observability signal).
+  std::size_t reprice_node(std::size_t node);
   NodeExecutionPolicy policy() const noexcept { return policy_; }
   int bytes_per_element() const noexcept { return bytes_per_element_; }
   /// Batch size this model's tables are priced for.

@@ -32,6 +32,8 @@ void Cluster::set_node_available(std::size_t node, bool available) {
   event.dvfs_scale = dvfs_scale_[node];
   event.epoch = membership_epoch_;
   event.time_s = sim_.now();
+  event.nodes = &nodes_;
+  event.network = &network_->spec();
   notify(event);
 }
 
@@ -39,6 +41,7 @@ void Cluster::set_dvfs_scale(std::size_t node, double scale) {
   if (node >= nodes_.size()) throw std::out_of_range("Cluster::set_dvfs_scale");
   if (!(scale > 0.0)) throw std::invalid_argument("Cluster::set_dvfs_scale: scale <= 0");
   if (dvfs_scale_[node] == scale) return;  // idempotent
+  const double prev_scale = dvfs_scale_[node];
   dvfs_scale_[node] = scale;
   for (std::size_t p = 0; p < nodes_[node].processor_count(); ++p) {
     nodes_[node].processors()[p].set_freq_ghz(base_freq_ghz_[freq_offset_[node] + p] * scale);
@@ -48,8 +51,11 @@ void Cluster::set_dvfs_scale(std::size_t node, double scale) {
   event.kind = NodeEvent::Kind::kDvfs;
   event.node = node;
   event.dvfs_scale = scale;
+  event.prev_dvfs_scale = prev_scale;
   event.epoch = membership_epoch_;
   event.time_s = sim_.now();
+  event.nodes = &nodes_;
+  event.network = &network_->spec();
   notify(event);
 }
 
@@ -62,6 +68,8 @@ void Cluster::set_radio_scale(std::size_t node, double bw_scale, double latency_
   if (spec.bw_scale(node) == bw_scale && spec.latency_scale(node) == latency_scale) {
     return;  // idempotent
   }
+  const double prev_bw = spec.bw_scale(node);
+  const double prev_latency = spec.latency_scale(node);
   // The network first: in-flight transfers re-time before observers react.
   network_->set_radio_scale(node, bw_scale, latency_scale);
   ++membership_epoch_;
@@ -70,8 +78,12 @@ void Cluster::set_radio_scale(std::size_t node, double bw_scale, double latency_
   event.node = node;
   event.bw_scale = bw_scale;
   event.latency_scale = latency_scale;
+  event.prev_bw_scale = prev_bw;
+  event.prev_latency_scale = prev_latency;
   event.epoch = membership_epoch_;
   event.time_s = sim_.now();
+  event.nodes = &nodes_;
+  event.network = &network_->spec();
   notify(event);
 }
 
@@ -93,6 +105,8 @@ void Cluster::set_link_up(std::size_t a, std::size_t b, bool up) {
   event.link_up = up;
   event.epoch = membership_epoch_;
   event.time_s = sim_.now();
+  event.nodes = &nodes_;
+  event.network = &network_->spec();
   notify(event);
 }
 

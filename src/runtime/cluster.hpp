@@ -58,6 +58,23 @@ struct NodeEvent {
   double bw_scale = 1.0;
   double latency_scale = 1.0;
   bool link_up = true;
+  // Pre-event scales (construction-relative), so observers can classify a
+  // change as a degradation or an improvement. Delta re-planning needs the
+  // distinction: a degradation only worsens candidates involving the node,
+  // so cached plans avoiding it provably keep winning; an improvement can
+  // promote the node into plans that previously avoided it, which forces a
+  // wholesale flush.
+  double prev_dvfs_scale = 1.0;
+  double prev_bw_scale = 1.0;
+  double prev_latency_scale = 1.0;
+  // Post-event cluster state, set by the Cluster before fan-out and valid
+  // only for the synchronous observer call. Delta re-planning needs them:
+  // a strategy repairing its caches at event time must re-anchor its drift
+  // detection (compute fingerprint, network spec) to the state the event
+  // produced. Hand-made events leave them null — observers then fall back
+  // to wholesale invalidation, the pre-delta behaviour.
+  const std::vector<platform::NodeModel>* nodes = nullptr;
+  const net::NetworkSpec* network = nullptr;
 };
 
 class Cluster {

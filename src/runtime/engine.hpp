@@ -13,6 +13,7 @@
 // the service's equivalence tests compare against).
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
@@ -88,6 +89,18 @@ struct PlanResult {
   bool cache_hit = false;  ///< served from a cross-request plan cache
 };
 
+/// Delta re-planning counters: how churn/DVFS/link events were absorbed by
+/// in-place plan repair instead of cold replanning (see
+/// core::CachingStrategyBase). All-zero for strategies without a repair
+/// path, or with delta re-planning disabled.
+struct PlannerDeltaStats {
+  std::uint64_t repaired_plans = 0;   ///< fresh plans off a repaired cost model
+  std::uint64_t cold_replans = 0;     ///< fresh plans that paid a full rebuild
+  std::uint64_t partial_repriced_rows = 0;  ///< memo rows per-node repriced
+  std::uint64_t scoped_invalidations = 0;   ///< entries dropped by event scope
+  std::uint64_t rekeyed_entries = 0;        ///< entries surviving node-down re-key
+};
+
 /// Strategy interface implemented by HiDP and the baselines.
 class IStrategy {
  public:
@@ -103,6 +116,8 @@ class IStrategy {
   /// invalidate derived state eagerly instead of detecting drift at the
   /// next plan() call. Default: ignore.
   virtual void on_node_event(const NodeEvent& event) { (void)event; }
+  /// Delta re-planning counters. Default: none.
+  virtual PlannerDeltaStats planner_stats() const { return {}; }
 };
 
 /// Terminal state of a request's lifecycle.

@@ -469,6 +469,12 @@ ServiceStats ServiceFleet::stats() const {
     total.group_joins += s.group_joins;
     total.pipelined_requests += s.pipelined_requests;
     total.pipeline_replans += s.pipeline_replans;
+    total.async_plans += s.async_plans;
+    total.stale_plans += s.stale_plans;
+    total.leader_reelections += s.leader_reelections;
+    total.repaired_plans += s.repaired_plans;
+    total.cold_replans += s.cold_replans;
+    total.partial_repriced_rows += s.partial_repriced_rows;
     for (std::size_t c = 0; c < kQosClassCount; ++c) {
       total.per_class[c].submitted += s.per_class[c].submitted;
       total.per_class[c].completed += s.per_class[c].completed;

@@ -178,6 +178,15 @@ GatewayStats Gateway::stats() const {
   stats.submitted = submitted_.load(std::memory_order_relaxed);
   stats.responded = responded_.load(std::memory_order_relaxed);
   stats.bad_lines = bad_lines_.load(std::memory_order_relaxed);
+  stats.repaired_plans = repaired_plans_.load(std::memory_order_relaxed);
+  stats.cold_replans = cold_replans_.load(std::memory_order_relaxed);
+  stats.partial_repriced_rows = partial_repriced_rows_.load(std::memory_order_relaxed);
+  if (pool_) {
+    const PlannerDeltaStats pool_stats = pool_->planner_stats();
+    stats.repaired_plans += pool_stats.repaired_plans;
+    stats.cold_replans += pool_stats.cold_replans;
+    stats.partial_repriced_rows += pool_stats.partial_repriced_rows;
+  }
   return stats;
 }
 
@@ -240,6 +249,16 @@ void Gateway::driver_loop() {
 
 bool Gateway::pump() {
   if (pool_) pool_->pump();
+  {
+    // Mirror the driver-thread-only planner counters for cross-thread
+    // readers (stats() and the TCP stats line).
+    const ServiceStats service_stats =
+        fleet_ != nullptr ? fleet_->stats() : service_->stats();
+    repaired_plans_.store(service_stats.repaired_plans, std::memory_order_relaxed);
+    cold_replans_.store(service_stats.cold_replans, std::memory_order_relaxed);
+    partial_repriced_rows_.store(service_stats.partial_repriced_rows,
+                                 std::memory_order_relaxed);
+  }
   std::deque<Submission> batch = submissions_.drain();
   for (Submission& submission : batch) admit(std::move(submission));
   if (stopping_.load(std::memory_order_acquire)) {
@@ -371,6 +390,29 @@ void Gateway::handle_line(const std::shared_ptr<Connection>& connection,
                           const std::string& line) {
   const auto tag_field = jsonl::number_field(line, "id");
   const long tag = tag_field ? static_cast<long>(*tag_field) : -1;
+  if (const auto cmd = jsonl::string_field(line, "cmd")) {
+    if (*cmd == "stats") {
+      const GatewayStats s = stats();
+      char buffer[320];
+      std::snprintf(buffer, sizeof(buffer),
+                    "{\"event\":\"stats\",\"id\":%ld,\"received\":%llu,"
+                    "\"submitted\":%llu,\"responded\":%llu,\"bad_lines\":%llu,"
+                    "\"repaired_plans\":%llu,\"cold_replans\":%llu,"
+                    "\"partial_repriced_rows\":%llu}",
+                    tag, static_cast<unsigned long long>(s.received),
+                    static_cast<unsigned long long>(s.submitted),
+                    static_cast<unsigned long long>(s.responded),
+                    static_cast<unsigned long long>(s.bad_lines),
+                    static_cast<unsigned long long>(s.repaired_plans),
+                    static_cast<unsigned long long>(s.cold_replans),
+                    static_cast<unsigned long long>(s.partial_repriced_rows));
+      write_line(connection, buffer);
+      return;
+    }
+    bad_lines_.fetch_add(1, std::memory_order_relaxed);
+    write_line(connection, error_line(tag, "unknown cmd: " + *cmd));
+    return;
+  }
   const auto model_name = jsonl::string_field(line, "model");
   if (!model_name) {
     bad_lines_.fetch_add(1, std::memory_order_relaxed);

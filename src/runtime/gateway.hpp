@@ -71,11 +71,16 @@ struct GatewayOptions {
 };
 
 /// Lifecycle counters, readable from any thread while the gateway runs.
+/// The planner counters combine the fleet/service strategies (refreshed by
+/// the driver between events) with the planner pool's workers (live).
 struct GatewayStats {
   std::uint64_t received = 0;   ///< submissions entering the queue
   std::uint64_t submitted = 0;  ///< admitted into the fleet/service
   std::uint64_t responded = 0;  ///< terminal outcomes delivered
   std::uint64_t bad_lines = 0;  ///< TCP lines rejected (parse/unknown model)
+  std::uint64_t repaired_plans = 0;         ///< plans served off a delta-repaired cache
+  std::uint64_t cold_replans = 0;           ///< cost models built from scratch
+  std::uint64_t partial_repriced_rows = 0;  ///< DP rows rebuilt by per-node repricing
 };
 
 class Gateway {
@@ -192,6 +197,13 @@ class Gateway {
   std::atomic<std::uint64_t> submitted_{0};
   std::atomic<std::uint64_t> responded_{0};
   std::atomic<std::uint64_t> bad_lines_{0};
+  // Fleet/service planner counters are driver-thread-only; pump() mirrors
+  // them into these atomics so stats() and the TCP stats line can read them
+  // from any thread. The planner pool keeps its own thread-safe counters,
+  // summed in at read time.
+  std::atomic<std::uint64_t> repaired_plans_{0};
+  std::atomic<std::uint64_t> cold_replans_{0};
+  std::atomic<std::uint64_t> partial_repriced_rows_{0};
 };
 
 /// Blocking line-protocol TCP client (tests and the example): connects to

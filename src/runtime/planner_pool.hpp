@@ -63,6 +63,20 @@ class PlannerPool final : public PlanProvider {
   void request_plan(PlanRequest request, std::uint64_t epoch,
                     std::function<void(Plan plan, std::uint64_t epoch)> deliver) override;
 
+  // PlanProvider (driver thread). Records the event — with a deep copy of
+  // its post-event node/network state, since the live pointers are only
+  // valid during the synchronous fan-out — so each worker replays it into
+  // its own strategy right before its next job. Worker strategies with
+  // delta re-planning then repair their caches in place; without it they
+  // invalidate eagerly. Events are sequenced against jobs: a worker applies
+  // exactly the events its job's node copy already reflects. Shards sharing
+  // the pool all relay the same event; duplicates dedupe on event.epoch.
+  void on_node_event(const NodeEvent& event) override;
+
+  /// Delta-repair counters summed over the worker strategies (folded after
+  /// each job; thread-safe).
+  PlannerDeltaStats planner_stats() const noexcept;
+
   /// Delivers every finished plan to its requester (driver thread; the
   /// gateway pumps between DES events, tests pump explicitly). Deliveries
   /// may re-request — those jobs queue normally. Returns plans delivered.
@@ -92,17 +106,33 @@ class PlannerPool final : public PlanProvider {
     /// Driver-side deep copy of the cluster's node models (the live vector
     /// belongs to the driver thread).
     std::vector<platform::NodeModel> nodes;
+    /// Cluster-event sequence this job's node copy reflects: workers apply
+    /// exactly the recorded events up to here before planning.
+    std::uint64_t event_seq = 0;
   };
   struct Result {
     Plan plan;
     std::uint64_t epoch = 0;
     std::function<void(Plan, std::uint64_t)> deliver;
   };
+  /// One recorded cluster event, with the post-event state deep-copied on
+  /// the driver thread (the live pointers die with the fan-out).
+  struct EventRecord {
+    NodeEvent event;  ///< nodes/network nulled; workers re-point them
+    std::vector<platform::NodeModel> nodes;
+    net::NetworkSpec network;
+    bool has_state = false;  ///< the original event carried live state
+    std::uint64_t seq = 0;
+  };
   struct Worker {
     std::thread thread;
     std::unique_ptr<IStrategy> strategy;
     /// Stable-address node buffer (see file comment).
     std::vector<platform::NodeModel> nodes;
+    /// Last event sequence replayed into this worker's strategy.
+    std::uint64_t applied_seq = 0;
+    /// planner_stats() snapshot at the last fold into the pool atomics.
+    PlannerDeltaStats folded;
   };
 
   void worker_loop(Worker& worker);
@@ -117,6 +147,18 @@ class PlannerPool final : public PlanProvider {
   std::vector<std::unique_ptr<Worker>> workers_;
   util::MpscQueue<Result> results_;
   std::atomic<std::uint64_t> planned_{0};
+  // Cluster-event replay state (guarded by mu_). The record window is
+  // bounded; a worker idle long enough to miss pruned records simply falls
+  // back to its strategy's drift detection at the next plan.
+  std::deque<std::shared_ptr<const EventRecord>> events_;
+  std::uint64_t event_seq_ = 0;
+  std::uint64_t last_event_epoch_ = 0;  ///< dedupe across relaying shards
+  // Delta-repair counters folded from worker strategies after each job.
+  std::atomic<std::uint64_t> repaired_plans_{0};
+  std::atomic<std::uint64_t> cold_replans_{0};
+  std::atomic<std::uint64_t> partial_repriced_rows_{0};
+  std::atomic<std::uint64_t> scoped_invalidations_{0};
+  std::atomic<std::uint64_t> rekeyed_entries_{0};
 };
 
 }  // namespace hidp::runtime

@@ -36,6 +36,46 @@ InferenceService::~InferenceService() {
   engine_->cluster().remove_observer(observer_id_);
 }
 
+namespace {
+/// Whether an event's node (and partition peer) appears anywhere in a
+/// plan — as its leader, a compute host or a transfer/exchange endpoint.
+/// Events not touching a plan cannot change what it executes or costs.
+bool plan_touched_by(const Plan& plan, const NodeEvent& event) {
+  const auto touches = [&plan](std::size_t node) {
+    if (node == plan.leader) return true;
+    for (const PlanTask& task : plan.tasks) {
+      const bool hit = task.kind == PlanTask::Kind::kCompute
+                           ? task.node == node
+                           : task.from == node || task.to == node;
+      if (hit) return true;
+    }
+    return false;
+  };
+  if (touches(event.node)) return true;
+  return event.peer != NodeEvent::kNoPeer && touches(event.peer);
+}
+
+/// Degradation-vs-improvement classification (see NodeEvent prev scales).
+/// An improvement (rejoin, link heal, DVFS/radio speedup) can make a
+/// better plan available even where the current one is untouched, so held
+/// plans must be dropped; a degradation only worsens alternatives.
+bool event_is_improvement(const NodeEvent& event) {
+  switch (event.kind) {
+    case NodeEvent::Kind::kUp:
+      return true;
+    case NodeEvent::Kind::kDown:
+      return false;
+    case NodeEvent::Kind::kDvfs:
+      return event.dvfs_scale > event.prev_dvfs_scale;
+    case NodeEvent::Kind::kLink:
+      if (event.peer != NodeEvent::kNoPeer) return event.link_up;
+      return !(event.bw_scale <= event.prev_bw_scale &&
+               event.latency_scale >= event.prev_latency_scale);
+  }
+  return true;
+}
+}  // namespace
+
 void InferenceService::observe_cluster() {
   engine_->set_transfer_timeout_factor(options_.transfer_timeout_factor);
   engine_->set_stale_network_planning(options_.stale_network_planning);
@@ -50,11 +90,24 @@ void InferenceService::observe_cluster() {
     // its strategy keeps pricing the construction-time network.
     if (event.kind != NodeEvent::Kind::kLink || !options_.stale_network_planning) {
       engine_->strategy().on_node_event(event);
+      // Pooled async planning: relay the event so worker strategies repair
+      // (or invalidate) their state eagerly instead of detecting drift at
+      // their next plan. Providers dedupe multi-shard relays on epoch.
+      if (plan_provider_ != nullptr) plan_provider_->on_node_event(event);
       // The shard-held pipeline plan priced the pre-event cluster; drop it
       // so the next stream request replans on the survivors. A repair
       // event also clears the unplannable flag — more nodes may re-open a
-      // multi-stage cut.
-      if (options_.pipeline.enabled) invalidate_pipeline_plan();
+      // multi-stage cut. Delta re-planning scopes the drop: a degradation
+      // not touching the plan's nodes cannot change what it executes or
+      // costs, so the stream keeps riding it instead of paying a replan.
+      if (options_.pipeline.enabled) {
+        if (!options_.delta_replanning || !pipeline_plan_valid_ ||
+            event_is_improvement(event) || plan_touched_by(pipeline_plan_, event)) {
+          invalidate_pipeline_plan();
+        } else {
+          pipeline_unplannable_ = false;  // events may re-open a parked stream
+        }
+      }
     }
     // Leader re-election: promote a survivor the instant churn kills this
     // shard's leader, instead of parking the queue (or surrendering it to
@@ -928,6 +981,13 @@ void InferenceService::notify_terminal(std::size_t slot) {
 }
 
 void InferenceService::notify_state() {
+  // Mirror the strategy's delta-repair counters (absolute values; this
+  // service's engine is the strategy's sole planning driver, so the
+  // snapshot is consistent at every state change).
+  const PlannerDeltaStats planner = engine_->strategy().planner_stats();
+  stats_.repaired_plans = planner.repaired_plans;
+  stats_.cold_replans = planner.cold_replans;
+  stats_.partial_repriced_rows = planner.partial_repriced_rows;
   if (state_hook_) state_hook_();
 }
 

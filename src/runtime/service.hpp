@@ -159,6 +159,13 @@ struct ServiceOptions {
   /// member survives. false (default) keeps the seed park/evacuate
   /// behaviour.
   bool leader_reelection = false;
+  /// Delta re-planning at the service layer: scope the shard-held pipeline
+  /// plan's event invalidation to events that actually touch its nodes (an
+  /// untouched DVFS/link degradation keeps the plan streaming instead of
+  /// forcing a replan). Strategy-side delta repair is the strategy's own
+  /// knob (e.g. HidpStrategy::Options::delta_replanning); enable both for
+  /// the full delta path. false (default) = seed behaviour, bit-identical.
+  bool delta_replanning = false;
 };
 
 /// Per-QoS-class slice of the lifecycle counters. Balances like the
@@ -205,6 +212,12 @@ struct ServiceStats {
   std::size_t stale_plans = 0;  ///< async plans discarded: epoch moved while planning
   // Churn-resilience counters.
   std::size_t leader_reelections = 0;  ///< leaders promoted after leader death
+  // Delta re-planning counters, mirrored from the strategy's
+  // PlannerDeltaStats at every service state change (absolute values, not
+  // increments; all-zero without delta_replanning).
+  std::size_t repaired_plans = 0;         ///< fresh plans off a repaired cost model
+  std::size_t cold_replans = 0;           ///< fresh plans paying a full rebuild
+  std::size_t partial_repriced_rows = 0;  ///< cost-model rows per-node repriced
   std::array<QosClassStats, kQosClassCount> per_class;
 
   QosClassStats& of(QosClass qos) { return per_class[static_cast<std::size_t>(qos)]; }
@@ -233,6 +246,13 @@ class PlanProvider {
   virtual ~PlanProvider() = default;
   virtual void request_plan(PlanRequest request, std::uint64_t epoch,
                             std::function<void(Plan plan, std::uint64_t epoch)> deliver) = 0;
+  /// Cluster node-event forwarding (driver thread). Services relay the
+  /// events they observe so a pooled provider can repair or invalidate its
+  /// workers' planning state eagerly (delta re-planning) instead of each
+  /// worker detecting drift at its next plan. Fired by every shard sharing
+  /// the provider — implementations dedupe on event.epoch. Default: ignore
+  /// (workers keep the drift-detection fallback).
+  virtual void on_node_event(const NodeEvent& event) { (void)event; }
 };
 
 class InferenceService {

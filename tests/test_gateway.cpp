@@ -447,6 +447,52 @@ TEST(Gateway, RejectsBadLinesAndKeepsTheConnectionUsable) {
   EXPECT_EQ(gateway.stats().responded, 1u);
 }
 
+/// The {"cmd":"stats"} protocol line answers with the lifecycle counters
+/// plus the planner delta counters, readable mid-run from a client thread
+/// (the driver mirrors the fleet's driver-thread-only stats into atomics).
+TEST(Gateway, StatsLineReportsPlannerCountersOverTcp) {
+  GatewayFixture fixture;
+  Gateway gateway(fixture.fleet, fixture.registry());
+  gateway.start();
+
+  LineClient client;
+  ASSERT_TRUE(client.connect(gateway.port()));
+
+  // Drive one request to its terminal first: planning has then built at
+  // least one cost model, and the driver has pumped the planner counters
+  // into the cross-thread mirror.
+  ASSERT_TRUE(client.send_line("{\"id\":1,\"model\":\"EfficientNetB0\"}"));
+  bool terminal = false;
+  while (!terminal) {
+    const auto response = client.read_line(30.0);
+    ASSERT_TRUE(response.has_value());
+    terminal = jsonl::string_field(*response, "event").value_or("") == "done";
+  }
+
+  ASSERT_TRUE(client.send_line("{\"id\":2,\"cmd\":\"stats\"}"));
+  auto response = client.read_line(10.0);
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(jsonl::string_field(*response, "event").value_or(""), "stats");
+  EXPECT_EQ(static_cast<int>(jsonl::number_field(*response, "id").value_or(-1)), 2);
+  EXPECT_GE(jsonl::number_field(*response, "received").value_or(0.0), 1.0);
+  EXPECT_GE(jsonl::number_field(*response, "responded").value_or(0.0), 1.0);
+  EXPECT_GE(jsonl::number_field(*response, "cold_replans").value_or(0.0), 1.0);
+  ASSERT_TRUE(jsonl::number_field(*response, "repaired_plans").has_value());
+  ASSERT_TRUE(jsonl::number_field(*response, "partial_repriced_rows").has_value());
+
+  // Unknown commands are rejected without poisoning the connection.
+  ASSERT_TRUE(client.send_line("{\"cmd\":\"bogus\"}"));
+  response = client.read_line(10.0);
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(jsonl::string_field(*response, "event").value_or(""), "error");
+
+  gateway.stop();
+  const GatewayStats stats = gateway.stats();
+  EXPECT_EQ(stats.responded, 1u);
+  EXPECT_GE(stats.cold_replans, 1u);
+  EXPECT_EQ(stats.bad_lines, 1u);
+}
+
 /// Programmatic submission from multiple threads: every on_done callback
 /// fires exactly once with a terminal record.
 TEST(Gateway, ProgrammaticSubmitFromConcurrentThreads) {
